@@ -1,0 +1,82 @@
+// Figure 10 (Section VI-D): energy-per-instruction breakdown of the TopH
+// tile into core / interconnect / memory-bank shares, plus the text ratios
+// (T7): local = ½ remote, local ≈ mul, add = local/2.3, remote = 4.5 add,
+// remote interconnect = 2.9x local interconnect.
+//
+// The analytic rows restate the calibrated technology constants; the
+// "measured" section runs matmul on the 256-core TopHS cluster and divides
+// the *measured* energy by the *measured* instruction counts, which is the
+// actual reproduction of the experiment.
+
+#include <iostream>
+
+#include "common/report.hpp"
+#include "core/system.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/matmul.hpp"
+#include "power/energy_model.hpp"
+
+using namespace mempool;
+
+int main() {
+  print_banner(std::cout,
+               "Figure 10 — energy per instruction, TopH tile (pJ)");
+
+  const EnergyModel model;
+  Table t({"instruction", "core", "interconnect", "memory banks", "total"});
+  auto row = [&](const char* name, const InstrEnergy& e) {
+    t.add_row({name, Table::num(e.core, 1), Table::num(e.interconnect, 1),
+               Table::num(e.memory, 1), Table::num(e.total(), 1)});
+  };
+  row("remote load (cross-group)", model.remote_load_cross_group());
+  row("remote load (same group)", model.remote_load_same_group());
+  row("local load", model.local_load());
+  row("mul", model.mul_op());
+  row("add", model.add_op());
+  t.print(std::cout);
+
+  std::cout << "\nPaper ratios (Section VI-D):\n";
+  Table r({"claim", "paper", "model"});
+  const double local = model.local_load().total();
+  const double remote = model.remote_load_cross_group().total();
+  const double add = model.add_op().total();
+  r.add_row({"local load total", "8.4 pJ", Table::num(local, 1)});
+  r.add_row({"remote load total", "16.9 pJ", Table::num(remote, 1)});
+  r.add_row({"local / remote energy", "0.5 ('half')",
+             Table::num(local / remote, 2)});
+  r.add_row({"local load / add", "2.3x", Table::num(local / add, 2)});
+  r.add_row({"remote load / add", "4.5x", Table::num(remote / add, 2)});
+  r.add_row({"remote IC / local IC", "2.9x",
+             Table::num(model.remote_load_cross_group().interconnect /
+                            model.local_load().interconnect,
+                        2)});
+  r.print(std::cout);
+
+  // --- measured cross-check on a real run -------------------------------------
+  std::cout << "\nMeasured cross-check (matmul on 256-core TopHS):\n";
+  const ClusterConfig cfg = ClusterConfig::paper(Topology::kTopH, true);
+  System sys(cfg);
+  kernels::run_kernel(sys, kernels::build_matmul(cfg, 64), 50'000'000);
+  const SnitchCore::Stats cs = sys.aggregate_core_stats();
+  const EnergyBreakdown e = model.measure(sys.cluster(), cs);
+
+  const double loads = static_cast<double>(cs.loads_local + cs.loads_remote +
+                                           cs.stores_local + cs.stores_remote +
+                                           cs.amos);
+  // Interconnect + bank energy attributable per memory access.
+  const double ic_per_access =
+      (e.tile_interconnect + e.global_interconnect) / loads;
+  const double mem_per_access = e.banks / loads;
+  Table m({"quantity", "value"});
+  m.add_row({"memory accesses", Table::num(loads, 0)});
+  m.add_row({"remote fraction",
+             Table::num(static_cast<double>(cs.loads_remote + cs.stores_remote) /
+                            loads,
+                        2)});
+  m.add_row({"avg interconnect energy / access (pJ)",
+             Table::num(ic_per_access, 2)});
+  m.add_row({"avg bank energy / access (pJ)", Table::num(mem_per_access, 2)});
+  m.add_row({"expected range", "4.5 (all-local) .. 13.0 (all cross-group)"});
+  m.print(std::cout);
+  return 0;
+}

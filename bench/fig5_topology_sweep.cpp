@@ -1,0 +1,97 @@
+// Figure 5 (Section V-A): throughput and average round-trip latency of the
+// three candidate topologies as a function of the injected load, with
+// uniformly distributed bank destinations on the full 256-core cluster.
+// Also reproduces the Section V-A text claims (T2 in DESIGN.md):
+//   * Top1 congests at ~0.10 request/core/cycle,
+//   * Top4/TopH sustain ~0.38,
+//   * TopH stays below ~6 cycles at 0.33,
+//   * TopH's throughput edges out Top4's.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/report.hpp"
+#include "traffic/experiment.hpp"
+
+using namespace mempool;
+
+namespace {
+
+TrafficPoint point(Topology topo, double lambda) {
+  TrafficExperimentConfig e;
+  e.cluster = ClusterConfig::paper(topo, /*scrambling=*/false);
+  e.lambda = lambda;
+  e.warmup_cycles = 1000;
+  e.measure_cycles = 4000;
+  e.drain_cycles = 2000;
+  return run_traffic_point(e);
+}
+
+/// Saturation load: the highest offered load still accepted within 5 %.
+double saturation(const std::vector<double>& loads,
+                  const std::vector<TrafficPoint>& pts) {
+  double sat = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].accepted >= 0.95 * loads[i]) sat = pts[i].accepted;
+  }
+  return sat;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Figure 5 — network analysis of Top1 / Top4 / TopH "
+                          "(256 generators, uniform banks)");
+
+  const std::vector<double> loads = {0.02, 0.05, 0.08, 0.10, 0.12, 0.16, 0.20,
+                                     0.25, 0.29, 0.33, 0.38, 0.42, 0.46, 0.50};
+  const Topology topos[] = {Topology::kTop1, Topology::kTop4, Topology::kTopH};
+
+  std::vector<std::vector<TrafficPoint>> results(3);
+  for (int t = 0; t < 3; ++t) {
+    results[t].reserve(loads.size());
+    for (double l : loads) {
+      results[t].push_back(point(topos[t], l));
+      std::fprintf(stderr, ".");
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  Table thr({"load (req/core/cy)", "Top1 accepted", "Top4 accepted",
+             "TopH accepted"});
+  Table lat({"load (req/core/cy)", "Top1 avg lat", "Top4 avg lat",
+             "TopH avg lat"});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    thr.add_row({Table::num(loads[i], 2), Table::num(results[0][i].accepted, 3),
+                 Table::num(results[1][i].accepted, 3),
+                 Table::num(results[2][i].accepted, 3)});
+    lat.add_row({Table::num(loads[i], 2),
+                 Table::num(results[0][i].avg_latency, 1),
+                 Table::num(results[1][i].avg_latency, 1),
+                 Table::num(results[2][i].avg_latency, 1)});
+  }
+  std::cout << "\n(a) Throughput (request/core/cycle):\n";
+  thr.print(std::cout);
+  std::cout << "\n(b) Average round-trip latency (cycles):\n";
+  lat.print(std::cout);
+
+  // --- Section V-A text claims ------------------------------------------------
+  const double sat1 = saturation(loads, results[0]);
+  const double sat4 = saturation(loads, results[1]);
+  const double sath = saturation(loads, results[2]);
+  double lat_h_033 = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (loads[i] == 0.33) lat_h_033 = results[2][i].avg_latency;
+  }
+
+  std::cout << "\nSummary vs paper (Section V-A):\n";
+  Table s({"claim", "paper", "measured"});
+  s.add_row({"Top1 saturation load", "~0.10", Table::num(sat1, 3)});
+  s.add_row({"Top4 saturation load", "~0.38", Table::num(sat4, 3)});
+  s.add_row({"TopH saturation load", "~0.38", Table::num(sath, 3)});
+  s.add_row({"TopH avg latency @0.33", "~6 cycles", Table::num(lat_h_033, 2)});
+  s.add_row({"TopH saturation > Top4", "yes",
+             sath >= sat4 * 0.98 ? "yes" : "NO"});
+  s.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Simulator performance microbenchmark (not a paper artifact): simulated
+// cycles per wall-clock second for representative workloads. Useful when
+// tuning the model or reviewing performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/system.hpp"
+#include "isa/text_asm.hpp"
+#include "traffic/experiment.hpp"
+
+using namespace mempool;
+
+namespace {
+
+void BM_TrafficCycles(benchmark::State& state) {
+  const auto topo = static_cast<Topology>(state.range(0));
+  TrafficExperimentConfig e;
+  e.cluster = ClusterConfig::paper(topo, false);
+  e.lambda = 0.2;
+  e.warmup_cycles = 100;
+  e.measure_cycles = static_cast<uint64_t>(state.range(1));
+  e.drain_cycles = 0;
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_traffic_point(e));
+    cycles += e.warmup_cycles + e.measure_cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_ExecutionCycles(benchmark::State& state) {
+  // 256 Snitch cores spinning on an arithmetic loop.
+  const ClusterConfig cfg = ClusterConfig::paper(Topology::kTopH, true);
+  const std::string src = R"(
+    _start:
+      li t0, 100000
+    loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      li t1, 0xC0000000
+      sw zero, 0(t1)
+  )";
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    System sys(cfg);
+    sys.load_program(isa::assemble_text(src));
+    const auto r = sys.run(static_cast<uint64_t>(state.range(0)));
+    cycles += r.cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TrafficCycles)
+    ->Args({static_cast<int>(Topology::kTop1), 2000})
+    ->Args({static_cast<int>(Topology::kTopH), 2000})
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExecutionCycles)->Arg(5000)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// T6 (Sections VI-B/C): physical feasibility of the three topologies from
+// the analytic floorplan/wiring model — total wiring, centre congestion
+// (Top4 ≈ 4x Top1 -> unroutable), wiring spread (TopH distributes cells and
+// wiring), and the first-order timing estimate (critical path ~37 % wire
+// delay, ~480 MHz worst case).
+
+#include <iostream>
+
+#include "common/report.hpp"
+#include "physical/feasibility.hpp"
+
+using namespace mempool::physical;
+using mempool::Table;
+using mempool::print_banner;
+
+int main() {
+  print_banner(std::cout,
+               "T6 — physical feasibility (analytic floorplan model, "
+               "8x8 tiles of 425 um in a 4.6 mm die)");
+
+  const Floorplan fp;
+  std::cout << "tile area fraction: " << Table::num(100 * fp.tile_area_fraction(), 1)
+            << "% (paper: 55%)\n\n";
+
+  const auto reports = analyze_all();
+  Table t({"topology", "wire demand (bit*mm)", "center congestion vs Top1",
+           "spread (CV)", "longest wire (mm)", "critical path (ns)",
+           "wire delay", "fmax (MHz)", "routable"});
+  for (const auto& r : reports) {
+    t.add_row({r.name, Table::num(r.total_wire_bit_mm, 0),
+               Table::num(r.center_ratio_vs_top1, 2) + "x",
+               Table::num(r.spread, 2), Table::num(r.longest_wire_mm, 2),
+               Table::num(r.critical_path_ns, 2),
+               Table::num(100 * r.wire_delay_fraction, 0) + "%",
+               Table::num(r.fmax_mhz, 0),
+               r.feasible ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper claims: Top4 is ~4x more congested than Top1 and "
+               "physically infeasible; TopH distributes the wiring and "
+               "closes timing at 480 MHz (SS) with 37% of the critical path "
+               "in wire delay.\n";
+
+  // Congestion heat maps (normalized 0-9), the Figure-9 analogue.
+  for (PhysTopology topo : {PhysTopology::kTop1, PhysTopology::kTopH}) {
+    CongestionMap m(4.6, 16);
+    m.route_all(extract_wires(topo, fp));
+    std::cout << "\n" << phys_topology_name(topo)
+              << " routing-demand map (0-9):\n";
+    for (const auto& row : m.ascii_map()) std::cout << "  " << row << '\n';
+  }
+  return 0;
+}

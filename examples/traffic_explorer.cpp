@@ -1,0 +1,64 @@
+// Network design exploration: sweep any topology / load / locality point
+// from the command line and print throughput + latency — the workflow an
+// interconnect architect would use this library for.
+//
+//   $ ./traffic_explorer [topology] [lambda] [p_local]
+//   $ ./traffic_explorer TopH 0.33 0.25
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/report.hpp"
+#include "traffic/experiment.hpp"
+
+using namespace mempool;
+
+namespace {
+
+Topology parse_topology(const char* s) {
+  if (std::strcmp(s, "Top1") == 0) return Topology::kTop1;
+  if (std::strcmp(s, "Top4") == 0) return Topology::kTop4;
+  if (std::strcmp(s, "TopH") == 0) return Topology::kTopH;
+  if (std::strcmp(s, "TopX") == 0) return Topology::kTopX;
+  std::fprintf(stderr, "unknown topology '%s' (Top1|Top4|TopH|TopX)\n", s);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Topology topo = argc > 1 ? parse_topology(argv[1]) : Topology::kTopH;
+  const double lambda = argc > 2 ? std::atof(argv[2]) : -1.0;
+  const double p_local = argc > 3 ? std::atof(argv[3]) : 0.0;
+
+  TrafficExperimentConfig e;
+  e.cluster = ClusterConfig::paper(topo, p_local > 0.0);
+  e.p_local_seq = p_local;
+
+  if (lambda >= 0) {
+    e.lambda = lambda;
+    const TrafficPoint p = run_traffic_point(e);
+    std::printf("%s  offered=%.3f p_local=%.2f -> accepted=%.3f "
+                "avg_lat=%.2f p95=%.1f max=%.0f cycles\n",
+                topology_name(topo), p.offered, p_local, p.accepted,
+                p.avg_latency, p.p95_latency, p.max_latency);
+    return 0;
+  }
+
+  // No lambda given: print a full sweep.
+  print_banner(std::cout, std::string("load sweep on ") + topology_name(topo));
+  Table t({"offered", "accepted", "avg latency", "p95", "max"});
+  for (double l : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}) {
+    e.lambda = l;
+    const TrafficPoint p = run_traffic_point(e);
+    t.add_row({Table::num(l, 2), Table::num(p.accepted, 3),
+               Table::num(p.avg_latency, 2), Table::num(p.p95_latency, 1),
+               Table::num(p.max_latency, 0)});
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+  t.print(std::cout);
+  return 0;
+}

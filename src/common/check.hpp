@@ -1,0 +1,46 @@
+#pragma once
+// Always-on invariant checking for library construction and configuration.
+//
+// MEMPOOL_CHECK is used to validate user-provided configuration and internal
+// invariants whose violation indicates a programming error. It is kept enabled
+// in release builds: a cycle-level simulator that silently continues after an
+// invariant break produces wrong performance numbers, which is worse than
+// aborting.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mempool {
+
+/// Exception thrown when a MEMPOOL_CHECK fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "MEMPOOL_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mempool
+
+#define MEMPOOL_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) ::mempool::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MEMPOOL_CHECK_MSG(expr, msg)                                  \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg; /* NOLINT */                                        \
+      ::mempool::detail::check_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,30 @@
+#pragma once
+// Fixed-point helpers shared by the DCT kernel (RV32IM has no FPU in the
+// MemPool Snitch configuration) and its golden model. Q-format: Qm.f with
+// f fractional bits in an int32.
+
+#include <cstdint>
+
+namespace mempool {
+
+/// Convert a double to Q-format with @p frac_bits fractional bits
+/// (round-to-nearest).
+constexpr int32_t to_fixed(double v, unsigned frac_bits) {
+  const double scaled = v * static_cast<double>(1u << frac_bits);
+  return static_cast<int32_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+}
+
+/// Convert Q-format back to double.
+constexpr double from_fixed(int32_t v, unsigned frac_bits) {
+  return static_cast<double>(v) / static_cast<double>(1u << frac_bits);
+}
+
+/// Fixed-point multiply with truncation toward zero of the lower bits —
+/// matches the RV32IM sequence (mul + mulh + shift composition) the DCT
+/// kernel uses, so the golden model is bit-exact with the simulated kernel.
+constexpr int32_t fx_mul(int32_t a, int32_t b, unsigned frac_bits) {
+  const int64_t p = static_cast<int64_t>(a) * static_cast<int64_t>(b);
+  return static_cast<int32_t>(p >> frac_bits);
+}
+
+}  // namespace mempool

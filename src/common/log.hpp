@@ -1,0 +1,33 @@
+#pragma once
+// Minimal leveled logging. The simulator is library-first: logging defaults to
+// warnings only, and tests/benches can raise verbosity.
+
+#include <sstream>
+#include <string>
+
+namespace mempool {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold (messages above this level are dropped).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace mempool
+
+#define MEMPOOL_LOG(level, expr)                                     \
+  do {                                                               \
+    if (static_cast<int>(level) <= static_cast<int>(::mempool::log_level())) { \
+      std::ostringstream os_;                                        \
+      os_ << expr; /* NOLINT */                                      \
+      ::mempool::detail::log_emit(level, os_.str());                 \
+    }                                                                \
+  } while (false)
+
+#define MEMPOOL_LOG_INFO(expr) MEMPOOL_LOG(::mempool::LogLevel::kInfo, expr)
+#define MEMPOOL_LOG_WARN(expr) MEMPOOL_LOG(::mempool::LogLevel::kWarn, expr)
+#define MEMPOOL_LOG_DEBUG(expr) MEMPOOL_LOG(::mempool::LogLevel::kDebug, expr)

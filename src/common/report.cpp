@@ -1,0 +1,73 @@
+#include "common/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MEMPOOL_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MEMPOOL_CHECK_MSG(cells.size() == header_.size(),
+                    "row has " << cells.size() << " cells, header has "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(w[c])) << r[c] << ' ';
+    }
+    os << "|\n";
+  };
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      os << '+' << std::string(w[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& r : rows_) print_row(r);
+  print_sep();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto join = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  join(header_);
+  for (const auto& r : rows_) join(r);
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace mempool

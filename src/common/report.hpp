@@ -1,0 +1,39 @@
+#pragma once
+// Plain-text table / CSV emission for the benchmark harnesses. Every bench
+// binary prints the same rows/series the paper reports; this utility keeps
+// their formatting uniform.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mempool {
+
+/// A simple column-aligned text table with an optional CSV dump.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; the number of cells must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with @p precision digits after the decimal point.
+  static std::string num(double v, int precision = 3);
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (comma-separated, no quoting — cells must be simple).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a visually distinct section banner for bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace mempool

@@ -1,0 +1,82 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// The simulator must be bit-reproducible across platforms and standard-library
+// versions, so we do not use <random> distributions in the hot path; all
+// sampling is implemented here from raw 64-bit draws.
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+/// xoshiro256** by Blackman & Vigna — public-domain algorithm, reimplemented.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(uint64_t seed) {
+    for (auto& w : s_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit draw.
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n) (n > 0), using Lemire's multiply-shift method.
+  uint64_t next_below(uint64_t n) {
+    MEMPOOL_CHECK(n > 0);
+    // 128-bit multiply keeps bias negligible for simulator purposes.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next_u64()) * static_cast<__uint128_t>(n)) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability @p p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Poisson-distributed sample with mean @p lambda (Knuth's method; the
+  /// injected loads used in the paper are <= 1 request/core/cycle, so the
+  /// simple algorithm is both exact and fast).
+  uint32_t next_poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    const double l = std::exp(-lambda);
+    uint32_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > l);
+    return k - 1;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4]{};
+};
+
+}  // namespace mempool

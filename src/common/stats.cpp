@@ -1,0 +1,68 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets, 0) {
+  MEMPOOL_CHECK(bucket_width > 0.0);
+  MEMPOOL_CHECK(num_buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < 0) x = 0;
+  const auto idx = static_cast<std::size_t>(x / width_);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  overflow_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  MEMPOOL_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cum + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double frac =
+          buckets_[i] ? (target - cum) / static_cast<double>(buckets_[i]) : 0.0;
+      return (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return width_ * static_cast<double>(buckets_.size());
+}
+
+}  // namespace mempool

@@ -1,0 +1,60 @@
+#pragma once
+// Streaming statistics and histograms used by the network monitors and the
+// benchmark harnesses.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mempool {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+  void reset();
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width bucket histogram over [0, bucket_width * num_buckets), with an
+/// overflow bucket. Used for request-latency distributions.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t num_buckets);
+
+  void add(double x);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t overflow() const { return overflow_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  double bucket_width() const { return width_; }
+
+  /// Value below which @p q (in [0,1]) of the samples fall, linear within a
+  /// bucket; overflow samples count at the top edge.
+  double quantile(double q) const;
+
+ private:
+  double width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+}  // namespace mempool

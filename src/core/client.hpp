@@ -1,0 +1,45 @@
+#pragma once
+// A Client occupies one core slot of a tile: either a Snitch core model
+// (execution-driven runs) or a synthetic traffic generator (Figures 5/6).
+// The cluster hands each client a RequestPort for issuing requests and
+// delivers response packets via deliver().
+
+#include <cstdint>
+#include <string>
+
+#include "sim/component.hpp"
+#include "sim/packet.hpp"
+
+namespace mempool {
+
+/// Per-core request issue interface, implemented by the cluster. A client may
+/// issue at most one request per cycle; try_issue returns false when the
+/// fabric (or the ideal bank queue) cannot accept the packet this cycle.
+class RequestPort {
+ public:
+  virtual ~RequestPort() = default;
+  virtual bool try_issue(const Packet& req) = 0;
+};
+
+class Client : public Component {
+ public:
+  Client(std::string name, uint16_t global_id, uint16_t tile)
+      : Component(std::move(name)), id_(global_id), tile_(tile) {}
+
+  /// Response arrival (always accepted; ordering restored by the client's
+  /// own ROB if it has one).
+  virtual void deliver(const Packet& resp) = 0;
+
+  /// Called once by the cluster after construction.
+  void bind_port(RequestPort* port) { port_ = port; }
+
+  uint16_t id() const { return id_; }
+  uint16_t tile() const { return tile_; }
+
+ protected:
+  RequestPort* port_ = nullptr;
+  uint16_t id_;
+  uint16_t tile_;
+};
+
+}  // namespace mempool

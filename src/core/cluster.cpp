@@ -1,0 +1,402 @@
+#include "core/cluster.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace mempool {
+
+namespace {
+
+/// Register placement inside a global butterfly: layer 0 is the master-port
+/// boundary, layer 1 the mid-network pipeline stage ("a single pipeline stage
+/// midway through its log4(64) = 3 layers"). Butterflies with a single layer
+/// move the second boundary onto the destination tile's slave port so that
+/// the zero-load latency contract (5 cycles) holds at every cluster size.
+std::vector<BufferMode> bfly_layer_modes(unsigned layers) {
+  std::vector<BufferMode> m(layers, BufferMode::kCombinational);
+  m[0] = BufferMode::kRegistered;
+  if (layers >= 2) m[1] = BufferMode::kRegistered;
+  return m;
+}
+
+unsigned bfly_layers(uint32_t endpoints) {
+  return log2_exact(endpoints) / 2;  // radix-4
+}
+
+}  // namespace
+
+// --- CorePort ---------------------------------------------------------------
+
+CorePort::CorePort(Cluster* cluster, uint32_t core)
+    : cluster_(cluster), tile_(core / cluster->config().cores_per_tile) {}
+
+bool CorePort::try_issue(const Packet& p) {
+  PacketSink* sink;
+  if (ideal_) {
+    sink = cluster_->tiles_[p.dst_tile]->bank(p.dst_bank).request_input();
+  } else if (p.dst_tile == tile_) {
+    sink = local_;
+  } else {
+    sink = remote_;
+  }
+  if (!sink->can_accept()) return false;
+  sink->push(p);
+  return true;
+}
+
+// --- IdealRespBridge ----------------------------------------------------------
+
+IdealRespBridge::IdealRespBridge(std::string name, uint32_t num_banks,
+                                 const std::vector<Client*>* clients)
+    : Component(std::move(name)), clients_(clients) {
+  bufs_.reserve(num_banks);
+  sinks_.reserve(num_banks);
+  for (uint32_t b = 0; b < num_banks; ++b) {
+    bufs_.emplace_back(BufferMode::kRegistered, 2);
+  }
+  for (auto& b : bufs_) sinks_.emplace_back(b);
+}
+
+void IdealRespBridge::register_clocked(Engine& engine) {
+  for (auto& b : bufs_) engine.add_clocked(&b);
+}
+
+void IdealRespBridge::evaluate(uint64_t /*cycle*/) {
+  for (auto& b : bufs_) {
+    while (!b.empty()) {
+      const Packet p = b.pop();
+      (*clients_)[p.src]->deliver(p);
+    }
+  }
+}
+
+// --- Cluster ------------------------------------------------------------------
+
+Cluster::Cluster(const ClusterConfig& cfg, const InstrMem* imem)
+    : cfg_(cfg), layout_(cfg), imem_(imem) {
+  cfg_.validate();
+  MEMPOOL_CHECK(imem != nullptr);
+
+  const uint32_t cpt = cfg_.cores_per_tile;
+  const bool fabric = cfg_.topology != Topology::kTopX;
+
+  // Per-topology tile shape.
+  uint32_t masters = 0, slaves = 0;
+  switch (cfg_.topology) {
+    case Topology::kTop1: masters = 1; slaves = 1; break;
+    case Topology::kTop4: masters = 0; slaves = cpt; break;
+    case Topology::kTopH: masters = cfg_.num_groups; slaves = cfg_.num_groups; break;
+    case Topology::kTopX: break;
+  }
+
+  const unsigned glayers =
+      cfg_.topology == Topology::kTopH ? bfly_layers(cfg_.tiles_per_group())
+      : cfg_.topology == Topology::kTopX ? 0
+                                         : bfly_layers(cfg_.num_tiles);
+  const bool slave_reg =
+      fabric && cfg_.topology != Topology::kTopH
+          ? glayers < 2
+          : (cfg_.topology == Topology::kTopH && bfly_layers(cfg_.tiles_per_group()) < 2);
+
+  tiles_.reserve(cfg_.num_tiles);
+  for (uint32_t t = 0; t < cfg_.num_tiles; ++t) {
+    std::vector<BufferMode> sreq, sresp;
+    RouteFn dir_route, resp_route;
+    switch (cfg_.topology) {
+      case Topology::kTop1: {
+        sreq = {slave_reg ? BufferMode::kRegistered : BufferMode::kCombinational};
+        sresp = sreq;
+        dir_route = [](const Packet&) { return 0u; };
+        resp_route = [t, cpt](const Packet& p) {
+          return p.src_tile == t ? static_cast<unsigned>(p.src % cpt)
+                                 : static_cast<unsigned>(cpt);
+        };
+        break;
+      }
+      case Topology::kTop4: {
+        const BufferMode m = slave_reg ? BufferMode::kRegistered
+                                       : BufferMode::kCombinational;
+        sreq.assign(cpt, m);
+        sresp.assign(cpt, m);
+        resp_route = [t, cpt](const Packet& p) {
+          return p.src_tile == t ? static_cast<unsigned>(p.src % cpt)
+                                 : static_cast<unsigned>(cpt + p.src % cpt);
+        };
+        break;
+      }
+      case Topology::kTopH: {
+        // Slave port 0: intra-group crossbar (combinational at the slave).
+        // Slave ports 1..3: butterflies from the other groups; registered
+        // only when the group butterfly has a single layer.
+        const BufferMode bm = slave_reg ? BufferMode::kRegistered
+                                        : BufferMode::kCombinational;
+        sreq = {BufferMode::kCombinational, bm, bm, bm};
+        sresp = {BufferMode::kCombinational, bm, bm, bm};
+        const uint32_t g = cfg_.group_of_tile(t);
+        const uint32_t ng = cfg_.num_groups;
+        const ClusterConfig cfgc = cfg_;
+        dir_route = [cfgc, g, ng](const Packet& p) {
+          return (cfgc.group_of_tile(p.dst_tile) - g + ng) % ng;  // 0 = local
+        };
+        resp_route = [cfgc, t, g, ng, cpt](const Packet& p) {
+          if (p.src_tile == t) return static_cast<unsigned>(p.src % cpt);
+          return static_cast<unsigned>(
+              cpt + (cfgc.group_of_tile(p.src_tile) - g + ng) % ng);
+        };
+        break;
+      }
+      case Topology::kTopX:
+        break;
+    }
+    tiles_.push_back(std::make_unique<Tile>(
+        t, cfg_, imem_, fabric, masters, slaves, std::move(sreq),
+        std::move(sresp), std::move(dir_route), std::move(resp_route),
+        /*bank_input_capacity=*/fabric ? 2 : 0));
+  }
+
+  switch (cfg_.topology) {
+    case Topology::kTop1:
+    case Topology::kTop4:
+      build_top1_top4();
+      break;
+    case Topology::kTopH:
+      build_toph();
+      break;
+    case Topology::kTopX:
+      break;  // bridges are created in attach_clients (they need the list)
+  }
+
+  ports_.reserve(cfg_.num_cores());
+  for (uint32_t c = 0; c < cfg_.num_cores(); ++c) {
+    ports_.push_back(std::make_unique<CorePort>(this, c));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::build_top1_top4() {
+  const uint32_t n = cfg_.num_tiles;
+  const uint32_t cpt = cfg_.cores_per_tile;
+  const unsigned layers = bfly_layers(n);
+  const uint32_t planes = cfg_.topology == Topology::kTop1 ? 1 : cpt;
+
+  for (uint32_t k = 0; k < planes; ++k) {
+    auto req = std::make_unique<ButterflyNet>(
+        "req_bfly" + std::to_string(k), n, 4, bfly_layer_modes(layers),
+        [](const Packet& p) { return static_cast<unsigned>(p.dst_tile); });
+    auto resp = std::make_unique<ButterflyNet>(
+        "resp_bfly" + std::to_string(k), n, 4, bfly_layer_modes(layers),
+        [](const Packet& p) { return static_cast<unsigned>(p.src_tile); });
+    for (uint32_t t = 0; t < n; ++t) {
+      req->connect_output(t, tiles_[t]->slave_req(k));
+      resp->connect_output(t, tiles_[t]->resp_slave(k));
+      if (cfg_.topology == Topology::kTop1) {
+        tiles_[t]->connect_dir_output(0, req->input(t));
+      }
+      tiles_[t]->connect_resp_remote_output(k, resp->input(t));
+    }
+    req_bflys_.push_back(std::move(req));
+    resp_bflys_.push_back(std::move(resp));
+  }
+}
+
+void Cluster::build_toph() {
+  const uint32_t ng = cfg_.num_groups;
+  const uint32_t tpg = cfg_.tiles_per_group();
+  const unsigned layers = bfly_layers(tpg);
+
+  // Intra-group fully-connected 16×16 crossbars (registered inputs: the
+  // tiles' master-port boundary).
+  for (uint32_t g = 0; g < ng; ++g) {
+    auto lreq = std::make_unique<XbarSwitch>(
+        "g" + std::to_string(g) + ".req_lxbar", tpg, BufferMode::kRegistered,
+        tpg, [tpg](const Packet& p) {
+          return static_cast<unsigned>(p.dst_tile % tpg);
+        });
+    auto lresp = std::make_unique<XbarSwitch>(
+        "g" + std::to_string(g) + ".resp_lxbar", tpg, BufferMode::kRegistered,
+        tpg, [tpg](const Packet& p) {
+          return static_cast<unsigned>(p.src_tile % tpg);
+        });
+    for (uint32_t j = 0; j < tpg; ++j) {
+      Tile& tl = *tiles_[g * tpg + j];
+      tl.connect_dir_output(0, lreq->input(j));
+      lreq->connect_output(j, tl.slave_req(0));
+      tl.connect_resp_remote_output(0, lresp->input(j));
+      lresp->connect_output(j, tl.resp_slave(0));
+    }
+    group_req_lxbars_.push_back(std::move(lreq));
+    group_resp_lxbars_.push_back(std::move(lresp));
+  }
+
+  // Inter-group butterflies: one per ordered pair (source group g, direction
+  // i in 1..3 toward group (g+i) mod 4) and per direction of travel.
+  for (uint32_t g = 0; g < ng; ++g) {
+    for (uint32_t i = 1; i < ng; ++i) {
+      const uint32_t h = (g + i) % ng;  // destination group
+      auto req = std::make_unique<ButterflyNet>(
+          "req_bfly_g" + std::to_string(g) + "_d" + std::to_string(i), tpg, 4,
+          bfly_layer_modes(layers), [tpg](const Packet& p) {
+            return static_cast<unsigned>(p.dst_tile % tpg);
+          });
+      auto resp = std::make_unique<ButterflyNet>(
+          "resp_bfly_g" + std::to_string(g) + "_d" + std::to_string(i), tpg, 4,
+          bfly_layer_modes(layers), [tpg](const Packet& p) {
+            return static_cast<unsigned>(p.src_tile % tpg);
+          });
+      for (uint32_t j = 0; j < tpg; ++j) {
+        Tile& src_tile = *tiles_[g * tpg + j];
+        Tile& dst_tile = *tiles_[h * tpg + j];
+        src_tile.connect_dir_output(i, req->input(j));
+        req->connect_output(j, dst_tile.slave_req(i));
+        src_tile.connect_resp_remote_output(i, resp->input(j));
+        resp->connect_output(j, dst_tile.resp_slave(i));
+      }
+      req_bflys_.push_back(std::move(req));
+      resp_bflys_.push_back(std::move(resp));
+    }
+  }
+}
+
+void Cluster::attach_clients(const std::vector<Client*>& clients) {
+  MEMPOOL_CHECK_MSG(clients.size() == cfg_.num_cores(),
+                    "need " << cfg_.num_cores() << " clients, got "
+                            << clients.size());
+  clients_ = clients;
+  const uint32_t cpt = cfg_.cores_per_tile;
+  for (uint32_t t = 0; t < cfg_.num_tiles; ++t) {
+    std::vector<Client*> local(clients_.begin() + t * cpt,
+                               clients_.begin() + (t + 1) * cpt);
+    tiles_[t]->connect_clients(local);
+  }
+
+  // Wire the per-core ports.
+  for (uint32_t c = 0; c < cfg_.num_cores(); ++c) {
+    CorePort& port = *ports_[c];
+    const uint32_t t = c / cpt;
+    const uint32_t ct = c % cpt;
+    switch (cfg_.topology) {
+      case Topology::kTopX:
+        port.ideal_ = true;
+        break;
+      case Topology::kTop4:
+        port.local_ = tiles_[t]->core_local_req(ct);
+        port.remote_ = req_bflys_[ct]->input(t);
+        break;
+      case Topology::kTop1:
+      case Topology::kTopH:
+        port.local_ = tiles_[t]->core_local_req(ct);
+        port.remote_ = tiles_[t]->dir_input(ct);
+        break;
+    }
+    clients_[c]->bind_port(&port);
+  }
+
+  if (cfg_.topology == Topology::kTopX) {
+    for (uint32_t t = 0; t < cfg_.num_tiles; ++t) {
+      auto bridge = std::make_unique<IdealRespBridge>(
+          "tile" + std::to_string(t) + ".ideal_bridge", cfg_.banks_per_tile,
+          &clients_);
+      for (uint32_t b = 0; b < cfg_.banks_per_tile; ++b) {
+        tiles_[t]->bank(b).connect_response(bridge->bank_input(b));
+      }
+      bridges_.push_back(std::move(bridge));
+    }
+  }
+}
+
+void Cluster::build(Engine& engine) {
+  MEMPOOL_CHECK_MSG(!built_, "Cluster::build called twice");
+  MEMPOOL_CHECK_MSG(!clients_.empty(), "attach_clients before build");
+  built_ = true;
+
+  // 1. Response path: bank-response crossbars ...
+  for (auto& t : tiles_) t->add_resp_early(engine);
+  // ... response networks ...
+  for (auto& x : group_resp_lxbars_) {
+    engine.add_component(x.get());
+    x->register_clocked(engine);
+  }
+  for (auto& b : resp_bflys_) {
+    engine.add_component(b.get());
+    b->register_clocked(engine);
+  }
+  // ... and delivery into the cores.
+  for (auto& t : tiles_) t->add_resp_late(engine);
+  for (auto& br : bridges_) {
+    engine.add_component(br.get());
+    br->register_clocked(engine);
+  }
+
+  // 2. Instruction caches, then the clients themselves.
+  for (auto& t : tiles_) t->add_fetch(engine);
+  for (Client* c : clients_) engine.add_component(c);
+
+  // 3. Request path: master-port crossbars, request networks, merged request
+  //    crossbars, banks.
+  for (auto& t : tiles_) t->add_req_early(engine);
+  for (auto& x : group_req_lxbars_) {
+    engine.add_component(x.get());
+    x->register_clocked(engine);
+  }
+  for (auto& b : req_bflys_) {
+    engine.add_component(b.get());
+    b->register_clocked(engine);
+  }
+  for (auto& t : tiles_) t->add_req_late(engine);
+}
+
+uint32_t Cluster::read_word(uint32_t cpu_addr) const {
+  const BankLocation loc = layout_.locate(cpu_addr);
+  return tiles_[loc.tile]->bank(loc.bank).backdoor_read(loc.row);
+}
+
+void Cluster::write_word(uint32_t cpu_addr, uint32_t value) {
+  const BankLocation loc = layout_.locate(cpu_addr);
+  tiles_[loc.tile]->bank(loc.bank).backdoor_write(loc.row, value);
+}
+
+Cluster::FabricStats Cluster::fabric_stats() const {
+  FabricStats s;
+  for (const auto& t : tiles_) {
+    if (t->req_xbar()) s.tile_req_traversals += t->req_xbar()->traversals();
+    if (t->bank_resp_xbar())
+      s.tile_resp_traversals += t->bank_resp_xbar()->traversals();
+    if (t->dir_xbar()) s.dir_traversals += t->dir_xbar()->traversals();
+    if (t->remote_resp_xbar())
+      s.remote_resp_traversals += t->remote_resp_xbar()->traversals();
+    for (uint32_t b = 0; b < t->num_banks(); ++b) {
+      s.bank_accesses += t->bank(b).accesses();
+      s.bank_stall_cycles += t->bank(b).stall_cycles();
+    }
+    s.icache_hits += t->icache().hits();
+    s.icache_misses += t->icache().misses();
+    s.icache_refills += t->icache().refills();
+  }
+  for (const auto& x : group_req_lxbars_) s.group_local_traversals += x->traversals();
+  for (const auto& x : group_resp_lxbars_) s.group_local_traversals += x->traversals();
+  for (const auto& b : req_bflys_) s.butterfly_traversals += b->traversals();
+  for (const auto& b : resp_bflys_) s.butterfly_traversals += b->traversals();
+  return s;
+}
+
+bool Cluster::fabric_idle() const {
+  for (const auto& t : tiles_) {
+    if (!t->fabric_idle()) return false;
+  }
+  for (const auto& x : group_req_lxbars_) {
+    if (!x->idle()) return false;
+  }
+  for (const auto& x : group_resp_lxbars_) {
+    if (!x->idle()) return false;
+  }
+  for (const auto& b : req_bflys_) {
+    if (!b->idle()) return false;
+  }
+  for (const auto& b : resp_bflys_) {
+    if (!b->idle()) return false;
+  }
+  return true;
+}
+
+}  // namespace mempool

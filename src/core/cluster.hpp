@@ -1,0 +1,149 @@
+#pragma once
+// The MemPool cluster: tiles plus the global interconnect in one of the four
+// topologies of Sections III-C / V-C.
+//
+//  Top1 — per tile one master port (4×1 concentrator), a single 64×64 radix-4
+//         butterfly each way, pipeline register midway (zero-load 5 cycles).
+//  Top4 — four parallel butterflies; core i of every tile owns port i
+//         (point-to-point, no concentrator).
+//  TopH — four local groups; intra-group 16×16 fully-connected crossbar
+//         (zero-load 3 cycles), and one 16×16 radix-4 butterfly per ordered
+//         pair of groups (zero-load 5 cycles).
+//  TopX — ideal, physically infeasible baseline: conflict-free single-cycle
+//         access to every bank (output-queued; banks still serialize).
+//
+// Evaluation order per cycle (see DESIGN.md §3): bank-response crossbars →
+// response networks → remote-response crossbars / ideal bridges → I$ →
+// clients → master-port crossbars → request networks → merged request
+// crossbars → banks → commit.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/cluster_config.hpp"
+#include "core/layout.hpp"
+#include "core/tile.hpp"
+#include "mem/imem.hpp"
+#include "noc/butterfly.hpp"
+#include "noc/xbar.hpp"
+#include "sim/engine.hpp"
+
+namespace mempool {
+
+class Cluster;
+
+/// Per-core request issue port (address decoder at the core's output).
+class CorePort final : public RequestPort {
+ public:
+  CorePort(Cluster* cluster, uint32_t core);
+  bool try_issue(const Packet& p) override;
+
+ private:
+  friend class Cluster;
+  Cluster* cluster_;
+  uint32_t tile_;
+  PacketSink* local_ = nullptr;   // merged request crossbar, own tile
+  PacketSink* remote_ = nullptr;  // master-port crossbar or dedicated port
+  bool ideal_ = false;            // TopX: direct bank access
+};
+
+/// TopX response path: one registered buffer per bank, drained completely
+/// every cycle (the ideal fabric has unlimited response bandwidth; the
+/// register models the banks' one-cycle output latency).
+class IdealRespBridge final : public Component {
+ public:
+  IdealRespBridge(std::string name, uint32_t num_banks,
+                  const std::vector<Client*>* clients);
+  PacketSink* bank_input(uint32_t b) { return &sinks_[b]; }
+  void register_clocked(Engine& engine);
+  void evaluate(uint64_t cycle) override;
+
+ private:
+  std::vector<PacketBuffer> bufs_;
+  std::vector<BufferSink<PacketBuffer>> sinks_;
+  const std::vector<Client*>* clients_;
+};
+
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& cfg, const InstrMem* imem);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Attach exactly num_cores() clients (cores or traffic generators), in
+  /// global core order. Must be called before build().
+  void attach_clients(const std::vector<Client*>& clients);
+
+  /// Add every component to the engine in evaluation order and register all
+  /// clocked state. Call once.
+  void build(Engine& engine);
+
+  RequestPort* port(uint32_t core) { return ports_[core].get(); }
+  const ClusterConfig& config() const { return cfg_; }
+  const MemoryLayout& layout() const { return layout_; }
+
+  Tile& tile(uint32_t t) { return *tiles_[t]; }
+  const Tile& tile(uint32_t t) const { return *tiles_[t]; }
+  uint32_t num_tiles() const { return static_cast<uint32_t>(tiles_.size()); }
+
+  // --- backdoor access (program loading / result checking) -----------------
+  uint32_t read_word(uint32_t cpu_addr) const;
+  void write_word(uint32_t cpu_addr, uint32_t value);
+
+  // --- aggregate statistics --------------------------------------------------
+  struct FabricStats {
+    uint64_t tile_req_traversals = 0;
+    uint64_t tile_resp_traversals = 0;
+    uint64_t dir_traversals = 0;
+    uint64_t remote_resp_traversals = 0;
+    uint64_t group_local_traversals = 0;  ///< TopH L crossbars, both ways.
+    uint64_t butterfly_traversals = 0;    ///< Global butterflies, both ways.
+    uint64_t bank_accesses = 0;
+    uint64_t bank_stall_cycles = 0;
+    uint64_t icache_hits = 0;
+    uint64_t icache_misses = 0;   ///< Miss *queries* (retries included).
+    uint64_t icache_refills = 0;  ///< Actual line fills.
+  };
+  FabricStats fabric_stats() const;
+
+  /// True when no packet is in flight anywhere in the fabric.
+  bool fabric_idle() const;
+
+  // Raw component access for the energy model and tests.
+  const std::vector<std::unique_ptr<ButterflyNet>>& req_butterflies() const {
+    return req_bflys_;
+  }
+  const std::vector<std::unique_ptr<ButterflyNet>>& resp_butterflies() const {
+    return resp_bflys_;
+  }
+  const std::vector<std::unique_ptr<XbarSwitch>>& group_req_xbars() const {
+    return group_req_lxbars_;
+  }
+  const std::vector<std::unique_ptr<XbarSwitch>>& group_resp_xbars() const {
+    return group_resp_lxbars_;
+  }
+
+ private:
+  friend class CorePort;
+  void build_top1_top4();
+  void build_toph();
+
+  ClusterConfig cfg_;
+  MemoryLayout layout_;
+  const InstrMem* imem_;
+  std::vector<std::unique_ptr<Tile>> tiles_;
+  std::vector<std::unique_ptr<ButterflyNet>> req_bflys_;
+  std::vector<std::unique_ptr<ButterflyNet>> resp_bflys_;
+  std::vector<std::unique_ptr<XbarSwitch>> group_req_lxbars_;
+  std::vector<std::unique_ptr<XbarSwitch>> group_resp_lxbars_;
+  std::vector<std::unique_ptr<IdealRespBridge>> bridges_;
+  std::vector<Client*> clients_;
+  std::vector<std::unique_ptr<CorePort>> ports_;
+  bool built_ = false;
+};
+
+}  // namespace mempool

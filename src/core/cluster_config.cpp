@@ -1,0 +1,80 @@
+#include "core/cluster_config.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace mempool {
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kTop1: return "Top1";
+    case Topology::kTop4: return "Top4";
+    case Topology::kTopH: return "TopH";
+    case Topology::kTopX: return "TopX";
+  }
+  return "?";
+}
+
+std::string ClusterConfig::display_name() const {
+  std::string n = topology_name(topology);
+  if (scrambling) n += "S";
+  return n;
+}
+
+void ClusterConfig::validate() const {
+  MEMPOOL_CHECK(is_pow2(num_tiles));
+  MEMPOOL_CHECK(is_pow2(cores_per_tile));
+  MEMPOOL_CHECK(is_pow2(banks_per_tile));
+  MEMPOOL_CHECK(is_pow2(bank_bytes) && bank_bytes >= 4);
+  MEMPOOL_CHECK(is_pow2(seq_region_bytes));
+  MEMPOOL_CHECK_MSG(seq_region_bytes >= banks_per_tile * 4,
+                    "sequential region below one interleaving sweep");
+  MEMPOOL_CHECK_MSG(seq_region_bytes <= banks_per_tile * bank_bytes,
+                    "sequential region exceeds a tile's SPM");
+  MEMPOOL_CHECK(core.num_outstanding >= 1);
+
+  switch (topology) {
+    case Topology::kTop1:
+    case Topology::kTop4: {
+      // Radix-4 butterfly over all tiles.
+      const unsigned tb = log2_exact(num_tiles);
+      MEMPOOL_CHECK_MSG(tb % 2 == 0 && num_tiles >= 4,
+                        "Top1/Top4 need num_tiles = 4^k >= 4");
+      break;
+    }
+    case Topology::kTopH: {
+      MEMPOOL_CHECK_MSG(num_groups == 4, "TopH is defined for 4 groups");
+      MEMPOOL_CHECK_MSG(num_tiles % num_groups == 0, "tiles not divisible");
+      const uint32_t tpg = tiles_per_group();
+      const unsigned gb = log2_exact(tpg);
+      MEMPOOL_CHECK_MSG(tpg >= 4 && gb % 2 == 0,
+                        "TopH needs tiles_per_group = 4^k >= 4");
+      break;
+    }
+    case Topology::kTopX:
+      break;
+  }
+}
+
+ClusterConfig ClusterConfig::paper(Topology t, bool scrambling) {
+  ClusterConfig cfg;
+  cfg.topology = t;
+  cfg.scrambling = scrambling;
+  cfg.validate();
+  return cfg;
+}
+
+ClusterConfig ClusterConfig::mini(Topology t, bool scrambling) {
+  ClusterConfig cfg;
+  cfg.topology = t;
+  cfg.scrambling = scrambling;
+  cfg.num_tiles = 16;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  cfg.bank_bytes = 1024;
+  cfg.seq_region_bytes = 4096;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace mempool

@@ -1,0 +1,74 @@
+#pragma once
+// Configuration of a MemPool cluster. The paper's silicon configuration is
+// the default: 64 tiles × 4 cores × 16 banks × 1 KiB = 256 cores and 1 MiB of
+// shared L1 SPM, with a 2 KiB 4-way shared I$ per tile.
+
+#include <cstdint>
+#include <string>
+
+#include "mem/icache.hpp"
+
+namespace mempool {
+
+/// The three candidate interconnect topologies of Section III-C plus the
+/// ideal, non-implementable full-crossbar baseline of Section V-C.
+enum class Topology : uint8_t {
+  kTop1,  ///< Single 64×64 radix-4 butterfly; one master port per tile.
+  kTop4,  ///< Four parallel butterflies; one dedicated port per core.
+  kTopH,  ///< Hierarchical: per-group 16×16 crossbar + inter-group butterflies.
+  kTopX,  ///< Ideal single-cycle conflict-free crossbar (baseline only).
+};
+
+const char* topology_name(Topology t);
+
+/// Snitch core timing parameters (Section III-B).
+struct CoreConfig {
+  uint32_t num_outstanding = 8;  ///< ROB entries = max outstanding loads.
+  uint32_t mul_latency = 3;      ///< Pipelined; result usable after N cycles.
+  uint32_t div_latency = 21;     ///< Blocking iterative divider.
+  uint32_t branch_taken_penalty = 2;  ///< Cycles consumed by a taken branch.
+  uint32_t stack_bytes = 1024;   ///< Per-core stack carved from the
+                                 ///< sequential region by the runtime.
+  /// Snitch's LSU tags outstanding loads and writes the register file on
+  /// response arrival (the tile ROB already restored per-tag ordering), so a
+  /// slow response does not head-of-line-block younger ones. Set to false to
+  /// model a strictly in-order single-port writeback instead.
+  bool writeback_on_arrival = true;
+};
+
+struct ClusterConfig {
+  Topology topology = Topology::kTopH;
+  uint32_t num_tiles = 64;
+  uint32_t cores_per_tile = 4;
+  uint32_t banks_per_tile = 16;
+  uint32_t bank_bytes = 1024;       ///< 16 KiB SPM per tile (paper).
+  uint32_t seq_region_bytes = 4096; ///< 2^S bytes of sequential region/tile.
+  bool scrambling = true;           ///< Hybrid addressing scheme on/off.
+  uint32_t num_groups = 4;          ///< TopH local groups (paper: 4).
+  CoreConfig core;
+  ICacheConfig icache;
+
+  // --- derived quantities ---------------------------------------------------
+  uint32_t num_cores() const { return num_tiles * cores_per_tile; }
+  uint32_t num_banks() const { return num_tiles * banks_per_tile; }
+  uint32_t spm_bytes() const { return num_banks() * bank_bytes; }
+  uint32_t tiles_per_group() const { return num_tiles / num_groups; }
+  uint32_t group_of_tile(uint32_t tile) const { return tile / tiles_per_group(); }
+  uint32_t tile_of_core(uint32_t core) const { return core / cores_per_tile; }
+
+  /// Display name including the scrambling suffix used in Figure 7
+  /// ("TopHS" = TopH with scrambling logic).
+  std::string display_name() const;
+
+  /// Throws CheckError when structurally invalid (non-power-of-two sizes,
+  /// butterfly radix mismatch, ...).
+  void validate() const;
+
+  // --- canonical configurations --------------------------------------------
+  /// The full 256-core paper configuration with the given topology.
+  static ClusterConfig paper(Topology t, bool scrambling);
+  /// A 16-tile / 64-core miniature for fast unit tests (all topologies).
+  static ClusterConfig mini(Topology t, bool scrambling = true);
+};
+
+}  // namespace mempool

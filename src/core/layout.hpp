@@ -1,0 +1,61 @@
+#pragma once
+// CPU-visible memory layout of a MemPool cluster: the interleaved physical
+// map plus the hybrid-addressing scrambler sitting in the cores' address
+// decoders. This is the single place where a CPU byte address is translated
+// into (physical address, tile, bank) routing fields.
+
+#include <cstdint>
+
+#include "core/cluster_config.hpp"
+#include "mem/addr_map.hpp"
+#include "mem/scrambler.hpp"
+#include "sim/packet.hpp"
+
+namespace mempool {
+
+/// Testbench peripheral addresses (handled core-locally, never routed).
+inline constexpr uint32_t kCtrlBase = 0xC000'0000u;
+inline constexpr uint32_t kCtrlExit = kCtrlBase + 0x0;   ///< write: halt core
+inline constexpr uint32_t kCtrlPutChar = kCtrlBase + 0x4;///< write: console
+
+class MemoryLayout {
+ public:
+  explicit MemoryLayout(const ClusterConfig& cfg)
+      : map_(cfg.num_tiles, cfg.banks_per_tile, cfg.bank_bytes),
+        scrambler_(map_, cfg.seq_region_bytes, cfg.scrambling) {}
+
+  const AddressMap& map() const { return map_; }
+  const Scrambler& scrambler() const { return scrambler_; }
+
+  bool is_spm(uint32_t cpu_addr) const { return map_.contains(cpu_addr); }
+  bool is_ctrl(uint32_t cpu_addr) const {
+    return cpu_addr >= kCtrlBase && cpu_addr < kCtrlBase + 0x100;
+  }
+
+  /// Physical SPM location of a CPU address (scrambler applied).
+  BankLocation locate(uint32_t cpu_addr) const {
+    return map_.locate(scrambler_.scramble(cpu_addr));
+  }
+
+  /// Fill a request packet's routing fields from a CPU address.
+  void route(Packet& p, uint32_t cpu_addr) const {
+    const uint32_t phys = scrambler_.scramble(cpu_addr);
+    const BankLocation loc = map_.locate(phys);
+    p.addr = phys;
+    p.dst_tile = static_cast<uint16_t>(loc.tile);
+    p.dst_bank = static_cast<uint16_t>(loc.bank);
+    p.dst_row = loc.row;
+  }
+
+  /// First CPU address above the sequential window (start of the interleaved
+  /// heap used for shared data).
+  uint32_t interleaved_base() const {
+    return scrambler_.enabled() ? scrambler_.seq_total_bytes() : 0;
+  }
+
+ private:
+  AddressMap map_;
+  Scrambler scrambler_;
+};
+
+}  // namespace mempool

@@ -1,0 +1,115 @@
+#pragma once
+// Cycle-level timing model of the Snitch core (Zaruba et al.): a single-issue,
+// single-stage RV32IMA core with a configurable number of outstanding loads
+// (Section III-B: "Snitch supports a configurable number of outstanding load
+// instructions, which is useful to hide the SPM access latency").
+//
+// Scoreboarding: every in-flight load/AMO marks its destination register
+// pending; an instruction that reads or writes a pending register stalls.
+// Responses return out of order from banks at different distances and are
+// retired in order through the per-core ROB, one per cycle.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/cluster_config.hpp"
+#include "core/layout.hpp"
+#include "isa/encoding.hpp"
+#include "mem/icache.hpp"
+#include "mem/rob.hpp"
+
+namespace mempool {
+
+class SnitchCore final : public Client {
+ public:
+  /// @param program   pre-decoded instruction image (fetch timing still goes
+  ///                  through the shared per-tile I$).
+  /// @param program_base virtual address of program[0].
+  SnitchCore(std::string name, uint16_t id, uint16_t tile,
+             const ClusterConfig& cfg, const MemoryLayout* layout,
+             ICache* icache, const std::vector<isa::Instr>* program,
+             uint32_t program_base, uint32_t boot_pc);
+
+  void deliver(const Packet& resp) override;
+  void evaluate(uint64_t cycle) override;
+
+  bool halted() const { return halted_; }
+  uint32_t exit_code() const { return exit_code_; }
+  const std::string& console() const { return console_; }
+
+  uint32_t reg(unsigned i) const { return regs_[i]; }
+  void set_reg(unsigned i, uint32_t v) {
+    if (i != 0) regs_[i] = v;
+  }
+  uint32_t pc() const { return pc_; }
+
+  /// Executed-instruction and stall statistics (power model + reports).
+  struct Stats {
+    uint64_t instret = 0;
+    uint64_t cycles = 0;          ///< Cycles evaluated while not halted.
+    uint64_t stall_fetch = 0;     ///< I$ miss.
+    uint64_t stall_raw = 0;       ///< Operand not ready (scoreboard).
+    uint64_t stall_rob = 0;       ///< ROB full.
+    uint64_t stall_port = 0;      ///< Request port backpressure.
+    uint64_t stall_ctrl = 0;      ///< Branch penalty / blocking divide.
+    uint64_t alu = 0;             ///< Simple integer ops (add class).
+    uint64_t mul = 0;
+    uint64_t div = 0;
+    uint64_t branches = 0;
+    uint64_t loads_local = 0;     ///< Loads targeting the own tile.
+    uint64_t loads_remote = 0;
+    uint64_t stores_local = 0;
+    uint64_t stores_remote = 0;
+    uint64_t amos = 0;
+    uint64_t resp_latency_sum = 0;  ///< Sum of round-trip latencies (cycles).
+    uint64_t resp_count = 0;
+    double avg_load_latency() const {
+      return resp_count ? static_cast<double>(resp_latency_sum) /
+                              static_cast<double>(resp_count)
+                        : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool reg_ready(uint8_t r, uint64_t cycle) const {
+    return !mem_pending_[r] && alu_ready_[r] <= cycle;
+  }
+  uint32_t csr_read(uint16_t csr, uint64_t cycle) const;
+  void csr_write(uint16_t csr, uint32_t value);
+  void writeback(const RobEntry& e);
+  void halt(uint32_t code) {
+    halted_ = true;
+    exit_code_ = code;
+  }
+
+  const ClusterConfig* cfg_;
+  const MemoryLayout* layout_;
+  ICache* icache_;
+  const std::vector<isa::Instr>* program_;
+  uint32_t program_base_;
+
+  std::array<uint32_t, 32> regs_{};
+  uint32_t pc_;
+  bool halted_ = false;
+  uint32_t exit_code_ = 0;
+  std::string console_;
+
+  ReorderBuffer rob_;
+  std::array<bool, 32> mem_pending_{};
+  std::array<uint64_t, 32> alu_ready_{};  ///< Cycle the value becomes usable.
+  uint64_t next_issue_cycle_ = 0;
+  // Instruction register: while stalled on the same pc the core does not
+  // re-access the I$ (matters for the energy model's fetch counts).
+  bool ir_valid_ = false;
+  uint32_t ir_pc_ = 0;
+  uint64_t last_cycle_ = 0;  ///< For response-latency accounting.
+
+  uint32_t mscratch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mempool

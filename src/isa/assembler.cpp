@@ -1,0 +1,201 @@
+#include "isa/assembler.hpp"
+
+#include "common/check.hpp"
+
+namespace mempool::isa {
+
+void Assembler::l(const std::string& name) {
+  MEMPOOL_CHECK_MSG(labels_.find(name) == labels_.end(),
+                    "label '" << name << "' bound twice");
+  labels_[name] = pc();
+}
+
+uint32_t Assembler::label_address(const std::string& name) const {
+  const auto it = labels_.find(name);
+  MEMPOOL_CHECK_MSG(it != labels_.end(), "unknown label '" << name << "'");
+  return it->second;
+}
+
+void Assembler::fixup(FixKind kind, const std::string& label) {
+  fixups_.push_back({words_.size(), kind, label});
+}
+
+// --- RV32I -------------------------------------------------------------------
+
+void Assembler::lui(Reg rd, int32_t hi20) { words_.push_back(enc_u(hi20, rd, kOpLui)); }
+void Assembler::auipc(Reg rd, int32_t hi20) { words_.push_back(enc_u(hi20, rd, kOpAuipc)); }
+
+void Assembler::jal(Reg rd, const std::string& target) {
+  fixup(FixKind::kJal, target);
+  words_.push_back(enc_j(0, rd, kOpJal));
+}
+
+void Assembler::jalr(Reg rd, Reg rs1, int32_t imm) {
+  words_.push_back(enc_i(imm, rs1, 0b000, rd, kOpJalr));
+}
+
+#define MEMPOOL_BRANCH(NAME, F3)                                        \
+  void Assembler::NAME(Reg rs1, Reg rs2, const std::string& target) {   \
+    fixup(FixKind::kBranch, target);                                    \
+    words_.push_back(enc_b(0, rs2, rs1, F3, kOpBranch));                \
+  }
+MEMPOOL_BRANCH(beq, 0b000)
+MEMPOOL_BRANCH(bne, 0b001)
+MEMPOOL_BRANCH(blt, 0b100)
+MEMPOOL_BRANCH(bge, 0b101)
+MEMPOOL_BRANCH(bltu, 0b110)
+MEMPOOL_BRANCH(bgeu, 0b111)
+#undef MEMPOOL_BRANCH
+
+#define MEMPOOL_LOAD(NAME, F3)                                 \
+  void Assembler::NAME(Reg rd, Reg rs1, int32_t imm) {         \
+    words_.push_back(enc_i(imm, rs1, F3, rd, kOpLoad));        \
+  }
+MEMPOOL_LOAD(lb, 0b000)
+MEMPOOL_LOAD(lh, 0b001)
+MEMPOOL_LOAD(lw, 0b010)
+MEMPOOL_LOAD(lbu, 0b100)
+MEMPOOL_LOAD(lhu, 0b101)
+#undef MEMPOOL_LOAD
+
+#define MEMPOOL_STORE(NAME, F3)                                \
+  void Assembler::NAME(Reg rs2, Reg rs1, int32_t imm) {        \
+    words_.push_back(enc_s(imm, rs2, rs1, F3, kOpStore));      \
+  }
+MEMPOOL_STORE(sb, 0b000)
+MEMPOOL_STORE(sh, 0b001)
+MEMPOOL_STORE(sw, 0b010)
+#undef MEMPOOL_STORE
+
+#define MEMPOOL_OPIMM(NAME, F3)                                \
+  void Assembler::NAME(Reg rd, Reg rs1, int32_t imm) {         \
+    MEMPOOL_CHECK_MSG(imm >= -2048 && imm <= 2047,             \
+                      #NAME " immediate out of range: " << imm); \
+    words_.push_back(enc_i(imm, rs1, F3, rd, kOpImm));         \
+  }
+MEMPOOL_OPIMM(addi, 0b000)
+MEMPOOL_OPIMM(slti, 0b010)
+MEMPOOL_OPIMM(sltiu, 0b011)
+MEMPOOL_OPIMM(xori, 0b100)
+MEMPOOL_OPIMM(ori, 0b110)
+MEMPOOL_OPIMM(andi, 0b111)
+#undef MEMPOOL_OPIMM
+
+void Assembler::slli(Reg rd, Reg rs1, unsigned shamt) {
+  MEMPOOL_CHECK(shamt < 32);
+  words_.push_back(enc_i(static_cast<int32_t>(shamt), rs1, 0b001, rd, kOpImm));
+}
+void Assembler::srli(Reg rd, Reg rs1, unsigned shamt) {
+  MEMPOOL_CHECK(shamt < 32);
+  words_.push_back(enc_i(static_cast<int32_t>(shamt), rs1, 0b101, rd, kOpImm));
+}
+void Assembler::srai(Reg rd, Reg rs1, unsigned shamt) {
+  MEMPOOL_CHECK(shamt < 32);
+  words_.push_back(
+      enc_i(static_cast<int32_t>(shamt | 0x400), rs1, 0b101, rd, kOpImm));
+}
+
+#define MEMPOOL_OPREG(NAME, F7, F3)                            \
+  void Assembler::NAME(Reg rd, Reg rs1, Reg rs2) {             \
+    words_.push_back(enc_r(F7, rs2, rs1, F3, rd, kOpReg));     \
+  }
+MEMPOOL_OPREG(add, 0b0000000, 0b000)
+MEMPOOL_OPREG(sub, 0b0100000, 0b000)
+MEMPOOL_OPREG(sll, 0b0000000, 0b001)
+MEMPOOL_OPREG(slt, 0b0000000, 0b010)
+MEMPOOL_OPREG(sltu, 0b0000000, 0b011)
+MEMPOOL_OPREG(xor_, 0b0000000, 0b100)
+MEMPOOL_OPREG(srl, 0b0000000, 0b101)
+MEMPOOL_OPREG(sra, 0b0100000, 0b101)
+MEMPOOL_OPREG(or_, 0b0000000, 0b110)
+MEMPOOL_OPREG(and_, 0b0000000, 0b111)
+MEMPOOL_OPREG(mul, 0b0000001, 0b000)
+MEMPOOL_OPREG(mulh, 0b0000001, 0b001)
+MEMPOOL_OPREG(mulhsu, 0b0000001, 0b010)
+MEMPOOL_OPREG(mulhu, 0b0000001, 0b011)
+MEMPOOL_OPREG(div, 0b0000001, 0b100)
+MEMPOOL_OPREG(divu, 0b0000001, 0b101)
+MEMPOOL_OPREG(rem, 0b0000001, 0b110)
+MEMPOOL_OPREG(remu, 0b0000001, 0b111)
+#undef MEMPOOL_OPREG
+
+void Assembler::fence() { words_.push_back(0x0000000Fu); }
+void Assembler::ecall() { words_.push_back(0x00000073u); }
+void Assembler::ebreak() { words_.push_back(0x00100073u); }
+
+void Assembler::csrrw(Reg rd, uint16_t csr, Reg rs1) {
+  words_.push_back(enc_i(static_cast<int32_t>(csr), rs1, 0b001, rd, kOpSystem));
+}
+void Assembler::csrrs(Reg rd, uint16_t csr, Reg rs1) {
+  words_.push_back(enc_i(static_cast<int32_t>(csr), rs1, 0b010, rd, kOpSystem));
+}
+void Assembler::csrrc(Reg rd, uint16_t csr, Reg rs1) {
+  words_.push_back(enc_i(static_cast<int32_t>(csr), rs1, 0b011, rd, kOpSystem));
+}
+
+#define MEMPOOL_AMO(NAME, F5)                                 \
+  void Assembler::NAME(Reg rd, Reg rs2, Reg rs1) {            \
+    words_.push_back(enc_amo(F5, rs2, rs1, rd));              \
+  }
+MEMPOOL_AMO(amoswap_w, 0b00001)
+MEMPOOL_AMO(amoadd_w, 0b00000)
+MEMPOOL_AMO(amoxor_w, 0b00100)
+MEMPOOL_AMO(amoand_w, 0b01100)
+MEMPOOL_AMO(amoor_w, 0b01000)
+MEMPOOL_AMO(amomin_w, 0b10000)
+MEMPOOL_AMO(amomax_w, 0b10100)
+MEMPOOL_AMO(amominu_w, 0b11000)
+MEMPOOL_AMO(amomaxu_w, 0b11100)
+#undef MEMPOOL_AMO
+
+void Assembler::lr_w(Reg rd, Reg rs1) {
+  words_.push_back(enc_amo(0b00010, Reg::zero, rs1, rd));
+}
+void Assembler::sc_w(Reg rd, Reg rs2, Reg rs1) {
+  words_.push_back(enc_amo(0b00011, rs2, rs1, rd));
+}
+
+void Assembler::li(Reg rd, int32_t value) {
+  if (value >= -2048 && value <= 2047) {
+    addi(rd, Reg::zero, value);
+    return;
+  }
+  // lui loads bits [31:12]; addi adds a sign-extended 12-bit value, so if
+  // bit 11 of the constant is set we must pre-increment the upper part.
+  const uint32_t u = static_cast<uint32_t>(value);
+  int32_t hi = static_cast<int32_t>((u + 0x800u) >> 12);
+  const int32_t lo = sign_extend(u & 0xFFFu, 12);
+  lui(rd, hi);
+  if (lo != 0) addi(rd, rd, lo);
+}
+
+std::vector<uint32_t> Assembler::finish() {
+  for (const Fixup& f : fixups_) {
+    const uint32_t target = label_address(f.label);
+    const uint32_t at = base_ + 4 * static_cast<uint32_t>(f.index);
+    const int32_t off = static_cast<int32_t>(target - at);
+    uint32_t& w = words_[f.index];
+    switch (f.kind) {
+      case FixKind::kBranch: {
+        MEMPOOL_CHECK_MSG(off >= -4096 && off <= 4094 && (off & 1) == 0,
+                          "branch offset " << off << " out of range");
+        const Reg rs2 = static_cast<Reg>(bits(w, 20, 5));
+        const Reg rs1 = static_cast<Reg>(bits(w, 15, 5));
+        const unsigned f3 = bits(w, 12, 3);
+        w = enc_b(off, rs2, rs1, f3, kOpBranch);
+        break;
+      }
+      case FixKind::kJal: {
+        MEMPOOL_CHECK_MSG(off >= -(1 << 20) && off < (1 << 20) && (off & 1) == 0,
+                          "jal offset " << off << " out of range");
+        const Reg rd = static_cast<Reg>(bits(w, 7, 5));
+        w = enc_j(off, rd, kOpJal);
+        break;
+      }
+    }
+  }
+  fixups_.clear();
+  return words_;
+}
+
+}  // namespace mempool::isa

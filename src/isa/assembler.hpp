@@ -1,0 +1,161 @@
+#pragma once
+// Programmatic RV32IMA assembler with labels. The benchmark kernels
+// (Section V-C) are written against this builder; a textual front-end lives
+// in isa/text_asm.hpp.
+//
+// Usage:
+//   Assembler a;
+//   a.l("loop");
+//   a.lw(Reg::t0, Reg::a0, 0);
+//   a.addi(Reg::a0, Reg::a0, 4);
+//   a.bne(Reg::t0, Reg::zero, "loop");
+//   std::vector<uint32_t> words = a.finish();
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace mempool::isa {
+
+class Assembler {
+ public:
+  /// @param base virtual address of the first emitted word (label targets and
+  ///        pc-relative fixups are computed against it).
+  explicit Assembler(uint32_t base = 0x8000'0000u) : base_(base) {}
+
+  // --- labels --------------------------------------------------------------
+
+  /// Bind label @p name to the current position.
+  void l(const std::string& name);
+  /// Address of a bound label.
+  uint32_t label_address(const std::string& name) const;
+  /// Current emission address.
+  uint32_t pc() const { return base_ + 4 * static_cast<uint32_t>(words_.size()); }
+
+  // --- RV32I ---------------------------------------------------------------
+
+  void lui(Reg rd, int32_t hi20);
+  void auipc(Reg rd, int32_t hi20);
+  void jal(Reg rd, const std::string& target);
+  void jalr(Reg rd, Reg rs1, int32_t imm);
+  void beq(Reg rs1, Reg rs2, const std::string& target);
+  void bne(Reg rs1, Reg rs2, const std::string& target);
+  void blt(Reg rs1, Reg rs2, const std::string& target);
+  void bge(Reg rs1, Reg rs2, const std::string& target);
+  void bltu(Reg rs1, Reg rs2, const std::string& target);
+  void bgeu(Reg rs1, Reg rs2, const std::string& target);
+  void lb(Reg rd, Reg rs1, int32_t imm);
+  void lh(Reg rd, Reg rs1, int32_t imm);
+  void lw(Reg rd, Reg rs1, int32_t imm);
+  void lbu(Reg rd, Reg rs1, int32_t imm);
+  void lhu(Reg rd, Reg rs1, int32_t imm);
+  void sb(Reg rs2, Reg rs1, int32_t imm);
+  void sh(Reg rs2, Reg rs1, int32_t imm);
+  void sw(Reg rs2, Reg rs1, int32_t imm);
+  void addi(Reg rd, Reg rs1, int32_t imm);
+  void slti(Reg rd, Reg rs1, int32_t imm);
+  void sltiu(Reg rd, Reg rs1, int32_t imm);
+  void xori(Reg rd, Reg rs1, int32_t imm);
+  void ori(Reg rd, Reg rs1, int32_t imm);
+  void andi(Reg rd, Reg rs1, int32_t imm);
+  void slli(Reg rd, Reg rs1, unsigned shamt);
+  void srli(Reg rd, Reg rs1, unsigned shamt);
+  void srai(Reg rd, Reg rs1, unsigned shamt);
+  void add(Reg rd, Reg rs1, Reg rs2);
+  void sub(Reg rd, Reg rs1, Reg rs2);
+  void sll(Reg rd, Reg rs1, Reg rs2);
+  void slt(Reg rd, Reg rs1, Reg rs2);
+  void sltu(Reg rd, Reg rs1, Reg rs2);
+  void xor_(Reg rd, Reg rs1, Reg rs2);
+  void srl(Reg rd, Reg rs1, Reg rs2);
+  void sra(Reg rd, Reg rs1, Reg rs2);
+  void or_(Reg rd, Reg rs1, Reg rs2);
+  void and_(Reg rd, Reg rs1, Reg rs2);
+  void fence();
+  void ecall();
+  void ebreak();
+
+  // --- Zicsr ---------------------------------------------------------------
+
+  void csrrw(Reg rd, uint16_t csr, Reg rs1);
+  void csrrs(Reg rd, uint16_t csr, Reg rs1);
+  void csrrc(Reg rd, uint16_t csr, Reg rs1);
+  void csrr(Reg rd, uint16_t csr) { csrrs(rd, csr, Reg::zero); }
+  void csrw(uint16_t csr, Reg rs1) { csrrw(Reg::zero, csr, rs1); }
+
+  // --- M -------------------------------------------------------------------
+
+  void mul(Reg rd, Reg rs1, Reg rs2);
+  void mulh(Reg rd, Reg rs1, Reg rs2);
+  void mulhsu(Reg rd, Reg rs1, Reg rs2);
+  void mulhu(Reg rd, Reg rs1, Reg rs2);
+  void div(Reg rd, Reg rs1, Reg rs2);
+  void divu(Reg rd, Reg rs1, Reg rs2);
+  void rem(Reg rd, Reg rs1, Reg rs2);
+  void remu(Reg rd, Reg rs1, Reg rs2);
+
+  // --- A (word) ------------------------------------------------------------
+
+  void lr_w(Reg rd, Reg rs1);
+  void sc_w(Reg rd, Reg rs2, Reg rs1);
+  void amoswap_w(Reg rd, Reg rs2, Reg rs1);
+  void amoadd_w(Reg rd, Reg rs2, Reg rs1);
+  void amoxor_w(Reg rd, Reg rs2, Reg rs1);
+  void amoand_w(Reg rd, Reg rs2, Reg rs1);
+  void amoor_w(Reg rd, Reg rs2, Reg rs1);
+  void amomin_w(Reg rd, Reg rs2, Reg rs1);
+  void amomax_w(Reg rd, Reg rs2, Reg rs1);
+  void amominu_w(Reg rd, Reg rs2, Reg rs1);
+  void amomaxu_w(Reg rd, Reg rs2, Reg rs1);
+
+  // --- pseudo-instructions ---------------------------------------------------
+
+  void nop() { addi(Reg::zero, Reg::zero, 0); }
+  void mv(Reg rd, Reg rs) { addi(rd, rs, 0); }
+  void not_(Reg rd, Reg rs) { xori(rd, rs, -1); }
+  void neg(Reg rd, Reg rs) { sub(rd, Reg::zero, rs); }
+  void seqz(Reg rd, Reg rs) { sltiu(rd, rs, 1); }
+  void snez(Reg rd, Reg rs) { sltu(rd, Reg::zero, rs); }
+  void beqz(Reg rs, const std::string& t) { beq(rs, Reg::zero, t); }
+  void bnez(Reg rs, const std::string& t) { bne(rs, Reg::zero, t); }
+  void blez(Reg rs, const std::string& t) { bge(Reg::zero, rs, t); }
+  void bgtz(Reg rs, const std::string& t) { blt(Reg::zero, rs, t); }
+  void j(const std::string& t) { jal(Reg::zero, t); }
+  void call(const std::string& t) { jal(Reg::ra, t); }
+  void ret() { jalr(Reg::zero, Reg::ra, 0); }
+  /// Load an arbitrary 32-bit constant (lui+addi, or a single addi/lui when
+  /// one suffices).
+  void li(Reg rd, int32_t value);
+
+  /// Emit a raw word (data or manually encoded instruction).
+  void word(uint32_t w) { words_.push_back(w); }
+
+  // --- finalization ----------------------------------------------------------
+
+  /// Resolve all fixups and return the image. The assembler stays usable
+  /// (finish() is idempotent).
+  std::vector<uint32_t> finish();
+
+  uint32_t base() const { return base_; }
+  std::size_t size_words() const { return words_.size(); }
+
+ private:
+  enum class FixKind : uint8_t { kBranch, kJal };
+  struct Fixup {
+    std::size_t index;
+    FixKind kind;
+    std::string label;
+  };
+
+  void fixup(FixKind kind, const std::string& label);
+
+  uint32_t base_;
+  std::vector<uint32_t> words_;
+  std::unordered_map<std::string, uint32_t> labels_;  // name -> address
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace mempool::isa

@@ -1,0 +1,22 @@
+#pragma once
+// CSR addresses implemented by the Snitch core model. The paper's cores are
+// bare RV32IMA; we expose the standard machine counters plus a few custom
+// read-only CSRs the runtime uses for work distribution.
+
+#include <cstdint>
+
+namespace mempool::isa {
+
+inline constexpr uint16_t kCsrMscratch = 0x340;
+inline constexpr uint16_t kCsrMcycle = 0xB00;
+inline constexpr uint16_t kCsrMinstret = 0xB02;
+inline constexpr uint16_t kCsrMcycleH = 0xB80;
+inline constexpr uint16_t kCsrMinstretH = 0xB82;
+inline constexpr uint16_t kCsrMhartid = 0xF14;
+
+// Custom machine read-only CSRs (0xFC0+ is the vendor read-only space).
+inline constexpr uint16_t kCsrNumCores = 0xFC0;     ///< Total cores.
+inline constexpr uint16_t kCsrTileId = 0xFC1;       ///< This core's tile.
+inline constexpr uint16_t kCsrCoresPerTile = 0xFC2;
+
+}  // namespace mempool::isa

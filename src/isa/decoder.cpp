@@ -1,0 +1,212 @@
+#include "isa/decoder.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace mempool::isa {
+
+namespace {
+
+int32_t imm_i(uint32_t raw) { return sign_extend(raw >> 20, 12); }
+
+int32_t imm_s(uint32_t raw) {
+  return sign_extend((bits(raw, 25, 7) << 5) | bits(raw, 7, 5), 12);
+}
+
+int32_t imm_b(uint32_t raw) {
+  const uint32_t v = (bits(raw, 31, 1) << 12) | (bits(raw, 7, 1) << 11) |
+                     (bits(raw, 25, 6) << 5) | (bits(raw, 8, 4) << 1);
+  return sign_extend(v, 13);
+}
+
+int32_t imm_u(uint32_t raw) { return static_cast<int32_t>(raw & 0xFFFFF000u); }
+
+int32_t imm_j(uint32_t raw) {
+  const uint32_t v = (bits(raw, 31, 1) << 20) | (bits(raw, 12, 8) << 12) |
+                     (bits(raw, 20, 1) << 11) | (bits(raw, 21, 10) << 1);
+  return sign_extend(v, 21);
+}
+
+}  // namespace
+
+Instr decode(uint32_t raw) {
+  Instr d;
+  d.raw = raw;
+  d.rd = static_cast<uint8_t>(bits(raw, 7, 5));
+  d.rs1 = static_cast<uint8_t>(bits(raw, 15, 5));
+  d.rs2 = static_cast<uint8_t>(bits(raw, 20, 5));
+  const unsigned opcode = bits(raw, 0, 7);
+  const unsigned f3 = bits(raw, 12, 3);
+  const unsigned f7 = bits(raw, 25, 7);
+
+  switch (opcode) {
+    case kOpLui:
+      d.kind = Kind::kLui;
+      d.imm = imm_u(raw);
+      return d;
+    case kOpAuipc:
+      d.kind = Kind::kAuipc;
+      d.imm = imm_u(raw);
+      return d;
+    case kOpJal:
+      d.kind = Kind::kJal;
+      d.imm = imm_j(raw);
+      return d;
+    case kOpJalr:
+      if (f3 != 0) break;
+      d.kind = Kind::kJalr;
+      d.imm = imm_i(raw);
+      return d;
+    case kOpBranch: {
+      d.imm = imm_b(raw);
+      switch (f3) {
+        case 0b000: d.kind = Kind::kBeq; return d;
+        case 0b001: d.kind = Kind::kBne; return d;
+        case 0b100: d.kind = Kind::kBlt; return d;
+        case 0b101: d.kind = Kind::kBge; return d;
+        case 0b110: d.kind = Kind::kBltu; return d;
+        case 0b111: d.kind = Kind::kBgeu; return d;
+        default: break;
+      }
+      break;
+    }
+    case kOpLoad: {
+      d.imm = imm_i(raw);
+      switch (f3) {
+        case 0b000: d.kind = Kind::kLb; return d;
+        case 0b001: d.kind = Kind::kLh; return d;
+        case 0b010: d.kind = Kind::kLw; return d;
+        case 0b100: d.kind = Kind::kLbu; return d;
+        case 0b101: d.kind = Kind::kLhu; return d;
+        default: break;
+      }
+      break;
+    }
+    case kOpStore: {
+      d.imm = imm_s(raw);
+      switch (f3) {
+        case 0b000: d.kind = Kind::kSb; return d;
+        case 0b001: d.kind = Kind::kSh; return d;
+        case 0b010: d.kind = Kind::kSw; return d;
+        default: break;
+      }
+      break;
+    }
+    case kOpImm: {
+      d.imm = imm_i(raw);
+      switch (f3) {
+        case 0b000: d.kind = Kind::kAddi; return d;
+        case 0b010: d.kind = Kind::kSlti; return d;
+        case 0b011: d.kind = Kind::kSltiu; return d;
+        case 0b100: d.kind = Kind::kXori; return d;
+        case 0b110: d.kind = Kind::kOri; return d;
+        case 0b111: d.kind = Kind::kAndi; return d;
+        case 0b001:
+          if (f7 != 0) break;
+          d.kind = Kind::kSlli;
+          d.imm = static_cast<int32_t>(d.rs2);
+          return d;
+        case 0b101:
+          d.imm = static_cast<int32_t>(d.rs2);
+          if (f7 == 0) {
+            d.kind = Kind::kSrli;
+            return d;
+          }
+          if (f7 == 0b0100000) {
+            d.kind = Kind::kSrai;
+            return d;
+          }
+          break;
+        default: break;
+      }
+      break;
+    }
+    case kOpReg: {
+      if (f7 == 0b0000001) {  // M extension
+        switch (f3) {
+          case 0b000: d.kind = Kind::kMul; return d;
+          case 0b001: d.kind = Kind::kMulh; return d;
+          case 0b010: d.kind = Kind::kMulhsu; return d;
+          case 0b011: d.kind = Kind::kMulhu; return d;
+          case 0b100: d.kind = Kind::kDiv; return d;
+          case 0b101: d.kind = Kind::kDivu; return d;
+          case 0b110: d.kind = Kind::kRem; return d;
+          case 0b111: d.kind = Kind::kRemu; return d;
+        }
+        break;
+      }
+      switch (f3) {
+        case 0b000:
+          if (f7 == 0) { d.kind = Kind::kAdd; return d; }
+          if (f7 == 0b0100000) { d.kind = Kind::kSub; return d; }
+          break;
+        case 0b001:
+          if (f7 == 0) { d.kind = Kind::kSll; return d; }
+          break;
+        case 0b010:
+          if (f7 == 0) { d.kind = Kind::kSlt; return d; }
+          break;
+        case 0b011:
+          if (f7 == 0) { d.kind = Kind::kSltu; return d; }
+          break;
+        case 0b100:
+          if (f7 == 0) { d.kind = Kind::kXor; return d; }
+          break;
+        case 0b101:
+          if (f7 == 0) { d.kind = Kind::kSrl; return d; }
+          if (f7 == 0b0100000) { d.kind = Kind::kSra; return d; }
+          break;
+        case 0b110:
+          if (f7 == 0) { d.kind = Kind::kOr; return d; }
+          break;
+        case 0b111:
+          if (f7 == 0) { d.kind = Kind::kAnd; return d; }
+          break;
+      }
+      break;
+    }
+    case kOpFence:
+      d.kind = Kind::kFence;
+      return d;
+    case kOpSystem: {
+      if (f3 == 0) {
+        if (raw == 0x00000073u) { d.kind = Kind::kEcall; return d; }
+        if (raw == 0x00100073u) { d.kind = Kind::kEbreak; return d; }
+        break;
+      }
+      d.csr = static_cast<uint16_t>(raw >> 20);
+      switch (f3) {
+        case 0b001: d.kind = Kind::kCsrrw; return d;
+        case 0b010: d.kind = Kind::kCsrrs; return d;
+        case 0b011: d.kind = Kind::kCsrrc; return d;
+        case 0b101: d.kind = Kind::kCsrrwi; d.imm = d.rs1; return d;
+        case 0b110: d.kind = Kind::kCsrrsi; d.imm = d.rs1; return d;
+        case 0b111: d.kind = Kind::kCsrrci; d.imm = d.rs1; return d;
+        default: break;
+      }
+      break;
+    }
+    case kOpAmo: {
+      if (f3 != 0b010) break;
+      switch (bits(raw, 27, 5)) {
+        case 0b00010: d.kind = Kind::kLrW; return d;
+        case 0b00011: d.kind = Kind::kScW; return d;
+        case 0b00001: d.kind = Kind::kAmoSwapW; return d;
+        case 0b00000: d.kind = Kind::kAmoAddW; return d;
+        case 0b00100: d.kind = Kind::kAmoXorW; return d;
+        case 0b01100: d.kind = Kind::kAmoAndW; return d;
+        case 0b01000: d.kind = Kind::kAmoOrW; return d;
+        case 0b10000: d.kind = Kind::kAmoMinW; return d;
+        case 0b10100: d.kind = Kind::kAmoMaxW; return d;
+        case 0b11000: d.kind = Kind::kAmoMinuW; return d;
+        case 0b11100: d.kind = Kind::kAmoMaxuW; return d;
+        default: break;
+      }
+      break;
+    }
+    default: break;
+  }
+  d.kind = Kind::kIllegal;
+  return d;
+}
+
+}  // namespace mempool::isa

@@ -1,0 +1,14 @@
+#pragma once
+// RV32IMA decoder: raw 32-bit word -> semantic Instr.
+
+#include <cstdint>
+
+#include "isa/encoding.hpp"
+
+namespace mempool::isa {
+
+/// Decode one instruction word. Unknown encodings yield Kind::kIllegal; the
+/// core model treats executing an illegal instruction as a fatal error.
+Instr decode(uint32_t raw);
+
+}  // namespace mempool::isa

@@ -1,0 +1,165 @@
+#include "isa/disasm.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "isa/decoder.hpp"
+
+namespace mempool::isa {
+
+namespace {
+constexpr std::array<const char*, 32> kRegNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+struct Names {
+  const char* mnemonic;
+  enum class Fmt { kR, kI, kLoad, kStore, kBranch, kU, kJ, kJalr, kCsr,
+                   kCsrImm, kAmo, kLr, kNone, kShift } fmt;
+};
+
+Names names_of(Kind k) {
+  using F = Names::Fmt;
+  switch (k) {
+    case Kind::kLui: return {"lui", F::kU};
+    case Kind::kAuipc: return {"auipc", F::kU};
+    case Kind::kJal: return {"jal", F::kJ};
+    case Kind::kJalr: return {"jalr", F::kJalr};
+    case Kind::kBeq: return {"beq", F::kBranch};
+    case Kind::kBne: return {"bne", F::kBranch};
+    case Kind::kBlt: return {"blt", F::kBranch};
+    case Kind::kBge: return {"bge", F::kBranch};
+    case Kind::kBltu: return {"bltu", F::kBranch};
+    case Kind::kBgeu: return {"bgeu", F::kBranch};
+    case Kind::kLb: return {"lb", F::kLoad};
+    case Kind::kLh: return {"lh", F::kLoad};
+    case Kind::kLw: return {"lw", F::kLoad};
+    case Kind::kLbu: return {"lbu", F::kLoad};
+    case Kind::kLhu: return {"lhu", F::kLoad};
+    case Kind::kSb: return {"sb", F::kStore};
+    case Kind::kSh: return {"sh", F::kStore};
+    case Kind::kSw: return {"sw", F::kStore};
+    case Kind::kAddi: return {"addi", F::kI};
+    case Kind::kSlti: return {"slti", F::kI};
+    case Kind::kSltiu: return {"sltiu", F::kI};
+    case Kind::kXori: return {"xori", F::kI};
+    case Kind::kOri: return {"ori", F::kI};
+    case Kind::kAndi: return {"andi", F::kI};
+    case Kind::kSlli: return {"slli", F::kShift};
+    case Kind::kSrli: return {"srli", F::kShift};
+    case Kind::kSrai: return {"srai", F::kShift};
+    case Kind::kAdd: return {"add", F::kR};
+    case Kind::kSub: return {"sub", F::kR};
+    case Kind::kSll: return {"sll", F::kR};
+    case Kind::kSlt: return {"slt", F::kR};
+    case Kind::kSltu: return {"sltu", F::kR};
+    case Kind::kXor: return {"xor", F::kR};
+    case Kind::kSrl: return {"srl", F::kR};
+    case Kind::kSra: return {"sra", F::kR};
+    case Kind::kOr: return {"or", F::kR};
+    case Kind::kAnd: return {"and", F::kR};
+    case Kind::kFence: return {"fence", F::kNone};
+    case Kind::kEcall: return {"ecall", F::kNone};
+    case Kind::kEbreak: return {"ebreak", F::kNone};
+    case Kind::kCsrrw: return {"csrrw", F::kCsr};
+    case Kind::kCsrrs: return {"csrrs", F::kCsr};
+    case Kind::kCsrrc: return {"csrrc", F::kCsr};
+    case Kind::kCsrrwi: return {"csrrwi", F::kCsrImm};
+    case Kind::kCsrrsi: return {"csrrsi", F::kCsrImm};
+    case Kind::kCsrrci: return {"csrrci", F::kCsrImm};
+    case Kind::kMul: return {"mul", F::kR};
+    case Kind::kMulh: return {"mulh", F::kR};
+    case Kind::kMulhsu: return {"mulhsu", F::kR};
+    case Kind::kMulhu: return {"mulhu", F::kR};
+    case Kind::kDiv: return {"div", F::kR};
+    case Kind::kDivu: return {"divu", F::kR};
+    case Kind::kRem: return {"rem", F::kR};
+    case Kind::kRemu: return {"remu", F::kR};
+    case Kind::kLrW: return {"lr.w", F::kLr};
+    case Kind::kScW: return {"sc.w", F::kAmo};
+    case Kind::kAmoSwapW: return {"amoswap.w", F::kAmo};
+    case Kind::kAmoAddW: return {"amoadd.w", F::kAmo};
+    case Kind::kAmoXorW: return {"amoxor.w", F::kAmo};
+    case Kind::kAmoAndW: return {"amoand.w", F::kAmo};
+    case Kind::kAmoOrW: return {"amoor.w", F::kAmo};
+    case Kind::kAmoMinW: return {"amomin.w", F::kAmo};
+    case Kind::kAmoMaxW: return {"amomax.w", F::kAmo};
+    case Kind::kAmoMinuW: return {"amominu.w", F::kAmo};
+    case Kind::kAmoMaxuW: return {"amomaxu.w", F::kAmo};
+    case Kind::kIllegal: return {"<illegal>", F::kNone};
+  }
+  return {"<?>", F::kNone};
+}
+}  // namespace
+
+std::string reg_name(uint8_t reg) {
+  return reg < 32 ? kRegNames[reg] : "x?";
+}
+
+std::string disassemble(const Instr& d, uint32_t pc) {
+  const Names n = names_of(d.kind);
+  std::ostringstream os;
+  os << n.mnemonic;
+  using F = Names::Fmt;
+  switch (n.fmt) {
+    case F::kR:
+      os << ' ' << reg_name(d.rd) << ", " << reg_name(d.rs1) << ", "
+         << reg_name(d.rs2);
+      break;
+    case F::kI:
+      os << ' ' << reg_name(d.rd) << ", " << reg_name(d.rs1) << ", " << d.imm;
+      break;
+    case F::kShift:
+      os << ' ' << reg_name(d.rd) << ", " << reg_name(d.rs1) << ", " << d.imm;
+      break;
+    case F::kLoad:
+      os << ' ' << reg_name(d.rd) << ", " << d.imm << '(' << reg_name(d.rs1)
+         << ')';
+      break;
+    case F::kStore:
+      os << ' ' << reg_name(d.rs2) << ", " << d.imm << '(' << reg_name(d.rs1)
+         << ')';
+      break;
+    case F::kBranch:
+      os << ' ' << reg_name(d.rs1) << ", " << reg_name(d.rs2) << ", 0x"
+         << std::hex << pc + static_cast<uint32_t>(d.imm);
+      break;
+    case F::kU:
+      os << ' ' << reg_name(d.rd) << ", 0x" << std::hex
+         << (static_cast<uint32_t>(d.imm) >> 12);
+      break;
+    case F::kJ:
+      os << ' ' << reg_name(d.rd) << ", 0x" << std::hex
+         << pc + static_cast<uint32_t>(d.imm);
+      break;
+    case F::kJalr:
+      os << ' ' << reg_name(d.rd) << ", " << d.imm << '(' << reg_name(d.rs1)
+         << ')';
+      break;
+    case F::kCsr:
+      os << ' ' << reg_name(d.rd) << ", 0x" << std::hex << d.csr << std::dec
+         << ", " << reg_name(d.rs1);
+      break;
+    case F::kCsrImm:
+      os << ' ' << reg_name(d.rd) << ", 0x" << std::hex << d.csr << std::dec
+         << ", " << d.imm;
+      break;
+    case F::kAmo:
+      os << ' ' << reg_name(d.rd) << ", " << reg_name(d.rs2) << ", ("
+         << reg_name(d.rs1) << ')';
+      break;
+    case F::kLr:
+      os << ' ' << reg_name(d.rd) << ", (" << reg_name(d.rs1) << ')';
+      break;
+    case F::kNone:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble_word(uint32_t raw, uint32_t pc) {
+  return disassemble(decode(raw), pc);
+}
+
+}  // namespace mempool::isa

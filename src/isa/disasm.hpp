@@ -1,0 +1,21 @@
+#pragma once
+// Disassembler for traces and debugging.
+
+#include <cstdint>
+#include <string>
+
+#include "isa/encoding.hpp"
+
+namespace mempool::isa {
+
+/// Register ABI name ("zero", "ra", "sp", ...).
+std::string reg_name(uint8_t reg);
+
+/// Human-readable mnemonic for a decoded instruction. @p pc resolves
+/// pc-relative targets of branches and jumps.
+std::string disassemble(const Instr& instr, uint32_t pc = 0);
+
+/// Decode + disassemble a raw word.
+std::string disassemble_word(uint32_t raw, uint32_t pc = 0);
+
+}  // namespace mempool::isa

@@ -1,0 +1,118 @@
+#pragma once
+// RV32IMA instruction encodings: register names, semantic instruction kinds,
+// and raw 32-bit encode helpers for every format (R/I/S/B/U/J + AMO).
+
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace mempool::isa {
+
+/// RISC-V integer registers with ABI aliases.
+enum class Reg : uint8_t {
+  x0 = 0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15,
+  x16, x17, x18, x19, x20, x21, x22, x23, x24, x25, x26, x27, x28, x29, x30,
+  x31,
+  zero = 0, ra = 1, sp = 2, gp = 3, tp = 4,
+  t0 = 5, t1 = 6, t2 = 7,
+  s0 = 8, fp = 8, s1 = 9,
+  a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15, a6 = 16, a7 = 17,
+  s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23, s8 = 24, s9 = 25,
+  s10 = 26, s11 = 27,
+  t3 = 28, t4 = 29, t5 = 30, t6 = 31,
+};
+
+constexpr uint8_t reg_num(Reg r) { return static_cast<uint8_t>(r); }
+
+/// Semantic instruction kinds (post-decode).
+enum class Kind : uint8_t {
+  kIllegal,
+  // RV32I
+  kLui, kAuipc, kJal, kJalr,
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence, kEcall, kEbreak,
+  // Zicsr
+  kCsrrw, kCsrrs, kCsrrc, kCsrrwi, kCsrrsi, kCsrrci,
+  // M
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  // A
+  kLrW, kScW, kAmoSwapW, kAmoAddW, kAmoXorW, kAmoAndW, kAmoOrW,
+  kAmoMinW, kAmoMaxW, kAmoMinuW, kAmoMaxuW,
+};
+
+/// Decoded instruction.
+struct Instr {
+  Kind kind = Kind::kIllegal;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;    ///< Sign-extended immediate (shamt for shifts).
+  uint16_t csr = 0;   ///< CSR address for Zicsr kinds.
+  uint32_t raw = 0;   ///< Original encoding.
+};
+
+// --- raw format encoders ---------------------------------------------------
+
+constexpr uint32_t enc_r(unsigned f7, Reg rs2, Reg rs1, unsigned f3, Reg rd,
+                         unsigned opcode) {
+  return (f7 << 25) | (reg_num(rs2) << 20) | (reg_num(rs1) << 15) |
+         (f3 << 12) | (reg_num(rd) << 7) | opcode;
+}
+
+constexpr uint32_t enc_i(int32_t imm, Reg rs1, unsigned f3, Reg rd,
+                         unsigned opcode) {
+  return (static_cast<uint32_t>(imm & 0xFFF) << 20) | (reg_num(rs1) << 15) |
+         (f3 << 12) | (reg_num(rd) << 7) | opcode;
+}
+
+constexpr uint32_t enc_s(int32_t imm, Reg rs2, Reg rs1, unsigned f3,
+                         unsigned opcode) {
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (bits(u, 5, 7) << 25) | (reg_num(rs2) << 20) | (reg_num(rs1) << 15) |
+         (f3 << 12) | (bits(u, 0, 5) << 7) | opcode;
+}
+
+constexpr uint32_t enc_b(int32_t imm, Reg rs2, Reg rs1, unsigned f3,
+                         unsigned opcode) {
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (bits(u, 12, 1) << 31) | (bits(u, 5, 6) << 25) |
+         (reg_num(rs2) << 20) | (reg_num(rs1) << 15) | (f3 << 12) |
+         (bits(u, 1, 4) << 8) | (bits(u, 11, 1) << 7) | opcode;
+}
+
+constexpr uint32_t enc_u(int32_t imm_hi20, Reg rd, unsigned opcode) {
+  return (static_cast<uint32_t>(imm_hi20) << 12) | (reg_num(rd) << 7) | opcode;
+}
+
+constexpr uint32_t enc_j(int32_t imm, Reg rd, unsigned opcode) {
+  const uint32_t u = static_cast<uint32_t>(imm);
+  return (bits(u, 20, 1) << 31) | (bits(u, 1, 10) << 21) |
+         (bits(u, 11, 1) << 20) | (bits(u, 12, 8) << 12) |
+         (reg_num(rd) << 7) | opcode;
+}
+
+constexpr uint32_t enc_amo(unsigned f5, Reg rs2, Reg rs1, Reg rd) {
+  return (f5 << 27) | (reg_num(rs2) << 20) | (reg_num(rs1) << 15) |
+         (0b010u << 12) | (reg_num(rd) << 7) | 0b0101111u;
+}
+
+// Major opcodes.
+inline constexpr unsigned kOpLui = 0b0110111;
+inline constexpr unsigned kOpAuipc = 0b0010111;
+inline constexpr unsigned kOpJal = 0b1101111;
+inline constexpr unsigned kOpJalr = 0b1100111;
+inline constexpr unsigned kOpBranch = 0b1100011;
+inline constexpr unsigned kOpLoad = 0b0000011;
+inline constexpr unsigned kOpStore = 0b0100011;
+inline constexpr unsigned kOpImm = 0b0010011;
+inline constexpr unsigned kOpReg = 0b0110011;
+inline constexpr unsigned kOpFence = 0b0001111;
+inline constexpr unsigned kOpSystem = 0b1110011;
+inline constexpr unsigned kOpAmo = 0b0101111;
+
+}  // namespace mempool::isa

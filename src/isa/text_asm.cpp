@@ -1,0 +1,330 @@
+#include "isa/text_asm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "isa/csr.hpp"
+
+namespace mempool::isa {
+
+namespace {
+
+struct Operand {
+  enum class Type { kReg, kImm, kMem, kSym } type;
+  Reg reg{};
+  int32_t imm = 0;
+  Reg mem_base{};
+  std::string sym;
+};
+
+const std::map<std::string, Reg>& reg_table() {
+  static const std::map<std::string, Reg> table = [] {
+    std::map<std::string, Reg> t;
+    const char* abi[] = {"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+                         "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+                         "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+                         "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+    for (int i = 0; i < 32; ++i) {
+      t[abi[i]] = static_cast<Reg>(i);
+      t["x" + std::to_string(i)] = static_cast<Reg>(i);
+    }
+    t["fp"] = Reg::s0;
+    return t;
+  }();
+  return table;
+}
+
+bool parse_int(const std::string& s, int32_t* out) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    i = 1;
+  }
+  if (i >= s.size()) return false;
+  int64_t v = 0;
+  if (s.size() > i + 1 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    for (std::size_t j = i + 2; j < s.size(); ++j) {
+      const char c = static_cast<char>(std::tolower(s[j]));
+      if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+      v = v * 16 + (std::isdigit(static_cast<unsigned char>(c)) ? c - '0'
+                                                                : c - 'a' + 10);
+    }
+    if (s.size() == i + 2) return false;
+  } else {
+    for (std::size_t j = i; j < s.size(); ++j) {
+      if (!std::isdigit(static_cast<unsigned char>(s[j]))) return false;
+      v = v * 10 + (s[j] - '0');
+    }
+  }
+  *out = static_cast<int32_t>(neg ? -v : v);
+  return true;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+Operand parse_operand(const std::string& raw) {
+  const std::string s = trim(raw);
+  MEMPOOL_CHECK_MSG(!s.empty(), "empty operand");
+  // imm(reg) memory operand
+  const std::size_t open = s.find('(');
+  if (open != std::string::npos && s.back() == ')') {
+    Operand op;
+    op.type = Operand::Type::kMem;
+    const std::string off = trim(s.substr(0, open));
+    const std::string base = trim(s.substr(open + 1, s.size() - open - 2));
+    op.imm = 0;
+    if (!off.empty()) {
+      MEMPOOL_CHECK_MSG(parse_int(off, &op.imm), "bad offset '" << off << "'");
+    }
+    const auto it = reg_table().find(base);
+    MEMPOOL_CHECK_MSG(it != reg_table().end(), "bad base register '" << base << "'");
+    op.mem_base = it->second;
+    return op;
+  }
+  // register
+  const auto it = reg_table().find(s);
+  if (it != reg_table().end()) {
+    return Operand{Operand::Type::kReg, it->second, 0, Reg::zero, {}};
+  }
+  // integer
+  int32_t v;
+  if (parse_int(s, &v)) {
+    return Operand{Operand::Type::kImm, Reg::zero, v, Reg::zero, {}};
+  }
+  // CSR symbolic names
+  static const std::map<std::string, int32_t> csrs = {
+      {"mscratch", kCsrMscratch}, {"mcycle", kCsrMcycle},
+      {"minstret", kCsrMinstret}, {"mcycleh", kCsrMcycleH},
+      {"minstreth", kCsrMinstretH}, {"mhartid", kCsrMhartid},
+      {"numcores", kCsrNumCores}, {"tileid", kCsrTileId},
+      {"corespertile", kCsrCoresPerTile}};
+  const auto cit = csrs.find(s);
+  if (cit != csrs.end()) {
+    return Operand{Operand::Type::kImm, Reg::zero, cit->second, Reg::zero, {}};
+  }
+  // label / symbol
+  return Operand{Operand::Type::kSym, Reg::zero, 0, Reg::zero, s};
+}
+
+Reg want_reg(const Operand& op) {
+  MEMPOOL_CHECK_MSG(op.type == Operand::Type::kReg, "expected a register");
+  return op.reg;
+}
+
+int32_t want_imm(const Operand& op) {
+  MEMPOOL_CHECK_MSG(op.type == Operand::Type::kImm, "expected an immediate");
+  return op.imm;
+}
+
+std::string want_sym(const Operand& op) {
+  MEMPOOL_CHECK_MSG(op.type == Operand::Type::kSym, "expected a label");
+  return op.sym;
+}
+
+}  // namespace
+
+std::vector<uint32_t> assemble_text(const std::string& source, uint32_t base) {
+  Assembler a(base);
+  std::istringstream in(source);
+  std::string line;
+  int line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    for (const char* c : {"#", "//", ";"}) {
+      const std::size_t pos = line.find(c);
+      if (pos != std::string::npos) line = line.substr(0, pos);
+    }
+    std::string text = trim(line);
+    if (text.empty()) continue;
+
+    try {
+      // Labels (possibly followed by an instruction on the same line).
+      while (true) {
+        const std::size_t colon = text.find(':');
+        if (colon == std::string::npos) break;
+        const std::string head = trim(text.substr(0, colon));
+        MEMPOOL_CHECK_MSG(!head.empty() && head.find(' ') == std::string::npos,
+                          "bad label '" << head << "'");
+        a.l(head);
+        text = trim(text.substr(colon + 1));
+      }
+      if (text.empty()) continue;
+
+      // Split mnemonic and comma-separated operand list.
+      std::size_t sp = text.find_first_of(" \t");
+      std::string mnem = text.substr(0, sp);
+      std::transform(mnem.begin(), mnem.end(), mnem.begin(), ::tolower);
+      std::vector<Operand> ops;
+      if (sp != std::string::npos) {
+        std::string rest = trim(text.substr(sp));
+        std::size_t start = 0;
+        while (start < rest.size()) {
+          std::size_t comma = rest.find(',', start);
+          const std::string piece = rest.substr(
+              start, comma == std::string::npos ? std::string::npos
+                                                : comma - start);
+          if (!trim(piece).empty()) ops.push_back(parse_operand(piece));
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      }
+      const auto nops = ops.size();
+      auto check_ops = [&](std::size_t want) {
+        MEMPOOL_CHECK_MSG(nops == want, mnem << " expects " << want
+                                             << " operands, got " << nops);
+      };
+
+      // Directives.
+      if (mnem == ".word") {
+        check_ops(1);
+        a.word(static_cast<uint32_t>(want_imm(ops[0])));
+        continue;
+      }
+
+      // Memory ops.
+      auto mem = [&](void (Assembler::*fn)(Reg, Reg, int32_t)) {
+        check_ops(2);
+        MEMPOOL_CHECK_MSG(ops[1].type == Operand::Type::kMem,
+                          "expected imm(reg) operand");
+        (a.*fn)(want_reg(ops[0]), ops[1].mem_base, ops[1].imm);
+      };
+      auto rrr = [&](void (Assembler::*fn)(Reg, Reg, Reg)) {
+        check_ops(3);
+        (a.*fn)(want_reg(ops[0]), want_reg(ops[1]), want_reg(ops[2]));
+      };
+      auto rri = [&](void (Assembler::*fn)(Reg, Reg, int32_t)) {
+        check_ops(3);
+        (a.*fn)(want_reg(ops[0]), want_reg(ops[1]), want_imm(ops[2]));
+      };
+      auto shift = [&](void (Assembler::*fn)(Reg, Reg, unsigned)) {
+        check_ops(3);
+        (a.*fn)(want_reg(ops[0]), want_reg(ops[1]),
+                static_cast<unsigned>(want_imm(ops[2])));
+      };
+      auto branch = [&](void (Assembler::*fn)(Reg, Reg, const std::string&)) {
+        check_ops(3);
+        (a.*fn)(want_reg(ops[0]), want_reg(ops[1]), want_sym(ops[2]));
+      };
+      auto amo = [&](void (Assembler::*fn)(Reg, Reg, Reg)) {
+        check_ops(3);
+        MEMPOOL_CHECK_MSG(ops[2].type == Operand::Type::kMem,
+                          "expected (reg) operand");
+        (a.*fn)(want_reg(ops[0]), want_reg(ops[1]), ops[2].mem_base);
+      };
+
+      if (mnem == "lui") { check_ops(2); a.lui(want_reg(ops[0]), want_imm(ops[1])); }
+      else if (mnem == "auipc") { check_ops(2); a.auipc(want_reg(ops[0]), want_imm(ops[1])); }
+      else if (mnem == "jal") {
+        if (nops == 1) a.jal(Reg::ra, want_sym(ops[0]));
+        else { check_ops(2); a.jal(want_reg(ops[0]), want_sym(ops[1])); }
+      }
+      else if (mnem == "jalr") {
+        if (nops == 1) a.jalr(Reg::ra, want_reg(ops[0]), 0);
+        else if (nops == 2 && ops[1].type == Operand::Type::kMem)
+          a.jalr(want_reg(ops[0]), ops[1].mem_base, ops[1].imm);
+        else { check_ops(3); a.jalr(want_reg(ops[0]), want_reg(ops[1]), want_imm(ops[2])); }
+      }
+      else if (mnem == "beq") branch(&Assembler::beq);
+      else if (mnem == "bne") branch(&Assembler::bne);
+      else if (mnem == "blt") branch(&Assembler::blt);
+      else if (mnem == "bge") branch(&Assembler::bge);
+      else if (mnem == "bltu") branch(&Assembler::bltu);
+      else if (mnem == "bgeu") branch(&Assembler::bgeu);
+      else if (mnem == "lb") mem(&Assembler::lb);
+      else if (mnem == "lh") mem(&Assembler::lh);
+      else if (mnem == "lw") mem(&Assembler::lw);
+      else if (mnem == "lbu") mem(&Assembler::lbu);
+      else if (mnem == "lhu") mem(&Assembler::lhu);
+      else if (mnem == "sb") mem(&Assembler::sb);
+      else if (mnem == "sh") mem(&Assembler::sh);
+      else if (mnem == "sw") mem(&Assembler::sw);
+      else if (mnem == "addi") rri(&Assembler::addi);
+      else if (mnem == "slti") rri(&Assembler::slti);
+      else if (mnem == "sltiu") rri(&Assembler::sltiu);
+      else if (mnem == "xori") rri(&Assembler::xori);
+      else if (mnem == "ori") rri(&Assembler::ori);
+      else if (mnem == "andi") rri(&Assembler::andi);
+      else if (mnem == "slli") shift(&Assembler::slli);
+      else if (mnem == "srli") shift(&Assembler::srli);
+      else if (mnem == "srai") shift(&Assembler::srai);
+      else if (mnem == "add") rrr(&Assembler::add);
+      else if (mnem == "sub") rrr(&Assembler::sub);
+      else if (mnem == "sll") rrr(&Assembler::sll);
+      else if (mnem == "slt") rrr(&Assembler::slt);
+      else if (mnem == "sltu") rrr(&Assembler::sltu);
+      else if (mnem == "xor") rrr(&Assembler::xor_);
+      else if (mnem == "srl") rrr(&Assembler::srl);
+      else if (mnem == "sra") rrr(&Assembler::sra);
+      else if (mnem == "or") rrr(&Assembler::or_);
+      else if (mnem == "and") rrr(&Assembler::and_);
+      else if (mnem == "mul") rrr(&Assembler::mul);
+      else if (mnem == "mulh") rrr(&Assembler::mulh);
+      else if (mnem == "mulhsu") rrr(&Assembler::mulhsu);
+      else if (mnem == "mulhu") rrr(&Assembler::mulhu);
+      else if (mnem == "div") rrr(&Assembler::div);
+      else if (mnem == "divu") rrr(&Assembler::divu);
+      else if (mnem == "rem") rrr(&Assembler::rem);
+      else if (mnem == "remu") rrr(&Assembler::remu);
+      else if (mnem == "fence") a.fence();
+      else if (mnem == "ecall") a.ecall();
+      else if (mnem == "ebreak") a.ebreak();
+      else if (mnem == "csrrw") { check_ops(3); a.csrrw(want_reg(ops[0]), static_cast<uint16_t>(want_imm(ops[1])), want_reg(ops[2])); }
+      else if (mnem == "csrrs") { check_ops(3); a.csrrs(want_reg(ops[0]), static_cast<uint16_t>(want_imm(ops[1])), want_reg(ops[2])); }
+      else if (mnem == "csrrc") { check_ops(3); a.csrrc(want_reg(ops[0]), static_cast<uint16_t>(want_imm(ops[1])), want_reg(ops[2])); }
+      else if (mnem == "csrr") { check_ops(2); a.csrr(want_reg(ops[0]), static_cast<uint16_t>(want_imm(ops[1]))); }
+      else if (mnem == "csrw") { check_ops(2); a.csrw(static_cast<uint16_t>(want_imm(ops[0])), want_reg(ops[1])); }
+      else if (mnem == "lr.w") {
+        check_ops(2);
+        MEMPOOL_CHECK_MSG(ops[1].type == Operand::Type::kMem, "expected (reg)");
+        a.lr_w(want_reg(ops[0]), ops[1].mem_base);
+      }
+      else if (mnem == "sc.w") amo(&Assembler::sc_w);
+      else if (mnem == "amoswap.w") amo(&Assembler::amoswap_w);
+      else if (mnem == "amoadd.w") amo(&Assembler::amoadd_w);
+      else if (mnem == "amoxor.w") amo(&Assembler::amoxor_w);
+      else if (mnem == "amoand.w") amo(&Assembler::amoand_w);
+      else if (mnem == "amoor.w") amo(&Assembler::amoor_w);
+      else if (mnem == "amomin.w") amo(&Assembler::amomin_w);
+      else if (mnem == "amomax.w") amo(&Assembler::amomax_w);
+      else if (mnem == "amominu.w") amo(&Assembler::amominu_w);
+      else if (mnem == "amomaxu.w") amo(&Assembler::amomaxu_w);
+      // Pseudo-instructions.
+      else if (mnem == "nop") { check_ops(0); a.nop(); }
+      else if (mnem == "mv") { check_ops(2); a.mv(want_reg(ops[0]), want_reg(ops[1])); }
+      else if (mnem == "not") { check_ops(2); a.not_(want_reg(ops[0]), want_reg(ops[1])); }
+      else if (mnem == "neg") { check_ops(2); a.neg(want_reg(ops[0]), want_reg(ops[1])); }
+      else if (mnem == "seqz") { check_ops(2); a.seqz(want_reg(ops[0]), want_reg(ops[1])); }
+      else if (mnem == "snez") { check_ops(2); a.snez(want_reg(ops[0]), want_reg(ops[1])); }
+      else if (mnem == "beqz") { check_ops(2); a.beqz(want_reg(ops[0]), want_sym(ops[1])); }
+      else if (mnem == "bnez") { check_ops(2); a.bnez(want_reg(ops[0]), want_sym(ops[1])); }
+      else if (mnem == "blez") { check_ops(2); a.blez(want_reg(ops[0]), want_sym(ops[1])); }
+      else if (mnem == "bgtz") { check_ops(2); a.bgtz(want_reg(ops[0]), want_sym(ops[1])); }
+      else if (mnem == "j") { check_ops(1); a.j(want_sym(ops[0])); }
+      else if (mnem == "call") { check_ops(1); a.call(want_sym(ops[0])); }
+      else if (mnem == "ret") { check_ops(0); a.ret(); }
+      else if (mnem == "li") { check_ops(2); a.li(want_reg(ops[0]), want_imm(ops[1])); }
+      else {
+        MEMPOOL_CHECK_MSG(false, "unknown mnemonic '" << mnem << "'");
+      }
+    } catch (const CheckError& e) {
+      std::ostringstream os;
+      os << "line " << line_no << ": " << e.what();
+      throw CheckError(os.str());
+    }
+  }
+  return a.finish();
+}
+
+}  // namespace mempool::isa

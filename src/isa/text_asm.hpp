@@ -1,0 +1,20 @@
+#pragma once
+// Textual RV32IMA assembler front-end over isa::Assembler. Supports standard
+// mnemonics, the common pseudo-instructions, labels, numeric immediates
+// (decimal / 0x hex, optionally negative), `imm(reg)` memory operands, and
+// `.word` data directives. Comments start with '#' or '//'.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+
+namespace mempool::isa {
+
+/// Assemble a full program text. Throws mempool::CheckError with a
+/// line-numbered message on syntax errors.
+std::vector<uint32_t> assemble_text(const std::string& source,
+                                    uint32_t base = 0x8000'0000u);
+
+}  // namespace mempool::isa

@@ -1,0 +1,167 @@
+#include "kernels/conv2d.hpp"
+
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "kernels/golden.hpp"
+#include "kernels/runtime.hpp"
+
+namespace mempool::kernels {
+
+using isa::Assembler;
+using isa::Reg;
+
+namespace {
+// Separable 3×3 binomial kernel; small constants keep the li sequences short.
+constexpr int32_t kWeights[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+}  // namespace
+
+KernelProgram build_conv2d(const ClusterConfig& cfg, uint32_t width,
+                           uint64_t seed) {
+  const uint32_t h = cfg.num_tiles;
+  const uint32_t cpt = cfg.cores_per_tile;
+  const uint32_t stack_bytes = 256;
+  MEMPOOL_CHECK(width % cpt == 0);
+  MEMPOOL_CHECK_MSG(2 * width * 4 + cpt * stack_bytes <= cfg.seq_region_bytes,
+                    "row pair + stacks exceed the sequential region");
+  const uint32_t chunk = width / cpt;
+  const unsigned log2seq = log2_exact(cfg.seq_region_bytes);
+  const RuntimeLayout layout = make_runtime_layout(cfg);
+  const uint32_t out_off = width * 4;  // output row follows the input row
+
+  Assembler a;
+  emit_crt0(a, cfg, stack_bytes);
+  emit_barrier(a, cfg, layout);
+
+  a.l("main");
+  a.mv(Reg::s11, Reg::ra);
+  // Boundary rows are skipped: tiles 0 and h-1 only participate in the
+  // barrier.
+  a.li(Reg::t0, static_cast<int32_t>(h - 1));
+  a.beqz(Reg::gp, "conv_skip");
+  a.beq(Reg::gp, Reg::t0, "conv_skip");
+
+  a.slli(Reg::s0, Reg::gp, log2seq);            // in row r (own tile)
+  a.li(Reg::t1, static_cast<int32_t>(cfg.seq_region_bytes));
+  a.sub(Reg::s1, Reg::s0, Reg::t1);             // in row r-1 (tile above)
+  a.add(Reg::s2, Reg::s0, Reg::t1);             // in row r+1 (tile below)
+  a.li(Reg::t2, static_cast<int32_t>(out_off));
+  a.add(Reg::s3, Reg::s0, Reg::t2);             // out row r
+
+  a.andi(Reg::t3, Reg::a0, static_cast<int32_t>(cpt - 1));
+  a.li(Reg::t4, static_cast<int32_t>(chunk));
+  a.mul(Reg::s4, Reg::t3, Reg::t4);             // c_start
+  a.add(Reg::s5, Reg::s4, Reg::t4);             // c_end
+  a.bnez(Reg::s4, "conv_no_clamp_lo");
+  a.li(Reg::s4, 1);                             // skip column 0
+  a.l("conv_no_clamp_lo");
+  a.li(Reg::t5, static_cast<int32_t>(width));
+  a.bne(Reg::s5, Reg::t5, "conv_no_clamp_hi");
+  a.addi(Reg::s5, Reg::s5, -1);                 // skip column width-1
+  a.l("conv_no_clamp_hi");
+  a.bge(Reg::s4, Reg::s5, "conv_skip");
+
+  // Weights: w00..w22 in s6..s10, a1..a4.
+  a.li(Reg::s6, kWeights[0]);
+  a.li(Reg::s7, kWeights[1]);
+  a.li(Reg::s8, kWeights[2]);
+  a.li(Reg::s9, kWeights[3]);
+  a.li(Reg::s10, kWeights[4]);
+  a.li(Reg::a1, kWeights[5]);
+  a.li(Reg::a2, kWeights[6]);
+  a.li(Reg::a3, kWeights[7]);
+  a.li(Reg::a4, kWeights[8]);
+
+  // Column pointers at the window centre.
+  a.slli(Reg::t6, Reg::s4, 2);
+  a.add(Reg::t1, Reg::s1, Reg::t6);
+  a.add(Reg::t2, Reg::s0, Reg::t6);
+  a.add(Reg::t3, Reg::s2, Reg::t6);
+  a.add(Reg::t4, Reg::s3, Reg::t6);
+
+  a.l("conv_col");
+  a.lw(Reg::a5, Reg::t1, -4);
+  a.lw(Reg::a6, Reg::t1, 0);
+  a.lw(Reg::a7, Reg::t1, 4);
+  a.mul(Reg::t5, Reg::a5, Reg::s6);
+  a.mul(Reg::t6, Reg::a6, Reg::s7);
+  a.add(Reg::t0, Reg::t5, Reg::t6);
+  a.mul(Reg::t5, Reg::a7, Reg::s8);
+  a.add(Reg::t0, Reg::t0, Reg::t5);
+  a.lw(Reg::a5, Reg::t2, -4);
+  a.lw(Reg::a6, Reg::t2, 0);
+  a.lw(Reg::a7, Reg::t2, 4);
+  a.mul(Reg::t5, Reg::a5, Reg::s9);
+  a.add(Reg::t0, Reg::t0, Reg::t5);
+  a.mul(Reg::t6, Reg::a6, Reg::s10);
+  a.add(Reg::t0, Reg::t0, Reg::t6);
+  a.mul(Reg::t5, Reg::a7, Reg::a1);
+  a.add(Reg::t0, Reg::t0, Reg::t5);
+  a.lw(Reg::a5, Reg::t3, -4);
+  a.lw(Reg::a6, Reg::t3, 0);
+  a.lw(Reg::a7, Reg::t3, 4);
+  a.mul(Reg::t5, Reg::a5, Reg::a2);
+  a.add(Reg::t0, Reg::t0, Reg::t5);
+  a.mul(Reg::t6, Reg::a6, Reg::a3);
+  a.add(Reg::t0, Reg::t0, Reg::t6);
+  a.mul(Reg::t5, Reg::a7, Reg::a4);
+  a.add(Reg::t0, Reg::t0, Reg::t5);
+  a.sw(Reg::t0, Reg::t4, 0);
+  a.addi(Reg::t1, Reg::t1, 4);
+  a.addi(Reg::t2, Reg::t2, 4);
+  a.addi(Reg::t3, Reg::t3, 4);
+  a.addi(Reg::t4, Reg::t4, 4);
+  a.addi(Reg::s4, Reg::s4, 1);
+  a.bne(Reg::s4, Reg::s5, "conv_col");
+
+  a.l("conv_skip");
+  a.call("barrier");
+  a.mv(Reg::ra, Reg::s11);
+  a.ret();
+
+  KernelProgram kp;
+  kp.name = "2dconv";
+  kp.image = a.finish();
+
+  const uint32_t seq_bytes = cfg.seq_region_bytes;
+  kp.init = [h, width, seq_bytes, seed](System& sys) {
+    Rng rng(seed);
+    for (uint32_t r = 0; r < h; ++r) {
+      const uint32_t base = r * seq_bytes;
+      for (uint32_t c = 0; c < width; ++c) {
+        sys.write_word(base + 4 * c,
+                       static_cast<uint32_t>(rng.next_below(256)));
+        sys.write_word(base + width * 4 + 4 * c, 0);
+      }
+    }
+  };
+
+  kp.check = [h, width, seq_bytes, out_off](const System& sys,
+                                            std::string* err) {
+    std::vector<uint32_t> img(h * width);
+    for (uint32_t r = 0; r < h; ++r) {
+      for (uint32_t c = 0; c < width; ++c) {
+        img[r * width + c] = sys.read_word(r * seq_bytes + 4 * c);
+      }
+    }
+    const std::vector<uint32_t> want = golden_conv2d(img, h, width, kWeights);
+    for (uint32_t r = 1; r + 1 < h; ++r) {
+      for (uint32_t c = 1; c + 1 < width; ++c) {
+        const uint32_t got = sys.read_word(r * seq_bytes + out_off + 4 * c);
+        if (got != want[r * width + c]) {
+          std::ostringstream os;
+          os << "2dconv mismatch at (" << r << "," << c << "): got " << got
+             << ", want " << want[r * width + c];
+          *err = os.str();
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  return kp;
+}
+
+}  // namespace mempool::kernels

@@ -1,0 +1,20 @@
+#pragma once
+// 2dconv benchmark (Section V-C): 3×3 discrete convolution where each tile
+// owns one image row in its sequential region — "all accesses are local,
+// except for cores working on windows that require data from two tiles"
+// (the halo rows above and below).
+
+#include <cstdint>
+
+#include "core/cluster_config.hpp"
+#include "kernels/kernel.hpp"
+
+namespace mempool::kernels {
+
+/// Build the 2dconv kernel over a (num_tiles × width) int32 image.
+/// width must be divisible by cores_per_tile, and one input row + one output
+/// row + the stacks must fit in a tile's sequential region.
+KernelProgram build_conv2d(const ClusterConfig& cfg, uint32_t width = 256,
+                           uint64_t seed = 43);
+
+}  // namespace mempool::kernels

@@ -1,0 +1,179 @@
+#include "kernels/dct.hpp"
+
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "kernels/golden.hpp"
+#include "kernels/runtime.hpp"
+
+namespace mempool::kernels {
+
+using isa::Assembler;
+using isa::Reg;
+
+KernelProgram build_dct(const ClusterConfig& cfg, uint64_t seed) {
+  const uint32_t cpt = cfg.cores_per_tile;
+  const uint32_t block_bytes = 8 * 8 * 4;  // 256 B
+  const uint32_t stack_bytes = 256;        // holds exactly the T block
+  const uint32_t out_off = cpt * block_bytes;     // Y blocks after X blocks
+  const uint32_t coeff_off = 2 * cpt * block_bytes;  // shared C per tile
+  MEMPOOL_CHECK_MSG(
+      coeff_off + block_bytes + cpt * stack_bytes <= cfg.seq_region_bytes,
+      "dct working set exceeds the sequential region");
+  const unsigned log2seq = log2_exact(cfg.seq_region_bytes);
+  const RuntimeLayout layout = make_runtime_layout(cfg);
+
+  Assembler a;
+  emit_crt0(a, cfg, stack_bytes);
+  emit_barrier(a, cfg, layout);
+
+  a.l("main");
+  a.mv(Reg::s11, Reg::ra);
+  a.slli(Reg::s0, Reg::gp, log2seq);       // own sequential region base
+  a.andi(Reg::t0, Reg::a0, static_cast<int32_t>(cpt - 1));
+  a.slli(Reg::t1, Reg::t0, 8);             // core slot * 256 B
+  a.add(Reg::s1, Reg::s0, Reg::t1);        // X block
+  a.li(Reg::t2, static_cast<int32_t>(out_off));
+  a.add(Reg::s2, Reg::s1, Reg::t2);        // Y block
+  a.li(Reg::t3, static_cast<int32_t>(coeff_off));
+  a.add(Reg::s3, Reg::s0, Reg::t3);        // C matrix (tile-shared)
+  a.addi(Reg::sp, Reg::sp, -256);          // T on the stack
+
+  // ---- pass 1: T[i][j] = (sum_k C[i][k] * X[k][j]) >> 14 -------------------
+  a.li(Reg::s4, 0);
+  a.l("dct_p1_i");
+  a.li(Reg::s5, 0);
+  a.l("dct_p1_j");
+  a.slli(Reg::t0, Reg::s4, 5);
+  a.add(Reg::t1, Reg::s3, Reg::t0);        // &C[i][0]
+  a.slli(Reg::t2, Reg::s5, 2);
+  a.add(Reg::t2, Reg::s1, Reg::t2);        // &X[0][j]
+  a.li(Reg::t3, 0);
+  a.li(Reg::t4, 8);
+  a.l("dct_p1_k");
+  a.lw(Reg::a2, Reg::t1, 0);
+  a.lw(Reg::a3, Reg::t2, 0);
+  a.lw(Reg::a4, Reg::t1, 4);
+  a.lw(Reg::a5, Reg::t2, 32);
+  a.mul(Reg::t5, Reg::a2, Reg::a3);
+  a.add(Reg::t3, Reg::t3, Reg::t5);
+  a.mul(Reg::t6, Reg::a4, Reg::a5);
+  a.add(Reg::t3, Reg::t3, Reg::t6);
+  a.addi(Reg::t1, Reg::t1, 8);
+  a.addi(Reg::t2, Reg::t2, 64);
+  a.addi(Reg::t4, Reg::t4, -2);
+  a.bnez(Reg::t4, "dct_p1_k");
+  a.srai(Reg::t3, Reg::t3, 14);
+  a.slli(Reg::t5, Reg::s4, 5);
+  a.add(Reg::t5, Reg::t5, Reg::sp);
+  a.slli(Reg::t6, Reg::s5, 2);
+  a.add(Reg::t5, Reg::t5, Reg::t6);
+  a.sw(Reg::t3, Reg::t5, 0);               // T[i][j]
+  a.addi(Reg::s5, Reg::s5, 1);
+  a.li(Reg::t6, 8);
+  a.bne(Reg::s5, Reg::t6, "dct_p1_j");
+  a.addi(Reg::s4, Reg::s4, 1);
+  a.li(Reg::t6, 8);
+  a.bne(Reg::s4, Reg::t6, "dct_p1_i");
+
+  // ---- pass 2: Y[i][j] = (sum_k T[i][k] * C[j][k]) >> 14 -------------------
+  a.li(Reg::s4, 0);
+  a.l("dct_p2_i");
+  a.li(Reg::s5, 0);
+  a.l("dct_p2_j");
+  a.slli(Reg::t0, Reg::s4, 5);
+  a.add(Reg::t1, Reg::t0, Reg::sp);        // &T[i][0]
+  a.slli(Reg::t2, Reg::s5, 5);
+  a.add(Reg::t2, Reg::s3, Reg::t2);        // &C[j][0]
+  a.li(Reg::t3, 0);
+  a.li(Reg::t4, 8);
+  a.l("dct_p2_k");
+  a.lw(Reg::a2, Reg::t1, 0);
+  a.lw(Reg::a3, Reg::t2, 0);
+  a.lw(Reg::a4, Reg::t1, 4);
+  a.lw(Reg::a5, Reg::t2, 4);
+  a.mul(Reg::t5, Reg::a2, Reg::a3);
+  a.add(Reg::t3, Reg::t3, Reg::t5);
+  a.mul(Reg::t6, Reg::a4, Reg::a5);
+  a.add(Reg::t3, Reg::t3, Reg::t6);
+  a.addi(Reg::t1, Reg::t1, 8);
+  a.addi(Reg::t2, Reg::t2, 8);
+  a.addi(Reg::t4, Reg::t4, -2);
+  a.bnez(Reg::t4, "dct_p2_k");
+  a.srai(Reg::t3, Reg::t3, 14);
+  a.slli(Reg::t5, Reg::s4, 5);
+  a.add(Reg::t5, Reg::t5, Reg::s2);
+  a.slli(Reg::t6, Reg::s5, 2);
+  a.add(Reg::t5, Reg::t5, Reg::t6);
+  a.sw(Reg::t3, Reg::t5, 0);               // Y[i][j]
+  a.addi(Reg::s5, Reg::s5, 1);
+  a.li(Reg::t6, 8);
+  a.bne(Reg::s5, Reg::t6, "dct_p2_j");
+  a.addi(Reg::s4, Reg::s4, 1);
+  a.li(Reg::t6, 8);
+  a.bne(Reg::s4, Reg::t6, "dct_p2_i");
+
+  a.addi(Reg::sp, Reg::sp, 256);
+  a.call("barrier");
+  a.mv(Reg::ra, Reg::s11);
+  a.ret();
+
+  KernelProgram kp;
+  kp.name = "dct";
+  kp.image = a.finish();
+
+  const uint32_t seq_bytes = cfg.seq_region_bytes;
+  const uint32_t num_tiles = cfg.num_tiles;
+  kp.init = [num_tiles, cpt, seq_bytes, block_bytes, out_off, coeff_off,
+             seed](System& sys) {
+    Rng rng(seed);
+    const std::vector<int32_t> coeffs = dct_coefficients_q14();
+    for (uint32_t t = 0; t < num_tiles; ++t) {
+      const uint32_t base = t * seq_bytes;
+      for (uint32_t slot = 0; slot < cpt; ++slot) {
+        for (uint32_t i = 0; i < 64; ++i) {
+          sys.write_word(base + slot * block_bytes + 4 * i,
+                         static_cast<uint32_t>(rng.next_below(256)));
+          sys.write_word(base + out_off + slot * block_bytes + 4 * i, 0);
+        }
+      }
+      for (uint32_t i = 0; i < 64; ++i) {
+        sys.write_word(base + coeff_off + 4 * i,
+                       static_cast<uint32_t>(coeffs[i]));
+      }
+    }
+  };
+
+  kp.check = [num_tiles, cpt, seq_bytes, block_bytes, out_off](
+                 const System& sys, std::string* err) {
+    const std::vector<int32_t> coeffs = dct_coefficients_q14();
+    for (uint32_t t = 0; t < num_tiles; ++t) {
+      const uint32_t base = t * seq_bytes;
+      for (uint32_t slot = 0; slot < cpt; ++slot) {
+        std::vector<uint32_t> x(64);
+        for (uint32_t i = 0; i < 64; ++i) {
+          x[i] = sys.read_word(base + slot * block_bytes + 4 * i);
+        }
+        const std::vector<uint32_t> want = golden_dct8x8(x, coeffs);
+        for (uint32_t i = 0; i < 64; ++i) {
+          const uint32_t got =
+              sys.read_word(base + out_off + slot * block_bytes + 4 * i);
+          if (got != want[i]) {
+            std::ostringstream os;
+            os << "dct mismatch tile " << t << " slot " << slot << " elem "
+               << i << ": got " << static_cast<int32_t>(got) << ", want "
+               << static_cast<int32_t>(want[i]);
+            *err = os.str();
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  };
+  return kp;
+}
+
+}  // namespace mempool::kernels

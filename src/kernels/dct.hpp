@@ -1,0 +1,17 @@
+#pragma once
+// dct benchmark (Section V-C): 8×8 fixed-point 2-D DCT on blocks residing in
+// each tile's sequential region, with the intermediate product on the stack —
+// "all accesses are local, given the stack is mapped to local banks".
+
+#include <cstdint>
+
+#include "core/cluster_config.hpp"
+#include "kernels/kernel.hpp"
+
+namespace mempool::kernels {
+
+/// Build the dct kernel: one 8×8 block per core (num_cores() blocks total),
+/// computed as Y = (C·X·Cᵀ) in Q1.14.
+KernelProgram build_dct(const ClusterConfig& cfg, uint64_t seed = 44);
+
+}  // namespace mempool::kernels

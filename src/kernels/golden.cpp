@@ -1,0 +1,89 @@
+#include "kernels/golden.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/fixed_point.hpp"
+
+namespace mempool::kernels {
+
+std::vector<uint32_t> golden_matmul(const std::vector<uint32_t>& a,
+                                    const std::vector<uint32_t>& b,
+                                    uint32_t n) {
+  MEMPOOL_CHECK(a.size() == n * n && b.size() == n * n);
+  std::vector<uint32_t> c(n * n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      uint32_t acc = 0;
+      for (uint32_t k = 0; k < n; ++k) {
+        acc += a[i * n + k] * b[k * n + j];  // wrap-around, as in RV32 mul/add
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+std::vector<uint32_t> golden_conv2d(const std::vector<uint32_t>& image,
+                                    uint32_t h, uint32_t w,
+                                    const int32_t weights[9]) {
+  MEMPOOL_CHECK(image.size() == h * w);
+  std::vector<uint32_t> out(h * w, 0);
+  for (uint32_t r = 1; r + 1 < h; ++r) {
+    for (uint32_t c = 1; c + 1 < w; ++c) {
+      uint32_t acc = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          const uint32_t pix = image[(r + dr) * w + (c + dc)];
+          const uint32_t wgt =
+              static_cast<uint32_t>(weights[(dr + 1) * 3 + (dc + 1)]);
+          acc += pix * wgt;
+        }
+      }
+      out[r * w + c] = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> dct_coefficients_q14() {
+  std::vector<int32_t> c(64);
+  const double pi = 3.14159265358979323846;
+  for (int i = 0; i < 8; ++i) {
+    const double s = i == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+    for (int k = 0; k < 8; ++k) {
+      c[i * 8 + k] = to_fixed(s * std::cos((2 * k + 1) * i * pi / 16.0), 14);
+    }
+  }
+  return c;
+}
+
+std::vector<uint32_t> golden_dct8x8(const std::vector<uint32_t>& block,
+                                    const std::vector<int32_t>& coeffs) {
+  MEMPOOL_CHECK(block.size() == 64 && coeffs.size() == 64);
+  // T = (C · X) >> 14, arithmetic shift — identical to the kernel's srai.
+  int32_t t[64];
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      int32_t acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        acc += coeffs[i * 8 + k] * static_cast<int32_t>(block[k * 8 + j]);
+      }
+      t[i * 8 + j] = acc >> 14;
+    }
+  }
+  // Y = (T · Cᵀ) >> 14.
+  std::vector<uint32_t> y(64);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      int32_t acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        acc += t[i * 8 + k] * coeffs[j * 8 + k];
+      }
+      y[i * 8 + j] = static_cast<uint32_t>(acc >> 14);
+    }
+  }
+  return y;
+}
+
+}  // namespace mempool::kernels

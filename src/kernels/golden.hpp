@@ -1,0 +1,32 @@
+#pragma once
+// Host-side golden models for the benchmark kernels. Arithmetic is done on
+// uint32 with wrap-around (matching RV32 exactly) so that results compare
+// bit-exactly against the simulated cluster.
+
+#include <cstdint>
+#include <vector>
+
+namespace mempool::kernels {
+
+/// C = A · B for n×n row-major int32 matrices (wrap-around arithmetic).
+std::vector<uint32_t> golden_matmul(const std::vector<uint32_t>& a,
+                                    const std::vector<uint32_t>& b,
+                                    uint32_t n);
+
+/// 3×3 convolution over an h×w image; border pixels (first/last row and
+/// column) are left unmodified (the cluster kernel skips them too).
+/// @param weights row-major 3×3 kernel.
+std::vector<uint32_t> golden_conv2d(const std::vector<uint32_t>& image,
+                                    uint32_t h, uint32_t w,
+                                    const int32_t weights[9]);
+
+/// 8×8 fixed-point 2-D DCT: Y = (C · X · Cᵀ) with Q1.14 coefficients and an
+/// arithmetic right shift by 14 after each matrix product — the exact
+/// instruction sequence of the cluster kernel.
+std::vector<uint32_t> golden_dct8x8(const std::vector<uint32_t>& block,
+                                    const std::vector<int32_t>& coeffs);
+
+/// The Q1.14 DCT-II coefficient matrix used by both golden and kernel.
+std::vector<int32_t> dct_coefficients_q14();
+
+}  // namespace mempool::kernels

@@ -1,0 +1,22 @@
+#include "kernels/kernel.hpp"
+
+#include "common/check.hpp"
+
+namespace mempool::kernels {
+
+uint64_t run_kernel(System& sys, const KernelProgram& kp, uint64_t max_cycles,
+                    bool verify) {
+  sys.load_program(kp.image);
+  if (kp.init) kp.init(sys);
+  const System::RunResult r = sys.run(max_cycles);
+  MEMPOOL_CHECK_MSG(r.all_halted, kp.name << " did not finish within "
+                                          << max_cycles << " cycles on "
+                                          << sys.config().display_name());
+  if (verify && kp.check) {
+    std::string err;
+    MEMPOOL_CHECK_MSG(kp.check(sys, &err), kp.name << ": " << err);
+  }
+  return r.cycles;
+}
+
+}  // namespace mempool::kernels

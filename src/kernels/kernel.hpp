@@ -1,0 +1,29 @@
+#pragma once
+// Common shape of an execution-driven benchmark kernel (Section V-C): an
+// RV32IMA program image plus host-side (testbench backdoor) data
+// initialization and result checking.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace mempool::kernels {
+
+struct KernelProgram {
+  std::string name;
+  std::vector<uint32_t> image;             ///< Instruction words.
+  std::function<void(System&)> init;       ///< Preload input data.
+  /// Verify results; returns true on success, fills *err otherwise.
+  std::function<bool(const System&, std::string*)> check;
+};
+
+/// Load, initialize, run, and verify a kernel on a fresh system.
+/// Returns the cycle count; throws CheckError if the run does not complete
+/// within @p max_cycles or the result check fails (when @p verify).
+uint64_t run_kernel(System& sys, const KernelProgram& kp, uint64_t max_cycles,
+                    bool verify = true);
+
+}  // namespace mempool::kernels

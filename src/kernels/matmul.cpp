@@ -1,0 +1,277 @@
+#include "kernels/matmul.hpp"
+
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "isa/csr.hpp"
+#include "kernels/golden.hpp"
+#include "kernels/runtime.hpp"
+
+namespace mempool::kernels {
+
+using isa::Assembler;
+using isa::Reg;
+
+namespace {
+
+// Reduction-order schedule: core h visits k_j = (k0 + j*stride) mod n with
+// k0 = (37*h) mod n and an odd stride. Two structured hotspots disappear:
+//  * distinct k0 per core (odd multiplier = bijection mod n) keeps cores
+//    that share an output row from reading the same A element in lockstep;
+//  * the odd stride moves the targeted B tile every step instead of camping
+//    on one tile for 16 consecutive k (the interleaved map switches tiles
+//    only every 16 words).
+// Since n is a power of two the offset walk is branch-free:
+// o_{j+1} = (o_j + 4*stride) & (4n - 1), with o in bytes.
+uint32_t k_stride(uint32_t n) { return n >= 32 ? 17 : 5; }
+
+void emit_k0_offset(Assembler& a, uint32_t n, Reg dst) {
+  a.li(dst, 37);
+  a.mul(dst, Reg::a0, dst);
+  a.andi(dst, dst, static_cast<int32_t>(n - 1));
+  a.slli(dst, dst, 2);  // byte offset within an n-word row
+}
+
+/// 1x4 register-blocked variant: one A element + one element from each of
+/// four transposed-B rows feed four accumulators per step (used when each
+/// core owns fewer than eight outputs). B is stored column-major (Bt), so
+/// the four B loads of a step hit four different tiles.
+void emit_matmul_1x4(Assembler& a, uint32_t n, uint32_t blocks,
+                     uint32_t addr_a, uint32_t addr_b, uint32_t addr_c) {
+  const unsigned log2n = log2_exact(n);
+  const int32_t row = static_cast<int32_t>(4 * n);
+
+  a.l("main");
+  a.mv(Reg::s11, Reg::ra);
+  a.li(Reg::t0, static_cast<int32_t>(blocks));
+  a.mul(Reg::s0, Reg::a0, Reg::t0);       // first block index
+  a.li(Reg::s1, static_cast<int32_t>(blocks));
+  a.li(Reg::s7, static_cast<int32_t>(addr_a));
+  a.li(Reg::s8, static_cast<int32_t>(addr_b));
+  a.li(Reg::s9, static_cast<int32_t>(addr_c));
+  emit_k0_offset(a, n, Reg::a7);
+
+  a.l("outer");
+  a.slli(Reg::t0, Reg::s0, 2);            // flat = block * 4
+  a.srli(Reg::t1, Reg::t0, log2n);        // row index
+  a.andi(Reg::t2, Reg::t0, static_cast<int32_t>(n - 1));  // col
+  a.slli(Reg::t1, Reg::t1, log2n + 2);
+  a.add(Reg::t1, Reg::t1, Reg::s7);       // &A[row][0]
+  a.slli(Reg::t3, Reg::t2, log2n + 2);
+  a.add(Reg::t3, Reg::t3, Reg::s8);       // &Bt[col][0]
+  a.li(Reg::s2, 0);                       // four accumulators
+  a.li(Reg::s3, 0);
+  a.li(Reg::s4, 0);
+  a.li(Reg::s5, 0);
+  a.li(Reg::t6, static_cast<int32_t>(n));
+
+  a.l("inner");
+  a.add(Reg::t4, Reg::t1, Reg::a7);
+  a.lw(Reg::a2, Reg::t4, 0);              // A[row][k]
+  a.add(Reg::t4, Reg::t3, Reg::a7);
+  a.lw(Reg::a3, Reg::t4, 0);              // Bt[col+0][k]
+  a.lw(Reg::a4, Reg::t4, row);            // Bt[col+1][k]
+  a.lw(Reg::a5, Reg::t4, 2 * row);        // Bt[col+2][k]
+  a.lw(Reg::a6, Reg::t4, 3 * row);        // Bt[col+3][k]
+  a.addi(Reg::a7, Reg::a7, static_cast<int32_t>(4 * k_stride(n)));
+  a.andi(Reg::a7, Reg::a7, row - 1);
+  a.mul(Reg::t0, Reg::a2, Reg::a3);
+  a.mul(Reg::t2, Reg::a2, Reg::a4);
+  a.mul(Reg::t4, Reg::a2, Reg::a5);
+  a.mul(Reg::t5, Reg::a2, Reg::a6);
+  a.add(Reg::s2, Reg::s2, Reg::t0);
+  a.add(Reg::s3, Reg::s3, Reg::t2);
+  a.add(Reg::s4, Reg::s4, Reg::t4);
+  a.add(Reg::s5, Reg::s5, Reg::t5);
+  a.addi(Reg::t6, Reg::t6, -1);
+  a.bnez(Reg::t6, "inner");
+
+  a.slli(Reg::t0, Reg::s0, 4);            // C + block*16 bytes
+  a.add(Reg::t0, Reg::t0, Reg::s9);
+  a.sw(Reg::s2, Reg::t0, 0);
+  a.sw(Reg::s3, Reg::t0, 4);
+  a.sw(Reg::s4, Reg::t0, 8);
+  a.sw(Reg::s5, Reg::t0, 12);
+  a.addi(Reg::s0, Reg::s0, 1);
+  a.addi(Reg::s1, Reg::s1, -1);
+  a.bnez(Reg::s1, "outer");
+
+  a.call("barrier");
+  a.mv(Reg::ra, Reg::s11);
+  a.ret();
+}
+
+/// 2x4 register-blocked variant (the shape the hand-tuned MemPool kernels
+/// use): per step, two A elements + one element from each of four
+/// transposed-B rows feed eight accumulators — 28 instructions, 6 loads per
+/// 8 MACs, all six loads targeting six different tiles, and the mul/add
+/// schedule spaced exactly at the 3-cycle multiplier latency.
+///
+/// Register allocation: accumulators {s2..s5 (row 0), a0,a1,a6,s11 (row 1)},
+/// A values t0/t2, B chunk a2..a5, products t4..t6 rotating, row pointers
+/// t1/t3 (fixed per block), offset walker a7, k counter gp, C pointer tp,
+/// bases s7/s8/s9. ra is saved on the stack.
+void emit_matmul_2x4(Assembler& a, uint32_t n, uint32_t blocks,
+                     uint32_t addr_a, uint32_t addr_b, uint32_t addr_c) {
+  const unsigned log2n = log2_exact(n);
+  const int32_t row = static_cast<int32_t>(4 * n);
+
+  a.l("main");
+  a.addi(Reg::sp, Reg::sp, -16);
+  a.sw(Reg::ra, Reg::sp, 0);
+  a.li(Reg::t0, static_cast<int32_t>(blocks));
+  a.mul(Reg::s0, Reg::a0, Reg::t0);       // first block index
+  a.li(Reg::s1, static_cast<int32_t>(blocks));
+  a.li(Reg::s7, static_cast<int32_t>(addr_a));
+  a.li(Reg::s8, static_cast<int32_t>(addr_b));
+  a.li(Reg::s9, static_cast<int32_t>(addr_c));
+  emit_k0_offset(a, n, Reg::a7);
+
+  a.l("outer");
+  // Block -> (row pair, column block): row = 2*(b / (n/4)), col = 4*(b % (n/4)).
+  a.srli(Reg::t0, Reg::s0, log2n - 2);
+  a.andi(Reg::t2, Reg::s0, static_cast<int32_t>(n / 4 - 1));
+  a.slli(Reg::t0, Reg::t0, 1);            // row index
+  a.slli(Reg::t2, Reg::t2, 2);            // col index
+  a.slli(Reg::t1, Reg::t0, log2n + 2);
+  a.add(Reg::t1, Reg::t1, Reg::s7);       // &A[row][0]
+  a.slli(Reg::t3, Reg::t2, log2n + 2);
+  a.add(Reg::t3, Reg::t3, Reg::s8);       // &Bt[col][0]
+  // C pointer: C + (row*n + col)*4.
+  a.slli(Reg::t5, Reg::t0, log2n);
+  a.add(Reg::t5, Reg::t5, Reg::t2);
+  a.slli(Reg::t5, Reg::t5, 2);
+  a.add(Reg::tp, Reg::t5, Reg::s9);
+  // Zero the eight accumulators.
+  a.li(Reg::s2, 0);
+  a.li(Reg::s3, 0);
+  a.li(Reg::s4, 0);
+  a.li(Reg::s5, 0);
+  a.li(Reg::a0, 0);
+  a.li(Reg::a1, 0);
+  a.li(Reg::a6, 0);
+  a.li(Reg::s11, 0);
+  a.li(Reg::gp, static_cast<int32_t>(n));
+
+  a.l("inner");
+  a.add(Reg::t4, Reg::t1, Reg::a7);
+  a.lw(Reg::t0, Reg::t4, 0);              // A[r][k]
+  a.lw(Reg::t2, Reg::t4, row);            // A[r+1][k]
+  a.add(Reg::t4, Reg::t3, Reg::a7);
+  a.lw(Reg::a2, Reg::t4, 0);              // Bt[c..c+3][k]
+  a.lw(Reg::a3, Reg::t4, row);
+  a.lw(Reg::a4, Reg::t4, 2 * row);
+  a.lw(Reg::a5, Reg::t4, 3 * row);
+  a.addi(Reg::a7, Reg::a7, static_cast<int32_t>(4 * k_stride(n)));
+  a.andi(Reg::a7, Reg::a7, row - 1);
+  a.mul(Reg::t4, Reg::t0, Reg::a2);
+  a.mul(Reg::t5, Reg::t0, Reg::a3);
+  a.mul(Reg::t6, Reg::t0, Reg::a4);
+  a.add(Reg::s2, Reg::s2, Reg::t4);
+  a.mul(Reg::t4, Reg::t0, Reg::a5);
+  a.add(Reg::s3, Reg::s3, Reg::t5);
+  a.mul(Reg::t5, Reg::t2, Reg::a2);
+  a.add(Reg::s4, Reg::s4, Reg::t6);
+  a.mul(Reg::t6, Reg::t2, Reg::a3);
+  a.add(Reg::s5, Reg::s5, Reg::t4);
+  a.mul(Reg::t4, Reg::t2, Reg::a4);
+  a.add(Reg::a0, Reg::a0, Reg::t5);
+  a.mul(Reg::t5, Reg::t2, Reg::a5);
+  a.add(Reg::a1, Reg::a1, Reg::t6);
+  a.add(Reg::a6, Reg::a6, Reg::t4);
+  a.add(Reg::s11, Reg::s11, Reg::t5);
+  a.addi(Reg::gp, Reg::gp, -1);
+  a.bnez(Reg::gp, "inner");
+
+  a.sw(Reg::s2, Reg::tp, 0);
+  a.sw(Reg::s3, Reg::tp, 4);
+  a.sw(Reg::s4, Reg::tp, 8);
+  a.sw(Reg::s5, Reg::tp, 12);
+  a.sw(Reg::a0, Reg::tp, row);
+  a.sw(Reg::a1, Reg::tp, row + 4);
+  a.sw(Reg::a6, Reg::tp, row + 8);
+  a.sw(Reg::s11, Reg::tp, row + 12);
+  a.addi(Reg::s0, Reg::s0, 1);
+  a.addi(Reg::s1, Reg::s1, -1);
+  a.bnez(Reg::s1, "outer");
+
+  // hartid (a0) was clobbered as an accumulator; restore it for hygiene.
+  a.csrr(Reg::a0, isa::kCsrMhartid);
+  a.call("barrier");
+  a.lw(Reg::ra, Reg::sp, 0);
+  a.addi(Reg::sp, Reg::sp, 16);
+  a.ret();
+}
+
+}  // namespace
+
+KernelProgram build_matmul(const ClusterConfig& cfg, uint32_t n,
+                           uint64_t seed) {
+  MEMPOOL_CHECK(is_pow2(n) && n % 4 == 0 && n <= 128);
+  MEMPOOL_CHECK_MSG((n * n) % cfg.num_cores() == 0,
+                    "n^2 must be divisible by the core count");
+  const uint32_t opc = n * n / cfg.num_cores();  // outputs per core
+  MEMPOOL_CHECK_MSG(opc % 4 == 0, "outputs per core must be a multiple of 4");
+
+  const RuntimeLayout layout = make_runtime_layout(cfg);
+  const uint32_t addr_a = layout.data_base;
+  const uint32_t addr_b = addr_a + n * n * 4;
+  const uint32_t addr_c = addr_b + n * n * 4;
+  MEMPOOL_CHECK_MSG(addr_c + n * n * 4 <= cfg.spm_bytes(),
+                    "matrices do not fit in the SPM");
+
+  Assembler a;
+  emit_crt0(a, cfg, /*stack_bytes=*/256);
+  emit_barrier(a, cfg, layout);
+
+  // Prefer the 2x4 blocking (fewer loads per MAC) when each core owns at
+  // least one full 2x4 block.
+  if (opc % 8 == 0) {
+    emit_matmul_2x4(a, n, opc / 8, addr_a, addr_b, addr_c);
+  } else {
+    emit_matmul_1x4(a, n, opc / 4, addr_a, addr_b, addr_c);
+  }
+
+  KernelProgram kp;
+  kp.name = "matmul";
+  kp.image = a.finish();
+
+  // B is stored transposed (column-major): the kernels read Bt[col][k].
+  kp.init = [addr_a, addr_b, n, seed](System& sys) {
+    Rng rng(seed);
+    for (uint32_t i = 0; i < n * n; ++i) {
+      const uint32_t k = i / n, col = i % n;
+      sys.write_word(addr_a + 4 * i,
+                     static_cast<uint32_t>(rng.next_below(256)) - 128);
+      sys.write_word(addr_b + 4 * (col * n + k),
+                     static_cast<uint32_t>(rng.next_below(256)) - 128);
+    }
+  };
+
+  kp.check = [addr_a, addr_b, addr_c, n](const System& sys,
+                                         std::string* err) {
+    std::vector<uint32_t> ma(n * n), mb(n * n);
+    for (uint32_t i = 0; i < n * n; ++i) {
+      const uint32_t k = i / n, col = i % n;
+      ma[i] = sys.read_word(addr_a + 4 * i);
+      mb[i] = sys.read_word(addr_b + 4 * (col * n + k));
+    }
+    const std::vector<uint32_t> want = golden_matmul(ma, mb, n);
+    for (uint32_t i = 0; i < n * n; ++i) {
+      const uint32_t got = sys.read_word(addr_c + 4 * i);
+      if (got != want[i]) {
+        std::ostringstream os;
+        os << "matmul mismatch at flat index " << i << ": got 0x" << std::hex
+           << got << ", want 0x" << want[i];
+        *err = os.str();
+        return false;
+      }
+    }
+    return true;
+  };
+  return kp;
+}
+
+}  // namespace mempool::kernels

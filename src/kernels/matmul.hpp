@@ -1,0 +1,17 @@
+#pragma once
+// matmul benchmark (Section V-C): n×n int32 matrix multiplication with the
+// matrices in the interleaved region — "accesses are predominantly remote".
+
+#include <cstdint>
+
+#include "core/cluster_config.hpp"
+#include "kernels/kernel.hpp"
+
+namespace mempool::kernels {
+
+/// Build the matmul kernel. Requires n² divisible by the core count, n a
+/// power of two, n % 4 == 0 (4-way unrolled inner loop) and n <= 128.
+KernelProgram build_matmul(const ClusterConfig& cfg, uint32_t n = 64,
+                           uint64_t seed = 42);
+
+}  // namespace mempool::kernels

@@ -1,0 +1,127 @@
+#include "kernels/runtime.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "core/layout.hpp"
+#include "isa/csr.hpp"
+
+namespace mempool::kernels {
+
+using isa::Assembler;
+using isa::Reg;
+
+RuntimeLayout make_runtime_layout(const ClusterConfig& cfg) {
+  RuntimeLayout l;
+  // The sequential window exists at the same CPU addresses whether or not
+  // scrambling is enabled (the paper's Top◇ baselines run the *same binary*,
+  // only the address transformation differs), so the layout is computed from
+  // the geometry, not from cfg.scrambling.
+  l.seq_total = cfg.seq_region_bytes * cfg.num_tiles;
+  const uint32_t row_stride = 4 * cfg.banks_per_tile * cfg.num_tiles;
+  l.barrier_count = l.seq_total;
+  l.barrier_gen = l.seq_total + row_stride;  // same bank, next row
+  l.data_base = l.seq_total + 2 * row_stride;
+  MEMPOOL_CHECK(l.data_base < cfg.spm_bytes());
+  return l;
+}
+
+void emit_crt0(isa::Assembler& a, const ClusterConfig& cfg,
+               uint32_t stack_bytes) {
+  MEMPOOL_CHECK(is_pow2(stack_bytes));
+  // The top kReservedSeqBytes of every tile's sequential region belong to
+  // the runtime (the barrier's tile-local generation copy); stacks start
+  // below it.
+  MEMPOOL_CHECK_MSG(
+      stack_bytes * cfg.cores_per_tile + RuntimeLayout::kReservedSeqBytes <=
+          cfg.seq_region_bytes,
+      "stacks + runtime do not fit in the sequential region");
+  const unsigned log2_cpt = log2_exact(cfg.cores_per_tile);
+  const unsigned log2_seq = log2_exact(cfg.seq_region_bytes);
+  const unsigned log2_stack = log2_exact(stack_bytes);
+
+  a.l("_start");
+  a.csrr(Reg::a0, isa::kCsrMhartid);
+  a.srli(Reg::t0, Reg::a0, log2_cpt);        // t0 = tile
+  a.andi(Reg::t1, Reg::a0, static_cast<int32_t>(cfg.cores_per_tile - 1));
+  a.addi(Reg::t2, Reg::t0, 1);
+  a.slli(Reg::t2, Reg::t2, log2_seq);        // end of own sequential region
+  a.addi(Reg::t2, Reg::t2,
+         -static_cast<int32_t>(RuntimeLayout::kReservedSeqBytes));
+  a.slli(Reg::t3, Reg::t1, log2_stack);
+  a.sub(Reg::sp, Reg::t2, Reg::t3);          // sp = region end - runtime - slot
+  a.mv(Reg::gp, Reg::t0);                    // gp = tile id
+  a.call("main");
+  a.li(Reg::t0, static_cast<int32_t>(kCtrlExit));
+  a.sw(Reg::zero, Reg::t0, 0);
+  a.l("_hang");
+  a.j("_hang");  // unreachable: the EXIT store halts the core
+}
+
+void emit_barrier(isa::Assembler& a, const ClusterConfig& cfg,
+                  const RuntimeLayout& layout) {
+  // Centralized-counter barrier with *distributed release*: every tile keeps
+  // its own copy of the generation word at the top of its sequential region,
+  // so waiting cores spin on a local (or at least fixed, per-tile) bank and
+  // put zero load on the global interconnect; the releasing core broadcasts
+  // the new generation with one posted store per tile.
+  //
+  // Orderings that matter on a fabric with posted stores and no inter-bank
+  // ordering:
+  //  1. The generation read must complete before this core's amoadd is
+  //     issued (otherwise the release can overtake the read and we spin on
+  //     the next generation — deadlock). The read result is folded into the
+  //     amoadd operand (t3 = (t2+1)-t2 = 1) so the scoreboard orders them.
+  //  2. The counter reset must be observable before any generation copy is
+  //     published: the reset uses amoswap (which returns a response) and the
+  //     broadcast value is made data-dependent on that response.
+  const unsigned log2_cpt = log2_exact(cfg.cores_per_tile);
+  const unsigned log2_seq = log2_exact(cfg.seq_region_bytes);
+  const int32_t gen_off =
+      static_cast<int32_t>(cfg.seq_region_bytes) -
+      static_cast<int32_t>(RuntimeLayout::kReservedSeqBytes);
+
+  a.l("barrier");
+  // t1 = &tile_gen (own tile's generation copy).
+  a.csrr(Reg::t0, isa::kCsrMhartid);
+  a.srli(Reg::t0, Reg::t0, log2_cpt);
+  a.slli(Reg::t1, Reg::t0, log2_seq);
+  const bool gen_off_imm = gen_off <= 2047;
+  if (gen_off_imm) {
+    a.addi(Reg::t1, Reg::t1, gen_off);
+  } else {
+    a.li(Reg::t5, gen_off);
+    a.add(Reg::t1, Reg::t1, Reg::t5);
+  }
+  a.lw(Reg::t2, Reg::t1, 0);                 // t2 = my generation
+  a.li(Reg::t0, static_cast<int32_t>(layout.barrier_count));
+  a.addi(Reg::t3, Reg::t2, 1);
+  a.sub(Reg::t3, Reg::t3, Reg::t2);          // t3 = 1 (depends on t2)
+  a.amoadd_w(Reg::t4, Reg::t3, Reg::t0);     // t4 = old count
+  a.addi(Reg::t4, Reg::t4, 1);
+  a.li(Reg::t5, static_cast<int32_t>(cfg.num_cores()));
+  a.beq(Reg::t4, Reg::t5, "barrier_last");
+  a.l("barrier_spin");
+  a.lw(Reg::t6, Reg::t1, 0);                 // local spin: no fabric traffic
+  a.bne(Reg::t6, Reg::t2, "barrier_done");
+  a.nop();
+  a.nop();
+  a.j("barrier_spin");
+  a.l("barrier_last");
+  a.amoswap_w(Reg::t6, Reg::zero, Reg::t0);  // reset count, returns old value
+  a.andi(Reg::t6, Reg::t6, 0);               // t6 = 0 (depends on response)
+  a.addi(Reg::t3, Reg::t2, 1);
+  a.add(Reg::t3, Reg::t3, Reg::t6);          // new generation, ordered
+  // Broadcast to every tile's generation copy (posted stores).
+  a.li(Reg::t4, static_cast<int32_t>(cfg.num_tiles));
+  a.li(Reg::t5, gen_off);                    // &tile0_gen
+  a.li(Reg::t6, static_cast<int32_t>(cfg.seq_region_bytes));
+  a.l("barrier_bcast");
+  a.sw(Reg::t3, Reg::t5, 0);
+  a.add(Reg::t5, Reg::t5, Reg::t6);
+  a.addi(Reg::t4, Reg::t4, -1);
+  a.bnez(Reg::t4, "barrier_bcast");
+  a.l("barrier_done");
+  a.ret();
+}
+
+}  // namespace mempool::kernels

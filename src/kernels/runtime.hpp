@@ -1,0 +1,55 @@
+#pragma once
+// Bare-metal runtime for MemPool kernels: per-core stack setup in the tile's
+// sequential region, hartid-based work distribution, and a centralized
+// sense-reversing barrier built on amoadd.w.
+
+#include <cstdint>
+
+#include "core/cluster_config.hpp"
+#include "isa/assembler.hpp"
+
+namespace mempool::kernels {
+
+/// Addresses shared by the runtime and the kernels.
+struct RuntimeLayout {
+  /// Bytes at the top of every tile's sequential region reserved for the
+  /// runtime: the barrier's tile-local generation copy lives there, so
+  /// waiting cores spin without touching the global interconnect. Stacks
+  /// start directly below.
+  static constexpr uint32_t kReservedSeqBytes = 16;
+
+  uint32_t seq_total;       ///< End of the sequential window (CPU space).
+  uint32_t barrier_count;   ///< amoadd target (central counter).
+  uint32_t barrier_gen;     ///< master generation word (same bank as count).
+  uint32_t data_base;       ///< First address available for kernel arrays.
+
+  /// CPU base address of tile @p t's sequential region.
+  uint32_t tile_seq_base(const ClusterConfig& cfg, uint32_t t) const {
+    return t * cfg.seq_region_bytes;
+  }
+
+  /// CPU address of tile @p t's local generation copy.
+  uint32_t tile_gen_addr(const ClusterConfig& cfg, uint32_t t) const {
+    return (t + 1) * cfg.seq_region_bytes - kReservedSeqBytes;
+  }
+};
+
+/// Compute the canonical layout for a configuration. The barrier words are
+/// placed in the interleaved region, one bank row apart, so that the two
+/// barrier stores of the releasing core hit the *same bank* and are therefore
+/// ordered by the bank's FIFO (stores are posted and the fabric does not
+/// order transactions).
+RuntimeLayout make_runtime_layout(const ClusterConfig& cfg);
+
+/// Emit _start: sets sp into the own tile's sequential region (stacks grow
+/// down from the top, one stack_bytes slot per core), sets gp = tile id,
+/// a0 = hartid, calls "main", then writes the EXIT control register.
+void emit_crt0(isa::Assembler& a, const ClusterConfig& cfg,
+               uint32_t stack_bytes);
+
+/// Emit the "barrier" function (clobbers t0-t6). All num_cores() cores must
+/// call it. See runtime.cpp for the memory-ordering discussion.
+void emit_barrier(isa::Assembler& a, const ClusterConfig& cfg,
+                  const RuntimeLayout& layout);
+
+}  // namespace mempool::kernels

@@ -1,0 +1,6 @@
+// AddressMap is header-only; this TU anchors the library.
+#include "mem/addr_map.hpp"
+
+namespace mempool {
+// Intentionally empty.
+}  // namespace mempool

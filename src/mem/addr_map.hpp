@@ -1,0 +1,82 @@
+#pragma once
+// Interleaved L1 address map (Section IV): a physical SPM address is
+// interpreted as [ row | tile(t bits) | bank(b bits) | byte(2 bits) ], i.e.
+// word-consecutive addresses hop across banks, then across tiles, which
+// minimizes banking conflicts for bulk data.
+
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace mempool {
+
+/// Decomposed physical SPM location.
+struct BankLocation {
+  uint32_t tile;      ///< Tile index in [0, num_tiles).
+  uint32_t bank;      ///< Bank index within the tile.
+  uint32_t row;       ///< Word row within the bank.
+  uint32_t byte;      ///< Byte offset within the word.
+};
+
+class AddressMap {
+ public:
+  /// @param num_tiles, banks_per_tile powers of two.
+  /// @param bank_bytes bytes per bank (power of two, multiple of 4).
+  AddressMap(uint32_t num_tiles, uint32_t banks_per_tile, uint32_t bank_bytes)
+      : num_tiles_(num_tiles),
+        banks_per_tile_(banks_per_tile),
+        bank_bytes_(bank_bytes),
+        bank_bits_(log2_exact(banks_per_tile)),
+        tile_bits_(log2_exact(num_tiles)),
+        rows_per_bank_(bank_bytes / 4) {
+    MEMPOOL_CHECK(is_pow2(num_tiles));
+    MEMPOOL_CHECK(is_pow2(banks_per_tile));
+    MEMPOOL_CHECK(is_pow2(bank_bytes) && bank_bytes >= 4);
+  }
+
+  /// Total SPM bytes.
+  uint32_t spm_bytes() const {
+    return num_tiles_ * banks_per_tile_ * bank_bytes_;
+  }
+
+  bool contains(uint32_t addr) const { return addr < spm_bytes(); }
+
+  /// Split a physical address into tile/bank/row/byte.
+  BankLocation locate(uint32_t addr) const {
+    MEMPOOL_CHECK_MSG(contains(addr), "address 0x" << std::hex << addr
+                                                   << " outside SPM");
+    BankLocation loc;
+    loc.byte = bits(addr, 0, 2);
+    loc.bank = bits(addr, 2, bank_bits_);
+    loc.tile = bits(addr, 2 + bank_bits_, tile_bits_);
+    loc.row = addr >> (2 + bank_bits_ + tile_bits_);
+    return loc;
+  }
+
+  /// Inverse of locate().
+  uint32_t compose(const BankLocation& loc) const {
+    uint32_t addr = loc.row << (2 + bank_bits_ + tile_bits_);
+    addr = insert_bits(addr, 2 + bank_bits_, tile_bits_, loc.tile);
+    addr = insert_bits(addr, 2, bank_bits_, loc.bank);
+    addr = insert_bits(addr, 0, 2, loc.byte);
+    return addr;
+  }
+
+  uint32_t num_tiles() const { return num_tiles_; }
+  uint32_t banks_per_tile() const { return banks_per_tile_; }
+  uint32_t bank_bytes() const { return bank_bytes_; }
+  uint32_t rows_per_bank() const { return rows_per_bank_; }
+  unsigned bank_bits() const { return bank_bits_; }
+  unsigned tile_bits() const { return tile_bits_; }
+
+ private:
+  uint32_t num_tiles_;
+  uint32_t banks_per_tile_;
+  uint32_t bank_bytes_;
+  unsigned bank_bits_;
+  unsigned tile_bits_;
+  uint32_t rows_per_bank_;
+};
+
+}  // namespace mempool

@@ -1,0 +1,91 @@
+#include "mem/icache.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace mempool {
+
+ICache::ICache(std::string name, const ICacheConfig& cfg,
+               const InstrMem* backing)
+    : Component(std::move(name)), cfg_(cfg), backing_(backing) {
+  MEMPOOL_CHECK(backing_ != nullptr);
+  MEMPOOL_CHECK(is_pow2(cfg_.size_bytes));
+  MEMPOOL_CHECK(is_pow2(cfg_.line_bytes) && cfg_.line_bytes >= 4);
+  MEMPOOL_CHECK(cfg_.ways >= 1);
+  MEMPOOL_CHECK(cfg_.size_bytes % (cfg_.line_bytes * cfg_.ways) == 0);
+  num_sets_ = cfg_.size_bytes / (cfg_.line_bytes * cfg_.ways);
+  lines_.resize(num_sets_ * cfg_.ways);
+}
+
+uint32_t ICache::set_of(uint32_t pc) const {
+  return (pc / cfg_.line_bytes) % num_sets_;
+}
+
+uint32_t ICache::tag_of(uint32_t pc) const {
+  return pc / cfg_.line_bytes / num_sets_;
+}
+
+ICache::Line* ICache::lookup(uint32_t pc) {
+  const uint32_t set = set_of(pc);
+  const uint32_t tag = tag_of(pc);
+  for (uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& line = lines_[set * cfg_.ways + w];
+    if (line.valid && line.tag == tag) return &line;
+  }
+  return nullptr;
+}
+
+void ICache::flush() {
+  for (auto& l : lines_) l.valid = false;
+  refill_.active = false;
+  pending_.clear();
+}
+
+ICache::FetchResult ICache::fetch(uint32_t pc, uint64_t /*cycle*/) {
+  if (Line* line = lookup(pc)) {
+    line->lru = ++lru_clock_;
+    ++hits_;
+    return {true, backing_->read_word(pc)};
+  }
+  ++misses_;
+  const uint32_t line_addr = pc & ~(cfg_.line_bytes - 1);
+  // Merge with an in-flight or queued refill of the same line.
+  if (refill_.active && refill_.line_addr == line_addr) return {false, 0};
+  if (std::find(pending_.begin(), pending_.end(), line_addr) != pending_.end())
+    return {false, 0};
+  pending_.push_back(line_addr);
+  return {false, 0};
+}
+
+void ICache::evaluate(uint64_t cycle) {
+  // Complete an in-flight refill.
+  if (refill_.active && cycle >= refill_.done_cycle) {
+    const uint32_t set = set_of(refill_.line_addr);
+    // Victim: invalid way first, else LRU.
+    Line* victim = nullptr;
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+      Line& line = lines_[set * cfg_.ways + w];
+      if (!line.valid) {
+        victim = &line;
+        break;
+      }
+      if (victim == nullptr || line.lru < victim->lru) victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag_of(refill_.line_addr);
+    victim->lru = ++lru_clock_;
+    refill_.active = false;
+    ++refills_;
+  }
+  // Launch the next refill on the single AXI port.
+  if (!refill_.active && !pending_.empty()) {
+    refill_.active = true;
+    refill_.line_addr = pending_.front();
+    pending_.erase(pending_.begin());
+    refill_.done_cycle = cycle + cfg_.refill_latency + cfg_.line_bytes / 4;
+  }
+}
+
+}  // namespace mempool

@@ -1,0 +1,86 @@
+#pragma once
+// Shared per-tile L1 instruction cache (Section III-B: "Inside each tile, we
+// have a 4-way L1 instruction cache ... with a 32-bit AXI refill port").
+//
+// Timing model: hits return the instruction in the same cycle (the I$ is
+// inside the core's single-stage fetch path); a miss stalls the requesting
+// core until the refill completes. One refill is in flight per tile (32-bit
+// AXI port), taking refill_latency + line_words cycles; concurrent misses to
+// the same line merge (MSHR). The refill network itself is "noncritical" per
+// the paper and modelled by the fixed latency.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/imem.hpp"
+#include "sim/component.hpp"
+
+namespace mempool {
+
+struct ICacheConfig {
+  uint32_t size_bytes = 2048;   ///< Paper: 2 KiB per tile.
+  uint32_t ways = 4;            ///< Paper: 4-way.
+  uint32_t line_bytes = 32;
+  uint32_t refill_latency = 20; ///< AXI round-trip to the backing store.
+};
+
+class ICache final : public Component {
+ public:
+  ICache(std::string name, const ICacheConfig& cfg, const InstrMem* backing);
+
+  struct FetchResult {
+    bool hit = false;
+    uint32_t instr = 0;
+  };
+
+  /// Called by a core during its evaluate; on a miss the core must retry
+  /// every cycle (retries while the line is in flight do not re-arm anything).
+  FetchResult fetch(uint32_t pc, uint64_t cycle);
+
+  /// Progress outstanding refills; must be evaluated before the cores.
+  void evaluate(uint64_t cycle) override;
+
+  /// Invalidate all lines (used between benchmark phases in tests).
+  void flush();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t refills() const { return refills_; }
+  double hit_rate() const {
+    const uint64_t t = hits_ + misses_;
+    return t ? static_cast<double>(hits_) / static_cast<double>(t) : 0.0;
+  }
+
+ private:
+  struct Line {
+    bool valid = false;
+    uint32_t tag = 0;
+    uint64_t lru = 0;
+  };
+
+  uint32_t set_of(uint32_t pc) const;
+  uint32_t tag_of(uint32_t pc) const;
+  Line* lookup(uint32_t pc);
+
+  ICacheConfig cfg_;
+  const InstrMem* backing_;
+  uint32_t num_sets_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+
+  // Refill engine: one in flight, plus a queue of pending line addresses.
+  struct Refill {
+    bool active = false;
+    uint32_t line_addr = 0;
+    uint64_t done_cycle = 0;
+  };
+  Refill refill_;
+  std::vector<uint32_t> pending_;  // line addresses waiting for the port
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t refills_ = 0;
+  uint64_t lru_clock_ = 0;
+};
+
+}  // namespace mempool

@@ -1,0 +1,6 @@
+// InstrMem is header-only; this TU anchors the library.
+#include "mem/imem.hpp"
+
+namespace mempool {
+// Intentionally empty.
+}  // namespace mempool

@@ -1,0 +1,51 @@
+#pragma once
+// Instruction backing memory. MemPool's tiles fetch through a 2 KiB L1 I$
+// whose AXI refill port hangs off a non-critical refill network; the backing
+// store itself (boot ROM / L2) is outside the paper's evaluation, so it is a
+// flat preloaded word array here.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+class InstrMem {
+ public:
+  static constexpr uint32_t kBase = 0x8000'0000u;
+
+  explicit InstrMem(uint32_t size_bytes = 1u << 20)
+      : words_(size_bytes / 4, 0) {
+    MEMPOOL_CHECK(size_bytes % 4 == 0);
+  }
+
+  bool contains(uint32_t addr) const {
+    return addr >= kBase && addr - kBase < words_.size() * 4;
+  }
+
+  uint32_t read_word(uint32_t addr) const {
+    MEMPOOL_CHECK_MSG(contains(addr) && addr % 4 == 0,
+                      "bad ifetch address 0x" << std::hex << addr);
+    return words_[(addr - kBase) / 4];
+  }
+
+  void write_word(uint32_t addr, uint32_t value) {
+    MEMPOOL_CHECK(contains(addr) && addr % 4 == 0);
+    words_[(addr - kBase) / 4] = value;
+  }
+
+  /// Load a program image (vector of instruction words) at @p addr.
+  void load(uint32_t addr, const std::vector<uint32_t>& image) {
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      write_word(addr + static_cast<uint32_t>(4 * i), image[i]);
+    }
+  }
+
+  uint32_t size_bytes() const { return static_cast<uint32_t>(words_.size() * 4); }
+
+ private:
+  std::vector<uint32_t> words_;
+};
+
+}  // namespace mempool

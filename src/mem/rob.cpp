@@ -1,0 +1,6 @@
+// ReorderBuffer is header-only; this TU anchors the library.
+#include "mem/rob.hpp"
+
+namespace mempool {
+// Intentionally empty.
+}  // namespace mempool

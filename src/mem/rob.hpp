@@ -1,0 +1,90 @@
+#pragma once
+// Per-core reorder buffer (Figure 2). MemPool's interconnect does not provide
+// transaction ordering ("this task offloaded to the cores"); responses from
+// banks at different distances return out of order, and the ROB restores
+// program order at retirement: entries are allocated at issue and retired
+// strictly in order, one per cycle.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+/// Core-side metadata for an outstanding memory response.
+struct RobEntry {
+  uint8_t rd = 0;           ///< Destination register (0 = discard payload).
+  uint8_t width = 4;        ///< Access width in bytes (1, 2, 4).
+  bool sign_extend = false; ///< Subword loads: sign- vs zero-extend.
+  uint8_t byte_offset = 0;  ///< addr & 3 at issue (subword extraction).
+  bool done = false;        ///< Response arrived.
+  uint32_t data = 0;        ///< Raw response payload (full word).
+};
+
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(std::size_t entries) : ring_(entries) {
+    MEMPOOL_CHECK(entries >= 1);
+  }
+
+  bool full() const { return count_ == ring_.size(); }
+  bool empty() const { return count_ == 0; }
+  std::size_t in_flight() const { return count_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Allocate the tail entry; returns the tag carried by the request packet.
+  uint16_t allocate(const RobEntry& meta) {
+    MEMPOOL_CHECK(!full());
+    const uint16_t tag = tail_;
+    ring_[tail_] = meta;
+    ring_[tail_].done = false;
+    tail_ = static_cast<uint16_t>((tail_ + 1) % ring_.size());
+    ++count_;
+    return tag;
+  }
+
+  /// Fill entry @p tag with the response payload.
+  void fill(uint16_t tag, uint32_t data) {
+    MEMPOOL_CHECK(tag < ring_.size());
+    MEMPOOL_CHECK_MSG(!ring_[tag].done, "double response for ROB tag " << tag);
+    ring_[tag].done = true;
+    ring_[tag].data = data;
+  }
+
+  /// Inspect an entry (e.g. for write-back on arrival).
+  const RobEntry& peek(uint16_t tag) const {
+    MEMPOOL_CHECK(tag < ring_.size());
+    return ring_[tag];
+  }
+
+  /// Undo the most recent allocate(). Only legal immediately after the
+  /// allocate, before any response could have filled the entry — used when
+  /// the request port refuses the packet in the same cycle.
+  void rollback_tail() {
+    MEMPOOL_CHECK(count_ > 0);
+    tail_ = static_cast<uint16_t>((tail_ + ring_.size() - 1) % ring_.size());
+    MEMPOOL_CHECK(!ring_[tail_].done);
+    --count_;
+  }
+
+  /// True if the oldest entry has its response and can retire this cycle.
+  bool head_ready() const { return count_ > 0 && ring_[head_].done; }
+
+  /// Retire the oldest entry (caller checked head_ready()).
+  RobEntry pop_head() {
+    MEMPOOL_CHECK(head_ready());
+    RobEntry e = ring_[head_];
+    head_ = static_cast<uint16_t>((head_ + 1) % ring_.size());
+    --count_;
+    return e;
+  }
+
+ private:
+  std::vector<RobEntry> ring_;
+  uint16_t head_ = 0;
+  uint16_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mempool

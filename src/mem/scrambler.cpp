@@ -1,0 +1,21 @@
+#include "mem/scrambler.hpp"
+
+namespace mempool {
+
+Scrambler::Scrambler(const AddressMap& map, uint32_t seq_region_bytes,
+                     bool enabled)
+    : enabled_(enabled),
+      seq_bytes_(seq_region_bytes),
+      bank_bits_(map.bank_bits()),
+      t_bits_(map.tile_bits()) {
+  MEMPOOL_CHECK(is_pow2(seq_region_bytes));
+  const uint32_t sweep = map.banks_per_tile() * 4;  // one row across banks
+  MEMPOOL_CHECK_MSG(seq_region_bytes >= sweep,
+                    "sequential region smaller than one bank sweep");
+  MEMPOOL_CHECK_MSG(seq_region_bytes <= map.banks_per_tile() * map.bank_bytes(),
+                    "sequential region larger than a tile's SPM share");
+  s_bits_ = log2_exact(seq_region_bytes / sweep);
+  seq_total_ = seq_bytes_ * map.num_tiles();
+}
+
+}  // namespace mempool

@@ -1,0 +1,76 @@
+#pragma once
+// The hybrid addressing scheme of Section IV ("scrambling logic").
+//
+// The CPU-visible map keeps the first 2^(S+t) bytes as per-tile *sequential*
+// regions: tile T owns CPU addresses [T·2^S, (T+1)·2^S), which all map to
+// banks of tile T (still word-interleaved across the tile's banks). The rest
+// of the SPM stays fully interleaved. The transform swaps the s row bits with
+// the t tile bits and is applied only inside the sequential window, so it is
+// a bijection of the SPM address space onto itself: no aliasing, one shared
+// contiguous memory view for all cores — "implemented in hardware with a wire
+// crossing and a multiplexer".
+
+#include <cstdint>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "mem/addr_map.hpp"
+
+namespace mempool {
+
+class Scrambler {
+ public:
+  /// @param map           the interleaved physical map.
+  /// @param seq_region_bytes 2^S bytes of sequential region per tile; must be
+  ///        a multiple of one full interleaving sweep of a tile's banks
+  ///        (banks_per_tile * 4 bytes) and fit in the tile's SPM share.
+  /// @param enabled       disabled ⇒ identity (the paper's Top◇ baselines).
+  Scrambler(const AddressMap& map, uint32_t seq_region_bytes, bool enabled);
+
+  /// CPU address -> physical (interleaved) address.
+  uint32_t scramble(uint32_t cpu_addr) const {
+    if (!enabled_ || cpu_addr >= seq_total_) return cpu_addr;
+    // [row | tile(t) | row_lo(s) | bank | byte]  (CPU view, sequential)
+    //   -> [row | row_lo(s) | tile(t) | bank | byte]  (physical view)
+    const unsigned lo = 2 + bank_bits_;
+    const uint32_t row_lo = bits(cpu_addr, lo, s_bits_);
+    const uint32_t tile = bits(cpu_addr, lo + s_bits_, t_bits_);
+    uint32_t a = cpu_addr;
+    a = insert_bits(a, lo, t_bits_, tile);
+    a = insert_bits(a, lo + t_bits_, s_bits_, row_lo);
+    return a;
+  }
+
+  /// Physical address -> CPU address (exact inverse of scramble()).
+  uint32_t unscramble(uint32_t phys_addr) const {
+    if (!enabled_ || phys_addr >= seq_total_) return phys_addr;
+    const unsigned lo = 2 + bank_bits_;
+    const uint32_t tile = bits(phys_addr, lo, t_bits_);
+    const uint32_t row_lo = bits(phys_addr, lo + t_bits_, s_bits_);
+    uint32_t a = phys_addr;
+    a = insert_bits(a, lo, s_bits_, row_lo);
+    a = insert_bits(a, lo + s_bits_, t_bits_, tile);
+    return a;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Bytes of sequential region per tile (2^S).
+  uint32_t seq_region_bytes() const { return seq_bytes_; }
+
+  /// Total bytes of the sequential window (2^(S+t)).
+  uint32_t seq_total_bytes() const { return seq_total_; }
+
+  /// CPU base address of tile @p t's sequential region (valid when enabled).
+  uint32_t tile_seq_base(uint32_t tile) const { return tile * seq_bytes_; }
+
+ private:
+  bool enabled_;
+  uint32_t seq_bytes_;
+  uint32_t seq_total_;
+  unsigned bank_bits_;
+  unsigned t_bits_;
+  unsigned s_bits_;
+};
+
+}  // namespace mempool

@@ -1,0 +1,183 @@
+#include "noc/butterfly.hpp"
+
+#include <utility>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+
+namespace mempool {
+
+namespace {
+/// r-way perfect shuffle on L radix-r digits: left-rotate the digit string.
+unsigned shuffle(unsigned p, unsigned layers, unsigned radix_bits, unsigned n) {
+  const unsigned top = p >> ((layers - 1) * radix_bits);
+  return ((p << radix_bits) | top) & (n - 1);
+}
+}  // namespace
+
+ButterflyNet::ButterflyNet(std::string name, std::size_t num_endpoints,
+                           unsigned radix, std::vector<BufferMode> layer_modes,
+                           EndpointFn dst_of, std::size_t buffer_capacity)
+    : Component(std::move(name)),
+      n_(num_endpoints),
+      radix_(radix),
+      radix_bits_(log2_exact(radix)),
+      layers_(static_cast<unsigned>(layer_modes.size())),
+      dst_of_(std::move(dst_of)),
+      out_(num_endpoints, nullptr) {
+  MEMPOOL_CHECK(is_pow2(radix) && radix >= 2);
+  MEMPOOL_CHECK(is_pow2(num_endpoints));
+  const unsigned want_layers =
+      log2_exact(num_endpoints) / log2_exact(radix);
+  MEMPOOL_CHECK_MSG(want_layers * radix_bits_ == log2_exact(num_endpoints),
+                    "num_endpoints must be a power of the radix");
+  MEMPOOL_CHECK_MSG(layers_ == want_layers,
+                    "need " << want_layers << " layer modes, got " << layers_);
+
+  buf_.resize(layers_);
+  for (unsigned l = 0; l < layers_; ++l) {
+    buf_[l].reserve(n_);
+    for (std::size_t p = 0; p < n_; ++p) {
+      buf_[l].emplace_back(layer_modes[l], buffer_capacity);
+    }
+  }
+  in_sinks_.reserve(n_);
+  for (std::size_t p = 0; p < n_; ++p) in_sinks_.emplace_back(buf_[0][p]);
+
+  rr_.resize(layers_);
+  for (unsigned l = 0; l < layers_; ++l) {
+    rr_[l].assign((n_ / radix_) * radix_, 0);
+  }
+  traversals_.assign(layers_, 0);
+}
+
+PacketSink* ButterflyNet::input(std::size_t i) {
+  MEMPOOL_CHECK(i < in_sinks_.size());
+  return &in_sinks_[i];
+}
+
+void ButterflyNet::connect_output(std::size_t i, PacketSink* sink) {
+  MEMPOOL_CHECK(i < out_.size());
+  MEMPOOL_CHECK(sink != nullptr);
+  out_[i] = sink;
+}
+
+void ButterflyNet::register_clocked(Engine& engine) {
+  for (auto& layer : buf_) {
+    for (auto& b : layer) engine.add_clocked(&b);
+  }
+}
+
+uint64_t ButterflyNet::traversals() const {
+  uint64_t t = 0;
+  for (uint64_t x : traversals_) t += x;
+  return t;
+}
+
+bool ButterflyNet::idle() const {
+  for (const auto& layer : buf_) {
+    for (const auto& b : layer) {
+      if (!b.empty()) return false;
+    }
+  }
+  return true;
+}
+
+unsigned ButterflyNet::stage_hop(unsigned pos, unsigned dst, unsigned l,
+                                 unsigned layers, unsigned radix_bits,
+                                 unsigned n) {
+  const unsigned q = shuffle(pos, layers, radix_bits, n);
+  const unsigned radix = 1u << radix_bits;
+  const unsigned sw = q / radix;
+  const unsigned digit = radix_digit(dst, layers - 1 - l, radix_bits);
+  return sw * radix + digit;
+}
+
+void ButterflyNet::evaluate(uint64_t /*cycle*/) {
+  // Process layers in order so that a packet can ripple through consecutive
+  // combinational layers within one cycle.
+  for (unsigned l = 0; l < layers_; ++l) {
+    auto& layer = buf_[l];
+    // Per-switch arbitration: visit switches; each switch covers the r lines
+    // whose shuffled position falls inside it. We iterate over line
+    // positions, bucket candidates per (switch, digit), then grant.
+    // For r up to 4 and N up to 256 a flat scan is fast enough.
+    struct Cand {
+      unsigned line;
+      unsigned next;
+      unsigned slot;  // (sw * radix + digit), arbitration domain
+      unsigned sw_in; // input index within the switch (for round-robin)
+    };
+    // Collect candidates.
+    static thread_local std::vector<Cand> cands;
+    cands.clear();
+    for (unsigned p = 0; p < n_; ++p) {
+      if (layer[p].empty()) continue;
+      const Packet& pkt = layer[p].front();
+      const unsigned dst = dst_of_(pkt);
+      MEMPOOL_CHECK_MSG(dst < n_, name() << ": endpoint " << dst
+                                         << " out of range " << n_);
+      const unsigned q = shuffle(p, layers_, radix_bits_, static_cast<unsigned>(n_));
+      const unsigned sw = q / radix_;
+      const unsigned digit = radix_digit(dst, layers_ - 1 - l, radix_bits_);
+      cands.push_back({p, sw * radix_ + digit, sw * radix_ + digit,
+                       q % radix_});
+    }
+    if (cands.empty()) continue;
+
+    // Grant per arbitration slot using round-robin over switch inputs.
+    // Candidates with the same slot compete; the winner moves.
+    for (std::size_t i = 0; i < cands.size();) {
+      // Find the extent of this slot group (cands are in line order, so same
+      // slot entries are not necessarily adjacent; do a simple scan).
+      const unsigned slot = cands[i].slot;
+      // Gather all candidates for this slot.
+      unsigned best_line = cands[i].line;
+      unsigned best_in = cands[i].sw_in;
+      unsigned best_dist = (cands[i].sw_in + radix_ - rr_[l][slot]) % radix_;
+      std::size_t group = 1;
+      for (std::size_t j = i + 1; j < cands.size(); ++j) {
+        if (cands[j].slot != slot) continue;
+        ++group;
+        const unsigned dist = (cands[j].sw_in + radix_ - rr_[l][slot]) % radix_;
+        if (dist < best_dist) {
+          best_dist = dist;
+          best_line = cands[j].line;
+          best_in = cands[j].sw_in;
+        }
+      }
+
+      // Destination of the winner.
+      const unsigned next = cands[i].next;
+      PacketSink* sink;
+      BufferSink<PacketBuffer> next_sink{(l + 1 < layers_) ? buf_[l + 1][next]
+                                                           : buf_[0][0]};
+      if (l + 1 < layers_) {
+        sink = &next_sink;
+      } else {
+        MEMPOOL_CHECK_MSG(out_[next] != nullptr,
+                          name() << ": output " << next << " not connected");
+        sink = out_[next];
+      }
+      if (sink->can_accept()) {
+        sink->push(layer[best_line].pop());
+        ++traversals_[l];
+        blocked_ += group - 1;
+        rr_[l][slot] = (best_in + 1u) % radix_;
+      } else {
+        blocked_ += group;
+      }
+
+      // Remove all candidates of this slot from further consideration.
+      std::size_t w = i;
+      for (std::size_t j = i; j < cands.size(); ++j) {
+        if (cands[j].slot != slot) cands[w++] = cands[j];
+      }
+      cands.resize(w);
+      // i stays: next group starts at position i.
+      if (i >= cands.size()) break;
+    }
+  }
+}
+
+}  // namespace mempool

@@ -1,0 +1,80 @@
+#pragma once
+// Minimal radix-r butterfly network (Section III-A, Figure 1): log_r(N)
+// layers of r×r logarithmic crossbar switches with an r-way perfect shuffle
+// between layers (omega construction). Destination-tag routing: at layer l
+// the switch output equals digit (L-1-l) of the destination endpoint, so
+// there is a single path per master/slave pair (oblivious routing).
+//
+// Pipeline registers are placed per layer: a layer whose input buffers are
+// kRegistered adds one cycle (e.g. Top1's "single pipeline stage midway
+// through its log4(64) = 3 layers" = registered layer 1, with layer 0
+// registered as the tile's master-port boundary).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/elastic_buffer.hpp"
+#include "sim/engine.hpp"
+#include "noc/xbar.hpp"
+
+namespace mempool {
+
+/// Extracts the destination endpoint index in [0, N) from a packet; the
+/// builder supplies this (e.g. target tile for request networks, requester
+/// tile for response networks, possibly rebased to a group-local index).
+using EndpointFn = std::function<unsigned(const Packet&)>;
+
+class ButterflyNet final : public Component {
+ public:
+  /// @param num_endpoints N = radix^L for some integer L >= 1.
+  /// @param layer_modes   input buffer mode per layer (size L).
+  ButterflyNet(std::string name, std::size_t num_endpoints, unsigned radix,
+               std::vector<BufferMode> layer_modes, EndpointFn dst_of,
+               std::size_t buffer_capacity = 2);
+
+  /// Sink for producers to push into endpoint @p i.
+  PacketSink* input(std::size_t i);
+
+  /// Attach endpoint output @p i to a downstream sink.
+  void connect_output(std::size_t i, PacketSink* sink);
+
+  void register_clocked(Engine& engine);
+
+  void evaluate(uint64_t cycle) override;
+
+  std::size_t num_endpoints() const { return n_; }
+  unsigned radix() const { return radix_; }
+  unsigned num_layers() const { return layers_; }
+
+  /// Switch traversals in layer @p l (energy model) and in total.
+  uint64_t layer_traversals(unsigned l) const { return traversals_[l]; }
+  uint64_t traversals() const;
+  uint64_t blocked() const { return blocked_; }
+
+  bool idle() const;
+
+  /// Pure routing arithmetic, exposed for tests: the line position after
+  /// stage @p l for a packet currently at position @p pos heading to @p dst.
+  static unsigned stage_hop(unsigned pos, unsigned dst, unsigned l,
+                            unsigned layers, unsigned radix_bits, unsigned n);
+
+ private:
+  std::size_t n_;
+  unsigned radix_;
+  unsigned radix_bits_;
+  unsigned layers_;
+  EndpointFn dst_of_;
+  // buf_[l][p]: input buffer of layer l at line position p (pre-shuffle).
+  std::vector<std::vector<PacketBuffer>> buf_;
+  std::vector<BufferSink<PacketBuffer>> in_sinks_;
+  std::vector<PacketSink*> out_;
+  // rr_[l][switch][digit]: round-robin pointer per layer/switch/output.
+  std::vector<std::vector<uint32_t>> rr_;
+  std::vector<uint64_t> traversals_;
+  uint64_t blocked_ = 0;
+};
+
+}  // namespace mempool

@@ -1,0 +1,25 @@
+#include "noc/monitor.hpp"
+
+namespace mempool {
+
+LatencyMonitor::LatencyMonitor(uint64_t warmup_cycles, double hist_bucket,
+                               std::size_t hist_buckets)
+    : warmup_(warmup_cycles), hist_(hist_bucket, hist_buckets) {}
+
+void LatencyMonitor::on_generated(uint64_t cycle) {
+  if (cycle >= warmup_) ++generated_;
+}
+
+void LatencyMonitor::on_injected(uint64_t cycle) {
+  if (cycle >= warmup_) ++injected_;
+}
+
+void LatencyMonitor::on_response(uint64_t now, uint64_t birth) {
+  if (now >= warmup_ && now < window_end_) ++completed_in_window_;
+  if (birth < warmup_) return;  // request generated during warmup
+  const double lat = static_cast<double>(now - birth);
+  lat_.add(lat);
+  hist_.add(lat);
+}
+
+}  // namespace mempool

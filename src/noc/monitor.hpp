@@ -1,0 +1,58 @@
+#pragma once
+// Measurement of injected load, accepted throughput, and round-trip latency —
+// the quantities plotted in Figures 5 and 6 of the paper. A monitor is shared
+// by all requesters of an experiment; warmup samples are excluded.
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace mempool {
+
+class LatencyMonitor {
+ public:
+  /// @param warmup_cycles samples whose response arrives before this cycle
+  ///        are ignored (drained network transient).
+  explicit LatencyMonitor(uint64_t warmup_cycles = 0,
+                          double hist_bucket = 1.0,
+                          std::size_t hist_buckets = 512);
+
+  /// Record a generated request (for offered load accounting).
+  void on_generated(uint64_t cycle);
+
+  /// Record a request injected into the fabric.
+  void on_injected(uint64_t cycle);
+
+  /// Record a completed round trip; @p birth is the generation cycle.
+  void on_response(uint64_t now, uint64_t birth);
+
+  void set_measure_start(uint64_t cycle) { warmup_ = cycle; }
+  /// Responses arriving at cycle >= @p end no longer count toward the
+  /// accepted-throughput window (latency samples still accumulate during the
+  /// drain so slow round trips are not censored).
+  void set_measure_end(uint64_t end) { window_end_ = end; }
+
+  uint64_t generated() const { return generated_; }
+  uint64_t injected() const { return injected_; }
+  uint64_t completed() const { return lat_.count(); }
+  /// Responses delivered inside [measure_start, measure_end).
+  uint64_t completed_in_window() const { return completed_in_window_; }
+
+  /// Mean round-trip latency in cycles (measured window only).
+  double avg_latency() const { return lat_.mean(); }
+  double p95_latency() const { return hist_.quantile(0.95); }
+  double max_latency() const { return lat_.max(); }
+  const RunningStat& latency_stat() const { return lat_; }
+  const Histogram& latency_hist() const { return hist_; }
+
+ private:
+  uint64_t warmup_;
+  uint64_t window_end_ = UINT64_MAX;
+  uint64_t generated_ = 0;
+  uint64_t injected_ = 0;
+  uint64_t completed_in_window_ = 0;
+  RunningStat lat_;
+  Histogram hist_;
+};
+
+}  // namespace mempool

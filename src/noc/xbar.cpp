@@ -1,0 +1,102 @@
+#include "noc/xbar.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+XbarSwitch::XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
+                       std::size_t num_outputs, RouteFn route,
+                       std::size_t in_capacity)
+    : Component(std::move(name)),
+      out_(num_outputs, nullptr),
+      rr_(num_outputs, 0),
+      cand_(num_outputs),
+      route_(std::move(route)) {
+  MEMPOOL_CHECK(!in_modes.empty());
+  MEMPOOL_CHECK(num_outputs > 0);
+  MEMPOOL_CHECK(in_capacity >= 1);
+  in_.reserve(in_modes.size());
+  in_sinks_.reserve(in_modes.size());
+  for (BufferMode m : in_modes) {
+    in_.emplace_back(m, in_capacity);
+  }
+  for (auto& buf : in_) in_sinks_.emplace_back(buf);
+  for (auto& c : cand_) c.reserve(in_.size());
+}
+
+XbarSwitch::XbarSwitch(std::string name, std::size_t num_inputs,
+                       BufferMode in_mode, std::size_t num_outputs,
+                       RouteFn route, std::size_t in_capacity)
+    : XbarSwitch(std::move(name),
+                 std::vector<BufferMode>(num_inputs, in_mode), num_outputs,
+                 std::move(route), in_capacity) {}
+
+PacketSink* XbarSwitch::input(std::size_t i) {
+  MEMPOOL_CHECK(i < in_sinks_.size());
+  return &in_sinks_[i];
+}
+
+void XbarSwitch::connect_output(std::size_t o, PacketSink* sink) {
+  MEMPOOL_CHECK(o < out_.size());
+  MEMPOOL_CHECK(sink != nullptr);
+  out_[o] = sink;
+}
+
+void XbarSwitch::register_clocked(Engine& engine) {
+  for (auto& buf : in_) engine.add_clocked(&buf);
+}
+
+bool XbarSwitch::idle() const {
+  for (const auto& buf : in_) {
+    if (!buf.empty()) return false;
+  }
+  return true;
+}
+
+void XbarSwitch::evaluate(uint64_t /*cycle*/) {
+  // Gather the head of every non-empty input, bucketed by requested output.
+  bool any = false;
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    if (in_[i].empty()) continue;
+    const unsigned o = route_(in_[i].front());
+    MEMPOOL_CHECK_MSG(o < out_.size(),
+                      name() << ": route returned " << o << " of "
+                             << out_.size() << " outputs");
+    cand_[o].push_back(static_cast<uint16_t>(i));
+    any = true;
+  }
+  if (!any) return;
+
+  // Per-output round-robin grant.
+  for (std::size_t o = 0; o < out_.size(); ++o) {
+    auto& cands = cand_[o];
+    if (cands.empty()) continue;
+    MEMPOOL_CHECK_MSG(out_[o] != nullptr, name() << ": output " << o
+                                                 << " not connected");
+    if (!out_[o]->can_accept()) {
+      blocked_ += cands.size();
+      cands.clear();
+      continue;
+    }
+    // Winner: first candidate at or after the round-robin pointer.
+    uint16_t winner = cands[0];
+    uint32_t best = static_cast<uint32_t>(in_.size());
+    for (uint16_t c : cands) {
+      const uint32_t dist =
+          (c + in_.size() - rr_[o]) % static_cast<uint32_t>(in_.size());
+      if (dist < best) {
+        best = dist;
+        winner = c;
+      }
+    }
+    blocked_ += cands.size() - 1;
+    out_[o]->push(in_[winner].pop());
+    ++traversals_;
+    rr_[o] = (winner + 1u) % static_cast<uint32_t>(in_.size());
+    cands.clear();
+  }
+}
+
+}  // namespace mempool

@@ -1,0 +1,75 @@
+#pragma once
+// Single-stage m×n logarithmic crossbar switch — the basic element of both of
+// MemPool's interconnects (Section III-A). Address decoding picks one output
+// per packet (oblivious routing: a single path per master/slave pair), and a
+// round-robin arbiter at each output grants one packet per cycle. Each input
+// port is an elastic buffer whose mode (registered/combinational) places the
+// pipeline registers of Figures 2 and 3.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/elastic_buffer.hpp"
+#include "sim/engine.hpp"
+
+namespace mempool {
+
+using PacketBuffer = ElasticBuffer<Packet>;
+
+/// Maps a packet to the switch output it must leave through.
+using RouteFn = std::function<unsigned(const Packet&)>;
+
+class XbarSwitch final : public Component {
+ public:
+  /// @param in_modes  one BufferMode per input port; a registered input is a
+  ///                  register boundary (adds one cycle).
+  /// @param in_capacity elastic buffer depth per input (>= 1; 2 sustains
+  ///                  full throughput across registered boundaries).
+  XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
+             std::size_t num_outputs, RouteFn route,
+             std::size_t in_capacity = 2);
+
+  /// Convenience: all inputs share one mode.
+  XbarSwitch(std::string name, std::size_t num_inputs, BufferMode in_mode,
+             std::size_t num_outputs, RouteFn route,
+             std::size_t in_capacity = 2);
+
+  /// Sink for upstream producers to push into input @p i.
+  PacketSink* input(std::size_t i);
+
+  /// Attach output @p o to a downstream sink; must be done for every output
+  /// before the first evaluate().
+  void connect_output(std::size_t o, PacketSink* sink);
+
+  /// Register all clocked state with the engine's commit phase.
+  void register_clocked(Engine& engine);
+
+  void evaluate(uint64_t cycle) override;
+
+  std::size_t num_inputs() const { return in_.size(); }
+  std::size_t num_outputs() const { return out_.size(); }
+
+  /// Total packets moved through the switch (for the energy model).
+  uint64_t traversals() const { return traversals_; }
+  /// Cycles × outputs where a candidate was present but not granted
+  /// (arbitration conflict or downstream backpressure).
+  uint64_t blocked() const { return blocked_; }
+
+  /// True if any input holds a visible packet (used by tests).
+  bool idle() const;
+
+ private:
+  std::vector<PacketBuffer> in_;
+  std::vector<BufferSink<PacketBuffer>> in_sinks_;
+  std::vector<PacketSink*> out_;
+  std::vector<uint32_t> rr_;            // round-robin pointer per output
+  std::vector<std::vector<uint16_t>> cand_;  // scratch: candidates per output
+  RouteFn route_;
+  uint64_t traversals_ = 0;
+  uint64_t blocked_ = 0;
+};
+
+}  // namespace mempool

@@ -1,0 +1,98 @@
+#include "physical/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace mempool::physical {
+
+CongestionMap::CongestionMap(double die_mm, uint32_t cells_per_edge)
+    : die_mm_(die_mm), dim_(cells_per_edge),
+      cell_mm_(die_mm / cells_per_edge), cells_(dim_ * dim_, 0.0) {
+  MEMPOOL_CHECK(die_mm > 0 && cells_per_edge >= 2);
+}
+
+void CongestionMap::add_segment(double x0, double y0, double x1, double y1,
+                                uint32_t bits) {
+  // Walk the segment in small steps, attributing length to each cell.
+  const double len = std::abs(x1 - x0) + std::abs(y1 - y0);
+  if (len <= 0) return;
+  const int steps = std::max(1, static_cast<int>(len / (cell_mm_ / 4)));
+  const double dx = (x1 - x0) / steps;
+  const double dy = (y1 - y0) / steps;
+  const double step_len = len / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double x = x0 + (i + 0.5) * dx;
+    const double y = y0 + (i + 0.5) * dy;
+    auto cx = static_cast<int64_t>(x / cell_mm_);
+    auto cy = static_cast<int64_t>(y / cell_mm_);
+    cx = std::clamp<int64_t>(cx, 0, dim_ - 1);
+    cy = std::clamp<int64_t>(cy, 0, dim_ - 1);
+    cells_[static_cast<std::size_t>(cy) * dim_ + static_cast<std::size_t>(cx)] +=
+        step_len * bits;
+  }
+}
+
+void CongestionMap::route(const WireBundle& w) {
+  // L-shape: horizontal leg at the source's y, then vertical leg.
+  add_segment(w.a.x, w.a.y, w.b.x, w.a.y, w.bits);
+  add_segment(w.b.x, w.a.y, w.b.x, w.b.y, w.bits);
+}
+
+void CongestionMap::route_all(const std::vector<WireBundle>& wires) {
+  for (const auto& w : wires) route(w);
+}
+
+double CongestionMap::cell(uint32_t cx, uint32_t cy) const {
+  MEMPOOL_CHECK(cx < dim_ && cy < dim_);
+  return cells_[static_cast<std::size_t>(cy) * dim_ + cx];
+}
+
+double CongestionMap::max_cell() const {
+  return *std::max_element(cells_.begin(), cells_.end());
+}
+
+double CongestionMap::center_demand() const {
+  const uint32_t m = dim_ / 2;
+  double s = 0;
+  for (uint32_t cy = m - 1; cy <= m; ++cy) {
+    for (uint32_t cx = m - 1; cx <= m; ++cx) {
+      s += cell(cx, cy);
+    }
+  }
+  return s;
+}
+
+double CongestionMap::total() const {
+  double s = 0;
+  for (double c : cells_) s += c;
+  return s;
+}
+
+double CongestionMap::spread() const {
+  const double n = static_cast<double>(cells_.size());
+  double mean = total() / n;
+  if (mean <= 0) return 0;
+  double var = 0;
+  for (double c : cells_) var += (c - mean) * (c - mean);
+  var /= n;
+  return std::sqrt(var) / mean;
+}
+
+std::vector<std::string> CongestionMap::ascii_map() const {
+  const double mx = max_cell();
+  std::vector<std::string> rows;
+  for (uint32_t cy = 0; cy < dim_; ++cy) {
+    std::string row;
+    for (uint32_t cx = 0; cx < dim_; ++cx) {
+      const double v = mx > 0 ? cell(cx, cy) / mx : 0;
+      row.push_back(static_cast<char>('0' + std::min(9, static_cast<int>(v * 10))));
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace mempool::physical

@@ -1,0 +1,48 @@
+#pragma once
+// Routing-congestion estimation: every wire bundle is routed as an L-shape
+// (horizontal then vertical) over a uniform grid of routing cells; each cell
+// accumulates the bit-width of every bundle crossing it. This reproduces the
+// paper's qualitative congestion maps (Figure 9): Top1/Top4 pull all wiring
+// toward the die centre, TopH spreads it across the quadrants.
+
+#include <cstdint>
+#include <vector>
+
+#include "physical/wires.hpp"
+
+namespace mempool::physical {
+
+class CongestionMap {
+ public:
+  CongestionMap(double die_mm, uint32_t cells_per_edge);
+
+  /// Route a bundle (L-shape: horizontal leg first) and accumulate demand.
+  void route(const WireBundle& w);
+  void route_all(const std::vector<WireBundle>& wires);
+
+  double cell(uint32_t cx, uint32_t cy) const;
+  uint32_t dim() const { return dim_; }
+
+  /// Highest per-cell demand (bit·mm per cell).
+  double max_cell() const;
+  /// Demand summed over the central 2×2 cells — the region the paper
+  /// identifies as the congestion bottleneck.
+  double center_demand() const;
+  /// Total routed demand.
+  double total() const;
+  /// Coefficient of variation of cell demand (lower = better spread).
+  double spread() const;
+
+  /// Coarse ASCII heat map for reports (rows of 0-9 digits).
+  std::vector<std::string> ascii_map() const;
+
+ private:
+  void add_segment(double x0, double y0, double x1, double y1, uint32_t bits);
+
+  double die_mm_;
+  uint32_t dim_;
+  double cell_mm_;
+  std::vector<double> cells_;  // dim × dim, row-major
+};
+
+}  // namespace mempool::physical

@@ -1,0 +1,52 @@
+#include "physical/feasibility.hpp"
+
+#include <algorithm>
+
+namespace mempool::physical {
+
+FeasibilityReport analyze(PhysTopology topo, const FeasibilityParams& p,
+                          double top1_center_demand) {
+  const Floorplan fp(p.floorplan);
+  const std::vector<WireBundle> wires = extract_wires(topo, fp);
+
+  CongestionMap cmap(p.floorplan.die_mm, p.congestion_cells);
+  cmap.route_all(wires);
+
+  FeasibilityReport r;
+  r.name = phys_topology_name(topo);
+  r.total_wire_bit_mm = total_bit_mm(wires);
+  r.center_congestion = cmap.center_demand();
+  r.max_cell = cmap.max_cell();
+  r.spread = cmap.spread();
+
+  for (const auto& w : wires) {
+    r.longest_wire_mm = std::max(r.longest_wire_mm, w.manhattan_mm());
+  }
+  // Critical path: the longest registered-to-registered stage spans roughly
+  // one longest top-level wire (group boundary to remote ROB in TopH) plus
+  // the logic depth the paper reports.
+  const double logic_ns = p.timing.logic_depth * p.timing.gate_delay_ns;
+  const double wire_ns = r.longest_wire_mm * p.timing.wire_delay_ns_per_mm;
+  r.critical_path_ns = logic_ns + wire_ns;
+  r.wire_delay_fraction = wire_ns / r.critical_path_ns;
+  r.fmax_mhz = 1e3 / r.critical_path_ns;
+
+  if (top1_center_demand <= 0 && topo == PhysTopology::kTop1) {
+    top1_center_demand = r.center_congestion;
+  }
+  r.center_ratio_vs_top1 =
+      top1_center_demand > 0 ? r.center_congestion / top1_center_demand : 1.0;
+  r.feasible = r.center_ratio_vs_top1 <= p.center_budget_vs_top1;
+  return r;
+}
+
+std::vector<FeasibilityReport> analyze_all(const FeasibilityParams& p) {
+  FeasibilityReport top1 = analyze(PhysTopology::kTop1, p);
+  FeasibilityReport top4 =
+      analyze(PhysTopology::kTop4, p, top1.center_congestion);
+  FeasibilityReport toph =
+      analyze(PhysTopology::kTopH, p, top1.center_congestion);
+  return {top1, top4, toph};
+}
+
+}  // namespace mempool::physical

@@ -1,0 +1,55 @@
+#pragma once
+// Per-topology physical feasibility summary (Sections VI-B/C): wiring demand,
+// centre congestion, a first-order timing estimate (logic depth + longest
+// top-level wire), and a feasibility verdict calibrated such that the paper's
+// conclusion holds: Top1 and TopH route, Top4 does not.
+
+#include <string>
+#include <vector>
+
+#include "physical/congestion.hpp"
+#include "physical/floorplan.hpp"
+#include "physical/wires.hpp"
+
+namespace mempool::physical {
+
+struct TimingParams {
+  // Calibrated to the paper's sign-off numbers: 480 MHz at SS/0.72 V with a
+  // 36-gate critical path of which 37 % is wire delay.
+  double gate_delay_ns = 0.0364;    ///< One gate at SS/0.72 V.
+  uint32_t logic_depth = 36;        ///< Paper: 36 gates on the critical path.
+  double wire_delay_ns_per_mm = 0.19;  ///< Buffered top-metal global wire.
+};
+
+struct FeasibilityReport {
+  std::string name;
+  double total_wire_bit_mm = 0;
+  double center_congestion = 0;   ///< bit·mm in the central 2×2 cells.
+  double center_ratio_vs_top1 = 0;
+  double max_cell = 0;
+  double spread = 0;              ///< Demand coefficient of variation.
+  double longest_wire_mm = 0;
+  double critical_path_ns = 0;
+  double wire_delay_fraction = 0; ///< Paper: 37 % for TopH.
+  double fmax_mhz = 0;
+  bool feasible = false;
+};
+
+struct FeasibilityParams {
+  FloorplanParams floorplan;
+  TimingParams timing;
+  uint32_t congestion_cells = 16;
+  /// Centre demand above this multiple of Top1's is unroutable. Calibrated
+  /// between TopH (~1.1×) and Top4 (4×).
+  double center_budget_vs_top1 = 2.5;
+};
+
+/// Analyze one topology.
+FeasibilityReport analyze(PhysTopology topo, const FeasibilityParams& p,
+                          double top1_center_demand = 0.0);
+
+/// Analyze Top1, Top4, TopH with a common Top1 baseline.
+std::vector<FeasibilityReport> analyze_all(
+    const FeasibilityParams& p = FeasibilityParams{});
+
+}  // namespace mempool::physical

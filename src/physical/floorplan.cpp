@@ -1,0 +1,50 @@
+#include "physical/floorplan.hpp"
+
+#include <cmath>
+
+#include "common/bitutil.hpp"
+
+namespace mempool::physical {
+
+Floorplan::Floorplan(const FloorplanParams& p) : p_(p) {
+  MEMPOOL_CHECK(is_pow2(p_.num_tiles));
+  dim_ = 1u << (log2_exact(p_.num_tiles) / 2);
+  if (dim_ * dim_ < p_.num_tiles) dim_ *= 2;  // non-square power of two
+  MEMPOOL_CHECK(dim_ * dim_ >= p_.num_tiles);
+  pitch_ = p_.die_mm / static_cast<double>(dim_);
+  MEMPOOL_CHECK_MSG(pitch_ >= p_.tile_mm,
+                    "tiles do not fit the die at this pitch");
+}
+
+Point Floorplan::tile_center(uint32_t tile) const {
+  MEMPOOL_CHECK(tile < p_.num_tiles);
+  const uint32_t row = tile / dim_;
+  const uint32_t col = tile % dim_;
+  return {(col + 0.5) * pitch_, (row + 0.5) * pitch_};
+}
+
+Point Floorplan::tile_center_grouped(uint32_t tile) const {
+  MEMPOOL_CHECK(tile < p_.num_tiles);
+  const uint32_t tpg = p_.num_tiles / p_.num_groups;
+  const uint32_t g = tile / tpg;
+  const uint32_t local = tile % tpg;
+  const uint32_t gdim = dim_ / 2;  // quadrant edge in tiles
+  const uint32_t row = local / gdim;
+  const uint32_t col = local % gdim;
+  const double qx = (g & 1u) ? p_.die_mm / 2 : 0.0;
+  const double qy = (g >> 1u) ? p_.die_mm / 2 : 0.0;
+  return {qx + (col + 0.5) * pitch_, qy + (row + 0.5) * pitch_};
+}
+
+Point Floorplan::group_center(uint32_t g) const {
+  const double qx = (g & 1u) ? p_.die_mm * 0.75 : p_.die_mm * 0.25;
+  const double qy = (g >> 1u) ? p_.die_mm * 0.75 : p_.die_mm * 0.25;
+  return {qx, qy};
+}
+
+double Floorplan::tile_area_fraction() const {
+  const double tiles = static_cast<double>(p_.num_tiles) * p_.tile_mm * p_.tile_mm;
+  return tiles / (p_.die_mm * p_.die_mm);
+}
+
+}  // namespace mempool::physical

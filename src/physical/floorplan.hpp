@@ -1,0 +1,56 @@
+#pragma once
+// Analytic floorplan of the MemPool cluster (Section VI): an 8×8 grid of
+// 425 µm × 425 µm tile macros inside a 4.6 mm × 4.6 mm die. For TopH, the
+// four local groups occupy the four quadrants (Figure 3b). This module is a
+// *substitute* for the paper's place-and-route flow: it reproduces the
+// geometry so the wiring/congestion analysis can reproduce the paper's
+// relative claims (see DESIGN.md §1).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mempool::physical {
+
+struct Point {
+  double x = 0;  ///< mm
+  double y = 0;  ///< mm
+};
+
+struct FloorplanParams {
+  uint32_t num_tiles = 64;
+  uint32_t num_groups = 4;
+  double tile_mm = 0.425;  ///< Tile macro edge (Section VI-B).
+  double die_mm = 4.6;     ///< Cluster macro edge (Section VI-C).
+};
+
+class Floorplan {
+ public:
+  explicit Floorplan(const FloorplanParams& p = FloorplanParams{});
+
+  const FloorplanParams& params() const { return p_; }
+  uint32_t grid_dim() const { return dim_; }
+
+  /// Tile centre for the row-major layout (Top1/Top4).
+  Point tile_center(uint32_t tile) const;
+
+  /// Tile centre for the grouped layout (TopH): group g in quadrant
+  /// (g & 1, g >> 1), tiles row-major inside the quadrant.
+  Point tile_center_grouped(uint32_t tile) const;
+
+  Point die_center() const { return {p_.die_mm / 2, p_.die_mm / 2}; }
+
+  /// Centre of group @p g's quadrant.
+  Point group_center(uint32_t g) const;
+
+  /// Fraction of the die covered by tile macros (paper: 55 %).
+  double tile_area_fraction() const;
+
+ private:
+  FloorplanParams p_;
+  uint32_t dim_;        ///< Tiles per grid edge.
+  double pitch_;        ///< Tile placement pitch, mm.
+};
+
+}  // namespace mempool::physical

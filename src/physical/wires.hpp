@@ -1,0 +1,49 @@
+#pragma once
+// Topology wiring extraction: the set of top-level point-to-point wire
+// bundles each interconnect topology requires, with Manhattan lengths over
+// the floorplan. Request and response networks are separate (two parallel
+// interconnects), and each bundle carries a full request word
+// (~address + data + metadata ≈ 80 bits).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "physical/floorplan.hpp"
+
+namespace mempool::physical {
+
+enum class WireKind : uint8_t {
+  kTileToHub,    ///< Tile ↔ central butterfly (Top1/Top4).
+  kTileToGroup,  ///< Tile ↔ group-local crossbar (TopH L).
+  kGroupToGroup, ///< Tile ↔ inter-group butterfly hub (TopH N/NE/E).
+};
+
+struct WireBundle {
+  Point a;
+  Point b;
+  uint32_t bits = 80;
+  WireKind kind = WireKind::kTileToHub;
+  double manhattan_mm() const {
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+  }
+  /// Wire resource demand: length × width.
+  double bit_mm() const { return manhattan_mm() * bits; }
+};
+
+/// Which cluster topology to extract (mirrors core/cluster_config.hpp without
+/// depending on it; the physical model is standalone).
+enum class PhysTopology : uint8_t { kTop1, kTop4, kTopH };
+
+std::string phys_topology_name(PhysTopology t);
+
+/// Extract all top-level wire bundles of a topology over the floorplan.
+/// Includes both travel directions (request + response networks).
+std::vector<WireBundle> extract_wires(PhysTopology topo, const Floorplan& fp,
+                                      uint32_t request_bits = 80,
+                                      uint32_t response_bits = 48);
+
+/// Total wire demand in bit·mm.
+double total_bit_mm(const std::vector<WireBundle>& wires);
+
+}  // namespace mempool::physical

@@ -1,0 +1,57 @@
+#include "power/energy_model.hpp"
+
+namespace mempool {
+
+EnergyBreakdown EnergyModel::measure(const Cluster& cluster,
+                                     const SnitchCore::Stats& c) const {
+  EnergyBreakdown e;
+  e.cores = static_cast<double>(c.alu) * p_.core_add +
+            static_cast<double>(c.mul) * p_.core_mul +
+            static_cast<double>(c.div) * p_.core_div +
+            static_cast<double>(c.branches) * p_.core_branch +
+            static_cast<double>(c.loads_local + c.loads_remote +
+                                c.stores_local + c.stores_remote + c.amos) *
+                p_.core_ls;
+
+  const Cluster::FabricStats f = cluster.fabric_stats();
+  // A miss *query* is a tag lookup that repeats while the refill is in
+  // flight; the expensive part (line fill + AXI transfer) happens once per
+  // refill.
+  e.icache = static_cast<double>(f.icache_hits) * p_.icache_hit +
+             static_cast<double>(f.icache_refills) * p_.icache_miss;
+  e.banks = static_cast<double>(f.bank_accesses) * p_.bank_access;
+  e.tile_interconnect =
+      static_cast<double>(f.tile_req_traversals + f.tile_resp_traversals) *
+          p_.tile_xbar_hop +
+      static_cast<double>(f.dir_traversals + f.remote_resp_traversals) *
+          p_.dir_xbar_hop;
+  e.global_interconnect =
+      static_cast<double>(f.group_local_traversals) * p_.group_xbar_hop +
+      static_cast<double>(f.butterfly_traversals) * p_.bfly_layer_hop;
+  return e;
+}
+
+InstrEnergy EnergyModel::local_load() const {
+  // core -> merged request crossbar -> bank -> bank-response crossbar -> core
+  return {p_.core_ls, 2 * p_.tile_xbar_hop, p_.bank_access};
+}
+
+InstrEnergy EnergyModel::remote_load_cross_group() const {
+  // dir xbar + 2 butterfly layers + dest tile req xbar, then bank-resp xbar +
+  // 2 butterfly layers + remote-resp xbar on the way back.
+  const double ic = p_.dir_xbar_hop + 2 * p_.bfly_layer_hop +
+                    p_.tile_xbar_hop + p_.tile_xbar_hop +
+                    2 * p_.bfly_layer_hop + p_.dir_xbar_hop;
+  return {p_.core_ls, ic, p_.bank_access};
+}
+
+InstrEnergy EnergyModel::remote_load_same_group() const {
+  const double ic = p_.dir_xbar_hop + p_.group_xbar_hop + p_.tile_xbar_hop +
+                    p_.tile_xbar_hop + p_.group_xbar_hop + p_.dir_xbar_hop;
+  return {p_.core_ls, ic, p_.bank_access};
+}
+
+InstrEnergy EnergyModel::add_op() const { return {p_.core_add, 0, 0}; }
+InstrEnergy EnergyModel::mul_op() const { return {p_.core_mul, 0, 0}; }
+
+}  // namespace mempool

@@ -1,0 +1,33 @@
+#include "power/power_report.hpp"
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+PowerReport make_power_report(const EnergyBreakdown& energy, uint64_t cycles,
+                              uint32_t num_tiles, double freq_hz,
+                              const StaticPowerParams& sp) {
+  MEMPOOL_CHECK(cycles > 0 && num_tiles > 0 && freq_hz > 0);
+  const double seconds = static_cast<double>(cycles) / freq_hz;
+  const double tiles = static_cast<double>(num_tiles);
+  // pJ / s = 1e-12 W; report mW.
+  auto dyn_mw_per_tile = [&](double pj) {
+    return pj * 1e-12 / seconds * 1e3 / tiles;
+  };
+
+  PowerReport r;
+  r.tile_icache = dyn_mw_per_tile(energy.icache) + sp.icache_per_tile;
+  r.tile_cores = dyn_mw_per_tile(energy.cores) + sp.cores_per_tile;
+  r.tile_banks = dyn_mw_per_tile(energy.banks) + sp.banks_per_tile;
+  r.tile_interconnect =
+      dyn_mw_per_tile(energy.tile_interconnect) + sp.interconnect_per_tile;
+
+  const double tiles_total_mw = r.tile_total() * tiles;
+  const double top_mw =
+      energy.global_interconnect * 1e-12 / seconds * 1e3 + sp.cluster_top;
+  r.cluster_total_w = (tiles_total_mw + top_mw) * 1e-3;
+  r.tiles_fraction = tiles_total_mw / (tiles_total_mw + top_mw);
+  return r;
+}
+
+}  // namespace mempool

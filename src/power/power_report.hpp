@@ -1,0 +1,42 @@
+#pragma once
+// Power report at a given clock (Section VI-D: matmul at 500 MHz,
+// TT/0.80 V/25 °C): dynamic power from measured event energies plus a static
+// (leakage + clock tree) floor per component.
+
+#include <cstdint>
+
+#include "power/energy_model.hpp"
+
+namespace mempool {
+
+/// Static power floor, mW. Calibrated so the Section VI-D breakdown
+/// percentages are in range when running matmul at 500 MHz.
+struct StaticPowerParams {
+  double icache_per_tile = 2.3;
+  double cores_per_tile = 1.0;
+  double banks_per_tile = 1.6;
+  double interconnect_per_tile = 0.4;
+  double cluster_top = 150.0;  ///< Top-level interconnect, clock tree, IO.
+};
+
+struct PowerReport {
+  // Per-tile averages, mW.
+  double tile_icache = 0;
+  double tile_cores = 0;
+  double tile_banks = 0;
+  double tile_interconnect = 0;
+  double tile_total() const {
+    return tile_icache + tile_cores + tile_banks + tile_interconnect;
+  }
+  // Cluster, W.
+  double cluster_total_w = 0;
+  double tiles_fraction = 0;  ///< Share of cluster power spent in the tiles.
+};
+
+/// Convert a measured energy breakdown over @p cycles at @p freq_hz into the
+/// Section VI-D power figures.
+PowerReport make_power_report(const EnergyBreakdown& energy, uint64_t cycles,
+                              uint32_t num_tiles, double freq_hz,
+                              const StaticPowerParams& sp = StaticPowerParams{});
+
+}  // namespace mempool

@@ -1,0 +1,53 @@
+#pragma once
+// Component and sink interfaces for the synchronous cycle engine.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/packet.hpp"
+
+namespace mempool {
+
+/// A synchronously evaluated hardware block. The engine calls evaluate() on
+/// every component once per cycle, in the topological order established by
+/// the cluster builder (response fabric -> clients -> request fabric ->
+/// banks), then commits all registered buffers.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  virtual void evaluate(uint64_t cycle) = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Consumer endpoint for packets moved by a switch. Implemented by elastic
+/// buffers (fabric hops) and by always-ready terminal sinks (ROB delivery,
+/// traffic-generator completion counters).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual bool can_accept() const = 0;
+  virtual void push(const Packet& p) = 0;
+};
+
+/// PacketSink adapter over an ElasticBuffer<Packet>.
+template <typename Buffer>
+class BufferSink final : public PacketSink {
+ public:
+  explicit BufferSink(Buffer& buf) : buf_(&buf) {}
+  bool can_accept() const override { return buf_->can_accept(); }
+  void push(const Packet& p) override { buf_->push(p); }
+
+ private:
+  Buffer* buf_;
+};
+
+}  // namespace mempool

@@ -1,0 +1,106 @@
+#pragma once
+// Elastic-buffer flow control, the basic storage element of MemPool's
+// interconnect ("An optional elastic buffer can be inserted at each output of
+// the switch ... to break any combinational paths crossing the switch",
+// Section III-A, after Michelogiannakis et al.).
+//
+// Two modes:
+//  * kCombinational — a push is visible to the consumer within the same
+//    cycle (the simulator evaluates components in topological order, so a
+//    packet can traverse an arbitrarily long combinational switch chain in
+//    one cycle, exactly like a ripple of valid signals in RTL).
+//  * kRegistered — a push lands in a staging slot and becomes visible only
+//    after the clock edge (Engine::step commits it). This models the
+//    register boundaries drawn dashed in Figures 2 and 3 of the paper; each
+//    registered buffer on a path adds exactly one cycle.
+//
+// Capacity 2 is the default: like a hardware skid buffer it sustains one
+// packet per cycle throughput even though the 'ready' signal is derived from
+// the pre-drain occupancy.
+
+#include <cstdint>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+enum class BufferMode : uint8_t { kCombinational, kRegistered };
+
+/// Interface for anything that can be clocked by the engine's commit phase.
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void commit() = 0;
+};
+
+template <typename T>
+class ElasticBuffer final : public Clocked {
+ public:
+  /// @param mode     registered (1-cycle) or combinational (0-cycle) input.
+  /// @param capacity max occupancy including the staged item; 0 = unbounded
+  ///                 (used only by the ideal TopX fabric's bank queues).
+  explicit ElasticBuffer(BufferMode mode = BufferMode::kCombinational,
+                         std::size_t capacity = 2)
+      : mode_(mode), capacity_(capacity) {}
+
+  ElasticBuffer(const ElasticBuffer&) = delete;
+  ElasticBuffer& operator=(const ElasticBuffer&) = delete;
+  ElasticBuffer(ElasticBuffer&&) = default;
+  ElasticBuffer& operator=(ElasticBuffer&&) = default;
+
+  /// 'ready' as the upstream switch sees it this cycle.
+  bool can_accept() const {
+    if (capacity_ == 0) return true;
+    return fifo_.size() + (staged_valid_ ? 1u : 0u) < capacity_;
+  }
+
+  /// Push one item; caller must have checked can_accept().
+  void push(const T& v) {
+    MEMPOOL_CHECK(can_accept());
+    if (mode_ == BufferMode::kRegistered) {
+      // At most one push per cycle per buffer: a buffer is fed by exactly one
+      // switch output, which grants at most one packet per cycle.
+      MEMPOOL_CHECK(!staged_valid_);
+      staged_ = v;
+      staged_valid_ = true;
+    } else {
+      fifo_.push_back(v);
+    }
+  }
+
+  bool empty() const { return fifo_.empty(); }
+  std::size_t size() const { return fifo_.size() + (staged_valid_ ? 1u : 0u); }
+
+  const T& front() const {
+    MEMPOOL_CHECK(!fifo_.empty());
+    return fifo_.front();
+  }
+
+  T pop() {
+    MEMPOOL_CHECK(!fifo_.empty());
+    T v = fifo_.front();
+    fifo_.pop_front();
+    return v;
+  }
+
+  /// Clock edge: staged item becomes visible.
+  void commit() override {
+    if (staged_valid_) {
+      fifo_.push_back(staged_);
+      staged_valid_ = false;
+    }
+  }
+
+  BufferMode mode() const { return mode_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  BufferMode mode_;
+  std::size_t capacity_;
+  std::deque<T> fifo_;
+  T staged_{};
+  bool staged_valid_ = false;
+};
+
+}  // namespace mempool

@@ -1,0 +1,7 @@
+// Engine is header-only today; this TU anchors the library and keeps a home
+// for future out-of-line engine features (checkpointing, VCD tracing).
+#include "sim/engine.hpp"
+
+namespace mempool {
+// Intentionally empty.
+}  // namespace mempool

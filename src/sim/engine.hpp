@@ -1,0 +1,50 @@
+#pragma once
+// Synchronous cycle engine.
+//
+// The MemPool model is a fixed component graph; there is no dynamic event
+// queue. Each cycle has two phases:
+//   1. evaluate: every component runs once, in builder-established
+//      topological order. Combinational buffers make packets pushed earlier
+//      in the same cycle visible to later components, which is how a packet
+//      crosses a chain of combinational switches in a single cycle.
+//   2. commit: every registered element latches (staged pushes become
+//      visible), then the cycle counter advances.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/elastic_buffer.hpp"
+
+namespace mempool {
+
+class Engine {
+ public:
+  /// Register a component; evaluation follows registration order.
+  void add_component(Component* c) { components_.push_back(c); }
+
+  /// Register a clocked element for the commit phase.
+  void add_clocked(Clocked* c) { clocked_.push_back(c); }
+
+  /// Advance one cycle.
+  void step() {
+    for (Component* c : components_) c->evaluate(cycle_);
+    for (Clocked* c : clocked_) c->commit();
+    ++cycle_;
+  }
+
+  /// Advance @p n cycles.
+  void run(uint64_t n) {
+    for (uint64_t i = 0; i < n; ++i) step();
+  }
+
+  uint64_t cycle() const { return cycle_; }
+  std::size_t num_components() const { return components_.size(); }
+
+ private:
+  std::vector<Component*> components_;
+  std::vector<Clocked*> clocked_;
+  uint64_t cycle_ = 0;
+};
+
+}  // namespace mempool

@@ -1,0 +1,55 @@
+#pragma once
+// The single message type that flows through MemPool's request and response
+// interconnects. The paper's networks transmit single-word requests with
+// routing metadata ("Requests hold metadata to route them back to the correct
+// core and ensure their proper ordering by the Reorder Buffer").
+
+#include <cstdint>
+
+namespace mempool {
+
+/// Memory operation carried by a request packet. Stores are posted (the
+/// response interconnect only routes read data back, per Section III-A), so
+/// only loads/AMOs/LR/SC generate response packets.
+enum class MemOp : uint8_t {
+  kLoad,
+  kStore,
+  kAmoSwap,
+  kAmoAdd,
+  kAmoXor,
+  kAmoAnd,
+  kAmoOr,
+  kAmoMin,
+  kAmoMax,
+  kAmoMinu,
+  kAmoMaxu,
+  kLoadReserved,
+  kStoreConditional,
+};
+
+/// True if @p op produces a response packet on the read-response network.
+constexpr bool op_has_response(MemOp op) { return op != MemOp::kStore; }
+
+/// True if @p op writes the target word.
+constexpr bool op_writes(MemOp op) {
+  return op != MemOp::kLoad && op != MemOp::kLoadReserved;
+}
+
+/// One word-sized transaction, used on both the request and the response
+/// interconnect (direction disambiguated by where it travels; the response
+/// carries the same identity fields so the ROB can match it).
+struct Packet {
+  uint32_t addr = 0;      ///< Physical (post-scrambler) byte address.
+  uint32_t data = 0;      ///< Store data / AMO operand / response payload.
+  uint8_t be = 0xF;       ///< Byte enables for stores (bit i = byte i).
+  MemOp op = MemOp::kLoad;
+  uint16_t src = 0;       ///< Global requester index (core or generator).
+  uint16_t src_tile = 0;  ///< Tile of the requester (response routing).
+  uint16_t dst_tile = 0;  ///< Target tile (request routing).
+  uint16_t dst_bank = 0;  ///< Bank inside the target tile.
+  uint32_t dst_row = 0;   ///< Word row inside the bank.
+  uint16_t tag = 0;       ///< Requester-local tag (ROB slot / sequence nr).
+  uint64_t birth = 0;     ///< Cycle the request was generated (for latency).
+};
+
+}  // namespace mempool

@@ -1,0 +1,70 @@
+#include "traffic/experiment.hpp"
+
+#include <memory>
+
+#include "core/cluster.hpp"
+#include "mem/imem.hpp"
+#include "noc/monitor.hpp"
+#include "sim/engine.hpp"
+#include "traffic/generator.hpp"
+
+namespace mempool {
+
+TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg) {
+  const ClusterConfig& ccfg = ecfg.cluster;
+  ccfg.validate();
+
+  InstrMem imem(4096);  // unused by generators, required by the tile I$.
+  Engine engine;
+  Cluster cluster(ccfg, &imem);
+  LatencyMonitor monitor(ecfg.warmup_cycles);
+  monitor.set_measure_end(ecfg.warmup_cycles + ecfg.measure_cycles);
+
+  TrafficConfig tcfg;
+  tcfg.lambda = ecfg.lambda;
+  tcfg.p_local_seq = ecfg.p_local_seq;
+  tcfg.seed = ecfg.seed;
+  tcfg.stop_generation_at = ecfg.warmup_cycles + ecfg.measure_cycles;
+
+  std::vector<std::unique_ptr<TrafficGenerator>> gens;
+  std::vector<Client*> clients;
+  gens.reserve(ccfg.num_cores());
+  for (uint32_t c = 0; c < ccfg.num_cores(); ++c) {
+    gens.push_back(std::make_unique<TrafficGenerator>(
+        "gen" + std::to_string(c), static_cast<uint16_t>(c),
+        static_cast<uint16_t>(c / ccfg.cores_per_tile), ccfg,
+        &cluster.layout(), &engine, tcfg, &monitor));
+    clients.push_back(gens.back().get());
+  }
+  cluster.attach_clients(clients);
+  cluster.build(engine);
+
+  engine.run(ecfg.warmup_cycles + ecfg.measure_cycles + ecfg.drain_cycles);
+
+  TrafficPoint p;
+  p.offered = ecfg.lambda;
+  const double window = static_cast<double>(ecfg.measure_cycles);
+  const double cores = static_cast<double>(ccfg.num_cores());
+  p.generated = static_cast<double>(monitor.generated()) / (window * cores);
+  p.accepted =
+      static_cast<double>(monitor.completed_in_window()) / (window * cores);
+  p.avg_latency = monitor.avg_latency();
+  p.p95_latency = monitor.p95_latency();
+  p.max_latency = monitor.max_latency();
+  p.completed = monitor.completed();
+  return p;
+}
+
+std::vector<TrafficPoint> sweep_load(const TrafficExperimentConfig& base,
+                                     const std::vector<double>& loads) {
+  std::vector<TrafficPoint> out;
+  out.reserve(loads.size());
+  for (double l : loads) {
+    TrafficExperimentConfig cfg = base;
+    cfg.lambda = l;
+    out.push_back(run_traffic_point(cfg));
+  }
+  return out;
+}
+
+}  // namespace mempool

@@ -1,0 +1,40 @@
+#pragma once
+// Load-sweep experiment harness reproducing the methodology of Sections V-A
+// and V-B: warm up, measure accepted throughput over a fixed window, keep
+// collecting latency samples through a drain phase.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster_config.hpp"
+
+namespace mempool {
+
+struct TrafficExperimentConfig {
+  ClusterConfig cluster;
+  double lambda = 0.1;        ///< Offered load (requests/core/cycle).
+  double p_local_seq = 0.0;   ///< Fig. 6 locality parameter.
+  uint64_t warmup_cycles = 1000;
+  uint64_t measure_cycles = 4000;
+  uint64_t drain_cycles = 2000;
+  uint64_t seed = 1;
+};
+
+struct TrafficPoint {
+  double offered = 0;       ///< λ actually requested.
+  double generated = 0;     ///< Measured generation rate (sanity ≈ offered).
+  double accepted = 0;      ///< Responses/core/cycle in the measure window.
+  double avg_latency = 0;   ///< Mean round-trip latency (cycles).
+  double p95_latency = 0;
+  double max_latency = 0;
+  uint64_t completed = 0;   ///< Latency samples collected.
+};
+
+/// Run one (topology, λ, p_local) point.
+TrafficPoint run_traffic_point(const TrafficExperimentConfig& cfg);
+
+/// Sweep λ over @p loads with otherwise fixed parameters.
+std::vector<TrafficPoint> sweep_load(const TrafficExperimentConfig& base,
+                                     const std::vector<double>& loads);
+
+}  // namespace mempool

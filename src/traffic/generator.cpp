@@ -1,0 +1,75 @@
+#include "traffic/generator.hpp"
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+TrafficGenerator::TrafficGenerator(std::string name, uint16_t id,
+                                   uint16_t tile, const ClusterConfig& cfg,
+                                   const MemoryLayout* layout,
+                                   const Engine* engine,
+                                   const TrafficConfig& tcfg,
+                                   LatencyMonitor* monitor)
+    : Client(std::move(name), id, tile),
+      cfg_(&cfg),
+      layout_(layout),
+      engine_(engine),
+      tcfg_(tcfg),
+      monitor_(monitor),
+      rng_(tcfg.seed * 0x9E3779B97F4A7C15ull + id + 1) {
+  MEMPOOL_CHECK(layout_ != nullptr && engine_ != nullptr);
+  MEMPOOL_CHECK(tcfg_.lambda >= 0.0);
+  MEMPOOL_CHECK(tcfg_.p_local_seq >= 0.0 && tcfg_.p_local_seq <= 1.0);
+}
+
+uint32_t TrafficGenerator::draw_address() {
+  const Scrambler& scr = layout_->scrambler();
+  if (tcfg_.p_local_seq > 0.0 && rng_.next_bool(tcfg_.p_local_seq)) {
+    // Own tile's sequential region (word-aligned uniform).
+    const uint32_t base = scr.tile_seq_base(tile_);
+    const uint32_t words = scr.seq_region_bytes() / 4;
+    return base + 4 * static_cast<uint32_t>(rng_.next_below(words));
+  }
+  if (scr.enabled()) {
+    // Interleaved region: uniform across all banks of all tiles.
+    const uint32_t base = scr.seq_total_bytes();
+    const uint32_t words = (layout_->map().spm_bytes() - base) / 4;
+    return base + 4 * static_cast<uint32_t>(rng_.next_below(words));
+  }
+  // Fully interleaved map: uniform over the whole SPM = uniform over banks.
+  const uint32_t words = layout_->map().spm_bytes() / 4;
+  return 4 * static_cast<uint32_t>(rng_.next_below(words));
+}
+
+void TrafficGenerator::deliver(const Packet& resp) {
+  ++completed_;
+  if (monitor_) monitor_->on_response(engine_->cycle(), resp.birth);
+}
+
+void TrafficGenerator::evaluate(uint64_t cycle) {
+  // Open-loop Poisson arrivals.
+  if (cycle < tcfg_.stop_generation_at) {
+    const uint32_t arrivals = rng_.next_poisson(tcfg_.lambda);
+    for (uint32_t i = 0; i < arrivals; ++i) {
+      Packet p;
+      p.op = MemOp::kLoad;
+      p.src = id_;
+      p.src_tile = tile_;
+      p.tag = seq_++;
+      p.birth = cycle;
+      layout_->route(p, draw_address());
+      queue_.push_back(p);
+      ++generated_;
+      if (monitor_) monitor_->on_generated(cycle);
+    }
+  }
+  // Inject at most one request per cycle (the core's single LSU port).
+  if (!queue_.empty() && port_ != nullptr) {
+    if (port_->try_issue(queue_.front())) {
+      if (monitor_) monitor_->on_injected(cycle);
+      queue_.pop_front();
+    }
+  }
+}
+
+}  // namespace mempool

@@ -1,0 +1,64 @@
+#pragma once
+// Synthetic traffic generator (Section V-A): "Each core is replaced by a
+// synthetic traffic generator, which generates new requests following a
+// Poisson process of rate λ. The requests have a random uniformly distributed
+// destination memory bank."
+//
+// For the hybrid-addressing analysis (Section V-B) the generator targets the
+// own tile's sequential region with probability p_local and the interleaved
+// region otherwise.
+//
+// The source queue is open-loop: arrivals accumulate regardless of fabric
+// backpressure and at most one request is injected per cycle. Latency is
+// measured from generation (birth) to response arrival, so queueing delay is
+// included and the average explodes past the saturation load, as in Fig. 5b.
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "core/client.hpp"
+#include "core/cluster_config.hpp"
+#include "core/layout.hpp"
+#include "noc/monitor.hpp"
+#include "sim/engine.hpp"
+
+namespace mempool {
+
+struct TrafficConfig {
+  double lambda = 0.1;      ///< Requests per core per cycle (Poisson rate).
+  double p_local_seq = 0.0; ///< P(target own tile's sequential region).
+  uint64_t seed = 1;
+  uint64_t stop_generation_at = UINT64_MAX;  ///< Drain phase start.
+};
+
+class TrafficGenerator final : public Client {
+ public:
+  TrafficGenerator(std::string name, uint16_t id, uint16_t tile,
+                   const ClusterConfig& cfg, const MemoryLayout* layout,
+                   const Engine* engine, const TrafficConfig& tcfg,
+                   LatencyMonitor* monitor);
+
+  void deliver(const Packet& resp) override;
+  void evaluate(uint64_t cycle) override;
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  uint64_t generated() const { return generated_; }
+  uint64_t completed() const { return completed_; }
+
+ private:
+  uint32_t draw_address();
+
+  const ClusterConfig* cfg_;
+  const MemoryLayout* layout_;
+  const Engine* engine_;
+  TrafficConfig tcfg_;
+  LatencyMonitor* monitor_;
+  Rng rng_;
+  std::deque<Packet> queue_;
+  uint64_t generated_ = 0;
+  uint64_t completed_ = 0;
+  uint16_t seq_ = 0;
+};
+
+}  // namespace mempool

@@ -1,0 +1,92 @@
+#pragma once
+// Shared test utilities.
+
+#include <memory>
+#include <string>
+
+#include "core/client.hpp"
+#include "core/system.hpp"
+#include "isa/text_asm.hpp"
+
+namespace mempool::test {
+
+/// Assemble and run a program on a fresh system; returns the system for
+/// inspection. The program must halt every core within @p max_cycles.
+inline std::unique_ptr<System> run_text(const ClusterConfig& cfg,
+                                        const std::string& src,
+                                        uint64_t max_cycles = 200000) {
+  auto sys = std::make_unique<System>(cfg);
+  sys->load_program(isa::assemble_text(src));
+  const System::RunResult r = sys->run(max_cycles);
+  MEMPOOL_CHECK_MSG(r.all_halted, "test program did not halt");
+  return sys;
+}
+
+/// Guard prologue: cores other than hart 0 exit immediately with code 0.
+inline std::string only_core0(const std::string& body) {
+  return R"(
+    _start:
+      csrr t0, mhartid
+      beqz t0, core0
+      li t1, 0xC0000000
+      sw zero, 0(t1)
+    self: j self
+    core0:
+  )" + body;
+}
+
+/// A client that issues exactly one load when armed and records the response
+/// arrival cycle — used to measure zero-load latencies precisely.
+class ProbeClient final : public Client {
+ public:
+  ProbeClient(uint16_t id, uint16_t tile, const MemoryLayout* layout)
+      : Client("probe" + std::to_string(id), id, tile), layout_(layout) {}
+
+  /// Arm a single load to @p cpu_addr, issued at the next evaluate().
+  void arm(uint32_t cpu_addr) {
+    armed_ = true;
+    addr_ = cpu_addr;
+  }
+
+  void deliver(const Packet& p) override {
+    // The response phase of cycle C runs before the clients evaluate, so our
+    // last evaluate() was at C-1.
+    response_cycle_ = last_cycle_ + 1;
+    data_ = p.data;
+    ++responses_;
+  }
+
+  void evaluate(uint64_t cycle) override {
+    last_cycle_ = cycle;
+    if (armed_) {
+      Packet p;
+      p.op = MemOp::kLoad;
+      p.src = id_;
+      p.src_tile = tile_;
+      p.birth = cycle;
+      layout_->route(p, addr_);
+      if (port_->try_issue(p)) {
+        armed_ = false;
+        issue_cycle_ = cycle;
+      }
+    }
+  }
+
+  uint64_t issue_cycle() const { return issue_cycle_; }
+  uint64_t response_cycle() const { return response_cycle_; }
+  uint64_t latency() const { return response_cycle_ - issue_cycle_; }
+  uint32_t data() const { return data_; }
+  uint32_t responses() const { return responses_; }
+
+ private:
+  const MemoryLayout* layout_;
+  bool armed_ = false;
+  uint32_t addr_ = 0;
+  uint32_t data_ = 0;
+  uint32_t responses_ = 0;
+  uint64_t issue_cycle_ = 0;
+  uint64_t response_cycle_ = 0;
+  uint64_t last_cycle_ = 0;
+};
+
+}  // namespace mempool::test

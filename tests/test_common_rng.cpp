@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mempool {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_THROW(r.next_below(0), CheckError);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng r(99);
+  int counts[8] = {};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng r(11);
+  int t = 0;
+  for (int i = 0; i < 10000; ++i) t += r.next_bool(0.3);
+  EXPECT_NEAR(t / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, PoissonMeanAndVariance) {
+  Rng r(13);
+  const double lambda = 0.35;
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double k = r.next_poisson(lambda);
+    sum += k;
+    sum2 += k * k;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  // Poisson: mean == variance == lambda.
+  EXPECT_NEAR(mean, lambda, 0.01);
+  EXPECT_NEAR(var, lambda, 0.02);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_poisson(0.0), 0u);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng r(42);
+  const uint64_t first = r.next_u64();
+  r.next_u64();
+  r.reseed(42);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace mempool

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decoder.hpp"
+
+namespace mempool::isa {
+namespace {
+
+TEST(Assembler, ForwardAndBackwardLabels) {
+  Assembler a;
+  a.l("start");
+  a.beq(Reg::x1, Reg::x2, "end");   // forward
+  a.j("start");                      // backward
+  a.l("end");
+  a.nop();
+  const auto w = a.finish();
+  EXPECT_EQ(decode(w[0]).imm, 8);    // start -> end = +8
+  EXPECT_EQ(decode(w[1]).imm, -4);   // second word back to start
+}
+
+TEST(Assembler, UnknownLabelThrowsAtFinish) {
+  Assembler a;
+  a.j("nowhere");
+  EXPECT_THROW(a.finish(), CheckError);
+}
+
+TEST(Assembler, DuplicateLabelThrows) {
+  Assembler a;
+  a.l("x");
+  EXPECT_THROW(a.l("x"), CheckError);
+}
+
+TEST(Assembler, BranchOutOfRangeThrows) {
+  Assembler a;
+  a.beq(Reg::x1, Reg::x2, "far");
+  for (int i = 0; i < 1200; ++i) a.nop();
+  a.l("far");
+  EXPECT_THROW(a.finish(), CheckError);
+}
+
+TEST(Assembler, ImmediateRangeChecked) {
+  Assembler a;
+  EXPECT_THROW(a.addi(Reg::x1, Reg::x2, 2048), CheckError);
+  EXPECT_THROW(a.addi(Reg::x1, Reg::x2, -2049), CheckError);
+  a.addi(Reg::x1, Reg::x2, 2047);
+  a.addi(Reg::x1, Reg::x2, -2048);
+}
+
+/// Host-side interpretation of a lui/addi sequence, to verify li.
+uint32_t eval_li(const std::vector<uint32_t>& words) {
+  uint32_t reg = 0;
+  for (uint32_t w : words) {
+    const Instr d = decode(w);
+    if (d.kind == Kind::kLui) {
+      reg = static_cast<uint32_t>(d.imm);
+    } else if (d.kind == Kind::kAddi) {
+      reg += static_cast<uint32_t>(d.imm);
+    } else {
+      ADD_FAILURE() << "unexpected kind";
+    }
+  }
+  return reg;
+}
+
+TEST(Assembler, LiSmallUsesSingleAddi) {
+  Assembler a;
+  a.li(Reg::x1, 42);
+  const auto w = a.finish();
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(decode(w[0]).kind, Kind::kAddi);
+}
+
+TEST(Assembler, LiArbitraryConstantsProperty) {
+  mempool::Rng rng(123);
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = static_cast<int32_t>(rng.next_u64());
+    Assembler a;
+    a.li(Reg::x1, v);
+    EXPECT_EQ(eval_li(a.finish()), static_cast<uint32_t>(v)) << v;
+  }
+  // Boundary cases.
+  for (int32_t v : {0, 1, -1, 2047, 2048, -2048, -2049, INT32_MAX, INT32_MIN,
+                    0x7FFFF800, static_cast<int32_t>(0x80000800)}) {
+    Assembler a;
+    a.li(Reg::x1, v);
+    EXPECT_EQ(eval_li(a.finish()), static_cast<uint32_t>(v)) << v;
+  }
+}
+
+TEST(Assembler, PseudoInstructions) {
+  Assembler a;
+  a.nop();
+  a.mv(Reg::x1, Reg::x2);
+  a.neg(Reg::x3, Reg::x4);
+  a.seqz(Reg::x5, Reg::x6);
+  a.snez(Reg::x7, Reg::x8);
+  a.not_(Reg::x9, Reg::x10);
+  a.ret();
+  const auto w = a.finish();
+  EXPECT_EQ(decode(w[0]).kind, Kind::kAddi);
+  EXPECT_EQ(decode(w[1]).kind, Kind::kAddi);
+  EXPECT_EQ(decode(w[2]).kind, Kind::kSub);
+  EXPECT_EQ(decode(w[3]).kind, Kind::kSltiu);
+  EXPECT_EQ(decode(w[4]).kind, Kind::kSltu);
+  EXPECT_EQ(decode(w[5]).kind, Kind::kXori);
+  const Instr ret = decode(w[6]);
+  EXPECT_EQ(ret.kind, Kind::kJalr);
+  EXPECT_EQ(ret.rd, 0);
+  EXPECT_EQ(ret.rs1, 1);
+}
+
+TEST(Assembler, PcTracksEmission) {
+  Assembler a(0x1000);
+  EXPECT_EQ(a.pc(), 0x1000u);
+  a.nop();
+  a.nop();
+  EXPECT_EQ(a.pc(), 0x1008u);
+  a.l("here");
+  EXPECT_EQ(a.label_address("here"), 0x1008u);
+}
+
+TEST(Assembler, FinishIsIdempotent) {
+  Assembler a;
+  a.l("top");
+  a.j("top");
+  const auto w1 = a.finish();
+  const auto w2 = a.finish();
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(Assembler, WordDirective) {
+  Assembler a;
+  a.word(0xDEADBEEF);
+  EXPECT_EQ(a.finish()[0], 0xDEADBEEFu);
+}
+
+}  // namespace
+}  // namespace mempool::isa

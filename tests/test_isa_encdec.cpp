@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/disasm.hpp"
+
+namespace mempool::isa {
+namespace {
+
+Instr dec1(uint32_t w) { return decode(w); }
+
+TEST(Decoder, Addi) {
+  // addi x5, x6, -1
+  const Instr d = dec1(enc_i(-1, Reg::x6, 0b000, Reg::x5, kOpImm));
+  EXPECT_EQ(d.kind, Kind::kAddi);
+  EXPECT_EQ(d.rd, 5);
+  EXPECT_EQ(d.rs1, 6);
+  EXPECT_EQ(d.imm, -1);
+}
+
+TEST(Decoder, LuiImmediateIsShifted) {
+  const Instr d = dec1(enc_u(0xFFFFF, Reg::x1, kOpLui));
+  EXPECT_EQ(d.kind, Kind::kLui);
+  EXPECT_EQ(static_cast<uint32_t>(d.imm), 0xFFFFF000u);
+}
+
+TEST(Decoder, BranchImmediateSignAndAlignment) {
+  const Instr d = dec1(enc_b(-8, Reg::x2, Reg::x1, 0b001, kOpBranch));
+  EXPECT_EQ(d.kind, Kind::kBne);
+  EXPECT_EQ(d.imm, -8);
+  const Instr d2 = dec1(enc_b(4094, Reg::x2, Reg::x1, 0b000, kOpBranch));
+  EXPECT_EQ(d2.imm, 4094);
+}
+
+TEST(Decoder, JalImmediateRange) {
+  const Instr d = dec1(enc_j(-(1 << 20), Reg::ra, kOpJal));
+  EXPECT_EQ(d.kind, Kind::kJal);
+  EXPECT_EQ(d.imm, -(1 << 20));
+  const Instr d2 = dec1(enc_j((1 << 20) - 2, Reg::ra, kOpJal));
+  EXPECT_EQ(d2.imm, (1 << 20) - 2);
+}
+
+TEST(Decoder, StoreImmediateSplitFields) {
+  const Instr d = dec1(enc_s(-2048, Reg::x7, Reg::x8, 0b010, kOpStore));
+  EXPECT_EQ(d.kind, Kind::kSw);
+  EXPECT_EQ(d.imm, -2048);
+  EXPECT_EQ(d.rs2, 7);
+  EXPECT_EQ(d.rs1, 8);
+}
+
+TEST(Decoder, ShiftsDistinguishSrliSrai) {
+  Assembler a;
+  a.srli(Reg::x1, Reg::x2, 5);
+  a.srai(Reg::x3, Reg::x4, 31);
+  const auto w = a.finish();
+  EXPECT_EQ(decode(w[0]).kind, Kind::kSrli);
+  EXPECT_EQ(decode(w[0]).imm, 5);
+  EXPECT_EQ(decode(w[1]).kind, Kind::kSrai);
+  EXPECT_EQ(decode(w[1]).imm, 31);
+}
+
+TEST(Decoder, MExtension) {
+  Assembler a;
+  a.mul(Reg::x1, Reg::x2, Reg::x3);
+  a.mulh(Reg::x1, Reg::x2, Reg::x3);
+  a.mulhsu(Reg::x1, Reg::x2, Reg::x3);
+  a.mulhu(Reg::x1, Reg::x2, Reg::x3);
+  a.div(Reg::x1, Reg::x2, Reg::x3);
+  a.divu(Reg::x1, Reg::x2, Reg::x3);
+  a.rem(Reg::x1, Reg::x2, Reg::x3);
+  a.remu(Reg::x1, Reg::x2, Reg::x3);
+  const auto w = a.finish();
+  const Kind kinds[] = {Kind::kMul, Kind::kMulh, Kind::kMulhsu, Kind::kMulhu,
+                        Kind::kDiv, Kind::kDivu, Kind::kRem, Kind::kRemu};
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(decode(w[i]).kind, kinds[i]) << i;
+  }
+}
+
+TEST(Decoder, AExtension) {
+  Assembler a;
+  a.lr_w(Reg::x5, Reg::x6);
+  a.sc_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amoswap_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amoadd_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amoxor_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amoand_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amoor_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amomin_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amomax_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amominu_w(Reg::x5, Reg::x7, Reg::x6);
+  a.amomaxu_w(Reg::x5, Reg::x7, Reg::x6);
+  const auto w = a.finish();
+  const Kind kinds[] = {Kind::kLrW, Kind::kScW, Kind::kAmoSwapW,
+                        Kind::kAmoAddW, Kind::kAmoXorW, Kind::kAmoAndW,
+                        Kind::kAmoOrW, Kind::kAmoMinW, Kind::kAmoMaxW,
+                        Kind::kAmoMinuW, Kind::kAmoMaxuW};
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(decode(w[i]).kind, kinds[i]) << i;
+  }
+}
+
+TEST(Decoder, SystemInstructions) {
+  EXPECT_EQ(dec1(0x00000073).kind, Kind::kEcall);
+  EXPECT_EQ(dec1(0x00100073).kind, Kind::kEbreak);
+  EXPECT_EQ(dec1(0x0000000F).kind, Kind::kFence);
+}
+
+TEST(Decoder, CsrInstructions) {
+  Assembler a;
+  a.csrrw(Reg::x1, 0xF14, Reg::x2);
+  a.csrrs(Reg::x3, 0xB00, Reg::zero);
+  const auto w = a.finish();
+  Instr d = decode(w[0]);
+  EXPECT_EQ(d.kind, Kind::kCsrrw);
+  EXPECT_EQ(d.csr, 0xF14);
+  d = decode(w[1]);
+  EXPECT_EQ(d.kind, Kind::kCsrrs);
+  EXPECT_EQ(d.csr, 0xB00);
+}
+
+TEST(Decoder, IllegalEncodings) {
+  EXPECT_EQ(dec1(0x00000000).kind, Kind::kIllegal);
+  EXPECT_EQ(dec1(0xFFFFFFFF).kind, Kind::kIllegal);
+  // Branch funct3 = 010 is reserved.
+  EXPECT_EQ(dec1(enc_b(0, Reg::x1, Reg::x1, 0b010, kOpBranch)).kind,
+            Kind::kIllegal);
+}
+
+TEST(Decoder, RandomizedImmediateRoundTripProperty) {
+  mempool::Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const auto rd = static_cast<Reg>(rng.next_below(32));
+    const auto rs1 = static_cast<Reg>(rng.next_below(32));
+    const auto rs2 = static_cast<Reg>(rng.next_below(32));
+    const int32_t imm12 = static_cast<int32_t>(rng.next_below(4096)) - 2048;
+    {
+      const Instr d = dec1(enc_i(imm12, rs1, 0b000, rd, kOpImm));
+      ASSERT_EQ(d.imm, imm12);
+      ASSERT_EQ(d.rd, reg_num(rd));
+      ASSERT_EQ(d.rs1, reg_num(rs1));
+    }
+    {
+      const Instr d = dec1(enc_s(imm12, rs2, rs1, 0b010, kOpStore));
+      ASSERT_EQ(d.imm, imm12);
+      ASSERT_EQ(d.rs2, reg_num(rs2));
+    }
+    {
+      const int32_t immb = (static_cast<int32_t>(rng.next_below(4096)) - 2048) * 2;
+      const Instr d = dec1(enc_b(immb, rs2, rs1, 0b000, kOpBranch));
+      ASSERT_EQ(d.imm, immb);
+    }
+    {
+      const int32_t immj =
+          (static_cast<int32_t>(rng.next_below(1u << 20)) - (1 << 19)) * 2;
+      const Instr d = dec1(enc_j(immj, rd, kOpJal));
+      ASSERT_EQ(d.imm, immj);
+    }
+  }
+}
+
+TEST(Disasm, RepresentativeMnemonics) {
+  Assembler a;
+  a.addi(Reg::sp, Reg::sp, -16);
+  a.lw(Reg::a0, Reg::sp, 8);
+  a.amoadd_w(Reg::t0, Reg::t1, Reg::t2);
+  const auto w = a.finish();
+  EXPECT_EQ(disassemble_word(w[0]), "addi sp, sp, -16");
+  EXPECT_EQ(disassemble_word(w[1]), "lw a0, 8(sp)");
+  EXPECT_EQ(disassemble_word(w[2]), "amoadd.w t0, t1, (t2)");
+}
+
+TEST(Disasm, BranchTargetUsesPc) {
+  Assembler a;
+  a.l("top");
+  a.nop();
+  a.beq(Reg::x1, Reg::x2, "top");
+  const auto w = a.finish();
+  const std::string s = disassemble_word(w[1], 0x80000004);
+  EXPECT_NE(s.find("0x80000000"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace mempool::isa

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/text_asm.hpp"
+
+namespace mempool::isa {
+namespace {
+
+TEST(TextAsm, MatchesBuilderEncoding) {
+  const auto words = assemble_text(R"(
+    addi t0, zero, 5
+    add  t1, t0, t0
+    lw   a0, 8(sp)
+    sw   a0, -4(s0)
+    beq  t0, t1, done
+    j    done
+  done:
+    ret
+  )");
+  Assembler b;
+  b.addi(Reg::t0, Reg::zero, 5);
+  b.add(Reg::t1, Reg::t0, Reg::t0);
+  b.lw(Reg::a0, Reg::sp, 8);
+  b.sw(Reg::a0, Reg::s0, -4);
+  b.beq(Reg::t0, Reg::t1, "done");
+  b.j("done");
+  b.l("done");
+  b.ret();
+  EXPECT_EQ(words, b.finish());
+}
+
+TEST(TextAsm, NumericAndAbiRegisterNames) {
+  const auto w1 = assemble_text("add x10, x11, x12");
+  const auto w2 = assemble_text("add a0, a1, a2");
+  EXPECT_EQ(w1, w2);
+}
+
+TEST(TextAsm, HexAndNegativeImmediates) {
+  const auto w = assemble_text(R"(
+    li t0, 0x10
+    li t1, -16
+    addi t2, zero, +12
+  )");
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(decode(w[0]).imm, 16);
+  EXPECT_EQ(decode(w[1]).imm, -16);
+  EXPECT_EQ(decode(w[2]).imm, 12);
+}
+
+TEST(TextAsm, CommentsAndBlankLines) {
+  const auto w = assemble_text(R"(
+    # full-line comment
+    nop            # trailing comment
+    nop            // c++ style
+
+    ; asm style
+  )");
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(TextAsm, LabelOnSameLineAsInstruction) {
+  const auto w = assemble_text(R"(
+    top: nop
+    j top
+  )");
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(decode(w[1]).imm, -4);
+}
+
+TEST(TextAsm, CsrSymbolicNames) {
+  const auto w = assemble_text(R"(
+    csrr a0, mhartid
+    csrr a1, numcores
+    csrr a2, mcycle
+  )");
+  EXPECT_EQ(decode(w[0]).csr, 0xF14);
+  EXPECT_EQ(decode(w[1]).csr, 0xFC0);
+  EXPECT_EQ(decode(w[2]).csr, 0xB00);
+}
+
+TEST(TextAsm, AmoSyntax) {
+  const auto w = assemble_text(R"(
+    lr.w t0, (a0)
+    sc.w t1, t2, (a0)
+    amoadd.w t3, t4, (a1)
+  )");
+  EXPECT_EQ(decode(w[0]).kind, Kind::kLrW);
+  EXPECT_EQ(decode(w[1]).kind, Kind::kScW);
+  EXPECT_EQ(decode(w[2]).kind, Kind::kAmoAddW);
+  EXPECT_EQ(decode(w[2]).rs1, 11);
+}
+
+TEST(TextAsm, WordDirective) {
+  const auto w = assemble_text(".word 0xCAFEBABE");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0], 0xCAFEBABEu);
+}
+
+TEST(TextAsm, PseudoBranches) {
+  const auto w = assemble_text(R"(
+    top:
+    beqz t0, top
+    bnez t1, top
+    blez t2, top
+    bgtz t3, top
+  )");
+  EXPECT_EQ(decode(w[0]).kind, Kind::kBeq);
+  EXPECT_EQ(decode(w[1]).kind, Kind::kBne);
+  EXPECT_EQ(decode(w[2]).kind, Kind::kBge);
+  EXPECT_EQ(decode(w[3]).kind, Kind::kBlt);
+}
+
+TEST(TextAsm, ErrorsCarryLineNumbers) {
+  try {
+    assemble_text("nop\nbogus t0, t1\n");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TextAsm, BadRegisterRejected) {
+  EXPECT_THROW(assemble_text("add q0, t1, t2"), CheckError);
+}
+
+TEST(TextAsm, WrongOperandCountRejected) {
+  EXPECT_THROW(assemble_text("add t0, t1"), CheckError);
+}
+
+TEST(TextAsm, JalrForms) {
+  const auto w = assemble_text(R"(
+    jalr t0
+    jalr ra, 4(t1)
+    jalr zero, t2, 0
+  )");
+  EXPECT_EQ(decode(w[0]).rs1, 5);
+  EXPECT_EQ(decode(w[0]).rd, 1);
+  EXPECT_EQ(decode(w[1]).imm, 4);
+  EXPECT_EQ(decode(w[2]).rd, 0);
+}
+
+}  // namespace
+}  // namespace mempool::isa

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/bank.hpp"
+
+namespace mempool {
+namespace {
+
+class CollectSink final : public PacketSink {
+ public:
+  explicit CollectSink(std::size_t capacity = SIZE_MAX) : cap_(capacity) {}
+  bool can_accept() const override { return got.size() < cap_; }
+  void push(const Packet& p) override { got.push_back(p); }
+  std::vector<Packet> got;
+
+ private:
+  std::size_t cap_;
+};
+
+struct BankFixture : ::testing::Test {
+  BankFixture() : bank("bank", 1024) { bank.connect_response(&sink); }
+
+  /// Issue a request and run the bank until the response arrives (or one
+  /// cycle for stores). Returns the response payload.
+  uint32_t issue(MemOp op, uint32_t row, uint32_t data = 0, uint8_t be = 0xF,
+                 uint16_t src = 0) {
+    Packet p;
+    p.op = op;
+    p.dst_row = row;
+    p.data = data;
+    p.be = be;
+    p.src = src;
+    const std::size_t before = sink.got.size();
+    EXPECT_TRUE(bank.request_input()->can_accept());
+    bank.request_input()->push(p);
+    bank.evaluate(cycle_++);
+    if (!op_has_response(op)) return 0;
+    EXPECT_EQ(sink.got.size(), before + 1);
+    return sink.got.back().data;
+  }
+
+  SpmBank bank;
+  CollectSink sink;
+  uint64_t cycle_ = 0;
+};
+
+TEST_F(BankFixture, LoadAfterStoreReturnsValue) {
+  issue(MemOp::kStore, 5, 0xDEADBEEF);
+  EXPECT_EQ(issue(MemOp::kLoad, 5), 0xDEADBEEFu);
+  EXPECT_EQ(bank.reads(), 1u);
+  EXPECT_EQ(bank.writes(), 1u);
+}
+
+TEST_F(BankFixture, ByteEnableMergesSubword) {
+  issue(MemOp::kStore, 3, 0xAABBCCDD);
+  issue(MemOp::kStore, 3, 0x000000EE, 0b0001);
+  EXPECT_EQ(issue(MemOp::kLoad, 3), 0xAABBCCEEu);
+  issue(MemOp::kStore, 3, 0x11220000, 0b1100);
+  EXPECT_EQ(issue(MemOp::kLoad, 3), 0x1122CCEEu);
+}
+
+TEST_F(BankFixture, AmoAddReturnsOldValue) {
+  issue(MemOp::kStore, 0, 10);
+  EXPECT_EQ(issue(MemOp::kAmoAdd, 0, 5), 10u);
+  EXPECT_EQ(issue(MemOp::kLoad, 0), 15u);
+  EXPECT_EQ(bank.atomics(), 1u);
+}
+
+TEST_F(BankFixture, AmoVariantsSemantics) {
+  issue(MemOp::kStore, 1, 0b1100);
+  EXPECT_EQ(issue(MemOp::kAmoAnd, 1, 0b1010), 0b1100u);
+  EXPECT_EQ(issue(MemOp::kLoad, 1), 0b1000u);
+  issue(MemOp::kStore, 1, 0b1100);
+  issue(MemOp::kAmoOr, 1, 0b0011);
+  EXPECT_EQ(issue(MemOp::kLoad, 1), 0b1111u);
+  issue(MemOp::kStore, 1, 0b1100);
+  issue(MemOp::kAmoXor, 1, 0b1010);
+  EXPECT_EQ(issue(MemOp::kLoad, 1), 0b0110u);
+  issue(MemOp::kStore, 1, 7);
+  issue(MemOp::kAmoSwap, 1, 99);
+  EXPECT_EQ(issue(MemOp::kLoad, 1), 99u);
+}
+
+TEST_F(BankFixture, AmoMinMaxSignedUnsigned) {
+  issue(MemOp::kStore, 2, static_cast<uint32_t>(-5));
+  issue(MemOp::kAmoMin, 2, 3);
+  EXPECT_EQ(issue(MemOp::kLoad, 2), static_cast<uint32_t>(-5));
+  issue(MemOp::kAmoMax, 2, 3);
+  EXPECT_EQ(issue(MemOp::kLoad, 2), 3u);
+  issue(MemOp::kStore, 2, static_cast<uint32_t>(-5));  // 0xFFFFFFFB unsigned
+  issue(MemOp::kAmoMaxu, 2, 3);
+  EXPECT_EQ(issue(MemOp::kLoad, 2), static_cast<uint32_t>(-5));
+  issue(MemOp::kAmoMinu, 2, 3);
+  EXPECT_EQ(issue(MemOp::kLoad, 2), 3u);
+}
+
+TEST_F(BankFixture, LrScSuccess) {
+  issue(MemOp::kStore, 4, 100);
+  EXPECT_EQ(issue(MemOp::kLoadReserved, 4, 0, 0xF, /*src=*/7), 100u);
+  EXPECT_EQ(issue(MemOp::kStoreConditional, 4, 111, 0xF, /*src=*/7), 0u);
+  EXPECT_EQ(issue(MemOp::kLoad, 4), 111u);
+}
+
+TEST_F(BankFixture, ScWithoutReservationFails) {
+  EXPECT_EQ(issue(MemOp::kStoreConditional, 4, 111, 0xF, 7), 1u);
+}
+
+TEST_F(BankFixture, StoreByOtherHartKillsReservation) {
+  issue(MemOp::kLoadReserved, 6, 0, 0xF, /*src=*/1);
+  issue(MemOp::kStore, 6, 42, 0xF, /*src=*/2);
+  EXPECT_EQ(issue(MemOp::kStoreConditional, 6, 7, 0xF, /*src=*/1), 1u);
+  EXPECT_EQ(issue(MemOp::kLoad, 6), 42u);
+}
+
+TEST_F(BankFixture, AmoByOtherHartKillsReservation) {
+  issue(MemOp::kLoadReserved, 6, 0, 0xF, 1);
+  issue(MemOp::kAmoAdd, 6, 1, 0xF, 2);
+  EXPECT_EQ(issue(MemOp::kStoreConditional, 6, 7, 0xF, 1), 1u);
+}
+
+TEST_F(BankFixture, ReservationSurvivesUnrelatedRow) {
+  issue(MemOp::kLoadReserved, 8, 0, 0xF, 1);
+  issue(MemOp::kStore, 9, 42, 0xF, 2);  // different row
+  EXPECT_EQ(issue(MemOp::kStoreConditional, 8, 7, 0xF, 1), 0u);
+}
+
+TEST(SpmBank, OneRequestPerCycle) {
+  SpmBank bank("bank", 256, /*input_capacity=*/8);
+  CollectSink sink;
+  bank.connect_response(&sink);
+  for (uint32_t i = 0; i < 4; ++i) {
+    Packet p;
+    p.op = MemOp::kLoad;
+    p.dst_row = i;
+    bank.request_input()->push(p);
+  }
+  for (uint64_t c = 0; c < 4; ++c) {
+    bank.evaluate(c);
+    EXPECT_EQ(sink.got.size(), c + 1);
+  }
+}
+
+TEST(SpmBank, StallsWhenResponsePathFull) {
+  SpmBank bank("bank", 256, 8);
+  CollectSink sink(/*capacity=*/1);
+  bank.connect_response(&sink);
+  Packet p;
+  p.op = MemOp::kLoad;
+  bank.request_input()->push(p);
+  bank.request_input()->push(p);
+  bank.evaluate(0);
+  bank.evaluate(1);  // response sink full: must stall, not drop
+  EXPECT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(bank.stall_cycles(), 1u);
+  sink.got.clear();
+  bank.evaluate(2);
+  EXPECT_EQ(sink.got.size(), 1u);
+}
+
+TEST(SpmBank, PostedStoreProceedsDespiteFullResponsePath) {
+  SpmBank bank("bank", 256, 8);
+  CollectSink sink(/*capacity=*/0);  // never accepts
+  bank.connect_response(&sink);
+  Packet st;
+  st.op = MemOp::kStore;
+  st.dst_row = 1;
+  st.data = 5;
+  bank.request_input()->push(st);
+  bank.evaluate(0);
+  EXPECT_EQ(bank.backdoor_read(1), 5u);
+}
+
+TEST(SpmBank, BackdoorAccess) {
+  SpmBank bank("bank", 64);
+  bank.backdoor_write(3, 77);
+  EXPECT_EQ(bank.backdoor_read(3), 77u);
+  EXPECT_THROW(bank.backdoor_read(16), CheckError);
+  EXPECT_EQ(bank.rows(), 16u);
+}
+
+}  // namespace
+}  // namespace mempool

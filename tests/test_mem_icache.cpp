@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "mem/icache.hpp"
+
+namespace mempool {
+namespace {
+
+struct ICacheFixture : ::testing::Test {
+  ICacheFixture() : imem(1 << 16) {
+    for (uint32_t i = 0; i < (1u << 14); ++i) {
+      imem.write_word(InstrMem::kBase + 4 * i, i);
+    }
+  }
+
+  ICacheConfig small_cfg() {
+    ICacheConfig c;
+    c.size_bytes = 256;
+    c.ways = 2;
+    c.line_bytes = 32;
+    c.refill_latency = 10;
+    return c;
+  }
+
+  /// Run until the fetch hits; returns the number of cycles it took.
+  uint64_t fetch_until_hit(ICache& ic, uint32_t pc, uint64_t start,
+                           uint64_t limit = 200) {
+    for (uint64_t c = start; c < start + limit; ++c) {
+      ic.evaluate(c);
+      const auto r = ic.fetch(pc, c);
+      if (r.hit) {
+        EXPECT_EQ(r.instr, (pc - InstrMem::kBase) / 4);
+        return c - start;
+      }
+    }
+    ADD_FAILURE() << "never hit";
+    return limit;
+  }
+
+  InstrMem imem;
+};
+
+TEST_F(ICacheFixture, MissThenHit) {
+  ICache ic("i$", small_cfg(), &imem);
+  const uint32_t pc = InstrMem::kBase;
+  EXPECT_FALSE(ic.fetch(pc, 0).hit);
+  const uint64_t wait = fetch_until_hit(ic, pc, 1);
+  // refill_latency + line transfer (8 words) to completion.
+  EXPECT_GE(wait, small_cfg().refill_latency);
+  EXPECT_TRUE(ic.fetch(pc, 100).hit);
+  EXPECT_EQ(ic.refills(), 1u);
+}
+
+TEST_F(ICacheFixture, SameLineFetchHitsAfterOneRefill) {
+  ICache ic("i$", small_cfg(), &imem);
+  const uint32_t pc = InstrMem::kBase;
+  fetch_until_hit(ic, pc, 0);
+  // Every word of the 32-byte line now hits.
+  for (uint32_t off = 0; off < 32; off += 4) {
+    EXPECT_TRUE(ic.fetch(pc + off, 1000).hit);
+  }
+  EXPECT_EQ(ic.refills(), 1u);
+}
+
+TEST_F(ICacheFixture, MshrMergesConcurrentMisses) {
+  ICache ic("i$", small_cfg(), &imem);
+  const uint32_t pc = InstrMem::kBase + 64;
+  // Four cores miss on the same line in the same cycle.
+  for (int core = 0; core < 4; ++core) {
+    EXPECT_FALSE(ic.fetch(pc + 4 * core, 0).hit);
+  }
+  fetch_until_hit(ic, pc, 1);
+  EXPECT_EQ(ic.refills(), 1u) << "one refill serves all four";
+}
+
+TEST_F(ICacheFixture, LruEviction) {
+  ICacheConfig cfg = small_cfg();  // 256 B, 2-way, 32 B lines -> 4 sets
+  ICache ic("i$", cfg, &imem);
+  const uint32_t set_stride = 4 * 32;  // same set every 128 B
+  const uint32_t a = InstrMem::kBase;
+  const uint32_t b = a + set_stride;
+  const uint32_t c = a + 2 * set_stride;
+  uint64_t t = 0;
+  auto warm = [&](uint32_t pc) {
+    while (!ic.fetch(pc, t).hit) {
+      ++t;
+      ic.evaluate(t);
+    }
+  };
+  warm(a);
+  warm(b);
+  ic.fetch(a, ++t);  // touch a: b becomes LRU
+  warm(c);           // evicts b
+  EXPECT_TRUE(ic.fetch(a, ++t).hit);
+  EXPECT_FALSE(ic.fetch(b, ++t).hit);
+}
+
+TEST_F(ICacheFixture, SingleRefillPortSerializes) {
+  ICache ic("i$", small_cfg(), &imem);
+  EXPECT_FALSE(ic.fetch(InstrMem::kBase, 0).hit);
+  EXPECT_FALSE(ic.fetch(InstrMem::kBase + 4096, 0).hit);
+  // The second line's refill starts only after the first finishes.
+  uint64_t first_hit = 0, second_hit = 0;
+  for (uint64_t c = 1; c < 300; ++c) {
+    ic.evaluate(c);
+    if (!first_hit && ic.fetch(InstrMem::kBase, c).hit) first_hit = c;
+    if (!second_hit && ic.fetch(InstrMem::kBase + 4096, c).hit) second_hit = c;
+    if (first_hit && second_hit) break;
+  }
+  ASSERT_GT(first_hit, 0u);
+  ASSERT_GT(second_hit, first_hit);
+  EXPECT_GE(second_hit - first_hit,
+            static_cast<uint64_t>(small_cfg().refill_latency));
+}
+
+TEST_F(ICacheFixture, FlushInvalidates) {
+  ICache ic("i$", small_cfg(), &imem);
+  fetch_until_hit(ic, InstrMem::kBase, 0);
+  ic.flush();
+  EXPECT_FALSE(ic.fetch(InstrMem::kBase, 500).hit);
+}
+
+TEST_F(ICacheFixture, HitRateAccounting) {
+  ICache ic("i$", small_cfg(), &imem);
+  fetch_until_hit(ic, InstrMem::kBase, 0);
+  const uint64_t h = ic.hits(), m = ic.misses();
+  EXPECT_EQ(h, 1u);
+  EXPECT_GE(m, 1u);
+  EXPECT_NEAR(ic.hit_rate(), static_cast<double>(h) / (h + m), 1e-12);
+}
+
+TEST_F(ICacheFixture, BadGeometryThrows) {
+  ICacheConfig c;
+  c.size_bytes = 100;  // not a power of two
+  EXPECT_THROW(ICache("i$", c, &imem), CheckError);
+}
+
+}  // namespace
+}  // namespace mempool

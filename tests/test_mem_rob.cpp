@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "mem/rob.hpp"
+
+namespace mempool {
+namespace {
+
+RobEntry meta(uint8_t rd) {
+  RobEntry e;
+  e.rd = rd;
+  return e;
+}
+
+TEST(ReorderBuffer, AllocFillRetire) {
+  ReorderBuffer rob(4);
+  const uint16_t t0 = rob.allocate(meta(5));
+  EXPECT_FALSE(rob.head_ready());
+  rob.fill(t0, 0x1234);
+  ASSERT_TRUE(rob.head_ready());
+  const RobEntry e = rob.pop_head();
+  EXPECT_EQ(e.rd, 5);
+  EXPECT_EQ(e.data, 0x1234u);
+  EXPECT_TRUE(rob.empty());
+}
+
+TEST(ReorderBuffer, InOrderRetirementDespiteOutOfOrderFills) {
+  ReorderBuffer rob(4);
+  const uint16_t t0 = rob.allocate(meta(1));
+  const uint16_t t1 = rob.allocate(meta(2));
+  const uint16_t t2 = rob.allocate(meta(3));
+  rob.fill(t2, 30);  // youngest completes first
+  rob.fill(t1, 20);
+  EXPECT_FALSE(rob.head_ready()) << "head (t0) not done yet";
+  rob.fill(t0, 10);
+  EXPECT_EQ(rob.pop_head().data, 10u);
+  EXPECT_EQ(rob.pop_head().data, 20u);
+  EXPECT_EQ(rob.pop_head().data, 30u);
+}
+
+TEST(ReorderBuffer, FullBlocksAllocation) {
+  ReorderBuffer rob(2);
+  rob.allocate(meta(1));
+  rob.allocate(meta(2));
+  EXPECT_TRUE(rob.full());
+  EXPECT_THROW(rob.allocate(meta(3)), CheckError);
+}
+
+TEST(ReorderBuffer, RollbackTail) {
+  ReorderBuffer rob(2);
+  const uint16_t t0 = rob.allocate(meta(1));
+  rob.allocate(meta(2));
+  rob.rollback_tail();
+  EXPECT_EQ(rob.in_flight(), 1u);
+  rob.fill(t0, 5);
+  EXPECT_EQ(rob.pop_head().data, 5u);
+  // The rolled-back slot is reusable.
+  const uint16_t t2 = rob.allocate(meta(3));
+  rob.fill(t2, 7);
+  EXPECT_EQ(rob.pop_head().data, 7u);
+}
+
+TEST(ReorderBuffer, WrapAroundTags) {
+  ReorderBuffer rob(3);
+  for (int round = 0; round < 10; ++round) {
+    const uint16_t a = rob.allocate(meta(1));
+    const uint16_t b = rob.allocate(meta(2));
+    rob.fill(b, 2 * round + 1);
+    rob.fill(a, 2 * round);
+    EXPECT_EQ(rob.pop_head().data, static_cast<uint32_t>(2 * round));
+    EXPECT_EQ(rob.pop_head().data, static_cast<uint32_t>(2 * round + 1));
+  }
+}
+
+TEST(ReorderBuffer, DoubleFillThrows) {
+  ReorderBuffer rob(2);
+  const uint16_t t = rob.allocate(meta(1));
+  rob.fill(t, 1);
+  EXPECT_THROW(rob.fill(t, 2), CheckError);
+}
+
+TEST(ReorderBuffer, SubwordMetadataPreserved) {
+  ReorderBuffer rob(2);
+  RobEntry m;
+  m.rd = 9;
+  m.width = 2;
+  m.sign_extend = true;
+  m.byte_offset = 2;
+  const uint16_t t = rob.allocate(m);
+  rob.fill(t, 0xAABBCCDD);
+  const RobEntry e = rob.pop_head();
+  EXPECT_EQ(e.width, 2);
+  EXPECT_TRUE(e.sign_extend);
+  EXPECT_EQ(e.byte_offset, 2);
+  EXPECT_EQ(e.data, 0xAABBCCDDu);
+}
+
+}  // namespace
+}  // namespace mempool

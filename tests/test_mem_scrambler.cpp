@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <unordered_set>
+
+#include "mem/addr_map.hpp"
+#include "mem/scrambler.hpp"
+
+namespace mempool {
+namespace {
+
+TEST(AddressMap, LocateComposeRoundTrip) {
+  AddressMap map(64, 16, 1024);
+  EXPECT_EQ(map.spm_bytes(), 1u << 20);
+  for (uint32_t addr = 0; addr < map.spm_bytes(); addr += 4093) {
+    const BankLocation loc = map.locate(addr);
+    EXPECT_EQ(map.compose(loc), addr);
+  }
+}
+
+TEST(AddressMap, InterleavingWalksBanksThenTiles) {
+  AddressMap map(64, 16, 1024);
+  // Word-consecutive addresses hop across the 16 banks of tile 0 first.
+  for (uint32_t w = 0; w < 16; ++w) {
+    const BankLocation loc = map.locate(4 * w);
+    EXPECT_EQ(loc.tile, 0u);
+    EXPECT_EQ(loc.bank, w);
+    EXPECT_EQ(loc.row, 0u);
+  }
+  // The 17th word is bank 0 of tile 1.
+  const BankLocation loc = map.locate(4 * 16);
+  EXPECT_EQ(loc.tile, 1u);
+  EXPECT_EQ(loc.bank, 0u);
+}
+
+TEST(AddressMap, OutOfRangeThrows) {
+  AddressMap map(4, 4, 256);
+  EXPECT_THROW(map.locate(map.spm_bytes()), CheckError);
+}
+
+// --- Scrambler property sweep over configurations ---------------------------
+
+using ScramblerParam = std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>;
+// (num_tiles, banks_per_tile, bank_bytes, seq_region_bytes)
+
+class ScramblerSweep : public ::testing::TestWithParam<ScramblerParam> {};
+
+TEST_P(ScramblerSweep, BijectionOnSequentialWindowIdentityOutside) {
+  const auto [tiles, banks, bank_bytes, seq] = GetParam();
+  AddressMap map(tiles, banks, bank_bytes);
+  Scrambler scr(map, seq, true);
+
+  std::unordered_set<uint32_t> seen;
+  const uint32_t window = scr.seq_total_bytes();
+  for (uint32_t a = 0; a < window; a += 4) {
+    const uint32_t phys = scr.scramble(a);
+    EXPECT_LT(phys, window) << "window maps onto itself";
+    EXPECT_TRUE(seen.insert(phys).second) << "collision at 0x" << std::hex << a;
+    EXPECT_EQ(scr.unscramble(phys), a);
+  }
+  // Identity outside the window.
+  for (uint32_t a = window; a < map.spm_bytes(); a += 4097 * 4) {
+    EXPECT_EQ(scr.scramble(a), a);
+    EXPECT_EQ(scr.unscramble(a), a);
+  }
+}
+
+TEST_P(ScramblerSweep, SequentialRegionMapsToOwnTile) {
+  const auto [tiles, banks, bank_bytes, seq] = GetParam();
+  AddressMap map(tiles, banks, bank_bytes);
+  Scrambler scr(map, seq, true);
+  for (uint32_t t = 0; t < tiles; ++t) {
+    for (uint32_t off = 0; off < seq; off += 4) {
+      const BankLocation loc = map.locate(scr.scramble(scr.tile_seq_base(t) + off));
+      ASSERT_EQ(loc.tile, t) << "tile " << t << " offset " << off;
+    }
+  }
+}
+
+TEST_P(ScramblerSweep, SequentialRegionStillInterleavesAcrossTileBanks) {
+  // "the banks inside the same tile are still accessed interleaved"
+  const auto [tiles, banks, bank_bytes, seq] = GetParam();
+  AddressMap map(tiles, banks, bank_bytes);
+  Scrambler scr(map, seq, true);
+  for (uint32_t w = 0; w < banks; ++w) {
+    const BankLocation loc = map.locate(scr.scramble(4 * w));
+    EXPECT_EQ(loc.bank, w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ScramblerSweep,
+    ::testing::Values(ScramblerParam{64, 16, 1024, 4096},
+                      ScramblerParam{16, 16, 1024, 4096},
+                      ScramblerParam{16, 16, 1024, 1024},
+                      ScramblerParam{4, 4, 256, 64},
+                      ScramblerParam{64, 16, 1024, 16384},
+                      ScramblerParam{16, 4, 4096, 2048}));
+
+TEST(Scrambler, DisabledIsIdentityEverywhere) {
+  AddressMap map(16, 16, 1024);
+  Scrambler scr(map, 4096, false);
+  for (uint32_t a = 0; a < map.spm_bytes(); a += 997 * 4) {
+    EXPECT_EQ(scr.scramble(a), a);
+  }
+}
+
+TEST(Scrambler, MatchesPaperExampleFieldSwap) {
+  // 16 tiles (t=4), 16 banks (b=4): byte offset 2 bits, bank bits [2,6),
+  // tile bits [6,10). With 4 KiB sequential regions, s = log2(4096/64) = 6.
+  AddressMap map(16, 16, 1024);
+  Scrambler scr(map, 4096, true);
+  // CPU address inside tile 3's region, row_lo = 5, bank = 7, byte = 0:
+  const uint32_t cpu = (3u << 12) | (5u << 6) | (7u << 2);
+  // Physical: tile bits move to [6,10), row_lo to [10,16).
+  const uint32_t phys = (5u << 10) | (3u << 6) | (7u << 2);
+  EXPECT_EQ(scr.scramble(cpu), phys);
+  EXPECT_EQ(scr.unscramble(phys), cpu);
+}
+
+TEST(Scrambler, TooSmallOrTooLargeRegionThrows) {
+  AddressMap map(16, 16, 1024);
+  EXPECT_THROW(Scrambler(map, 32, true), CheckError);     // below one sweep
+  EXPECT_THROW(Scrambler(map, 32768, true), CheckError);  // above tile share
+}
+
+}  // namespace
+}  // namespace mempool

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/xbar.hpp"
+#include "sim/engine.hpp"
+
+namespace mempool {
+namespace {
+
+/// Terminal sink collecting packets with optional capacity limiting.
+class CollectSink final : public PacketSink {
+ public:
+  explicit CollectSink(std::size_t capacity = SIZE_MAX) : cap_(capacity) {}
+  bool can_accept() const override { return got.size() < cap_; }
+  void push(const Packet& p) override { got.push_back(p); }
+  std::vector<Packet> got;
+
+ private:
+  std::size_t cap_;
+};
+
+Packet mk(uint16_t src, uint16_t dst_bank) {
+  Packet p;
+  p.src = src;
+  p.dst_bank = dst_bank;
+  return p;
+}
+
+RouteFn by_bank() {
+  return [](const Packet& p) { return static_cast<unsigned>(p.dst_bank); };
+}
+
+TEST(XbarSwitch, RoutesToCorrectOutput) {
+  XbarSwitch sw("sw", 2, BufferMode::kCombinational, 3, by_bank());
+  CollectSink s0, s1, s2;
+  sw.connect_output(0, &s0);
+  sw.connect_output(1, &s1);
+  sw.connect_output(2, &s2);
+  sw.input(0)->push(mk(0, 2));
+  sw.input(1)->push(mk(1, 0));
+  sw.evaluate(0);
+  EXPECT_EQ(s0.got.size(), 1u);
+  EXPECT_TRUE(s1.got.empty());
+  EXPECT_EQ(s2.got.size(), 1u);
+  EXPECT_EQ(s0.got[0].src, 1);
+  EXPECT_EQ(s2.got[0].src, 0);
+}
+
+TEST(XbarSwitch, OneGrantPerOutputPerCycle) {
+  XbarSwitch sw("sw", 4, BufferMode::kCombinational, 1, by_bank());
+  CollectSink out;
+  sw.connect_output(0, &out);
+  for (uint16_t i = 0; i < 4; ++i) sw.input(i)->push(mk(i, 0));
+  sw.evaluate(0);
+  EXPECT_EQ(out.got.size(), 1u);
+  sw.evaluate(1);
+  EXPECT_EQ(out.got.size(), 2u);
+  sw.evaluate(2);
+  sw.evaluate(3);
+  EXPECT_EQ(out.got.size(), 4u);
+  EXPECT_TRUE(sw.idle());
+}
+
+TEST(XbarSwitch, RoundRobinIsFair) {
+  XbarSwitch sw("sw", 3, BufferMode::kCombinational, 1, by_bank(), 64);
+  CollectSink out;
+  sw.connect_output(0, &out);
+  // Keep all inputs continuously backlogged.
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    for (uint16_t i = 0; i < 3; ++i) {
+      if (sw.input(i)->can_accept()) sw.input(i)->push(mk(i, 0));
+    }
+    sw.evaluate(cycle);
+  }
+  int count[3] = {};
+  for (const auto& p : out.got) ++count[p.src];
+  EXPECT_EQ(out.got.size(), 30u);
+  for (int c : count) EXPECT_EQ(c, 10);
+}
+
+TEST(XbarSwitch, BackpressureHoldsPacketNoLoss) {
+  XbarSwitch sw("sw", 1, BufferMode::kCombinational, 1, by_bank());
+  CollectSink out(/*capacity=*/1);
+  sw.connect_output(0, &out);
+  sw.input(0)->push(mk(0, 0));
+  sw.input(0)->push(mk(1, 0));
+  sw.evaluate(0);
+  sw.evaluate(1);  // output full: second packet must wait
+  EXPECT_EQ(out.got.size(), 1u);
+  EXPECT_FALSE(sw.idle());
+  out.got.clear();  // free capacity
+  sw.evaluate(2);
+  EXPECT_EQ(out.got.size(), 1u);
+  EXPECT_EQ(out.got[0].src, 1);
+  EXPECT_TRUE(sw.idle());
+}
+
+TEST(XbarSwitch, RegisteredInputAddsOneCycle) {
+  Engine engine;
+  XbarSwitch sw("sw", 1, BufferMode::kRegistered, 1, by_bank());
+  sw.register_clocked(engine);
+  CollectSink out;
+  sw.connect_output(0, &out);
+  sw.input(0)->push(mk(0, 0));
+  sw.evaluate(0);
+  EXPECT_TRUE(out.got.empty()) << "registered input: not visible this cycle";
+  // Engine commit phase.
+  engine.step();  // no components registered; commits the buffer
+  sw.evaluate(1);
+  EXPECT_EQ(out.got.size(), 1u);
+}
+
+TEST(XbarSwitch, TraversalAndBlockedCounters) {
+  XbarSwitch sw("sw", 2, BufferMode::kCombinational, 1, by_bank());
+  CollectSink out;
+  sw.connect_output(0, &out);
+  sw.input(0)->push(mk(0, 0));
+  sw.input(1)->push(mk(1, 0));
+  sw.evaluate(0);
+  EXPECT_EQ(sw.traversals(), 1u);
+  EXPECT_EQ(sw.blocked(), 1u);  // the arbitration loser
+  sw.evaluate(1);
+  EXPECT_EQ(sw.traversals(), 2u);
+}
+
+TEST(XbarSwitch, RouteOutOfRangeThrows) {
+  XbarSwitch sw("sw", 1, BufferMode::kCombinational, 1,
+                [](const Packet&) { return 5u; });
+  CollectSink out;
+  sw.connect_output(0, &out);
+  sw.input(0)->push(mk(0, 0));
+  EXPECT_THROW(sw.evaluate(0), CheckError);
+}
+
+TEST(XbarSwitch, UnconnectedOutputThrows) {
+  XbarSwitch sw("sw", 1, BufferMode::kCombinational, 1, by_bank());
+  sw.input(0)->push(mk(0, 0));
+  EXPECT_THROW(sw.evaluate(0), CheckError);
+}
+
+TEST(XbarSwitch, FifoOrderPerInput) {
+  XbarSwitch sw("sw", 1, BufferMode::kCombinational, 2, by_bank(), 8);
+  CollectSink o0, o1;
+  sw.connect_output(0, &o0);
+  sw.connect_output(1, &o1);
+  // Same input, alternating destinations: head-of-line order must hold.
+  sw.input(0)->push(mk(0, 0));
+  sw.input(0)->push(mk(1, 1));
+  sw.input(0)->push(mk(2, 0));
+  sw.evaluate(0);  // only head moves
+  EXPECT_EQ(o0.got.size(), 1u);
+  EXPECT_TRUE(o1.got.empty());
+  sw.evaluate(1);
+  EXPECT_EQ(o1.got.size(), 1u);
+  sw.evaluate(2);
+  EXPECT_EQ(o0.got.size(), 2u);
+  EXPECT_EQ(o0.got[1].src, 2);
+}
+
+}  // namespace
+}  // namespace mempool

@@ -1,0 +1,107 @@
+// Physical feasibility model (Sections VI-B/C): geometry, wiring, congestion
+// and the paper's qualitative verdicts.
+
+#include <gtest/gtest.h>
+
+#include "physical/feasibility.hpp"
+
+namespace mempool::physical {
+namespace {
+
+TEST(Floorplan, TileAreaFractionMatchesPaper) {
+  const Floorplan fp;
+  // "55 % of the design area is covered by the tiles"
+  EXPECT_NEAR(fp.tile_area_fraction(), 0.55, 0.02);
+}
+
+TEST(Floorplan, TilesInsideDie) {
+  const Floorplan fp;
+  for (uint32_t t = 0; t < 64; ++t) {
+    const Point p = fp.tile_center(t);
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 4.6);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 4.6);
+    const Point q = fp.tile_center_grouped(t);
+    EXPECT_GT(q.x, 0.0);
+    EXPECT_LT(q.x, 4.6);
+  }
+}
+
+TEST(Floorplan, GroupedLayoutPutsGroupsInQuadrants) {
+  const Floorplan fp;
+  for (uint32_t g = 0; g < 4; ++g) {
+    const Point c = fp.group_center(g);
+    for (uint32_t j = 0; j < 16; ++j) {
+      const Point p = fp.tile_center_grouped(g * 16 + j);
+      EXPECT_LT(std::abs(p.x - c.x), 4.6 / 4 + 1e-9);
+      EXPECT_LT(std::abs(p.y - c.y), 4.6 / 4 + 1e-9);
+    }
+  }
+}
+
+TEST(Wires, Top4IsFourTimesTop1) {
+  const Floorplan fp;
+  const auto w1 = extract_wires(PhysTopology::kTop1, fp);
+  const auto w4 = extract_wires(PhysTopology::kTop4, fp);
+  EXPECT_EQ(w4.size(), 4 * w1.size());
+  EXPECT_NEAR(total_bit_mm(w4), 4 * total_bit_mm(w1), 1e-6);
+}
+
+TEST(Wires, ManhattanLength) {
+  WireBundle w{{0, 0}, {1.5, 2.0}, 10, WireKind::kTileToHub};
+  EXPECT_NEAR(w.manhattan_mm(), 3.5, 1e-12);
+  EXPECT_NEAR(w.bit_mm(), 35.0, 1e-12);
+}
+
+TEST(Congestion, CenterHotForTop1SpreadForTopH) {
+  const FeasibilityParams p;
+  const Floorplan fp(p.floorplan);
+  CongestionMap m1(4.6, 16), mh(4.6, 16);
+  m1.route_all(extract_wires(PhysTopology::kTop1, fp));
+  mh.route_all(extract_wires(PhysTopology::kTopH, fp));
+  // TopH distributes the wiring: lower spread (coefficient of variation
+  // of cell demand) and a lower center-to-total ratio than Top1.
+  EXPECT_LT(mh.center_demand() / mh.total(), m1.center_demand() / m1.total());
+}
+
+TEST(Congestion, RouteAccountsFullLength) {
+  CongestionMap m(4.0, 8);
+  m.route({{0.25, 0.25}, {3.75, 0.25}, 100, WireKind::kTileToHub});
+  EXPECT_NEAR(m.total(), 3.5 * 100, 3.5 * 100 * 0.02);
+}
+
+TEST(Feasibility, PaperVerdicts) {
+  const auto reports = analyze_all();
+  ASSERT_EQ(reports.size(), 3u);
+  const auto& top1 = reports[0];
+  const auto& top4 = reports[1];
+  const auto& toph = reports[2];
+  EXPECT_TRUE(top1.feasible);
+  EXPECT_FALSE(top4.feasible) << "Top4 is physically infeasible (Sec. VI-C)";
+  EXPECT_TRUE(toph.feasible);
+  // "Top4 is four times more congested than Top1".
+  EXPECT_NEAR(top4.center_ratio_vs_top1, 4.0, 0.2);
+  // TopH's centre is denser than Top1's (the diagonal group pairs cross the
+  // die centre — "high cell and wiring density at the center of the design",
+  // Sec. VI-C) but stays well below Top4's unroutable 4x.
+  EXPECT_GT(toph.center_ratio_vs_top1, 1.0);
+  EXPECT_LT(toph.center_ratio_vs_top1, 2.5);
+}
+
+TEST(Feasibility, TimingEstimateInPaperRange) {
+  const auto reports = analyze_all();
+  const auto& toph = reports[2];
+  // Paper: 480 MHz worst case, critical path 37 % wire delay.
+  EXPECT_NEAR(toph.wire_delay_fraction, 0.37, 0.08);
+  EXPECT_GT(toph.fmax_mhz, 350.0);
+  EXPECT_LT(toph.fmax_mhz, 700.0);
+}
+
+TEST(Feasibility, TopHSpreadsWiring) {
+  const auto reports = analyze_all();
+  EXPECT_LT(reports[2].spread, reports[0].spread);
+}
+
+}  // namespace
+}  // namespace mempool::physical

@@ -1,0 +1,111 @@
+// Synthetic traffic methodology tests (Sections V-A/V-B).
+
+#include <gtest/gtest.h>
+
+#include "traffic/experiment.hpp"
+#include "traffic/generator.hpp"
+
+namespace mempool {
+namespace {
+
+TrafficExperimentConfig base_cfg(Topology topo, bool scramble, double lambda) {
+  TrafficExperimentConfig e;
+  e.cluster = ClusterConfig::mini(topo, scramble);
+  e.lambda = lambda;
+  e.warmup_cycles = 300;
+  e.measure_cycles = 1500;
+  e.drain_cycles = 500;
+  return e;
+}
+
+TEST(Traffic, GenerationRateMatchesLambda) {
+  const auto p = run_traffic_point(base_cfg(Topology::kTopH, false, 0.2));
+  EXPECT_NEAR(p.generated, 0.2, 0.02);
+}
+
+TEST(Traffic, LowLoadAcceptedEqualsOffered) {
+  for (Topology topo : {Topology::kTop1, Topology::kTop4, Topology::kTopH}) {
+    const auto p = run_traffic_point(base_cfg(topo, false, 0.05));
+    EXPECT_NEAR(p.accepted, 0.05, 0.01) << topology_name(topo);
+  }
+}
+
+TEST(Traffic, LatencyBoundedBelowByZeroLoad) {
+  // Even at negligible load the round trip can never beat the zero-load
+  // latency of the nearest bank.
+  const auto p = run_traffic_point(base_cfg(Topology::kTopH, false, 0.01));
+  EXPECT_GE(p.avg_latency, 1.0);
+  EXPECT_LE(p.avg_latency, 8.0);
+}
+
+TEST(Traffic, Top1SaturatesFirst) {
+  // Section V-A: Top1 congests around 0.10 request/core/cycle while
+  // Top4/TopH support roughly 4x that.
+  const double high = 0.25;
+  const auto p1 = run_traffic_point(base_cfg(Topology::kTop1, false, high));
+  const auto p4 = run_traffic_point(base_cfg(Topology::kTop4, false, high));
+  const auto ph = run_traffic_point(base_cfg(Topology::kTopH, false, high));
+  EXPECT_LT(p1.accepted, 0.18) << "Top1 must be saturated at 0.25";
+  EXPECT_NEAR(p4.accepted, high, 0.03);
+  EXPECT_NEAR(ph.accepted, high, 0.03);
+  EXPECT_GT(p1.avg_latency, ph.avg_latency);
+}
+
+TEST(Traffic, LocalityRaisesThroughputAndCutsLatency) {
+  // Section V-B, Figure 6: higher p_local -> higher throughput, lower
+  // latency (TopH with scrambling).
+  auto cfg0 = base_cfg(Topology::kTopH, true, 0.5);
+  cfg0.p_local_seq = 0.0;
+  auto cfg100 = cfg0;
+  cfg100.p_local_seq = 1.0;
+  const auto p0 = run_traffic_point(cfg0);
+  const auto p100 = run_traffic_point(cfg100);
+  EXPECT_GT(p100.accepted, p0.accepted);
+  EXPECT_LT(p100.avg_latency, p0.avg_latency);
+  // All-local traffic at 0.5 offered is nowhere near saturation.
+  EXPECT_NEAR(p100.accepted, 0.5, 0.05);
+}
+
+TEST(Traffic, FullyLocalLatencyNearOneCycle) {
+  auto cfg = base_cfg(Topology::kTopH, true, 0.1);
+  cfg.p_local_seq = 1.0;
+  const auto p = run_traffic_point(cfg);
+  EXPECT_LT(p.avg_latency, 2.0);
+}
+
+TEST(Traffic, DeterministicForSameSeed) {
+  const auto a = run_traffic_point(base_cfg(Topology::kTopH, false, 0.3));
+  const auto b = run_traffic_point(base_cfg(Topology::kTopH, false, 0.3));
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+}
+
+TEST(Traffic, SeedChangesRealization) {
+  auto cfg = base_cfg(Topology::kTopH, false, 0.3);
+  const auto a = run_traffic_point(cfg);
+  cfg.seed = 999;
+  const auto b = run_traffic_point(cfg);
+  EXPECT_NE(a.completed, b.completed);
+}
+
+TEST(Traffic, SweepIsMonotoneInOfferedLoad) {
+  TrafficExperimentConfig cfg = base_cfg(Topology::kTopH, false, 0.0);
+  const auto pts = sweep_load(cfg, {0.05, 0.15, 0.30});
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_LT(pts[0].avg_latency, pts[2].avg_latency);
+  EXPECT_LT(pts[0].accepted, pts[2].accepted);
+}
+
+TEST(Traffic, MonitorWindows) {
+  LatencyMonitor m(100);
+  m.set_measure_end(200);
+  m.on_response(50, 40);    // before warmup: not counted
+  m.on_response(150, 120);  // in window
+  m.on_response(250, 150);  // after window: latency sample only
+  EXPECT_EQ(m.completed_in_window(), 1u);
+  EXPECT_EQ(m.completed(), 2u);  // birth >= 100 for the last two
+  EXPECT_DOUBLE_EQ(m.avg_latency(), (30.0 + 100.0) / 2);
+}
+
+}  // namespace
+}  // namespace mempool

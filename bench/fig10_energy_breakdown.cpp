@@ -8,6 +8,7 @@
 // the *measured* energy by the *measured* instruction counts, which is the
 // actual reproduction of the experiment.
 
+#include <chrono>
 #include <iostream>
 
 #include "common/report.hpp"
@@ -15,10 +16,15 @@
 #include "kernels/kernel.hpp"
 #include "kernels/matmul.hpp"
 #include "power/energy_model.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/parallel.hpp"
 
 using namespace mempool;
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::BenchOptions opts =
+      runner::parse_bench_options(&argc, argv, "fig10_energy_breakdown");
+
   print_banner(std::cout,
                "Figure 10 — energy per instruction, TopH tile (pJ)");
 
@@ -53,12 +59,31 @@ int main() {
   r.print(std::cout);
 
   // --- measured cross-check on a real run -------------------------------------
+  // A single simulation, but still dispatched through the runner pool so the
+  // bench exercises the same execution path as the multi-point harnesses.
   std::cout << "\nMeasured cross-check (matmul on 256-core TopHS):\n";
   const ClusterConfig cfg = ClusterConfig::paper(Topology::kTopH, true);
-  System sys(cfg);
-  kernels::run_kernel(sys, kernels::build_matmul(cfg, 64), 50'000'000);
-  const SnitchCore::Stats cs = sys.aggregate_core_stats();
-  const EnergyBreakdown e = model.measure(sys.cluster(), cs);
+  struct Measured {
+    SnitchCore::Stats cs;
+    EnergyBreakdown e;
+  };
+  // Exactly one task — a single worker, so no idle threads sit around for
+  // the duration of the simulation.
+  runner::ThreadPool pool(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Measured meas = runner::run_indexed(pool, 1, [&](std::size_t) {
+    System sys(cfg);
+    kernels::run_kernel(sys, kernels::build_matmul(cfg, 64), 50'000'000);
+    Measured m;
+    m.cs = sys.aggregate_core_stats();
+    m.e = model.measure(sys.cluster(), m.cs);
+    return m;
+  })[0];
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  const SnitchCore::Stats& cs = meas.cs;
+  const EnergyBreakdown& e = meas.e;
 
   const double loads = static_cast<double>(cs.loads_local + cs.loads_remote +
                                            cs.stores_local + cs.stores_remote +
@@ -78,5 +103,12 @@ int main() {
   m.add_row({"avg bank energy / access (pJ)", Table::num(mem_per_access, 2)});
   m.add_row({"expected range", "4.5 (all-local) .. 13.0 (all cross-group)"});
   m.print(std::cout);
+
+  Json results = Json::object();
+  results.set("energy_per_instruction", t.to_json());
+  results.set("paper_ratios", r.to_json());
+  results.set("measured_cross_check", m.to_json());
+  runner::write_bench_results(opts, pool.num_threads(), wall,
+                              std::move(results));
   return 0;
 }

@@ -6,32 +6,28 @@
 //   * Top4/TopH sustain ~0.38,
 //   * TopH stays below ~6 cycles at 0.33,
 //   * TopH's throughput edges out Top4's.
+//
+// All 42 (topology, λ) points run through the parallel sweep runner; the
+// result order — and with it every number printed below — is bit-identical
+// for any --threads value.
 
-#include <cstdio>
 #include <iostream>
 
 #include "common/report.hpp"
-#include "traffic/experiment.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/results.hpp"
+#include "runner/runner.hpp"
 
 using namespace mempool;
+using namespace mempool::runner;
 
 namespace {
 
-TrafficPoint point(Topology topo, double lambda) {
-  TrafficExperimentConfig e;
-  e.cluster = ClusterConfig::paper(topo, /*scrambling=*/false);
-  e.lambda = lambda;
-  e.warmup_cycles = 1000;
-  e.measure_cycles = 4000;
-  e.drain_cycles = 2000;
-  return run_traffic_point(e);
-}
-
 /// Saturation load: the highest offered load still accepted within 5 %.
 double saturation(const std::vector<double>& loads,
-                  const std::vector<TrafficPoint>& pts) {
+                  const TrafficPoint* pts) {
   double sat = 0;
-  for (std::size_t i = 0; i < pts.size(); ++i) {
+  for (std::size_t i = 0; i < loads.size(); ++i) {
     if (pts[i].accepted >= 0.95 * loads[i]) sat = pts[i].accepted;
   }
   return sat;
@@ -39,36 +35,40 @@ double saturation(const std::vector<double>& loads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts =
+      parse_bench_options(&argc, argv, "fig5_topology_sweep");
+
   print_banner(std::cout, "Figure 5 — network analysis of Top1 / Top4 / TopH "
                           "(256 generators, uniform banks)");
 
   const std::vector<double> loads = {0.02, 0.05, 0.08, 0.10, 0.12, 0.16, 0.20,
                                      0.25, 0.29, 0.33, 0.38, 0.42, 0.46, 0.50};
-  const Topology topos[] = {Topology::kTop1, Topology::kTop4, Topology::kTopH};
 
-  std::vector<std::vector<TrafficPoint>> results(3);
-  for (int t = 0; t < 3; ++t) {
-    results[t].reserve(loads.size());
-    for (double l : loads) {
-      results[t].push_back(point(topos[t], l));
-      std::fprintf(stderr, ".");
-    }
-  }
-  std::fprintf(stderr, "\n");
+  SweepSpec spec;
+  spec.base.cluster = ClusterConfig::paper(Topology::kTop1, /*scrambling=*/false);
+  spec.base.warmup_cycles = 1000;
+  spec.base.measure_cycles = 4000;
+  spec.base.drain_cycles = 2000;
+  spec.topologies = {Topology::kTop1, Topology::kTop4, Topology::kTopH};
+  spec.lambdas = loads;
+
+  const SweepResult res = run_sweep(spec, opts.runner());
+  // Point index layout (SweepSpec::expand): topology-major, λ inner.
+  auto pts = [&](std::size_t topo) { return &res.points[topo * loads.size()]; };
 
   Table thr({"load (req/core/cy)", "Top1 accepted", "Top4 accepted",
              "TopH accepted"});
   Table lat({"load (req/core/cy)", "Top1 avg lat", "Top4 avg lat",
              "TopH avg lat"});
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    thr.add_row({Table::num(loads[i], 2), Table::num(results[0][i].accepted, 3),
-                 Table::num(results[1][i].accepted, 3),
-                 Table::num(results[2][i].accepted, 3)});
+    thr.add_row({Table::num(loads[i], 2), Table::num(pts(0)[i].accepted, 3),
+                 Table::num(pts(1)[i].accepted, 3),
+                 Table::num(pts(2)[i].accepted, 3)});
     lat.add_row({Table::num(loads[i], 2),
-                 Table::num(results[0][i].avg_latency, 1),
-                 Table::num(results[1][i].avg_latency, 1),
-                 Table::num(results[2][i].avg_latency, 1)});
+                 Table::num(pts(0)[i].avg_latency, 1),
+                 Table::num(pts(1)[i].avg_latency, 1),
+                 Table::num(pts(2)[i].avg_latency, 1)});
   }
   std::cout << "\n(a) Throughput (request/core/cycle):\n";
   thr.print(std::cout);
@@ -76,12 +76,12 @@ int main() {
   lat.print(std::cout);
 
   // --- Section V-A text claims ------------------------------------------------
-  const double sat1 = saturation(loads, results[0]);
-  const double sat4 = saturation(loads, results[1]);
-  const double sath = saturation(loads, results[2]);
+  const double sat1 = saturation(loads, pts(0));
+  const double sat4 = saturation(loads, pts(1));
+  const double sath = saturation(loads, pts(2));
   double lat_h_033 = 0;
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    if (loads[i] == 0.33) lat_h_033 = results[2][i].avg_latency;
+    if (loads[i] == 0.33) lat_h_033 = pts(2)[i].avg_latency;
   }
 
   std::cout << "\nSummary vs paper (Section V-A):\n";
@@ -93,5 +93,10 @@ int main() {
   s.add_row({"TopH saturation > Top4", "yes",
              sath >= sat4 * 0.98 ? "yes" : "NO"});
   s.print(std::cout);
+
+  Json results = Json::object();
+  results.set("sweep", sweep_to_json(res));
+  results.set("summary", s.to_json());
+  write_bench_results(opts, res.threads, res.wall_seconds, std::move(results));
   return 0;
 }

@@ -3,31 +3,23 @@
 // figure sweeps p_local ∈ {0 %, 25 %, 50 %, 100 %}.
 // Also reproduces the text claim (T3): an application with 25 % stack
 // accesses gains up to 50 % throughput from the scrambling logic.
+//
+// The 40 (p_local, λ) points run through the parallel sweep runner.
 
-#include <cstdio>
 #include <iostream>
 
 #include "common/report.hpp"
-#include "traffic/experiment.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/results.hpp"
+#include "runner/runner.hpp"
 
 using namespace mempool;
+using namespace mempool::runner;
 
-namespace {
+int main(int argc, char** argv) {
+  const BenchOptions opts =
+      parse_bench_options(&argc, argv, "fig6_hybrid_addressing");
 
-TrafficPoint point(double lambda, double p_local) {
-  TrafficExperimentConfig e;
-  e.cluster = ClusterConfig::paper(Topology::kTopH, /*scrambling=*/true);
-  e.lambda = lambda;
-  e.p_local_seq = p_local;
-  e.warmup_cycles = 1000;
-  e.measure_cycles = 4000;
-  e.drain_cycles = 2000;
-  return run_traffic_point(e);
-}
-
-}  // namespace
-
-int main() {
   print_banner(std::cout,
                "Figure 6 — TopH with the hybrid addressing scheme, for "
                "p_local in {0, 25, 50, 100} %");
@@ -36,26 +28,29 @@ int main() {
                                      0.55, 0.65, 0.80, 1.00};
   const std::vector<double> plocals = {0.0, 0.25, 0.50, 1.00};
 
-  std::vector<std::vector<TrafficPoint>> res(plocals.size());
-  for (std::size_t p = 0; p < plocals.size(); ++p) {
-    for (double l : loads) {
-      res[p].push_back(point(l, plocals[p]));
-      std::fprintf(stderr, ".");
-    }
-  }
-  std::fprintf(stderr, "\n");
+  SweepSpec spec;
+  spec.base.cluster = ClusterConfig::paper(Topology::kTopH, /*scrambling=*/true);
+  spec.base.warmup_cycles = 1000;
+  spec.base.measure_cycles = 4000;
+  spec.base.drain_cycles = 2000;
+  spec.p_locals = plocals;
+  spec.lambdas = loads;
+
+  const SweepResult res = run_sweep(spec, opts.runner());
+  // Point index layout (SweepSpec::expand): p_local-major, λ inner.
+  auto pts = [&](std::size_t p) { return &res.points[p * loads.size()]; };
 
   Table thr({"load", "0% local", "25% local", "50% local", "100% local"});
   Table lat({"load", "0% local", "25% local", "50% local", "100% local"});
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    thr.add_row({Table::num(loads[i], 2), Table::num(res[0][i].accepted, 3),
-                 Table::num(res[1][i].accepted, 3),
-                 Table::num(res[2][i].accepted, 3),
-                 Table::num(res[3][i].accepted, 3)});
-    lat.add_row({Table::num(loads[i], 2), Table::num(res[0][i].avg_latency, 1),
-                 Table::num(res[1][i].avg_latency, 1),
-                 Table::num(res[2][i].avg_latency, 1),
-                 Table::num(res[3][i].avg_latency, 1)});
+    thr.add_row({Table::num(loads[i], 2), Table::num(pts(0)[i].accepted, 3),
+                 Table::num(pts(1)[i].accepted, 3),
+                 Table::num(pts(2)[i].accepted, 3),
+                 Table::num(pts(3)[i].accepted, 3)});
+    lat.add_row({Table::num(loads[i], 2), Table::num(pts(0)[i].avg_latency, 1),
+                 Table::num(pts(1)[i].avg_latency, 1),
+                 Table::num(pts(2)[i].avg_latency, 1),
+                 Table::num(pts(3)[i].avg_latency, 1)});
   }
   std::cout << "\n(a) Throughput (request/core/cycle):\n";
   thr.print(std::cout);
@@ -67,7 +62,7 @@ int main() {
   auto saturation = [&](std::size_t p) {
     double sat = 0;
     for (std::size_t i = 0; i < loads.size(); ++i) {
-      if (res[p][i].accepted >= 0.95 * loads[i]) sat = res[p][i].accepted;
+      if (pts(p)[i].accepted >= 0.95 * loads[i]) sat = pts(p)[i].accepted;
     }
     return sat;
   };
@@ -84,5 +79,10 @@ int main() {
                  ? "yes"
                  : "NO"});
   s.print(std::cout);
+
+  Json results = Json::object();
+  results.set("sweep", sweep_to_json(res));
+  results.set("summary", s.to_json());
+  write_bench_results(opts, res.threads, res.wall_seconds, std::move(results));
   return 0;
 }

@@ -6,7 +6,11 @@
 //   * Top1 is up to ~3x worse than TopH/Top4 in the extreme cases,
 //   * the scrambling logic gains up to ~20 % on real kernels,
 //   * with dct(+S) all topologies match the baseline.
+//
+// The 24 (kernel, topology, scrambling) simulations are independent — each
+// owns its System — and run through the work-stealing pool.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -17,8 +21,11 @@
 #include "kernels/dct.hpp"
 #include "kernels/kernel.hpp"
 #include "kernels/matmul.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/parallel.hpp"
 
 using namespace mempool;
+using namespace mempool::runner;
 
 namespace {
 
@@ -40,9 +47,17 @@ uint64_t run_one(Topology topo, bool scramble, const std::string& kernel) {
   return cycles;
 }
 
+struct Case {
+  std::string kernel;
+  Topology topo;
+  bool scramble;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(&argc, argv, "fig7_benchmarks");
+
   print_banner(std::cout,
                "Figure 7 — benchmark performance relative to the ideal "
                "full-crossbar baseline (256 cores, results verified)");
@@ -51,15 +66,27 @@ int main() {
   const std::vector<Topology> topos = {Topology::kTop1, Topology::kTop4,
                                        Topology::kTopH, Topology::kTopX};
 
-  // cycles[kernel][(topo, scramble)]
+  std::vector<Case> cases;
+  for (const auto& k : kernels)
+    for (Topology t : topos)
+      for (bool s : {false, true}) cases.push_back({k, t, s});
+
+  ThreadPool pool(opts.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<uint64_t> measured = run_indexed(
+      pool, cases.size(), [&](std::size_t i) {
+        return run_one(cases[i].topo, cases[i].scramble, cases[i].kernel);
+      });
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  // cycles[kernel][display_name]
   std::map<std::string, std::map<std::string, uint64_t>> cycles;
-  for (const auto& k : kernels) {
-    for (Topology t : topos) {
-      for (bool s : {false, true}) {
-        ClusterConfig cfg = ClusterConfig::paper(t, s);
-        cycles[k][cfg.display_name()] = run_one(t, s, k);
-      }
-    }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const ClusterConfig cfg =
+        ClusterConfig::paper(cases[i].topo, cases[i].scramble);
+    cycles[cases[i].kernel][cfg.display_name()] = measured[i];
   }
 
   // Relative performance = baseline_cycles / cycles (higher is better);
@@ -131,5 +158,16 @@ int main() {
   s.add_row({"dct penalty without scrambling on Top1", "large",
              Table::num(dct_noscramble_penalty, 1) + "x"});
   s.print(std::cout);
+
+  Json cj = Json::object();
+  for (const auto& k : kernels) {
+    Json per_topo = Json::object();
+    for (const auto& [name, cyc] : cycles[k]) per_topo.set(name, cyc);
+    cj.set(k, std::move(per_topo));
+  }
+  Json results = Json::object();
+  results.set("cycles", std::move(cj));
+  results.set("summary", s.to_json());
+  write_bench_results(opts, pool.num_threads(), wall, std::move(results));
   return 0;
 }

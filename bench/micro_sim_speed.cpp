@@ -8,11 +8,35 @@
 
 #include "core/system.hpp"
 #include "isa/text_asm.hpp"
+#include "runner/runner.hpp"
 #include "traffic/experiment.hpp"
 
 using namespace mempool;
 
 namespace {
+
+/// Parallel sweep throughput: the fig5-style grid sharded over N workers.
+/// Compare Threads:1 against higher counts to see the runner's scaling on
+/// this host.
+void BM_ParallelSweep(benchmark::State& state) {
+  runner::SweepSpec spec;
+  spec.base.cluster = ClusterConfig::paper(Topology::kTopH, false);
+  spec.base.warmup_cycles = 100;
+  spec.base.measure_cycles = 500;
+  spec.base.drain_cycles = 100;
+  spec.topologies = {Topology::kTop1, Topology::kTop4, Topology::kTopH};
+  spec.lambdas = {0.05, 0.15, 0.25, 0.35};
+  runner::RunnerOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  uint64_t points = 0;
+  for (auto _ : state) {
+    const runner::SweepResult res = runner::run_sweep(spec, opts);
+    benchmark::DoNotOptimize(res.points.data());
+    points += res.points.size();
+  }
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(points), benchmark::Counter::kIsRate);
+}
 
 void BM_TrafficCycles(benchmark::State& state) {
   const auto topo = static_cast<Topology>(state.range(0));
@@ -62,5 +86,11 @@ BENCHMARK(BM_TrafficCycles)
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExecutionCycles)->Arg(5000)->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

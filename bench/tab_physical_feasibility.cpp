@@ -3,17 +3,28 @@
 // (Top4 ≈ 4x Top1 -> unroutable), wiring spread (TopH distributes cells and
 // wiring), and the first-order timing estimate (critical path ~37 % wire
 // delay, ~480 MHz worst case).
+//
+// The heavy part — rasterizing the routing-demand maps — runs per topology
+// on the runner pool.
 
+#include <chrono>
 #include <iostream>
 
 #include "common/report.hpp"
 #include "physical/feasibility.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/parallel.hpp"
 
 using namespace mempool::physical;
+using mempool::Json;
 using mempool::Table;
 using mempool::print_banner;
 
-int main() {
+int main(int argc, char** argv) {
+  const mempool::runner::BenchOptions opts =
+      mempool::runner::parse_bench_options(&argc, argv,
+                                           "tab_physical_feasibility");
+
   print_banner(std::cout,
                "T6 — physical feasibility (analytic floorplan model, "
                "8x8 tiles of 425 um in a 4.6 mm die)");
@@ -21,6 +32,8 @@ int main() {
   const Floorplan fp;
   std::cout << "tile area fraction: " << Table::num(100 * fp.tile_area_fraction(), 1)
             << "% (paper: 55%)\n\n";
+
+  mempool::runner::ThreadPool pool(opts.threads);
 
   const auto reports = analyze_all();
   Table t({"topology", "wire demand (bit*mm)", "center congestion vs Top1",
@@ -42,13 +55,37 @@ int main() {
                "closes timing at 480 MHz (SS) with 37% of the critical path "
                "in wire delay.\n";
 
-  // Congestion heat maps (normalized 0-9), the Figure-9 analogue.
-  for (PhysTopology topo : {PhysTopology::kTop1, PhysTopology::kTopH}) {
-    CongestionMap m(4.6, 16);
-    m.route_all(extract_wires(topo, fp));
-    std::cout << "\n" << phys_topology_name(topo)
+  // Congestion heat maps (normalized 0-9), the Figure-9 analogue — one pool
+  // task per topology.
+  const std::vector<PhysTopology> map_topos = {PhysTopology::kTop1,
+                                               PhysTopology::kTopH};
+  // wall_seconds covers only this parallel section, as in every other bench.
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::vector<std::string>> maps =
+      mempool::runner::run_indexed(pool, map_topos.size(), [&](std::size_t i) {
+        CongestionMap m(4.6, 16);
+        m.route_all(extract_wires(map_topos[i], fp));
+        return m.ascii_map();
+      });
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  for (std::size_t i = 0; i < map_topos.size(); ++i) {
+    std::cout << "\n" << phys_topology_name(map_topos[i])
               << " routing-demand map (0-9):\n";
-    for (const auto& row : m.ascii_map()) std::cout << "  " << row << '\n';
+    for (const auto& row : maps[i]) std::cout << "  " << row << '\n';
   }
+
+  Json jmaps = Json::object();
+  for (std::size_t i = 0; i < map_topos.size(); ++i) {
+    Json rows = Json::array();
+    for (const auto& row : maps[i]) rows.push_back(row);
+    jmaps.set(phys_topology_name(map_topos[i]), std::move(rows));
+  }
+  Json results = Json::object();
+  results.set("feasibility", t.to_json());
+  results.set("congestion_maps", std::move(jmaps));
+  mempool::runner::write_bench_results(opts, pool.num_threads(), wall,
+                                       std::move(results));
   return 0;
 }

@@ -2,7 +2,11 @@
 // cluster — 1 cycle to the own tile, 3 cycles within a TopH local group,
 // 5 cycles to any remote tile on Top1/Top4/TopH-cross-group, 1 cycle on the
 // ideal TopX. Measured with single-load probes on an idle fabric.
+//
+// The four topologies are measured concurrently on the runner pool; each
+// task owns its cluster, so the probe sequences cannot interfere.
 
+#include <chrono>
 #include <iostream>
 #include <memory>
 
@@ -10,6 +14,8 @@
 #include "common/stats.hpp"
 #include "core/cluster.hpp"
 #include "mem/imem.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/parallel.hpp"
 
 using namespace mempool;
 
@@ -73,45 +79,77 @@ struct Rig {
   std::vector<std::unique_ptr<Probe>> probes;
 };
 
+struct TopoLatency {
+  uint64_t own = 0;
+  uint64_t same_group = 0;
+  uint64_t remote = 0;
+  uint64_t worst = 0;
+  double mean = 0;
+};
+
+TopoLatency measure(Topology topo) {
+  const ClusterConfig cfg = ClusterConfig::paper(topo, true);
+  Rig rig(cfg);
+  auto addr = [&](uint32_t tile) { return tile * cfg.seq_region_bytes; };
+  TopoLatency out;
+  out.own = rig.probe(0, addr(0));
+  out.same_group = rig.probe(0, addr(3));
+  out.remote = rig.probe(0, addr(cfg.num_tiles - 1));
+  RunningStat all;
+  for (uint32_t tile = 0; tile < cfg.num_tiles; ++tile) {
+    const uint64_t l = rig.probe(0, addr(tile));
+    out.worst = std::max(out.worst, l);
+    all.add(static_cast<double>(l));
+  }
+  out.mean = all.mean();
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::BenchOptions opts =
+      runner::parse_bench_options(&argc, argv, "tab_zero_load_latency");
+
   print_banner(std::cout,
                "T1 — zero-load access latency (cycles), 256-core cluster");
 
+  const std::vector<Topology> topos = {Topology::kTop1, Topology::kTop4,
+                                       Topology::kTopH, Topology::kTopX};
+
+  runner::ThreadPool pool(opts.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<TopoLatency> lats = runner::run_indexed(
+      pool, topos.size(), [&](std::size_t i) { return measure(topos[i]); });
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
   Table t({"topology", "own tile", "same group", "remote group / remote tile",
            "max over all tiles", "paper"});
-
-  for (Topology topo : {Topology::kTop1, Topology::kTop4, Topology::kTopH,
-                        Topology::kTopX}) {
-    const ClusterConfig cfg = ClusterConfig::paper(topo, true);
-    Rig rig(cfg);
-    auto addr = [&](uint32_t tile) { return tile * cfg.seq_region_bytes; };
-    const uint64_t own = rig.probe(0, addr(0));
-    const uint64_t same_group = rig.probe(0, addr(3));
-    const uint64_t remote = rig.probe(0, addr(cfg.num_tiles - 1));
-    uint64_t worst = 0;
-    RunningStat all;
-    for (uint32_t tile = 0; tile < cfg.num_tiles; ++tile) {
-      const uint64_t l = rig.probe(0, addr(tile));
-      worst = std::max(worst, l);
-      all.add(static_cast<double>(l));
-    }
+  for (std::size_t i = 0; i < topos.size(); ++i) {
+    const Topology topo = topos[i];
+    const TopoLatency& l = lats[i];
     const char* paper = topo == Topology::kTopH ? "1 / 3 / 5"
                         : topo == Topology::kTopX ? "1 (ideal)"
                                                   : "1 / - / 5";
-    t.add_row({topology_name(topo), std::to_string(own),
-               topo == Topology::kTopH ? std::to_string(same_group)
+    t.add_row({topology_name(topo), std::to_string(l.own),
+               topo == Topology::kTopH ? std::to_string(l.same_group)
                                        : std::string("-"),
-               std::to_string(remote), std::to_string(worst), paper});
+               std::to_string(l.remote), std::to_string(l.worst), paper});
     std::cout << "  " << topology_name(topo)
               << ": mean over all 64 destination tiles = "
-              << Table::num(all.mean(), 2) << " cycles\n";
+              << Table::num(l.mean, 2) << " cycles\n";
   }
   std::cout << '\n';
   t.print(std::cout);
   std::cout << "\nPaper (Sections I/III): \"all the SPM banks accessible "
                "within 5 cycles\" on TopH — verified when the max column is "
                "<= 5.\n";
+
+  Json results = Json::object();
+  results.set("latencies", t.to_json());
+  runner::write_bench_results(opts, pool.num_threads(), wall,
+                              std::move(results));
   return 0;
 }

@@ -2,8 +2,11 @@
 // from the command line and print throughput + latency — the workflow an
 // interconnect architect would use this library for.
 //
-//   $ ./traffic_explorer [topology] [lambda] [p_local]
+//   $ ./traffic_explorer [--threads N] [--json PATH] [topology] [lambda] [p_local]
 //   $ ./traffic_explorer TopH 0.33 0.25
+//
+// Without an explicit lambda the full load sweep runs on the parallel
+// runner, sharded across host cores.
 
 #include <cstdio>
 #include <cstdlib>
@@ -11,24 +14,29 @@
 #include <iostream>
 
 #include "common/report.hpp"
-#include "traffic/experiment.hpp"
+#include "runner/bench_cli.hpp"
+#include "runner/results.hpp"
+#include "runner/runner.hpp"
 
 using namespace mempool;
+using namespace mempool::runner;
 
 namespace {
 
 Topology parse_topology(const char* s) {
-  if (std::strcmp(s, "Top1") == 0) return Topology::kTop1;
-  if (std::strcmp(s, "Top4") == 0) return Topology::kTop4;
-  if (std::strcmp(s, "TopH") == 0) return Topology::kTopH;
-  if (std::strcmp(s, "TopX") == 0) return Topology::kTopX;
-  std::fprintf(stderr, "unknown topology '%s' (Top1|Top4|TopH|TopX)\n", s);
-  std::exit(2);
+  Topology t;
+  if (!topology_from_name(s, &t)) {
+    std::fprintf(stderr, "unknown topology '%s' (Top1|Top4|TopH|TopX)\n", s);
+    std::exit(2);
+  }
+  return t;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchOptions opts = parse_bench_options(&argc, argv, "traffic_explorer");
+
   const Topology topo = argc > 1 ? parse_topology(argv[1]) : Topology::kTopH;
   const double lambda = argc > 2 ? std::atof(argv[2]) : -1.0;
   const double p_local = argc > 3 ? std::atof(argv[3]) : 0.0;
@@ -39,26 +47,43 @@ int main(int argc, char** argv) {
 
   if (lambda >= 0) {
     e.lambda = lambda;
-    const TrafficPoint p = run_traffic_point(e);
+    // One point, still through the runner so --json works here too; a single
+    // worker, so no idle threads spin up for one task.
+    opts.progress = false;
+    opts.threads = 1;
+    const SweepResult res = run_points({e}, opts.runner());
+    const TrafficPoint& p = res.points[0];
     std::printf("%s  offered=%.3f p_local=%.2f -> accepted=%.3f "
                 "avg_lat=%.2f p95=%.1f max=%.0f cycles\n",
                 topology_name(topo), p.offered, p_local, p.accepted,
                 p.avg_latency, p.p95_latency, p.max_latency);
+    Json results = Json::object();
+    results.set("sweep", sweep_to_json(res));
+    write_bench_results(opts, res.threads, res.wall_seconds,
+                        std::move(results));
     return 0;
   }
 
-  // No lambda given: print a full sweep.
+  // No lambda given: run a full sweep on the parallel runner.
   print_banner(std::cout, std::string("load sweep on ") + topology_name(topo));
+
+  SweepSpec spec;
+  spec.base = e;
+  spec.lambdas = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50};
+
+  const SweepResult res = run_sweep(spec, opts.runner());
+
   Table t({"offered", "accepted", "avg latency", "p95", "max"});
-  for (double l : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}) {
-    e.lambda = l;
-    const TrafficPoint p = run_traffic_point(e);
-    t.add_row({Table::num(l, 2), Table::num(p.accepted, 3),
+  for (std::size_t i = 0; i < spec.lambdas.size(); ++i) {
+    const TrafficPoint& p = res.points[i];
+    t.add_row({Table::num(spec.lambdas[i], 2), Table::num(p.accepted, 3),
                Table::num(p.avg_latency, 2), Table::num(p.p95_latency, 1),
                Table::num(p.max_latency, 0)});
-    std::fprintf(stderr, ".");
   }
-  std::fprintf(stderr, "\n");
   t.print(std::cout);
+
+  Json results = Json::object();
+  results.set("sweep", sweep_to_json(res));
+  write_bench_results(opts, res.threads, res.wall_seconds, std::move(results));
   return 0;
 }

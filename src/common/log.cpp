@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace mempool {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so worker threads of the parallel sweep runner can log while the
+// main thread adjusts verbosity.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -18,12 +21,21 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::cerr << "[mempool:" << level_name(level) << "] " << msg << '\n';
+  // One insertion per line so concurrent runner workers cannot interleave
+  // fragments of each other's messages.
+  std::string line = "[mempool:";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::cerr << line;
 }
 }  // namespace detail
 

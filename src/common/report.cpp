@@ -64,6 +64,16 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& r : rows_) join(r);
 }
 
+Json Table::to_json() const {
+  Json arr = Json::array();
+  for (const auto& r : rows_) {
+    Json row = Json::object();
+    for (std::size_t c = 0; c < r.size(); ++c) row.set(header_[c], r[c]);
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
 void print_banner(std::ostream& os, const std::string& title) {
   os << '\n' << std::string(72, '=') << '\n'
      << "  " << title << '\n'

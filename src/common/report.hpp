@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace mempool {
 
 /// A simple column-aligned text table with an optional CSV dump.
@@ -25,6 +27,10 @@ class Table {
 
   /// Render as CSV (comma-separated, no quoting — cells must be simple).
   void print_csv(std::ostream& os) const;
+
+  /// Render as a JSON array of objects keyed by the header cells; cell values
+  /// stay strings (the table stores formatted text, not raw numbers).
+  Json to_json() const;
 
   std::size_t num_rows() const { return rows_.size(); }
 

@@ -48,6 +48,28 @@ void Histogram::reset() {
   overflow_ = 0;
 }
 
+Json RunningStat::to_json() const {
+  Json j = Json::object();
+  j.set("count", n_);
+  j.set("mean", mean());
+  j.set("stddev", stddev());
+  j.set("min", min());
+  j.set("max", max());
+  return j;
+}
+
+Json Histogram::to_json() const {
+  Json j = Json::object();
+  j.set("bucket_width", width_);
+  std::size_t last = buckets_.size();
+  while (last > 0 && buckets_[last - 1] == 0) --last;
+  Json counts = Json::array();
+  for (std::size_t i = 0; i < last; ++i) counts.push_back(buckets_[i]);
+  j.set("counts", std::move(counts));
+  j.set("overflow", overflow_);
+  return j;
+}
+
 double Histogram::quantile(double q) const {
   MEMPOOL_CHECK(q >= 0.0 && q <= 1.0);
   if (count_ == 0) return 0.0;

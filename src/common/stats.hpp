@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace mempool {
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -22,6 +24,9 @@ class RunningStat {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
+
+  /// {"count":N,"mean":..,"stddev":..,"min":..,"max":..} for results files.
+  Json to_json() const;
 
  private:
   uint64_t n_ = 0;
@@ -49,6 +54,10 @@ class Histogram {
   /// Value below which @p q (in [0,1]) of the samples fall, linear within a
   /// bucket; overflow samples count at the top edge.
   double quantile(double q) const;
+
+  /// {"bucket_width":w,"counts":[...],"overflow":N}; trailing zero buckets
+  /// are trimmed to keep results files small.
+  Json to_json() const;
 
  private:
   double width_;

@@ -15,6 +15,17 @@ const char* topology_name(Topology t) {
   return "?";
 }
 
+bool topology_from_name(const std::string& name, Topology* out) {
+  for (Topology t : {Topology::kTop1, Topology::kTop4, Topology::kTopH,
+                     Topology::kTopX}) {
+    if (name == topology_name(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string ClusterConfig::display_name() const {
   std::string n = topology_name(topology);
   if (scrambling) n += "S";

@@ -21,6 +21,10 @@ enum class Topology : uint8_t {
 
 const char* topology_name(Topology t);
 
+/// Inverse of topology_name ("Top1"/"Top4"/"TopH"/"TopX"); returns false and
+/// leaves @p out untouched on an unknown name.
+bool topology_from_name(const std::string& name, Topology* out);
+
 /// Snitch core timing parameters (Section III-B).
 struct CoreConfig {
   uint32_t num_outstanding = 8;  ///< ROB entries = max outstanding loads.

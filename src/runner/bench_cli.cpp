@@ -1,0 +1,85 @@
+#include "runner/bench_cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runner/results.hpp"
+
+namespace mempool::runner {
+
+namespace {
+
+[[noreturn]] void usage(const std::string& bench, int code) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--json PATH | --no-json] [--quiet] "
+               "[bench-specific args]\n"
+               "  --threads N  worker threads (default: MEMPOOL_THREADS env "
+               "var, else all cores)\n"
+               "  --json PATH  results file (default: %s.results.json)\n"
+               "  --no-json    do not write a results file\n"
+               "  --quiet      no stderr progress ticker\n",
+               bench.c_str(), bench.c_str());
+  std::exit(code);
+}
+
+}  // namespace
+
+BenchOptions parse_bench_options(int* argc, char** argv,
+                                 const std::string& bench_name) {
+  BenchOptions opts;
+  opts.bench_name = bench_name;
+  opts.json_path = bench_name + ".results.json";
+
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", bench_name.c_str(),
+                     a);
+        usage(bench_name, 2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--threads") == 0) {
+      const long v = std::strtol(value(), nullptr, 10);
+      if (v <= 0) {
+        std::fprintf(stderr, "%s: --threads wants a positive integer\n",
+                     bench_name.c_str());
+        usage(bench_name, 2);
+      }
+      opts.threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(a, "--json") == 0) {
+      opts.json_path = value();
+    } else if (std::strcmp(a, "--no-json") == 0) {
+      opts.json_path.clear();
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      opts.progress = false;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      usage(bench_name, 0);
+    } else {
+      argv[out++] = argv[i];  // leave for the bench's own parser
+    }
+  }
+  *argc = out;
+  return opts;
+}
+
+void write_bench_results(const BenchOptions& opts, unsigned threads,
+                         double wall_seconds, Json results) {
+  if (opts.json_path.empty()) return;
+  try {
+    write_json_file(opts.json_path,
+                    bench_envelope(opts.bench_name, threads, wall_seconds,
+                                   std::move(results)));
+  } catch (const std::exception& e) {
+    // The tables already went to stdout; don't let a bad --json path abort
+    // the process after minutes of simulation — report and fail cleanly.
+    std::fprintf(stderr, "%s: %s\n", opts.bench_name.c_str(), e.what());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "results written to %s\n", opts.json_path.c_str());
+}
+
+}  // namespace mempool::runner

@@ -1,0 +1,39 @@
+#pragma once
+// Shared command-line handling for the bench/example harnesses:
+//
+//   --threads N   worker threads (default: MEMPOOL_THREADS env / all cores)
+//   --json PATH   results file path (default: <bench>.results.json)
+//   --no-json     disable the results file
+//   --quiet       suppress the stderr progress ticker
+//   --help        usage
+//
+// Recognized flags are removed from argv so benches with positional
+// arguments (traffic_explorer) can parse the remainder untouched.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "runner/runner.hpp"
+
+namespace mempool::runner {
+
+struct BenchOptions {
+  std::string bench_name;
+  unsigned threads = 0;     ///< 0 = ThreadPool::default_threads().
+  std::string json_path;    ///< Empty = results file disabled.
+  bool progress = true;
+
+  RunnerOptions runner() const { return {threads, progress}; }
+};
+
+/// Parse and strip the common flags. @p argc/@p argv are compacted in place;
+/// exits(0) on --help, exits(2) on a malformed flag.
+BenchOptions parse_bench_options(int* argc, char** argv,
+                                 const std::string& bench_name);
+
+/// Write the mempool.bench.v1 envelope to opts.json_path (no-op when the
+/// results file is disabled); prints the path to stderr.
+void write_bench_results(const BenchOptions& opts, unsigned threads,
+                         double wall_seconds, Json results);
+
+}  // namespace mempool::runner

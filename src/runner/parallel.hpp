@@ -1,0 +1,57 @@
+#pragma once
+// Deterministic fork-join helpers on top of ThreadPool.
+//
+// Results are keyed by item index, never by completion order, so the output
+// of run_indexed() is bit-identical for any thread count or schedule as long
+// as the per-item function itself is deterministic (which run_traffic_point
+// is: every simulation owns its Engine/Cluster/RNG state).
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+
+namespace mempool::runner {
+
+/// Run fn(0..n-1) on the pool; block until all complete. When items throw,
+/// every non-throwing item still runs to completion and the exception of the
+/// *lowest-indexed* failing item is rethrown — deterministic regardless of
+/// which worker hit it first.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn,
+                  const std::function<void(std::size_t)>& on_done = nullptr) {
+  if (n == 0) return;
+  std::vector<std::exception_ptr> errors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      if (on_done) on_done(i);
+    });
+  }
+  pool.wait_idle();  // per-item exceptions were captured above, not by the pool
+  for (std::size_t i = 0; i < n; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+}
+
+/// Map fn over [0, n) in parallel and collect the results in index order.
+template <typename Fn>
+auto run_indexed(ThreadPool& pool, std::size_t n, Fn&& fn,
+                 const std::function<void(std::size_t)>& on_done = nullptr)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using R = std::invoke_result_t<Fn, std::size_t>;
+  static_assert(std::is_default_constructible_v<R>,
+                "run_indexed result type must be default constructible");
+  std::vector<R> out(n);
+  parallel_for(
+      pool, n, [&](std::size_t i) { out[i] = fn(i); }, on_done);
+  return out;
+}
+
+}  // namespace mempool::runner

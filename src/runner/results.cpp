@@ -1,0 +1,126 @@
+#include "runner/results.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mempool::runner {
+
+Json sweep_to_json(const SweepResult& result) {
+  MEMPOOL_CHECK(result.configs.size() == result.points.size());
+  Json root = Json::object();
+  root.set("schema", "mempool.sweep.v1");
+  root.set("threads", result.threads);
+  root.set("wall_seconds", result.wall_seconds);
+  Json points = Json::array();
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const TrafficExperimentConfig& cfg = result.configs[i];
+    const TrafficPoint& p = result.points[i];
+    Json rec = Json::object();
+    rec.set("topology", topology_name(cfg.cluster.topology));
+    rec.set("scrambling", cfg.cluster.scrambling);
+    rec.set("num_tiles", cfg.cluster.num_tiles);
+    rec.set("cores_per_tile", cfg.cluster.cores_per_tile);
+    rec.set("banks_per_tile", cfg.cluster.banks_per_tile);
+    rec.set("bank_bytes", cfg.cluster.bank_bytes);
+    rec.set("seq_region_bytes", cfg.cluster.seq_region_bytes);
+    rec.set("num_groups", cfg.cluster.num_groups);
+    rec.set("lambda", cfg.lambda);
+    rec.set("p_local", cfg.p_local_seq);
+    rec.set("seed", cfg.seed);
+    rec.set("warmup_cycles", cfg.warmup_cycles);
+    rec.set("measure_cycles", cfg.measure_cycles);
+    rec.set("drain_cycles", cfg.drain_cycles);
+    rec.set("offered", p.offered);
+    rec.set("generated", p.generated);
+    rec.set("accepted", p.accepted);
+    rec.set("avg_latency", p.avg_latency);
+    rec.set("p95_latency", p.p95_latency);
+    rec.set("max_latency", p.max_latency);
+    rec.set("completed", p.completed);
+    points.push_back(std::move(rec));
+  }
+  root.set("points", std::move(points));
+  return root;
+}
+
+SweepResult sweep_from_json(const Json& j) {
+  MEMPOOL_CHECK_MSG(j.get("schema", Json("")).as_string() == "mempool.sweep.v1",
+                    "not a mempool.sweep.v1 document");
+  SweepResult result;
+  result.threads = static_cast<unsigned>(j.at("threads").as_uint());
+  result.wall_seconds = j.at("wall_seconds").as_double();
+  for (const Json& rec : j.at("points").items()) {
+    TrafficExperimentConfig cfg;
+    MEMPOOL_CHECK_MSG(topology_from_name(rec.at("topology").as_string(),
+                                         &cfg.cluster.topology),
+                      "unknown topology '" << rec.at("topology").as_string()
+                                           << "'");
+    cfg.cluster.scrambling = rec.at("scrambling").as_bool();
+    cfg.cluster.num_tiles =
+        static_cast<uint32_t>(rec.at("num_tiles").as_uint());
+    cfg.cluster.cores_per_tile =
+        static_cast<uint32_t>(rec.at("cores_per_tile").as_uint());
+    cfg.cluster.banks_per_tile =
+        static_cast<uint32_t>(rec.at("banks_per_tile").as_uint());
+    cfg.cluster.bank_bytes =
+        static_cast<uint32_t>(rec.at("bank_bytes").as_uint());
+    cfg.cluster.seq_region_bytes =
+        static_cast<uint32_t>(rec.at("seq_region_bytes").as_uint());
+    cfg.cluster.num_groups =
+        static_cast<uint32_t>(rec.at("num_groups").as_uint());
+    // Traffic experiments replace the cores with generators, so the CoreConfig
+    // and ICacheConfig timing parameters do not influence the results and are
+    // not part of the schema; everything that does influence them is, and an
+    // inconsistent record must fail here, not deep in cluster construction.
+    cfg.cluster.validate();
+    cfg.lambda = rec.at("lambda").as_double();
+    cfg.p_local_seq = rec.at("p_local").as_double();
+    cfg.seed = rec.at("seed").as_uint();
+    cfg.warmup_cycles = rec.at("warmup_cycles").as_uint();
+    cfg.measure_cycles = rec.at("measure_cycles").as_uint();
+    cfg.drain_cycles = rec.at("drain_cycles").as_uint();
+    result.configs.push_back(cfg);
+
+    TrafficPoint p;
+    p.offered = rec.at("offered").as_double();
+    p.generated = rec.at("generated").as_double();
+    p.accepted = rec.at("accepted").as_double();
+    p.avg_latency = rec.at("avg_latency").as_double();
+    p.p95_latency = rec.at("p95_latency").as_double();
+    p.max_latency = rec.at("max_latency").as_double();
+    p.completed = rec.at("completed").as_uint();
+    result.points.push_back(p);
+  }
+  return result;
+}
+
+Json bench_envelope(const std::string& bench, unsigned threads,
+                    double wall_seconds, Json results) {
+  Json root = Json::object();
+  root.set("schema", "mempool.bench.v1");
+  root.set("bench", bench);
+  root.set("threads", threads);
+  root.set("wall_seconds", wall_seconds);
+  root.set("results", std::move(results));
+  return root;
+}
+
+void write_json_file(const std::string& path, const Json& j) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  MEMPOOL_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  os << j.dump(2) << '\n';
+  os.flush();
+  MEMPOOL_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+Json read_json_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MEMPOOL_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return Json::parse(buf.str());
+}
+
+}  // namespace mempool::runner

@@ -1,0 +1,63 @@
+#pragma once
+// Machine-readable results files for the bench harnesses.
+//
+// Every bench writes `<bench>.results.json` (overridable with --json) in the
+// envelope schema `mempool.bench.v1`:
+//
+//   {
+//     "schema": "mempool.bench.v1",
+//     "bench": "fig5_topology_sweep",
+//     "threads": 8,
+//     "wall_seconds": 12.3,
+//     "results": { ... bench-specific ... }
+//   }
+//
+// Traffic sweeps embed the sweep schema `mempool.sweep.v1` under "results"
+// (or as a named sub-object): one record per point carrying the full config
+// axes and the measured TrafficPoint, so trajectories are self-describing:
+//
+//   {
+//     "schema": "mempool.sweep.v1",
+//     "threads": 8,
+//     "wall_seconds": 12.3,
+//     "points": [
+//       {"topology": "TopH", "scrambling": false, "num_tiles": 64,
+//        "cores_per_tile": 4, "banks_per_tile": 16, "bank_bytes": 1024,
+//        "seq_region_bytes": 4096, "num_groups": 4,
+//        "lambda": 0.33, "p_local": 0.25, "seed": 1,
+//        "warmup_cycles": 1000, "measure_cycles": 4000, "drain_cycles": 2000,
+//        "offered": 0.33, "generated": 0.331, "accepted": 0.329,
+//        "avg_latency": 5.9, "p95_latency": 11.0, "max_latency": 55.0,
+//        "completed": 338000},
+//       ...
+//     ]
+//   }
+//
+// Doubles are serialized with shortest-round-trip precision, so a sweep
+// written and read back compares bit-identical — the determinism tests rely
+// on this.
+
+#include <string>
+
+#include "common/json.hpp"
+#include "runner/runner.hpp"
+
+namespace mempool::runner {
+
+/// Serialize a sweep result (schema mempool.sweep.v1).
+Json sweep_to_json(const SweepResult& result);
+
+/// Inverse of sweep_to_json. Throws CheckError on schema violations.
+SweepResult sweep_from_json(const Json& j);
+
+/// Wrap bench-specific results in the mempool.bench.v1 envelope.
+Json bench_envelope(const std::string& bench, unsigned threads,
+                    double wall_seconds, Json results);
+
+/// Write @p j pretty-printed to @p path (throws CheckError on I/O failure).
+void write_json_file(const std::string& path, const Json& j);
+
+/// Read and parse a JSON file (throws CheckError on I/O or parse failure).
+Json read_json_file(const std::string& path);
+
+}  // namespace mempool::runner

@@ -1,0 +1,39 @@
+#include "runner/runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "runner/parallel.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace mempool::runner {
+
+SweepResult run_points(const std::vector<TrafficExperimentConfig>& configs,
+                       const RunnerOptions& opts) {
+  SweepResult result;
+  result.configs = configs;
+
+  ThreadPool pool(opts.threads);
+  result.threads = pool.num_threads();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  result.points = run_indexed(
+      pool, configs.size(),
+      [&](std::size_t i) { return run_traffic_point(result.configs[i]); },
+      opts.progress ? std::function<void(std::size_t)>([](std::size_t) {
+        std::fputc('.', stderr);
+        std::fflush(stderr);
+      })
+                    : nullptr);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (opts.progress) std::fputc('\n', stderr);
+
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const RunnerOptions& opts) {
+  return run_points(spec.expand(), opts);
+}
+
+}  // namespace mempool::runner

@@ -1,0 +1,151 @@
+#include "runner/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace mempool::runner {
+
+namespace {
+// Which worker of which pool the current thread is, so nested submit() can
+// push to the local deque. A thread belongs to at most one pool.
+thread_local ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_index = 0;
+}  // namespace
+
+unsigned ThreadPool::default_threads() {
+  if (const char* env = std::getenv("MEMPOOL_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = default_threads();
+  queues_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i)
+    queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [&] { return pending_ == 0; });
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    // pending_ goes up BEFORE the task becomes stealable: a worker that pops
+    // and finishes it immediately must never drive pending_ below the count
+    // of submitted-but-unfinished tasks (wait_idle would report idle early).
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+    if (t_pool == this) {
+      target = t_index;  // worker thread: keep the work local
+    } else {
+      target = next_queue_;
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->deque.push_front(std::move(task));
+  }
+  {
+    // Notify under mu_, after the push: a worker that found the deques empty
+    // holds mu_ until it blocks on cv_work_, so this notification cannot
+    // slip into the gap between its scan and its wait.
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_work_.notify_one();
+  }
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
+  // Own deque first (front = most recently pushed).
+  {
+    Worker& w = *queues_[self];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.deque.empty()) {
+      task = std::move(w.deque.front());
+      w.deque.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the other deques, starting after self so the
+  // stealing pressure spreads instead of piling onto worker 0.
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& v = *queues_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(v.mu);
+    if (!v.deque.empty()) {
+      task = std::move(v.deque.back());
+      v.deque.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  task = nullptr;  // release captures before signaling idle
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error && !first_error_) first_error_ = error;
+    --pending_;
+    if (pending_ == 0) cv_idle_.notify_all();
+  }
+}
+
+bool ThreadPool::any_queued() {
+  for (auto& w : queues_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    if (!w->deque.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_pool = this;
+  t_index = self;
+  std::function<void()> task;
+  while (true) {
+    if (try_pop(self, task)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    // Re-scan while holding mu_: submit() publishes the task before taking
+    // mu_ to notify, so either we see the task here or the notify happens
+    // after we block — an untimed wait cannot miss work.
+    if (any_queued()) continue;
+    cv_work_.wait(lock);
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace mempool::runner

@@ -28,12 +28,26 @@ struct TrafficPoint {
   double p95_latency = 0;
   double max_latency = 0;
   uint64_t completed = 0;   ///< Latency samples collected.
+
+  /// Exact (bit-wise for the doubles) comparison — the parallel runner's
+  /// determinism contract is checked with this.
+  bool operator==(const TrafficPoint&) const = default;
 };
 
 /// Run one (topology, λ, p_local) point.
+///
+/// Thread-safe and re-entrant: every invocation owns its Engine, Cluster,
+/// monitor, and traffic generators, and each generator derives its RNG
+/// stream purely from (cfg.seed, core id). Arbitration in the fabric is
+/// round-robin, never randomized. Concurrent calls therefore share no
+/// mutable state and the result is a pure function of @p cfg — the parallel
+/// runner (src/runner/) relies on this to shard points across threads with
+/// bit-identical results for any thread count.
 TrafficPoint run_traffic_point(const TrafficExperimentConfig& cfg);
 
-/// Sweep λ over @p loads with otherwise fixed parameters.
+/// Sweep λ over @p loads with otherwise fixed parameters, one point after
+/// another on the calling thread. This is the serial reference path; use
+/// runner::run_sweep to shard a grid across cores.
 std::vector<TrafficPoint> sweep_load(const TrafficExperimentConfig& base,
                                      const std::vector<double>& loads);
 

@@ -1,0 +1,209 @@
+// JSON value type and the sweep results writer: parse/dump round trips,
+// error handling, and the guarantee a sweep written to disk reads back
+// bit-identical (shortest-round-trip double formatting).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "common/report.hpp"
+#include "common/stats.hpp"
+#include "runner/results.hpp"
+#include "runner/runner.hpp"
+
+using namespace mempool;
+using namespace mempool::runner;
+
+TEST(Json, ScalarsDumpAndParse) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(uint64_t{1} << 60).dump(), "1152921504606846976");
+  EXPECT_EQ(Json(0.25).dump(), "0.25");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-13").as_int(), -13);
+  EXPECT_DOUBLE_EQ(Json::parse("0.125e2").as_double(), 12.5);
+  EXPECT_EQ(Json::parse("\"a\\nb\"").as_string(), "a\nb");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json o = Json::object();
+  o.set("zebra", 1);
+  o.set("apple", 2);
+  o.set("mango", 3);
+  EXPECT_EQ(o.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  o.set("apple", 9);  // overwrite keeps position
+  EXPECT_EQ(o.dump(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+  EXPECT_EQ(o.at("apple").as_int(), 9);
+  EXPECT_TRUE(o.contains("mango"));
+  EXPECT_FALSE(o.contains("kiwi"));
+  EXPECT_EQ(o.get("kiwi", Json(-1)).as_int(), -1);
+}
+
+TEST(Json, NestedDocumentRoundTripsThroughText) {
+  Json doc = Json::object();
+  doc.set("name", "sweep");
+  doc.set("ok", true);
+  Json arr = Json::array();
+  for (int i = 0; i < 4; ++i) arr.push_back(i * 0.1);
+  doc.set("values", std::move(arr));
+  Json inner = Json::object();
+  inner.set("count", int64_t{12345678901234});
+  doc.set("meta", std::move(inner));
+
+  const Json back = Json::parse(doc.dump(2));
+  EXPECT_EQ(back.dump(), doc.dump());
+  EXPECT_EQ(back.at("meta").at("count").as_int(), int64_t{12345678901234});
+  EXPECT_EQ(back.at("values").size(), 4u);
+}
+
+TEST(Json, DoublesSurviveShortestRoundTrip) {
+  // Values with no short decimal representation must still round-trip
+  // bit-exactly — the determinism checks on results files depend on it.
+  for (double v : {1.0 / 3.0, 0.1, 2.0 / 7.0, 123456.789e-12, 5.22037e5}) {
+    const Json back = Json::parse(Json(v).dump());
+    EXPECT_EQ(back.as_double(), v);
+  }
+}
+
+TEST(Json, StringEscapes) {
+  const std::string s = "quote\" back\\slash tab\t nl\n ctrl\x01";
+  EXPECT_EQ(Json::parse(Json(s).dump()).as_string(), s);
+  EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrorsThrow) {
+  EXPECT_THROW(Json::parse(""), CheckError);
+  EXPECT_THROW(Json::parse("{"), CheckError);
+  EXPECT_THROW(Json::parse("[1,]"), CheckError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), CheckError);
+  EXPECT_THROW(Json::parse("nul"), CheckError);
+  EXPECT_THROW(Json::parse("'single'"), CheckError);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  EXPECT_THROW(Json(1).as_string(), CheckError);
+  EXPECT_THROW(Json("x").as_int(), CheckError);
+  EXPECT_THROW(Json(0.5).as_int(), CheckError);  // non-integral double
+  EXPECT_THROW(Json(-1).as_uint(), CheckError);
+  EXPECT_THROW(Json(1).items(), CheckError);
+  EXPECT_THROW(Json::object().at("missing"), CheckError);
+}
+
+TEST(Json, Int64RangeGuards) {
+  // uint64 values beyond int64 cannot be stored faithfully — reject at
+  // construction instead of serializing a negative number.
+  EXPECT_THROW(Json(~uint64_t{0}), CheckError);
+  EXPECT_NO_THROW(Json(uint64_t{1} << 62));
+  // An integral double outside int64 range must not hit UB in the cast.
+  EXPECT_THROW(Json::parse("1e300").as_int(), CheckError);
+  EXPECT_THROW(Json::parse("-1e300").as_int(), CheckError);
+  EXPECT_EQ(Json::parse("1e15").as_int(), 1000000000000000ll);
+}
+
+TEST(StatsJson, RunningStatAndHistogramEmit) {
+  RunningStat st;
+  for (double v : {1.0, 2.0, 3.0}) st.add(v);
+  const Json j = st.to_json();
+  EXPECT_EQ(j.at("count").as_uint(), 3u);
+  EXPECT_DOUBLE_EQ(j.at("mean").as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(j.at("max").as_double(), 3.0);
+
+  Histogram h(1.0, 8);
+  h.add(0.5);
+  h.add(2.5);
+  h.add(100.0);  // overflow
+  const Json hj = h.to_json();
+  EXPECT_EQ(hj.at("overflow").as_uint(), 1u);
+  EXPECT_EQ(hj.at("counts").size(), 3u);  // trailing zeros trimmed
+  EXPECT_EQ(hj.at("counts").at(0).as_uint(), 1u);
+  EXPECT_EQ(hj.at("counts").at(2).as_uint(), 1u);
+}
+
+TEST(ReportJson, TableEmitsRowsKeyedByHeader) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"b", "2"});
+  const Json j = t.to_json();
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.at(0).at("name").as_string(), "a");
+  EXPECT_EQ(j.at(1).at("value").as_string(), "2");
+}
+
+namespace {
+
+SweepResult small_sweep() {
+  SweepSpec spec;
+  spec.base.cluster = ClusterConfig::mini(Topology::kTopH, true);
+  spec.base.warmup_cycles = 50;
+  spec.base.measure_cycles = 200;
+  spec.base.drain_cycles = 100;
+  spec.topologies = {Topology::kTop1, Topology::kTopH};
+  spec.lambdas = {0.1, 0.25};
+  spec.seeds = {7};
+  spec.paper_cluster = false;
+  RunnerOptions opts;
+  opts.threads = 2;
+  return run_sweep(spec, opts);
+}
+
+}  // namespace
+
+TEST(SweepJson, SweepRoundTripsBitIdentical) {
+  const SweepResult original = small_sweep();
+
+  // Through the JSON text, as a results file would.
+  const Json doc = Json::parse(sweep_to_json(original).dump(2));
+  const SweepResult back = sweep_from_json(doc);
+
+  EXPECT_EQ(back.threads, original.threads);
+  ASSERT_EQ(back.points.size(), original.points.size());
+  for (std::size_t i = 0; i < original.points.size(); ++i) {
+    EXPECT_EQ(back.points[i], original.points[i]) << "point " << i;
+    EXPECT_EQ(back.configs[i].cluster.topology,
+              original.configs[i].cluster.topology);
+    EXPECT_EQ(back.configs[i].cluster.num_tiles,
+              original.configs[i].cluster.num_tiles);
+    EXPECT_EQ(back.configs[i].seed, original.configs[i].seed);
+    EXPECT_EQ(back.configs[i].lambda, original.configs[i].lambda);
+    EXPECT_EQ(back.configs[i].measure_cycles,
+              original.configs[i].measure_cycles);
+  }
+}
+
+TEST(SweepJson, RejectsWrongSchema) {
+  Json doc = Json::object();
+  doc.set("schema", "something.else.v9");
+  EXPECT_THROW(sweep_from_json(doc), CheckError);
+}
+
+TEST(SweepJson, BenchEnvelopeShape) {
+  const Json env = bench_envelope("fig5", 8, 1.5, Json::object());
+  EXPECT_EQ(env.at("schema").as_string(), "mempool.bench.v1");
+  EXPECT_EQ(env.at("bench").as_string(), "fig5");
+  EXPECT_EQ(env.at("threads").as_uint(), 8u);
+  EXPECT_TRUE(env.at("results").is_object());
+}
+
+TEST(SweepJson, FileWriterRoundTrips) {
+  const SweepResult original = small_sweep();
+  const std::string path = ::testing::TempDir() + "/mempool_sweep_rt.json";
+  write_json_file(path, sweep_to_json(original));
+  const SweepResult back = sweep_from_json(read_json_file(path));
+  ASSERT_EQ(back.points.size(), original.points.size());
+  for (std::size_t i = 0; i < original.points.size(); ++i)
+    EXPECT_EQ(back.points[i], original.points[i]);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJson, ReadMissingFileThrows) {
+  EXPECT_THROW(read_json_file("/nonexistent/dir/x.json"), CheckError);
+}

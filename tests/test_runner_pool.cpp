@@ -1,0 +1,129 @@
+// Work-stealing thread pool: execution, nested submission, and — most
+// importantly — clean draining under exceptions: a throwing task must not
+// kill a worker, wedge wait_idle(), or stop the remaining tasks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "runner/parallel.hpp"
+#include "runner/thread_pool.hpp"
+
+using namespace mempool::runner;
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorkerThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      for (int j = 0; j < 4; ++j)
+        pool.submit([&] { count.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, WaitIdleWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, DrainsCleanlyUnderExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&, i] {
+      executed.fetch_add(1);
+      if (i % 7 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  // wait_idle drains everything first, then reports the first failure.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(executed.load(), 50);
+
+  // The pool must remain fully usable after an exception round.
+  std::atomic<int> second{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { second.fetch_add(1); });
+  pool.wait_idle();  // no stale exception resurfaces
+  EXPECT_EQ(second.load(), 20);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 40; ++i) pool.submit([&] { executed.fetch_add(1); });
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(executed.load(), 40);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, RethrowsLowestFailingIndexAfterFullDrain) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(pool, 32, [&](std::size_t i) {
+      executed.fetch_add(1);
+      if (i == 21 || i == 5 || i == 30)
+        throw std::runtime_error("index " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 5");  // deterministic: lowest index wins
+  }
+  EXPECT_EQ(executed.load(), 32);  // non-throwing items all ran
+}
+
+TEST(RunIndexed, CollectsResultsInIndexOrder) {
+  ThreadPool pool(8);
+  const std::vector<int> out =
+      run_indexed(pool, 100, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(RunIndexed, ReportsCompletionCallbackPerItem) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  run_indexed(
+      pool, 25, [](std::size_t i) { return i; },
+      [&](std::size_t i) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(i);
+        done.fetch_add(1);
+      });
+  EXPECT_EQ(done.load(), 25);
+  EXPECT_EQ(seen.size(), 25u);
+}

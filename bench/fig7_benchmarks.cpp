@@ -29,9 +29,11 @@ using namespace mempool::runner;
 
 namespace {
 
-uint64_t run_one(Topology topo, bool scramble, const std::string& kernel) {
+uint64_t run_one(Topology topo, bool scramble, const std::string& kernel,
+                 bool dense) {
   const ClusterConfig cfg = ClusterConfig::paper(topo, scramble);
   System sys(cfg);
+  sys.engine().set_dense(dense);
   kernels::KernelProgram kp;
   if (kernel == "matmul") {
     kp = kernels::build_matmul(cfg, 64);
@@ -75,7 +77,8 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<uint64_t> measured = run_indexed(
       pool, cases.size(), [&](std::size_t i) {
-        return run_one(cases[i].topo, cases[i].scramble, cases[i].kernel);
+        return run_one(cases[i].topo, cases[i].scramble, cases[i].kernel,
+                       opts.dense);
       });
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)

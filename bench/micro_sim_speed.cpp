@@ -1,15 +1,33 @@
 // Simulator performance microbenchmark (not a paper artifact): simulated
 // cycles per wall-clock second for representative workloads. Useful when
 // tuning the model or reviewing performance regressions.
+//
+// Besides the Google-Benchmark suite, `--speedup_json=PATH` runs a direct
+// dense-vs-activity-driven engine comparison on the low-λ half of the
+// fig5/tab_zero_load regime and writes a mempool.speedup.v1 JSON artifact
+// (uploaded per-PR by CI so scheduler regressions are visible); add
+// `--speedup_only` to skip the benchmark suite.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "core/cluster.hpp"
 #include "core/system.hpp"
+#include "mem/imem.hpp"
 #include "isa/text_asm.hpp"
+#include "runner/results.hpp"
 #include "runner/runner.hpp"
 #include "traffic/experiment.hpp"
+#include "traffic/probe.hpp"
 
 using namespace mempool;
 
@@ -38,6 +56,9 @@ void BM_ParallelSweep(benchmark::State& state) {
       static_cast<double>(points), benchmark::Counter::kIsRate);
 }
 
+/// Traffic-point throughput per engine mode; range(2) selects dense (1) or
+/// activity-driven (0) so the two schedulers appear side by side in the
+/// benchmark table.
 void BM_TrafficCycles(benchmark::State& state) {
   const auto topo = static_cast<Topology>(state.range(0));
   TrafficExperimentConfig e;
@@ -46,10 +67,30 @@ void BM_TrafficCycles(benchmark::State& state) {
   e.warmup_cycles = 100;
   e.measure_cycles = static_cast<uint64_t>(state.range(1));
   e.drain_cycles = 0;
+  e.dense_engine = state.range(2) != 0;
   uint64_t cycles = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(run_traffic_point(e));
     cycles += e.warmup_cycles + e.measure_cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+/// The zero-load regime the activity-driven scheduler targets: λ = 0.02 on
+/// the full paper cluster, mostly-idle fabric.
+void BM_LowLoadCycles(benchmark::State& state) {
+  TrafficExperimentConfig e;
+  e.cluster = ClusterConfig::paper(Topology::kTopH, false);
+  e.lambda = 0.02;
+  e.warmup_cycles = 100;
+  e.measure_cycles = 2000;
+  e.drain_cycles = 500;
+  e.dense_engine = state.range(0) != 0;
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_traffic_point(e));
+    cycles += e.warmup_cycles + e.measure_cycles + e.drain_cycles;
   }
   state.counters["sim_cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
@@ -78,13 +119,129 @@ void BM_ExecutionCycles(benchmark::State& state) {
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 
+// --- dense-vs-active speedup artifact ---------------------------------------
+
+double time_point_seconds(const TrafficExperimentConfig& cfg, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    TrafficPoint p = run_traffic_point(cfg);
+    benchmark::DoNotOptimize(&p);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+/// Wall-clock of the tab_zero_load probe sweep (core 0 -> every tile, one
+/// load at a time on an otherwise idle cluster), cluster construction
+/// excluded. This is the regime the paper's 5-cycle claim lives in and the
+/// activity-driven scheduler's best case: a handful of components act per
+/// cycle while the other ~1600 sleep.
+double time_zero_load_seconds(Topology topo, bool dense) {
+  const ClusterConfig cfg = ClusterConfig::paper(topo, true);
+  InstrMem imem(4096);
+  Engine engine;
+  engine.set_dense(dense);
+  Cluster cluster(cfg, &imem);
+  std::vector<std::unique_ptr<ProbeClient>> probes;
+  std::vector<Client*> clients;
+  for (uint32_t c = 0; c < cfg.num_cores(); ++c) {
+    probes.push_back(std::make_unique<ProbeClient>(
+        static_cast<uint16_t>(c), static_cast<uint16_t>(c / cfg.cores_per_tile),
+        &cluster.layout()));
+    clients.push_back(probes.back().get());
+  }
+  cluster.attach_clients(clients);
+  cluster.build(engine);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  uint32_t expected = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (uint32_t t = 0; t < cfg.num_tiles; ++t) {
+      probes[0]->arm(t * cfg.seq_region_bytes);
+      ++expected;
+      while (probes[0]->responses() < expected) engine.step();
+    }
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  MEMPOOL_CHECK(probes[0]->responses() == expected);
+  return dt.count();
+}
+
+int run_speedup(const std::string& json_path) {
+  // The low-λ half of the fig5 sweep (exact fig5 point shape: 1000 warmup,
+  // 4000 measure, 2000 drain) plus the tab_zero_load probe sweep, on the
+  // full 256-core paper cluster — the regimes where the fabric is mostly
+  // idle and the activity-driven scheduler must deliver (target: >= 3x).
+  const std::vector<Topology> topos = {Topology::kTop1, Topology::kTopH};
+  const std::vector<double> lambdas = {0.01, 0.02, 0.05};
+  Json points = Json::array();
+  double min_speedup = 1e300;
+  double dense_total = 0, active_total = 0;
+  std::printf("%-10s %-6s %8s %14s %14s %9s\n", "workload", "topo", "lambda",
+              "dense_s", "active_s", "speedup");
+  auto report = [&](const char* workload, Topology topo, double lambda,
+                    double dense_s, double active_s) {
+    const double speedup = dense_s / active_s;
+    min_speedup = std::min(min_speedup, speedup);
+    dense_total += dense_s;
+    active_total += active_s;
+    std::printf("%-10s %-6s %8.3f %14.6f %14.6f %8.2fx\n", workload,
+                topology_name(topo), lambda, dense_s, active_s, speedup);
+    Json rec = Json::object();
+    rec.set("workload", workload);
+    rec.set("topology", topology_name(topo));
+    rec.set("lambda", lambda);
+    rec.set("dense_seconds", dense_s);
+    rec.set("active_seconds", active_s);
+    rec.set("speedup", speedup);
+    points.push_back(std::move(rec));
+  };
+  for (Topology topo : topos) {
+    report("zero_load", topo, 0.0, time_zero_load_seconds(topo, true),
+           time_zero_load_seconds(topo, false));
+    for (double lambda : lambdas) {
+      TrafficExperimentConfig cfg;
+      cfg.cluster = ClusterConfig::paper(topo, false);
+      cfg.lambda = lambda;  // fig5 point shape: default cycle counts
+      cfg.dense_engine = true;
+      const double dense_s = time_point_seconds(cfg, 2);
+      cfg.dense_engine = false;
+      const double active_s = time_point_seconds(cfg, 2);
+      report("fig5", topo, lambda, dense_s, active_s);
+    }
+  }
+  const double aggregate = dense_total / active_total;
+  std::printf(
+      "aggregate speedup over the low-load half: %.2fx (target >= 3x); "
+      "slowest point: %.2fx\n",
+      aggregate, min_speedup);
+  if (!json_path.empty()) {
+    Json root = Json::object();
+    root.set("schema", "mempool.speedup.v1");
+    root.set("aggregate_speedup", aggregate);
+    root.set("min_speedup", min_speedup);
+    root.set("points", std::move(points));
+    runner::write_json_file(json_path, root);
+    std::fprintf(stderr, "speedup results written to %s\n", json_path.c_str());
+  }
+  return aggregate >= 1.0 ? 0 : 1;
+}
+
 }  // namespace
 
 BENCHMARK(BM_TrafficCycles)
-    ->Args({static_cast<int>(Topology::kTop1), 2000})
-    ->Args({static_cast<int>(Topology::kTopH), 2000})
+    ->Args({static_cast<int>(Topology::kTop1), 2000, 0})
+    ->Args({static_cast<int>(Topology::kTop1), 2000, 1})
+    ->Args({static_cast<int>(Topology::kTopH), 2000, 0})
+    ->Args({static_cast<int>(Topology::kTopH), 2000, 1})
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowLoadCycles)->Arg(0)->Arg(1)->Iterations(3)->Unit(
+    benchmark::kMillisecond);
 BENCHMARK(BM_ExecutionCycles)->Arg(5000)->Iterations(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ParallelSweep)
     ->Arg(1)
@@ -93,4 +250,33 @@ BENCHMARK(BM_ParallelSweep)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string speedup_json;
+  bool run_speedup_pass = false;
+  bool speedup_only = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--speedup_json=", 15) == 0) {
+      speedup_json = argv[i] + 15;
+      run_speedup_pass = true;
+    } else if (std::strcmp(argv[i], "--speedup") == 0) {
+      run_speedup_pass = true;
+    } else if (std::strcmp(argv[i], "--speedup_only") == 0) {
+      run_speedup_pass = true;
+      speedup_only = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  int rc = 0;
+  if (run_speedup_pass) rc = run_speedup(speedup_json);
+  if (!speedup_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return rc;
+}

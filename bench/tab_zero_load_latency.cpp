@@ -16,47 +16,18 @@
 #include "mem/imem.hpp"
 #include "runner/bench_cli.hpp"
 #include "runner/parallel.hpp"
+#include "traffic/probe.hpp"
 
 using namespace mempool;
 
 namespace {
 
-/// Minimal probing client (same technique as the unit tests, standalone here
-/// so the bench binary is self-contained).
-class Probe final : public Client {
- public:
-  Probe(uint16_t id, uint16_t tile, const MemoryLayout* layout)
-      : Client("probe", id, tile), layout_(layout) {}
-  void arm(uint32_t addr) { armed_ = true; addr_ = addr; }
-  void deliver(const Packet&) override { resp_cycle_ = last_ + 1; ++resps_; }
-  void evaluate(uint64_t cycle) override {
-    last_ = cycle;
-    if (armed_) {
-      Packet p;
-      p.op = MemOp::kLoad;
-      p.src = id_;
-      p.src_tile = tile_;
-      layout_->route(p, addr_);
-      if (port_->try_issue(p)) {
-        armed_ = false;
-        issue_cycle_ = cycle;
-      }
-    }
-  }
-  uint64_t latency() const { return resp_cycle_ - issue_cycle_; }
-  uint32_t resps() const { return resps_; }
-
- private:
-  const MemoryLayout* layout_;
-  bool armed_ = false;
-  uint32_t addr_ = 0, resps_ = 0;
-  uint64_t last_ = 0, issue_cycle_ = 0, resp_cycle_ = 0;
-};
-
 struct Rig {
-  explicit Rig(const ClusterConfig& cfg) : imem(4096), cluster(cfg, &imem) {
+  explicit Rig(const ClusterConfig& cfg, bool dense)
+      : imem(4096), cluster(cfg, &imem) {
+    engine.set_dense(dense);
     for (uint32_t c = 0; c < cfg.num_cores(); ++c) {
-      probes.push_back(std::make_unique<Probe>(
+      probes.push_back(std::make_unique<ProbeClient>(
           static_cast<uint16_t>(c),
           static_cast<uint16_t>(c / cfg.cores_per_tile), &cluster.layout()));
     }
@@ -66,9 +37,9 @@ struct Rig {
     cluster.build(engine);
   }
   uint64_t probe(uint32_t core, uint32_t addr) {
-    const uint32_t before = probes[core]->resps();
+    const uint32_t before = probes[core]->responses();
     probes[core]->arm(addr);
-    for (int i = 0; i < 64 && probes[core]->resps() == before; ++i) {
+    for (int i = 0; i < 64 && probes[core]->responses() == before; ++i) {
       engine.step();
     }
     return probes[core]->latency();
@@ -76,7 +47,7 @@ struct Rig {
   InstrMem imem;
   Engine engine;
   Cluster cluster;
-  std::vector<std::unique_ptr<Probe>> probes;
+  std::vector<std::unique_ptr<ProbeClient>> probes;
 };
 
 struct TopoLatency {
@@ -87,9 +58,9 @@ struct TopoLatency {
   double mean = 0;
 };
 
-TopoLatency measure(Topology topo) {
+TopoLatency measure(Topology topo, bool dense) {
   const ClusterConfig cfg = ClusterConfig::paper(topo, true);
-  Rig rig(cfg);
+  Rig rig(cfg, dense);
   auto addr = [&](uint32_t tile) { return tile * cfg.seq_region_bytes; };
   TopoLatency out;
   out.own = rig.probe(0, addr(0));
@@ -120,7 +91,8 @@ int main(int argc, char** argv) {
   runner::ThreadPool pool(opts.threads);
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<TopoLatency> lats = runner::run_indexed(
-      pool, topos.size(), [&](std::size_t i) { return measure(topos[i]); });
+      pool, topos.size(),
+      [&](std::size_t i) { return measure(topos[i], opts.dense); });
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

@@ -12,6 +12,18 @@
 
 namespace mempool {
 
+/// SplitMix64 step (Steele, Lea & Flood; public-domain algorithm): advance by
+/// the golden-gamma increment and finalize with the avalanche mix. Used to
+/// expand single seeds into full generator states and to derive decorrelated
+/// per-stream seeds from structured (seed, stream-id) inputs — the
+/// finalization destroys any arithmetic relation between nearby inputs.
+constexpr uint64_t splitmix64(uint64_t x) {
+  uint64_t z = x + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** by Blackman & Vigna — public-domain algorithm, reimplemented.
 class Rng {
  public:
@@ -20,11 +32,8 @@ class Rng {
   /// Re-initialize the state from a single seed via splitmix64.
   void reseed(uint64_t seed) {
     for (auto& w : s_) {
+      w = splitmix64(seed);
       seed += 0x9E3779B97F4A7C15ull;
-      uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      w = z ^ (z >> 31);
     }
   }
 

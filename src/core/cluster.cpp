@@ -49,12 +49,14 @@ bool CorePort::try_issue(const Packet& p) {
 IdealRespBridge::IdealRespBridge(std::string name, uint32_t num_banks,
                                  const std::vector<Client*>* clients)
     : Component(std::move(name)), clients_(clients) {
-  bufs_.reserve(num_banks);
   sinks_.reserve(num_banks);
   for (uint32_t b = 0; b < num_banks; ++b) {
     bufs_.emplace_back(BufferMode::kRegistered, 2);
   }
-  for (auto& b : bufs_) sinks_.emplace_back(b);
+  for (auto& b : bufs_) {
+    b.set_consumer(this);  // a committed response re-arms the bridge
+    sinks_.emplace_back(b);
+  }
 }
 
 void IdealRespBridge::register_clocked(Engine& engine) {
@@ -65,9 +67,18 @@ void IdealRespBridge::evaluate(uint64_t /*cycle*/) {
   for (auto& b : bufs_) {
     while (!b.empty()) {
       const Packet p = b.pop();
-      (*clients_)[p.src]->deliver(p);
+      Client* c = (*clients_)[p.src];
+      c->deliver(p);
+      c->wake();
     }
   }
+}
+
+bool IdealRespBridge::idle() const {
+  for (const auto& b : bufs_) {
+    if (!b.empty()) return false;
+  }
+  return true;
 }
 
 // --- Cluster ------------------------------------------------------------------

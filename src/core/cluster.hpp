@@ -18,6 +18,7 @@
 // crossbars → banks → commit.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -59,9 +60,10 @@ class IdealRespBridge final : public Component {
   PacketSink* bank_input(uint32_t b) { return &sinks_[b]; }
   void register_clocked(Engine& engine);
   void evaluate(uint64_t cycle) override;
+  bool idle() const override;
 
  private:
-  std::vector<PacketBuffer> bufs_;
+  std::deque<PacketBuffer> bufs_;  // deque: ElasticBuffer is pinned
   std::vector<BufferSink<PacketBuffer>> sinks_;
   const std::vector<Client*>* clients_;
 };

@@ -36,6 +36,12 @@ class SnitchCore final : public Client {
   void deliver(const Packet& resp) override;
   void evaluate(uint64_t cycle) override;
 
+  /// Activity contract: a running core issues/stalls every cycle (its work is
+  /// self-generated), so it only leaves the active set once halted. Late
+  /// responses to a halted core are delivered by the response fabric without
+  /// re-evaluating it, exactly as under the dense engine.
+  bool idle() const override { return halted_; }
+
   bool halted() const { return halted_; }
   uint32_t exit_code() const { return exit_code_; }
   const std::string& console() const { return console_; }

@@ -21,12 +21,19 @@
 
 namespace mempool {
 
-/// Always-ready terminal sink delivering responses into a client.
+/// Always-ready terminal sink delivering responses into a client. Delivery
+/// also wakes the client so a sleeping component that acts on responses in
+/// its evaluate() (wake-on-response) is re-evaluated next cycle; for the
+/// built-in clients this is a harmless no-op wake (cores only sleep once
+/// halted, generators only once drained).
 class ClientSink final : public PacketSink {
  public:
   explicit ClientSink(Client* c) : c_(c) {}
   bool can_accept() const override { return true; }
-  void push(const Packet& p) override { c_->deliver(p); }
+  void push(const Packet& p) override {
+    c_->deliver(p);
+    c_->wake();
+  }
 
  private:
   Client* c_;

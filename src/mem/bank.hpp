@@ -38,6 +38,10 @@ class SpmBank final : public Component {
 
   void evaluate(uint64_t cycle) override;
 
+  /// Activity contract: nothing to do while the request queue is empty; the
+  /// queue's combinational push re-arms the bank within the same cycle.
+  bool idle() const override { return req_in_.empty(); }
+
   /// Backdoor access used by program loaders and result checkers (does not
   /// consume simulated cycles).
   uint32_t backdoor_read(uint32_t row) const;

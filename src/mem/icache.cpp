@@ -56,6 +56,7 @@ ICache::FetchResult ICache::fetch(uint32_t pc, uint64_t /*cycle*/) {
   if (std::find(pending_.begin(), pending_.end(), line_addr) != pending_.end())
     return {false, 0};
   pending_.push_back(line_addr);
+  wake();  // the refill engine has work from the next cycle on
   return {false, 0};
 }
 

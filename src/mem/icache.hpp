@@ -41,6 +41,12 @@ class ICache final : public Component {
   /// Progress outstanding refills; must be evaluated before the cores.
   void evaluate(uint64_t cycle) override;
 
+  /// Activity contract: idle when the refill engine has nothing in flight and
+  /// nothing queued. A core's missing fetch() wakes the cache (the cache is
+  /// evaluated before the cores, so the refill launches next cycle in both
+  /// engine modes).
+  bool idle() const override { return !refill_.active && pending_.empty(); }
+
   /// Invalidate all lines (used between benchmark phases in tests).
   void flush();
 

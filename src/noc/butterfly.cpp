@@ -1,5 +1,7 @@
 #include "noc/butterfly.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/bitutil.hpp"
@@ -35,10 +37,15 @@ ButterflyNet::ButterflyNet(std::string name, std::size_t num_endpoints,
                     "need " << want_layers << " layer modes, got " << layers_);
 
   buf_.resize(layers_);
+  occ_words_ = (n_ + 63) / 64;
+  occ_.assign(layers_ * occ_words_, 0);
+  arb_scratch_.assign(occ_words_, 0);
   for (unsigned l = 0; l < layers_; ++l) {
-    buf_[l].reserve(n_);
     for (std::size_t p = 0; p < n_; ++p) {
       buf_[l].emplace_back(layer_modes[l], buffer_capacity);
+      buf_[l].back().set_consumer(this);  // any visible packet re-arms the net
+      buf_[l].back().bind_occupancy_bit(&occ_[l * occ_words_ + p / 64],
+                                        static_cast<unsigned>(p % 64));
     }
   }
   in_sinks_.reserve(n_);
@@ -75,10 +82,8 @@ uint64_t ButterflyNet::traversals() const {
 }
 
 bool ButterflyNet::idle() const {
-  for (const auto& layer : buf_) {
-    for (const auto& b : layer) {
-      if (!b.empty()) return false;
-    }
+  for (uint64_t m : occ_) {
+    if (m != 0) return false;
   }
   return true;
 }
@@ -99,41 +104,52 @@ void ButterflyNet::evaluate(uint64_t /*cycle*/) {
   for (unsigned l = 0; l < layers_; ++l) {
     auto& layer = buf_[l];
     // Per-switch arbitration: visit switches; each switch covers the r lines
-    // whose shuffled position falls inside it. We iterate over line
-    // positions, bucket candidates per (switch, digit), then grant.
-    // For r up to 4 and N up to 256 a flat scan is fast enough.
+    // whose shuffled position falls inside it. We iterate over the occupied
+    // line positions, bucket candidates per (switch, digit), then grant.
     struct Cand {
       unsigned line;
-      unsigned next;
+      unsigned next;  // line position after this stage (winner's destination)
       unsigned slot;  // (sw * radix + digit), arbitration domain
       unsigned sw_in; // input index within the switch (for round-robin)
     };
-    // Collect candidates.
+    // Collect candidates: set bits of the layer's occupancy mask, in
+    // ascending line order (identical to the historical full scan).
     static thread_local std::vector<Cand> cands;
     cands.clear();
-    for (unsigned p = 0; p < n_; ++p) {
-      if (layer[p].empty()) continue;
-      const Packet& pkt = layer[p].front();
-      const unsigned dst = dst_of_(pkt);
-      MEMPOOL_CHECK_MSG(dst < n_, name() << ": endpoint " << dst
-                                         << " out of range " << n_);
-      const unsigned q = shuffle(p, layers_, radix_bits_, static_cast<unsigned>(n_));
-      const unsigned sw = q / radix_;
-      const unsigned digit = radix_digit(dst, layers_ - 1 - l, radix_bits_);
-      cands.push_back({p, sw * radix_ + digit, sw * radix_ + digit,
-                       q % radix_});
+    for (std::size_t wi = 0; wi < occ_words_; ++wi) {
+      for (uint64_t m = occ_[l * occ_words_ + wi]; m != 0; m &= m - 1) {
+        const auto p = static_cast<unsigned>(wi * 64 + std::countr_zero(m));
+        const Packet& pkt = layer[p].front();
+        const unsigned dst = dst_of_(pkt);
+        MEMPOOL_CHECK_MSG(dst < n_, name() << ": endpoint " << dst
+                                           << " out of range " << n_);
+        const unsigned q =
+            shuffle(p, layers_, radix_bits_, static_cast<unsigned>(n_));
+        const unsigned sw = q / radix_;
+        const unsigned digit = radix_digit(dst, layers_ - 1 - l, radix_bits_);
+        cands.push_back({p, sw * radix_ + digit, sw * radix_ + digit,
+                         q % radix_});
+      }
     }
     if (cands.empty()) continue;
 
     // Grant per arbitration slot using round-robin over switch inputs.
-    // Candidates with the same slot compete; the winner moves.
-    for (std::size_t i = 0; i < cands.size();) {
-      // Find the extent of this slot group (cands are in line order, so same
-      // slot entries are not necessarily adjacent; do a simple scan).
+    // Candidates with the same slot compete; the winner moves. The winner
+    // carries its own destination (all members of a slot group share it by
+    // construction — slot == next — but the grant must never borrow another
+    // candidate's routing). Slots span (n_+63)/64 request-mask words.
+    std::fill(arb_scratch_.begin(), arb_scratch_.end(), 0);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
       const unsigned slot = cands[i].slot;
-      // Gather all candidates for this slot.
+      uint64_t& arb_word = arb_scratch_[slot / 64];
+      const uint64_t slot_bit = 1ull << (slot % 64);
+      if ((arb_word & slot_bit) != 0) continue;  // group already granted
+      arb_word |= slot_bit;
+      // Gather all candidates for this slot (cands are in line order, so
+      // same-slot entries are not necessarily adjacent; scan forward).
       unsigned best_line = cands[i].line;
       unsigned best_in = cands[i].sw_in;
+      unsigned best_next = cands[i].next;
       unsigned best_dist = (cands[i].sw_in + radix_ - rr_[l][slot]) % radix_;
       std::size_t group = 1;
       for (std::size_t j = i + 1; j < cands.size(); ++j) {
@@ -144,38 +160,36 @@ void ButterflyNet::evaluate(uint64_t /*cycle*/) {
           best_dist = dist;
           best_line = cands[j].line;
           best_in = cands[j].sw_in;
+          best_next = cands[j].next;
         }
       }
 
-      // Destination of the winner.
-      const unsigned next = cands[i].next;
-      PacketSink* sink;
-      BufferSink<PacketBuffer> next_sink{(l + 1 < layers_) ? buf_[l + 1][next]
-                                                           : buf_[0][0]};
-      if (l + 1 < layers_) {
-        sink = &next_sink;
-      } else {
-        MEMPOOL_CHECK_MSG(out_[next] != nullptr,
-                          name() << ": output " << next << " not connected");
-        sink = out_[next];
+      // Move the winner to ITS destination: the next layer's input buffer, or
+      // the endpoint sink after the last layer.
+      PacketBuffer* next_buf =
+          (l + 1 < layers_) ? &buf_[l + 1][best_next] : nullptr;
+      PacketSink* out_sink = nullptr;
+      if (next_buf == nullptr) {
+        MEMPOOL_CHECK_MSG(out_[best_next] != nullptr,
+                          name() << ": output " << best_next
+                                 << " not connected");
+        out_sink = out_[best_next];
       }
-      if (sink->can_accept()) {
-        sink->push(layer[best_line].pop());
+      const bool ready =
+          next_buf != nullptr ? next_buf->can_accept() : out_sink->can_accept();
+      if (ready) {
+        const Packet granted = layer[best_line].pop();
+        if (next_buf != nullptr) {
+          next_buf->push(granted);
+        } else {
+          out_sink->push(granted);
+        }
         ++traversals_[l];
         blocked_ += group - 1;
         rr_[l][slot] = (best_in + 1u) % radix_;
       } else {
         blocked_ += group;
       }
-
-      // Remove all candidates of this slot from further consideration.
-      std::size_t w = i;
-      for (std::size_t j = i; j < cands.size(); ++j) {
-        if (cands[j].slot != slot) cands[w++] = cands[j];
-      }
-      cands.resize(w);
-      // i stays: next group starts at position i.
-      if (i >= cands.size()) break;
     }
   }
 }

@@ -11,6 +11,7 @@
 // registered as the tile's master-port boundary).
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -54,7 +55,7 @@ class ButterflyNet final : public Component {
   uint64_t traversals() const;
   uint64_t blocked() const { return blocked_; }
 
-  bool idle() const;
+  bool idle() const override;
 
   /// Pure routing arithmetic, exposed for tests: the line position after
   /// stage @p l for a packet currently at position @p pos heading to @p dst.
@@ -68,7 +69,14 @@ class ButterflyNet final : public Component {
   unsigned layers_;
   EndpointFn dst_of_;
   // buf_[l][p]: input buffer of layer l at line position p (pre-shuffle).
-  std::vector<std::vector<PacketBuffer>> buf_;
+  // Inner deque, not vector: ElasticBuffer is pinned (non-movable).
+  std::vector<std::deque<PacketBuffer>> buf_;
+  // occ_[l * occ_words_ + p/64] bit p%64 set iff buf_[l][p] holds a visible
+  // packet — evaluate iterates set bits instead of scanning all N lines per
+  // layer. One word per 64 lines (N > 64 spans several words).
+  std::size_t occ_words_ = 1;
+  std::vector<uint64_t> occ_;
+  std::vector<uint64_t> arb_scratch_;  // slots arbitrated this layer
   std::vector<BufferSink<PacketBuffer>> in_sinks_;
   std::vector<PacketSink*> out_;
   // rr_[l][switch][digit]: round-robin pointer per layer/switch/output.

@@ -1,5 +1,6 @@
 #include "noc/xbar.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "common/check.hpp"
@@ -17,12 +18,19 @@ XbarSwitch::XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
   MEMPOOL_CHECK(!in_modes.empty());
   MEMPOOL_CHECK(num_outputs > 0);
   MEMPOOL_CHECK(in_capacity >= 1);
-  in_.reserve(in_modes.size());
+  occ_.assign((in_modes.size() + 63) / 64, 0);
+  out_req_.assign((num_outputs + 63) / 64, 0);
   in_sinks_.reserve(in_modes.size());
   for (BufferMode m : in_modes) {
     in_.emplace_back(m, in_capacity);
   }
-  for (auto& buf : in_) in_sinks_.emplace_back(buf);
+  unsigned bit = 0;
+  for (auto& buf : in_) {
+    buf.set_consumer(this);  // any visible packet re-arms this switch
+    buf.bind_occupancy_bit(&occ_[bit / 64], bit % 64);
+    ++bit;
+    in_sinks_.emplace_back(buf);
+  }
   for (auto& c : cand_) c.reserve(in_.size());
 }
 
@@ -49,53 +57,89 @@ void XbarSwitch::register_clocked(Engine& engine) {
 }
 
 bool XbarSwitch::idle() const {
-  for (const auto& buf : in_) {
-    if (!buf.empty()) return false;
+  for (uint64_t w : occ_) {
+    if (w != 0) return false;
   }
   return true;
 }
 
 void XbarSwitch::evaluate(uint64_t /*cycle*/) {
-  // Gather the head of every non-empty input, bucketed by requested output.
+  // Gather the head of every non-empty input (set bits of the occupancy
+  // mask, in ascending input order), bucketed by requested output. The
+  // common fabric switches fit one mask word; wider ones (>64 ports) span
+  // several.
+  if (occ_.size() == 1) {
+    const uint64_t w0 = occ_[0];
+    if (w0 == 0) return;
+    if ((w0 & (w0 - 1)) == 0) {
+      // Fast path: exactly one occupied input — it wins its output outright
+      // (same arbitration outcome and counter updates as the general path).
+      const auto i = static_cast<std::size_t>(std::countr_zero(w0));
+      const unsigned o = route_(in_[i].front());
+      MEMPOOL_CHECK_MSG(o < out_.size(),
+                        name() << ": route returned " << o << " of "
+                               << out_.size() << " outputs");
+      MEMPOOL_CHECK_MSG(out_[o] != nullptr, name() << ": output " << o
+                                                   << " not connected");
+      if (out_[o]->can_accept()) {
+        out_[o]->push(in_[i].pop());
+        ++traversals_;
+        rr_[o] = (static_cast<uint32_t>(i) + 1u) %
+                 static_cast<uint32_t>(in_.size());
+      } else {
+        ++blocked_;
+      }
+      return;
+    }
+  }
   bool any = false;
-  for (std::size_t i = 0; i < in_.size(); ++i) {
-    if (in_[i].empty()) continue;
-    const unsigned o = route_(in_[i].front());
-    MEMPOOL_CHECK_MSG(o < out_.size(),
-                      name() << ": route returned " << o << " of "
-                             << out_.size() << " outputs");
-    cand_[o].push_back(static_cast<uint16_t>(i));
-    any = true;
+  for (std::size_t wi = 0; wi < occ_.size(); ++wi) {
+    for (uint64_t m = occ_[wi]; m != 0; m &= m - 1) {
+      const std::size_t i =
+          wi * 64 + static_cast<std::size_t>(std::countr_zero(m));
+      const unsigned o = route_(in_[i].front());
+      MEMPOOL_CHECK_MSG(o < out_.size(),
+                        name() << ": route returned " << o << " of "
+                               << out_.size() << " outputs");
+      cand_[o].push_back(static_cast<uint16_t>(i));
+      out_req_[o / 64] |= 1ull << (o % 64);
+      any = true;
+    }
   }
   if (!any) return;
 
-  // Per-output round-robin grant.
-  for (std::size_t o = 0; o < out_.size(); ++o) {
-    auto& cands = cand_[o];
-    if (cands.empty()) continue;
-    MEMPOOL_CHECK_MSG(out_[o] != nullptr, name() << ": output " << o
-                                                 << " not connected");
-    if (!out_[o]->can_accept()) {
-      blocked_ += cands.size();
-      cands.clear();
-      continue;
-    }
-    // Winner: first candidate at or after the round-robin pointer.
-    uint16_t winner = cands[0];
-    uint32_t best = static_cast<uint32_t>(in_.size());
-    for (uint16_t c : cands) {
-      const uint32_t dist =
-          (c + in_.size() - rr_[o]) % static_cast<uint32_t>(in_.size());
-      if (dist < best) {
-        best = dist;
-        winner = c;
+  // Per-output round-robin grant (requested outputs only, ascending order).
+  for (std::size_t wo = 0; wo < out_req_.size(); ++wo) {
+    uint64_t out_mask = out_req_[wo];
+    out_req_[wo] = 0;  // reset the scratch for the next evaluate
+    for (; out_mask != 0; out_mask &= out_mask - 1) {
+      const std::size_t o =
+          wo * 64 + static_cast<std::size_t>(std::countr_zero(out_mask));
+      auto& cands = cand_[o];
+      MEMPOOL_CHECK_MSG(out_[o] != nullptr, name() << ": output " << o
+                                                   << " not connected");
+      if (!out_[o]->can_accept()) {
+        blocked_ += cands.size();
+        cands.clear();
+        continue;
       }
+      // Winner: first candidate at or after the round-robin pointer.
+      uint16_t winner = cands[0];
+      uint32_t best = static_cast<uint32_t>(in_.size());
+      for (uint16_t c : cands) {
+        const uint32_t dist =
+            (c + in_.size() - rr_[o]) % static_cast<uint32_t>(in_.size());
+        if (dist < best) {
+          best = dist;
+          winner = c;
+        }
+      }
+      blocked_ += cands.size() - 1;
+      out_[o]->push(in_[winner].pop());
+      ++traversals_;
+      rr_[o] = (winner + 1u) % static_cast<uint32_t>(in_.size());
+      cands.clear();
     }
-    blocked_ += cands.size() - 1;
-    out_[o]->push(in_[winner].pop());
-    ++traversals_;
-    rr_[o] = (winner + 1u) % static_cast<uint32_t>(in_.size());
-    cands.clear();
   }
 }
 

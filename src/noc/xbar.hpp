@@ -7,6 +7,7 @@
 // pipeline registers of Figures 2 and 3.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -58,16 +59,20 @@ class XbarSwitch final : public Component {
   /// (arbitration conflict or downstream backpressure).
   uint64_t blocked() const { return blocked_; }
 
-  /// True if any input holds a visible packet (used by tests).
-  bool idle() const;
+  /// True if no input holds a visible packet (activity contract + tests).
+  bool idle() const override;
 
  private:
-  std::vector<PacketBuffer> in_;
+  // deque, not vector: ElasticBuffer is pinned (non-movable) because the
+  // engine's commit list and the wake plumbing hold raw pointers into it.
+  std::deque<PacketBuffer> in_;
   std::vector<BufferSink<PacketBuffer>> in_sinks_;
   std::vector<PacketSink*> out_;
   std::vector<uint32_t> rr_;            // round-robin pointer per output
   std::vector<std::vector<uint16_t>> cand_;  // scratch: candidates per output
   RouteFn route_;
+  std::vector<uint64_t> occ_;      ///< Bit i: input i holds a visible packet.
+  std::vector<uint64_t> out_req_;  ///< Scratch: outputs with candidates.
   uint64_t traversals_ = 0;
   uint64_t blocked_ = 0;
 };

@@ -13,12 +13,14 @@ namespace {
 [[noreturn]] void usage(const std::string& bench, int code) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--json PATH | --no-json] [--quiet] "
-               "[bench-specific args]\n"
+               "[--dense] [bench-specific args]\n"
                "  --threads N  worker threads (default: MEMPOOL_THREADS env "
                "var, else all cores)\n"
                "  --json PATH  results file (default: %s.results.json)\n"
                "  --no-json    do not write a results file\n"
-               "  --quiet      no stderr progress ticker\n",
+               "  --quiet      no stderr progress ticker\n"
+               "  --dense      dense evaluate-everything engine (bit-identical "
+               "fallback)\n",
                bench.c_str(), bench.c_str());
   std::exit(code);
 }
@@ -56,6 +58,8 @@ BenchOptions parse_bench_options(int* argc, char** argv,
       opts.json_path.clear();
     } else if (std::strcmp(a, "--quiet") == 0) {
       opts.progress = false;
+    } else if (std::strcmp(a, "--dense") == 0) {
+      opts.dense = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(bench_name, 0);
     } else {

@@ -5,6 +5,8 @@
 //   --json PATH   results file path (default: <bench>.results.json)
 //   --no-json     disable the results file
 //   --quiet       suppress the stderr progress ticker
+//   --dense       dense evaluate-everything engine (escape hatch; results
+//                 are bit-identical to the default activity-driven engine)
 //   --help        usage
 //
 // Recognized flags are removed from argv so benches with positional
@@ -22,6 +24,7 @@ struct BenchOptions {
   unsigned threads = 0;     ///< 0 = ThreadPool::default_threads().
   std::string json_path;    ///< Empty = results file disabled.
   bool progress = true;
+  bool dense = false;       ///< Dense engine fallback (--dense).
 
   RunnerOptions runner() const { return {threads, progress}; }
 };

@@ -29,6 +29,7 @@ Json sweep_to_json(const SweepResult& result) {
     rec.set("lambda", cfg.lambda);
     rec.set("p_local", cfg.p_local_seq);
     rec.set("seed", cfg.seed);
+    rec.set("engine", cfg.dense_engine ? "dense" : "active");
     rec.set("warmup_cycles", cfg.warmup_cycles);
     rec.set("measure_cycles", cfg.measure_cycles);
     rec.set("drain_cycles", cfg.drain_cycles);
@@ -78,6 +79,9 @@ SweepResult sweep_from_json(const Json& j) {
     cfg.lambda = rec.at("lambda").as_double();
     cfg.p_local_seq = rec.at("p_local").as_double();
     cfg.seed = rec.at("seed").as_uint();
+    // Optional (absent in pre-scheduler documents): which engine produced the
+    // point. Both produce bit-identical physics; recorded for provenance.
+    cfg.dense_engine = rec.get("engine", Json("active")).as_string() == "dense";
     cfg.warmup_cycles = rec.at("warmup_cycles").as_uint();
     cfg.measure_cycles = rec.at("measure_cycles").as_uint();
     cfg.drain_cycles = rec.at("drain_cycles").as_uint();

@@ -1,0 +1,99 @@
+#pragma once
+// Activity primitives for the two-phase activity-driven scheduler.
+//
+// The engine evaluates only components whose activity flag is set. The flag
+// is raised by the wake plumbing:
+//  * a combinational ElasticBuffer push wakes its consumer immediately (the
+//    packet is visible this cycle; topological evaluation order guarantees
+//    the consumer has not been visited yet),
+//  * a registered ElasticBuffer wakes its consumer when the staged item
+//    becomes visible at the commit edge (so the consumer runs next cycle),
+//  * components with self-generated work (traffic generators, I$ refills,
+//    unhalted cores) simply never report idle() and stay in the active set.
+//
+// A component is put back to sleep by the engine right after an evaluate()
+// in which it reports idle(); invariant: a sleeping component's evaluate()
+// would be a no-op, and only a wake event can change that.
+
+#include <cstddef>
+#include <vector>
+
+namespace mempool {
+
+/// Activity flag mixin. Components start awake so the first cycle after
+/// build() evaluates everything once and lets the idle ones drop out.
+///
+/// The flag lives behind a (word, bit) pointer: stand-alone the component
+/// uses its own word, but once registered the engine rebinds it into one
+/// packed bitset (bind_activity_slot) so the per-cycle active-set scan
+/// iterates set bits of a few contiguous words instead of chasing a pointer
+/// per component across the heap.
+class Wakeable {
+ public:
+  Wakeable() = default;
+
+  Wakeable(const Wakeable&) = delete;
+  Wakeable& operator=(const Wakeable&) = delete;
+
+  void wake() { *word_ |= mask_; }
+  void sleep() { *word_ &= ~mask_; }
+  bool awake() const { return (*word_ & mask_) != 0; }
+
+  /// Move the flag into engine-owned storage, preserving its current value.
+  /// @p word must outlive this object's last wake()/sleep() call.
+  void bind_activity_slot(uint64_t* word, unsigned bit) {
+    const bool was_awake = awake();
+    word_ = word;
+    mask_ = 1ull << bit;
+    if (was_awake) {
+      *word_ |= mask_;
+    } else {
+      *word_ &= ~mask_;
+    }
+  }
+
+ private:
+  uint64_t own_flag_ = 1;
+  uint64_t* word_ = &own_flag_;
+  uint64_t mask_ = 1;
+};
+
+class CommitQueue;
+
+/// Interface for anything clocked by the engine's commit phase.
+class Clocked {
+ public:
+  virtual ~Clocked() = default;
+  virtual void commit() = 0;
+
+  /// Activity plumbing: the engine hands every registered element its commit
+  /// queue; elements that stage state lazily enqueue themselves when they
+  /// actually have something to commit, so the commit phase only touches
+  /// dirty elements instead of sweeping every buffer in the cluster.
+  virtual void bind_commit_queue(CommitQueue* /*queue*/) {}
+};
+
+/// Per-cycle list of clocked elements with staged state. An element enqueues
+/// itself at most once per cycle (an elastic buffer accepts a single staged
+/// push per cycle by construction), so no deduplication is needed.
+class CommitQueue {
+ public:
+  void enqueue(Clocked* c) { pending_.push_back(c); }
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Commit every enqueued element and reset for the next cycle.
+  void commit_all() {
+    for (Clocked* c : pending_) c->commit();
+    pending_.clear();
+  }
+
+  /// Drop the queue without committing (dense mode already committed the
+  /// full element list).
+  void clear() { pending_.clear(); }
+
+ private:
+  std::vector<Clocked*> pending_;
+};
+
+}  // namespace mempool

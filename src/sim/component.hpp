@@ -4,15 +4,19 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/activity.hpp"
 #include "sim/packet.hpp"
 
 namespace mempool {
 
 /// A synchronously evaluated hardware block. The engine calls evaluate() on
-/// every component once per cycle, in the topological order established by
-/// the cluster builder (response fabric -> clients -> request fabric ->
-/// banks), then commits all registered buffers.
-class Component {
+/// every *active* component once per cycle, in the topological order
+/// established by the cluster builder (response fabric -> clients -> request
+/// fabric -> banks), then commits the dirty buffers. In --dense mode every
+/// component is evaluated every cycle regardless of activity; both modes are
+/// cycle-for-cycle identical because an idle component's evaluate() is a
+/// no-op by contract.
+class Component : public Wakeable {
  public:
   explicit Component(std::string name) : name_(std::move(name)) {}
   virtual ~Component() = default;
@@ -21,6 +25,15 @@ class Component {
   Component& operator=(const Component&) = delete;
 
   virtual void evaluate(uint64_t cycle) = 0;
+
+  /// Activity contract: true when evaluate() would be a no-op this cycle and
+  /// every future cycle unless a wake event (buffer push/commit, response
+  /// delivery, refill request) arrives. The engine puts an idle component to
+  /// sleep right after evaluating it; components whose work is self-generated
+  /// (cores still running, generators still generating) return false.
+  /// The default is conservatively "never idle" so ad-hoc components (test
+  /// probes) are always evaluated, exactly as under the dense engine.
+  virtual bool idle() const { return false; }
 
   const std::string& name() const { return name_; }
 

@@ -17,42 +17,88 @@
 // Capacity 2 is the default: like a hardware skid buffer it sustains one
 // packet per cycle throughput even though the 'ready' signal is derived from
 // the pre-drain occupancy.
+//
+// Storage: bounded buffers up to kInlineCapacity keep their items in an
+// inline ring (the whole buffer is a few contiguous cache lines — the fabric
+// hot path never chases deque nodes); unbounded buffers (capacity 0, the
+// ideal TopX bank queues) and deeper ones fall back to std::deque.
+//
+// Activity plumbing: the component that owns this buffer as an input sets
+// itself as the consumer; pushes (combinational) and commits (registered)
+// wake it so the activity-driven engine evaluates it exactly when a packet
+// is visible. Registered buffers also enqueue themselves into the engine's
+// commit queue when staged, so the commit phase only touches dirty buffers.
+// An optional occupancy bit mirrors "holds a visible item" into a
+// switch-owned mask for sparse input scans.
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "common/check.hpp"
+#include "sim/activity.hpp"
 
 namespace mempool {
 
 enum class BufferMode : uint8_t { kCombinational, kRegistered };
 
-/// Interface for anything that can be clocked by the engine's commit phase.
-class Clocked {
- public:
-  virtual ~Clocked() = default;
-  virtual void commit() = 0;
-};
-
 template <typename T>
 class ElasticBuffer final : public Clocked {
  public:
+  /// Capacities up to this use the inline ring; 0 (unbounded) and deeper
+  /// buffers use a heap-backed deque.
+  static constexpr std::size_t kInlineCapacity = 4;
+
   /// @param mode     registered (1-cycle) or combinational (0-cycle) input.
   /// @param capacity max occupancy including the staged item; 0 = unbounded
   ///                 (used only by the ideal TopX fabric's bank queues).
   explicit ElasticBuffer(BufferMode mode = BufferMode::kCombinational,
                          std::size_t capacity = 2)
-      : mode_(mode), capacity_(capacity) {}
+      : mode_(mode), capacity_(capacity) {
+    if (capacity_ == 0 || capacity_ > kInlineCapacity) {
+      overflow_ = std::make_unique<std::deque<T>>();
+    }
+  }
 
+  // Non-copyable and non-movable: the engine's commit list, the switches'
+  // BufferSink adapters, and the wake plumbing all hold raw pointers to a
+  // registered buffer. A post-registration move (e.g. a vector reallocation)
+  // would leave those pointers committing / waking a moved-from shell, so
+  // moving is a construction-order bug by definition — owners use deque or
+  // reserve-before-emplace containers.
   ElasticBuffer(const ElasticBuffer&) = delete;
   ElasticBuffer& operator=(const ElasticBuffer&) = delete;
-  ElasticBuffer(ElasticBuffer&&) = default;
-  ElasticBuffer& operator=(ElasticBuffer&&) = default;
+  ElasticBuffer(ElasticBuffer&&) = delete;
+  ElasticBuffer& operator=(ElasticBuffer&&) = delete;
+
+  /// Activity hookup: @p consumer is woken whenever an item becomes visible
+  /// (push for combinational buffers, commit for registered ones).
+  void set_consumer(Wakeable* consumer) { consumer_ = consumer; }
+
+  /// Occupancy hookup: mirror "the FIFO holds a visible item" into bit
+  /// @p bit of @p word. Switches keep one occupancy word over their input
+  /// buffers so a sparse evaluate iterates set bits instead of touching
+  /// every (cache-cold) buffer. @p word must outlive the buffer's last
+  /// push/pop/commit.
+  void bind_occupancy_bit(uint64_t* word, unsigned bit) {
+    occ_word_ = word;
+    occ_mask_ = 1ull << bit;
+    if (count_ == 0) {
+      *word &= ~occ_mask_;
+    } else {
+      *word |= occ_mask_;
+    }
+  }
+
+  /// Engine hookup (via add_clocked): staged pushes enqueue this buffer for
+  /// the commit phase.
+  void bind_commit_queue(CommitQueue* queue) override { commit_queue_ = queue; }
 
   /// 'ready' as the upstream switch sees it this cycle.
   bool can_accept() const {
     if (capacity_ == 0) return true;
-    return fifo_.size() + (staged_valid_ ? 1u : 0u) < capacity_;
+    return count_ + (staged_valid_ ? 1u : 0u) < capacity_;
   }
 
   /// Push one item; caller must have checked can_accept().
@@ -64,31 +110,43 @@ class ElasticBuffer final : public Clocked {
       MEMPOOL_CHECK(!staged_valid_);
       staged_ = v;
       staged_valid_ = true;
+      if (commit_queue_ != nullptr) commit_queue_->enqueue(this);
     } else {
-      fifo_.push_back(v);
+      enqueue(v);
+      *occ_word_ |= occ_mask_;
+      if (consumer_ != nullptr) consumer_->wake();
     }
   }
 
-  bool empty() const { return fifo_.empty(); }
-  std::size_t size() const { return fifo_.size() + (staged_valid_ ? 1u : 0u); }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_ + (staged_valid_ ? 1u : 0u); }
 
   const T& front() const {
-    MEMPOOL_CHECK(!fifo_.empty());
-    return fifo_.front();
+    MEMPOOL_CHECK(count_ > 0);
+    return overflow_ ? overflow_->front() : ring_[head_];
   }
 
   T pop() {
-    MEMPOOL_CHECK(!fifo_.empty());
-    T v = fifo_.front();
-    fifo_.pop_front();
+    MEMPOOL_CHECK(count_ > 0);
+    --count_;
+    if (count_ == 0) *occ_word_ &= ~occ_mask_;
+    if (overflow_) {
+      T v = overflow_->front();
+      overflow_->pop_front();
+      return v;
+    }
+    T v = ring_[head_];
+    head_ = (head_ + 1) % kInlineCapacity;
     return v;
   }
 
-  /// Clock edge: staged item becomes visible.
+  /// Clock edge: staged item becomes visible (and the consumer must look).
   void commit() override {
     if (staged_valid_) {
-      fifo_.push_back(staged_);
+      enqueue(staged_);
       staged_valid_ = false;
+      *occ_word_ |= occ_mask_;
+      if (consumer_ != nullptr) consumer_->wake();
     }
   }
 
@@ -96,11 +154,32 @@ class ElasticBuffer final : public Clocked {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  void enqueue(const T& v) {
+    if (overflow_) {
+      overflow_->push_back(v);
+    } else {
+      // can_accept() (asserted at push, counted at stage time for commits)
+      // bounds count_ by capacity_ <= kInlineCapacity; re-check so a contract
+      // violation fails loudly instead of wrapping the ring.
+      MEMPOOL_CHECK(count_ < kInlineCapacity);
+      ring_[(head_ + count_) % kInlineCapacity] = v;
+    }
+    ++count_;
+  }
+
   BufferMode mode_;
   std::size_t capacity_;
-  std::deque<T> fifo_;
+  std::array<T, kInlineCapacity> ring_{};
+  uint32_t head_ = 0;
+  uint32_t count_ = 0;  ///< Visible items (FIFO only, staged excluded).
+  std::unique_ptr<std::deque<T>> overflow_;
   T staged_{};
   bool staged_valid_ = false;
+  Wakeable* consumer_ = nullptr;
+  CommitQueue* commit_queue_ = nullptr;
+  uint64_t own_occ_ = 0;          ///< Fallback occupancy word (unbound).
+  uint64_t* occ_word_ = &own_occ_;
+  uint64_t occ_mask_ = 1;
 };
 
 }  // namespace mempool

@@ -1,18 +1,50 @@
 #pragma once
-// Synchronous cycle engine.
+// Synchronous cycle engine with two-phase active-set scheduling.
 //
 // The MemPool model is a fixed component graph; there is no dynamic event
-// queue. Each cycle has two phases:
-//   1. evaluate: every component runs once, in builder-established
+// queue for packets. Each cycle has two phases:
+//   1. evaluate: active components run once, in builder-established
 //      topological order. Combinational buffers make packets pushed earlier
 //      in the same cycle visible to later components, which is how a packet
 //      crosses a chain of combinational switches in a single cycle.
-//   2. commit: every registered element latches (staged pushes become
-//      visible), then the cycle counter advances.
+//   2. commit: every buffer with a staged item latches (staged pushes become
+//      visible and wake their consumer), then the cycle counter advances.
+//
+// Scheduling modes:
+//   * activity-driven (default): only components whose wake flag is set are
+//     evaluated. Components register wake conditions instead of polling:
+//       - an elastic-buffer push/commit wakes the downstream component,
+//       - response delivery wakes the receiving client,
+//       - an I$ miss wakes the refill engine,
+//       - wake_at(cycle, w) arms a timed wake (traffic generators sleep
+//         between Poisson arrival events).
+//     A component that reports idle() after evaluating is put to sleep until
+//     one of those events re-arms it. The wake flags live in one contiguous
+//     engine-owned array, so the per-cycle scan is a word-wise sweep that
+//     skips 8 sleeping components per load. The commit phase walks only the
+//     buffers that staged something this cycle. When a step finds no awake
+//     component and nothing staged, the cluster cannot wake itself before
+//     the next timer (or ever, if none is armed), so run() fast-forwards the
+//     dead cycles and run_until_idle() returns.
+//   * dense (set_dense(true), the benches' --dense escape hatch): evaluate
+//     every component and commit every registered element each cycle — the
+//     original scheduler, kept as the equivalence oracle. Both modes are
+//     cycle-for-cycle bit-identical (asserted in tests/test_sim_equivalence):
+//     an idle component's evaluate() is a no-op by contract, and wake events
+//     strictly precede the evaluation that observes them thanks to the
+//     topological order (all combinational edges point forward; backward
+//     edges are registered and wake at the commit edge for the next cycle).
 
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
+#include "sim/activity.hpp"
 #include "sim/component.hpp"
 #include "sim/elastic_buffer.hpp"
 
@@ -20,31 +52,234 @@ namespace mempool {
 
 class Engine {
  public:
-  /// Register a component; evaluation follows registration order.
-  void add_component(Component* c) { components_.push_back(c); }
+  Engine() = default;
 
-  /// Register a clocked element for the commit phase.
-  void add_clocked(Clocked* c) { clocked_.push_back(c); }
+  // Buffers and components keep raw pointers to the engine's commit queue and
+  // flag array, so the engine must stay put once wired.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
-  /// Advance one cycle.
-  void step() {
-    for (Component* c : components_) c->evaluate(cycle_);
-    for (Clocked* c : clocked_) c->commit();
-    ++cycle_;
+  /// Register a component; evaluation follows registration order. Must
+  /// happen before the first step().
+  void add_component(Component* c) {
+    MEMPOOL_CHECK_MSG(!finalized_, "add_component after the first step");
+    components_.push_back(c);
   }
 
-  /// Advance @p n cycles.
+  /// Register a clocked element for the commit phase. The element is bound to
+  /// the engine's commit queue so it can self-report staged state.
+  void add_clocked(Clocked* c) {
+    clocked_.push_back(c);
+    c->bind_commit_queue(&commit_queue_);
+  }
+
+  /// Arm a timed wake: @p w is woken at the start of cycle @p cycle (or
+  /// immediately if @p cycle is not in the future). Components use this to
+  /// sleep through dead cycles they can predict — e.g. a traffic generator
+  /// sleeping until its next Poisson arrival. Near timers go into a bucketed
+  /// wheel (O(1) arm/fire); far ones overflow into a heap and migrate as
+  /// their window approaches.
+  void wake_at(uint64_t cycle, Wakeable* w) {
+    if (cycle <= cycle_) {
+      w->wake();
+      return;
+    }
+    if (cycle - cycle_ < kTimerWindow) {
+      wheel_[cycle & (kTimerWindow - 1)].push_back(w);
+    } else {
+      far_timers_.emplace(cycle, w);
+    }
+    ++armed_timers_;
+  }
+
+  /// Select the scheduler: false (default) = activity-driven, true = dense
+  /// evaluate-everything (the --dense escape hatch / equivalence oracle).
+  /// May be toggled between steps; both modes see the same state.
+  void set_dense(bool dense) { dense_ = dense; }
+  bool dense() const { return dense_; }
+
+  /// Advance one cycle.
+  void step() { step_work(); }
+
+  /// Advance @p n cycles. In activity-driven mode, once nothing is awake and
+  /// nothing is staged, the cycles up to the next armed timer (or the target)
+  /// are skipped in O(1) — they could not have changed any state.
   void run(uint64_t n) {
-    for (uint64_t i = 0; i < n; ++i) step();
+    const uint64_t target = cycle_ + n;
+    while (cycle_ < target) {
+      if (!step_work() && !dense_) {
+        const uint64_t next = next_timer_at_most(target);
+        if (next > cycle_) {
+          idle_cycles_skipped_ += next - cycle_;
+          cycle_ = next;
+        }
+      }
+    }
+  }
+
+  /// Advance until the cluster is quiescent or @p max_cycles elapsed;
+  /// returns the number of cycles advanced. In activity-driven mode, dead
+  /// stretches while only a timed wake is pending are fast-forwarded just
+  /// like run(); dense mode steps every cycle and polls the components'
+  /// idle() predicates.
+  uint64_t run_until_idle(uint64_t max_cycles) {
+    uint64_t advanced = 0;
+    while (advanced < max_cycles && !quiescent()) {
+      const uint64_t before = cycle_;
+      if (!step_work() && !dense_) {
+        // Nothing awake and nothing staged, yet not quiescent: a timed wake
+        // is armed — skip straight to it (bounded by the cycle budget).
+        const uint64_t next =
+            next_timer_at_most(before + (max_cycles - advanced));
+        if (next > cycle_) {
+          idle_cycles_skipped_ += next - cycle_;
+          cycle_ = next;
+        }
+      }
+      advanced += cycle_ - before;
+    }
+    return advanced;
+  }
+
+  /// True when no component has pending work, nothing awaits commit, and no
+  /// timer is armed — i.e. no future cycle can differ from this one (absent
+  /// external pokes).
+  bool quiescent() const {
+    if (!commit_queue_.empty() || armed_timers_ != 0) return false;
+    for (const Component* c : components_) {
+      // Activity invariant: a sleeping component is idle by construction, so
+      // only awake components need the (virtual) idle() check. Dense mode
+      // never clears wake flags and always takes the idle() path.
+      if (c->awake() && !c->idle()) return false;
+    }
+    return true;
   }
 
   uint64_t cycle() const { return cycle_; }
   std::size_t num_components() const { return components_.size(); }
+  std::size_t num_clocked() const { return clocked_.size(); }
+
+  // --- scheduler statistics (perf reporting and tests) -----------------------
+  /// Total component evaluate() calls across all cycles.
+  uint64_t evaluations() const { return evaluations_; }
+  /// Total commit() calls across all cycles.
+  uint64_t commits() const { return commits_; }
+  /// Cycles fast-forwarded by run() after quiescence was detected.
+  uint64_t idle_cycles_skipped() const { return idle_cycles_skipped_; }
 
  private:
+  /// Gather every component's wake flag into one packed bitset so the
+  /// active-set scan iterates set bits of a few contiguous words.
+  void finalize() {
+    finalized_ = true;
+    flags_.assign((components_.size() + 63u) / 64u, 0);
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      components_[i]->bind_activity_slot(&flags_[i / 64],
+                                         static_cast<unsigned>(i % 64));
+    }
+  }
+
+  /// Fire every timer due at the current cycle (wheel slot + any far timer
+  /// that is due or has entered the wheel window). Timer wakes are observed
+  /// by this cycle's scan.
+  void fire_timers() {
+    while (!far_timers_.empty() &&
+           far_timers_.top().first < cycle_ + kTimerWindow) {
+      const auto [due, w] = far_timers_.top();
+      far_timers_.pop();
+      if (due <= cycle_) {
+        w->wake();
+        --armed_timers_;
+      } else {
+        wheel_[due & (kTimerWindow - 1)].push_back(w);
+      }
+    }
+    auto& due_now = wheel_[cycle_ & (kTimerWindow - 1)];
+    if (!due_now.empty()) {
+      for (Wakeable* w : due_now) w->wake();
+      armed_timers_ -= due_now.size();
+      due_now.clear();
+    }
+  }
+
+  /// Earliest armed timer cycle, clamped to @p limit. Only called when the
+  /// cluster is otherwise quiescent, so the wheel scan is off the hot path.
+  uint64_t next_timer_at_most(uint64_t limit) const {
+    uint64_t best = limit;
+    if (!far_timers_.empty() && far_timers_.top().first < best) {
+      best = far_timers_.top().first;
+    }
+    for (uint64_t c = cycle_; c < cycle_ + kTimerWindow && c < best; ++c) {
+      if (!wheel_[c & (kTimerWindow - 1)].empty()) {
+        best = c;
+        break;
+      }
+    }
+    return best;
+  }
+
+  /// One cycle; returns true if any component was evaluated or any element
+  /// committed (always true in dense mode).
+  bool step_work() {
+    if (!finalized_) finalize();
+    fire_timers();
+    bool worked = false;
+    if (dense_) {
+      for (Component* c : components_) c->evaluate(cycle_);
+      evaluations_ += components_.size();
+      for (Clocked* c : clocked_) c->commit();
+      commits_ += clocked_.size();
+      // Buffers still self-reported; the full sweep above already committed
+      // them, so just reset the queue for the next cycle.
+      commit_queue_.clear();
+      worked = true;
+    } else {
+      for (std::size_t w = 0; w < flags_.size(); ++w) {
+        // Process set bits in ascending component order, re-reading the word
+        // after every evaluation: a component may wake a LATER one in this
+        // same word via a combinational push (must be seen this cycle), while
+        // a backward wake (e.g. an I$ miss arming the earlier-phase refill
+        // engine) stays pending for the next cycle — exactly the dense
+        // engine's semantics.
+        uint64_t visited = 0;  // bit b and everything below, once processed
+        uint64_t m;
+        while ((m = flags_[w] & ~visited) != 0) {
+          const unsigned b = std::countr_zero(m);
+          const uint64_t bit = 1ull << b;
+          visited |= bit | (bit - 1);
+          worked = true;
+          Component* c = components_[w * 64 + b];
+          c->evaluate(cycle_);
+          ++evaluations_;
+          if (c->idle()) c->sleep();
+        }
+      }
+      if (!commit_queue_.empty()) {
+        worked = true;
+        commits_ += commit_queue_.size();
+        commit_queue_.commit_all();
+      }
+    }
+    ++cycle_;
+    return worked;
+  }
+
   std::vector<Component*> components_;
   std::vector<Clocked*> clocked_;
+  std::vector<uint64_t> flags_;  ///< Packed wake bits, one per component.
+  CommitQueue commit_queue_;
+  static constexpr uint64_t kTimerWindow = 512;  ///< Wheel span (power of 2).
+  std::array<std::vector<Wakeable*>, kTimerWindow> wheel_;
+  using Timer = std::pair<uint64_t, Wakeable*>;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      far_timers_;
+  uint64_t armed_timers_ = 0;
   uint64_t cycle_ = 0;
+  bool dense_ = false;
+  bool finalized_ = false;
+  uint64_t evaluations_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t idle_cycles_skipped_ = 0;
 };
 
 }  // namespace mempool

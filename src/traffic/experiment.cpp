@@ -10,12 +10,14 @@
 
 namespace mempool {
 
-TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg) {
+TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg,
+                               TrafficCounters* counters_out) {
   const ClusterConfig& ccfg = ecfg.cluster;
   ccfg.validate();
 
   InstrMem imem(4096);  // unused by generators, required by the tile I$.
   Engine engine;
+  engine.set_dense(ecfg.dense_engine);
   Cluster cluster(ccfg, &imem);
   LatencyMonitor monitor(ecfg.warmup_cycles);
   monitor.set_measure_end(ecfg.warmup_cycles + ecfg.measure_cycles);
@@ -40,6 +42,24 @@ TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg) {
   cluster.build(engine);
 
   engine.run(ecfg.warmup_cycles + ecfg.measure_cycles + ecfg.drain_cycles);
+
+  if (counters_out != nullptr) {
+    const Cluster::FabricStats fs = cluster.fabric_stats();
+    TrafficCounters& c = *counters_out;
+    c.generated = monitor.generated();
+    c.injected = monitor.injected();
+    c.completed = monitor.completed();
+    c.completed_in_window = monitor.completed_in_window();
+    c.tile_req_traversals = fs.tile_req_traversals;
+    c.tile_resp_traversals = fs.tile_resp_traversals;
+    c.dir_traversals = fs.dir_traversals;
+    c.remote_resp_traversals = fs.remote_resp_traversals;
+    c.group_local_traversals = fs.group_local_traversals;
+    c.butterfly_traversals = fs.butterfly_traversals;
+    c.bank_accesses = fs.bank_accesses;
+    c.bank_stall_cycles = fs.bank_stall_cycles;
+    c.final_cycle = engine.cycle();
+  }
 
   TrafficPoint p;
   p.offered = ecfg.lambda;

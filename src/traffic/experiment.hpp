@@ -18,6 +18,10 @@ struct TrafficExperimentConfig {
   uint64_t measure_cycles = 4000;
   uint64_t drain_cycles = 2000;
   uint64_t seed = 1;
+  /// Use the dense evaluate-everything engine instead of the activity-driven
+  /// scheduler (the --dense escape hatch). Results are bit-identical either
+  /// way; dense is the equivalence oracle and perf baseline.
+  bool dense_engine = false;
 };
 
 struct TrafficPoint {
@@ -34,6 +38,26 @@ struct TrafficPoint {
   bool operator==(const TrafficPoint&) const = default;
 };
 
+/// Detailed per-run counters for the equivalence harness: everything the
+/// monitor and fabric count, compared bit-for-bit between engine modes.
+struct TrafficCounters {
+  uint64_t generated = 0;
+  uint64_t injected = 0;
+  uint64_t completed = 0;
+  uint64_t completed_in_window = 0;
+  uint64_t tile_req_traversals = 0;
+  uint64_t tile_resp_traversals = 0;
+  uint64_t dir_traversals = 0;
+  uint64_t remote_resp_traversals = 0;
+  uint64_t group_local_traversals = 0;
+  uint64_t butterfly_traversals = 0;
+  uint64_t bank_accesses = 0;
+  uint64_t bank_stall_cycles = 0;
+  uint64_t final_cycle = 0;  ///< Engine cycle after the run (incl. skipped).
+
+  bool operator==(const TrafficCounters&) const = default;
+};
+
 /// Run one (topology, λ, p_local) point.
 ///
 /// Thread-safe and re-entrant: every invocation owns its Engine, Cluster,
@@ -43,7 +67,12 @@ struct TrafficPoint {
 /// mutable state and the result is a pure function of @p cfg — the parallel
 /// runner (src/runner/) relies on this to shard points across threads with
 /// bit-identical results for any thread count.
-TrafficPoint run_traffic_point(const TrafficExperimentConfig& cfg);
+///
+/// @p counters_out, when non-null, receives the full monitor + fabric
+/// counter set (the cycle-equivalence tests assert these match between the
+/// activity-driven and dense engines).
+TrafficPoint run_traffic_point(const TrafficExperimentConfig& cfg,
+                               TrafficCounters* counters_out = nullptr);
 
 /// Sweep λ over @p loads with otherwise fixed parameters, one point after
 /// another on the calling thread. This is the serial reference path; use

@@ -1,13 +1,14 @@
 #include "traffic/generator.hpp"
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace mempool {
 
 TrafficGenerator::TrafficGenerator(std::string name, uint16_t id,
                                    uint16_t tile, const ClusterConfig& cfg,
-                                   const MemoryLayout* layout,
-                                   const Engine* engine,
+                                   const MemoryLayout* layout, Engine* engine,
                                    const TrafficConfig& tcfg,
                                    LatencyMonitor* monitor)
     : Client(std::move(name), id, tile),
@@ -16,10 +17,12 @@ TrafficGenerator::TrafficGenerator(std::string name, uint16_t id,
       engine_(engine),
       tcfg_(tcfg),
       monitor_(monitor),
-      rng_(tcfg.seed * 0x9E3779B97F4A7C15ull + id + 1) {
+      rng_(traffic_stream_seed(tcfg.seed, id)) {
   MEMPOOL_CHECK(layout_ != nullptr && engine_ != nullptr);
   MEMPOOL_CHECK(tcfg_.lambda >= 0.0);
   MEMPOOL_CHECK(tcfg_.p_local_seq >= 0.0 && tcfg_.p_local_seq <= 1.0);
+  p_zero_ = std::exp(-tcfg_.lambda);
+  p_nonzero_ = -std::expm1(-tcfg_.lambda);
 }
 
 uint32_t TrafficGenerator::draw_address() {
@@ -41,26 +44,62 @@ uint32_t TrafficGenerator::draw_address() {
   return 4 * static_cast<uint32_t>(rng_.next_below(words));
 }
 
+void TrafficGenerator::schedule_next_arrival(uint64_t from) {
+  next_arrival_ = UINT64_MAX;
+  if (tcfg_.lambda <= 0.0) return;
+  // Gap G >= 1 to the next cycle with >= 1 arrival: geometric with success
+  // probability p_nonzero_; inversion with ln(q) = -λ exactly.
+  const double u = 1.0 - rng_.next_double();  // (0, 1]
+  const double g = std::floor(std::log(u) / -tcfg_.lambda);
+  if (!(g < 1e18)) return;  // effectively never (also catches inf/NaN)
+  const uint64_t arrival = from + static_cast<uint64_t>(g);
+  if (arrival >= tcfg_.stop_generation_at || arrival < from) return;
+  next_arrival_ = arrival;
+  engine_->wake_at(arrival, this);
+}
+
+uint32_t TrafficGenerator::draw_arrival_count() {
+  // K ~ Poisson(λ) conditioned on K >= 1, by inversion over the pmf
+  // q·λ^k/k! scaled into the conditional mass 1 - q.
+  const double u = rng_.next_double() * p_nonzero_;
+  double term = p_zero_ * tcfg_.lambda;  // pmf(1)
+  double cum = term;
+  uint32_t k = 1;
+  while (cum <= u && k < 4096) {
+    ++k;
+    term *= tcfg_.lambda / k;
+    cum += term;
+  }
+  return k;
+}
+
 void TrafficGenerator::deliver(const Packet& resp) {
   ++completed_;
   if (monitor_) monitor_->on_response(engine_->cycle(), resp.birth);
 }
 
 void TrafficGenerator::evaluate(uint64_t cycle) {
-  // Open-loop Poisson arrivals.
+  // Open-loop Poisson arrivals, sampled per arrival event (see header).
   if (cycle < tcfg_.stop_generation_at) {
-    const uint32_t arrivals = rng_.next_poisson(tcfg_.lambda);
-    for (uint32_t i = 0; i < arrivals; ++i) {
-      Packet p;
-      p.op = MemOp::kLoad;
-      p.src = id_;
-      p.src_tile = tile_;
-      p.tag = seq_++;
-      p.birth = cycle;
-      layout_->route(p, draw_address());
-      queue_.push_back(p);
-      ++generated_;
-      if (monitor_) monitor_->on_generated(cycle);
+    if (!arrivals_init_) {
+      arrivals_init_ = true;
+      schedule_next_arrival(cycle);
+    }
+    if (cycle == next_arrival_) {
+      const uint32_t arrivals = draw_arrival_count();
+      for (uint32_t i = 0; i < arrivals; ++i) {
+        Packet p;
+        p.op = MemOp::kLoad;
+        p.src = id_;
+        p.src_tile = tile_;
+        p.tag = seq_++;
+        p.birth = cycle;
+        layout_->route(p, draw_address());
+        queue_.push_back(p);
+        ++generated_;
+        if (monitor_) monitor_->on_generated(cycle);
+      }
+      schedule_next_arrival(cycle + 1);
     }
   }
   // Inject at most one request per cycle (the core's single LSU port).

@@ -8,6 +8,15 @@
 // own tile's sequential region with probability p_local and the interleaved
 // region otherwise.
 //
+// Arrival sampling is event-driven but distribution-identical to drawing a
+// Poisson(λ) count every cycle: the gap to the next cycle with >= 1 arrival
+// is geometric with success probability 1 - e^-λ, and the count on that cycle
+// is Poisson conditioned on being nonzero. Between arrival events the
+// generator registers a timed wake (Engine::wake_at) and sleeps, so a
+// mostly-idle cluster costs nothing to simulate; under the dense engine the
+// same state machine simply ignores the evaluate() calls before the scheduled
+// arrival cycle — both engines see the identical RNG stream and traffic.
+//
 // The source queue is open-loop: arrivals accumulate regardless of fabric
 // backpressure and at most one request is injected per cycle. Latency is
 // measured from generation (birth) to response arrival, so queueing delay is
@@ -32,15 +41,34 @@ struct TrafficConfig {
   uint64_t stop_generation_at = UINT64_MAX;  ///< Drain phase start.
 };
 
+/// Per-generator RNG stream seed: both the experiment seed and the generator
+/// id go through SplitMix64 finalization, so no arithmetic structure of the
+/// (seed, id) grid survives into the xoshiro state. (A plain
+/// `seed * gamma + id` mix collapses to `id` for seed == 0, correlating all
+/// generators of the cluster.) Exposed for the decorrelation test.
+constexpr uint64_t traffic_stream_seed(uint64_t seed, uint16_t id) {
+  return splitmix64(splitmix64(seed) ^ (id + 1ull));
+}
+
 class TrafficGenerator final : public Client {
  public:
   TrafficGenerator(std::string name, uint16_t id, uint16_t tile,
                    const ClusterConfig& cfg, const MemoryLayout* layout,
-                   const Engine* engine, const TrafficConfig& tcfg,
+                   Engine* engine, const TrafficConfig& tcfg,
                    LatencyMonitor* monitor);
 
   void deliver(const Packet& resp) override;
   void evaluate(uint64_t cycle) override;
+
+  /// Activity contract: with the source queue flushed the generator needs no
+  /// evaluation before its next scheduled arrival event, for which a timed
+  /// wake is armed (or ever, once the generation window has closed).
+  bool idle() const override {
+    if (!queue_.empty()) return false;
+    const uint64_t cycle = engine_->cycle();
+    if (cycle >= tcfg_.stop_generation_at) return true;
+    return arrivals_init_ && next_arrival_ != cycle;
+  }
 
   std::size_t queue_depth() const { return queue_.size(); }
   uint64_t generated() const { return generated_; }
@@ -48,13 +76,22 @@ class TrafficGenerator final : public Client {
 
  private:
   uint32_t draw_address();
+  /// Sample the gap to the next nonzero-arrival cycle (>= @p from) and arm
+  /// the timed wake for it.
+  void schedule_next_arrival(uint64_t from);
+  /// Sample the arrival count of an arrival cycle: Poisson(λ) | count >= 1.
+  uint32_t draw_arrival_count();
 
   const ClusterConfig* cfg_;
   const MemoryLayout* layout_;
-  const Engine* engine_;
+  Engine* engine_;
   TrafficConfig tcfg_;
   LatencyMonitor* monitor_;
   Rng rng_;
+  double p_zero_ = 1.0;      ///< e^-λ: P(no arrival in a cycle).
+  double p_nonzero_ = 0.0;   ///< -expm1(-λ), kept for precision at small λ.
+  uint64_t next_arrival_ = UINT64_MAX;
+  bool arrivals_init_ = false;
   std::deque<Packet> queue_;
   uint64_t generated_ = 0;
   uint64_t completed_ = 0;

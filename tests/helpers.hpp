@@ -7,6 +7,7 @@
 #include "core/client.hpp"
 #include "core/system.hpp"
 #include "isa/text_asm.hpp"
+#include "traffic/probe.hpp"
 
 namespace mempool::test {
 
@@ -35,58 +36,8 @@ inline std::string only_core0(const std::string& body) {
   )" + body;
 }
 
-/// A client that issues exactly one load when armed and records the response
-/// arrival cycle — used to measure zero-load latencies precisely.
-class ProbeClient final : public Client {
- public:
-  ProbeClient(uint16_t id, uint16_t tile, const MemoryLayout* layout)
-      : Client("probe" + std::to_string(id), id, tile), layout_(layout) {}
-
-  /// Arm a single load to @p cpu_addr, issued at the next evaluate().
-  void arm(uint32_t cpu_addr) {
-    armed_ = true;
-    addr_ = cpu_addr;
-  }
-
-  void deliver(const Packet& p) override {
-    // The response phase of cycle C runs before the clients evaluate, so our
-    // last evaluate() was at C-1.
-    response_cycle_ = last_cycle_ + 1;
-    data_ = p.data;
-    ++responses_;
-  }
-
-  void evaluate(uint64_t cycle) override {
-    last_cycle_ = cycle;
-    if (armed_) {
-      Packet p;
-      p.op = MemOp::kLoad;
-      p.src = id_;
-      p.src_tile = tile_;
-      p.birth = cycle;
-      layout_->route(p, addr_);
-      if (port_->try_issue(p)) {
-        armed_ = false;
-        issue_cycle_ = cycle;
-      }
-    }
-  }
-
-  uint64_t issue_cycle() const { return issue_cycle_; }
-  uint64_t response_cycle() const { return response_cycle_; }
-  uint64_t latency() const { return response_cycle_ - issue_cycle_; }
-  uint32_t data() const { return data_; }
-  uint32_t responses() const { return responses_; }
-
- private:
-  const MemoryLayout* layout_;
-  bool armed_ = false;
-  uint32_t addr_ = 0;
-  uint32_t data_ = 0;
-  uint32_t responses_ = 0;
-  uint64_t issue_cycle_ = 0;
-  uint64_t response_cycle_ = 0;
-  uint64_t last_cycle_ = 0;
-};
+/// The single-load probe used to measure zero-load latencies precisely —
+/// the shared implementation lives in src/traffic/probe.hpp.
+using mempool::ProbeClient;
 
 }  // namespace mempool::test

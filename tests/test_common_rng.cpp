@@ -1,9 +1,33 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <set>
+
 #include "common/rng.hpp"
 
 namespace mempool {
 namespace {
+
+TEST(SplitMix64, KnownAnswer) {
+  // Reference values from the canonical SplitMix64 — pins the constants
+  // against typo regressions. (sm(0) is the well-known 0xE220A8397B1DCDAF.)
+  EXPECT_EQ(splitmix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(splitmix64(0x1234567ull), 0x3A34CE6380FC0BC5ull);
+  EXPECT_EQ(splitmix64(0x1234567ull + 0x9E3779B97F4A7C15ull),
+            0xC05A677850DC981Aull);
+}
+
+TEST(SplitMix64, AvalanchesNeighboringInputs) {
+  // Consecutive inputs must differ in ~32 of 64 output bits: the finalizer
+  // destroys the arithmetic structure that plain multiplicative seeding
+  // leaks into the generator state.
+  const uint64_t probes[] = {0, 1, 1000, 0x9E3779B97F4A7C15ull};
+  for (uint64_t x : probes) {
+    const int flips = std::popcount(splitmix64(x) ^ splitmix64(x + 1));
+    EXPECT_GE(flips, 16) << "x=" << x;
+    EXPECT_LE(flips, 48) << "x=" << x;
+  }
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(123), b(123);

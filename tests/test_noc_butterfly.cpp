@@ -57,8 +57,10 @@ TEST_P(ButterflyAllPairs, EveryPairDelivered) {
   }
 }
 
+// 256 endpoints covers the multi-word occupancy/arbitration masks (the
+// largest butterfly ClusterConfig::validate() admits).
 INSTANTIATE_TEST_SUITE_P(Sizes, ButterflyAllPairs,
-                         ::testing::Values(4u, 16u, 64u));
+                         ::testing::Values(4u, 16u, 64u, 256u));
 
 TEST(Butterfly, PermutationTrafficAllDeliveredConcurrently) {
   // The identity permutation is conflict-free in an omega network.

@@ -1,10 +1,27 @@
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
+#include "sim/component.hpp"
 #include "sim/elastic_buffer.hpp"
+#include "sim/engine.hpp"
 #include "sim/packet.hpp"
 
 namespace mempool {
 namespace {
+
+// Regression (would compile before the fix): ElasticBuffer used to default
+// its move constructor/assignment while the engine's commit list, BufferSink
+// adapters, and the wake plumbing hold raw pointers to registered buffers —
+// a post-registration move (e.g. a vector reallocation) left the engine
+// committing a moved-from shell. The buffer is now pinned; owners use deque
+// or reserve-before-emplace containers.
+static_assert(!std::is_move_constructible_v<ElasticBuffer<int>>,
+              "ElasticBuffer must be pinned: raw pointers are registered");
+static_assert(!std::is_move_assignable_v<ElasticBuffer<int>>,
+              "ElasticBuffer must be pinned: raw pointers are registered");
+static_assert(!std::is_copy_constructible_v<ElasticBuffer<Packet>>);
+static_assert(!std::is_copy_assignable_v<ElasticBuffer<Packet>>);
 
 TEST(ElasticBuffer, CombinationalPushIsVisibleSameCycle) {
   ElasticBuffer<int> b(BufferMode::kCombinational, 2);
@@ -69,6 +86,30 @@ TEST(ElasticBuffer, UnboundedCapacityZero) {
     b.push(i);
   }
   EXPECT_EQ(b.size(), 10000u);
+}
+
+TEST(ElasticBuffer, CombinationalPushWakesConsumer) {
+  ElasticBuffer<int> b(BufferMode::kCombinational, 2);
+  Wakeable consumer;
+  consumer.sleep();
+  b.set_consumer(&consumer);
+  b.push(1);
+  EXPECT_TRUE(consumer.awake()) << "visible item must wake the consumer";
+}
+
+TEST(ElasticBuffer, RegisteredPushWakesConsumerOnlyAtCommit) {
+  ElasticBuffer<int> b(BufferMode::kRegistered, 2);
+  Wakeable consumer;
+  consumer.sleep();
+  b.set_consumer(&consumer);
+  CommitQueue queue;
+  b.bind_commit_queue(&queue);
+  b.push(7);
+  EXPECT_FALSE(consumer.awake()) << "staged item is not visible yet";
+  EXPECT_EQ(queue.size(), 1u) << "staged push self-reports for commit";
+  queue.commit_all();
+  EXPECT_TRUE(consumer.awake()) << "commit makes the item visible";
+  EXPECT_EQ(b.pop(), 7);
 }
 
 TEST(ElasticBuffer, SustainedFullThroughputAcrossRegisterBoundary) {

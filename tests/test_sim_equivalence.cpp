@@ -1,0 +1,184 @@
+// Cycle-equivalence harness (the correctness bar of the activity-driven
+// scheduler): representative fig5/fig6/tab_zero_load points and an
+// execution-driven program are run under both the activity-driven and the
+// dense engine, and every observable — latency tables, monitor counters,
+// fabric traversal/stall counters, core stats, memory contents — must be
+// bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/system.hpp"
+#include "isa/text_asm.hpp"
+#include "mem/imem.hpp"
+#include "noc/monitor.hpp"
+#include "traffic/experiment.hpp"
+#include "traffic/generator.hpp"
+
+namespace mempool {
+namespace {
+
+TrafficExperimentConfig traffic_cfg(Topology topo, bool scramble,
+                                    double lambda, double p_local) {
+  TrafficExperimentConfig e;
+  e.cluster = ClusterConfig::mini(topo, scramble);
+  e.lambda = lambda;
+  e.p_local_seq = p_local;
+  e.warmup_cycles = 200;
+  e.measure_cycles = 800;
+  e.drain_cycles = 400;
+  return e;
+}
+
+void expect_engines_equivalent(TrafficExperimentConfig cfg,
+                               const std::string& what) {
+  TrafficCounters ca, cd;
+  cfg.dense_engine = false;
+  const TrafficPoint pa = run_traffic_point(cfg, &ca);
+  cfg.dense_engine = true;
+  const TrafficPoint pd = run_traffic_point(cfg, &cd);
+  EXPECT_EQ(pa, pd) << what << ": latency/throughput table diverged";
+  EXPECT_EQ(ca, cd) << what << ": monitor/fabric counters diverged";
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<Topology> {};
+
+TEST_P(EngineEquivalence, Fig5PointsBitIdentical) {
+  // Low-λ (the zero-load regime the scheduler accelerates) and a point past
+  // Top1's saturation knee (heavy backpressure, retries, blocked arbiters).
+  for (double lambda : {0.02, 0.30}) {
+    expect_engines_equivalent(
+        traffic_cfg(GetParam(), false, lambda, 0.0),
+        std::string(topology_name(GetParam())) + " λ=" + std::to_string(lambda));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, EngineEquivalence,
+                         ::testing::Values(Topology::kTop1, Topology::kTop4,
+                                           Topology::kTopH, Topology::kTopX),
+                         [](const auto& info) {
+                           return topology_name(info.param);
+                         });
+
+TEST(EngineEquivalenceFig6, HybridAddressingPointsBitIdentical) {
+  for (double p_local : {0.0, 0.5, 1.0}) {
+    expect_engines_equivalent(
+        traffic_cfg(Topology::kTopH, true, 0.25, p_local),
+        "TopH scrambled p_local=" + std::to_string(p_local));
+  }
+}
+
+TEST(EngineEquivalenceZeroLoad, PaperClusterLowLambda) {
+  // One full-size (256-core) point in the tab_zero_load regime.
+  TrafficExperimentConfig cfg;
+  cfg.cluster = ClusterConfig::paper(Topology::kTopH, false);
+  cfg.lambda = 0.01;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 300;
+  cfg.drain_cycles = 200;
+  expect_engines_equivalent(cfg, "paper TopH λ=0.01");
+}
+
+TEST(EngineEquivalenceExec, SnitchProgramBitIdentical) {
+  // Execution-driven equivalence: cores halt at different times (different
+  // fabric distances), exercising the sleep path, the I$ wake path, and the
+  // late-response delivery into halted cores.
+  const std::string src = R"(
+    _start:
+      csrr t0, mhartid
+      slli t1, t0, 2
+      li t5, 12
+    loop:
+      sw t0, 0(t1)
+      lw t2, 0(t1)
+      addi t1, t1, 256
+      addi t5, t5, -1
+      bnez t5, loop
+      li t6, 0xC0000000
+      sw zero, 0(t6)
+  )";
+  auto run_one = [&](bool dense) {
+    const ClusterConfig cfg = ClusterConfig::mini(Topology::kTopH, true);
+    auto sys = std::make_unique<System>(cfg);
+    sys->engine().set_dense(dense);
+    sys->load_program(isa::assemble_text(src));
+    const System::RunResult r = sys->run(100000);
+    EXPECT_TRUE(r.all_halted);
+    return std::make_pair(std::move(sys), r);
+  };
+  auto [active, ra] = run_one(false);
+  auto [dense, rd] = run_one(true);
+
+  EXPECT_EQ(ra.cycles, rd.cycles);
+  const SnitchCore::Stats sa = active->aggregate_core_stats();
+  const SnitchCore::Stats sd = dense->aggregate_core_stats();
+  EXPECT_EQ(sa.instret, sd.instret);
+  EXPECT_EQ(sa.cycles, sd.cycles);
+  EXPECT_EQ(sa.stall_fetch, sd.stall_fetch);
+  EXPECT_EQ(sa.stall_raw, sd.stall_raw);
+  EXPECT_EQ(sa.stall_rob, sd.stall_rob);
+  EXPECT_EQ(sa.stall_port, sd.stall_port);
+  EXPECT_EQ(sa.stall_ctrl, sd.stall_ctrl);
+  EXPECT_EQ(sa.loads_local, sd.loads_local);
+  EXPECT_EQ(sa.loads_remote, sd.loads_remote);
+  EXPECT_EQ(sa.stores_local, sd.stores_local);
+  EXPECT_EQ(sa.stores_remote, sd.stores_remote);
+  EXPECT_EQ(sa.resp_latency_sum, sd.resp_latency_sum);
+  EXPECT_EQ(sa.resp_count, sd.resp_count);
+  for (uint32_t c = 0; c < active->num_cores(); ++c) {
+    EXPECT_EQ(active->core(c).exit_code(), dense->core(c).exit_code());
+    EXPECT_EQ(active->core(c).pc(), dense->core(c).pc()) << "core " << c;
+  }
+  EXPECT_EQ(active->read_words(0, 256), dense->read_words(0, 256));
+  const auto fa = active->cluster().fabric_stats();
+  const auto fd = dense->cluster().fabric_stats();
+  EXPECT_EQ(fa.bank_accesses, fd.bank_accesses);
+  EXPECT_EQ(fa.bank_stall_cycles, fd.bank_stall_cycles);
+  EXPECT_EQ(fa.icache_hits, fd.icache_hits);
+  EXPECT_EQ(fa.icache_misses, fd.icache_misses);
+  EXPECT_EQ(fa.icache_refills, fd.icache_refills);
+  EXPECT_EQ(fa.butterfly_traversals, fd.butterfly_traversals);
+  EXPECT_EQ(fa.group_local_traversals, fd.group_local_traversals);
+}
+
+TEST(EngineEquivalenceWork, ActiveSetEvaluatesStrictlyLess) {
+  // The point of the scheduler: at low load the active engine must evaluate
+  // far fewer components than the dense sweep (deterministic work proxy for
+  // the ≥3x wall-clock target measured by bench/micro_sim_speed).
+  const ClusterConfig cfg = ClusterConfig::mini(Topology::kTopH, false);
+  auto build_and_run = [&](bool dense) {
+    InstrMem imem(4096);
+    Engine engine;
+    engine.set_dense(dense);
+    Cluster cluster(cfg, &imem);
+    LatencyMonitor monitor(0);
+    TrafficConfig tcfg;
+    tcfg.lambda = 0.02;
+    tcfg.stop_generation_at = 1500;
+    std::vector<std::unique_ptr<TrafficGenerator>> gens;
+    std::vector<Client*> clients;
+    for (uint32_t c = 0; c < cfg.num_cores(); ++c) {
+      gens.push_back(std::make_unique<TrafficGenerator>(
+          "gen" + std::to_string(c), static_cast<uint16_t>(c),
+          static_cast<uint16_t>(c / cfg.cores_per_tile), cfg,
+          &cluster.layout(), &engine, tcfg, &monitor));
+      clients.push_back(gens.back().get());
+    }
+    cluster.attach_clients(clients);
+    cluster.build(engine);
+    engine.run(2000);
+    return std::make_pair(engine.evaluations(), monitor.completed());
+  };
+  const auto [active_evals, active_completed] = build_and_run(false);
+  const auto [dense_evals, dense_completed] = build_and_run(true);
+  EXPECT_EQ(active_completed, dense_completed);
+  EXPECT_LT(active_evals * 3, dense_evals)
+      << "active set should do <1/3 of the dense evaluations at λ=0.02";
+}
+
+}  // namespace
+}  // namespace mempool

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "traffic/experiment.hpp"
 #include "traffic/generator.hpp"
 
@@ -94,6 +98,46 @@ TEST(Traffic, SweepIsMonotoneInOfferedLoad) {
   ASSERT_EQ(pts.size(), 3u);
   EXPECT_LT(pts[0].avg_latency, pts[2].avg_latency);
   EXPECT_LT(pts[0].accepted, pts[2].accepted);
+}
+
+TEST(Traffic, StreamSeedsDecorrelatedAcrossSeedAndId) {
+  // Regression: the seed used to enter the per-generator RNG as
+  // `seed * gamma + id + 1`, which collapses to `id + 1` for seed == 0 —
+  // every experiment with seed 0 reused one fixed family of streams, and
+  // (seed, id) pairs could collide outright. The SplitMix64-finalized mix
+  // must give every (seed, id) pair a distinct stream with decorrelated
+  // first draws.
+  std::set<uint64_t> stream_seeds;
+  std::set<uint64_t> first_draws;
+  const std::vector<uint64_t> seeds = {0, 1, 2, 42, 999};
+  const uint16_t ids = 64;
+  for (uint64_t seed : seeds) {
+    for (uint16_t id = 0; id < ids; ++id) {
+      stream_seeds.insert(traffic_stream_seed(seed, id));
+      first_draws.insert(Rng(traffic_stream_seed(seed, id)).next_u64());
+    }
+  }
+  EXPECT_EQ(stream_seeds.size(), seeds.size() * ids)
+      << "stream seeds must be unique per (seed, id)";
+  EXPECT_EQ(first_draws.size(), seeds.size() * ids)
+      << "first draws must not repeat across generators";
+  // seed==0 must not degenerate: its streams differ from the id+1 family the
+  // old multiplicative mix produced.
+  for (uint16_t id = 0; id < ids; ++id) {
+    EXPECT_NE(traffic_stream_seed(0, id), static_cast<uint64_t>(id) + 1);
+  }
+}
+
+TEST(Traffic, SeedZeroProducesIndependentGenerators) {
+  // With the degenerate mix, seed 0 correlated all generators; the physics
+  // (rates) must stay sane and the realization must differ from seed 1.
+  auto cfg = base_cfg(Topology::kTopH, false, 0.2);
+  cfg.seed = 0;
+  const auto p0 = run_traffic_point(cfg);
+  EXPECT_NEAR(p0.generated, 0.2, 0.02);
+  cfg.seed = 1;
+  const auto p1 = run_traffic_point(cfg);
+  EXPECT_NE(p0.completed, p1.completed);
 }
 
 TEST(Traffic, MonitorWindows) {

@@ -15,6 +15,7 @@
 #include "core/system.hpp"
 #include "kernels/kernel.hpp"
 #include "kernels/matmul.hpp"
+#include "noc/fabric.hpp"
 #include "power/energy_model.hpp"
 #include "runner/bench_cli.hpp"
 #include "runner/parallel.hpp"
@@ -57,6 +58,25 @@ int main(int argc, char** argv) {
                             model.local_load().interconnect,
                         2)});
   r.print(std::cout);
+
+  // Every fabric plugin prices its own analytic rows on its canonical
+  // configuration — the hierarchical tiers of TopH2 (cross-super-group loads
+  // crossing a 3-layer die-spanning butterfly) show up here with zero edits
+  // to the energy model.
+  std::cout << "\nPer-topology analytic loads (registry, pJ):\n";
+  Table reg({"topology", "instruction", "core", "interconnect", "memory",
+             "total"});
+  for (const std::string& name : FabricRegistry::names()) {
+    const FabricTopology& topo = FabricRegistry::get(name);
+    const ClusterConfig tcfg = ClusterConfig::paper(TopologySpec{name}, true);
+    for (const auto& row : topo.energy_rows(tcfg, model.params())) {
+      reg.add_row({name, row.label, Table::num(row.energy.core, 1),
+                   Table::num(row.energy.interconnect, 1),
+                   Table::num(row.energy.memory, 1),
+                   Table::num(row.energy.total(), 1)});
+    }
+  }
+  reg.print(std::cout);
 
   // --- measured cross-check on a real run -------------------------------------
   // A single simulation, but still dispatched through the runner pool so the
@@ -107,6 +127,7 @@ int main(int argc, char** argv) {
 
   Json results = Json::object();
   results.set("energy_per_instruction", t.to_json());
+  results.set("registry_rows", reg.to_json());
   results.set("paper_ratios", r.to_json());
   results.set("measured_cross_check", m.to_json());
   runner::write_bench_results(opts, pool.num_threads(), wall,

@@ -3,8 +3,14 @@
 // 5 cycles to any remote tile on Top1/Top4/TopH-cross-group, 1 cycle on the
 // ideal TopX. Measured with single-load probes on an idle fabric.
 //
-// The four topologies are measured concurrently on the runner pool; each
-// task owns its cluster, so the probe sequences cannot interfere.
+// The "paper" column is each fabric plugin's self-reported latency model
+// (FabricTopology::latency_summary); the registry contract test pins the
+// measured probes to the full per-tile model. Run with `--topology TopH2`
+// (or any registered plugin) to measure one topology instead of the default
+// four — TopH2 adds a fourth tier: 7 cycles across super-groups.
+//
+// The topologies are measured concurrently on the runner pool; each task
+// owns its cluster, so the probe sequences cannot interfere.
 
 #include <chrono>
 #include <iostream>
@@ -14,6 +20,7 @@
 #include "common/stats.hpp"
 #include "core/cluster.hpp"
 #include "mem/imem.hpp"
+#include "noc/fabric.hpp"
 #include "runner/bench_cli.hpp"
 #include "runner/parallel.hpp"
 #include "traffic/probe.hpp"
@@ -56,13 +63,15 @@ struct TopoLatency {
   uint64_t remote = 0;
   uint64_t worst = 0;
   double mean = 0;
+  uint32_t tiles = 0;
 };
 
-TopoLatency measure(Topology topo, bool dense) {
+TopoLatency measure(const TopologySpec& topo, bool dense) {
   const ClusterConfig cfg = ClusterConfig::paper(topo, true);
   Rig rig(cfg, dense);
   auto addr = [&](uint32_t tile) { return tile * cfg.seq_region_bytes; };
   TopoLatency out;
+  out.tiles = cfg.num_tiles;
   out.own = rig.probe(0, addr(0));
   out.same_group = rig.probe(0, addr(3));
   out.remote = rig.probe(0, addr(cfg.num_tiles - 1));
@@ -79,14 +88,15 @@ TopoLatency measure(Topology topo, bool dense) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const runner::BenchOptions opts =
-      runner::parse_bench_options(&argc, argv, "tab_zero_load_latency");
+  const runner::BenchOptions opts = runner::parse_bench_options(
+      &argc, argv, "tab_zero_load_latency", /*accepts_topology=*/true);
 
   print_banner(std::cout,
                "T1 — zero-load access latency (cycles), 256-core cluster");
 
-  const std::vector<Topology> topos = {Topology::kTop1, Topology::kTop4,
-                                       Topology::kTopH, Topology::kTopX};
+  std::vector<TopologySpec> topos = {Topology::kTop1, Topology::kTop4,
+                                     Topology::kTopH, Topology::kTopX};
+  if (!opts.topology.empty()) topos = {TopologySpec{opts.topology}};
 
   runner::ThreadPool pool(opts.threads);
   const auto t0 = std::chrono::steady_clock::now();
@@ -100,18 +110,17 @@ int main(int argc, char** argv) {
   Table t({"topology", "own tile", "same group", "remote group / remote tile",
            "max over all tiles", "paper"});
   for (std::size_t i = 0; i < topos.size(); ++i) {
-    const Topology topo = topos[i];
+    const FabricTopology& plugin = FabricRegistry::get(topos[i].name);
+    const ClusterConfig cfg = ClusterConfig::paper(topos[i], true);
     const TopoLatency& l = lats[i];
-    const char* paper = topo == Topology::kTopH ? "1 / 3 / 5"
-                        : topo == Topology::kTopX ? "1 (ideal)"
-                                                  : "1 / - / 5";
-    t.add_row({topology_name(topo), std::to_string(l.own),
-               topo == Topology::kTopH ? std::to_string(l.same_group)
-                                       : std::string("-"),
-               std::to_string(l.remote), std::to_string(l.worst), paper});
-    std::cout << "  " << topology_name(topo)
-              << ": mean over all 64 destination tiles = "
-              << Table::num(l.mean, 2) << " cycles\n";
+    t.add_row({topos[i].name, std::to_string(l.own),
+               plugin.hierarchical() ? std::to_string(l.same_group)
+                                     : std::string("-"),
+               std::to_string(l.remote), std::to_string(l.worst),
+               plugin.latency_summary(cfg)});
+    std::cout << "  " << topos[i].name << ": mean over all " << l.tiles
+              << " destination tiles = " << Table::num(l.mean, 2)
+              << " cycles\n";
   }
   std::cout << '\n';
   t.print(std::cout);

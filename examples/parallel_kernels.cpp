@@ -3,8 +3,13 @@
 // per-kernel performance/energy summary — the "real workload" view of the
 // system.
 //
-//   $ ./parallel_kernels [Top1|Top4|TopH|TopX] [noscramble]
+//   $ ./parallel_kernels [topology] [noscramble]
+//
+// The topology is any registered fabric plugin — TopH2 runs the kernels on
+// all 1024 cores.
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -14,23 +19,31 @@
 #include "kernels/dct.hpp"
 #include "kernels/kernel.hpp"
 #include "kernels/matmul.hpp"
+#include "noc/fabric.hpp"
 #include "power/energy_model.hpp"
 
 using namespace mempool;
 
 int main(int argc, char** argv) {
-  Topology topo = Topology::kTopH;
+  TopologySpec topo = Topology::kTopH;
   bool scramble = true;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "Top1") == 0) topo = Topology::kTop1;
-    else if (std::strcmp(argv[i], "Top4") == 0) topo = Topology::kTop4;
-    else if (std::strcmp(argv[i], "TopH") == 0) topo = Topology::kTopH;
-    else if (std::strcmp(argv[i], "TopX") == 0) topo = Topology::kTopX;
-    else if (std::strcmp(argv[i], "noscramble") == 0) scramble = false;
+    if (std::strcmp(argv[i], "noscramble") == 0) {
+      scramble = false;
+    } else if (FabricRegistry::find(argv[i]) != nullptr) {
+      topo = TopologySpec{argv[i]};
+    } else {
+      std::fprintf(stderr, "unknown topology '%s'; available: %s\n", argv[i],
+                   FabricRegistry::available().c_str());
+      return 2;
+    }
   }
   const ClusterConfig cfg = ClusterConfig::paper(topo, scramble);
-  print_banner(std::cout, "kernels on " + cfg.display_name() +
-                              " (256 cores, 1 MiB shared L1)");
+  print_banner(std::cout,
+               "kernels on " + cfg.display_name() + " (" +
+                   std::to_string(cfg.num_cores()) + " cores, " +
+                   std::to_string(cfg.spm_bytes() / (1024 * 1024)) +
+                   " MiB shared L1)");
 
   const EnergyModel energy;
   Table t({"kernel", "cycles", "IPC/core", "local accesses", "remote",

@@ -4,9 +4,13 @@
 //
 //   $ ./traffic_explorer [--threads N] [--json PATH] [topology] [lambda] [p_local]
 //   $ ./traffic_explorer TopH 0.33 0.25
+//   $ ./traffic_explorer --topology TopH2 0.1        # any registered plugin
+//   $ ./traffic_explorer --list-topologies
 //
-// Without an explicit lambda the full load sweep runs on the parallel
-// runner, sharded across host cores.
+// The topology is any name in the FabricRegistry (positional or --topology);
+// an unknown name fails with the list of registered plugins. Without an
+// explicit lambda the full load sweep runs on the parallel runner, sharded
+// across host cores.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,23 +27,33 @@ using namespace mempool::runner;
 
 namespace {
 
-Topology parse_topology(const char* s) {
-  Topology t;
-  if (!topology_from_name(s, &t)) {
-    std::fprintf(stderr, "unknown topology '%s' (Top1|Top4|TopH|TopX)\n", s);
+double parse_number_or_exit(const char* arg, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(arg, &end);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "expected a numeric %s, got '%s'\n", what, arg);
     std::exit(2);
   }
-  return t;
+  return v;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchOptions opts = parse_bench_options(&argc, argv, "traffic_explorer");
+  BenchOptions opts = parse_bench_options(&argc, argv, "traffic_explorer",
+                                          /*accepts_topology=*/true);
 
-  const Topology topo = argc > 1 ? parse_topology(argv[1]) : Topology::kTopH;
-  const double lambda = argc > 2 ? std::atof(argv[2]) : -1.0;
-  const double p_local = argc > 3 ? std::atof(argv[3]) : 0.0;
+  TopologySpec topo = Topology::kTopH;
+  int pos = 1;  // next positional argument
+  if (!opts.topology.empty()) {
+    topo = TopologySpec{opts.topology};
+  } else if (argc > pos) {
+    topo = parse_topology_or_exit(argv[pos++]);
+  }
+  const double lambda =
+      argc > pos ? parse_number_or_exit(argv[pos++], "lambda") : -1.0;
+  const double p_local =
+      argc > pos ? parse_number_or_exit(argv[pos], "p_local") : 0.0;
 
   TrafficExperimentConfig e;
   e.cluster = ClusterConfig::paper(topo, p_local > 0.0);
@@ -56,7 +70,7 @@ int main(int argc, char** argv) {
     const TrafficPoint& p = res.points[0];
     std::printf("%s  offered=%.3f p_local=%.2f -> accepted=%.3f "
                 "avg_lat=%.2f p95=%.1f max=%.0f cycles\n",
-                topology_name(topo), p.offered, p_local, p.accepted,
+                topo.name.c_str(), p.offered, p_local, p.accepted,
                 p.avg_latency, p.p95_latency, p.max_latency);
     Json results = Json::object();
     results.set("sweep", sweep_to_json(res));
@@ -66,7 +80,7 @@ int main(int argc, char** argv) {
   }
 
   // No lambda given: run a full sweep on the parallel runner.
-  print_banner(std::cout, std::string("load sweep on ") + topology_name(topo));
+  print_banner(std::cout, "load sweep on " + topo.name);
 
   SweepSpec spec;
   spec.base = e;

@@ -53,6 +53,20 @@ const Json::Object& Json::members() const {
   return object_;
 }
 
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kDouble: return double_ == other.double_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
 void Json::push_back(Json v) {
   MEMPOOL_CHECK_MSG(type_ == Type::kArray, "push_back on non-array JSON");
   array_.push_back(std::move(v));

@@ -77,6 +77,11 @@ class Json {
   /// temporary fallback, which a reference return would leave dangling.
   Json get(const std::string& key, const Json& fallback) const;
 
+  /// Deep structural equality: same type and same value (kInt and kDouble
+  /// never compare equal, even for the same numeric value — serialization
+  /// would differ). Object members must match in the same insertion order.
+  bool operator==(const Json& other) const;
+
   /// Serialize. @p indent > 0 pretty-prints with that many spaces per level.
   std::string dump(int indent = 0) const;
 

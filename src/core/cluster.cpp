@@ -1,29 +1,9 @@
 #include "core/cluster.hpp"
 
-#include "common/bitutil.hpp"
 #include "common/check.hpp"
+#include "noc/fabric.hpp"
 
 namespace mempool {
-
-namespace {
-
-/// Register placement inside a global butterfly: layer 0 is the master-port
-/// boundary, layer 1 the mid-network pipeline stage ("a single pipeline stage
-/// midway through its log4(64) = 3 layers"). Butterflies with a single layer
-/// move the second boundary onto the destination tile's slave port so that
-/// the zero-load latency contract (5 cycles) holds at every cluster size.
-std::vector<BufferMode> bfly_layer_modes(unsigned layers) {
-  std::vector<BufferMode> m(layers, BufferMode::kCombinational);
-  m[0] = BufferMode::kRegistered;
-  if (layers >= 2) m[1] = BufferMode::kRegistered;
-  return m;
-}
-
-unsigned bfly_layers(uint32_t endpoints) {
-  return log2_exact(endpoints) / 2;  // radix-4
-}
-
-}  // namespace
 
 // --- CorePort ---------------------------------------------------------------
 
@@ -81,6 +61,68 @@ bool IdealRespBridge::idle() const {
   return true;
 }
 
+// --- FabricBuilder ------------------------------------------------------------
+
+const ClusterConfig& FabricBuilder::config() const { return c_->cfg_; }
+
+uint32_t FabricBuilder::num_tiles() const {
+  return static_cast<uint32_t>(c_->tiles_.size());
+}
+
+Tile& FabricBuilder::tile(uint32_t t) { return *c_->tiles_[t]; }
+
+ButterflyNet* FabricBuilder::add_req_butterfly(
+    std::unique_ptr<ButterflyNet> n) {
+  c_->req_bflys_.push_back(std::move(n));
+  return c_->req_bflys_.back().get();
+}
+
+ButterflyNet* FabricBuilder::add_resp_butterfly(
+    std::unique_ptr<ButterflyNet> n) {
+  c_->resp_bflys_.push_back(std::move(n));
+  return c_->resp_bflys_.back().get();
+}
+
+XbarSwitch* FabricBuilder::add_req_group_xbar(std::unique_ptr<XbarSwitch> x) {
+  c_->group_req_lxbars_.push_back(std::move(x));
+  return c_->group_req_lxbars_.back().get();
+}
+
+XbarSwitch* FabricBuilder::add_resp_group_xbar(std::unique_ptr<XbarSwitch> x) {
+  c_->group_resp_lxbars_.push_back(std::move(x));
+  return c_->group_resp_lxbars_.back().get();
+}
+
+ButterflyNet* FabricBuilder::req_butterfly(std::size_t i) {
+  MEMPOOL_CHECK(i < c_->req_bflys_.size());
+  return c_->req_bflys_[i].get();
+}
+
+void FabricBuilder::wire_core_ports(uint32_t core, PacketSink* local,
+                                    PacketSink* remote) {
+  CorePort& port = *c_->ports_[core];
+  port.local_ = local;
+  port.remote_ = remote;
+}
+
+void FabricBuilder::wire_core_ideal(uint32_t core) {
+  c_->ports_[core]->ideal_ = true;
+}
+
+void FabricBuilder::add_ideal_tile_bridges() {
+  MEMPOOL_CHECK_MSG(!c_->clients_.empty(),
+                    "ideal bridges need the clients attached");
+  for (uint32_t t = 0; t < c_->cfg_.num_tiles; ++t) {
+    auto bridge = std::make_unique<IdealRespBridge>(
+        "tile" + std::to_string(t) + ".ideal_bridge",
+        c_->cfg_.banks_per_tile, &c_->clients_);
+    for (uint32_t b = 0; b < c_->cfg_.banks_per_tile; ++b) {
+      c_->tiles_[t]->bank(b).connect_response(bridge->bank_input(b));
+    }
+    c_->bridges_.push_back(std::move(bridge));
+  }
+}
+
 // --- Cluster ------------------------------------------------------------------
 
 Cluster::Cluster(const ClusterConfig& cfg, const InstrMem* imem)
@@ -88,94 +130,21 @@ Cluster::Cluster(const ClusterConfig& cfg, const InstrMem* imem)
   cfg_.validate();
   MEMPOOL_CHECK(imem != nullptr);
 
-  const uint32_t cpt = cfg_.cores_per_tile;
-  const bool fabric = cfg_.topology != Topology::kTopX;
-
-  // Per-topology tile shape.
-  uint32_t masters = 0, slaves = 0;
-  switch (cfg_.topology) {
-    case Topology::kTop1: masters = 1; slaves = 1; break;
-    case Topology::kTop4: masters = 0; slaves = cpt; break;
-    case Topology::kTopH: masters = cfg_.num_groups; slaves = cfg_.num_groups; break;
-    case Topology::kTopX: break;
-  }
-
-  const unsigned glayers =
-      cfg_.topology == Topology::kTopH ? bfly_layers(cfg_.tiles_per_group())
-      : cfg_.topology == Topology::kTopX ? 0
-                                         : bfly_layers(cfg_.num_tiles);
-  const bool slave_reg =
-      fabric && cfg_.topology != Topology::kTopH
-          ? glayers < 2
-          : (cfg_.topology == Topology::kTopH && bfly_layers(cfg_.tiles_per_group()) < 2);
+  fabric_ = &FabricRegistry::get(cfg_.topology.name);
+  const TileShape shape = fabric_->tile_shape(cfg_);
 
   tiles_.reserve(cfg_.num_tiles);
   for (uint32_t t = 0; t < cfg_.num_tiles; ++t) {
-    std::vector<BufferMode> sreq, sresp;
-    RouteFn dir_route, resp_route;
-    switch (cfg_.topology) {
-      case Topology::kTop1: {
-        sreq = {slave_reg ? BufferMode::kRegistered : BufferMode::kCombinational};
-        sresp = sreq;
-        dir_route = [](const Packet&) { return 0u; };
-        resp_route = [t, cpt](const Packet& p) {
-          return p.src_tile == t ? static_cast<unsigned>(p.src % cpt)
-                                 : static_cast<unsigned>(cpt);
-        };
-        break;
-      }
-      case Topology::kTop4: {
-        const BufferMode m = slave_reg ? BufferMode::kRegistered
-                                       : BufferMode::kCombinational;
-        sreq.assign(cpt, m);
-        sresp.assign(cpt, m);
-        resp_route = [t, cpt](const Packet& p) {
-          return p.src_tile == t ? static_cast<unsigned>(p.src % cpt)
-                                 : static_cast<unsigned>(cpt + p.src % cpt);
-        };
-        break;
-      }
-      case Topology::kTopH: {
-        // Slave port 0: intra-group crossbar (combinational at the slave).
-        // Slave ports 1..3: butterflies from the other groups; registered
-        // only when the group butterfly has a single layer.
-        const BufferMode bm = slave_reg ? BufferMode::kRegistered
-                                        : BufferMode::kCombinational;
-        sreq = {BufferMode::kCombinational, bm, bm, bm};
-        sresp = {BufferMode::kCombinational, bm, bm, bm};
-        const uint32_t g = cfg_.group_of_tile(t);
-        const uint32_t ng = cfg_.num_groups;
-        const ClusterConfig cfgc = cfg_;
-        dir_route = [cfgc, g, ng](const Packet& p) {
-          return (cfgc.group_of_tile(p.dst_tile) - g + ng) % ng;  // 0 = local
-        };
-        resp_route = [cfgc, t, g, ng, cpt](const Packet& p) {
-          if (p.src_tile == t) return static_cast<unsigned>(p.src % cpt);
-          return static_cast<unsigned>(
-              cpt + (cfgc.group_of_tile(p.src_tile) - g + ng) % ng);
-        };
-        break;
-      }
-      case Topology::kTopX:
-        break;
-    }
+    TilePorts ports = fabric_->tile_ports(cfg_, t);
     tiles_.push_back(std::make_unique<Tile>(
-        t, cfg_, imem_, fabric, masters, slaves, std::move(sreq),
-        std::move(sresp), std::move(dir_route), std::move(resp_route),
-        /*bank_input_capacity=*/fabric ? 2 : 0));
+        t, cfg_, imem_, shape.fabric, shape.master_ports, shape.slave_ports,
+        std::move(ports.slave_req_modes), std::move(ports.slave_resp_modes),
+        std::move(ports.dir_route), std::move(ports.resp_route),
+        shape.bank_input_capacity));
   }
 
-  switch (cfg_.topology) {
-    case Topology::kTop1:
-    case Topology::kTop4:
-      build_top1_top4();
-      break;
-    case Topology::kTopH:
-      build_toph();
-      break;
-    case Topology::kTopX:
-      break;  // bridges are created in attach_clients (they need the list)
-  }
+  FabricBuilder builder(this);
+  fabric_->build_networks(builder);
 
   ports_.reserve(cfg_.num_cores());
   for (uint32_t c = 0; c < cfg_.num_cores(); ++c) {
@@ -184,90 +153,6 @@ Cluster::Cluster(const ClusterConfig& cfg, const InstrMem* imem)
 }
 
 Cluster::~Cluster() = default;
-
-void Cluster::build_top1_top4() {
-  const uint32_t n = cfg_.num_tiles;
-  const uint32_t cpt = cfg_.cores_per_tile;
-  const unsigned layers = bfly_layers(n);
-  const uint32_t planes = cfg_.topology == Topology::kTop1 ? 1 : cpt;
-
-  for (uint32_t k = 0; k < planes; ++k) {
-    auto req = std::make_unique<ButterflyNet>(
-        "req_bfly" + std::to_string(k), n, 4, bfly_layer_modes(layers),
-        [](const Packet& p) { return static_cast<unsigned>(p.dst_tile); });
-    auto resp = std::make_unique<ButterflyNet>(
-        "resp_bfly" + std::to_string(k), n, 4, bfly_layer_modes(layers),
-        [](const Packet& p) { return static_cast<unsigned>(p.src_tile); });
-    for (uint32_t t = 0; t < n; ++t) {
-      req->connect_output(t, tiles_[t]->slave_req(k));
-      resp->connect_output(t, tiles_[t]->resp_slave(k));
-      if (cfg_.topology == Topology::kTop1) {
-        tiles_[t]->connect_dir_output(0, req->input(t));
-      }
-      tiles_[t]->connect_resp_remote_output(k, resp->input(t));
-    }
-    req_bflys_.push_back(std::move(req));
-    resp_bflys_.push_back(std::move(resp));
-  }
-}
-
-void Cluster::build_toph() {
-  const uint32_t ng = cfg_.num_groups;
-  const uint32_t tpg = cfg_.tiles_per_group();
-  const unsigned layers = bfly_layers(tpg);
-
-  // Intra-group fully-connected 16×16 crossbars (registered inputs: the
-  // tiles' master-port boundary).
-  for (uint32_t g = 0; g < ng; ++g) {
-    auto lreq = std::make_unique<XbarSwitch>(
-        "g" + std::to_string(g) + ".req_lxbar", tpg, BufferMode::kRegistered,
-        tpg, [tpg](const Packet& p) {
-          return static_cast<unsigned>(p.dst_tile % tpg);
-        });
-    auto lresp = std::make_unique<XbarSwitch>(
-        "g" + std::to_string(g) + ".resp_lxbar", tpg, BufferMode::kRegistered,
-        tpg, [tpg](const Packet& p) {
-          return static_cast<unsigned>(p.src_tile % tpg);
-        });
-    for (uint32_t j = 0; j < tpg; ++j) {
-      Tile& tl = *tiles_[g * tpg + j];
-      tl.connect_dir_output(0, lreq->input(j));
-      lreq->connect_output(j, tl.slave_req(0));
-      tl.connect_resp_remote_output(0, lresp->input(j));
-      lresp->connect_output(j, tl.resp_slave(0));
-    }
-    group_req_lxbars_.push_back(std::move(lreq));
-    group_resp_lxbars_.push_back(std::move(lresp));
-  }
-
-  // Inter-group butterflies: one per ordered pair (source group g, direction
-  // i in 1..3 toward group (g+i) mod 4) and per direction of travel.
-  for (uint32_t g = 0; g < ng; ++g) {
-    for (uint32_t i = 1; i < ng; ++i) {
-      const uint32_t h = (g + i) % ng;  // destination group
-      auto req = std::make_unique<ButterflyNet>(
-          "req_bfly_g" + std::to_string(g) + "_d" + std::to_string(i), tpg, 4,
-          bfly_layer_modes(layers), [tpg](const Packet& p) {
-            return static_cast<unsigned>(p.dst_tile % tpg);
-          });
-      auto resp = std::make_unique<ButterflyNet>(
-          "resp_bfly_g" + std::to_string(g) + "_d" + std::to_string(i), tpg, 4,
-          bfly_layer_modes(layers), [tpg](const Packet& p) {
-            return static_cast<unsigned>(p.src_tile % tpg);
-          });
-      for (uint32_t j = 0; j < tpg; ++j) {
-        Tile& src_tile = *tiles_[g * tpg + j];
-        Tile& dst_tile = *tiles_[h * tpg + j];
-        src_tile.connect_dir_output(i, req->input(j));
-        req->connect_output(j, dst_tile.slave_req(i));
-        src_tile.connect_resp_remote_output(i, resp->input(j));
-        resp->connect_output(j, dst_tile.resp_slave(i));
-      }
-      req_bflys_.push_back(std::move(req));
-      resp_bflys_.push_back(std::move(resp));
-    }
-  }
-}
 
 void Cluster::attach_clients(const std::vector<Client*>& clients) {
   MEMPOOL_CHECK_MSG(clients.size() == cfg_.num_cores(),
@@ -281,39 +166,13 @@ void Cluster::attach_clients(const std::vector<Client*>& clients) {
     tiles_[t]->connect_clients(local);
   }
 
-  // Wire the per-core ports.
+  // Wire the per-core ports; the plugin decides where each port leads.
+  FabricBuilder builder(this);
   for (uint32_t c = 0; c < cfg_.num_cores(); ++c) {
-    CorePort& port = *ports_[c];
-    const uint32_t t = c / cpt;
-    const uint32_t ct = c % cpt;
-    switch (cfg_.topology) {
-      case Topology::kTopX:
-        port.ideal_ = true;
-        break;
-      case Topology::kTop4:
-        port.local_ = tiles_[t]->core_local_req(ct);
-        port.remote_ = req_bflys_[ct]->input(t);
-        break;
-      case Topology::kTop1:
-      case Topology::kTopH:
-        port.local_ = tiles_[t]->core_local_req(ct);
-        port.remote_ = tiles_[t]->dir_input(ct);
-        break;
-    }
-    clients_[c]->bind_port(&port);
+    fabric_->wire_core(builder, c);
+    clients_[c]->bind_port(ports_[c].get());
   }
-
-  if (cfg_.topology == Topology::kTopX) {
-    for (uint32_t t = 0; t < cfg_.num_tiles; ++t) {
-      auto bridge = std::make_unique<IdealRespBridge>(
-          "tile" + std::to_string(t) + ".ideal_bridge", cfg_.banks_per_tile,
-          &clients_);
-      for (uint32_t b = 0; b < cfg_.banks_per_tile; ++b) {
-        tiles_[t]->bank(b).connect_response(bridge->bank_input(b));
-      }
-      bridges_.push_back(std::move(bridge));
-    }
-  }
+  fabric_->attach_clients_hook(builder);
 }
 
 void Cluster::build(Engine& engine) {

@@ -1,21 +1,36 @@
 #pragma once
-// The MemPool cluster: tiles plus the global interconnect in one of the four
-// topologies of Sections III-C / V-C.
+// The MemPool cluster: tiles plus a global interconnect built by a
+// fabric-topology plugin (noc/fabric.hpp).
 //
-//  Top1 — per tile one master port (4×1 concentrator), a single 64×64 radix-4
-//         butterfly each way, pipeline register midway (zero-load 5 cycles).
-//  Top4 — four parallel butterflies; core i of every tile owns port i
-//         (point-to-point, no concentrator).
-//  TopH — four local groups; intra-group 16×16 fully-connected crossbar
-//         (zero-load 3 cycles), and one 16×16 radix-4 butterfly per ordered
-//         pair of groups (zero-load 5 cycles).
-//  TopX — ideal, physically infeasible baseline: conflict-free single-cycle
-//         access to every bank (output-queued; banks still serialize).
+// The Cluster itself is topology-agnostic. It owns the tiles, the per-core
+// issue ports, and generic containers for the networks a plugin constructs;
+// every topology-specific decision — tile port shape, buffer modes, routing
+// functions, which networks exist and how they wire to the tiles, how core
+// ports attach — is delegated to the FabricTopology registered under
+// ClusterConfig::topology.name. Registering a new plugin (see README,
+// "adding a topology"; noc/toph2.cpp is the worked example) therefore adds a
+// fabric without touching this file.
+//
+// Built-in plugins (noc/topologies_builtin.cpp, noc/toph2.cpp):
+//  Top1  — per tile one master port (4×1 concentrator), a single 64×64
+//          radix-4 butterfly each way, pipeline register midway (zero-load
+//          5 cycles).
+//  Top4  — four parallel butterflies; core i of every tile owns port i
+//          (point-to-point, no concentrator).
+//  TopH  — four local groups; intra-group 16×16 fully-connected crossbar
+//          (zero-load 3 cycles), and one 16×16 radix-4 butterfly per ordered
+//          pair of groups (zero-load 5 cycles).
+//  TopX  — ideal, physically infeasible baseline: conflict-free single-cycle
+//          access to every bank (output-queued; banks still serialize).
+//  TopH2 — two-level hierarchy at 1024 cores: 16 groups of 16 tiles inside
+//          4 super-groups; crossbar + two butterfly tiers (1/3/5/7 cycles).
 //
 // Evaluation order per cycle (see DESIGN.md §3): bank-response crossbars →
-// response networks → remote-response crossbars / ideal bridges → I$ →
-// clients → master-port crossbars → request networks → merged request
-// crossbars → banks → commit.
+// response networks (group crossbars, then butterflies) → remote-response
+// crossbars / ideal bridges → I$ → clients → master-port crossbars →
+// request networks (group crossbars, then butterflies) → merged request
+// crossbars → banks → commit. Plugins insert networks into these fixed
+// phases via the FabricBuilder.
 
 #include <cstdint>
 #include <deque>
@@ -34,6 +49,8 @@
 namespace mempool {
 
 class Cluster;
+class FabricBuilder;
+class FabricTopology;
 
 /// Per-core request issue port (address decoder at the core's output).
 class CorePort final : public RequestPort {
@@ -43,6 +60,7 @@ class CorePort final : public RequestPort {
 
  private:
   friend class Cluster;
+  friend class FabricBuilder;
   Cluster* cluster_;
   uint32_t tile_;
   PacketSink* local_ = nullptr;   // merged request crossbar, own tile
@@ -88,6 +106,9 @@ class Cluster {
   const ClusterConfig& config() const { return cfg_; }
   const MemoryLayout& layout() const { return layout_; }
 
+  /// The fabric-topology plugin this cluster was built with.
+  const FabricTopology& fabric() const { return *fabric_; }
+
   Tile& tile(uint32_t t) { return *tiles_[t]; }
   const Tile& tile(uint32_t t) const { return *tiles_[t]; }
   uint32_t num_tiles() const { return static_cast<uint32_t>(tiles_.size()); }
@@ -102,7 +123,7 @@ class Cluster {
     uint64_t tile_resp_traversals = 0;
     uint64_t dir_traversals = 0;
     uint64_t remote_resp_traversals = 0;
-    uint64_t group_local_traversals = 0;  ///< TopH L crossbars, both ways.
+    uint64_t group_local_traversals = 0;  ///< Group crossbars, both ways.
     uint64_t butterfly_traversals = 0;    ///< Global butterflies, both ways.
     uint64_t bank_accesses = 0;
     uint64_t bank_stall_cycles = 0;
@@ -131,12 +152,12 @@ class Cluster {
 
  private:
   friend class CorePort;
-  void build_top1_top4();
-  void build_toph();
+  friend class FabricBuilder;
 
   ClusterConfig cfg_;
   MemoryLayout layout_;
   const InstrMem* imem_;
+  const FabricTopology* fabric_;  // registry-owned, never null after ctor
   std::vector<std::unique_ptr<Tile>> tiles_;
   std::vector<std::unique_ptr<ButterflyNet>> req_bflys_;
   std::vector<std::unique_ptr<ButterflyNet>> resp_bflys_;

@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hpp"
 #include "common/check.hpp"
+#include "noc/fabric.hpp"
 
 namespace mempool {
 
@@ -26,8 +27,23 @@ bool topology_from_name(const std::string& name, Topology* out) {
   return false;
 }
 
+uint64_t TopologySpec::param_uint(const std::string& key,
+                                  uint64_t fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  try {
+    return it->second.as_uint();
+  } catch (const CheckError&) {
+    MEMPOOL_CHECK_MSG(false, "topology '" << name << "' param '" << key
+                                          << "' must be a non-negative "
+                                             "integer, got "
+                                          << it->second.dump());
+  }
+  return fallback;  // unreachable
+}
+
 std::string ClusterConfig::display_name() const {
-  std::string n = topology_name(topology);
+  std::string n = topology.name;
   if (scrambling) n += "S";
   return n;
 }
@@ -43,49 +59,24 @@ void ClusterConfig::validate() const {
   MEMPOOL_CHECK_MSG(seq_region_bytes <= banks_per_tile * bank_bytes,
                     "sequential region exceeds a tile's SPM");
   MEMPOOL_CHECK(core.num_outstanding >= 1);
+  MEMPOOL_CHECK_MSG(num_groups >= 1, "num_groups must be >= 1");
+  MEMPOOL_CHECK_MSG(num_tiles % num_groups == 0,
+                    "num_groups (" << num_groups << ") does not divide "
+                                   << "num_tiles (" << num_tiles << ")");
 
-  switch (topology) {
-    case Topology::kTop1:
-    case Topology::kTop4: {
-      // Radix-4 butterfly over all tiles.
-      const unsigned tb = log2_exact(num_tiles);
-      MEMPOOL_CHECK_MSG(tb % 2 == 0 && num_tiles >= 4,
-                        "Top1/Top4 need num_tiles = 4^k >= 4");
-      break;
-    }
-    case Topology::kTopH: {
-      MEMPOOL_CHECK_MSG(num_groups == 4, "TopH is defined for 4 groups");
-      MEMPOOL_CHECK_MSG(num_tiles % num_groups == 0, "tiles not divisible");
-      const uint32_t tpg = tiles_per_group();
-      const unsigned gb = log2_exact(tpg);
-      MEMPOOL_CHECK_MSG(tpg >= 4 && gb % 2 == 0,
-                        "TopH needs tiles_per_group = 4^k >= 4");
-      break;
-    }
-    case Topology::kTopX:
-      break;
-  }
+  // Everything topology-specific — port shape constraints, butterfly radix
+  // rules, spec parameters — is the plugin's business.
+  const FabricTopology& topo = FabricRegistry::get(topology.name);
+  topo.check_params(topology);
+  topo.validate(*this);
 }
 
-ClusterConfig ClusterConfig::paper(Topology t, bool scrambling) {
-  ClusterConfig cfg;
-  cfg.topology = t;
-  cfg.scrambling = scrambling;
-  cfg.validate();
-  return cfg;
+ClusterConfig ClusterConfig::paper(const TopologySpec& spec, bool scrambling) {
+  return FabricRegistry::get(spec.name).paper_config(spec, scrambling);
 }
 
-ClusterConfig ClusterConfig::mini(Topology t, bool scrambling) {
-  ClusterConfig cfg;
-  cfg.topology = t;
-  cfg.scrambling = scrambling;
-  cfg.num_tiles = 16;
-  cfg.cores_per_tile = 4;
-  cfg.banks_per_tile = 16;
-  cfg.bank_bytes = 1024;
-  cfg.seq_region_bytes = 4096;
-  cfg.validate();
-  return cfg;
+ClusterConfig ClusterConfig::mini(const TopologySpec& spec, bool scrambling) {
+  return FabricRegistry::get(spec.name).mini_config(spec, scrambling);
 }
 
 }  // namespace mempool

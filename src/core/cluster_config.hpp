@@ -2,16 +2,28 @@
 // Configuration of a MemPool cluster. The paper's silicon configuration is
 // the default: 64 tiles × 4 cores × 16 banks × 1 KiB = 256 cores and 1 MiB of
 // shared L1 SPM, with a 2 KiB 4-way shared I$ per tile.
+//
+// Which interconnect connects the tiles is an *open* axis: a cluster names a
+// fabric-topology plugin by TopologySpec and every topology-specific decision
+// (tile port shape, network construction, zero-load model, physical wiring,
+// energy rows, validation) is dispatched through the FabricTopology interface
+// (noc/fabric.hpp). The legacy `Topology` enum survives only as a thin compat
+// alias that converts to the spec of the matching built-in plugin.
 
 #include <cstdint>
+#include <map>
 #include <string>
 
+#include "common/json.hpp"
 #include "mem/icache.hpp"
 
 namespace mempool {
 
-/// The three candidate interconnect topologies of Section III-C plus the
-/// ideal, non-implementable full-crossbar baseline of Section V-C.
+/// Legacy closed enumeration of the paper's topologies (Sections III-C/V-C).
+/// Kept as a compatibility alias: a Topology converts implicitly to the
+/// TopologySpec of the corresponding built-in plugin, so pre-registry call
+/// sites (`ClusterConfig::paper(Topology::kTopH, ...)`) keep compiling. New
+/// code — and every non-paper topology, e.g. "TopH2" — uses TopologySpec.
 enum class Topology : uint8_t {
   kTop1,  ///< Single 64×64 radix-4 butterfly; one master port per tile.
   kTop4,  ///< Four parallel butterflies; one dedicated port per core.
@@ -22,8 +34,39 @@ enum class Topology : uint8_t {
 const char* topology_name(Topology t);
 
 /// Inverse of topology_name ("Top1"/"Top4"/"TopH"/"TopX"); returns false and
-/// leaves @p out untouched on an unknown name.
+/// leaves @p out untouched on an unknown name. Only resolves the four legacy
+/// enumerators — registry lookups (FabricRegistry::find) cover every plugin.
 bool topology_from_name(const std::string& name, Topology* out);
+
+/// Names a fabric-topology plugin and carries its free-form parameters
+/// (serialized verbatim into the mempool.sweep.v2 schema). Parameter keys
+/// are validated against FabricTopology::param_keys() in
+/// ClusterConfig::validate(): unknown or ill-typed parameters throw there,
+/// not deep inside cluster construction.
+struct TopologySpec {
+  std::string name = "TopH";
+  std::map<std::string, Json> params;
+
+  TopologySpec() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): legacy-enum compat alias.
+  TopologySpec(Topology t) : name(topology_name(t)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  TopologySpec(const char* n) : name(n) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  TopologySpec(std::string n) : name(std::move(n)) {}
+  TopologySpec(std::string n, std::map<std::string, Json> p)
+      : name(std::move(n)), params(std::move(p)) {}
+
+  /// Typed parameter accessor; returns @p fallback when absent and throws
+  /// CheckError when present but not a non-negative integer.
+  uint64_t param_uint(const std::string& key, uint64_t fallback) const;
+
+  bool operator==(const TopologySpec&) const = default;
+};
+
+inline const std::string& topology_name(const TopologySpec& s) {
+  return s.name;
+}
 
 /// Snitch core timing parameters (Section III-B).
 struct CoreConfig {
@@ -41,14 +84,14 @@ struct CoreConfig {
 };
 
 struct ClusterConfig {
-  Topology topology = Topology::kTopH;
+  TopologySpec topology;            ///< Fabric plugin (default: TopH).
   uint32_t num_tiles = 64;
   uint32_t cores_per_tile = 4;
   uint32_t banks_per_tile = 16;
   uint32_t bank_bytes = 1024;       ///< 16 KiB SPM per tile (paper).
   uint32_t seq_region_bytes = 4096; ///< 2^S bytes of sequential region/tile.
   bool scrambling = true;           ///< Hybrid addressing scheme on/off.
-  uint32_t num_groups = 4;          ///< TopH local groups (paper: 4).
+  uint32_t num_groups = 4;          ///< Local groups (TopH: 4, TopH2: 16).
   CoreConfig core;
   ICacheConfig icache;
 
@@ -64,15 +107,20 @@ struct ClusterConfig {
   /// ("TopHS" = TopH with scrambling logic).
   std::string display_name() const;
 
-  /// Throws CheckError when structurally invalid (non-power-of-two sizes,
-  /// butterfly radix mismatch, ...).
+  /// Throws CheckError when structurally invalid: non-power-of-two sizes,
+  /// zero / non-dividing num_groups, an unregistered topology name (the
+  /// error lists the available plugins), unknown or ill-typed spec params,
+  /// or a violated plugin-specific constraint (butterfly radix mismatch...).
   void validate() const;
 
   // --- canonical configurations --------------------------------------------
-  /// The full 256-core paper configuration with the given topology.
-  static ClusterConfig paper(Topology t, bool scrambling);
-  /// A 16-tile / 64-core miniature for fast unit tests (all topologies).
-  static ClusterConfig mini(Topology t, bool scrambling = true);
+  /// The registered plugin's full-scale configuration with the given
+  /// topology: the 256-core paper cluster for the four paper topologies, the
+  /// 1024-core two-level cluster for TopH2.
+  static ClusterConfig paper(const TopologySpec& spec, bool scrambling);
+  /// The plugin's smallest valid configuration for fast unit tests
+  /// (16 tiles / 64 cores for the paper topologies).
+  static ClusterConfig mini(const TopologySpec& spec, bool scrambling = true);
 };
 
 }  // namespace mempool

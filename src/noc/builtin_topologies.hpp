@@ -1,0 +1,20 @@
+#pragma once
+// Factories of the built-in fabric-topology plugins, bootstrapped into the
+// FabricRegistry on first use (fabric.cpp). Internal header.
+
+#include <memory>
+
+#include "noc/fabric.hpp"
+
+namespace mempool::fabric {
+
+std::unique_ptr<FabricTopology> make_top1();
+std::unique_ptr<FabricTopology> make_top4();
+std::unique_ptr<FabricTopology> make_toph();
+std::unique_ptr<FabricTopology> make_topx();
+// Lives in noc/toph2.cpp — implemented purely against the public plugin API,
+// with zero edits inside Cluster; the registry bootstrap is its only mention
+// outside its own translation unit.
+std::unique_ptr<FabricTopology> make_toph2();
+
+}  // namespace mempool::fabric

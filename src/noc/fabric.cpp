@@ -1,0 +1,145 @@
+#include "noc/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "noc/builtin_topologies.hpp"
+#include "physical/congestion.hpp"
+
+namespace mempool {
+
+// --- FabricTopology defaults --------------------------------------------------
+
+ClusterConfig FabricTopology::paper_config(const TopologySpec& spec,
+                                           bool scrambling) const {
+  ClusterConfig cfg;  // the 256-core paper defaults
+  cfg.topology = spec;
+  cfg.scrambling = scrambling;
+  cfg.validate();
+  return cfg;
+}
+
+ClusterConfig FabricTopology::mini_config(const TopologySpec& spec,
+                                          bool scrambling) const {
+  ClusterConfig cfg;
+  cfg.topology = spec;
+  cfg.scrambling = scrambling;
+  cfg.num_tiles = 16;
+  cfg.cores_per_tile = 4;
+  cfg.banks_per_tile = 16;
+  cfg.bank_bytes = 1024;
+  cfg.seq_region_bytes = 4096;
+  cfg.validate();
+  return cfg;
+}
+
+void FabricTopology::check_params(const TopologySpec& spec) const {
+  const std::vector<std::string> known = param_keys();
+  for (const auto& [key, value] : spec.params) {
+    (void)value;
+    MEMPOOL_CHECK_MSG(
+        std::find(known.begin(), known.end(), key) != known.end(),
+        "topology '" << name() << "' does not understand param '" << key
+                     << "'");
+  }
+}
+
+// --- FabricRegistry -----------------------------------------------------------
+
+FabricRegistry::FabricRegistry() {
+  add(fabric::make_top1());
+  add(fabric::make_top4());
+  add(fabric::make_toph());
+  add(fabric::make_topx());
+  add(fabric::make_toph2());
+}
+
+FabricRegistry& FabricRegistry::instance() {
+  static FabricRegistry registry;
+  return registry;
+}
+
+void FabricRegistry::add(std::unique_ptr<FabricTopology> topo) {
+  MEMPOOL_CHECK(topo != nullptr);
+  // Duplicate check against the member directly: add() runs inside the
+  // constructor for the built-ins, where re-entering instance() would
+  // deadlock the function-local static's initialization.
+  for (const auto& t : topos_) {
+    MEMPOOL_CHECK_MSG(t->name() != topo->name(),
+                      "topology '" << topo->name() << "' already registered");
+  }
+  topos_.push_back(std::move(topo));
+}
+
+const FabricTopology* FabricRegistry::find(const std::string& name) {
+  for (const auto& t : instance().topos_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+const FabricTopology& FabricRegistry::get(const std::string& name) {
+  const FabricTopology* t = find(name);
+  MEMPOOL_CHECK_MSG(t != nullptr, "unknown topology '"
+                                      << name << "'; available: "
+                                      << available());
+  return *t;
+}
+
+std::vector<std::string> FabricRegistry::names() {
+  std::vector<std::string> out;
+  for (const auto& t : instance().topos_) out.push_back(t->name());
+  return out;
+}
+
+std::string FabricRegistry::available() {
+  std::string out;
+  for (const auto& t : instance().topos_) {
+    if (!out.empty()) out += ", ";
+    out += t->name();
+  }
+  return out;
+}
+
+// --- registry-driven feasibility ---------------------------------------------
+
+std::vector<physical::FeasibilityReport> analyze_all_topologies(
+    const physical::FeasibilityParams& base) {
+  std::vector<physical::FeasibilityReport> reports;
+  // Central-hub baselines keyed by floorplan: the paper topologies share the
+  // default die, so the star rasterization runs once, not once per plugin.
+  struct Baseline {
+    physical::FloorplanParams fp;
+    double center_demand;
+  };
+  std::vector<Baseline> baselines;
+  auto baseline_for = [&](const physical::FloorplanParams& fpp,
+                          const physical::Floorplan& fp) {
+    for (const auto& b : baselines) {
+      if (b.fp.num_tiles == fpp.num_tiles &&
+          b.fp.num_groups == fpp.num_groups && b.fp.die_mm == fpp.die_mm &&
+          b.fp.tile_mm == fpp.tile_mm) {
+        return b.center_demand;
+      }
+    }
+    physical::CongestionMap star(fpp.die_mm, base.congestion_cells);
+    star.route_all(physical::star_wires(fp));
+    baselines.push_back({fpp, star.center_demand()});
+    return baselines.back().center_demand;
+  };
+
+  for (const std::string& name : FabricRegistry::names()) {
+    const FabricTopology& topo = FabricRegistry::get(name);
+    if (!topo.physically_modeled()) continue;
+    const ClusterConfig cfg =
+        topo.paper_config(TopologySpec{name}, /*scrambling=*/true);
+    physical::FeasibilityParams p = base;
+    p.floorplan = topo.floorplan_params(cfg);
+    const physical::Floorplan fp(p.floorplan);
+    reports.push_back(physical::analyze_wires(
+        topo.name(), topo.wires(cfg, fp), p, baseline_for(p.floorplan, fp)));
+  }
+  return reports;
+}
+
+}  // namespace mempool

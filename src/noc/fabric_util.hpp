@@ -1,0 +1,51 @@
+#pragma once
+// Shared helpers for fabric-topology plugins: radix-4 butterfly sizing and
+// the canonical register placement of the paper's networks.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "power/energy_params.hpp"
+#include "sim/elastic_buffer.hpp"
+
+namespace mempool::fabric {
+
+/// The analytic local-load row every fabric shares: core -> merged request
+/// crossbar -> bank -> bank-response crossbar -> core (the Figure-10 8.4 pJ
+/// identity).
+inline InstrEnergy local_load_energy(const EnergyParams& p) {
+  return {p.core_ls, 2 * p.tile_xbar_hop, p.bank_access};
+}
+
+/// Layers of a radix-4 butterfly over @p endpoints.
+inline unsigned bfly_layers(uint32_t endpoints) {
+  return log2_exact(endpoints) / 2;
+}
+
+/// Register placement inside a global butterfly: layer 0 is the master-port
+/// boundary, layer 1 the mid-network pipeline stage ("a single pipeline stage
+/// midway through its log4(64) = 3 layers"). Butterflies with a single layer
+/// move the second boundary onto the destination tile's slave port so that
+/// the zero-load latency contract (5 cycles) holds at every cluster size.
+inline std::vector<BufferMode> bfly_layer_modes(unsigned layers) {
+  std::vector<BufferMode> m(layers, BufferMode::kCombinational);
+  m[0] = BufferMode::kRegistered;
+  if (layers >= 2) m[1] = BufferMode::kRegistered;
+  return m;
+}
+
+/// Register placement of a *top-level* (die-spanning) butterfly: every layer
+/// registered — the long wires between super-groups need retiming at each
+/// stage (MemPool-3D / the 2023 journal scaling direction), which is what
+/// makes TopH2's cross-super-group tier one cycle per layer.
+inline std::vector<BufferMode> bfly_all_registered(unsigned layers) {
+  return std::vector<BufferMode>(layers, BufferMode::kRegistered);
+}
+
+/// Registered request-path boundaries a packet crosses through a butterfly
+/// built with bfly_layer_modes() plus its slave port: always 2 (layer 0 +
+/// either the mid-network stage or the registered slave port).
+inline unsigned bfly_reg_boundaries(unsigned /*layers*/) { return 2; }
+
+}  // namespace mempool::fabric

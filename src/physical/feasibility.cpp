@@ -4,16 +4,15 @@
 
 namespace mempool::physical {
 
-FeasibilityReport analyze(PhysTopology topo, const FeasibilityParams& p,
-                          double top1_center_demand) {
-  const Floorplan fp(p.floorplan);
-  const std::vector<WireBundle> wires = extract_wires(topo, fp);
-
+FeasibilityReport analyze_wires(const std::string& name,
+                                const std::vector<WireBundle>& wires,
+                                const FeasibilityParams& p,
+                                double baseline_center_demand) {
   CongestionMap cmap(p.floorplan.die_mm, p.congestion_cells);
   cmap.route_all(wires);
 
   FeasibilityReport r;
-  r.name = phys_topology_name(topo);
+  r.name = name;
   r.total_wire_bit_mm = total_bit_mm(wires);
   r.center_congestion = cmap.center_demand();
   r.max_cell = cmap.max_cell();
@@ -31,22 +30,12 @@ FeasibilityReport analyze(PhysTopology topo, const FeasibilityParams& p,
   r.wire_delay_fraction = wire_ns / r.critical_path_ns;
   r.fmax_mhz = 1e3 / r.critical_path_ns;
 
-  if (top1_center_demand <= 0 && topo == PhysTopology::kTop1) {
-    top1_center_demand = r.center_congestion;
-  }
-  r.center_ratio_vs_top1 =
-      top1_center_demand > 0 ? r.center_congestion / top1_center_demand : 1.0;
+  if (baseline_center_demand <= 0) baseline_center_demand = r.center_congestion;
+  r.center_ratio_vs_top1 = baseline_center_demand > 0
+                               ? r.center_congestion / baseline_center_demand
+                               : 1.0;
   r.feasible = r.center_ratio_vs_top1 <= p.center_budget_vs_top1;
   return r;
-}
-
-std::vector<FeasibilityReport> analyze_all(const FeasibilityParams& p) {
-  FeasibilityReport top1 = analyze(PhysTopology::kTop1, p);
-  FeasibilityReport top4 =
-      analyze(PhysTopology::kTop4, p, top1.center_congestion);
-  FeasibilityReport toph =
-      analyze(PhysTopology::kTopH, p, top1.center_congestion);
-  return {top1, top4, toph};
 }
 
 }  // namespace mempool::physical

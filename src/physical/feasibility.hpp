@@ -3,6 +3,11 @@
 // centre congestion, a first-order timing estimate (logic depth + longest
 // top-level wire), and a feasibility verdict calibrated such that the paper's
 // conclusion holds: Top1 and TopH route, Top4 does not.
+//
+// This module is topology-agnostic: it analyzes any wire list against a
+// congestion baseline. Which wires a topology needs comes from its
+// FabricTopology plugin; the registry-driven sweep over every registered
+// topology is analyze_all_topologies() in noc/fabric.hpp.
 
 #include <string>
 #include <vector>
@@ -25,7 +30,7 @@ struct FeasibilityReport {
   std::string name;
   double total_wire_bit_mm = 0;
   double center_congestion = 0;   ///< bit·mm in the central 2×2 cells.
-  double center_ratio_vs_top1 = 0;
+  double center_ratio_vs_top1 = 0;///< vs the central-hub (star) baseline.
   double max_cell = 0;
   double spread = 0;              ///< Demand coefficient of variation.
   double longest_wire_mm = 0;
@@ -39,17 +44,18 @@ struct FeasibilityParams {
   FloorplanParams floorplan;
   TimingParams timing;
   uint32_t congestion_cells = 16;
-  /// Centre demand above this multiple of Top1's is unroutable. Calibrated
-  /// between TopH (~1.1×) and Top4 (4×).
+  /// Centre demand above this multiple of the central-hub baseline is
+  /// unroutable. Calibrated between TopH (~1.1×) and Top4 (4×).
   double center_budget_vs_top1 = 2.5;
 };
 
-/// Analyze one topology.
-FeasibilityReport analyze(PhysTopology topo, const FeasibilityParams& p,
-                          double top1_center_demand = 0.0);
-
-/// Analyze Top1, Top4, TopH with a common Top1 baseline.
-std::vector<FeasibilityReport> analyze_all(
-    const FeasibilityParams& p = FeasibilityParams{});
+/// Analyze one topology's wire list. @p baseline_center_demand is the centre
+/// congestion of the monolithic central-hub reference (star_wires) on the
+/// same floorplan; <= 0 means "self-baseline" (ratio 1.0 — Top1's case,
+/// whose wiring *is* the star).
+FeasibilityReport analyze_wires(const std::string& name,
+                                const std::vector<WireBundle>& wires,
+                                const FeasibilityParams& p,
+                                double baseline_center_demand = 0.0);
 
 }  // namespace mempool::physical

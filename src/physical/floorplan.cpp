@@ -23,23 +23,34 @@ Point Floorplan::tile_center(uint32_t tile) const {
   return {(col + 0.5) * pitch_, (row + 0.5) * pitch_};
 }
 
+uint32_t Floorplan::group_grid_dim() const {
+  MEMPOOL_CHECK_MSG(is_pow2(p_.num_groups) &&
+                        log2_exact(p_.num_groups) % 2 == 0,
+                    "grouped layout needs num_groups = 4^j");
+  return 1u << (log2_exact(p_.num_groups) / 2);
+}
+
 Point Floorplan::tile_center_grouped(uint32_t tile) const {
   MEMPOOL_CHECK(tile < p_.num_tiles);
   const uint32_t tpg = p_.num_tiles / p_.num_groups;
   const uint32_t g = tile / tpg;
   const uint32_t local = tile % tpg;
-  const uint32_t gdim = dim_ / 2;  // quadrant edge in tiles
+  const uint32_t ggrid = group_grid_dim();
+  const uint32_t gdim = dim_ / ggrid;  // grid-cell edge in tiles
+  MEMPOOL_CHECK_MSG(gdim * gdim == tpg,
+                    "grouped layout needs square groups on the tile grid");
   const uint32_t row = local / gdim;
   const uint32_t col = local % gdim;
-  const double qx = (g & 1u) ? p_.die_mm / 2 : 0.0;
-  const double qy = (g >> 1u) ? p_.die_mm / 2 : 0.0;
+  const double cell = p_.die_mm / ggrid;
+  const double qx = (g % ggrid) * cell;
+  const double qy = (g / ggrid) * cell;
   return {qx + (col + 0.5) * pitch_, qy + (row + 0.5) * pitch_};
 }
 
 Point Floorplan::group_center(uint32_t g) const {
-  const double qx = (g & 1u) ? p_.die_mm * 0.75 : p_.die_mm * 0.25;
-  const double qy = (g >> 1u) ? p_.die_mm * 0.75 : p_.die_mm * 0.25;
-  return {qx, qy};
+  const uint32_t ggrid = group_grid_dim();
+  const double cell = p_.die_mm / ggrid;
+  return {(g % ggrid + 0.5) * cell, (g / ggrid + 0.5) * cell};
 }
 
 double Floorplan::tile_area_fraction() const {

@@ -4,77 +4,16 @@
 
 namespace mempool::physical {
 
-std::string phys_topology_name(PhysTopology t) {
-  switch (t) {
-    case PhysTopology::kTop1: return "Top1";
-    case PhysTopology::kTop4: return "Top4";
-    case PhysTopology::kTopH: return "TopH";
-  }
-  return "?";
-}
-
-std::vector<WireBundle> extract_wires(PhysTopology topo, const Floorplan& fp,
-                                      uint32_t request_bits,
-                                      uint32_t response_bits) {
+std::vector<WireBundle> star_wires(const Floorplan& fp, uint32_t request_bits,
+                                   uint32_t response_bits) {
   std::vector<WireBundle> wires;
   const uint32_t n = fp.params().num_tiles;
-  const uint32_t ng = fp.params().num_groups;
-
-  auto both_ways = [&](Point a, Point b, WireKind kind) {
-    wires.push_back({a, b, request_bits, kind});
-    wires.push_back({b, a, response_bits, kind});
-  };
-
-  switch (topo) {
-    case PhysTopology::kTop1:
-      // Every tile connects to the single butterfly at the die centre,
-      // "regardless of the physical distance between the tiles" (Sec. VI-C).
-      for (uint32_t t = 0; t < n; ++t) {
-        both_ways(fp.tile_center(t), fp.die_center(), WireKind::kTileToHub);
-      }
-      break;
-    case PhysTopology::kTop4:
-      // Four parallel butterflies: four times the Top1 wiring — "Top4 is four
-      // times more congested than Top1".
-      for (uint32_t k = 0; k < 4; ++k) {
-        for (uint32_t t = 0; t < n; ++t) {
-          both_ways(fp.tile_center(t), fp.die_center(), WireKind::kTileToHub);
-        }
-      }
-      break;
-    case PhysTopology::kTopH: {
-      const uint32_t tpg = n / ng;
-      // L: tile to the group-local crossbar at the quadrant centre.
-      for (uint32_t t = 0; t < n; ++t) {
-        const uint32_t g = t / tpg;
-        both_ways(fp.tile_center_grouped(t), fp.group_center(g),
-                  WireKind::kTileToGroup);
-      }
-      // N/NE/E: one butterfly per ordered group pair, placed at the midpoint
-      // of the two group centres (the diagonal pairs cross the die centre).
-      for (uint32_t g = 0; g < ng; ++g) {
-        for (uint32_t i = 1; i < ng; ++i) {
-          const uint32_t h = (g + i) % ng;
-          const Point cg = fp.group_center(g);
-          const Point ch = fp.group_center(h);
-          const Point hub{(cg.x + ch.x) / 2, (cg.y + ch.y) / 2};
-          for (uint32_t j = 0; j < tpg; ++j) {
-            const uint32_t src = g * tpg + j;
-            const uint32_t dst = h * tpg + j;
-            wires.push_back({fp.tile_center_grouped(src), hub, request_bits,
-                             WireKind::kGroupToGroup});
-            wires.push_back({hub, fp.tile_center_grouped(dst), request_bits,
-                             WireKind::kGroupToGroup});
-            // Response network of this direction pair.
-            wires.push_back({fp.tile_center_grouped(dst), hub, response_bits,
-                             WireKind::kGroupToGroup});
-            wires.push_back({hub, fp.tile_center_grouped(src), response_bits,
-                             WireKind::kGroupToGroup});
-          }
-        }
-      }
-      break;
-    }
+  wires.reserve(2 * n);
+  for (uint32_t t = 0; t < n; ++t) {
+    wires.push_back(
+        {fp.tile_center(t), fp.die_center(), request_bits, WireKind::kTileToHub});
+    wires.push_back({fp.die_center(), fp.tile_center(t), response_bits,
+                     WireKind::kTileToHub});
   }
   return wires;
 }

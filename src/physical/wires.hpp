@@ -1,12 +1,18 @@
 #pragma once
-// Topology wiring extraction: the set of top-level point-to-point wire
-// bundles each interconnect topology requires, with Manhattan lengths over
-// the floorplan. Request and response networks are separate (two parallel
-// interconnects), and each bundle carries a full request word
-// (~address + data + metadata ≈ 80 bits).
+// Topology wiring primitives: the point-to-point wire bundles an interconnect
+// requires, with Manhattan lengths over the floorplan. Request and response
+// networks are separate (two parallel interconnects), and each bundle carries
+// a full request word (~address + data + metadata ≈ 80 bits).
+//
+// Which bundles a topology needs is no longer decided here: each
+// FabricTopology plugin extracts its own wires (FabricTopology::wires) from
+// the floorplan geometry. This module keeps the shared vocabulary (WireBundle,
+// total_bit_mm) plus star_wires(), the monolithic central-hub wiring that is
+// both Top1's own realization and the congestion baseline every feasibility
+// verdict is measured against.
 
 #include <cstdint>
-#include <string>
+#include <cstdlib>
 #include <vector>
 
 #include "physical/floorplan.hpp"
@@ -15,7 +21,7 @@ namespace mempool::physical {
 
 enum class WireKind : uint8_t {
   kTileToHub,    ///< Tile ↔ central butterfly (Top1/Top4).
-  kTileToGroup,  ///< Tile ↔ group-local crossbar (TopH L).
+  kTileToGroup,  ///< Tile ↔ group-local crossbar (TopH/TopH2 L).
   kGroupToGroup, ///< Tile ↔ inter-group butterfly hub (TopH N/NE/E).
 };
 
@@ -31,17 +37,12 @@ struct WireBundle {
   double bit_mm() const { return manhattan_mm() * bits; }
 };
 
-/// Which cluster topology to extract (mirrors core/cluster_config.hpp without
-/// depending on it; the physical model is standalone).
-enum class PhysTopology : uint8_t { kTop1, kTop4, kTopH };
-
-std::string phys_topology_name(PhysTopology t);
-
-/// Extract all top-level wire bundles of a topology over the floorplan.
-/// Includes both travel directions (request + response networks).
-std::vector<WireBundle> extract_wires(PhysTopology topo, const Floorplan& fp,
-                                      uint32_t request_bits = 80,
-                                      uint32_t response_bits = 48);
+/// One tile↔hub bundle pair (request + response) for every tile, hub at the
+/// die centre — "regardless of the physical distance between the tiles"
+/// (Sec. VI-C). Exactly Top1's wiring; Top4 is four copies of it.
+std::vector<WireBundle> star_wires(const Floorplan& fp,
+                                   uint32_t request_bits = 80,
+                                   uint32_t response_bits = 48);
 
 /// Total wire demand in bit·mm.
 double total_bit_mm(const std::vector<WireBundle>& wires);

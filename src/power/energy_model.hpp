@@ -3,44 +3,26 @@
 //
 // The paper extracts power from post-layout simulation in GF 22FDX at
 // TT/0.80 V/25 °C. A cycle-level model cannot derive those numbers from first
-// principles, so the per-event energies below are *technology calibration
-// constants* chosen such that the analytic per-instruction identities of
-// Figure 10 hold exactly:
-//
-//   local  load = 1.8 (core) +  4.5 (interconnect) + 2.1 (banks) =  8.4 pJ
-//   remote load = 1.8 (core) + 13.0 (interconnect) + 2.1 (banks) = 16.9 pJ
-//   mul = 7.0 pJ, add = 3.7 pJ (core only)
+// principles, so the per-event energies (EnergyParams, power/energy_params.hpp)
+// are *technology calibration constants* chosen such that the analytic
+// per-instruction identities of Figure 10 hold exactly.
 //
 // The simulator then *measures* event counts (switch traversals, bank
 // accesses, instruction mix, I$ activity) and multiplies by these constants,
 // so every aggregate number (tile power, breakdown percentages, local/remote
 // energy ratio) is a measured result, not a restatement of the constants.
+// measure() is topology-agnostic — it prices the counters every fabric
+// reports — so newly registered FabricTopology plugins are covered without
+// edits here; the per-topology *analytic* rows live on the plugins
+// (FabricTopology::energy_rows).
 
 #include <cstdint>
 
 #include "core/cluster.hpp"
 #include "core/snitch.hpp"
+#include "power/energy_params.hpp"
 
 namespace mempool {
-
-struct EnergyParams {
-  // Core-side energy per instruction class (pJ).
-  double core_add = 3.7;      ///< Simple ALU op (paper's "add").
-  double core_mul = 7.0;      ///< Paper's "mul".
-  double core_div = 14.0;     ///< Extrapolated (not reported in the paper).
-  double core_branch = 3.0;   ///< Extrapolated.
-  double core_ls = 1.8;       ///< Core-side share of a load/store/AMO.
-  // Memory.
-  double bank_access = 2.1;   ///< One SPM bank read/write/AMO.
-  // Interconnect, per switch traversal.
-  double tile_xbar_hop = 2.25;  ///< Merged request / bank-response crossbar.
-  double dir_xbar_hop = 0.45;   ///< Master-port and remote-response crossbar.
-  double group_xbar_hop = 2.6;  ///< TopH 16×16 intra-group crossbar.
-  double bfly_layer_hop = 1.9;  ///< One butterfly layer.
-  // Instruction cache.
-  double icache_hit = 4.6;    ///< Tag + data access of the 4-way 2 KiB I$.
-  double icache_miss = 60.0;  ///< Refill line fill + AXI transfer.
-};
 
 /// Dynamic energy by component, in pJ.
 struct EnergyBreakdown {
@@ -52,14 +34,6 @@ struct EnergyBreakdown {
   double total() const {
     return cores + icache + banks + tile_interconnect + global_interconnect;
   }
-};
-
-/// Analytic energy of one instruction (a Figure-10 row).
-struct InstrEnergy {
-  double core = 0;
-  double interconnect = 0;
-  double memory = 0;
-  double total() const { return core + interconnect + memory; }
 };
 
 class EnergyModel {

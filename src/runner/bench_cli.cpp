@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "noc/fabric.hpp"
 #include "runner/results.hpp"
 
 namespace mempool::runner {
@@ -13,22 +14,46 @@ namespace {
 [[noreturn]] void usage(const std::string& bench, int code) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--json PATH | --no-json] [--quiet] "
-               "[--dense] [bench-specific args]\n"
-               "  --threads N  worker threads (default: MEMPOOL_THREADS env "
-               "var, else all cores)\n"
-               "  --json PATH  results file (default: %s.results.json)\n"
-               "  --no-json    do not write a results file\n"
-               "  --quiet      no stderr progress ticker\n"
-               "  --dense      dense evaluate-everything engine (bit-identical "
-               "fallback)\n",
-               bench.c_str(), bench.c_str());
+               "[--dense] [--topology NAME] [--list-topologies] "
+               "[bench-specific args]\n"
+               "  --threads N        worker threads (default: MEMPOOL_THREADS "
+               "env var, else all cores)\n"
+               "  --json PATH        results file (default: %s.results.json)\n"
+               "  --no-json          do not write a results file\n"
+               "  --quiet            no stderr progress ticker\n"
+               "  --dense            dense evaluate-everything engine "
+               "(bit-identical fallback)\n"
+               "  --topology NAME    fabric topology (available: %s)\n"
+               "  --list-topologies  list the registered fabric topologies "
+               "and exit\n",
+               bench.c_str(), bench.c_str(),
+               FabricRegistry::available().c_str());
   std::exit(code);
+}
+
+[[noreturn]] void list_topologies() {
+  std::fprintf(stderr, "registered fabric topologies:\n");
+  for (const std::string& name : FabricRegistry::names()) {
+    std::fprintf(stderr, "  %-6s  %s\n", name.c_str(),
+                 FabricRegistry::get(name).description().c_str());
+  }
+  std::exit(0);
 }
 
 }  // namespace
 
+TopologySpec parse_topology_or_exit(const std::string& name) {
+  if (FabricRegistry::find(name) == nullptr) {
+    std::fprintf(stderr, "unknown topology '%s'; available: %s\n",
+                 name.c_str(), FabricRegistry::available().c_str());
+    std::exit(2);
+  }
+  return TopologySpec{name};
+}
+
 BenchOptions parse_bench_options(int* argc, char** argv,
-                                 const std::string& bench_name) {
+                                 const std::string& bench_name,
+                                 bool accepts_topology) {
   BenchOptions opts;
   opts.bench_name = bench_name;
   opts.json_path = bench_name + ".results.json";
@@ -60,6 +85,17 @@ BenchOptions parse_bench_options(int* argc, char** argv,
       opts.progress = false;
     } else if (std::strcmp(a, "--dense") == 0) {
       opts.dense = true;
+    } else if (std::strcmp(a, "--topology") == 0) {
+      if (!accepts_topology) {
+        std::fprintf(stderr,
+                     "%s: --topology is not supported by this bench (its "
+                     "topology set is fixed)\n",
+                     bench_name.c_str());
+        std::exit(2);
+      }
+      opts.topology = parse_topology_or_exit(value()).name;
+    } else if (std::strcmp(a, "--list-topologies") == 0) {
+      list_topologies();
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(bench_name, 0);
     } else {

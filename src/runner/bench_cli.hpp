@@ -1,13 +1,19 @@
 #pragma once
 // Shared command-line handling for the bench/example harnesses:
 //
-//   --threads N   worker threads (default: MEMPOOL_THREADS env / all cores)
-//   --json PATH   results file path (default: <bench>.results.json)
-//   --no-json     disable the results file
-//   --quiet       suppress the stderr progress ticker
-//   --dense       dense evaluate-everything engine (escape hatch; results
-//                 are bit-identical to the default activity-driven engine)
-//   --help        usage
+//   --threads N         worker threads (default: MEMPOOL_THREADS env / all
+//                       cores)
+//   --json PATH         results file path (default: <bench>.results.json)
+//   --no-json           disable the results file
+//   --quiet             suppress the stderr progress ticker
+//   --dense             dense evaluate-everything engine (escape hatch;
+//                       results are bit-identical to the default
+//                       activity-driven engine)
+//   --topology NAME     select a registered fabric topology (benches that
+//                       take one); unknown names fail with the list of
+//                       registered plugins
+//   --list-topologies   print the FabricRegistry and exit
+//   --help              usage
 //
 // Recognized flags are removed from argv so benches with positional
 // arguments (traffic_explorer) can parse the remainder untouched.
@@ -15,6 +21,7 @@
 #include <string>
 
 #include "common/json.hpp"
+#include "core/cluster_config.hpp"
 #include "runner/runner.hpp"
 
 namespace mempool::runner {
@@ -25,14 +32,24 @@ struct BenchOptions {
   std::string json_path;    ///< Empty = results file disabled.
   bool progress = true;
   bool dense = false;       ///< Dense engine fallback (--dense).
+  /// --topology NAME, validated against the FabricRegistry; empty = bench
+  /// default. Benches that simulate a selectable topology honor this.
+  std::string topology;
 
   RunnerOptions runner() const { return {threads, progress}; }
 };
 
+/// Resolve a topology name against the FabricRegistry; on an unknown name
+/// prints "unknown topology 'X'; available: ..." to stderr and exits(2).
+TopologySpec parse_topology_or_exit(const std::string& name);
+
 /// Parse and strip the common flags. @p argc/@p argv are compacted in place;
-/// exits(0) on --help, exits(2) on a malformed flag.
+/// exits(0) on --help, exits(2) on a malformed flag. Benches whose topology
+/// set is selectable pass @p accepts_topology = true; everywhere else
+/// --topology is rejected loudly instead of being silently ignored.
 BenchOptions parse_bench_options(int* argc, char** argv,
-                                 const std::string& bench_name);
+                                 const std::string& bench_name,
+                                 bool accepts_topology = false);
 
 /// Write the mempool.bench.v1 envelope to opts.json_path (no-op when the
 /// results file is disabled); prints the path to stderr.

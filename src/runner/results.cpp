@@ -4,13 +4,14 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "noc/fabric.hpp"
 
 namespace mempool::runner {
 
 Json sweep_to_json(const SweepResult& result) {
   MEMPOOL_CHECK(result.configs.size() == result.points.size());
   Json root = Json::object();
-  root.set("schema", "mempool.sweep.v1");
+  root.set("schema", "mempool.sweep.v2");
   root.set("threads", result.threads);
   root.set("wall_seconds", result.wall_seconds);
   Json points = Json::array();
@@ -18,7 +19,14 @@ Json sweep_to_json(const SweepResult& result) {
     const TrafficExperimentConfig& cfg = result.configs[i];
     const TrafficPoint& p = result.points[i];
     Json rec = Json::object();
-    rec.set("topology", topology_name(cfg.cluster.topology));
+    // v2: the topology is a self-describing {name, params} spec, so plugin
+    // parameters survive the round trip verbatim.
+    Json topo = Json::object();
+    topo.set("name", cfg.cluster.topology.name);
+    Json params = Json::object();
+    for (const auto& [k, v] : cfg.cluster.topology.params) params.set(k, v);
+    topo.set("params", std::move(params));
+    rec.set("topology", std::move(topo));
     rec.set("scrambling", cfg.cluster.scrambling);
     rec.set("num_tiles", cfg.cluster.num_tiles);
     rec.set("cores_per_tile", cfg.cluster.cores_per_tile);
@@ -47,17 +55,33 @@ Json sweep_to_json(const SweepResult& result) {
 }
 
 SweepResult sweep_from_json(const Json& j) {
-  MEMPOOL_CHECK_MSG(j.get("schema", Json("")).as_string() == "mempool.sweep.v1",
-                    "not a mempool.sweep.v1 document");
+  const std::string schema = j.get("schema", Json("")).as_string();
+  MEMPOOL_CHECK_MSG(
+      schema == "mempool.sweep.v2" || schema == "mempool.sweep.v1",
+      "not a mempool.sweep.v1/v2 document (schema '" << schema << "')");
   SweepResult result;
   result.threads = static_cast<unsigned>(j.at("threads").as_uint());
   result.wall_seconds = j.at("wall_seconds").as_double();
   for (const Json& rec : j.at("points").items()) {
     TrafficExperimentConfig cfg;
-    MEMPOOL_CHECK_MSG(topology_from_name(rec.at("topology").as_string(),
-                                         &cfg.cluster.topology),
-                      "unknown topology '" << rec.at("topology").as_string()
-                                           << "'");
+    // v1 wrote the topology as a bare name string; v2 as {name, params}.
+    const Json& topo = rec.at("topology");
+    TopologySpec spec;
+    if (topo.type() == Json::Type::kString) {
+      spec.name = topo.as_string();
+    } else {
+      spec.name = topo.at("name").as_string();
+      const Json params = topo.get("params", Json::object());
+      for (const auto& [k, v] : params.members()) {
+        spec.params[k] = v;
+      }
+    }
+    // Resolve against the registry here so a stale document fails with the
+    // list of available plugins instead of deep in cluster construction.
+    MEMPOOL_CHECK_MSG(FabricRegistry::find(spec.name) != nullptr,
+                      "unknown topology '" << spec.name << "'; available: "
+                                           << FabricRegistry::available());
+    cfg.cluster.topology = std::move(spec);
     cfg.cluster.scrambling = rec.at("scrambling").as_bool();
     cfg.cluster.num_tiles =
         static_cast<uint32_t>(rec.at("num_tiles").as_uint());

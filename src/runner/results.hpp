@@ -12,16 +12,20 @@
 //     "results": { ... bench-specific ... }
 //   }
 //
-// Traffic sweeps embed the sweep schema `mempool.sweep.v1` under "results"
+// Traffic sweeps embed the sweep schema `mempool.sweep.v2` under "results"
 // (or as a named sub-object): one record per point carrying the full config
-// axes and the measured TrafficPoint, so trajectories are self-describing:
+// axes and the measured TrafficPoint, so trajectories are self-describing.
+// The topology is a self-describing `{name, params}` spec resolved against
+// the FabricRegistry on read; v1 documents (bare topology name strings) are
+// still accepted by sweep_from_json:
 //
 //   {
-//     "schema": "mempool.sweep.v1",
+//     "schema": "mempool.sweep.v2",
 //     "threads": 8,
 //     "wall_seconds": 12.3,
 //     "points": [
-//       {"topology": "TopH", "scrambling": false, "num_tiles": 64,
+//       {"topology": {"name": "TopH", "params": {}},
+//        "scrambling": false, "num_tiles": 64,
 //        "cores_per_tile": 4, "banks_per_tile": 16, "bank_bytes": 1024,
 //        "seq_region_bytes": 4096, "num_groups": 4,
 //        "lambda": 0.33, "p_local": 0.25, "seed": 1,
@@ -44,10 +48,12 @@
 
 namespace mempool::runner {
 
-/// Serialize a sweep result (schema mempool.sweep.v1).
+/// Serialize a sweep result (schema mempool.sweep.v2).
 Json sweep_to_json(const SweepResult& result);
 
-/// Inverse of sweep_to_json. Throws CheckError on schema violations.
+/// Inverse of sweep_to_json; also reads legacy mempool.sweep.v1 documents.
+/// Throws CheckError on schema violations and unknown topology names (the
+/// error lists the registered plugins).
 SweepResult sweep_from_json(const Json& j);
 
 /// Wrap bench-specific results in the mempool.bench.v1 envelope.

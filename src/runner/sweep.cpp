@@ -58,8 +58,8 @@ std::string SweepSpec::point_label(std::size_t i) const {
   const std::size_t t = i / (ns * nl * np);
 
   std::ostringstream os;
-  os << topology_name(topologies.empty() ? base.cluster.topology
-                                         : topologies[t]);
+  os << (topologies.empty() ? base.cluster.topology.name
+                            : topologies[t].name);
   os << " λ=" << (lambdas.empty() ? base.lambda : lambdas[l]);
   os << " p=" << (p_locals.empty() ? base.p_local_seq : p_locals[p]);
   os << " seed=" << (seeds.empty() ? base.seed : seeds[s]);

@@ -22,15 +22,17 @@ struct SweepSpec {
   TrafficExperimentConfig base;
 
   // Axes. An empty axis means "keep the base config's value" and contributes
-  // a factor of 1 to the grid.
-  std::vector<Topology> topologies;
+  // a factor of 1 to the grid. The topology axis carries full TopologySpecs
+  // ({name, params}); legacy Topology enumerators convert implicitly, so
+  // `spec.topologies = {Topology::kTop1, "TopH2"}` mixes freely.
+  std::vector<TopologySpec> topologies;
   std::vector<double> lambdas;
   std::vector<double> p_locals;
   std::vector<uint64_t> seeds;
 
   /// When true (default), a swept topology rebuilds the cluster via
-  /// ClusterConfig::paper(topology, base.cluster.scrambling); when false only
-  /// base.cluster.topology is swapped.
+  /// ClusterConfig::paper(spec, base.cluster.scrambling) — each plugin's
+  /// canonical scale; when false only base.cluster.topology is swapped.
   bool paper_cluster = true;
 
   std::size_t num_points() const;

@@ -1,12 +1,29 @@
 // Physical feasibility model (Sections VI-B/C): geometry, wiring, congestion
-// and the paper's qualitative verdicts.
+// and the paper's qualitative verdicts — wire extraction dispatched through
+// the FabricTopology plugins.
 
 #include <gtest/gtest.h>
 
+#include "noc/fabric.hpp"
 #include "physical/feasibility.hpp"
 
 namespace mempool::physical {
 namespace {
+
+std::vector<WireBundle> plugin_wires(const std::string& name,
+                                     const Floorplan& fp) {
+  const mempool::ClusterConfig cfg =
+      mempool::ClusterConfig::paper(mempool::TopologySpec{name}, true);
+  return mempool::FabricRegistry::get(name).wires(cfg, fp);
+}
+
+const FeasibilityReport* find_report(
+    const std::vector<FeasibilityReport>& reports, const std::string& name) {
+  for (const auto& r : reports) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
 
 TEST(Floorplan, TileAreaFractionMatchesPaper) {
   const Floorplan fp;
@@ -40,12 +57,39 @@ TEST(Floorplan, GroupedLayoutPutsGroupsInQuadrants) {
   }
 }
 
+TEST(Floorplan, SixteenGroupGridForTopH2) {
+  // The generalized grouped layout: 256 tiles, 16 groups on a 4×4 grid of
+  // cells (TopH2's floorplan), every tile inside its group's cell.
+  const Floorplan fp(mempool::FabricRegistry::get("TopH2").floorplan_params(
+      mempool::ClusterConfig::paper(mempool::TopologySpec{"TopH2"}, true)));
+  EXPECT_EQ(fp.group_grid_dim(), 4u);
+  const double cell = fp.params().die_mm / 4;
+  for (uint32_t g = 0; g < 16; ++g) {
+    const Point c = fp.group_center(g);
+    for (uint32_t j = 0; j < 16; ++j) {
+      const Point p = fp.tile_center_grouped(g * 16 + j);
+      EXPECT_LT(std::abs(p.x - c.x), cell / 2 + 1e-9) << "g" << g;
+      EXPECT_LT(std::abs(p.y - c.y), cell / 2 + 1e-9) << "g" << g;
+    }
+  }
+}
+
 TEST(Wires, Top4IsFourTimesTop1) {
   const Floorplan fp;
-  const auto w1 = extract_wires(PhysTopology::kTop1, fp);
-  const auto w4 = extract_wires(PhysTopology::kTop4, fp);
+  const auto w1 = plugin_wires("Top1", fp);
+  const auto w4 = plugin_wires("Top4", fp);
   EXPECT_EQ(w4.size(), 4 * w1.size());
   EXPECT_NEAR(total_bit_mm(w4), 4 * total_bit_mm(w1), 1e-6);
+}
+
+TEST(Wires, Top1IsTheStarBaseline) {
+  // Top1's own wiring *is* the monolithic central-hub reference every
+  // feasibility verdict is measured against.
+  const Floorplan fp;
+  const auto w1 = plugin_wires("Top1", fp);
+  const auto star = star_wires(fp);
+  ASSERT_EQ(w1.size(), star.size());
+  EXPECT_NEAR(total_bit_mm(w1), total_bit_mm(star), 1e-9);
 }
 
 TEST(Wires, ManhattanLength) {
@@ -58,8 +102,8 @@ TEST(Congestion, CenterHotForTop1SpreadForTopH) {
   const FeasibilityParams p;
   const Floorplan fp(p.floorplan);
   CongestionMap m1(4.6, 16), mh(4.6, 16);
-  m1.route_all(extract_wires(PhysTopology::kTop1, fp));
-  mh.route_all(extract_wires(PhysTopology::kTopH, fp));
+  m1.route_all(plugin_wires("Top1", fp));
+  mh.route_all(plugin_wires("TopH", fp));
   // TopH distributes the wiring: lower spread (coefficient of variation
   // of cell demand) and a lower center-to-total ratio than Top1.
   EXPECT_LT(mh.center_demand() / mh.total(), m1.center_demand() / m1.total());
@@ -72,35 +116,58 @@ TEST(Congestion, RouteAccountsFullLength) {
 }
 
 TEST(Feasibility, PaperVerdicts) {
-  const auto reports = analyze_all();
-  ASSERT_EQ(reports.size(), 3u);
-  const auto& top1 = reports[0];
-  const auto& top4 = reports[1];
-  const auto& toph = reports[2];
-  EXPECT_TRUE(top1.feasible);
-  EXPECT_FALSE(top4.feasible) << "Top4 is physically infeasible (Sec. VI-C)";
-  EXPECT_TRUE(toph.feasible);
+  const auto reports = mempool::analyze_all_topologies();
+  // Every physically modeled plugin reports; TopX (no realization) must not.
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(find_report(reports, "TopX"), nullptr);
+  const auto* top1 = find_report(reports, "Top1");
+  const auto* top4 = find_report(reports, "Top4");
+  const auto* toph = find_report(reports, "TopH");
+  ASSERT_NE(top1, nullptr);
+  ASSERT_NE(top4, nullptr);
+  ASSERT_NE(toph, nullptr);
+  EXPECT_TRUE(top1->feasible);
+  EXPECT_FALSE(top4->feasible) << "Top4 is physically infeasible (Sec. VI-C)";
+  EXPECT_TRUE(toph->feasible);
   // "Top4 is four times more congested than Top1".
-  EXPECT_NEAR(top4.center_ratio_vs_top1, 4.0, 0.2);
+  EXPECT_NEAR(top4->center_ratio_vs_top1, 4.0, 0.2);
   // TopH's centre is denser than Top1's (the diagonal group pairs cross the
   // die centre — "high cell and wiring density at the center of the design",
   // Sec. VI-C) but stays well below Top4's unroutable 4x.
-  EXPECT_GT(toph.center_ratio_vs_top1, 1.0);
-  EXPECT_LT(toph.center_ratio_vs_top1, 2.5);
+  EXPECT_GT(toph->center_ratio_vs_top1, 1.0);
+  EXPECT_LT(toph->center_ratio_vs_top1, 2.5);
+}
+
+TEST(Feasibility, TopH2RoutesOnItsOwnDie) {
+  const auto reports = mempool::analyze_all_topologies();
+  const auto* toph2 = find_report(reports, "TopH2");
+  ASSERT_NE(toph2, nullptr);
+  // The two-level hierarchy keeps distributing the wiring: against the
+  // monolithic central hub on the same 1024-core die it stays routable.
+  EXPECT_TRUE(toph2->feasible);
+  EXPECT_LT(toph2->center_ratio_vs_top1, 2.5);
+  const auto* top1 = find_report(reports, "Top1");
+  ASSERT_NE(top1, nullptr);
+  EXPECT_LT(toph2->spread, top1->spread);
 }
 
 TEST(Feasibility, TimingEstimateInPaperRange) {
-  const auto reports = analyze_all();
-  const auto& toph = reports[2];
+  const auto reports = mempool::analyze_all_topologies();
+  const auto* toph = find_report(reports, "TopH");
+  ASSERT_NE(toph, nullptr);
   // Paper: 480 MHz worst case, critical path 37 % wire delay.
-  EXPECT_NEAR(toph.wire_delay_fraction, 0.37, 0.08);
-  EXPECT_GT(toph.fmax_mhz, 350.0);
-  EXPECT_LT(toph.fmax_mhz, 700.0);
+  EXPECT_NEAR(toph->wire_delay_fraction, 0.37, 0.08);
+  EXPECT_GT(toph->fmax_mhz, 350.0);
+  EXPECT_LT(toph->fmax_mhz, 700.0);
 }
 
 TEST(Feasibility, TopHSpreadsWiring) {
-  const auto reports = analyze_all();
-  EXPECT_LT(reports[2].spread, reports[0].spread);
+  const auto reports = mempool::analyze_all_topologies();
+  const auto* top1 = find_report(reports, "Top1");
+  const auto* toph = find_report(reports, "TopH");
+  ASSERT_NE(top1, nullptr);
+  ASSERT_NE(toph, nullptr);
+  EXPECT_LT(toph->spread, top1->spread);
 }
 
 }  // namespace

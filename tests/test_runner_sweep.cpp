@@ -46,7 +46,7 @@ TEST(SweepSpec, ExpandIsRowMajorWithSeedInnermost) {
 
   // i = ((t * |p| + p) * |l| + l) * |s| + s
   std::size_t i = 0;
-  for (Topology topo : spec.topologies) {
+  for (const TopologySpec& topo : spec.topologies) {
     for (double pl : spec.p_locals) {
       for (double lambda : spec.lambdas) {
         for (uint64_t seed : spec.seeds) {

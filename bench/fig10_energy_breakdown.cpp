@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   const Measured meas = runner::run_indexed(pool, 1, [&](std::size_t) {
     System sys(cfg);
-    sys.engine().set_dense(opts.dense);
+    sys.configure_engine(opts.engine, opts.sim_threads);
     kernels::run_kernel(sys, kernels::build_matmul(cfg, 64), 50'000'000);
     Measured m;
     m.cs = sys.aggregate_core_stats();

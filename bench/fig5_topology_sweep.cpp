@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   spec.base.drain_cycles = 2000;
   spec.topologies = {Topology::kTop1, Topology::kTop4, Topology::kTopH};
   spec.lambdas = loads;
-  spec.base.dense_engine = opts.dense;
+  opts.apply_engine(&spec.base);
 
   const SweepResult res = run_sweep(spec, opts.runner());
   // Point index layout (SweepSpec::expand): topology-major, λ inner.

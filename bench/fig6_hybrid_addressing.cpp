@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   spec.base.drain_cycles = 2000;
   spec.p_locals = plocals;
   spec.lambdas = loads;
-  spec.base.dense_engine = opts.dense;
+  opts.apply_engine(&spec.base);
 
   const SweepResult res = run_sweep(spec, opts.runner());
   // Point index layout (SweepSpec::expand): p_local-major, λ inner.

@@ -30,10 +30,10 @@ using namespace mempool::runner;
 namespace {
 
 uint64_t run_one(Topology topo, bool scramble, const std::string& kernel,
-                 bool dense) {
+                 EngineMode engine, unsigned sim_threads) {
   const ClusterConfig cfg = ClusterConfig::paper(topo, scramble);
   System sys(cfg);
-  sys.engine().set_dense(dense);
+  sys.configure_engine(engine, sim_threads);
   kernels::KernelProgram kp;
   if (kernel == "matmul") {
     kp = kernels::build_matmul(cfg, 64);
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   const std::vector<uint64_t> measured = run_indexed(
       pool, cases.size(), [&](std::size_t i) {
         return run_one(cases[i].topo, cases[i].scramble, cases[i].kernel,
-                       opts.dense);
+                       opts.engine, opts.sim_threads);
       });
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)

@@ -30,9 +30,15 @@ using namespace mempool;
 namespace {
 
 struct Rig {
-  explicit Rig(const ClusterConfig& cfg, bool dense)
+  explicit Rig(const ClusterConfig& cfg, EngineMode mode)
       : imem(4096), cluster(cfg, &imem) {
-    engine.set_dense(dense);
+    // Probing is one load at a time, so sharded mode runs its shards inline
+    // on this thread (no executor) — still the sharded code path end to end.
+    if (mode == EngineMode::kSharded) {
+      engine.set_sharded(cluster.num_shards(), nullptr);
+    } else {
+      engine.set_dense(mode == EngineMode::kDense);
+    }
     for (uint32_t c = 0; c < cfg.num_cores(); ++c) {
       probes.push_back(std::make_unique<ProbeClient>(
           static_cast<uint16_t>(c),
@@ -66,9 +72,9 @@ struct TopoLatency {
   uint32_t tiles = 0;
 };
 
-TopoLatency measure(const TopologySpec& topo, bool dense) {
+TopoLatency measure(const TopologySpec& topo, EngineMode mode) {
   const ClusterConfig cfg = ClusterConfig::paper(topo, true);
-  Rig rig(cfg, dense);
+  Rig rig(cfg, mode);
   auto addr = [&](uint32_t tile) { return tile * cfg.seq_region_bytes; };
   TopoLatency out;
   out.tiles = cfg.num_tiles;
@@ -102,7 +108,7 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<TopoLatency> lats = runner::run_indexed(
       pool, topos.size(),
-      [&](std::size_t i) { return measure(topos[i], opts.dense); });
+      [&](std::size_t i) { return measure(topos[i], opts.engine); });
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

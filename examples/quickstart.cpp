@@ -2,23 +2,58 @@
 // textual assembly, run it on all 256 cores, and inspect the results.
 //
 //   $ ./quickstart
+//   $ ./quickstart --engine sharded --sim-threads 4   # parallel cycles
 //
 // Each core computes the sum 1..hartid with a simple loop, stores it into
 // the shared L1, and exits with the result; the host verifies via the
-// backdoor, then prints a few performance counters.
+// backdoor, then prints a few performance counters. The optional flags pick
+// the engine mode: sharded steps the cluster's four TopH groups on four
+// threads and is bit-identical to the default sequential scheduler.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/system.hpp"
 #include "isa/text_asm.hpp"
 
 using namespace mempool;
 
-int main() {
+int main(int argc, char** argv) {
+  EngineMode mode = EngineMode::kActive;
+  unsigned sim_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      if (!engine_mode_from_name(argv[++i], &mode)) {
+        std::fprintf(stderr, "unknown engine '%s' (active|dense|sharded)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--sim-threads") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[++i], &end, 10);
+      if (v == 0 || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr, "--sim-threads wants a positive integer\n");
+        return 2;
+      }
+      sim_threads = static_cast<unsigned>(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: quickstart [--engine active|dense|sharded] "
+                   "[--sim-threads N]\n");
+      return 2;
+    }
+  }
+  if (sim_threads > 1 && mode != EngineMode::kSharded) {
+    std::fprintf(stderr, "--sim-threads only applies to --engine sharded\n");
+    return 2;
+  }
+
   // The paper's silicon configuration: 64 tiles x 4 cores x 16 banks, TopH
   // interconnect, hybrid addressing (scrambling) enabled.
   const ClusterConfig cfg = ClusterConfig::paper(Topology::kTopH, true);
   System sys(cfg);
+  sys.configure_engine(mode, sim_threads);
 
   const std::string program = R"(
     _start:

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   TrafficExperimentConfig e;
   e.cluster = ClusterConfig::paper(topo, p_local > 0.0);
   e.p_local_seq = p_local;
-  e.dense_engine = opts.dense;
+  opts.apply_engine(&e);
 
   if (lambda >= 0) {
     e.lambda = lambda;

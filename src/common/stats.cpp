@@ -48,6 +48,17 @@ void Histogram::reset() {
   overflow_ = 0;
 }
 
+void Histogram::absorb(const Histogram& other) {
+  MEMPOOL_CHECK_MSG(width_ == other.width_ &&
+                        buckets_.size() == other.buckets_.size(),
+                    "absorbing a histogram with a different shape");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  overflow_ += other.overflow_;
+}
+
 Json RunningStat::to_json() const {
   Json j = Json::object();
   j.set("count", n_);

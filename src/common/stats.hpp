@@ -46,6 +46,10 @@ class Histogram {
   void add(double x);
   void reset();
 
+  /// Fold @p other (same bucket width and count) into this histogram; counts
+  /// are integers, so the merge is exact and order-free.
+  void absorb(const Histogram& other);
+
   uint64_t count() const { return count_; }
   uint64_t overflow() const { return overflow_; }
   const std::vector<uint64_t>& buckets() const { return buckets_; }

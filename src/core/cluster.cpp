@@ -71,26 +71,47 @@ uint32_t FabricBuilder::num_tiles() const {
 
 Tile& FabricBuilder::tile(uint32_t t) { return *c_->tiles_[t]; }
 
-ButterflyNet* FabricBuilder::add_req_butterfly(
-    std::unique_ptr<ButterflyNet> n) {
+ButterflyNet* FabricBuilder::add_req_butterfly(std::unique_ptr<ButterflyNet> n,
+                                               uint32_t shard) {
   c_->req_bflys_.push_back(std::move(n));
+  c_->req_bfly_shards_.push_back(shard);
   return c_->req_bflys_.back().get();
 }
 
 ButterflyNet* FabricBuilder::add_resp_butterfly(
-    std::unique_ptr<ButterflyNet> n) {
+    std::unique_ptr<ButterflyNet> n, uint32_t shard) {
   c_->resp_bflys_.push_back(std::move(n));
+  c_->resp_bfly_shards_.push_back(shard);
   return c_->resp_bflys_.back().get();
 }
 
-XbarSwitch* FabricBuilder::add_req_group_xbar(std::unique_ptr<XbarSwitch> x) {
+XbarSwitch* FabricBuilder::add_req_group_xbar(std::unique_ptr<XbarSwitch> x,
+                                              uint32_t shard) {
   c_->group_req_lxbars_.push_back(std::move(x));
+  c_->group_req_shards_.push_back(shard);
   return c_->group_req_lxbars_.back().get();
 }
 
-XbarSwitch* FabricBuilder::add_resp_group_xbar(std::unique_ptr<XbarSwitch> x) {
+XbarSwitch* FabricBuilder::add_resp_group_xbar(std::unique_ptr<XbarSwitch> x,
+                                               uint32_t shard) {
   c_->group_resp_lxbars_.push_back(std::move(x));
+  c_->group_resp_shards_.push_back(shard);
   return c_->group_resp_lxbars_.back().get();
+}
+
+PacketSink* FabricBuilder::shard_boundary(uint32_t producer_shard,
+                                          uint32_t consumer_shard,
+                                          PacketSink* sink) {
+  MEMPOOL_CHECK(sink != nullptr);
+  const uint32_t shards = c_->fabric_->num_shards(c_->cfg_);
+  MEMPOOL_CHECK_MSG(producer_shard < shards && consumer_shard < shards,
+                    "shard_boundary(" << producer_shard << ", "
+                                      << consumer_shard << ") with "
+                                      << shards << " shards");
+  if (producer_shard != consumer_shard) {
+    sink->mark_shard_boundary(consumer_shard);
+  }
+  return sink;
 }
 
 ButterflyNet* FabricBuilder::req_butterfly(std::size_t i) {
@@ -175,45 +196,66 @@ void Cluster::attach_clients(const std::vector<Client*>& clients) {
   fabric_->attach_clients_hook(builder);
 }
 
+uint32_t Cluster::num_shards() const { return fabric_->num_shards(cfg_); }
+
+uint32_t Cluster::tile_shard(uint32_t tile) const {
+  return fabric_->tile_shard(cfg_, tile);
+}
+
 void Cluster::build(Engine& engine) {
   MEMPOOL_CHECK_MSG(!built_, "Cluster::build called twice");
   MEMPOOL_CHECK_MSG(!clients_.empty(), "attach_clients before build");
   built_ = true;
 
-  // 1. Response path: bank-response crossbars ...
-  for (auto& t : tiles_) t->add_resp_early(engine);
-  // ... response networks ...
-  for (auto& x : group_resp_lxbars_) {
-    engine.add_component(x.get());
-    x->register_clocked(engine);
+  // Shard assignment: every tile-resident component inherits its tile's
+  // shard, networks carry the shard the plugin tagged them with at add_*
+  // time. Under the sequential engines the ids are inert; under the sharded
+  // engine they are the partition (see noc/fabric.hpp, num_shards).
+  const uint32_t shards = num_shards();
+  std::vector<uint32_t> tshard(tiles_.size());
+  for (uint32_t t = 0; t < tiles_.size(); ++t) {
+    tshard[t] = tile_shard(t);
+    MEMPOOL_CHECK_MSG(tshard[t] < shards, "tile " << t << " assigned to shard "
+                                                  << tshard[t] << " of "
+                                                  << shards);
   }
-  for (auto& b : resp_bflys_) {
-    engine.add_component(b.get());
-    b->register_clocked(engine);
+
+  // 1. Response path: bank-response crossbars ...
+  for (auto& t : tiles_) t->add_resp_early(engine, tshard[t->index()]);
+  // ... response networks ...
+  for (std::size_t i = 0; i < group_resp_lxbars_.size(); ++i) {
+    engine.add_component(group_resp_lxbars_[i].get(), group_resp_shards_[i]);
+    group_resp_lxbars_[i]->register_clocked(engine);
+  }
+  for (std::size_t i = 0; i < resp_bflys_.size(); ++i) {
+    engine.add_component(resp_bflys_[i].get(), resp_bfly_shards_[i]);
+    resp_bflys_[i]->register_clocked(engine);
   }
   // ... and delivery into the cores.
-  for (auto& t : tiles_) t->add_resp_late(engine);
+  for (auto& t : tiles_) t->add_resp_late(engine, tshard[t->index()]);
   for (auto& br : bridges_) {
     engine.add_component(br.get());
     br->register_clocked(engine);
   }
 
   // 2. Instruction caches, then the clients themselves.
-  for (auto& t : tiles_) t->add_fetch(engine);
-  for (Client* c : clients_) engine.add_component(c);
+  for (auto& t : tiles_) t->add_fetch(engine, tshard[t->index()]);
+  for (Client* c : clients_) {
+    engine.add_component(c, tshard[c->tile()]);
+  }
 
   // 3. Request path: master-port crossbars, request networks, merged request
   //    crossbars, banks.
-  for (auto& t : tiles_) t->add_req_early(engine);
-  for (auto& x : group_req_lxbars_) {
-    engine.add_component(x.get());
-    x->register_clocked(engine);
+  for (auto& t : tiles_) t->add_req_early(engine, tshard[t->index()]);
+  for (std::size_t i = 0; i < group_req_lxbars_.size(); ++i) {
+    engine.add_component(group_req_lxbars_[i].get(), group_req_shards_[i]);
+    group_req_lxbars_[i]->register_clocked(engine);
   }
-  for (auto& b : req_bflys_) {
-    engine.add_component(b.get());
-    b->register_clocked(engine);
+  for (std::size_t i = 0; i < req_bflys_.size(); ++i) {
+    engine.add_component(req_bflys_[i].get(), req_bfly_shards_[i]);
+    req_bflys_[i]->register_clocked(engine);
   }
-  for (auto& t : tiles_) t->add_req_late(engine);
+  for (auto& t : tiles_) t->add_req_late(engine, tshard[t->index()]);
 }
 
 uint32_t Cluster::read_word(uint32_t cpu_addr) const {

@@ -113,6 +113,12 @@ class Cluster {
   const Tile& tile(uint32_t t) const { return *tiles_[t]; }
   uint32_t num_tiles() const { return static_cast<uint32_t>(tiles_.size()); }
 
+  /// Shards the fabric plugin partitions this cluster into (1 for the flat
+  /// fabrics) and the shard of each tile — what build() hands the engine and
+  /// what callers size per-shard structures (monitors, executors) with.
+  uint32_t num_shards() const;
+  uint32_t tile_shard(uint32_t tile) const;
+
   // --- backdoor access (program loading / result checking) -----------------
   uint32_t read_word(uint32_t cpu_addr) const;
   void write_word(uint32_t cpu_addr, uint32_t value);
@@ -163,6 +169,11 @@ class Cluster {
   std::vector<std::unique_ptr<ButterflyNet>> resp_bflys_;
   std::vector<std::unique_ptr<XbarSwitch>> group_req_lxbars_;
   std::vector<std::unique_ptr<XbarSwitch>> group_resp_lxbars_;
+  // Shard tags parallel to the four network containers (FabricBuilder::add_*).
+  std::vector<uint32_t> req_bfly_shards_;
+  std::vector<uint32_t> resp_bfly_shards_;
+  std::vector<uint32_t> group_req_shards_;
+  std::vector<uint32_t> group_resp_shards_;
   std::vector<std::unique_ptr<IdealRespBridge>> bridges_;
   std::vector<Client*> clients_;
   std::vector<std::unique_ptr<CorePort>> ports_;

@@ -2,12 +2,36 @@
 
 #include "common/check.hpp"
 #include "isa/decoder.hpp"
+#include "runner/shard_gang.hpp"
 
 namespace mempool {
 
 System::System(const ClusterConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
   cluster_ = std::make_unique<Cluster>(cfg_, &imem_);
+}
+
+System::~System() = default;
+
+void System::configure_engine(EngineMode mode, unsigned sim_threads) {
+  // One-shot: re-configuring would have to tear down a live gang/pool pair
+  // in the right order and un-shard the engine — no caller needs that, so
+  // fail loudly instead of supporting it subtly wrong.
+  MEMPOOL_CHECK_MSG(!engine_configured_, "configure_engine called twice");
+  engine_configured_ = true;
+  switch (mode) {
+    case EngineMode::kActive:
+      engine_.set_dense(false);
+      break;
+    case EngineMode::kDense:
+      engine_.set_dense(true);
+      break;
+    case EngineMode::kSharded:
+      crew_ = std::make_unique<runner::ShardCrew>(sim_threads,
+                                                  cluster_->num_shards());
+      engine_.set_sharded(cluster_->num_shards(), crew_->executor());
+      break;
+  }
 }
 
 void System::load_program(const std::vector<uint32_t>& words, uint32_t base,

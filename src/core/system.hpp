@@ -13,12 +13,25 @@
 #include "isa/encoding.hpp"
 #include "mem/imem.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard.hpp"
+
+namespace mempool::runner {
+class ShardCrew;
+}  // namespace mempool::runner
 
 namespace mempool {
 
 class System {
  public:
   explicit System(const ClusterConfig& cfg);
+  ~System();
+
+  /// Select the scheduler stepping this system (default: active). Sharded
+  /// mode partitions the cluster along the fabric's groups and steps the
+  /// shards on @p sim_threads threads (leader + pool helpers owned by the
+  /// system), bit-identically to the sequential engines. Must be called
+  /// before the first run().
+  void configure_engine(EngineMode mode, unsigned sim_threads = 1);
 
   /// Load the program image and instantiate one Snitch core per core slot
   /// (all cores boot at @p boot_pc, defaulting to the image base). Must be
@@ -59,11 +72,13 @@ class System {
   ClusterConfig cfg_;
   InstrMem imem_;
   std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<runner::ShardCrew> crew_;  // configure_engine(kSharded)
   Engine engine_;
   std::vector<isa::Instr> decoded_;
   uint32_t program_base_ = InstrMem::kBase;
   std::vector<std::unique_ptr<SnitchCore>> cores_;
   bool loaded_ = false;
+  bool engine_configured_ = false;
 };
 
 }  // namespace mempool

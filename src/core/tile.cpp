@@ -121,36 +121,38 @@ void Tile::connect_clients(const std::vector<Client*>& clients) {
   }
 }
 
-void Tile::add_resp_early(Engine& engine) {
+void Tile::add_resp_early(Engine& engine, uint32_t shard) {
   if (bank_resp_xbar_) {
-    engine.add_component(bank_resp_xbar_.get());
+    engine.add_component(bank_resp_xbar_.get(), shard);
     bank_resp_xbar_->register_clocked(engine);
   }
 }
 
-void Tile::add_resp_late(Engine& engine) {
+void Tile::add_resp_late(Engine& engine, uint32_t shard) {
   if (remote_resp_xbar_) {
-    engine.add_component(remote_resp_xbar_.get());
+    engine.add_component(remote_resp_xbar_.get(), shard);
     remote_resp_xbar_->register_clocked(engine);
   }
 }
 
-void Tile::add_fetch(Engine& engine) { engine.add_component(icache_.get()); }
+void Tile::add_fetch(Engine& engine, uint32_t shard) {
+  engine.add_component(icache_.get(), shard);
+}
 
-void Tile::add_req_early(Engine& engine) {
+void Tile::add_req_early(Engine& engine, uint32_t shard) {
   if (dir_xbar_) {
-    engine.add_component(dir_xbar_.get());
+    engine.add_component(dir_xbar_.get(), shard);
     dir_xbar_->register_clocked(engine);
   }
 }
 
-void Tile::add_req_late(Engine& engine) {
+void Tile::add_req_late(Engine& engine, uint32_t shard) {
   if (req_xbar_) {
-    engine.add_component(req_xbar_.get());
+    engine.add_component(req_xbar_.get(), shard);
     req_xbar_->register_clocked(engine);
   }
   for (auto& b : banks_) {
-    engine.add_component(b.get());
+    engine.add_component(b.get(), shard);
     b->register_clocked(engine);
   }
 }

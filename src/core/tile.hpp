@@ -73,11 +73,12 @@ class Tile {
   void connect_clients(const std::vector<Client*>& clients);
 
   // --- engine hookup, grouped by evaluation phase ----------------------------
-  void add_resp_early(Engine& engine);   ///< bank-response crossbar
-  void add_resp_late(Engine& engine);    ///< remote-response interconnect
-  void add_fetch(Engine& engine);        ///< shared I$
-  void add_req_early(Engine& engine);    ///< master-port (direction) crossbar
-  void add_req_late(Engine& engine);     ///< merged request crossbar + banks
+  // @p shard: the tile's shard under the sharded engine (inert otherwise).
+  void add_resp_early(Engine& engine, uint32_t shard = 0);  ///< bank-resp xbar
+  void add_resp_late(Engine& engine, uint32_t shard = 0);   ///< remote-resp ic
+  void add_fetch(Engine& engine, uint32_t shard = 0);       ///< shared I$
+  void add_req_early(Engine& engine, uint32_t shard = 0);   ///< dir crossbar
+  void add_req_late(Engine& engine, uint32_t shard = 0);    ///< req xbar+banks
 
   // --- accessors -------------------------------------------------------------
   SpmBank& bank(uint32_t b) { return *banks_[b]; }

@@ -73,10 +73,31 @@ class FabricBuilder {
   /// after the bank-response crossbars and before the remote-response
   /// crossbars. Within a direction: group crossbars first, then butterflies,
   /// each in insertion order. Returns a non-owning pointer for wiring.
-  ButterflyNet* add_req_butterfly(std::unique_ptr<ButterflyNet> n);
-  ButterflyNet* add_resp_butterfly(std::unique_ptr<ButterflyNet> n);
-  XbarSwitch* add_req_group_xbar(std::unique_ptr<XbarSwitch> x);
-  XbarSwitch* add_resp_group_xbar(std::unique_ptr<XbarSwitch> x);
+  ///
+  /// @p shard is the partition the network evaluates in under the sharded
+  /// engine (< num_shards()). Because a network's outputs may feed tile
+  /// slave ports combinationally, it must live in the shard of the tiles it
+  /// *feeds* — for MemPool's hierarchical fabrics that is the destination
+  /// group; its input buffers are then the registered shard boundary (wrap
+  /// them with shard_boundary() when wiring the source tiles).
+  ButterflyNet* add_req_butterfly(std::unique_ptr<ButterflyNet> n,
+                                  uint32_t shard = 0);
+  ButterflyNet* add_resp_butterfly(std::unique_ptr<ButterflyNet> n,
+                                   uint32_t shard = 0);
+  XbarSwitch* add_req_group_xbar(std::unique_ptr<XbarSwitch> x,
+                                 uint32_t shard = 0);
+  XbarSwitch* add_resp_group_xbar(std::unique_ptr<XbarSwitch> x,
+                                  uint32_t shard = 0);
+
+  /// Declare @p sink — an input of a network that lives in @p consumer_shard
+  /// — to be fed by components of @p producer_shard. When the shards differ
+  /// the underlying elastic buffer is switched to commit-barrier visibility
+  /// (it must be registered; combinational boundary links fail loudly —
+  /// that check is the sharded engine's structural determinism argument).
+  /// Returns @p sink so wiring reads naturally:
+  ///   src.connect_dir_output(i, b.shard_boundary(g, h, req->input(j)));
+  PacketSink* shard_boundary(uint32_t producer_shard, uint32_t consumer_shard,
+                             PacketSink* sink);
 
   /// The stored request butterflies, in insertion order (Top4's core-port
   /// wiring needs plane k's input at the owning tile).
@@ -135,6 +156,26 @@ class FabricTopology {
   /// Non-virtual helper: every key in @p spec.params must be in
   /// param_keys(); throws CheckError naming the offender otherwise.
   void check_params(const TopologySpec& spec) const;
+
+  // --- sharded-execution hooks ----------------------------------------------
+  /// How many shards the sharded engine may evaluate this fabric's cluster
+  /// with. The shard boundary must coincide with registered link boundaries:
+  /// a combinational path must never cross shards, so the natural (and for
+  /// the built-in fabrics, only) choice is the group hierarchy — TopH shards
+  /// per group, TopH2 per super-group (its die-spanning butterflies feed a
+  /// whole super-group combinationally), the flat fabrics report 1 and run
+  /// the sharded engine degenerately on one shard.
+  virtual uint32_t num_shards(const ClusterConfig& cfg) const {
+    (void)cfg;
+    return 1;
+  }
+  /// Shard of @p tile (and of everything inside it: cores, banks, I$,
+  /// crossbars); must be < num_shards(cfg).
+  virtual uint32_t tile_shard(const ClusterConfig& cfg, uint32_t tile) const {
+    (void)cfg;
+    (void)tile;
+    return 0;
+  }
 
   // --- structural hooks (Cluster construction) ------------------------------
   virtual TileShape tile_shape(const ClusterConfig& cfg) const = 0;

@@ -1,5 +1,9 @@
 #include "noc/monitor.hpp"
 
+#include <algorithm>
+
+#include "common/check.hpp"
+
 namespace mempool {
 
 LatencyMonitor::LatencyMonitor(uint64_t warmup_cycles, double hist_bucket,
@@ -18,8 +22,23 @@ void LatencyMonitor::on_response(uint64_t now, uint64_t birth) {
   if (now >= warmup_ && now < window_end_) ++completed_in_window_;
   if (birth < warmup_) return;  // request generated during warmup
   const double lat = static_cast<double>(now - birth);
-  lat_.add(lat);
+  ++lat_count_;
+  lat_sum_ += lat;
+  lat_max_ = std::max(lat_max_, lat);
   hist_.add(lat);
+}
+
+void LatencyMonitor::absorb(const LatencyMonitor& other) {
+  MEMPOOL_CHECK_MSG(warmup_ == other.warmup_ &&
+                        window_end_ == other.window_end_,
+                    "absorbing a monitor with a different measure window");
+  generated_ += other.generated_;
+  injected_ += other.injected_;
+  completed_in_window_ += other.completed_in_window_;
+  lat_count_ += other.lat_count_;
+  lat_sum_ += other.lat_sum_;
+  lat_max_ = std::max(lat_max_, other.lat_max_);
+  hist_.absorb(other.hist_);
 }
 
 }  // namespace mempool

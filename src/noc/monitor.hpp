@@ -2,6 +2,17 @@
 // Measurement of injected load, accepted throughput, and round-trip latency —
 // the quantities plotted in Figures 5 and 6 of the paper. A monitor is shared
 // by all requesters of an experiment; warmup samples are excluded.
+//
+// Exact mergeability: under the sharded engine every shard records into its
+// own monitor (a shared one would be a data race), and the per-shard
+// monitors are merged with absorb() after the run. Every statistic the
+// monitor reports is chosen to make that merge *bit-exact* regardless of
+// recording order: event counts and histogram buckets are integers, the
+// latency sum is a sum of integer-valued doubles (exact in IEEE double far
+// beyond any simulated sample count), max is order-free, and the mean is a
+// single end-of-run division of those two exact quantities. Merged sharded
+// results are therefore bit-identical to the sequential engines' — the
+// equivalence suite asserts it.
 
 #include <cstdint>
 
@@ -32,17 +43,25 @@ class LatencyMonitor {
   /// drain so slow round trips are not censored).
   void set_measure_end(uint64_t end) { window_end_ = end; }
 
+  /// Fold @p other (a per-shard monitor of the same experiment — identical
+  /// warmup/window/bucket configuration) into this one; exact, so the result
+  /// is independent of how samples were distributed across monitors.
+  void absorb(const LatencyMonitor& other);
+
   uint64_t generated() const { return generated_; }
   uint64_t injected() const { return injected_; }
-  uint64_t completed() const { return lat_.count(); }
+  uint64_t completed() const { return lat_count_; }
   /// Responses delivered inside [measure_start, measure_end).
   uint64_t completed_in_window() const { return completed_in_window_; }
 
-  /// Mean round-trip latency in cycles (measured window only).
-  double avg_latency() const { return lat_.mean(); }
+  /// Mean round-trip latency in cycles (measured window only). Computed as
+  /// sum/count of exact integer-valued samples — see the mergeability note.
+  double avg_latency() const {
+    return lat_count_ != 0 ? lat_sum_ / static_cast<double>(lat_count_) : 0.0;
+  }
   double p95_latency() const { return hist_.quantile(0.95); }
-  double max_latency() const { return lat_.max(); }
-  const RunningStat& latency_stat() const { return lat_; }
+  double max_latency() const { return lat_count_ != 0 ? lat_max_ : 0.0; }
+  double latency_sum() const { return lat_sum_; }
   const Histogram& latency_hist() const { return hist_; }
 
  private:
@@ -51,7 +70,9 @@ class LatencyMonitor {
   uint64_t generated_ = 0;
   uint64_t injected_ = 0;
   uint64_t completed_in_window_ = 0;
-  RunningStat lat_;
+  uint64_t lat_count_ = 0;
+  double lat_sum_ = 0.0;   ///< Exact: integer-valued samples.
+  double lat_max_ = 0.0;
   Histogram hist_;
 };
 

@@ -68,6 +68,20 @@ class TopH2 final : public FabricTopology {
   }
   bool hierarchical() const override { return true; }
 
+  // Sharded execution: one shard per super-group. The die-spanning tier-3
+  // butterflies feed every tile of the destination super-group
+  // combinationally (their slave ports are combinational; retiming happens
+  // inside the all-registered layers), so the finest partition whose
+  // combinational paths stay inside a shard is the super-group; tier-1/2
+  // networks are then intra-shard and only the tier-3 butterflies'
+  // registered layer-0 inputs cross the boundary.
+  uint32_t num_shards(const ClusterConfig& cfg) const override {
+    return Shape(cfg).sg;
+  }
+  uint32_t tile_shard(const ClusterConfig& cfg, uint32_t tile) const override {
+    return Shape(cfg).super_of(tile);
+  }
+
   std::vector<std::string> param_keys() const override {
     return {"supergroups"};
   }
@@ -159,18 +173,26 @@ class TopH2 final : public FabricTopology {
     const ClusterConfig& cfg = b.config();
     const Shape s(cfg);
 
-    // Tier 1: intra-group fully-connected crossbars, one per group.
+    // Tier 1: intra-group fully-connected crossbars, one per group (shard =
+    // the group's super-group).
     for (uint32_t g = 0; g < cfg.num_groups; ++g) {
-      XbarSwitch* lreq = b.add_req_group_xbar(std::make_unique<XbarSwitch>(
-          "g" + std::to_string(g) + ".req_lxbar", s.tpg,
-          BufferMode::kRegistered, s.tpg, [s](const Packet& p) {
-            return static_cast<unsigned>(p.dst_tile % s.tpg);
-          }));
-      XbarSwitch* lresp = b.add_resp_group_xbar(std::make_unique<XbarSwitch>(
-          "g" + std::to_string(g) + ".resp_lxbar", s.tpg,
-          BufferMode::kRegistered, s.tpg, [s](const Packet& p) {
-            return static_cast<unsigned>(p.src_tile % s.tpg);
-          }));
+      const uint32_t gshard = g / s.gps;
+      XbarSwitch* lreq = b.add_req_group_xbar(
+          std::make_unique<XbarSwitch>(
+              "g" + std::to_string(g) + ".req_lxbar", s.tpg,
+              BufferMode::kRegistered, s.tpg,
+              [s](const Packet& p) {
+                return static_cast<unsigned>(p.dst_tile % s.tpg);
+              }),
+          gshard);
+      XbarSwitch* lresp = b.add_resp_group_xbar(
+          std::make_unique<XbarSwitch>(
+              "g" + std::to_string(g) + ".resp_lxbar", s.tpg,
+              BufferMode::kRegistered, s.tpg,
+              [s](const Packet& p) {
+                return static_cast<unsigned>(p.src_tile % s.tpg);
+              }),
+          gshard);
       for (uint32_t j = 0; j < s.tpg; ++j) {
         Tile& tl = b.tile(g * s.tpg + j);
         tl.connect_dir_output(0, lreq->input(j));
@@ -191,18 +213,22 @@ class TopH2 final : public FabricTopology {
           const uint32_t h = sp * s.gps + (gl + i) % s.gps;
           const std::string suffix =
               "_g" + std::to_string(g) + "_d" + std::to_string(i);
-          ButterflyNet* req =
-              b.add_req_butterfly(std::make_unique<ButterflyNet>(
+          // Intra-super-group: producer and consumer groups share the
+          // super-group shard, so no boundary marking is needed.
+          ButterflyNet* req = b.add_req_butterfly(
+              std::make_unique<ButterflyNet>(
                   "req_bfly" + suffix, s.tpg, 4, bfly_layer_modes(mid_layers),
                   [s](const Packet& p) {
                     return static_cast<unsigned>(p.dst_tile % s.tpg);
-                  }));
-          ButterflyNet* resp =
-              b.add_resp_butterfly(std::make_unique<ButterflyNet>(
+                  }),
+              sp);
+          ButterflyNet* resp = b.add_resp_butterfly(
+              std::make_unique<ButterflyNet>(
                   "resp_bfly" + suffix, s.tpg, 4, bfly_layer_modes(mid_layers),
                   [s](const Packet& p) {
                     return static_cast<unsigned>(p.src_tile % s.tpg);
-                  }));
+                  }),
+              sp);
           for (uint32_t j = 0; j < s.tpg; ++j) {
             Tile& src = b.tile(g * s.tpg + j);
             Tile& dst = b.tile(h * s.tpg + j);
@@ -223,24 +249,34 @@ class TopH2 final : public FabricTopology {
         const uint32_t sq = (sp + d) % s.sg;
         const std::string suffix =
             "_s" + std::to_string(sp) + "_d" + std::to_string(d);
-        ButterflyNet* req = b.add_req_butterfly(std::make_unique<ButterflyNet>(
-            "req_tbfly" + suffix, s.tps, 4, bfly_all_registered(top_layers),
-            [s](const Packet& p) {
-              return static_cast<unsigned>(p.dst_tile % s.tps);
-            }));
-        ButterflyNet* resp =
-            b.add_resp_butterfly(std::make_unique<ButterflyNet>(
+        // Cross-super-group: the butterfly lives in the destination
+        // super-group's shard (it feeds those tiles combinationally); its
+        // all-registered layer-0 inputs, fed from super-group sp, are the
+        // shard boundary.
+        ButterflyNet* req = b.add_req_butterfly(
+            std::make_unique<ButterflyNet>(
+                "req_tbfly" + suffix, s.tps, 4, bfly_all_registered(top_layers),
+                [s](const Packet& p) {
+                  return static_cast<unsigned>(p.dst_tile % s.tps);
+                }),
+            sq);
+        ButterflyNet* resp = b.add_resp_butterfly(
+            std::make_unique<ButterflyNet>(
                 "resp_tbfly" + suffix, s.tps, 4,
-                bfly_all_registered(top_layers), [s](const Packet& p) {
+                bfly_all_registered(top_layers),
+                [s](const Packet& p) {
                   return static_cast<unsigned>(p.src_tile % s.tps);
-                }));
+                }),
+            sq);
         const uint32_t dir = s.gps - 1 + d;
         for (uint32_t j = 0; j < s.tps; ++j) {
           Tile& src = b.tile(sp * s.tps + j);
           Tile& dst = b.tile(sq * s.tps + j);
-          src.connect_dir_output(dir, req->input(j));
+          src.connect_dir_output(dir,
+                                 b.shard_boundary(sp, sq, req->input(j)));
           req->connect_output(j, dst.slave_req(dir));
-          src.connect_resp_remote_output(dir, resp->input(j));
+          src.connect_resp_remote_output(
+              dir, b.shard_boundary(sp, sq, resp->input(j)));
           resp->connect_output(j, dst.resp_slave(dir));
         }
       }

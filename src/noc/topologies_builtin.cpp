@@ -205,6 +205,18 @@ class TopH final : public FabricTopology {
   }
   bool hierarchical() const override { return true; }
 
+  // Sharded execution: one shard per group. All intra-group paths (tile
+  // fabric, group crossbar) stay inside the shard; the only group-crossing
+  // links are the inter-group butterflies, whose layer-0 input buffers are
+  // registered — they are the shard boundary. A butterfly combinationally
+  // feeds the *destination* group's tiles, so it lives in that group's shard.
+  uint32_t num_shards(const ClusterConfig& cfg) const override {
+    return cfg.num_groups;
+  }
+  uint32_t tile_shard(const ClusterConfig& cfg, uint32_t tile) const override {
+    return cfg.group_of_tile(tile);
+  }
+
   void validate(const ClusterConfig& cfg) const override {
     MEMPOOL_CHECK_MSG(cfg.num_groups == 4, "TopH is defined for 4 groups");
     const uint32_t tpg = cfg.tiles_per_group();
@@ -249,18 +261,24 @@ class TopH final : public FabricTopology {
     const unsigned layers = bfly_layers(tpg);
 
     // Intra-group fully-connected crossbars (registered inputs: the tiles'
-    // master-port boundary).
+    // master-port boundary); shard = the group they serve.
     for (uint32_t g = 0; g < ng; ++g) {
-      XbarSwitch* lreq = b.add_req_group_xbar(std::make_unique<XbarSwitch>(
-          "g" + std::to_string(g) + ".req_lxbar", tpg, BufferMode::kRegistered,
-          tpg, [tpg](const Packet& p) {
-            return static_cast<unsigned>(p.dst_tile % tpg);
-          }));
-      XbarSwitch* lresp = b.add_resp_group_xbar(std::make_unique<XbarSwitch>(
-          "g" + std::to_string(g) + ".resp_lxbar", tpg, BufferMode::kRegistered,
-          tpg, [tpg](const Packet& p) {
-            return static_cast<unsigned>(p.src_tile % tpg);
-          }));
+      XbarSwitch* lreq = b.add_req_group_xbar(
+          std::make_unique<XbarSwitch>(
+              "g" + std::to_string(g) + ".req_lxbar", tpg,
+              BufferMode::kRegistered, tpg,
+              [tpg](const Packet& p) {
+                return static_cast<unsigned>(p.dst_tile % tpg);
+              }),
+          g);
+      XbarSwitch* lresp = b.add_resp_group_xbar(
+          std::make_unique<XbarSwitch>(
+              "g" + std::to_string(g) + ".resp_lxbar", tpg,
+              BufferMode::kRegistered, tpg,
+              [tpg](const Packet& p) {
+                return static_cast<unsigned>(p.src_tile % tpg);
+              }),
+          g);
       for (uint32_t j = 0; j < tpg; ++j) {
         Tile& tl = b.tile(g * tpg + j);
         tl.connect_dir_output(0, lreq->input(j));
@@ -272,27 +290,35 @@ class TopH final : public FabricTopology {
 
     // Inter-group butterflies: one per ordered pair (source group g,
     // direction i in 1..3 toward group (g+i) mod 4) and per direction of
-    // travel.
+    // travel. Each lives in the destination group's shard (its outputs feed
+    // those tiles combinationally); the registered inputs fed from group g
+    // are the shard boundary.
     for (uint32_t g = 0; g < ng; ++g) {
       for (uint32_t i = 1; i < ng; ++i) {
         const uint32_t h = (g + i) % ng;  // destination group
-        ButterflyNet* req = b.add_req_butterfly(std::make_unique<ButterflyNet>(
-            "req_bfly_g" + std::to_string(g) + "_d" + std::to_string(i), tpg,
-            4, bfly_layer_modes(layers), [tpg](const Packet& p) {
-              return static_cast<unsigned>(p.dst_tile % tpg);
-            }));
-        ButterflyNet* resp =
-            b.add_resp_butterfly(std::make_unique<ButterflyNet>(
+        ButterflyNet* req = b.add_req_butterfly(
+            std::make_unique<ButterflyNet>(
+                "req_bfly_g" + std::to_string(g) + "_d" + std::to_string(i),
+                tpg, 4, bfly_layer_modes(layers),
+                [tpg](const Packet& p) {
+                  return static_cast<unsigned>(p.dst_tile % tpg);
+                }),
+            h);
+        ButterflyNet* resp = b.add_resp_butterfly(
+            std::make_unique<ButterflyNet>(
                 "resp_bfly_g" + std::to_string(g) + "_d" + std::to_string(i),
-                tpg, 4, bfly_layer_modes(layers), [tpg](const Packet& p) {
+                tpg, 4, bfly_layer_modes(layers),
+                [tpg](const Packet& p) {
                   return static_cast<unsigned>(p.src_tile % tpg);
-                }));
+                }),
+            h);
         for (uint32_t j = 0; j < tpg; ++j) {
           Tile& src_tile = b.tile(g * tpg + j);
           Tile& dst_tile = b.tile(h * tpg + j);
-          src_tile.connect_dir_output(i, req->input(j));
+          src_tile.connect_dir_output(i, b.shard_boundary(g, h, req->input(j)));
           req->connect_output(j, dst_tile.slave_req(i));
-          src_tile.connect_resp_remote_output(i, resp->input(j));
+          src_tile.connect_resp_remote_output(
+              i, b.shard_boundary(g, h, resp->input(j)));
           resp->connect_output(j, dst_tile.resp_slave(i));
         }
       }

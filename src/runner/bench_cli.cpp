@@ -13,16 +13,25 @@ namespace {
 
 [[noreturn]] void usage(const std::string& bench, int code) {
   std::fprintf(stderr,
-               "usage: %s [--threads N] [--json PATH | --no-json] [--quiet] "
-               "[--dense] [--topology NAME] [--list-topologies] "
+               "usage: %s [--threads N] [--sim-threads N] [--engine MODE] "
+               "[--json PATH | --no-json] [--quiet] "
+               "[--topology NAME] [--list-topologies] "
                "[bench-specific args]\n"
-               "  --threads N        worker threads (default: MEMPOOL_THREADS "
-               "env var, else all cores)\n"
+               "  --threads N        sweep worker threads: how many points "
+               "run concurrently\n"
+               "                     (default: MEMPOOL_THREADS env var, else "
+               "all cores)\n"
+               "  --sim-threads N    engine threads: how many shards of one "
+               "point's cluster\n"
+               "                     step concurrently (--engine sharded "
+               "only; default 1)\n"
+               "  --engine MODE      active (default) | dense | sharded — "
+               "bit-identical\n"
+               "                     results, different wall-clock\n"
+               "  --dense            alias for --engine dense\n"
                "  --json PATH        results file (default: %s.results.json)\n"
                "  --no-json          do not write a results file\n"
                "  --quiet            no stderr progress ticker\n"
-               "  --dense            dense evaluate-everything engine "
-               "(bit-identical fallback)\n"
                "  --topology NAME    fabric topology (available: %s)\n"
                "  --list-topologies  list the registered fabric topologies "
                "and exit\n",
@@ -70,13 +79,51 @@ BenchOptions parse_bench_options(int* argc, char** argv,
       return argv[++i];
     };
     if (std::strcmp(a, "--threads") == 0) {
-      const long v = std::strtol(value(), nullptr, 10);
-      if (v <= 0) {
-        std::fprintf(stderr, "%s: --threads wants a positive integer\n",
+      const char* v_str = value();
+      char* end = nullptr;
+      const long v = std::strtol(v_str, &end, 10);
+      if (v <= 0 || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr,
+                     "%s: --threads wants a positive integer (sweep workers: "
+                     "how many points run concurrently); engine-level "
+                     "parallelism is --sim-threads\n",
                      bench_name.c_str());
         usage(bench_name, 2);
       }
       opts.threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(a, "--sim-threads") == 0) {
+      const char* v_str = value();
+      char* end = nullptr;
+      const long v = std::strtol(v_str, &end, 10);
+      if (v <= 0 || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr,
+                     "%s: --sim-threads wants a positive integer (engine "
+                     "threads per point); sweep-level parallelism is "
+                     "--threads\n",
+                     bench_name.c_str());
+        usage(bench_name, 2);
+      }
+      opts.sim_threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(a, "--sim_threads") == 0 ||
+               std::strcmp(a, "--engine-threads") == 0 ||
+               std::strcmp(a, "--engine_threads") == 0) {
+      // The historically ambiguous spellings: refuse instead of guessing
+      // which of the two thread axes was meant.
+      std::fprintf(stderr,
+                   "%s: unknown flag '%s' — use --threads N for sweep "
+                   "workers (points in parallel) or --sim-threads N for "
+                   "engine threads (shards of one point in parallel)\n",
+                   bench_name.c_str(), a);
+      std::exit(2);
+    } else if (std::strcmp(a, "--engine") == 0) {
+      const char* mode = value();
+      if (!engine_mode_from_name(mode, &opts.engine)) {
+        std::fprintf(stderr,
+                     "%s: unknown engine '%s'; available: active, dense, "
+                     "sharded\n",
+                     bench_name.c_str(), mode);
+        std::exit(2);
+      }
     } else if (std::strcmp(a, "--json") == 0) {
       opts.json_path = value();
     } else if (std::strcmp(a, "--no-json") == 0) {
@@ -84,7 +131,7 @@ BenchOptions parse_bench_options(int* argc, char** argv,
     } else if (std::strcmp(a, "--quiet") == 0) {
       opts.progress = false;
     } else if (std::strcmp(a, "--dense") == 0) {
-      opts.dense = true;
+      opts.engine = EngineMode::kDense;
     } else if (std::strcmp(a, "--topology") == 0) {
       if (!accepts_topology) {
         std::fprintf(stderr,
@@ -103,6 +150,14 @@ BenchOptions parse_bench_options(int* argc, char** argv,
     }
   }
   *argc = out;
+  if (opts.sim_threads > 1 && opts.engine != EngineMode::kSharded) {
+    std::fprintf(stderr,
+                 "%s: --sim-threads only applies to --engine sharded (the "
+                 "sequential engines step one point on one thread; use "
+                 "--threads for sweep-level parallelism)\n",
+                 bench_name.c_str());
+    std::exit(2);
+  }
   return opts;
 }
 

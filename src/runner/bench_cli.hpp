@@ -1,19 +1,30 @@
 #pragma once
 // Shared command-line handling for the bench/example harnesses:
 //
-//   --threads N         worker threads (default: MEMPOOL_THREADS env / all
+//   --threads N         sweep worker threads — how many *points* run
+//                       concurrently (default: MEMPOOL_THREADS env / all
 //                       cores)
+//   --sim-threads N     engine threads — how many shards of *one point's*
+//                       cluster step concurrently (sharded engine only;
+//                       default 1)
+//   --engine MODE       active (default) | dense | sharded; all three are
+//                       bit-identical, only wall-clock differs
+//   --dense             legacy alias for --engine dense
 //   --json PATH         results file path (default: <bench>.results.json)
 //   --no-json           disable the results file
 //   --quiet             suppress the stderr progress ticker
-//   --dense             dense evaluate-everything engine (escape hatch;
-//                       results are bit-identical to the default
-//                       activity-driven engine)
 //   --topology NAME     select a registered fabric topology (benches that
 //                       take one); unknown names fail with the list of
 //                       registered plugins
 //   --list-topologies   print the FabricRegistry and exit
 //   --help              usage
+//
+// The two thread axes are deliberately distinct flags: --threads always
+// means sweep-level parallelism (as it has since the runner landed) and
+// --sim-threads always means engine-level parallelism. The historically
+// ambiguous spellings people reach for (--engine-threads, --sim_threads,
+// --threads=sim) are rejected with an error naming both flags instead of
+// being silently misread.
 //
 // Recognized flags are removed from argv so benches with positional
 // arguments (traffic_explorer) can parse the remainder untouched.
@@ -23,20 +34,30 @@
 #include "common/json.hpp"
 #include "core/cluster_config.hpp"
 #include "runner/runner.hpp"
+#include "sim/shard.hpp"
 
 namespace mempool::runner {
 
 struct BenchOptions {
   std::string bench_name;
-  unsigned threads = 0;     ///< 0 = ThreadPool::default_threads().
+  unsigned threads = 0;     ///< Sweep workers; 0 = ThreadPool::default_threads().
   std::string json_path;    ///< Empty = results file disabled.
   bool progress = true;
-  bool dense = false;       ///< Dense engine fallback (--dense).
+  /// --engine / --dense: which scheduler steps each simulation point.
+  EngineMode engine = EngineMode::kActive;
+  /// --sim-threads: engine threads per point (sharded engine only).
+  unsigned sim_threads = 1;
   /// --topology NAME, validated against the FabricRegistry; empty = bench
   /// default. Benches that simulate a selectable topology honor this.
   std::string topology;
 
   RunnerOptions runner() const { return {threads, progress}; }
+
+  /// Apply the engine selection to an experiment config.
+  void apply_engine(TrafficExperimentConfig* cfg) const {
+    cfg->engine = engine;
+    cfg->sim_threads = sim_threads;
+  }
 };
 
 /// Resolve a topology name against the FabricRegistry; on an unknown name

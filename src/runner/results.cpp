@@ -37,7 +37,10 @@ Json sweep_to_json(const SweepResult& result) {
     rec.set("lambda", cfg.lambda);
     rec.set("p_local", cfg.p_local_seq);
     rec.set("seed", cfg.seed);
-    rec.set("engine", cfg.dense_engine ? "dense" : "active");
+    rec.set("engine", engine_mode_name(cfg.engine));
+    if (cfg.engine == EngineMode::kSharded) {
+      rec.set("sim_threads", static_cast<uint64_t>(cfg.sim_threads));
+    }
     rec.set("warmup_cycles", cfg.warmup_cycles);
     rec.set("measure_cycles", cfg.measure_cycles);
     rec.set("drain_cycles", cfg.drain_cycles);
@@ -104,8 +107,15 @@ SweepResult sweep_from_json(const Json& j) {
     cfg.p_local_seq = rec.at("p_local").as_double();
     cfg.seed = rec.at("seed").as_uint();
     // Optional (absent in pre-scheduler documents): which engine produced the
-    // point. Both produce bit-identical physics; recorded for provenance.
-    cfg.dense_engine = rec.get("engine", Json("active")).as_string() == "dense";
+    // point. All engines produce bit-identical physics; recorded for
+    // provenance.
+    const std::string engine = rec.get("engine", Json("active")).as_string();
+    MEMPOOL_CHECK_MSG(engine_mode_from_name(engine, &cfg.engine),
+                      "unknown engine '" << engine
+                                         << "' (expected active, dense, or "
+                                            "sharded)");
+    cfg.sim_threads = static_cast<unsigned>(
+        rec.get("sim_threads", Json(uint64_t{1})).as_uint());
     cfg.warmup_cycles = rec.at("warmup_cycles").as_uint();
     cfg.measure_cycles = rec.at("measure_cycles").as_uint();
     cfg.drain_cycles = rec.at("drain_cycles").as_uint();
@@ -122,6 +132,21 @@ SweepResult sweep_from_json(const Json& j) {
     result.points.push_back(p);
   }
   return result;
+}
+
+SpeedupSummary speedup_from_json(const Json& j) {
+  SpeedupSummary s;
+  s.schema = j.get("schema", Json("")).as_string();
+  MEMPOOL_CHECK_MSG(
+      s.schema == "mempool.speedup.v1" || s.schema == "mempool.speedup.v2",
+      "not a mempool.speedup.v1/v2 document (schema '" << s.schema << "')");
+  s.aggregate_speedup = j.at("aggregate_speedup").as_double();
+  s.min_speedup = j.at("min_speedup").as_double();
+  if (s.schema == "mempool.speedup.v2") {
+    s.aggregate_sharded_speedup = j.at("aggregate_sharded_speedup").as_double();
+  }
+  s.num_points = j.at("points").items().size();
+  return s;
 }
 
 Json bench_envelope(const std::string& bench, unsigned threads,

@@ -56,6 +56,25 @@ Json sweep_to_json(const SweepResult& result);
 /// error lists the registered plugins).
 SweepResult sweep_from_json(const Json& j);
 
+/// Parsed scheduler-speedup artifact (micro_sim_speed --speedup_json).
+/// mempool.speedup.v2 adds the sharded-engine axis; v1 documents (dense vs
+/// active only) are still read — their sharded fields stay 0 — so the CI
+/// perf gate can compare any PR against any committed baseline.
+struct SpeedupSummary {
+  std::string schema;
+  /// Wall-clock of the dense oracle over the activity-driven engine, summed
+  /// across the workload set (both schema versions).
+  double aggregate_speedup = 0;
+  double min_speedup = 0;
+  /// v2: single-thread active over the best sharded configuration.
+  double aggregate_sharded_speedup = 0;
+  std::size_t num_points = 0;
+};
+
+/// Read a mempool.speedup.v1 or .v2 document; throws CheckError on anything
+/// else.
+SpeedupSummary speedup_from_json(const Json& j);
+
 /// Wrap bench-specific results in the mempool.bench.v1 envelope.
 Json bench_envelope(const std::string& bench, unsigned threads,
                     double wall_seconds, Json results);

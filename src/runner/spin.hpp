@@ -1,0 +1,19 @@
+#pragma once
+// Shared spin-wait helper for the runner's waiters (ThreadPool idle workers,
+// ShardGang epoch/completion waits). One home for the arch-conditional pause
+// hint so a future port touches one line.
+
+namespace mempool::runner {
+
+/// One PAUSE-class instruction for spin loops.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  // Portable fallback: nothing; every caller bounds its spin anyway.
+#endif
+}
+
+}  // namespace mempool::runner

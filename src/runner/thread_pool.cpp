@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "runner/spin.hpp"
+
 namespace mempool::runner {
 
 namespace {
@@ -9,6 +11,12 @@ namespace {
 // push to the local deque. A thread belongs to at most one pool.
 thread_local ThreadPool* t_pool = nullptr;
 thread_local std::size_t t_index = 0;
+
+// Bounded idle spin before a worker parks: long enough (a few microseconds)
+// to catch the next barrier round of a busy sharded run without a futex
+// round trip, short enough that an idle pool goes to sleep immediately on
+// any human timescale.
+constexpr int kIdleSpinBudget = 2048;
 }  // namespace
 
 unsigned ThreadPool::default_threads() {
@@ -59,6 +67,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->deque.push_front(std::move(task));
   }
+  work_epoch_.fetch_add(1, std::memory_order_release);  // wakes spinners
   {
     // Notify under mu_, after the push: a worker that found the deques empty
     // holds mu_ until it blocks on cv_work_, so this notification cannot
@@ -127,13 +136,32 @@ void ThreadPool::worker_loop(std::size_t self) {
       run_task(task);
       continue;
     }
+    // Bounded spin: watch the submit epoch (one cheap shared load per
+    // iteration, no queue locks) for a few microseconds before paying for a
+    // park — barrier workloads re-submit on exactly this timescale.
+    {
+      // (stop_ is checked under mu_ below; the spin just expires first.)
+      const uint64_t seen = work_epoch_.load(std::memory_order_acquire);
+      bool woke = false;
+      for (int spins = 0; spins < kIdleSpinBudget; ++spins) {
+        if (work_epoch_.load(std::memory_order_acquire) != seen) {
+          woke = true;
+          break;
+        }
+        cpu_pause();
+      }
+      if (woke) continue;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     if (stop_) return;
     // Re-scan while holding mu_: submit() publishes the task before taking
     // mu_ to notify, so either we see the task here or the notify happens
     // after we block — an untimed wait cannot miss work.
     if (any_queued()) continue;
+    park_events_.fetch_add(1, std::memory_order_relaxed);
+    parked_.fetch_add(1, std::memory_order_release);
     cv_work_.wait(lock);
+    parked_.fetch_sub(1, std::memory_order_release);
   }
 }
 

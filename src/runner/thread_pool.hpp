@@ -10,9 +10,20 @@
 // wait_idle() rethrows the captured exception once the pool has drained.
 // Simulation points are independent, so "drain everything, then report the
 // first failure" is the semantics every caller wants.
+//
+// Idle behavior (matters for barrier workloads like the sharded engine's
+// ShardGang, whose helper tasks live on this pool): a worker that finds all
+// deques empty re-polls with a short *bounded* spin — work arriving within a
+// few microseconds (the next simulated cycle) is picked up without a futex
+// round trip — and then parks on the work condition variable until the next
+// submit. A pool hosting a mostly-idle sharded run therefore burns one core,
+// not num_threads() cores; tests/test_runner_pool.cpp pins this via
+// parked_workers().
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -49,6 +60,17 @@ class ThreadPool {
   /// hardware_concurrency, else 1.
   static unsigned default_threads();
 
+  // --- idle introspection (tests) -------------------------------------------
+  /// Workers currently parked on the work condition variable (neither
+  /// running a task nor spinning for one).
+  unsigned parked_workers() const {
+    return parked_.load(std::memory_order_acquire);
+  }
+  /// Total park events since construction.
+  uint64_t park_events() const {
+    return park_events_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker {
     std::deque<std::function<void()>> deque;
@@ -70,6 +92,10 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr first_error_;
   std::size_t next_queue_ = 0;     // round-robin target for external submits
+  std::atomic<unsigned> parked_{0};
+  std::atomic<uint64_t> park_events_{0};
+  std::atomic<uint64_t> work_epoch_{0};  // bumped per submit; spun on by
+                                         // idle workers before they park
 };
 
 }  // namespace mempool::runner

@@ -71,6 +71,12 @@ class Clocked {
   /// actually have something to commit, so the commit phase only touches
   /// dirty elements instead of sweeping every buffer in the cluster.
   virtual void bind_commit_queue(CommitQueue* /*queue*/) {}
+
+  /// Sharded engine: refresh producer-visible state at the commit barrier.
+  /// Called (on the consumer shard's thread, between the cycle's barriers)
+  /// for every element the consumer drained this cycle — see
+  /// ElasticBuffer::shard_sync for the one meaningful implementation.
+  virtual void shard_sync() {}
 };
 
 /// Per-cycle list of clocked elements with staged state. An element enqueues

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/check.hpp"
 #include "sim/activity.hpp"
 #include "sim/packet.hpp"
 
@@ -49,6 +50,19 @@ class PacketSink {
   virtual ~PacketSink() = default;
   virtual bool can_accept() const = 0;
   virtual void push(const Packet& p) = 0;
+
+  /// Shard plumbing (FabricBuilder::shard_boundary): declare that producers
+  /// pushing into this sink evaluate in a different shard than the sink's
+  /// consumer (shard @p consumer_shard). Only sinks backed by a *registered*
+  /// elastic buffer can sit on a shard boundary; everything else (terminal
+  /// delivery sinks, combinational buffers) fails loudly — that structural
+  /// property is what makes the sharded engine bit-identical.
+  virtual void mark_shard_boundary(uint32_t consumer_shard) {
+    (void)consumer_shard;
+    MEMPOOL_CHECK_MSG(false,
+                      "this sink cannot sit on a shard boundary (only "
+                      "registered elastic buffers can)");
+  }
 };
 
 /// PacketSink adapter over an ElasticBuffer<Packet>.
@@ -58,6 +72,9 @@ class BufferSink final : public PacketSink {
   explicit BufferSink(Buffer& buf) : buf_(&buf) {}
   bool can_accept() const override { return buf_->can_accept(); }
   void push(const Packet& p) override { buf_->push(p); }
+  void mark_shard_boundary(uint32_t consumer_shard) override {
+    buf_->mark_shard_boundary(consumer_shard);
+  }
 
  private:
   Buffer* buf_;

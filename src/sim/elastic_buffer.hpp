@@ -38,6 +38,7 @@
 
 #include "common/check.hpp"
 #include "sim/activity.hpp"
+#include "sim/shard.hpp"
 
 namespace mempool {
 
@@ -95,10 +96,31 @@ class ElasticBuffer final : public Clocked {
   /// the commit phase.
   void bind_commit_queue(CommitQueue* queue) override { commit_queue_ = queue; }
 
+  /// Shard hookup: this buffer sits on a shard boundary — its producer
+  /// evaluates in another shard than @p consumer_shard, the shard of its
+  /// consumer. Only registered buffers qualify (a combinational push would be
+  /// an intra-cycle cross-shard effect, which the sharded engine's
+  /// determinism argument forbids — this check *is* the structural
+  /// assertion). From now on the producer's can_accept() judges occupancy
+  /// against a snapshot that is refreshed only at commit edges: under the
+  /// sequential engines the snapshot tracks count_ exactly (every mutation
+  /// refreshes it), under the sharded engine pops defer the refresh to the
+  /// commit barrier — reproducing what the sequential producer observes,
+  /// since it always evaluates before the consuming network's phase.
+  void mark_shard_boundary(uint32_t consumer_shard) {
+    MEMPOOL_CHECK_MSG(mode_ == BufferMode::kRegistered,
+                      "combinational paths must not cross a shard boundary");
+    boundary_ = true;
+    consumer_shard_ = consumer_shard;
+    snap_count_ = count_;
+  }
+  bool shard_boundary() const { return boundary_; }
+
   /// 'ready' as the upstream switch sees it this cycle.
   bool can_accept() const {
     if (capacity_ == 0) return true;
-    return count_ + (staged_valid_ ? 1u : 0u) < capacity_;
+    const uint32_t visible = boundary_ ? snap_count_ : count_;
+    return visible + (staged_valid_ ? 1u : 0u) < capacity_;
   }
 
   /// Push one item; caller must have checked can_accept().
@@ -110,7 +132,18 @@ class ElasticBuffer final : public Clocked {
       MEMPOOL_CHECK(!staged_valid_);
       staged_ = v;
       staged_valid_ = true;
-      if (commit_queue_ != nullptr) commit_queue_->enqueue(this);
+      if (ShardLane* lane = current_shard_lane()) {
+        // Sharded evaluate phase: stage into the evaluating shard's queue, or
+        // into its mailbox toward the consumer's shard when the push crosses
+        // the boundary (the consumer's commit phase drains it).
+        if (boundary_ && consumer_shard_ != lane->id) {
+          lane->outbox[consumer_shard_].push_back(this);
+        } else {
+          lane->queue.enqueue(this);
+        }
+      } else if (commit_queue_ != nullptr) {
+        commit_queue_->enqueue(this);
+      }
     } else {
       enqueue(v);
       *occ_word_ |= occ_mask_;
@@ -130,6 +163,18 @@ class ElasticBuffer final : public Clocked {
     MEMPOOL_CHECK(count_ > 0);
     --count_;
     if (count_ == 0) *occ_word_ &= ~occ_mask_;
+    if (boundary_) {
+      if (ShardLane* lane = current_shard_lane()) {
+        // Consumer shard draining across the boundary: the producer keeps
+        // seeing the start-of-cycle occupancy until the commit barrier.
+        if (!drain_marked_) {
+          drain_marked_ = true;
+          lane->drained.push_back(this);
+        }
+      } else {
+        snap_count_ = count_;  // sequential engines: snapshot tracks exactly
+      }
+    }
     if (overflow_) {
       T v = overflow_->front();
       overflow_->pop_front();
@@ -148,6 +193,13 @@ class ElasticBuffer final : public Clocked {
       *occ_word_ |= occ_mask_;
       if (consumer_ != nullptr) consumer_->wake();
     }
+    if (boundary_) shard_sync();
+  }
+
+  /// Commit-barrier refresh of the producer-visible occupancy snapshot.
+  void shard_sync() override {
+    snap_count_ = count_;
+    drain_marked_ = false;
   }
 
   BufferMode mode() const { return mode_; }
@@ -175,6 +227,11 @@ class ElasticBuffer final : public Clocked {
   std::unique_ptr<std::deque<T>> overflow_;
   T staged_{};
   bool staged_valid_ = false;
+  bool boundary_ = false;      ///< Shard-boundary register (snapshot mode).
+  bool drain_marked_ = false;  ///< Already on the consumer lane's drain list.
+  uint32_t consumer_shard_ = 0;
+  uint32_t snap_count_ = 0;  ///< Producer-visible count (== count_ unless a
+                             ///< sharded cycle is between pop and barrier).
   Wakeable* consumer_ = nullptr;
   CommitQueue* commit_queue_ = nullptr;
   uint64_t own_occ_ = 0;          ///< Fallback occupancy word (unbound).

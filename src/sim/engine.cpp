@@ -1,7 +1,238 @@
-// Engine is header-only today; this TU anchors the library and keeps a home
-// for future out-of-line engine features (checkpointing, VCD tracing).
+// Out-of-line engine machinery: shard finalization and the sharded cycle
+// loop. See sim/shard.hpp for the partitioning/determinism story.
+
 #include "sim/engine.hpp"
 
+#include <cstring>
+
 namespace mempool {
-// Intentionally empty.
+
+namespace {
+/// Cycles whose previous cycle evaluated fewer components than this are
+/// stepped inline on the calling thread: dispatching two phases to the
+/// executor costs on the order of a microsecond of barrier traffic, which
+/// light cycles (a mostly-idle cluster between Poisson arrivals) can never
+/// amortize. The choice depends only on simulation state — never on thread
+/// timing — so it cannot perturb results.
+constexpr uint64_t kDispatchThreshold = 64;
+}  // namespace
+
+const char* engine_mode_name(EngineMode m) {
+  switch (m) {
+    case EngineMode::kActive:
+      return "active";
+    case EngineMode::kDense:
+      return "dense";
+    case EngineMode::kSharded:
+      return "sharded";
+  }
+  return "?";
+}
+
+bool engine_mode_from_name(const std::string& name, EngineMode* out) {
+  if (name == "active") {
+    *out = EngineMode::kActive;
+  } else if (name == "dense") {
+    *out = EngineMode::kDense;
+  } else if (name == "sharded") {
+    *out = EngineMode::kSharded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+void Engine::set_sharded(uint32_t num_shards, ShardExecutor* exec) {
+  MEMPOOL_CHECK_MSG(!finalized_, "set_sharded after the first step");
+  MEMPOOL_CHECK_MSG(!dense_,
+                    "dense and sharded scheduling are mutually exclusive");
+  MEMPOOL_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  num_shards_ = num_shards;
+  exec_ = exec;
+}
+
+void Engine::finalize() {
+  finalized_ = true;
+  if (num_shards_ == 0) {
+    flags_.assign((components_.size() + 63u) / 64u, 0);
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      components_[i]->bind_activity_slot(&flags_[i / 64],
+                                         static_cast<unsigned>(i % 64));
+    }
+    return;
+  }
+
+  // Shard segmentation: each shard gets a cache-line aligned word range of
+  // the packed flag array (8 words = one 64-byte line), so no two shard
+  // threads ever store to the same line, plus a slot table mapping its flag
+  // bits back to components in registration order — the sequential engine's
+  // evaluation order restricted to the shard.
+  const uint32_t S = num_shards_;
+  constexpr std::size_t kWordsPerLine = 8;
+  std::vector<std::size_t> count(S, 0);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    MEMPOOL_CHECK_MSG(component_shard_[i] < S,
+                      "component '" << components_[i]->name() << "' assigned "
+                                    << "to shard " << component_shard_[i]
+                                    << " of " << S);
+    ++count[component_shard_[i]];
+  }
+  lanes_.clear();
+  lanes_.resize(S);
+  std::size_t word = 0;
+  for (uint32_t s = 0; s < S; ++s) {
+    ShardLane& lane = lanes_[s];
+    lane.id = s;
+    lane.word_begin = static_cast<uint32_t>(word);
+    const std::size_t words = (count[s] + 63u) / 64u;
+    word += (words + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
+    lane.word_end = static_cast<uint32_t>(word);
+    lane.slots.assign((lane.word_end - lane.word_begin) * 64u, nullptr);
+    lane.outbox.resize(S);
+  }
+  flags_.assign(word, 0);
+  std::vector<std::size_t> next(S, 0);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    ShardLane& lane = lanes_[component_shard_[i]];
+    const std::size_t k = next[component_shard_[i]]++;
+    lane.slots[k] = components_[i];
+    components_[i]->bind_activity_slot(&flags_[lane.word_begin + k / 64],
+                                       static_cast<unsigned>(k % 64));
+  }
+}
+
+void Engine::shard_evaluate(std::size_t s) {
+  ShardLane& lane = lanes_[s];
+  ShardLaneScope scope(&lane);
+
+  // Fire this shard's due timers; their wakes are observed by the scan below,
+  // exactly like the sequential engine's fire-then-scan order.
+  while (!lane.far.empty() && lane.far.top().first < cycle_ + kTimerWindow) {
+    const auto [due, w] = lane.far.top();
+    lane.far.pop();
+    if (due <= cycle_) {
+      w->wake();
+      --lane.armed;
+    } else {
+      lane.wheel[due & (kTimerWindow - 1)].push_back(w);
+    }
+  }
+  auto& due_now = lane.wheel[cycle_ & (kTimerWindow - 1)];
+  if (!due_now.empty()) {
+    for (Wakeable* w : due_now) w->wake();
+    lane.armed -= due_now.size();
+    due_now.clear();
+  }
+
+  lane.worked = scan_words(flags_.data(), lane.word_begin, lane.word_end,
+                           lane.slots.data(), &lane.evaluations);
+}
+
+void Engine::shard_commit(std::size_t d) {
+  ShardLane& lane = lanes_[d];
+  // Latch this shard's own dirty buffers first, then the mailboxes addressed
+  // to it in ascending source-shard order. All commits touch only consumer-
+  // shard state (ring/occupancy/wake of shard d), so the commit phase is
+  // itself parallel across shards; the fixed order is for determinism only
+  // (and even that is belt-and-braces: distinct buffers commute).
+  uint64_t n = lane.queue.size();
+  lane.queue.commit_all();
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (s == d) continue;
+    auto& box = lanes_[s].outbox[d];
+    if (box.empty()) continue;
+    n += box.size();
+    for (Clocked* c : box) c->commit();
+    box.clear();
+  }
+  // Refresh the producer-visible snapshots of every boundary buffer this
+  // shard drained: producers judge next cycle's backpressure against the
+  // post-commit state, as they would under the sequential engine.
+  for (Clocked* c : lane.drained) c->shard_sync();
+  lane.drained.clear();
+  if (n != 0) {
+    lane.commits += n;
+    lane.worked = true;
+  }
+}
+
+bool Engine::step_sharded() {
+  // External timers (armed outside any shard phase, e.g. by tests) fire on
+  // the leader before the shards are released; their wakes may target any
+  // shard, which is only safe single-threaded.
+  fire_timers();
+
+  const bool dispatch = exec_ != nullptr && exec_->threads() > 1 &&
+                        last_cycle_evals_ >= kDispatchThreshold;
+  if (dispatch) {
+    ++parallel_cycles_;
+    exec_->run(num_shards_, [this](std::size_t s) { shard_evaluate(s); });
+    exec_->run(num_shards_, [this](std::size_t s) { shard_commit(s); });
+  } else {
+    for (uint32_t s = 0; s < num_shards_; ++s) shard_evaluate(s);
+    for (uint32_t s = 0; s < num_shards_; ++s) shard_commit(s);
+  }
+
+  // Anything staged outside the shard phases (external pokes between steps
+  // bind to the engine-global queue) latches last, on the leader. This
+  // counts as work — the sequential engine would not fast-forward past a
+  // cycle whose commit just woke someone.
+  bool worked = false;
+  if (!commit_queue_.empty()) {
+    commits_ += commit_queue_.size();
+    commit_queue_.commit_all();
+    worked = true;
+  }
+
+  uint64_t evals = 0;
+  for (const ShardLane& lane : lanes_) {
+    worked |= lane.worked;
+    evals += lane.evaluations;
+  }
+  last_cycle_evals_ = evals - prev_total_evals_;
+  prev_total_evals_ = evals;
+  ++cycle_;
+  return worked;
+}
+
+uint64_t Engine::evaluations() const {
+  uint64_t n = evaluations_;
+  for (const ShardLane& lane : lanes_) n += lane.evaluations;
+  return n;
+}
+
+uint64_t Engine::commits() const {
+  uint64_t n = commits_;
+  for (const ShardLane& lane : lanes_) n += lane.commits;
+  return n;
+}
+
+uint64_t Engine::next_timer_at_most(uint64_t limit) const {
+  uint64_t best = limit;
+  if (!far_timers_.empty() && far_timers_.top().first < best) {
+    best = far_timers_.top().first;
+  }
+  for (const ShardLane& lane : lanes_) {
+    if (!lane.far.empty() && lane.far.top().first < best) {
+      best = lane.far.top().first;
+    }
+  }
+  for (uint64_t c = cycle_; c < cycle_ + kTimerWindow && c < best; ++c) {
+    if (!wheel_[c & (kTimerWindow - 1)].empty()) {
+      best = c;
+      break;
+    }
+    for (const ShardLane& lane : lanes_) {
+      if (!lane.wheel[c & (kTimerWindow - 1)].empty()) {
+        best = c;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
 }  // namespace mempool

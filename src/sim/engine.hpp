@@ -26,19 +26,26 @@
 //     component and nothing staged, the cluster cannot wake itself before
 //     the next timer (or ever, if none is armed), so run() fast-forwards the
 //     dead cycles and run_until_idle() returns.
-//   * dense (set_dense(true), the benches' --dense escape hatch): evaluate
-//     every component and commit every registered element each cycle — the
-//     original scheduler, kept as the equivalence oracle. Both modes are
-//     cycle-for-cycle bit-identical (asserted in tests/test_sim_equivalence):
+//   * dense (set_dense(true), the benches' --engine=dense escape hatch):
+//     evaluate every component and commit every registered element each
+//     cycle — the original scheduler, kept as the equivalence oracle. Both
+//     modes are cycle-for-cycle bit-identical (tests/test_sim_equivalence):
 //     an idle component's evaluate() is a no-op by contract, and wake events
 //     strictly precede the evaluation that observes them thanks to the
 //     topological order (all combinational edges point forward; backward
 //     edges are registered and wake at the commit edge for the next cycle).
+//   * sharded (set_sharded, --engine=sharded): the activity-driven scheduler
+//     with the component graph partitioned into per-group shards evaluated
+//     concurrently and latched at a per-cycle commit barrier — see
+//     sim/shard.hpp for the structure and the determinism argument. Results
+//     are bit-identical to the active engine for any shard count and any
+//     thread schedule.
 
 #include <array>
 #include <bit>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -47,23 +54,30 @@
 #include "sim/activity.hpp"
 #include "sim/component.hpp"
 #include "sim/elastic_buffer.hpp"
+#include "sim/shard.hpp"
 
 namespace mempool {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
+  ~Engine();
 
   // Buffers and components keep raw pointers to the engine's commit queue and
   // flag array, so the engine must stay put once wired.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Register a component; evaluation follows registration order. Must
-  /// happen before the first step().
-  void add_component(Component* c) {
+  /// Register a component; evaluation follows registration order within each
+  /// shard (and globally under the sequential schedulers). @p shard is the
+  /// partition the component evaluates in under set_sharded() — components
+  /// connected by a combinational path must share a shard (the cluster
+  /// builder derives shards from the fabric plugin's group structure, which
+  /// guarantees exactly that). Must happen before the first step().
+  void add_component(Component* c, uint32_t shard = 0) {
     MEMPOOL_CHECK_MSG(!finalized_, "add_component after the first step");
     components_.push_back(c);
+    component_shard_.push_back(shard);
   }
 
   /// Register a clocked element for the commit phase. The element is bound to
@@ -78,10 +92,21 @@ class Engine {
   /// sleep through dead cycles they can predict — e.g. a traffic generator
   /// sleeping until its next Poisson arrival. Near timers go into a bucketed
   /// wheel (O(1) arm/fire); far ones overflow into a heap and migrate as
-  /// their window approaches.
+  /// their window approaches. During a sharded evaluate phase the timer is
+  /// armed in the evaluating shard's own wheel (components only arm wakes
+  /// for themselves or same-shard peers), keeping the hot path lock-free.
   void wake_at(uint64_t cycle, Wakeable* w) {
     if (cycle <= cycle_) {
       w->wake();
+      return;
+    }
+    if (ShardLane* lane = current_shard_lane()) {
+      if (cycle - cycle_ < kTimerWindow) {
+        lane->wheel[cycle & (kTimerWindow - 1)].push_back(w);
+      } else {
+        lane->far.emplace(cycle, w);
+      }
+      ++lane->armed;
       return;
     }
     if (cycle - cycle_ < kTimerWindow) {
@@ -93,17 +118,33 @@ class Engine {
   }
 
   /// Select the scheduler: false (default) = activity-driven, true = dense
-  /// evaluate-everything (the --dense escape hatch / equivalence oracle).
-  /// May be toggled between steps; both modes see the same state.
-  void set_dense(bool dense) { dense_ = dense; }
+  /// evaluate-everything (the --engine=dense escape hatch / equivalence
+  /// oracle). May be toggled between steps; both modes see the same state.
+  /// Mutually exclusive with set_sharded().
+  void set_dense(bool dense) {
+    MEMPOOL_CHECK_MSG(!dense || num_shards_ == 0,
+                      "dense and sharded scheduling are mutually exclusive");
+    dense_ = dense;
+  }
   bool dense() const { return dense_; }
+
+  /// Partition the registered components into @p num_shards shards (by the
+  /// shard ids passed to add_component) and step them in parallel on
+  /// @p exec; a null executor — or one without spare threads — evaluates the
+  /// shards sequentially on the calling thread, still bit-identically.
+  /// @p exec, when given, must outlive every subsequent step()/run() call.
+  /// Must be called after the components are registered and before the
+  /// first step; mutually exclusive with set_dense(true).
+  void set_sharded(uint32_t num_shards, ShardExecutor* exec);
+  bool sharded() const { return num_shards_ != 0; }
+  uint32_t num_shards() const { return num_shards_; }
 
   /// Advance one cycle.
   void step() { step_work(); }
 
-  /// Advance @p n cycles. In activity-driven mode, once nothing is awake and
-  /// nothing is staged, the cycles up to the next armed timer (or the target)
-  /// are skipped in O(1) — they could not have changed any state.
+  /// Advance @p n cycles. In the activity-driven modes, once nothing is
+  /// awake and nothing is staged, the cycles up to the next armed timer (or
+  /// the target) are skipped in O(1) — they could not have changed any state.
   void run(uint64_t n) {
     const uint64_t target = cycle_ + n;
     while (cycle_ < target) {
@@ -118,9 +159,9 @@ class Engine {
   }
 
   /// Advance until the cluster is quiescent or @p max_cycles elapsed;
-  /// returns the number of cycles advanced. In activity-driven mode, dead
-  /// stretches while only a timed wake is pending are fast-forwarded just
-  /// like run(); dense mode steps every cycle and polls the components'
+  /// returns the number of cycles advanced. In the activity-driven modes,
+  /// dead stretches while only a timed wake is pending are fast-forwarded
+  /// just like run(); dense mode steps every cycle and polls the components'
   /// idle() predicates.
   uint64_t run_until_idle(uint64_t max_cycles) {
     uint64_t advanced = 0;
@@ -146,6 +187,9 @@ class Engine {
   /// external pokes).
   bool quiescent() const {
     if (!commit_queue_.empty() || armed_timers_ != 0) return false;
+    for (const ShardLane& lane : lanes_) {
+      if (lane.armed != 0 || !lane.queue.empty()) return false;
+    }
     for (const Component* c : components_) {
       // Activity invariant: a sleeping component is idle by construction, so
       // only awake components need the (virtual) idle() check. Dense mode
@@ -161,23 +205,22 @@ class Engine {
 
   // --- scheduler statistics (perf reporting and tests) -----------------------
   /// Total component evaluate() calls across all cycles.
-  uint64_t evaluations() const { return evaluations_; }
+  uint64_t evaluations() const;
   /// Total commit() calls across all cycles.
-  uint64_t commits() const { return commits_; }
+  uint64_t commits() const;
   /// Cycles fast-forwarded by run() after quiescence was detected.
   uint64_t idle_cycles_skipped() const { return idle_cycles_skipped_; }
+  /// Cycles the sharded engine dispatched to the executor (vs. evaluating
+  /// the shards inline because the previous cycle was too light to pay the
+  /// barrier for). Deterministic: depends only on simulation state.
+  uint64_t parallel_cycles() const { return parallel_cycles_; }
 
  private:
   /// Gather every component's wake flag into one packed bitset so the
-  /// active-set scan iterates set bits of a few contiguous words.
-  void finalize() {
-    finalized_ = true;
-    flags_.assign((components_.size() + 63u) / 64u, 0);
-    for (std::size_t i = 0; i < components_.size(); ++i) {
-      components_[i]->bind_activity_slot(&flags_[i / 64],
-                                         static_cast<unsigned>(i % 64));
-    }
-  }
+  /// active-set scan iterates set bits of a few contiguous words. Under
+  /// set_sharded the bitset is segmented per shard (cache-line aligned) and
+  /// per-shard slot tables are built.
+  void finalize();
 
   /// Fire every timer due at the current cycle (wheel slot + any far timer
   /// that is due or has entered the wheel window). Timer wakes are observed
@@ -203,25 +246,14 @@ class Engine {
   }
 
   /// Earliest armed timer cycle, clamped to @p limit. Only called when the
-  /// cluster is otherwise quiescent, so the wheel scan is off the hot path.
-  uint64_t next_timer_at_most(uint64_t limit) const {
-    uint64_t best = limit;
-    if (!far_timers_.empty() && far_timers_.top().first < best) {
-      best = far_timers_.top().first;
-    }
-    for (uint64_t c = cycle_; c < cycle_ + kTimerWindow && c < best; ++c) {
-      if (!wheel_[c & (kTimerWindow - 1)].empty()) {
-        best = c;
-        break;
-      }
-    }
-    return best;
-  }
+  /// cluster is otherwise quiescent, so the wheel scans are off the hot path.
+  uint64_t next_timer_at_most(uint64_t limit) const;
 
   /// One cycle; returns true if any component was evaluated or any element
   /// committed (always true in dense mode).
   bool step_work() {
     if (!finalized_) finalize();
+    if (num_shards_ != 0) return step_sharded();
     fire_timers();
     bool worked = false;
     if (dense_) {
@@ -234,26 +266,8 @@ class Engine {
       commit_queue_.clear();
       worked = true;
     } else {
-      for (std::size_t w = 0; w < flags_.size(); ++w) {
-        // Process set bits in ascending component order, re-reading the word
-        // after every evaluation: a component may wake a LATER one in this
-        // same word via a combinational push (must be seen this cycle), while
-        // a backward wake (e.g. an I$ miss arming the earlier-phase refill
-        // engine) stays pending for the next cycle — exactly the dense
-        // engine's semantics.
-        uint64_t visited = 0;  // bit b and everything below, once processed
-        uint64_t m;
-        while ((m = flags_[w] & ~visited) != 0) {
-          const unsigned b = std::countr_zero(m);
-          const uint64_t bit = 1ull << b;
-          visited |= bit | (bit - 1);
-          worked = true;
-          Component* c = components_[w * 64 + b];
-          c->evaluate(cycle_);
-          ++evaluations_;
-          if (c->idle()) c->sleep();
-        }
-      }
+      worked = scan_words(flags_.data(), 0, flags_.size(), components_.data(),
+                          &evaluations_);
       if (!commit_queue_.empty()) {
         worked = true;
         commits_ += commit_queue_.size();
@@ -264,11 +278,47 @@ class Engine {
     return worked;
   }
 
+  /// Evaluate the awake components behind flag words [@p begin, @p end) of
+  /// @p words; slot tables are indexed relative to @p begin. Shared between
+  /// the sequential scan (whole array) and the per-shard scans.
+  bool scan_words(uint64_t* words, std::size_t begin, std::size_t end,
+                  Component* const* slots, uint64_t* evaluations) {
+    bool worked = false;
+    for (std::size_t w = begin; w < end; ++w) {
+      // Process set bits in ascending component order, re-reading the word
+      // after every evaluation: a component may wake a LATER one in this
+      // same word via a combinational push (must be seen this cycle), while
+      // a backward wake (e.g. an I$ miss arming the earlier-phase refill
+      // engine) stays pending for the next cycle — exactly the dense
+      // engine's semantics.
+      uint64_t visited = 0;  // bit b and everything below, once processed
+      uint64_t m;
+      while ((m = words[w] & ~visited) != 0) {
+        const unsigned b = std::countr_zero(m);
+        const uint64_t bit = 1ull << b;
+        visited |= bit | (bit - 1);
+        worked = true;
+        Component* c = slots[(w - begin) * 64 + b];
+        c->evaluate(cycle_);
+        ++*evaluations;
+        if (c->idle()) c->sleep();
+      }
+    }
+    return worked;
+  }
+
+  // --- sharded stepping (engine.cpp) -----------------------------------------
+  bool step_sharded();
+  void shard_evaluate(std::size_t s);
+  void shard_commit(std::size_t s);
+
   std::vector<Component*> components_;
+  std::vector<uint32_t> component_shard_;  ///< Parallel to components_.
   std::vector<Clocked*> clocked_;
   std::vector<uint64_t> flags_;  ///< Packed wake bits, one per component.
   CommitQueue commit_queue_;
   static constexpr uint64_t kTimerWindow = 512;  ///< Wheel span (power of 2).
+  static_assert(kTimerWindow == ShardLane::kTimerWindow);
   std::array<std::vector<Wakeable*>, kTimerWindow> wheel_;
   using Timer = std::pair<uint64_t, Wakeable*>;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
@@ -280,6 +330,18 @@ class Engine {
   uint64_t evaluations_ = 0;
   uint64_t commits_ = 0;
   uint64_t idle_cycles_skipped_ = 0;
+
+  // --- sharded state ---------------------------------------------------------
+  uint32_t num_shards_ = 0;  ///< 0 = sequential scheduling.
+  ShardExecutor* exec_ = nullptr;
+  std::vector<ShardLane> lanes_;
+  /// Evaluations of the previous cycle: cycles lighter than the dispatch
+  /// threshold are evaluated inline (the barrier would cost more than the
+  /// work); purely simulation-state dependent, so the choice never affects
+  /// results.
+  uint64_t last_cycle_evals_ = UINT64_MAX;
+  uint64_t prev_total_evals_ = 0;
+  uint64_t parallel_cycles_ = 0;
 };
 
 }  // namespace mempool

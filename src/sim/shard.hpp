@@ -1,0 +1,151 @@
+#pragma once
+// Sharded (multi-threaded) execution support for the cycle engine.
+//
+// The component graph is partitioned into shards along the fabric's *group*
+// boundaries (reported by the FabricTopology plugin): MemPool's hierarchy
+// guarantees that every link crossing a group passes through a registered
+// elastic buffer, so no combinational path — and therefore no intra-cycle
+// effect — ever crosses a shard. Each cycle then runs as two parallel phases
+// separated by a barrier:
+//
+//   evaluate  each shard fires its own timers and scans its own segment of
+//             the wake bitset, evaluating components exactly like the
+//             sequential active engine does within that subsequence.
+//             Registered pushes whose target buffer lives in another shard
+//             are staged into a per-(src,dst) mailbox instead of the commit
+//             queue; pops from a shard-boundary buffer defer the producer-
+//             visible occupancy refresh (see ElasticBuffer) to the commit
+//             phase.
+//   commit    each shard latches its own dirty buffers, then drains the
+//             mailboxes addressed to it in ascending source-shard order.
+//             Commits of distinct buffers are independent and the only
+//             shared words (wake flags, occupancy masks) are combined with
+//             idempotent ORs, so any fixed order is bit-identical to the
+//             sequential engine's push-order commits.
+//
+// Determinism is structural, not best-effort: the per-shard evaluation order
+// is the sequential engine's order restricted to the shard, cross-shard
+// effects become visible only at the commit barrier (exactly when the
+// sequential engine's commit would publish them), and a shard-boundary
+// buffer's backpressure is judged against a start-of-cycle snapshot — which
+// is precisely what the sequential engine's producer observes, because every
+// cross-shard edge points forward in the evaluation order (the producer
+// phase runs before the consumer network's phase). Sharded results are
+// therefore bit-identical to the sequential active engine for every
+// registered topology, kernel run, and seed; tests/test_sim_equivalence.cpp
+// asserts this across FabricRegistry::names() × sim-thread counts.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/activity.hpp"
+
+namespace mempool {
+
+class Component;
+
+/// Which scheduler steps the engine (and, downstream, a bench's --engine
+/// flag): dense = evaluate everything (the equivalence oracle), active = the
+/// sequential activity-driven scheduler, sharded = activity-driven with the
+/// component graph partitioned into per-group shards stepped in parallel.
+enum class EngineMode : uint8_t { kActive, kDense, kSharded };
+
+const char* engine_mode_name(EngineMode m);
+/// Inverse of engine_mode_name; returns false on an unknown name.
+bool engine_mode_from_name(const std::string& name, EngineMode* out);
+
+/// Per-shard working set of the sharded engine. Everything a shard's thread
+/// touches while evaluating lives here (or in the components themselves), so
+/// the parallel phases share no mutable state except the explicitly
+/// synchronized handoffs described above.
+struct ShardLane {
+  uint32_t id = 0;
+
+  // --- wake bitset segment ---------------------------------------------------
+  /// Word range [word_begin, word_end) of the engine's packed flag array;
+  /// shard segments are cache-line aligned so two shards never write the
+  /// same line.
+  uint32_t word_begin = 0;
+  uint32_t word_end = 0;
+  /// slots[(w - word_begin) * 64 + b] is the component behind flag bit b of
+  /// word w (nullptr for padding bits).
+  std::vector<Component*> slots;
+
+  // --- commit staging --------------------------------------------------------
+  /// Intra-shard registered buffers staged this cycle (producer == consumer
+  /// shard), committed by this shard's own commit phase.
+  CommitQueue queue;
+  /// outbox[d]: shard-boundary buffers staged by this shard whose consumer
+  /// lives in shard d; drained by shard d's commit phase in ascending source
+  /// order. This is the per-(src,dst) mailbox — writes happen on the
+  /// producer's thread during evaluate, reads on the consumer's thread during
+  /// commit, with the cycle barrier in between.
+  std::vector<std::vector<Clocked*>> outbox;
+  /// Shard-boundary buffers this shard popped from this cycle; their
+  /// producer-visible occupancy snapshot is refreshed in the commit phase.
+  std::vector<Clocked*> drained;
+
+  // --- timers ----------------------------------------------------------------
+  static constexpr uint64_t kTimerWindow = 512;  ///< Must match Engine's.
+  std::array<std::vector<Wakeable*>, kTimerWindow> wheel;
+  using Timer = std::pair<uint64_t, Wakeable*>;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> far;
+  uint64_t armed = 0;
+
+  // --- per-cycle results (read by the leader after the barrier) --------------
+  bool worked = false;
+  uint64_t evaluations = 0;
+  uint64_t commits = 0;
+};
+
+namespace detail {
+/// The shard the current thread is evaluating, nullptr outside a sharded
+/// phase. Inline thread_local so the elastic-buffer hot paths read it without
+/// a cross-TU call.
+inline thread_local ShardLane* t_shard_lane = nullptr;
+}  // namespace detail
+
+/// The thread that is currently evaluating a shard (set by the engine around
+/// each parallel phase). ElasticBuffer's hot paths use this to route staged
+/// commits into the evaluating shard's queue/mailboxes without knowing which
+/// engine — or how many concurrently simulating engines — they belong to.
+/// nullptr whenever no sharded evaluation is in flight on this thread.
+inline ShardLane* current_shard_lane() { return detail::t_shard_lane; }
+
+/// Scoped setter used by the engine; restores the previous value so nested
+/// engines (a sharded simulation inside a sweep worker) cannot leak state.
+class ShardLaneScope {
+ public:
+  explicit ShardLaneScope(ShardLane* lane) : prev_(detail::t_shard_lane) {
+    detail::t_shard_lane = lane;
+  }
+  ~ShardLaneScope() { detail::t_shard_lane = prev_; }
+  ShardLaneScope(const ShardLaneScope&) = delete;
+  ShardLaneScope& operator=(const ShardLaneScope&) = delete;
+
+ private:
+  ShardLane* prev_;
+};
+
+/// Executor the sharded engine hands its two per-cycle phases to. run() must
+/// invoke fn(s) exactly once for every s in [0, n) — possibly concurrently —
+/// and return only when all invocations completed, with their effects
+/// visible to the caller (a full barrier). The caller's thread may
+/// participate. runner::ShardGang is the production implementation (a
+/// reusable cycle barrier on the ThreadPool); passing no executor runs the
+/// shards sequentially on the calling thread, which is bit-identical.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+  virtual void run(std::size_t n, const std::function<void(std::size_t)>& fn) = 0;
+  /// Worker threads this executor can bring to bear (1 = caller only).
+  virtual unsigned threads() const { return 1; }
+};
+
+}  // namespace mempool

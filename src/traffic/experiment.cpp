@@ -1,10 +1,12 @@
 #include "traffic/experiment.hpp"
 
+#include <deque>
 #include <memory>
 
 #include "core/cluster.hpp"
 #include "mem/imem.hpp"
 #include "noc/monitor.hpp"
+#include "runner/shard_gang.hpp"
 #include "sim/engine.hpp"
 #include "traffic/generator.hpp"
 
@@ -17,10 +19,29 @@ TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg,
 
   InstrMem imem(4096);  // unused by generators, required by the tile I$.
   Engine engine;
-  engine.set_dense(ecfg.dense_engine);
+  engine.set_dense(ecfg.engine == EngineMode::kDense);
   Cluster cluster(ccfg, &imem);
-  LatencyMonitor monitor(ecfg.warmup_cycles);
-  monitor.set_measure_end(ecfg.warmup_cycles + ecfg.measure_cycles);
+
+  // Sharded mode: every shard records into its own monitor (a shared one
+  // would be written concurrently); the per-shard monitors merge exactly
+  // after the run (see noc/monitor.hpp), so the reported point is
+  // bit-identical to the sequential engines'. The gang's helper threads live
+  // on a point-private pool — sweep-level parallelism (runner --threads) and
+  // engine-level parallelism (--sim-threads) stay independent.
+  const bool sharded = ecfg.engine == EngineMode::kSharded;
+  const uint32_t num_monitors = sharded ? cluster.num_shards() : 1;
+  std::deque<LatencyMonitor> monitors;
+  for (uint32_t s = 0; s < num_monitors; ++s) {
+    monitors.emplace_back(ecfg.warmup_cycles);
+    monitors.back().set_measure_end(ecfg.warmup_cycles + ecfg.measure_cycles);
+  }
+
+  std::unique_ptr<runner::ShardCrew> crew;
+  if (sharded) {
+    crew = std::make_unique<runner::ShardCrew>(ecfg.sim_threads,
+                                               cluster.num_shards());
+    engine.set_sharded(cluster.num_shards(), crew->executor());
+  }
 
   TrafficConfig tcfg;
   tcfg.lambda = ecfg.lambda;
@@ -32,16 +53,21 @@ TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg,
   std::vector<Client*> clients;
   gens.reserve(ccfg.num_cores());
   for (uint32_t c = 0; c < ccfg.num_cores(); ++c) {
+    const auto tile = static_cast<uint16_t>(c / ccfg.cores_per_tile);
+    LatencyMonitor* monitor =
+        sharded ? &monitors[cluster.tile_shard(tile)] : &monitors.front();
     gens.push_back(std::make_unique<TrafficGenerator>(
-        "gen" + std::to_string(c), static_cast<uint16_t>(c),
-        static_cast<uint16_t>(c / ccfg.cores_per_tile), ccfg,
-        &cluster.layout(), &engine, tcfg, &monitor));
+        "gen" + std::to_string(c), static_cast<uint16_t>(c), tile, ccfg,
+        &cluster.layout(), &engine, tcfg, monitor));
     clients.push_back(gens.back().get());
   }
   cluster.attach_clients(clients);
   cluster.build(engine);
 
   engine.run(ecfg.warmup_cycles + ecfg.measure_cycles + ecfg.drain_cycles);
+
+  LatencyMonitor& monitor = monitors.front();
+  for (uint32_t s = 1; s < num_monitors; ++s) monitor.absorb(monitors[s]);
 
   if (counters_out != nullptr) {
     const Cluster::FabricStats fs = cluster.fabric_stats();

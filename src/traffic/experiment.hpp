@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/cluster_config.hpp"
+#include "sim/shard.hpp"
 
 namespace mempool {
 
@@ -18,10 +19,16 @@ struct TrafficExperimentConfig {
   uint64_t measure_cycles = 4000;
   uint64_t drain_cycles = 2000;
   uint64_t seed = 1;
-  /// Use the dense evaluate-everything engine instead of the activity-driven
-  /// scheduler (the --dense escape hatch). Results are bit-identical either
-  /// way; dense is the equivalence oracle and perf baseline.
-  bool dense_engine = false;
+  /// Which scheduler steps the point (the benches' --engine flag): active
+  /// (default), dense (the evaluate-everything oracle), or sharded (the
+  /// activity-driven scheduler parallelized over the fabric's groups).
+  /// Results are bit-identical across all three; only wall-clock differs.
+  EngineMode engine = EngineMode::kActive;
+  /// Sharded engine only: threads stepping one point's cluster (leader +
+  /// sim_threads-1 pool helpers), capped by the topology's shard count.
+  /// Orthogonal to the sweep runner's --threads, which parallelizes across
+  /// points.
+  unsigned sim_threads = 1;
 };
 
 struct TrafficPoint {

@@ -213,7 +213,7 @@ TEST(SweepJson, ReadsLegacyV1Documents) {
   EXPECT_EQ(back.configs[0].cluster.topology, TopologySpec{"TopH"});
   EXPECT_EQ(back.configs[0].cluster.topology, Topology::kTopH);
   EXPECT_TRUE(back.configs[0].cluster.scrambling);
-  EXPECT_TRUE(back.configs[0].dense_engine);
+  EXPECT_EQ(back.configs[0].engine, EngineMode::kDense);
   EXPECT_EQ(back.configs[0].seed, 7u);
   EXPECT_DOUBLE_EQ(back.points[0].avg_latency, 4.125);
   EXPECT_EQ(back.points[0].completed, 3210u);
@@ -279,3 +279,68 @@ TEST(SweepJson, FileWriterRoundTrips) {
 TEST(SweepJson, ReadMissingFileThrows) {
   EXPECT_THROW(read_json_file("/nonexistent/dir/x.json"), CheckError);
 }
+
+namespace {
+
+TEST(SpeedupJson, ReadsV2AndLegacyV1Documents) {
+  // mempool.speedup.v2: the sharded sim-threads axis rides along; the
+  // dense-to-active aggregate keeps its v1 meaning so any baseline compares.
+  const runner::SpeedupSummary v2 = runner::speedup_from_json(Json::parse(R"({
+    "schema": "mempool.speedup.v2",
+    "aggregate_speedup": 3.4,
+    "min_speedup": 2.0,
+    "aggregate_sharded_speedup": 3.1,
+    "host_cpus": 8,
+    "points": [
+      {"workload": "fig5", "topology": "TopH", "lambda": 0.05,
+       "dense_seconds": 0.2, "active_seconds": 0.1, "speedup": 2.0,
+       "sharded_seconds": {"1": 0.11, "2": 0.06, "4": 0.033, "8": 0.031},
+       "sharded_speedup": 3.2}
+    ]
+  })"));
+  EXPECT_EQ(v2.schema, "mempool.speedup.v2");
+  EXPECT_DOUBLE_EQ(v2.aggregate_speedup, 3.4);
+  EXPECT_DOUBLE_EQ(v2.min_speedup, 2.0);
+  EXPECT_DOUBLE_EQ(v2.aggregate_sharded_speedup, 3.1);
+  EXPECT_EQ(v2.num_points, 1u);
+
+  // Legacy v1 (committed baselines from before the sharded engine): sharded
+  // fields default to 0, everything else reads as written.
+  const runner::SpeedupSummary v1 = runner::speedup_from_json(Json::parse(R"({
+    "schema": "mempool.speedup.v1",
+    "aggregate_speedup": 3.0,
+    "min_speedup": 1.9,
+    "points": [
+      {"workload": "zero_load", "topology": "Top1", "lambda": 0.0,
+       "dense_seconds": 0.5, "active_seconds": 0.1, "speedup": 5.0},
+      {"workload": "fig5", "topology": "Top1", "lambda": 0.01,
+       "dense_seconds": 0.4, "active_seconds": 0.1, "speedup": 4.0}
+    ]
+  })"));
+  EXPECT_EQ(v1.schema, "mempool.speedup.v1");
+  EXPECT_DOUBLE_EQ(v1.aggregate_speedup, 3.0);
+  EXPECT_DOUBLE_EQ(v1.aggregate_sharded_speedup, 0.0);
+  EXPECT_EQ(v1.num_points, 2u);
+
+  EXPECT_THROW(runner::speedup_from_json(Json::parse(R"({"schema": "x"})")),
+               CheckError);
+}
+
+TEST(SweepJson, ShardedEngineRoundTrips) {
+  // A sharded point's engine + sim_threads survive the v2 round trip.
+  TrafficExperimentConfig cfg;
+  cfg.cluster = ClusterConfig::mini(Topology::kTopH, false);
+  cfg.engine = EngineMode::kSharded;
+  cfg.sim_threads = 8;
+  cfg.lambda = 0.1;
+  runner::SweepResult res;
+  res.configs = {cfg};
+  res.points = {TrafficPoint{}};
+  const runner::SweepResult back =
+      runner::sweep_from_json(runner::sweep_to_json(res));
+  ASSERT_EQ(back.configs.size(), 1u);
+  EXPECT_EQ(back.configs[0].engine, EngineMode::kSharded);
+  EXPECT_EQ(back.configs[0].sim_threads, 8u);
+}
+
+}  // namespace

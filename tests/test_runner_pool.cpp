@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "runner/parallel.hpp"
+#include "runner/shard_gang.hpp"
 #include "runner/thread_pool.hpp"
 
 using namespace mempool::runner;
@@ -126,4 +130,122 @@ TEST(RunIndexed, ReportsCompletionCallbackPerItem) {
       });
   EXPECT_EQ(done.load(), 25);
   EXPECT_EQ(seen.size(), 25u);
+}
+
+// --- idle behavior: bounded spin, then park ---------------------------------
+
+namespace {
+
+/// Wait up to ~2 s for @p pred to become true (idle-transition tests: the
+/// spin budgets are microseconds, so this is generous, not racy).
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+}  // namespace
+
+TEST(ThreadPoolIdle, WorkersParkAfterBoundedSpin) {
+  // Satellite contract: an idle pool must not burn its cores. After the
+  // queue drains, every worker runs out of its bounded spin and parks on the
+  // condition variable; a later submit wakes them back up.
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_TRUE(eventually([&] { return pool.parked_workers() == 4u; }))
+      << "parked " << pool.parked_workers() << " of 4 workers";
+  EXPECT_GE(pool.park_events(), 4u);
+
+  // Parked workers still pick up new work promptly.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 8);
+}
+
+// --- ShardGang: the sharded engine's cycle barrier --------------------------
+
+TEST(ShardGang, RunsEveryShardExactlyOncePerRound) {
+  ThreadPool pool(3);
+  ShardGang gang(&pool, 4);
+  EXPECT_EQ(gang.threads(), 4u);
+  std::vector<std::atomic<int>> hits(16);
+  for (int round = 0; round < 1000; ++round) {
+    gang.run(16, [&](std::size_t s) {
+      hits[s].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1000);
+}
+
+TEST(ShardGang, BarrierPublishesAllEffectsToTheLeader) {
+  // run() is a full barrier: plain (non-atomic) per-shard writes must be
+  // visible to the leader afterwards — exactly what the engine relies on for
+  // its lanes. TSan runs this too.
+  ThreadPool pool(3);
+  ShardGang gang(&pool, 4);
+  std::vector<uint64_t> lane(8, 0);
+  for (int round = 0; round < 2000; ++round) {
+    gang.run(8, [&](std::size_t s) { lane[s] += s + 1; });
+  }
+  for (std::size_t s = 0; s < 8; ++s) EXPECT_EQ(lane[s], 2000u * (s + 1));
+}
+
+TEST(ShardGang, WorksWithoutAnyHelpers) {
+  // Degenerate but important: no pool (or a fully busy one) means the leader
+  // claims every shard itself — same results, no deadlock.
+  ShardGang gang(nullptr, 8);
+  EXPECT_EQ(gang.threads(), 1u);
+  int sum = 0;
+  gang.run(5, [&](std::size_t s) { sum += static_cast<int>(s); });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(ShardGang, HelpersParkWhenTheGangIsIdle) {
+  // Satellite contract: a gang stepping a mostly-idle cluster (rounds far
+  // apart) must not spin its helpers forever — bounded spin, then park.
+  ThreadPool pool(3);
+  ShardGang gang(&pool, 4);
+  gang.run(4, [](std::size_t) {});
+  EXPECT_TRUE(eventually([&] { return gang.parked_helpers() == 3u; }))
+      << "parked " << gang.parked_helpers() << " of 3 helpers";
+  EXPECT_GE(gang.park_events(), 3u);
+  // And they come back for the next round.
+  std::atomic<int> hits{0};
+  gang.run(4, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(ShardGang, PropagatesTheFirstThrownError) {
+  ThreadPool pool(2);
+  ShardGang gang(&pool, 3);
+  EXPECT_THROW(gang.run(6,
+                        [&](std::size_t s) {
+                          if (s == 3) throw std::runtime_error("shard 3");
+                        }),
+               std::runtime_error);
+  // The gang survives an exception and keeps serving rounds.
+  std::atomic<int> hits{0};
+  gang.run(6, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 6);
+}
+
+TEST(ShardGang, ManyGangsShareOnePoolWithoutDeadlock) {
+  // Sweep-level parallelism owning per-point gangs: helpers of one gang may
+  // never get scheduled while another holds the workers — participation is
+  // optional, so every gang still completes.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 6, [&](std::size_t) {
+    ShardGang gang(&pool, 4);  // helpers submitted to an already-busy pool
+    for (int round = 0; round < 50; ++round) {
+      gang.run(4, [&](std::size_t) { total.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(total.load(), 6 * 50 * 4);
 }

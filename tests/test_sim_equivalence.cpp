@@ -1,19 +1,23 @@
-// Cycle-equivalence harness (the correctness bar of the activity-driven
-// scheduler): representative fig5/fig6/tab_zero_load points and an
-// execution-driven program are run under both the activity-driven and the
-// dense engine, and every observable — latency tables, monitor counters,
-// fabric traversal/stall counters, core stats, memory contents — must be
-// bit-identical.
+// Cycle-equivalence harness (the correctness bar of the activity-driven and
+// sharded schedulers): representative fig5/fig6/tab_zero_load points and an
+// execution-driven program are run under the activity-driven, the dense, and
+// the sharded engine (across sim-thread counts), and every observable —
+// latency tables, monitor counters, fabric traversal/stall counters, core
+// stats, memory contents — must be bit-identical.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/cluster.hpp"
 #include "core/system.hpp"
 #include "isa/text_asm.hpp"
+#include "kernels/golden.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/runtime.hpp"
 #include "mem/imem.hpp"
 #include "noc/fabric.hpp"
 #include "noc/monitor.hpp"
@@ -38,12 +42,24 @@ TrafficExperimentConfig traffic_cfg(const TopologySpec& topo, bool scramble,
 void expect_engines_equivalent(TrafficExperimentConfig cfg,
                                const std::string& what) {
   TrafficCounters ca, cd;
-  cfg.dense_engine = false;
+  cfg.engine = EngineMode::kActive;
   const TrafficPoint pa = run_traffic_point(cfg, &ca);
-  cfg.dense_engine = true;
+  cfg.engine = EngineMode::kDense;
   const TrafficPoint pd = run_traffic_point(cfg, &cd);
   EXPECT_EQ(pa, pd) << what << ": latency/throughput table diverged";
   EXPECT_EQ(ca, cd) << what << ": monitor/fabric counters diverged";
+}
+
+void expect_sharded_equivalent(TrafficExperimentConfig cfg,
+                               unsigned sim_threads, const std::string& what) {
+  TrafficCounters ca, cs;
+  cfg.engine = EngineMode::kActive;
+  const TrafficPoint pa = run_traffic_point(cfg, &ca);
+  cfg.engine = EngineMode::kSharded;
+  cfg.sim_threads = sim_threads;
+  const TrafficPoint ps = run_traffic_point(cfg, &cs);
+  EXPECT_EQ(pa, ps) << what << ": latency/throughput table diverged";
+  EXPECT_EQ(ca, cs) << what << ": monitor/fabric counters diverged";
 }
 
 // Every topology in the FabricRegistry — the four paper plugins *and*
@@ -64,6 +80,51 @@ TEST_P(EngineEquivalence, Fig5PointsBitIdentical) {
 INSTANTIATE_TEST_SUITE_P(Topologies, EngineEquivalence,
                          ::testing::ValuesIn(FabricRegistry::names()),
                          [](const auto& info) { return info.param; });
+
+// Sharded-vs-active bit-identity over every registered topology × sim-thread
+// count × load. Thread count 1 exercises the inline (leader-only) lanes path,
+// 2 a partially-helped gang, 8 more threads than any built-in fabric has
+// shards (the gang caps at the shard count). The flat fabrics run the
+// sharded engine degenerately on one shard — also worth pinning.
+class ShardedEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(ShardedEquivalence, Fig5PointsBitIdentical) {
+  const auto& [topo, threads] = GetParam();
+  for (double lambda : {0.02, 0.30}) {
+    expect_sharded_equivalent(
+        traffic_cfg(TopologySpec{topo}, false, lambda, 0.0), threads,
+        topo + " ×" + std::to_string(threads) +
+            " λ=" + std::to_string(lambda));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesTimesThreads, ShardedEquivalence,
+    ::testing::Combine(::testing::ValuesIn(FabricRegistry::names()),
+                       ::testing::Values(1u, 2u, 8u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ShardedEquivalenceScrambled, HybridAddressingBitIdentical) {
+  // Scrambled addressing reshuffles which banks (and therefore shards) the
+  // generators hit; pin the boundary-buffer backpressure snapshot under it.
+  expect_sharded_equivalent(traffic_cfg(Topology::kTopH, true, 0.25, 0.5), 8,
+                            "TopH scrambled sharded");
+}
+
+TEST(ShardedEquivalencePaper, PaperClusterMidLambda) {
+  // One full-size (256-core) point at the λ = 0.05 perf-target load.
+  TrafficExperimentConfig cfg;
+  cfg.cluster = ClusterConfig::paper(Topology::kTopH, false);
+  cfg.lambda = 0.05;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 300;
+  cfg.drain_cycles = 200;
+  expect_sharded_equivalent(cfg, 8, "paper TopH sharded λ=0.05");
+}
 
 TEST(EngineEquivalenceFig6, HybridAddressingPointsBitIdentical) {
   for (double p_local : {0.0, 0.5, 1.0}) {
@@ -102,17 +163,17 @@ TEST(EngineEquivalenceExec, SnitchProgramBitIdentical) {
       li t6, 0xC0000000
       sw zero, 0(t6)
   )";
-  auto run_one = [&](bool dense) {
+  auto run_one = [&](EngineMode mode) {
     const ClusterConfig cfg = ClusterConfig::mini(Topology::kTopH, true);
     auto sys = std::make_unique<System>(cfg);
-    sys->engine().set_dense(dense);
+    sys->configure_engine(mode, mode == EngineMode::kSharded ? 8 : 1);
     sys->load_program(isa::assemble_text(src));
     const System::RunResult r = sys->run(100000);
     EXPECT_TRUE(r.all_halted);
     return std::make_pair(std::move(sys), r);
   };
-  auto [active, ra] = run_one(false);
-  auto [dense, rd] = run_one(true);
+  auto [active, ra] = run_one(EngineMode::kActive);
+  auto [dense, rd] = run_one(EngineMode::kDense);
 
   EXPECT_EQ(ra.cycles, rd.cycles);
   const SnitchCore::Stats sa = active->aggregate_core_stats();
@@ -144,6 +205,92 @@ TEST(EngineEquivalenceExec, SnitchProgramBitIdentical) {
   EXPECT_EQ(fa.icache_refills, fd.icache_refills);
   EXPECT_EQ(fa.butterfly_traversals, fd.butterfly_traversals);
   EXPECT_EQ(fa.group_local_traversals, fd.group_local_traversals);
+}
+
+TEST(ShardedEquivalenceExec, SnitchMatmul256CoresBitIdentical) {
+  // The acceptance bar for the sharded engine on execution-driven runs: a
+  // full matmul kernel on the 256-core paper cluster, active vs sharded on 8
+  // threads — cycles, aggregate core stats, result memory, and fabric
+  // counters all bit-identical. Kernel barriers, I$ refills, AMOs, and the
+  // cross-group response traffic all cross the commit barrier here.
+  const ClusterConfig cfg = ClusterConfig::paper(Topology::kTopH, true);
+  const kernels::KernelProgram kp = kernels::build_matmul(cfg, 64);
+  auto run_one = [&](EngineMode mode) {
+    auto sys = std::make_unique<System>(cfg);
+    sys->configure_engine(mode, mode == EngineMode::kSharded ? 8 : 1);
+    const uint64_t cycles = kernels::run_kernel(*sys, kp, 50'000'000);
+    return std::make_pair(std::move(sys), cycles);
+  };
+  auto [active, ca] = run_one(EngineMode::kActive);
+  auto [sharded, cs] = run_one(EngineMode::kSharded);
+
+  EXPECT_EQ(ca, cs) << "kernel cycle count diverged";
+  const SnitchCore::Stats sa = active->aggregate_core_stats();
+  const SnitchCore::Stats ss = sharded->aggregate_core_stats();
+  EXPECT_EQ(sa.instret, ss.instret);
+  EXPECT_EQ(sa.cycles, ss.cycles);
+  EXPECT_EQ(sa.stall_fetch, ss.stall_fetch);
+  EXPECT_EQ(sa.stall_raw, ss.stall_raw);
+  EXPECT_EQ(sa.stall_rob, ss.stall_rob);
+  EXPECT_EQ(sa.stall_port, ss.stall_port);
+  EXPECT_EQ(sa.stall_ctrl, ss.stall_ctrl);
+  EXPECT_EQ(sa.loads_local, ss.loads_local);
+  EXPECT_EQ(sa.loads_remote, ss.loads_remote);
+  EXPECT_EQ(sa.stores_local, ss.stores_local);
+  EXPECT_EQ(sa.stores_remote, ss.stores_remote);
+  EXPECT_EQ(sa.amos, ss.amos);
+  EXPECT_EQ(sa.resp_latency_sum, ss.resp_latency_sum);
+  EXPECT_EQ(sa.resp_count, ss.resp_count);
+  EXPECT_EQ(active->read_words(0, 4096), sharded->read_words(0, 4096));
+  const auto fa = active->cluster().fabric_stats();
+  const auto fs = sharded->cluster().fabric_stats();
+  EXPECT_EQ(fa.tile_req_traversals, fs.tile_req_traversals);
+  EXPECT_EQ(fa.tile_resp_traversals, fs.tile_resp_traversals);
+  EXPECT_EQ(fa.dir_traversals, fs.dir_traversals);
+  EXPECT_EQ(fa.remote_resp_traversals, fs.remote_resp_traversals);
+  EXPECT_EQ(fa.group_local_traversals, fs.group_local_traversals);
+  EXPECT_EQ(fa.butterfly_traversals, fs.butterfly_traversals);
+  EXPECT_EQ(fa.bank_accesses, fs.bank_accesses);
+  EXPECT_EQ(fa.bank_stall_cycles, fs.bank_stall_cycles);
+  EXPECT_EQ(fa.icache_hits, fs.icache_hits);
+  EXPECT_EQ(fa.icache_misses, fs.icache_misses);
+  EXPECT_EQ(fa.icache_refills, fs.icache_refills);
+  // The run must actually have been parallel-dispatched (a busy 256-core
+  // kernel is far above the inline threshold).
+  EXPECT_GT(sharded->engine().parallel_cycles(), 0u);
+}
+
+TEST(ShardedEquivalenceWork, ShardedEvaluatesExactlyLikeActive) {
+  // The scheduler-work counters themselves must match: the sharded engine
+  // evaluates exactly the components the active engine would, no more.
+  TrafficExperimentConfig cfg = traffic_cfg(Topology::kTopH, false, 0.1, 0.0);
+  auto evals = [&](EngineMode mode) {
+    InstrMem imem(4096);
+    Engine engine;
+    Cluster cluster(cfg.cluster, &imem);
+    if (mode == EngineMode::kSharded) {
+      engine.set_sharded(cluster.num_shards(), nullptr);
+    }
+    LatencyMonitor monitor(0);
+    TrafficConfig tcfg;
+    tcfg.lambda = cfg.lambda;
+    tcfg.stop_generation_at = 1000;
+    std::vector<std::unique_ptr<TrafficGenerator>> gens;
+    std::vector<Client*> clients;
+    for (uint32_t c = 0; c < cfg.cluster.num_cores(); ++c) {
+      gens.push_back(std::make_unique<TrafficGenerator>(
+          "gen" + std::to_string(c), static_cast<uint16_t>(c),
+          static_cast<uint16_t>(c / cfg.cluster.cores_per_tile), cfg.cluster,
+          &cluster.layout(), &engine, tcfg, &monitor));
+      clients.push_back(gens.back().get());
+    }
+    cluster.attach_clients(clients);
+    cluster.build(engine);
+    engine.run(1500);
+    return std::make_tuple(engine.evaluations(), engine.commits(),
+                           monitor.completed());
+  };
+  EXPECT_EQ(evals(EngineMode::kActive), evals(EngineMode::kSharded));
 }
 
 TEST(EngineEquivalenceWork, ActiveSetEvaluatesStrictlyLess) {

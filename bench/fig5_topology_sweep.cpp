@@ -37,7 +37,8 @@ double saturation(const std::vector<double>& loads,
 
 int main(int argc, char** argv) {
   const BenchOptions opts =
-      parse_bench_options(&argc, argv, "fig5_topology_sweep");
+      parse_bench_options(&argc, argv, "fig5_topology_sweep",
+                          /*accepts_topology=*/false, /*accepts_memory=*/true);
 
   print_banner(std::cout, "Figure 5 — network analysis of Top1 / Top4 / TopH "
                           "(256 generators, uniform banks)");
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   spec.base.drain_cycles = 2000;
   spec.topologies = {Topology::kTop1, Topology::kTop4, Topology::kTopH};
   spec.lambdas = loads;
+  if (!opts.memory.empty()) spec.base.cluster.memory = MemorySpec{opts.memory};
   opts.apply_engine(&spec.base);
 
   const SweepResult res = run_sweep(spec, opts.runner());

@@ -41,7 +41,8 @@ double parse_number_or_exit(const char* arg, const char* what) {
 
 int main(int argc, char** argv) {
   BenchOptions opts = parse_bench_options(&argc, argv, "traffic_explorer",
-                                          /*accepts_topology=*/true);
+                                          /*accepts_topology=*/true,
+                                          /*accepts_memory=*/true);
 
   TopologySpec topo = Topology::kTopH;
   int pos = 1;  // next positional argument
@@ -57,8 +58,10 @@ int main(int argc, char** argv) {
 
   TrafficExperimentConfig e;
   e.cluster = ClusterConfig::paper(topo, p_local > 0.0);
-  e.p_local_seq = p_local;
+  if (!opts.memory.empty()) e.cluster.memory = MemorySpec{opts.memory};
+  e.cluster.validate();
   opts.apply_engine(&e);
+  e.p_local_seq = p_local;
 
   if (lambda >= 0) {
     e.lambda = lambda;

@@ -144,11 +144,50 @@ void FabricBuilder::add_ideal_tile_bridges() {
   }
 }
 
+// --- MemoryBuilder ------------------------------------------------------------
+
+const ClusterConfig& MemoryBuilder::config() const { return c_->cfg_; }
+
+const MemoryLayout& MemoryBuilder::layout() const { return c_->layout_; }
+
+uint32_t MemoryBuilder::num_tiles() const {
+  return static_cast<uint32_t>(c_->tiles_.size());
+}
+
+Tile& MemoryBuilder::tile(uint32_t t) { return *c_->tiles_[t]; }
+
+uint32_t MemoryBuilder::num_shards() const { return c_->num_shards(); }
+
+uint32_t MemoryBuilder::tile_shard(uint32_t t) const {
+  return c_->tile_shard(t);
+}
+
+uint32_t MemoryBuilder::group_shard(uint32_t g) const {
+  const uint32_t tpg = c_->cfg_.tiles_per_group();
+  const uint32_t shard = c_->tile_shard(g * tpg);
+  for (uint32_t t = g * tpg; t < (g + 1) * tpg; ++t) {
+    MEMPOOL_CHECK_MSG(c_->tile_shard(t) == shard,
+                      "group " << g << " spans shards (tile " << t
+                               << " is in shard " << c_->tile_shard(t)
+                               << ", tile " << g * tpg << " in " << shard
+                               << ") — group-local memory engines need the "
+                                  "fabric to shard along groups");
+  }
+  return shard;
+}
+
 // --- Cluster ------------------------------------------------------------------
 
+ClusterConfig Cluster::validated(ClusterConfig cfg) {
+  cfg.validate();
+  return cfg;
+}
+
 Cluster::Cluster(const ClusterConfig& cfg, const InstrMem* imem)
-    : cfg_(cfg), layout_(cfg), imem_(imem) {
-  cfg_.validate();
+    : cfg_(validated(cfg)),
+      memsys_(MemoryRegistry::get(cfg_.memory.name).instantiate(cfg_)),
+      layout_(memsys_->make_layout()),
+      imem_(imem) {
   MEMPOOL_CHECK(imem != nullptr);
 
   fabric_ = &FabricRegistry::get(cfg_.topology.name);
@@ -158,14 +197,19 @@ Cluster::Cluster(const ClusterConfig& cfg, const InstrMem* imem)
   for (uint32_t t = 0; t < cfg_.num_tiles; ++t) {
     TilePorts ports = fabric_->tile_ports(cfg_, t);
     tiles_.push_back(std::make_unique<Tile>(
-        t, cfg_, imem_, shape.fabric, shape.master_ports, shape.slave_ports,
+        t, cfg_, imem_, memsys_->make_banks(t, shape.bank_input_capacity),
+        shape.fabric, shape.master_ports, shape.slave_ports,
         std::move(ports.slave_req_modes), std::move(ports.slave_resp_modes),
-        std::move(ports.dir_route), std::move(ports.resp_route),
-        shape.bank_input_capacity));
+        std::move(ports.dir_route), std::move(ports.resp_route)));
   }
 
   FabricBuilder builder(this);
   fabric_->build_networks(builder);
+
+  // The memory hierarchy's own machinery (L2, DMA engines) builds after the
+  // tiles and fabric networks exist; tcdm builds nothing here.
+  MemoryBuilder mem_builder(this);
+  memsys_->build(mem_builder);
 
   ports_.reserve(cfg_.num_cores());
   for (uint32_t c = 0; c < cfg_.num_cores(); ++c) {
@@ -244,6 +288,12 @@ void Cluster::build(Engine& engine) {
     engine.add_component(c, tshard[c->tile()]);
   }
 
+  // 2b. Memory-hierarchy engines (tcdm+l2's DMA frontends/backends), after
+  //     the clients — they observe this cycle's core submissions — and
+  //     before the request path, so their bank-port traffic lands before the
+  //     banks evaluate. tcdm registers nothing.
+  memsys_->add_components(engine);
+
   // 3. Request path: master-port crossbars, request networks, merged request
   //    crossbars, banks.
   for (auto& t : tiles_) t->add_req_early(engine, tshard[t->index()]);
@@ -258,12 +308,21 @@ void Cluster::build(Engine& engine) {
   for (auto& t : tiles_) t->add_req_late(engine, tshard[t->index()]);
 }
 
+DmaPortal* Cluster::dma_portal(uint32_t tile) {
+  return memsys_->dma_portal(cfg_.group_of_tile(tile));
+}
+
 uint32_t Cluster::read_word(uint32_t cpu_addr) const {
+  if (memsys_->handles(cpu_addr)) return memsys_->backdoor_read(cpu_addr);
   const BankLocation loc = layout_.locate(cpu_addr);
   return tiles_[loc.tile]->bank(loc.bank).backdoor_read(loc.row);
 }
 
 void Cluster::write_word(uint32_t cpu_addr, uint32_t value) {
+  if (memsys_->handles(cpu_addr)) {
+    memsys_->backdoor_write(cpu_addr, value);
+    return;
+  }
   const BankLocation loc = layout_.locate(cpu_addr);
   tiles_[loc.tile]->bank(loc.bank).backdoor_write(loc.row, value);
 }
@@ -308,7 +367,7 @@ bool Cluster::fabric_idle() const {
   for (const auto& b : resp_bflys_) {
     if (!b->idle()) return false;
   }
-  return true;
+  return memsys_->idle();
 }
 
 }  // namespace mempool

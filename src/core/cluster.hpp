@@ -27,10 +27,12 @@
 //
 // Evaluation order per cycle (see DESIGN.md §3): bank-response crossbars →
 // response networks (group crossbars, then butterflies) → remote-response
-// crossbars / ideal bridges → I$ → clients → master-port crossbars →
-// request networks (group crossbars, then butterflies) → merged request
-// crossbars → banks → commit. Plugins insert networks into these fixed
-// phases via the FabricBuilder.
+// crossbars / ideal bridges → I$ → clients → memory-hierarchy engines
+// (tcdm+l2's DMA frontends/backends; nothing for tcdm) → master-port
+// crossbars → request networks (group crossbars, then butterflies) →
+// merged request crossbars → banks → commit. Plugins insert networks into
+// these fixed phases via the FabricBuilder; the memory system registers its
+// engines via MemoryInstance::add_components.
 
 #include <cstdint>
 #include <deque>
@@ -42,6 +44,7 @@
 #include "core/layout.hpp"
 #include "core/tile.hpp"
 #include "mem/imem.hpp"
+#include "mem/memsys.hpp"
 #include "noc/butterfly.hpp"
 #include "noc/xbar.hpp"
 #include "sim/engine.hpp"
@@ -49,6 +52,7 @@
 namespace mempool {
 
 class Cluster;
+class DmaPortal;
 class FabricBuilder;
 class FabricTopology;
 
@@ -109,6 +113,18 @@ class Cluster {
   /// The fabric-topology plugin this cluster was built with.
   const FabricTopology& fabric() const { return *fabric_; }
 
+  /// The memory-system instance (mem/memsys.hpp) this cluster was built
+  /// with: layout, banks, and any L2/DMA machinery behind ClusterConfig's
+  /// MemorySpec.
+  const MemoryInstance& memsys() const { return *memsys_; }
+
+  /// DMA control interface of @p tile's group, or nullptr when the memory
+  /// system has no DMA engine (tcdm). Cores reach it through the DMA CSRs.
+  DmaPortal* dma_portal(uint32_t tile);
+
+  /// The memory hierarchy's aggregate counters (all zero for tcdm).
+  MemoryStats memory_stats() const { return memsys_->stats(); }
+
   Tile& tile(uint32_t t) { return *tiles_[t]; }
   const Tile& tile(uint32_t t) const { return *tiles_[t]; }
   uint32_t num_tiles() const { return static_cast<uint32_t>(tiles_.size()); }
@@ -159,8 +175,15 @@ class Cluster {
  private:
   friend class CorePort;
   friend class FabricBuilder;
+  friend class MemoryBuilder;
+
+  /// validate() before any member that derives from the config is built, so
+  /// a bad configuration fails with the validation error, not an
+  /// unexplained CHECK deep inside layout/bank construction.
+  static ClusterConfig validated(ClusterConfig cfg);
 
   ClusterConfig cfg_;
+  std::unique_ptr<MemoryInstance> memsys_;  // before layout_: supplies it
   MemoryLayout layout_;
   const InstrMem* imem_;
   const FabricTopology* fabric_;  // registry-owned, never null after ctor

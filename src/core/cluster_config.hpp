@@ -68,6 +68,31 @@ inline const std::string& topology_name(const TopologySpec& s) {
   return s.name;
 }
 
+/// Names a memory-system plugin (mem/memsys.hpp) and carries its free-form
+/// parameters (serialized verbatim into the mempool.sweep.v3 schema), the
+/// exact mirror of TopologySpec for the memory hierarchy: parameter keys are
+/// validated against MemorySystem::param_keys() in ClusterConfig::validate(),
+/// so unknown or ill-typed parameters throw there, not deep inside
+/// construction. The default, "tcdm", is the seed-era flat always-hit L1.
+struct MemorySpec {
+  std::string name = "tcdm";
+  std::map<std::string, Json> params;
+
+  MemorySpec() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  MemorySpec(const char* n) : name(n) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  MemorySpec(std::string n) : name(std::move(n)) {}
+  MemorySpec(std::string n, std::map<std::string, Json> p)
+      : name(std::move(n)), params(std::move(p)) {}
+
+  /// Typed parameter accessor; returns @p fallback when absent and throws
+  /// CheckError when present but not a non-negative integer.
+  uint64_t param_uint(const std::string& key, uint64_t fallback) const;
+
+  bool operator==(const MemorySpec&) const = default;
+};
+
 /// Snitch core timing parameters (Section III-B).
 struct CoreConfig {
   uint32_t num_outstanding = 8;  ///< ROB entries = max outstanding loads.
@@ -85,6 +110,7 @@ struct CoreConfig {
 
 struct ClusterConfig {
   TopologySpec topology;            ///< Fabric plugin (default: TopH).
+  MemorySpec memory;                ///< Memory-system plugin (default: tcdm).
   uint32_t num_tiles = 64;
   uint32_t cores_per_tile = 4;
   uint32_t banks_per_tile = 16;

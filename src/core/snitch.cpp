@@ -4,6 +4,7 @@
 #include "common/check.hpp"
 #include "isa/csr.hpp"
 #include "isa/disasm.hpp"
+#include "mem/dma.hpp"
 
 namespace mempool {
 
@@ -53,6 +54,14 @@ void SnitchCore::writeback(const RobEntry& e) {
   mem_pending_[e.rd] = false;
 }
 
+DmaPortal& SnitchCore::dma_or_die() const {
+  MEMPOOL_CHECK_MSG(dma_ != nullptr,
+                    name() << ": DMA CSR access, but memory system '"
+                           << cfg_->memory.name
+                           << "' has no DMA engine (use --memory tcdm+l2)");
+  return *dma_;
+}
+
 uint32_t SnitchCore::csr_read(uint16_t csr, uint64_t cycle) const {
   switch (csr) {
     case isa::kCsrMhartid: return id_;
@@ -64,6 +73,12 @@ uint32_t SnitchCore::csr_read(uint16_t csr, uint64_t cycle) const {
     case isa::kCsrNumCores: return cfg_->num_cores();
     case isa::kCsrTileId: return tile_;
     case isa::kCsrCoresPerTile: return cfg_->cores_per_tile;
+    case isa::kCsrDmaSrc: return dma_src_;
+    case isa::kCsrDmaDst: return dma_dst_;
+    case isa::kCsrDmaRows: return dma_rows_;
+    case isa::kCsrDmaSrcStride: return dma_src_stride_;
+    case isa::kCsrDmaDstStride: return dma_dst_stride_;
+    case isa::kCsrDmaPending: return dma_or_die().pending(id_);
     default:
       MEMPOOL_CHECK_MSG(false, name() << ": read of unimplemented CSR 0x"
                                       << std::hex << csr);
@@ -76,6 +91,33 @@ void SnitchCore::csr_write(uint16_t csr, uint32_t value) {
     case isa::kCsrMscratch:
       mscratch_ = value;
       return;
+    case isa::kCsrDmaSrc:
+      dma_src_ = value;
+      return;
+    case isa::kCsrDmaDst:
+      dma_dst_ = value;
+      return;
+    case isa::kCsrDmaRows:
+      dma_rows_ = value;
+      return;
+    case isa::kCsrDmaSrcStride:
+      dma_src_stride_ = value;
+      return;
+    case isa::kCsrDmaDstStride:
+      dma_dst_stride_ = value;
+      return;
+    case isa::kCsrDmaStart: {
+      DmaDescriptor d;
+      d.src = dma_src_;
+      d.dst = dma_dst_;
+      d.words_per_row = value;
+      d.rows = dma_rows_;
+      d.src_stride = dma_src_stride_;
+      d.dst_stride = dma_dst_stride_;
+      dma_or_die().submit(id_, d);
+      ++stats_.dma_submits;
+      return;
+    }
     default:
       MEMPOOL_CHECK_MSG(false, name() << ": write of unimplemented CSR 0x"
                                       << std::hex << csr);

@@ -23,6 +23,9 @@
 
 namespace mempool {
 
+class DmaPortal;
+struct DmaDescriptor;
+
 class SnitchCore final : public Client {
  public:
   /// @param program   pre-decoded instruction image (fetch timing still goes
@@ -32,6 +35,11 @@ class SnitchCore final : public Client {
              const ClusterConfig& cfg, const MemoryLayout* layout,
              ICache* icache, const std::vector<isa::Instr>* program,
              uint32_t program_base, uint32_t boot_pc);
+
+  /// Attach the group's DMA control interface (tcdm+l2 memory system);
+  /// without one, any DMA CSR access aborts with a clear error. Called by
+  /// System::load_program.
+  void set_dma_portal(DmaPortal* dma) { dma_ = dma; }
 
   void deliver(const Packet& resp) override;
   void evaluate(uint64_t cycle) override;
@@ -70,6 +78,7 @@ class SnitchCore final : public Client {
     uint64_t stores_local = 0;
     uint64_t stores_remote = 0;
     uint64_t amos = 0;
+    uint64_t dma_submits = 0;     ///< DMA transfers launched (kCsrDmaStart).
     uint64_t resp_latency_sum = 0;  ///< Sum of round-trip latencies (cycles).
     uint64_t resp_count = 0;
     double avg_load_latency() const {
@@ -86,6 +95,7 @@ class SnitchCore final : public Client {
   }
   uint32_t csr_read(uint16_t csr, uint64_t cycle) const;
   void csr_write(uint16_t csr, uint32_t value);
+  DmaPortal& dma_or_die() const;
   void writeback(const RobEntry& e);
   void halt(uint32_t code) {
     halted_ = true;
@@ -115,6 +125,14 @@ class SnitchCore final : public Client {
   uint64_t last_cycle_ = 0;  ///< For response-latency accounting.
 
   uint32_t mscratch_ = 0;
+  // Staged DMA descriptor (the DMA CSRs; launched by kCsrDmaStart). Rows and
+  // strides are sticky across launches, like the hardware's config registers.
+  DmaPortal* dma_ = nullptr;
+  uint32_t dma_src_ = 0;
+  uint32_t dma_dst_ = 0;
+  uint32_t dma_rows_ = 1;
+  uint32_t dma_src_stride_ = 0;
+  uint32_t dma_dst_stride_ = 0;
   Stats stats_;
 };
 

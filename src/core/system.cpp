@@ -54,6 +54,7 @@ void System::load_program(const std::vector<uint32_t>& words, uint32_t base,
         "core" + std::to_string(c), static_cast<uint16_t>(c),
         static_cast<uint16_t>(t), cfg_, &cluster_->layout(),
         &cluster_->tile(t).icache(), &decoded_, program_base_, boot_pc));
+    cores_.back()->set_dma_portal(cluster_->dma_portal(t));
     clients.push_back(cores_.back().get());
   }
   cluster_->attach_clients(clients);
@@ -141,6 +142,7 @@ SnitchCore::Stats System::aggregate_core_stats() const {
     s.stores_local += cs.stores_local;
     s.stores_remote += cs.stores_remote;
     s.amos += cs.amos;
+    s.dma_submits += cs.dma_submits;
     s.resp_latency_sum += cs.resp_latency_sum;
     s.resp_count += cs.resp_count;
   }

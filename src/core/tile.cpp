@@ -11,17 +11,17 @@ std::string tile_name(uint32_t index, const char* part) {
 }  // namespace
 
 Tile::Tile(uint32_t index, const ClusterConfig& cfg, const InstrMem* imem,
-           bool with_fabric, uint32_t num_master_ports,
-           uint32_t num_slave_ports, std::vector<BufferMode> slave_req_modes,
+           std::vector<std::unique_ptr<SpmBank>> banks, bool with_fabric,
+           uint32_t num_master_ports, uint32_t num_slave_ports,
+           std::vector<BufferMode> slave_req_modes,
            std::vector<BufferMode> slave_resp_modes, RouteFn dir_route,
-           RouteFn bank_resp_route, std::size_t bank_input_capacity)
-    : index_(index), cores_(cfg.cores_per_tile) {
-  banks_.reserve(cfg.banks_per_tile);
-  for (uint32_t b = 0; b < cfg.banks_per_tile; ++b) {
-    banks_.push_back(std::make_unique<SpmBank>(
-        tile_name(index, ("bank" + std::to_string(b)).c_str()), cfg.bank_bytes,
-        bank_input_capacity));
-  }
+           RouteFn bank_resp_route)
+    : index_(index), cores_(cfg.cores_per_tile), banks_(std::move(banks)) {
+  MEMPOOL_CHECK_MSG(banks_.size() == cfg.banks_per_tile,
+                    "memory system built " << banks_.size()
+                                           << " banks for tile " << index
+                                           << ", config wants "
+                                           << cfg.banks_per_tile);
   icache_ = std::make_unique<ICache>(tile_name(index, "icache"), cfg.icache,
                                      imem);
   if (!with_fabric) {

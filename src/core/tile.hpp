@@ -41,6 +41,8 @@ class ClientSink final : public PacketSink {
 
 class Tile {
  public:
+  /// @param banks         the tile's L1 banks, constructed by the memory-
+  ///                      system plugin (mem/memsys.hpp), in bank order.
   /// @param with_fabric   false for the ideal TopX baseline (banks + I$ only;
   ///                      the cluster wires cores straight to banks).
   /// @param num_master_ports outputs of the per-tile master-port crossbar
@@ -51,12 +53,12 @@ class Tile {
   /// @param dir_route     routes a core's remote request to a master port.
   /// @param bank_resp_route routes a bank response to a local core
   ///                      [0, cores) or remote response port [cores, cores+K).
-  /// @param bank_input_capacity 0 = unbounded (TopX output queueing).
   Tile(uint32_t index, const ClusterConfig& cfg, const InstrMem* imem,
-       bool with_fabric, uint32_t num_master_ports, uint32_t num_slave_ports,
+       std::vector<std::unique_ptr<SpmBank>> banks, bool with_fabric,
+       uint32_t num_master_ports, uint32_t num_slave_ports,
        std::vector<BufferMode> slave_req_modes,
        std::vector<BufferMode> slave_resp_modes, RouteFn dir_route,
-       RouteFn bank_resp_route, std::size_t bank_input_capacity = 2);
+       RouteFn bank_resp_route);
 
   // --- connection points (request path) -------------------------------------
   PacketSink* core_local_req(uint32_t core_in_tile);

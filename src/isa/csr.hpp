@@ -19,4 +19,19 @@ inline constexpr uint16_t kCsrNumCores = 0xFC0;     ///< Total cores.
 inline constexpr uint16_t kCsrTileId = 0xFC1;       ///< This core's tile.
 inline constexpr uint16_t kCsrCoresPerTile = 0xFC2;
 
+// Custom machine read-write CSRs (0x7C0+ is the vendor read-write space):
+// the DMA engine's control interface (tcdm+l2 memory system, mem/dma.hpp).
+// A transfer is staged into kCsrDmaSrc/Dst (CPU byte addresses; exactly one
+// side in the L2 window) — optionally shaped 2-D via kCsrDmaRows and the
+// stride CSRs (sticky; rows=1, strides=dense after reset) — and launched by
+// writing the words-per-row count to kCsrDmaStart. kCsrDmaPending reads the
+// number of this core's transfers still in flight (dma_wait spins on 0).
+inline constexpr uint16_t kCsrDmaSrc = 0x7C0;
+inline constexpr uint16_t kCsrDmaDst = 0x7C1;
+inline constexpr uint16_t kCsrDmaRows = 0x7C2;
+inline constexpr uint16_t kCsrDmaSrcStride = 0x7C3;  ///< Bytes; 0 = dense.
+inline constexpr uint16_t kCsrDmaDstStride = 0x7C4;  ///< Bytes; 0 = dense.
+inline constexpr uint16_t kCsrDmaStart = 0x7C5;  ///< Write W = launch W/row.
+inline constexpr uint16_t kCsrDmaPending = 0x7C6;  ///< Read-only.
+
 }  // namespace mempool::isa

@@ -14,4 +14,29 @@ namespace mempool::kernels {
 KernelProgram build_matmul(const ClusterConfig& cfg, uint32_t n = 64,
                            uint64_t seed = 42);
 
+/// Tiled, DMA-fed matmul on the tcdm+l2 memory system: C = A · B with all
+/// three matrices resident in L2 (the working set may far exceed the L1),
+/// processed block by block — every (rb × cb) output block's A/B panels are
+/// DMAed into SPM buffers, computed by all cores, and the finished block is
+/// DMAed back out. With double_buffer the next block's panels stream in (and
+/// the previous block streams out) while the current one computes, hiding
+/// the transfer time; without it every transfer is waited on immediately —
+/// the serialized baseline fig_dma_overlap measures overlap against.
+struct TiledMatmulParams {
+  uint32_t m = 256;         ///< C rows (power of two, multiple of rb).
+  uint32_t n = 256;         ///< C cols (power of two, multiple of cb).
+  uint32_t k = 32;          ///< Inner dimension (power of two, <= 128).
+  uint32_t rb = 64;         ///< Block rows.
+  uint32_t cb = 64;         ///< Block cols.
+  bool double_buffer = true;
+};
+
+/// Build the tiled matmul. Requires a DMA-capable memory system
+/// (cfg.memory "tcdm+l2"), rb*cb divisible by 8*num_cores (the 2x4
+/// register-blocked inner kernel), and the SPM buffers / L2 matrices to fit
+/// their respective memories.
+KernelProgram build_matmul_tiled(const ClusterConfig& cfg,
+                                 const TiledMatmulParams& p,
+                                 uint64_t seed = 42);
+
 }  // namespace mempool::kernels

@@ -1,0 +1,373 @@
+// Tiled, DMA-fed matmul on the tcdm+l2 memory system (see matmul.hpp).
+//
+// All three matrices live in L2 (A m×k and Bt n×k row-major — B is stored
+// transposed like the flat kernel — plus C m×n row-major), so the working
+// set is bounded by the L2, not the 1 MiB L1. The (m/rb)·(n/cb) output
+// blocks are processed one after another by the whole cluster:
+//
+//   in(b):  DMA A's rb×k panel and Bt's cb×k panel into SPM buffers
+//   compute(b): every core computes rb·cb/P outputs (2x4 register blocking)
+//   out(b): DMA the finished rb×cb block back into C (2-D strided)
+//
+// Double-buffered schedule (two SPM buffer sets, DMA programmed by core 0):
+//
+//   submit in(0)
+//   for b in 0..NB-1:
+//     wait                      # in(b) done, out(b-1) done
+//     barrier
+//     submit in(b+1), out(b-1)  # overlap with the compute below
+//     compute block b
+//     barrier
+//   submit out(NB-1); wait; barrier
+//
+// The serialized variant (double_buffer = false, fig_dma_overlap's baseline)
+// waits immediately after every submission, exposing the full transfer time.
+
+#include "kernels/matmul.hpp"
+
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "isa/csr.hpp"
+#include "kernels/runtime.hpp"
+#include "mem/dma.hpp"
+#include "mem/memsys.hpp"
+
+namespace mempool::kernels {
+
+using isa::Assembler;
+using isa::Reg;
+
+namespace {
+
+/// Derived geometry shared by the emitter and the host-side lambdas.
+struct TiledLayout {
+  uint32_t l2_a, l2_b, l2_c;
+  uint32_t buf_a0, buf_b0, buf_c0;
+  uint32_t sz_a, sz_b, sz_c;  // one panel/block buffer, bytes
+  uint32_t nbi, nbj, nb;
+  uint32_t q;  // 2x4 sub-blocks per core per block
+};
+
+TiledLayout plan(const ClusterConfig& cfg, const TiledMatmulParams& p) {
+  TiledLayout t;
+  t.l2_a = kL2Base;
+  t.l2_b = t.l2_a + p.m * p.k * 4;
+  t.l2_c = t.l2_b + p.n * p.k * 4;
+  t.sz_a = p.rb * p.k * 4;
+  t.sz_b = p.cb * p.k * 4;
+  t.sz_c = p.rb * p.cb * 4;
+  const uint32_t nbuf = p.double_buffer ? 2 : 1;
+  const RuntimeLayout rl = make_runtime_layout(cfg);
+  t.buf_a0 = rl.data_base;
+  t.buf_b0 = t.buf_a0 + nbuf * t.sz_a;
+  t.buf_c0 = t.buf_b0 + nbuf * t.sz_b;
+  t.nbi = p.m / p.rb;
+  t.nbj = p.n / p.cb;
+  t.nb = t.nbi * t.nbj;
+  t.q = p.rb * p.cb / (8 * cfg.num_cores());
+  MEMPOOL_CHECK_MSG(t.buf_c0 + nbuf * t.sz_c <= cfg.spm_bytes(),
+                    "tiled-matmul SPM buffers (" << t.buf_c0 + nbuf * t.sz_c
+                                                 << " B) do not fit the L1 ("
+                                                 << cfg.spm_bytes() << " B)");
+  const uint64_t l2_bytes =
+      cfg.memory.param_uint("l2_bytes", L2Params{}.bytes);
+  MEMPOOL_CHECK_MSG(
+      uint64_t{t.l2_c - kL2Base} + uint64_t{p.m} * p.n * 4 <= l2_bytes,
+      "tiled-matmul matrices do not fit the L2 (" << l2_bytes << " B)");
+  return t;
+}
+
+/// Core 0: launch in(block): the A and Bt panels of block t0 into the SPM
+/// buffers. @p blk (t0) holds the block index; clobbers t1-t6.
+void emit_submit_in(Assembler& a, const TiledMatmulParams& p,
+                    const TiledLayout& t) {
+  emit_dma_shape_1d(a, Reg::t6);
+  a.srli(Reg::t1, Reg::t0, log2_exact(t.nbj));              // bi
+  a.andi(Reg::t2, Reg::t0, static_cast<int32_t>(t.nbj - 1));  // bj
+  // A panel: l2_a + bi*sz_a  ->  buf_a0 + sel*sz_a.
+  a.slli(Reg::t3, Reg::t1, log2_exact(t.sz_a));
+  a.li(Reg::t4, static_cast<int32_t>(t.l2_a));
+  a.add(Reg::t3, Reg::t3, Reg::t4);
+  if (p.double_buffer) {
+    a.andi(Reg::t5, Reg::t0, 1);
+    a.slli(Reg::t5, Reg::t5, log2_exact(t.sz_a));
+  } else {
+    a.li(Reg::t5, 0);
+  }
+  a.li(Reg::t4, static_cast<int32_t>(t.buf_a0));
+  a.add(Reg::t4, Reg::t4, Reg::t5);
+  a.li(Reg::t6, static_cast<int32_t>(p.rb * p.k));
+  emit_dma_copy_in(a, Reg::t3, Reg::t4, Reg::t6);
+  // Bt panel: l2_b + bj*sz_b  ->  buf_b0 + sel*sz_b.
+  a.slli(Reg::t3, Reg::t2, log2_exact(t.sz_b));
+  a.li(Reg::t4, static_cast<int32_t>(t.l2_b));
+  a.add(Reg::t3, Reg::t3, Reg::t4);
+  if (p.double_buffer) {
+    a.andi(Reg::t5, Reg::t0, 1);
+    a.slli(Reg::t5, Reg::t5, log2_exact(t.sz_b));
+  } else {
+    a.li(Reg::t5, 0);
+  }
+  a.li(Reg::t4, static_cast<int32_t>(t.buf_b0));
+  a.add(Reg::t4, Reg::t4, Reg::t5);
+  a.li(Reg::t6, static_cast<int32_t>(p.cb * p.k));
+  emit_dma_copy_in(a, Reg::t3, Reg::t4, Reg::t6);
+}
+
+/// Core 0: launch out(block): the finished rb×cb SPM block into C, 2-D
+/// strided over C's n-word rows. @p t0 holds the block index; clobbers t1-t6.
+void emit_submit_out(Assembler& a, const TiledMatmulParams& p,
+                     const TiledLayout& t) {
+  a.srli(Reg::t1, Reg::t0, log2_exact(t.nbj));              // bi
+  a.andi(Reg::t2, Reg::t0, static_cast<int32_t>(t.nbj - 1));  // bj
+  a.li(Reg::t5, static_cast<int32_t>(p.rb));
+  a.li(Reg::t6, static_cast<int32_t>(p.n * 4));
+  emit_dma_shape(a, Reg::t5, Reg::zero, Reg::t6);  // src dense, dst C rows
+  // src = buf_c0 + sel*sz_c.
+  if (p.double_buffer) {
+    a.andi(Reg::t5, Reg::t0, 1);
+    a.slli(Reg::t5, Reg::t5, log2_exact(t.sz_c));
+  } else {
+    a.li(Reg::t5, 0);
+  }
+  a.li(Reg::t4, static_cast<int32_t>(t.buf_c0));
+  a.add(Reg::t4, Reg::t4, Reg::t5);
+  // dst = l2_c + bi*(rb*n*4) + bj*(cb*4).
+  a.slli(Reg::t3, Reg::t1, log2_exact(p.rb) + log2_exact(p.n) + 2);
+  a.slli(Reg::t6, Reg::t2, log2_exact(p.cb) + 2);
+  a.add(Reg::t3, Reg::t3, Reg::t6);
+  a.li(Reg::t6, static_cast<int32_t>(t.l2_c));
+  a.add(Reg::t3, Reg::t3, Reg::t6);
+  a.li(Reg::t6, static_cast<int32_t>(p.cb));
+  emit_dma_copy_out(a, Reg::t4, Reg::t3, Reg::t6);
+}
+
+/// The per-block compute: every core walks its q 2x4 sub-blocks of the
+/// current rb×cb output block. Expects s7/s8/s9 = current A/Bt/C buffer
+/// bases; preserves a0/s0/s1/s7/s8/s9.
+void emit_compute_block(Assembler& a, const TiledMatmulParams& p,
+                        const TiledLayout& t) {
+  const int32_t row = static_cast<int32_t>(p.k * 4);
+  const int32_t crow = static_cast<int32_t>(p.cb * 4);
+  const unsigned log2k = log2_exact(p.k);
+  const unsigned log2cb4 = log2_exact(p.cb / 4);
+
+  a.li(Reg::t1, static_cast<int32_t>(t.q));
+  a.mul(Reg::a7, Reg::a0, Reg::t1);  // first sub-block index
+  a.li(Reg::s6, static_cast<int32_t>(t.q));
+
+  a.l("sub_loop");
+  a.srli(Reg::t4, Reg::a7, log2cb4);                            // r_idx
+  a.andi(Reg::t5, Reg::a7, static_cast<int32_t>(p.cb / 4 - 1));  // c_idx
+  a.slli(Reg::t1, Reg::t4, log2k + 3);
+  a.add(Reg::t1, Reg::t1, Reg::s7);  // &A[2*r_idx][0]
+  a.slli(Reg::t3, Reg::t5, log2k + 4);
+  a.add(Reg::t3, Reg::t3, Reg::s8);  // &Bt[4*c_idx][0]
+  a.slli(Reg::t4, Reg::t4, log2_exact(p.cb) + 3);
+  a.slli(Reg::t5, Reg::t5, 4);
+  a.add(Reg::t4, Reg::t4, Reg::t5);
+  a.add(Reg::tp, Reg::t4, Reg::s9);  // &C[2*r_idx][4*c_idx]
+  a.li(Reg::s2, 0);
+  a.li(Reg::s3, 0);
+  a.li(Reg::s4, 0);
+  a.li(Reg::s5, 0);
+  a.li(Reg::a1, 0);
+  a.li(Reg::a6, 0);
+  a.li(Reg::s10, 0);
+  a.li(Reg::s11, 0);
+  a.li(Reg::gp, static_cast<int32_t>(p.k));
+
+  // The 2x4 inner step of the flat kernel (mul/add spaced at the multiplier
+  // latency), walking k sequentially through the SPM panels.
+  a.l("inner");
+  a.lw(Reg::t0, Reg::t1, 0);        // A[r][j]
+  a.lw(Reg::t2, Reg::t1, row);      // A[r+1][j]
+  a.lw(Reg::a2, Reg::t3, 0);        // Bt[c..c+3][j]
+  a.lw(Reg::a3, Reg::t3, row);
+  a.lw(Reg::a4, Reg::t3, 2 * row);
+  a.lw(Reg::a5, Reg::t3, 3 * row);
+  a.addi(Reg::t1, Reg::t1, 4);
+  a.addi(Reg::t3, Reg::t3, 4);
+  a.mul(Reg::t4, Reg::t0, Reg::a2);
+  a.mul(Reg::t5, Reg::t0, Reg::a3);
+  a.mul(Reg::t6, Reg::t0, Reg::a4);
+  a.add(Reg::s2, Reg::s2, Reg::t4);
+  a.mul(Reg::t4, Reg::t0, Reg::a5);
+  a.add(Reg::s3, Reg::s3, Reg::t5);
+  a.mul(Reg::t5, Reg::t2, Reg::a2);
+  a.add(Reg::s4, Reg::s4, Reg::t6);
+  a.mul(Reg::t6, Reg::t2, Reg::a3);
+  a.add(Reg::s5, Reg::s5, Reg::t4);
+  a.mul(Reg::t4, Reg::t2, Reg::a4);
+  a.add(Reg::a1, Reg::a1, Reg::t5);
+  a.mul(Reg::t5, Reg::t2, Reg::a5);
+  a.add(Reg::a6, Reg::a6, Reg::t6);
+  a.add(Reg::s10, Reg::s10, Reg::t4);
+  a.add(Reg::s11, Reg::s11, Reg::t5);
+  a.addi(Reg::gp, Reg::gp, -1);
+  a.bnez(Reg::gp, "inner");
+
+  a.sw(Reg::s2, Reg::tp, 0);
+  a.sw(Reg::s3, Reg::tp, 4);
+  a.sw(Reg::s4, Reg::tp, 8);
+  a.sw(Reg::s5, Reg::tp, 12);
+  a.sw(Reg::a1, Reg::tp, crow);
+  a.sw(Reg::a6, Reg::tp, crow + 4);
+  a.sw(Reg::s10, Reg::tp, crow + 8);
+  a.sw(Reg::s11, Reg::tp, crow + 12);
+  a.addi(Reg::a7, Reg::a7, 1);
+  a.addi(Reg::s6, Reg::s6, -1);
+  a.bnez(Reg::s6, "sub_loop");
+}
+
+}  // namespace
+
+KernelProgram build_matmul_tiled(const ClusterConfig& cfg,
+                                 const TiledMatmulParams& p, uint64_t seed) {
+  MEMPOOL_CHECK_MSG(MemoryRegistry::get(cfg.memory.name).provides_dma(),
+                    "tiled matmul needs a DMA-capable memory system (memory "
+                    "'" << cfg.memory.name << "' has none; use tcdm+l2)");
+  MEMPOOL_CHECK(is_pow2(p.m) && is_pow2(p.n) && is_pow2(p.k) &&
+                is_pow2(p.rb) && is_pow2(p.cb));
+  MEMPOOL_CHECK_MSG(p.k >= 4 && p.k <= 128,
+                    "k must be in [4, 128] (immediate-offset panel rows)");
+  MEMPOOL_CHECK(p.rb >= 2 && p.cb >= 4 && p.m >= p.rb && p.n >= p.cb);
+  MEMPOOL_CHECK_MSG(
+      (p.rb * p.cb) % (8 * cfg.num_cores()) == 0,
+      "rb*cb must be divisible by 8*num_cores (2x4 register blocking)");
+  const TiledLayout t = plan(cfg, p);
+
+  Assembler a;
+  emit_crt0(a, cfg, /*stack_bytes=*/256);
+  emit_barrier(a, cfg, make_runtime_layout(cfg));
+
+  a.l("main");
+  a.addi(Reg::sp, Reg::sp, -16);
+  a.sw(Reg::ra, Reg::sp, 0);
+  a.li(Reg::s0, 0);                               // b
+  a.li(Reg::s1, static_cast<int32_t>(t.nb));      // NB
+
+  if (p.double_buffer) {
+    a.bnez(Reg::a0, "blk_loop");
+    a.li(Reg::t0, 0);
+    emit_submit_in(a, p, t);  // prefetch in(0)
+  }
+
+  a.l("blk_loop");
+  if (p.double_buffer) {
+    // wait; barrier; then overlap in(b+1) / out(b-1) with compute(b).
+    a.bnez(Reg::a0, "sync_top");
+    emit_dma_wait(a, Reg::t6);
+    a.l("sync_top");
+    a.call("barrier");
+    a.bnez(Reg::a0, "compute");
+    a.addi(Reg::t0, Reg::s0, 1);
+    a.beq(Reg::t0, Reg::s1, "no_in");
+    emit_submit_in(a, p, t);
+    a.l("no_in");
+    a.beqz(Reg::s0, "no_out");
+    a.addi(Reg::t0, Reg::s0, -1);
+    emit_submit_out(a, p, t);
+    a.l("no_out");
+    a.l("compute");
+  } else {
+    // Serialized baseline: expose the full transfer time of in(b).
+    a.bnez(Reg::a0, "sync_top");
+    a.mv(Reg::t0, Reg::s0);
+    emit_submit_in(a, p, t);
+    emit_dma_wait(a, Reg::t6);
+    a.l("sync_top");
+    a.call("barrier");
+  }
+
+  // Current buffer bases: sel = b&1 under double buffering, 0 otherwise.
+  if (p.double_buffer) {
+    a.andi(Reg::t0, Reg::s0, 1);
+  } else {
+    a.li(Reg::t0, 0);
+  }
+  a.slli(Reg::t1, Reg::t0, log2_exact(t.sz_a));
+  a.li(Reg::t2, static_cast<int32_t>(t.buf_a0));
+  a.add(Reg::s7, Reg::t1, Reg::t2);
+  a.slli(Reg::t1, Reg::t0, log2_exact(t.sz_b));
+  a.li(Reg::t2, static_cast<int32_t>(t.buf_b0));
+  a.add(Reg::s8, Reg::t1, Reg::t2);
+  a.slli(Reg::t1, Reg::t0, log2_exact(t.sz_c));
+  a.li(Reg::t2, static_cast<int32_t>(t.buf_c0));
+  a.add(Reg::s9, Reg::t1, Reg::t2);
+
+  emit_compute_block(a, p, t);
+  a.call("barrier");
+
+  if (!p.double_buffer) {
+    a.bnez(Reg::a0, "sync_out");
+    a.mv(Reg::t0, Reg::s0);
+    emit_submit_out(a, p, t);
+    emit_dma_wait(a, Reg::t6);
+    a.l("sync_out");
+    a.call("barrier");
+  }
+
+  a.addi(Reg::s0, Reg::s0, 1);
+  a.bne(Reg::s0, Reg::s1, "blk_loop");
+
+  if (p.double_buffer) {
+    a.bnez(Reg::a0, "sync_end");
+    a.addi(Reg::t0, Reg::s0, -1);  // NB-1
+    emit_submit_out(a, p, t);
+    emit_dma_wait(a, Reg::t6);     // also drains out(NB-2)
+    a.l("sync_end");
+    a.call("barrier");
+  }
+
+  // a0 was preserved throughout (the compute avoids it); restore anyway for
+  // hygiene before returning to crt0.
+  a.csrr(Reg::a0, isa::kCsrMhartid);
+  a.lw(Reg::ra, Reg::sp, 0);
+  a.addi(Reg::sp, Reg::sp, 16);
+  a.ret();
+
+  KernelProgram kp;
+  kp.name = "matmul_tiled";
+  kp.image = a.finish();
+
+  kp.init = [t, p, seed](System& sys) {
+    Rng rng(seed);
+    for (uint32_t i = 0; i < p.m * p.k; ++i) {
+      sys.write_word(t.l2_a + 4 * i,
+                     static_cast<uint32_t>(rng.next_below(256)) - 128);
+    }
+    for (uint32_t i = 0; i < p.n * p.k; ++i) {
+      sys.write_word(t.l2_b + 4 * i,
+                     static_cast<uint32_t>(rng.next_below(256)) - 128);
+    }
+  };
+
+  kp.check = [t, p](const System& sys, std::string* err) {
+    const std::vector<uint32_t> ma = sys.read_words(t.l2_a, p.m * p.k);
+    const std::vector<uint32_t> mb = sys.read_words(t.l2_b, p.n * p.k);
+    for (uint32_t i = 0; i < p.m; ++i) {
+      for (uint32_t j = 0; j < p.n; ++j) {
+        uint32_t want = 0;
+        for (uint32_t kk = 0; kk < p.k; ++kk) {
+          want += ma[i * p.k + kk] * mb[j * p.k + kk];
+        }
+        const uint32_t got = sys.read_word(t.l2_c + 4 * (i * p.n + j));
+        if (got != want) {
+          std::ostringstream os;
+          os << "tiled matmul mismatch at C[" << i << "][" << j << "]: got 0x"
+             << std::hex << got << ", want 0x" << want;
+          *err = os.str();
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  return kp;
+}
+
+}  // namespace mempool::kernels

@@ -124,4 +124,44 @@ void emit_barrier(isa::Assembler& a, const ClusterConfig& cfg,
   a.ret();
 }
 
+// --- DMA intrinsics -----------------------------------------------------------
+
+void emit_dma_copy_in(isa::Assembler& a, isa::Reg l2_src, isa::Reg spm_dst,
+                      isa::Reg words) {
+  a.csrw(isa::kCsrDmaSrc, l2_src);
+  a.csrw(isa::kCsrDmaDst, spm_dst);
+  a.csrw(isa::kCsrDmaStart, words);
+}
+
+void emit_dma_copy_out(isa::Assembler& a, isa::Reg spm_src, isa::Reg l2_dst,
+                       isa::Reg words) {
+  a.csrw(isa::kCsrDmaSrc, spm_src);
+  a.csrw(isa::kCsrDmaDst, l2_dst);
+  a.csrw(isa::kCsrDmaStart, words);
+}
+
+void emit_dma_shape(isa::Assembler& a, isa::Reg rows, isa::Reg src_stride,
+                    isa::Reg dst_stride) {
+  a.csrw(isa::kCsrDmaRows, rows);
+  a.csrw(isa::kCsrDmaSrcStride, src_stride);
+  a.csrw(isa::kCsrDmaDstStride, dst_stride);
+}
+
+void emit_dma_shape_1d(isa::Assembler& a, isa::Reg scratch) {
+  a.li(scratch, 1);
+  a.csrw(isa::kCsrDmaRows, scratch);
+  a.csrw(isa::kCsrDmaSrcStride, isa::Reg::zero);
+  a.csrw(isa::kCsrDmaDstStride, isa::Reg::zero);
+}
+
+void emit_dma_wait(isa::Assembler& a, isa::Reg scratch) {
+  // Each call site needs its own spin label; the emission address is unique
+  // within the assembler instance, so it serves as the suffix (no shared
+  // state across concurrently built programs).
+  const std::string label = "dma_wait_" + std::to_string(a.pc());
+  a.l(label);
+  a.csrr(scratch, isa::kCsrDmaPending);
+  a.bnez(scratch, label);
+}
+
 }  // namespace mempool::kernels

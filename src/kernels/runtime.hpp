@@ -52,4 +52,36 @@ void emit_crt0(isa::Assembler& a, const ClusterConfig& cfg,
 void emit_barrier(isa::Assembler& a, const ClusterConfig& cfg,
                   const RuntimeLayout& layout);
 
+// --- DMA intrinsics (tcdm+l2 memory system) ----------------------------------
+//
+// Thin wrappers over the DMA CSRs (isa/csr.hpp): a transfer is described by
+// source/destination CPU byte addresses — exactly one side in the L2 window —
+// and a word count, optionally shaped 2-D by emit_dma_shape (rows and row
+// strides are sticky until reprogrammed; after reset the shape is 1-D).
+// Launching is asynchronous; emit_dma_wait spins until every transfer this
+// core launched has drained. Running these on a memory system without a DMA
+// engine (plain tcdm) aborts simulation with a clear error.
+
+/// Launch words(@p words) x rows from L2 (@p l2_src) into the L1 SPM
+/// (@p spm_dst). All three operands are registers.
+void emit_dma_copy_in(isa::Assembler& a, isa::Reg l2_src, isa::Reg spm_dst,
+                      isa::Reg words);
+
+/// Launch words(@p words) x rows from the L1 SPM (@p spm_src) into L2
+/// (@p l2_dst).
+void emit_dma_copy_out(isa::Assembler& a, isa::Reg spm_src, isa::Reg l2_dst,
+                       isa::Reg words);
+
+/// Program the sticky 2-D shape: @p rows rows, @p src_stride / @p dst_stride
+/// bytes between row starts (0 = dense).
+void emit_dma_shape(isa::Assembler& a, isa::Reg rows, isa::Reg src_stride,
+                    isa::Reg dst_stride);
+
+/// Reset the sticky shape to 1-D dense (clobbers @p scratch).
+void emit_dma_shape_1d(isa::Assembler& a, isa::Reg scratch);
+
+/// Spin until this core's pending-transfer count reaches zero (clobbers
+/// @p scratch).
+void emit_dma_wait(isa::Assembler& a, isa::Reg scratch);
+
 }  // namespace mempool::kernels

@@ -47,6 +47,20 @@ class SpmBank final : public Component {
   uint32_t backdoor_read(uint32_t row) const;
   void backdoor_write(uint32_t row, uint32_t value);
 
+  /// Dedicated DMA port (tcdm+l2's per-group engines): word access that is
+  /// paced by the DMA backend's burst schedule, not by the tile crossbars,
+  /// and counted separately from the core-side accesses.
+  uint32_t dma_read(uint32_t row) {
+    MEMPOOL_CHECK(row < words_.size());
+    ++dma_reads_;
+    return words_[row];
+  }
+  void dma_write(uint32_t row, uint32_t value) {
+    MEMPOOL_CHECK(row < words_.size());
+    ++dma_writes_;
+    words_[row] = value;
+  }
+
   uint32_t rows() const { return static_cast<uint32_t>(words_.size()); }
 
   // --- statistics / energy hooks -----------------------------------------
@@ -54,6 +68,8 @@ class SpmBank final : public Component {
   uint64_t writes() const { return writes_; }
   uint64_t atomics() const { return atomics_; }
   uint64_t accesses() const { return reads_ + writes_ + atomics_; }
+  uint64_t dma_reads() const { return dma_reads_; }
+  uint64_t dma_writes() const { return dma_writes_; }
   /// Cycles in which a request was waiting but the response path was full.
   uint64_t stall_cycles() const { return stalls_; }
 
@@ -76,6 +92,8 @@ class SpmBank final : public Component {
   uint64_t writes_ = 0;
   uint64_t atomics_ = 0;
   uint64_t stalls_ = 0;
+  uint64_t dma_reads_ = 0;
+  uint64_t dma_writes_ = 0;
 };
 
 }  // namespace mempool

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "mem/memsys.hpp"
 #include "noc/fabric.hpp"
 #include "runner/results.hpp"
 
@@ -34,9 +35,13 @@ namespace {
                "  --quiet            no stderr progress ticker\n"
                "  --topology NAME    fabric topology (available: %s)\n"
                "  --list-topologies  list the registered fabric topologies "
-               "and exit\n",
+               "and exit\n"
+               "  --memory NAME      memory system (available: %s)\n"
+               "  --list-memories    list the registered memory systems and "
+               "exit\n",
                bench.c_str(), bench.c_str(),
-               FabricRegistry::available().c_str());
+               FabricRegistry::available().c_str(),
+               MemoryRegistry::available().c_str());
   std::exit(code);
 }
 
@@ -45,6 +50,15 @@ namespace {
   for (const std::string& name : FabricRegistry::names()) {
     std::fprintf(stderr, "  %-6s  %s\n", name.c_str(),
                  FabricRegistry::get(name).description().c_str());
+  }
+  std::exit(0);
+}
+
+[[noreturn]] void list_memories() {
+  std::fprintf(stderr, "registered memory systems:\n");
+  for (const std::string& name : MemoryRegistry::names()) {
+    std::fprintf(stderr, "  %-8s  %s\n", name.c_str(),
+                 MemoryRegistry::get(name).description().c_str());
   }
   std::exit(0);
 }
@@ -60,9 +74,18 @@ TopologySpec parse_topology_or_exit(const std::string& name) {
   return TopologySpec{name};
 }
 
+MemorySpec parse_memory_or_exit(const std::string& name) {
+  if (MemoryRegistry::find(name) == nullptr) {
+    std::fprintf(stderr, "unknown memory system '%s'; available: %s\n",
+                 name.c_str(), MemoryRegistry::available().c_str());
+    std::exit(2);
+  }
+  return MemorySpec{name};
+}
+
 BenchOptions parse_bench_options(int* argc, char** argv,
                                  const std::string& bench_name,
-                                 bool accepts_topology) {
+                                 bool accepts_topology, bool accepts_memory) {
   BenchOptions opts;
   opts.bench_name = bench_name;
   opts.json_path = bench_name + ".results.json";
@@ -143,6 +166,17 @@ BenchOptions parse_bench_options(int* argc, char** argv,
       opts.topology = parse_topology_or_exit(value()).name;
     } else if (std::strcmp(a, "--list-topologies") == 0) {
       list_topologies();
+    } else if (std::strcmp(a, "--memory") == 0) {
+      if (!accepts_memory) {
+        std::fprintf(stderr,
+                     "%s: --memory is not supported by this bench (its "
+                     "memory system is fixed)\n",
+                     bench_name.c_str());
+        std::exit(2);
+      }
+      opts.memory = parse_memory_or_exit(value()).name;
+    } else if (std::strcmp(a, "--list-memories") == 0) {
+      list_memories();
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(bench_name, 0);
     } else {

@@ -17,6 +17,9 @@
 //                       take one); unknown names fail with the list of
 //                       registered plugins
 //   --list-topologies   print the FabricRegistry and exit
+//   --memory NAME       select a registered memory system (benches that take
+//                       one); unknown names fail with the list of plugins
+//   --list-memories     print the MemoryRegistry and exit
 //   --help              usage
 //
 // The two thread axes are deliberately distinct flags: --threads always
@@ -50,6 +53,9 @@ struct BenchOptions {
   /// --topology NAME, validated against the FabricRegistry; empty = bench
   /// default. Benches that simulate a selectable topology honor this.
   std::string topology;
+  /// --memory NAME, validated against the MemoryRegistry; empty = bench
+  /// default (tcdm unless the bench is memory-specific).
+  std::string memory;
 
   RunnerOptions runner() const { return {threads, progress}; }
 
@@ -64,13 +70,19 @@ struct BenchOptions {
 /// prints "unknown topology 'X'; available: ..." to stderr and exits(2).
 TopologySpec parse_topology_or_exit(const std::string& name);
 
+/// Resolve a memory-system name against the MemoryRegistry; on an unknown
+/// name prints "unknown memory system 'X'; available: ..." and exits(2).
+MemorySpec parse_memory_or_exit(const std::string& name);
+
 /// Parse and strip the common flags. @p argc/@p argv are compacted in place;
 /// exits(0) on --help, exits(2) on a malformed flag. Benches whose topology
-/// set is selectable pass @p accepts_topology = true; everywhere else
-/// --topology is rejected loudly instead of being silently ignored.
+/// (memory system) set is selectable pass @p accepts_topology
+/// (@p accepts_memory) = true; everywhere else the flag is rejected loudly
+/// instead of being silently ignored.
 BenchOptions parse_bench_options(int* argc, char** argv,
                                  const std::string& bench_name,
-                                 bool accepts_topology = false);
+                                 bool accepts_topology = false,
+                                 bool accepts_memory = false);
 
 /// Write the mempool.bench.v1 envelope to opts.json_path (no-op when the
 /// results file is disabled); prints the path to stderr.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "mem/memsys.hpp"
 #include "noc/fabric.hpp"
 
 namespace mempool::runner {
@@ -11,7 +12,7 @@ namespace mempool::runner {
 Json sweep_to_json(const SweepResult& result) {
   MEMPOOL_CHECK(result.configs.size() == result.points.size());
   Json root = Json::object();
-  root.set("schema", "mempool.sweep.v2");
+  root.set("schema", "mempool.sweep.v3");
   root.set("threads", result.threads);
   root.set("wall_seconds", result.wall_seconds);
   Json points = Json::array();
@@ -20,13 +21,20 @@ Json sweep_to_json(const SweepResult& result) {
     const TrafficPoint& p = result.points[i];
     Json rec = Json::object();
     // v2: the topology is a self-describing {name, params} spec, so plugin
-    // parameters survive the round trip verbatim.
+    // parameters survive the round trip verbatim. v3 mirrors it for the
+    // memory system.
     Json topo = Json::object();
     topo.set("name", cfg.cluster.topology.name);
     Json params = Json::object();
     for (const auto& [k, v] : cfg.cluster.topology.params) params.set(k, v);
     topo.set("params", std::move(params));
     rec.set("topology", std::move(topo));
+    Json mem = Json::object();
+    mem.set("name", cfg.cluster.memory.name);
+    Json mem_params = Json::object();
+    for (const auto& [k, v] : cfg.cluster.memory.params) mem_params.set(k, v);
+    mem.set("params", std::move(mem_params));
+    rec.set("memory", std::move(mem));
     rec.set("scrambling", cfg.cluster.scrambling);
     rec.set("num_tiles", cfg.cluster.num_tiles);
     rec.set("cores_per_tile", cfg.cluster.cores_per_tile);
@@ -59,9 +67,11 @@ Json sweep_to_json(const SweepResult& result) {
 
 SweepResult sweep_from_json(const Json& j) {
   const std::string schema = j.get("schema", Json("")).as_string();
-  MEMPOOL_CHECK_MSG(
-      schema == "mempool.sweep.v2" || schema == "mempool.sweep.v1",
-      "not a mempool.sweep.v1/v2 document (schema '" << schema << "')");
+  MEMPOOL_CHECK_MSG(schema == "mempool.sweep.v3" ||
+                        schema == "mempool.sweep.v2" ||
+                        schema == "mempool.sweep.v1",
+                    "not a mempool.sweep.v1/v2/v3 document (schema '"
+                        << schema << "')");
   SweepResult result;
   result.threads = static_cast<unsigned>(j.at("threads").as_uint());
   result.wall_seconds = j.at("wall_seconds").as_double();
@@ -85,6 +95,22 @@ SweepResult sweep_from_json(const Json& j) {
                       "unknown topology '" << spec.name << "'; available: "
                                            << FabricRegistry::available());
     cfg.cluster.topology = std::move(spec);
+    // v3 adds the memory system as a {name, params} spec; v1/v2 documents
+    // predate the memory registry and mean the default tcdm.
+    if (const Json mem = rec.get("memory", Json());
+        mem.type() == Json::Type::kObject) {
+      MemorySpec mspec;
+      mspec.name = mem.at("name").as_string();
+      const Json mparams = mem.get("params", Json::object());
+      for (const auto& [k, v] : mparams.members()) {
+        mspec.params[k] = v;
+      }
+      MEMPOOL_CHECK_MSG(MemoryRegistry::find(mspec.name) != nullptr,
+                        "unknown memory system '"
+                            << mspec.name << "'; available: "
+                            << MemoryRegistry::available());
+      cfg.cluster.memory = std::move(mspec);
+    }
     cfg.cluster.scrambling = rec.at("scrambling").as_bool();
     cfg.cluster.num_tiles =
         static_cast<uint32_t>(rec.at("num_tiles").as_uint());

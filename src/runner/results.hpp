@@ -12,19 +12,21 @@
 //     "results": { ... bench-specific ... }
 //   }
 //
-// Traffic sweeps embed the sweep schema `mempool.sweep.v2` under "results"
+// Traffic sweeps embed the sweep schema `mempool.sweep.v3` under "results"
 // (or as a named sub-object): one record per point carrying the full config
 // axes and the measured TrafficPoint, so trajectories are self-describing.
-// The topology is a self-describing `{name, params}` spec resolved against
-// the FabricRegistry on read; v1 documents (bare topology name strings) are
-// still accepted by sweep_from_json:
+// The topology and the memory system are self-describing `{name, params}`
+// specs resolved against their registries on read; v2 documents (no
+// "memory" member — implies tcdm) and v1 documents (bare topology name
+// strings) are still accepted by sweep_from_json:
 //
 //   {
-//     "schema": "mempool.sweep.v2",
+//     "schema": "mempool.sweep.v3",
 //     "threads": 8,
 //     "wall_seconds": 12.3,
 //     "points": [
 //       {"topology": {"name": "TopH", "params": {}},
+//        "memory": {"name": "tcdm", "params": {}},
 //        "scrambling": false, "num_tiles": 64,
 //        "cores_per_tile": 4, "banks_per_tile": 16, "bank_bytes": 1024,
 //        "seq_region_bytes": 4096, "num_groups": 4,
@@ -48,12 +50,12 @@
 
 namespace mempool::runner {
 
-/// Serialize a sweep result (schema mempool.sweep.v2).
+/// Serialize a sweep result (schema mempool.sweep.v3).
 Json sweep_to_json(const SweepResult& result);
 
-/// Inverse of sweep_to_json; also reads legacy mempool.sweep.v1 documents.
-/// Throws CheckError on schema violations and unknown topology names (the
-/// error lists the registered plugins).
+/// Inverse of sweep_to_json; also reads legacy mempool.sweep.v1/v2
+/// documents. Throws CheckError on schema violations and unknown topology /
+/// memory-system names (the error lists the registered plugins).
 SweepResult sweep_from_json(const Json& j);
 
 /// Parsed scheduler-speedup artifact (micro_sim_speed --speedup_json).

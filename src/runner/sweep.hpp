@@ -1,12 +1,13 @@
 #pragma once
 // SweepSpec: a cartesian grid over the experiment axes of Figs. 5-7 —
-// topology, offered load λ, locality p_local, and seed — expanded into the
-// flat list of TrafficExperimentConfig points the parallel runner executes.
+// topology, memory system, offered load λ, locality p_local, and seed —
+// expanded into the flat list of TrafficExperimentConfig points the parallel
+// runner executes.
 //
-// Expansion order is fixed and row-major (topology ▸ p_local ▸ λ ▸ seed,
-// innermost last), so a point's flat index — and therefore the order of the
-// results vector — is a pure function of the spec, independent of how the
-// points are scheduled across threads.
+// Expansion order is fixed and row-major (topology ▸ memory ▸ p_local ▸ λ ▸
+// seed, innermost last), so a point's flat index — and therefore the order
+// of the results vector — is a pure function of the spec, independent of how
+// the points are scheduled across threads.
 
 #include <cstdint>
 #include <string>
@@ -26,6 +27,9 @@ struct SweepSpec {
   // ({name, params}); legacy Topology enumerators convert implicitly, so
   // `spec.topologies = {Topology::kTop1, "TopH2"}` mixes freely.
   std::vector<TopologySpec> topologies;
+  /// Memory-system axis ({name, params} specs resolved against the
+  /// MemoryRegistry); empty = keep the base config's memory system.
+  std::vector<MemorySpec> memories;
   std::vector<double> lambdas;
   std::vector<double> p_locals;
   std::vector<uint64_t> seeds;
@@ -38,7 +42,8 @@ struct SweepSpec {
   std::size_t num_points() const;
 
   /// The flat point list in canonical order. Index layout:
-  ///   i = ((t * |p_locals| + p) * |lambdas| + l) * |seeds| + s
+  ///   i = (((t * |memories| + m) * |p_locals| + p) * |lambdas| + l)
+  ///           * |seeds| + s
   /// with each factor clamped to >= 1 for empty axes.
   std::vector<TrafficExperimentConfig> expand() const;
 

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "mem/rob.hpp"
 
 namespace mempool {
@@ -76,6 +82,164 @@ TEST(ReorderBuffer, DoubleFillThrows) {
   const uint16_t t = rob.allocate(meta(1));
   rob.fill(t, 1);
   EXPECT_THROW(rob.fill(t, 2), CheckError);
+}
+
+// --- stress coverage: wraparound + out-of-order bursts vs a reference -------
+
+/// Scalar reference: a plain FIFO of (sequence id, rd, data?) entries. The
+/// real ring must retire exactly this order with exactly these payloads, no
+/// matter how tags wrap or responses interleave.
+struct RefModel {
+  struct Entry {
+    uint64_t seq;
+    uint8_t rd;
+    std::optional<uint32_t> data;
+  };
+  std::deque<Entry> fifo;
+  uint64_t next_seq = 0;
+
+  uint64_t allocate(uint8_t rd) {
+    fifo.push_back({next_seq, rd, std::nullopt});
+    return next_seq++;
+  }
+  void fill(uint64_t seq, uint32_t data) {
+    for (Entry& e : fifo) {
+      if (e.seq == seq) {
+        ASSERT_FALSE(e.data.has_value());
+        e.data = data;
+        return;
+      }
+    }
+    FAIL() << "fill of unknown seq " << seq;
+  }
+  bool head_ready() const {
+    return !fifo.empty() && fifo.front().data.has_value();
+  }
+  Entry pop_head() {
+    Entry e = fifo.front();
+    fifo.pop_front();
+    return e;
+  }
+};
+
+TEST(ReorderBufferStress, IndexWraparoundAgainstReference) {
+  // Thousands of allocate/fill/retire steps on a small ring: the tag space
+  // wraps hundreds of times while occupancy swings between empty and full.
+  // Responses arrive in randomized order; every retirement is compared
+  // against the scalar reference model.
+  constexpr std::size_t kCap = 8;
+  ReorderBuffer rob(kCap);
+  RefModel ref;
+  Rng rng(0xB0B5);
+
+  std::vector<std::pair<uint16_t, uint64_t>> outstanding;  // (tag, seq)
+  uint32_t payload = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t choice = rng.next_below(3);
+    if (choice == 0 && !rob.full()) {
+      const uint8_t rd = static_cast<uint8_t>(rng.next_below(32));
+      const uint16_t tag = rob.allocate(meta(rd));
+      const uint64_t seq = ref.allocate(rd);
+      outstanding.emplace_back(tag, seq);
+    } else if (choice == 1 && !outstanding.empty()) {
+      // Respond to a random outstanding entry (out-of-order by design).
+      const std::size_t i = rng.next_below(outstanding.size());
+      const auto [tag, seq] = outstanding[i];
+      outstanding.erase(outstanding.begin() + static_cast<long>(i));
+      rob.fill(tag, payload);
+      ref.fill(seq, payload);
+      ++payload;
+    } else {
+      while (rob.head_ready()) {
+        ASSERT_TRUE(ref.head_ready());
+        const RobEntry got = rob.pop_head();
+        const RefModel::Entry want = ref.pop_head();
+        ASSERT_EQ(got.rd, want.rd) << "step " << step;
+        ASSERT_EQ(got.data, *want.data) << "step " << step;
+      }
+      ASSERT_FALSE(ref.head_ready());
+    }
+    ASSERT_EQ(rob.in_flight(), ref.fifo.size());
+    ASSERT_EQ(rob.full(), ref.fifo.size() == kCap);
+  }
+}
+
+TEST(ReorderBufferStress, ReversedBurstsAtFullCapacity) {
+  // Repeatedly fill the ROB to capacity, answer the whole burst strictly
+  // youngest-first (fully reversed), and drain: nothing may retire until the
+  // oldest answer lands, then the whole burst retires in allocation order.
+  constexpr std::size_t kCap = 8;
+  ReorderBuffer rob(kCap);
+  uint32_t base = 0;
+  for (int round = 0; round < 1000; ++round) {
+    std::vector<uint16_t> tags;
+    for (std::size_t i = 0; i < kCap; ++i) {
+      tags.push_back(rob.allocate(meta(static_cast<uint8_t>(i))));
+    }
+    EXPECT_TRUE(rob.full());
+    for (std::size_t i = kCap; i-- > 1;) {
+      rob.fill(tags[i], base + static_cast<uint32_t>(i));
+      EXPECT_FALSE(rob.head_ready())
+          << "round " << round << ": retired before the oldest response";
+    }
+    rob.fill(tags[0], base);
+    for (std::size_t i = 0; i < kCap; ++i) {
+      ASSERT_TRUE(rob.head_ready());
+      const RobEntry e = rob.pop_head();
+      EXPECT_EQ(e.rd, static_cast<uint8_t>(i));
+      EXPECT_EQ(e.data, base + i);
+    }
+    EXPECT_TRUE(rob.empty());
+    base += kCap;
+  }
+}
+
+TEST(ReorderBufferStress, RollbackInterleavedWithWraparound) {
+  // allocate/rollback churn at random occupancy: rollbacks must never
+  // corrupt the ring across tag wraparound. Mirrored in the reference.
+  constexpr std::size_t kCap = 4;
+  ReorderBuffer rob(kCap);
+  RefModel ref;
+  Rng rng(0x5EED);
+  std::deque<std::pair<uint16_t, uint64_t>> alloc_order;
+  uint32_t payload = 1000;
+  for (int step = 0; step < 8000; ++step) {
+    const uint64_t choice = rng.next_below(4);
+    if (choice == 0 && !rob.full()) {
+      const uint16_t tag = rob.allocate(meta(7));
+      alloc_order.emplace_back(tag, ref.allocate(7));
+    } else if (choice == 1 && !alloc_order.empty() &&
+               !ref.fifo.back().data.has_value() &&
+               ref.fifo.back().seq == alloc_order.back().second) {
+      // Roll back the newest allocation (always legal while unanswered).
+      rob.rollback_tail();
+      ref.fifo.pop_back();
+      alloc_order.pop_back();
+    } else if (choice == 2 && !alloc_order.empty()) {
+      const std::size_t i = rng.next_below(alloc_order.size());
+      const auto [tag, seq] = alloc_order[i];
+      // Only fill entries not already answered.
+      bool filled = false;
+      for (const auto& e : ref.fifo) {
+        if (e.seq == seq) filled = e.data.has_value();
+      }
+      if (!filled) {
+        rob.fill(tag, payload);
+        ref.fill(seq, payload);
+        ++payload;
+      }
+    } else {
+      while (rob.head_ready()) {
+        ASSERT_TRUE(ref.head_ready());
+        const RobEntry got = rob.pop_head();
+        const RefModel::Entry want = ref.pop_head();
+        ASSERT_EQ(got.data, *want.data) << "step " << step;
+        ASSERT_FALSE(alloc_order.empty());
+        alloc_order.pop_front();
+      }
+    }
+    ASSERT_EQ(rob.in_flight(), ref.fifo.size()) << "step " << step;
+  }
 }
 
 TEST(ReorderBuffer, SubwordMetadataPreserved) {

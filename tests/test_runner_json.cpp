@@ -179,14 +179,86 @@ TEST(SweepJson, SweepRoundTripsBitIdentical) {
   }
 }
 
-TEST(SweepJson, WritesV2WithSelfDescribingTopology) {
+TEST(SweepJson, WritesV3WithSelfDescribingTopologyAndMemory) {
   const SweepResult original = small_sweep();
   const Json doc = sweep_to_json(original);
-  EXPECT_EQ(doc.at("schema").as_string(), "mempool.sweep.v2");
+  EXPECT_EQ(doc.at("schema").as_string(), "mempool.sweep.v3");
   const Json& first = doc.at("points").at(0);
   EXPECT_TRUE(first.at("topology").is_object());
   EXPECT_EQ(first.at("topology").at("name").as_string(), "Top1");
   EXPECT_TRUE(first.at("topology").at("params").is_object());
+  EXPECT_TRUE(first.at("memory").is_object());
+  EXPECT_EQ(first.at("memory").at("name").as_string(), "tcdm");
+  EXPECT_TRUE(first.at("memory").at("params").is_object());
+}
+
+TEST(SweepJson, ReadsLegacyV2Documents) {
+  // A pre-memory-registry v2 file ({name, params} topology, no "memory"
+  // member) pinned verbatim: the compat reader must default the memory
+  // system to tcdm and round-trip through the v3 writer bit-identically.
+  const std::string v2 = R"({
+    "schema": "mempool.sweep.v2",
+    "threads": 4,
+    "wall_seconds": 1.25,
+    "points": [
+      {"topology": {"name": "TopH2", "params": {"supergroups": 4}},
+       "scrambling": false, "num_tiles": 256,
+       "cores_per_tile": 4, "banks_per_tile": 16, "bank_bytes": 1024,
+       "seq_region_bytes": 4096, "num_groups": 16,
+       "lambda": 0.1, "p_local": 0.0, "seed": 3, "engine": "sharded",
+       "sim_threads": 4,
+       "warmup_cycles": 100, "measure_cycles": 400, "drain_cycles": 200,
+       "offered": 0.1, "generated": 0.0999, "accepted": 0.0998,
+       "avg_latency": 6.5, "p95_latency": 12.0, "max_latency": 40.0,
+       "completed": 10240}
+    ]
+  })";
+  const SweepResult back = sweep_from_json(Json::parse(v2));
+  ASSERT_EQ(back.points.size(), 1u);
+  EXPECT_EQ(back.configs[0].cluster.topology.name, "TopH2");
+  EXPECT_EQ(back.configs[0].cluster.memory, MemorySpec{"tcdm"});
+  EXPECT_EQ(back.configs[0].engine, EngineMode::kSharded);
+
+  const SweepResult again = sweep_from_json(sweep_to_json(back));
+  ASSERT_EQ(again.points.size(), 1u);
+  EXPECT_EQ(again.points[0], back.points[0]);
+  EXPECT_EQ(again.configs[0].cluster.memory, back.configs[0].cluster.memory);
+}
+
+TEST(SweepJson, MemorySpecParamsRoundTrip) {
+  SweepResult original = small_sweep();
+  for (auto& cfg : original.configs) {
+    cfg.cluster.memory =
+        MemorySpec{"tcdm+l2", {{"l2_latency", Json(uint64_t{11})}}};
+  }
+  const SweepResult back =
+      sweep_from_json(Json::parse(sweep_to_json(original).dump(2)));
+  ASSERT_EQ(back.configs.size(), original.configs.size());
+  EXPECT_EQ(back.configs[0].cluster.memory, original.configs[0].cluster.memory);
+  EXPECT_EQ(back.configs[0].cluster.memory.param_uint("l2_latency", 0), 11u);
+}
+
+TEST(SweepJson, RejectsUnknownMemoryNamingAvailable) {
+  const SweepResult original = small_sweep();
+  Json doc = sweep_to_json(original);
+  Json mem = Json::object();
+  mem.set("name", "l9-cache");
+  mem.set("params", Json::object());
+  Json points = Json::array();
+  for (std::size_t i = 0; i < doc.at("points").size(); ++i) {
+    Json rec = doc.at("points").at(i);
+    if (i == 0) rec.set("memory", mem);
+    points.push_back(std::move(rec));
+  }
+  doc.set("points", std::move(points));
+  try {
+    sweep_from_json(doc);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("l9-cache"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tcdm"), std::string::npos) << msg;
+  }
 }
 
 TEST(SweepJson, ReadsLegacyV1Documents) {

@@ -19,6 +19,7 @@
 #include "kernels/matmul.hpp"
 #include "kernels/runtime.hpp"
 #include "mem/imem.hpp"
+#include "mem/memsys.hpp"
 #include "noc/fabric.hpp"
 #include "noc/monitor.hpp"
 #include "traffic/experiment.hpp"
@@ -124,6 +125,90 @@ TEST(ShardedEquivalencePaper, PaperClusterMidLambda) {
   cfg.measure_cycles = 300;
   cfg.drain_cycles = 200;
   expect_sharded_equivalent(cfg, 8, "paper TopH sharded λ=0.05");
+}
+
+// The full fabric × memory × engine-mode cross-product: every registered
+// memory system must be physics-neutral for generator traffic (the DMA
+// engines sit idle) and bit-identical across all three engine modes on
+// every registered topology.
+class MemoryEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(MemoryEquivalence, TrafficPointsBitIdentical) {
+  const auto& [topo, mem] = GetParam();
+  TrafficExperimentConfig cfg =
+      traffic_cfg(TopologySpec{topo}, true, 0.25, 0.5);
+  cfg.cluster.memory = MemorySpec{mem};
+  cfg.cluster.validate();
+  expect_engines_equivalent(cfg, topo + " mem=" + mem);
+  expect_sharded_equivalent(cfg, 8, topo + " sharded mem=" + mem);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FabricsTimesMemories, MemoryEquivalence,
+    ::testing::Combine(::testing::ValuesIn(FabricRegistry::names()),
+                       ::testing::ValuesIn(MemoryRegistry::names())),
+    [](const auto& info) {
+      std::string n =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : n) {
+        if (c == '+') c = '_';
+      }
+      return n;
+    });
+
+TEST(ShardedEquivalenceDma, SnitchTiledMatmulBitIdentical) {
+  // The DMA acceptance bar for the engine-equivalence suite: a full tiled,
+  // double-buffered DMA matmul on the mini tcdm+l2 cluster — cycles, core
+  // stats (incl. DMA submissions), result memory in L2, and the memory
+  // hierarchy's own counters all bit-identical between the active, dense,
+  // and 8-thread sharded engines. Slice commands and completions cross the
+  // shard commit barrier here; burst timers run on the per-shard wheels.
+  ClusterConfig cfg = ClusterConfig::mini(Topology::kTopH, true);
+  cfg.memory = MemorySpec{"tcdm+l2"};
+  cfg.validate();
+  kernels::TiledMatmulParams tp;
+  tp.m = tp.n = 128;
+  tp.k = 32;
+  tp.rb = tp.cb = 32;
+  const kernels::KernelProgram kp = kernels::build_matmul_tiled(cfg, tp);
+  auto run_one = [&](EngineMode mode) {
+    auto sys = std::make_unique<System>(cfg);
+    sys->configure_engine(mode, mode == EngineMode::kSharded ? 8 : 1);
+    const uint64_t cycles = kernels::run_kernel(*sys, kp, 50'000'000);
+    return std::make_pair(std::move(sys), cycles);
+  };
+  auto [active, ca] = run_one(EngineMode::kActive);
+  auto [dense, cd] = run_one(EngineMode::kDense);
+  auto [sharded, cs] = run_one(EngineMode::kSharded);
+
+  EXPECT_EQ(ca, cd) << "dense kernel cycle count diverged";
+  EXPECT_EQ(ca, cs) << "sharded kernel cycle count diverged";
+  const SnitchCore::Stats sa = active->aggregate_core_stats();
+  const SnitchCore::Stats ss = sharded->aggregate_core_stats();
+  EXPECT_EQ(sa.instret, ss.instret);
+  EXPECT_EQ(sa.cycles, ss.cycles);
+  EXPECT_EQ(sa.stall_fetch, ss.stall_fetch);
+  EXPECT_EQ(sa.stall_raw, ss.stall_raw);
+  EXPECT_EQ(sa.stall_rob, ss.stall_rob);
+  EXPECT_EQ(sa.stall_port, ss.stall_port);
+  EXPECT_EQ(sa.amos, ss.amos);
+  EXPECT_EQ(sa.dma_submits, ss.dma_submits);
+  EXPECT_GT(sa.dma_submits, 0u);
+  // The C matrix in L2, word for word.
+  const uint32_t l2_c = 0xA000'0000u + (tp.m + tp.n) * tp.k * 4;
+  EXPECT_EQ(active->read_words(l2_c, tp.m * tp.n),
+            sharded->read_words(l2_c, tp.m * tp.n));
+  EXPECT_EQ(active->read_words(l2_c, tp.m * tp.n),
+            dense->read_words(l2_c, tp.m * tp.n));
+  // The memory hierarchy's counters (descriptors, slices, bursts, words,
+  // busy windows, L2 traffic) — MemoryStats compares bit-for-bit.
+  EXPECT_EQ(active->cluster().memory_stats(), dense->cluster().memory_stats());
+  EXPECT_EQ(active->cluster().memory_stats(),
+            sharded->cluster().memory_stats());
+  EXPECT_GT(active->cluster().memory_stats().dma_words_in, 0u);
+  EXPECT_GT(sharded->engine().parallel_cycles(), 0u);
 }
 
 TEST(EngineEquivalenceFig6, HybridAddressingPointsBitIdentical) {

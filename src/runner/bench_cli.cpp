@@ -38,11 +38,22 @@ namespace {
                "and exit\n"
                "  --memory NAME      memory system (available: %s)\n"
                "  --list-memories    list the registered memory systems and "
-               "exit\n",
+               "exit\n"
+               "  --list-engines     list the engine modes and exit\n",
                bench.c_str(), bench.c_str(),
                FabricRegistry::available().c_str(),
                MemoryRegistry::available().c_str());
   std::exit(code);
+}
+
+[[noreturn]] void list_engines() {
+  std::fprintf(stderr, "engine modes (all bit-identical; --engine MODE):\n");
+  for (EngineMode m :
+       {EngineMode::kActive, EngineMode::kDense, EngineMode::kSharded}) {
+    std::fprintf(stderr, "  %-8s  %s\n", engine_mode_name(m),
+                 engine_mode_description(m));
+  }
+  std::exit(0);
 }
 
 [[noreturn]] void list_topologies() {
@@ -141,10 +152,8 @@ BenchOptions parse_bench_options(int* argc, char** argv,
     } else if (std::strcmp(a, "--engine") == 0) {
       const char* mode = value();
       if (!engine_mode_from_name(mode, &opts.engine)) {
-        std::fprintf(stderr,
-                     "%s: unknown engine '%s'; available: active, dense, "
-                     "sharded\n",
-                     bench_name.c_str(), mode);
+        std::fprintf(stderr, "%s: unknown engine '%s'; available: %s\n",
+                     bench_name.c_str(), mode, engine_mode_available());
         std::exit(2);
       }
     } else if (std::strcmp(a, "--json") == 0) {
@@ -177,6 +186,8 @@ BenchOptions parse_bench_options(int* argc, char** argv,
       opts.memory = parse_memory_or_exit(value()).name;
     } else if (std::strcmp(a, "--list-memories") == 0) {
       list_memories();
+    } else if (std::strcmp(a, "--list-engines") == 0) {
+      list_engines();
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(bench_name, 0);
     } else {

@@ -20,6 +20,9 @@
 //   --memory NAME       select a registered memory system (benches that take
 //                       one); unknown names fail with the list of plugins
 //   --list-memories     print the MemoryRegistry and exit
+//   --list-engines      print the engine modes with one-line descriptions
+//                       and exit; unknown --engine values fail with the same
+//                       list
 //   --help              usage
 //
 // The two thread axes are deliberately distinct flags: --threads always

@@ -137,9 +137,8 @@ SweepResult sweep_from_json(const Json& j) {
     // provenance.
     const std::string engine = rec.get("engine", Json("active")).as_string();
     MEMPOOL_CHECK_MSG(engine_mode_from_name(engine, &cfg.engine),
-                      "unknown engine '" << engine
-                                         << "' (expected active, dense, or "
-                                            "sharded)");
+                      "unknown engine '" << engine << "'; available: "
+                                         << engine_mode_available());
     cfg.sim_threads = static_cast<unsigned>(
         rec.get("sim_threads", Json(uint64_t{1})).as_uint());
     cfg.warmup_cycles = rec.at("warmup_cycles").as_uint();

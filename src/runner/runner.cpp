@@ -5,6 +5,7 @@
 
 #include "runner/parallel.hpp"
 #include "runner/thread_pool.hpp"
+#include "serve/request.hpp"
 
 namespace mempool::runner {
 
@@ -17,9 +18,16 @@ SweepResult run_points(const std::vector<TrafficExperimentConfig>& configs,
   result.threads = pool.num_threads();
 
   const auto t0 = std::chrono::steady_clock::now();
+  // Batch execution goes through the same serve::run_point entry the
+  // simulation server uses, so CLI sweeps and served requests are one code
+  // path (and provably bit-identical).
   result.points = run_indexed(
       pool, configs.size(),
-      [&](std::size_t i) { return run_traffic_point(result.configs[i]); },
+      [&](std::size_t i) {
+        return serve::run_point(
+                   serve::SimRequest::from_config(result.configs[i]))
+            .point;
+      },
       opts.progress ? std::function<void(std::size_t)>([](std::size_t) {
         std::fputc('.', stderr);
         std::fflush(stderr);

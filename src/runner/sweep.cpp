@@ -15,8 +15,8 @@ std::size_t SweepSpec::num_points() const {
          axis(p_locals.size()) * axis(lambdas.size()) * axis(seeds.size());
 }
 
-std::vector<TrafficExperimentConfig> SweepSpec::expand() const {
-  std::vector<TrafficExperimentConfig> out;
+std::vector<serve::SimRequest> SweepSpec::expand_requests() const {
+  std::vector<serve::SimRequest> out;
   out.reserve(num_points());
   const std::size_t nt = axis(topologies.size());
   const std::size_t nm = axis(memories.size());
@@ -46,11 +46,20 @@ std::vector<TrafficExperimentConfig> SweepSpec::expand() const {
             if (!p_locals.empty()) cfg.p_local_seq = p_locals[p];
             if (!lambdas.empty()) cfg.lambda = lambdas[l];
             if (!seeds.empty()) cfg.seed = seeds[s];
-            out.push_back(cfg);
+            out.push_back(serve::SimRequest::from_config(cfg));
           }
         }
       }
     }
+  }
+  return out;
+}
+
+std::vector<TrafficExperimentConfig> SweepSpec::expand() const {
+  std::vector<TrafficExperimentConfig> out;
+  out.reserve(num_points());
+  for (const serve::SimRequest& req : expand_requests()) {
+    out.push_back(req.config);
   }
   return out;
 }

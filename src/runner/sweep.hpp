@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/request.hpp"
 #include "traffic/experiment.hpp"
 
 namespace mempool::runner {
@@ -41,10 +42,17 @@ struct SweepSpec {
 
   std::size_t num_points() const;
 
-  /// The flat point list in canonical order. Index layout:
+  /// The flat point list in canonical order as service requests — the sweep
+  /// grid and the simulation server speak the same currency, so a runner
+  /// batch and a server batch of the same spec share cache keys. Index
+  /// layout:
   ///   i = (((t * |memories| + m) * |p_locals| + p) * |lambdas| + l)
   ///           * |seeds| + s
   /// with each factor clamped to >= 1 for empty axes.
+  std::vector<serve::SimRequest> expand_requests() const;
+
+  /// expand_requests() unwrapped to the raw experiment configs (the legacy
+  /// shape the runner and result writers consume). Same order.
   std::vector<TrafficExperimentConfig> expand() const;
 
   /// Human-readable label of point @p i ("TopH λ=0.33 p=0.25 seed=1").

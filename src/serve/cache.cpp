@@ -1,0 +1,132 @@
+#include "serve/cache.hpp"
+
+#include <filesystem>
+
+#include "common/check.hpp"
+#include "runner/results.hpp"
+
+namespace mempool::serve {
+
+Json ResultCache::Stats::to_json() const {
+  Json j = Json::object();
+  j.set("hits", hits);
+  j.set("disk_hits", disk_hits);
+  j.set("misses", misses);
+  j.set("insertions", insertions);
+  j.set("evictions", evictions);
+  j.set("disk_errors", disk_errors);
+  const uint64_t looked_up = hits + disk_hits + misses;
+  j.set("hit_rate", looked_up == 0 ? 0.0
+                                   : static_cast<double>(hits + disk_hits) /
+                                         static_cast<double>(looked_up));
+  return j;
+}
+
+ResultCache::ResultCache(std::size_t capacity, std::string disk_dir)
+    : capacity_(capacity), disk_dir_(std::move(disk_dir)) {
+  MEMPOOL_CHECK_MSG(capacity_ >= 1, "result cache capacity must be >= 1");
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(disk_dir_, ec);
+    MEMPOOL_CHECK_MSG(!ec, "cannot create cache directory '"
+                               << disk_dir_ << "': " << ec.message());
+  }
+}
+
+std::string ResultCache::disk_path(const SimRequest& req) const {
+  return disk_dir_ + "/" + req.key() + ".json";
+}
+
+std::optional<SimResult> ResultCache::lookup(const SimRequest& req) {
+  const uint64_t hash = req.content_hash();
+  const std::string canonical = req.canonical();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(hash);
+  if (it != index_.end() && it->second->canonical == canonical) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    ++stats_.hits;
+    return it->second->result;
+  }
+  if (!disk_dir_.empty()) {
+    if (auto revived = disk_lookup_locked(req, hash, canonical)) {
+      ++stats_.disk_hits;
+      return revived;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::optional<SimResult> ResultCache::disk_lookup_locked(
+    const SimRequest& req, uint64_t hash, const std::string& canonical) {
+  const std::string path = disk_path(req);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
+  try {
+    const Json doc = runner::read_json_file(path);
+    if (doc.get("schema", Json("")).as_string() != "mempool.simcache.v1" ||
+        doc.get("version", Json("")).as_string() != kResultVersion ||
+        doc.at("request").dump(0) != canonical) {
+      // Stale version, foreign schema, or hash collision: not this result.
+      return std::nullopt;
+    }
+    SimResult result = SimResult::from_json(doc.at("result"));
+    insert_locked(hash, canonical, result);
+    return result;
+  } catch (const std::exception&) {
+    // A corrupt or half-written file is a miss, never a crash.
+    ++stats_.disk_errors;
+    return std::nullopt;
+  }
+}
+
+void ResultCache::insert(const SimRequest& req, const SimResult& result) {
+  const uint64_t hash = req.content_hash();
+  const std::string canonical = req.canonical();
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(hash, canonical, result);
+  ++stats_.insertions;
+  if (disk_dir_.empty()) return;
+  Json doc = Json::object();
+  doc.set("schema", "mempool.simcache.v1");
+  doc.set("version", kResultVersion);
+  doc.set("request", req.to_json());
+  doc.set("result", result.to_json());
+  try {
+    runner::write_json_file(disk_path(req), doc);
+  } catch (const std::exception&) {
+    ++stats_.disk_errors;  // cannot persist — still serve from memory
+  }
+}
+
+void ResultCache::insert_locked(uint64_t hash, const std::string& canonical,
+                                const SimResult& result) {
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Refresh in place; a colliding canonical simply takes over the slot
+    // (the guard in lookup keeps either occupant correct).
+    it->second->canonical = canonical;
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{hash, canonical, result});
+  index_[hash] = lru_.begin();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mempool::serve

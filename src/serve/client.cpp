@@ -1,0 +1,97 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include "common/check.hpp"
+
+namespace mempool::serve {
+
+ServiceResponse response_from_json(const Json& j) {
+  MEMPOOL_CHECK_MSG(j.is_object() && j.contains("ok"),
+                    "response line is not a server response: " << j.dump(0));
+  ServiceResponse resp;
+  resp.ok = j.at("ok").as_bool();
+  if (!resp.ok) {
+    resp.error = j.contains("error") ? j.at("error").as_string()
+                                     : "unknown server error";
+    return resp;
+  }
+  resp.result = SimResult::from_json(j.at("result"));
+  resp.key = j.at("key").as_string();
+  resp.cache_hit = j.at("cached").as_bool();
+  resp.coalesced = j.at("coalesced").as_bool();
+  resp.service_ms = j.at("service_ms").as_double();
+  return resp;
+}
+
+SimClient::SimClient(const std::string& socket_path, int timeout_ms)
+    : fd_(connect_unix(socket_path, timeout_ms)), reader_(fd_) {}
+
+SimClient::~SimClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SimClient::send_line(const Json& line) {
+  MEMPOOL_CHECK_MSG(write_all(fd_, line.dump(0) + "\n"),
+                    "sim server connection lost while sending");
+}
+
+Json SimClient::recv_line() {
+  std::string line;
+  MEMPOOL_CHECK_MSG(reader_.read_line(&line),
+                    "sim server closed the connection");
+  return Json::parse(line);
+}
+
+Json SimClient::call(const Json& line) {
+  send_line(line);
+  return recv_line();
+}
+
+Json SimClient::make_run_line(const SimRequest& req, uint64_t* id_out) {
+  const uint64_t id = next_id();
+  if (id_out != nullptr) *id_out = id;
+  Json j = Json::object();
+  j.set("op", "run");
+  j.set("id", id);
+  j.set("request", req.to_json());
+  return j;
+}
+
+ServiceResponse SimClient::run(const SimRequest& req) {
+  uint64_t id = 0;
+  const Json resp = call(make_run_line(req, &id));
+  MEMPOOL_CHECK_MSG(resp.is_object() && resp.contains("id") &&
+                        resp.at("id").is_number() &&
+                        static_cast<uint64_t>(resp.at("id").as_int()) == id,
+                    "response id does not match request (pipelining with "
+                    "run() is not supported; use send_line/recv_line)");
+  return response_from_json(resp);
+}
+
+Json SimClient::op_call(const std::string& op) {
+  Json j = Json::object();
+  j.set("op", op);
+  j.set("id", next_id());
+  return call(j);
+}
+
+Json SimClient::metrics() {
+  const Json resp = op_call("metrics");
+  MEMPOOL_CHECK_MSG(resp.at("ok").as_bool(),
+                    "metrics op failed: " << resp.dump(0));
+  return resp.at("metrics");
+}
+
+bool SimClient::ping() {
+  const Json resp = op_call("ping");
+  return resp.at("ok").as_bool() && resp.at("pong").as_bool();
+}
+
+void SimClient::shutdown_server() {
+  const Json resp = op_call("shutdown");
+  MEMPOOL_CHECK_MSG(resp.at("ok").as_bool(),
+                    "shutdown op failed: " << resp.dump(0));
+}
+
+}  // namespace mempool::serve

@@ -1,0 +1,67 @@
+#pragma once
+// SimClient: thin NDJSON client for SimServer. Two layers:
+//
+//   - send_line()/recv_line(): raw pipelining — fire any number of request
+//     lines, then drain responses (they arrive completion-ordered, correlate
+//     by id). The load generator lives here.
+//   - run()/metrics()/ping()/shutdown_server(): one-shot conveniences that
+//     send a line and wait for its matching response (single in-flight use).
+
+#include <cstdint>
+#include <string>
+
+#include "serve/netio.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace mempool::serve {
+
+/// Parse a server "run" response line back into the ServiceResponse shape
+/// the in-process SimService yields, so callers are transport-agnostic.
+/// Throws CheckError on a line that matches neither the ok nor error shape.
+ServiceResponse response_from_json(const Json& j);
+
+class SimClient {
+ public:
+  /// Connect, retrying for @p timeout_ms (0 = single attempt) so the client
+  /// can start before the daemon finishes binding. Throws CheckError.
+  explicit SimClient(const std::string& socket_path, int timeout_ms = 0);
+  ~SimClient();
+
+  SimClient(const SimClient&) = delete;
+  SimClient& operator=(const SimClient&) = delete;
+
+  /// Fresh correlation id (monotonic per client).
+  uint64_t next_id() { return ++last_id_; }
+
+  /// Serialize @p line onto the socket (appends '\n'). Throws CheckError if
+  /// the server is gone.
+  void send_line(const Json& line);
+
+  /// Next response line (completion order). Throws CheckError on EOF.
+  Json recv_line();
+
+  /// send_line + recv_line for callers with one request in flight.
+  Json call(const Json& line);
+
+  /// Build the "run" request line for @p req with a fresh id. @p id_out
+  /// receives the id when non-null (for pipelined correlation).
+  Json make_run_line(const SimRequest& req, uint64_t* id_out = nullptr);
+
+  /// One-shot run: returns the same shape SimService::run gives in-process.
+  ServiceResponse run(const SimRequest& req);
+
+  Json metrics();
+  bool ping();
+  /// Ask the daemon to shut down cleanly; returns after it acknowledges.
+  void shutdown_server();
+
+ private:
+  Json op_call(const std::string& op);
+
+  int fd_ = -1;
+  LineReader reader_;
+  uint64_t last_id_ = 0;
+};
+
+}  // namespace mempool::serve

@@ -1,0 +1,112 @@
+#include "serve/netio.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace mempool::serve {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MEMPOOL_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                    "socket path '" << path << "' exceeds the AF_UNIX limit ("
+                                    << sizeof(addr.sun_path) - 1 << " bytes)");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  ::unlink(path.c_str());  // a stale socket file from a dead server
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  MEMPOOL_CHECK_MSG(fd >= 0, "socket(): " << std::strerror(errno));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    MEMPOOL_CHECK_MSG(false, "bind('" << path
+                                      << "'): " << std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    MEMPOOL_CHECK_MSG(false, "listen('" << path
+                                        << "'): " << std::strerror(err));
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, int timeout_ms) {
+  const sockaddr_un addr = make_addr(path);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    MEMPOOL_CHECK_MSG(fd >= 0, "socket(): " << std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    const int err = errno;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      MEMPOOL_CHECK_MSG(false, "connect('" << path << "'): "
+                                           << std::strerror(err)
+                                           << (timeout_ms > 0
+                                                   ? " (retries exhausted)"
+                                                   : ""));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineReader::read_line(std::string* line) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) return false;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+      return false;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return false;  // partial trailing line (no '\n') is not a request
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace mempool::serve

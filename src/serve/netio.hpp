@@ -1,0 +1,37 @@
+#pragma once
+// Tiny AF_UNIX + newline-framing helpers shared by the simulation server and
+// client. Deliberately minimal: blocking I/O, one helper per failure mode,
+// CheckError (with errno text) on anything unexpected.
+
+#include <string>
+
+namespace mempool::serve {
+
+/// Create, bind, and listen on a stream socket at @p path (an existing stale
+/// socket file is unlinked first). Throws CheckError on failure — including
+/// paths that exceed sockaddr_un's ~107-byte limit.
+int listen_unix(const std::string& path);
+
+/// Connect to the server at @p path. Retries once per 50 ms until
+/// @p timeout_ms has elapsed (0 = single attempt), so "start the daemon,
+/// then the client" races resolve themselves. Throws CheckError on failure.
+int connect_unix(const std::string& path, int timeout_ms = 0);
+
+/// Write all of @p data (MSG_NOSIGNAL — a vanished peer is a return of
+/// false, not a SIGPIPE). Returns false on any error.
+bool write_all(int fd, const std::string& data);
+
+/// Buffered line reader over a blocking fd. read_line strips the trailing
+/// '\n' and returns false on EOF/error with the partial line discarded.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+  bool read_line(std::string* line);
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace mempool::serve

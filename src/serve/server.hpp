@@ -1,0 +1,107 @@
+#pragma once
+// SimServer: the persistent simulation daemon — SimService behind an AF_UNIX
+// stream socket speaking newline-delimited JSON.
+//
+// Protocol (one JSON object per line, in either direction):
+//
+//   → {"op": "run", "id": 7, "request": {...SimRequest schema...}}
+//     ("op" may be omitted when "request" is present; "id" is any JSON
+//      value and is echoed verbatim on the response)
+//   ← {"id": 7, "ok": true, "key": "<16-hex>", "cached": false,
+//      "coalesced": false, "service_ms": 123.4, "result": {...SimResult...}}
+//   ← {"id": 7, "ok": false, "error": "MEMPOOL_CHECK failed: ..."}
+//
+//   → {"op": "metrics", "id": 8}     ← {"id": 8, "ok": true, "metrics": {...}}
+//   → {"op": "ping", "id": 9}        ← {"id": 9, "ok": true, "pong": true}
+//   → {"op": "shutdown", "id": 10}   ← {"id": 10, "ok": true,
+//                                       "shutting_down": true}
+//
+// Responses stream back as points complete, not in request order — pipeline
+// freely and correlate by id. A malformed line, unknown op, or invalid
+// request body answers ok=false on that line; the connection — and the
+// daemon — keep serving (simulation-construction errors are structured
+// responses, never daemon deaths).
+//
+// Concurrency model: one accept thread, one reader thread per connection,
+// simulations on the SimService's ThreadPool. run responses are written from
+// pool threads under a per-connection write mutex; everything else is
+// answered inline by the reader. shutdown (or stop()) closes the listener,
+// wakes every reader via shutdown(SHUT_RD), joins them, drains the pool so
+// every accepted request is still answered, then closes the connections and
+// unlinks the socket path.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace mempool::serve {
+
+struct ServerConfig {
+  std::string socket_path;  ///< AF_UNIX path (required).
+  ServiceConfig service;    ///< Pool size and cache tiers.
+  bool log = false;         ///< One stderr line per served request.
+};
+
+class SimServer {
+ public:
+  explicit SimServer(ServerConfig cfg);
+  ~SimServer();  ///< stop() + wait() if still running.
+
+  SimServer(const SimServer&) = delete;
+  SimServer& operator=(const SimServer&) = delete;
+
+  /// Bind the socket and start accepting. Throws CheckError when the path
+  /// cannot be bound.
+  void start();
+
+  /// Block until shutdown is requested (stop() or the shutdown op), then
+  /// tear down: join readers, drain in-flight simulations, close
+  /// connections, unlink the socket.
+  void wait();
+
+  /// Request shutdown; idempotent, callable from any thread (including
+  /// connection handlers). Returns immediately — wait() performs teardown.
+  void stop();
+
+  const std::string& socket_path() const { return cfg_.socket_path; }
+  SimService& service() { return service_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    bool open = true;           ///< fd still valid (guarded by write_mu).
+    bool done_reading = false;  ///< Reader loop exited (guarded by write_mu).
+    uint64_t outstanding = 0;   ///< Responses not yet written (write_mu).
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Conn>& conn);
+  void handle_line(const std::shared_ptr<Conn>& conn, const std::string& line);
+  void respond(const std::shared_ptr<Conn>& conn, const Json& j);
+  /// Close the fd once the reader is done and no response is pending.
+  static void try_close(Conn& conn);
+
+  ServerConfig cfg_;
+  SimService service_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool torn_down_ = false;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  std::mutex conns_mu_;
+  struct Slot {
+    std::shared_ptr<Conn> conn;
+    std::thread reader;
+  };
+  std::vector<Slot> conns_;
+};
+
+}  // namespace mempool::serve

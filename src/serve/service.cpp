@@ -1,0 +1,177 @@
+#include "serve/service.hpp"
+
+#include "runner/thread_pool.hpp"
+
+namespace mempool::serve {
+
+namespace {
+
+/// Service-latency histograms: 10 µs buckets up to 10 s. Cache hits land in
+/// the first few buckets, cold 256-core points in the hundreds of ms;
+/// quantiles of anything slower saturate at the top edge.
+constexpr double kLatencyBucketMs = 0.01;
+constexpr std::size_t kLatencyBuckets = 1'000'000;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// count/mean/max from the stat plus p50/p99 from the histogram.
+Json latency_json(const RunningStat& stat, const Histogram& hist) {
+  Json j = Json::object();
+  j.set("count", stat.count());
+  j.set("mean", stat.mean());
+  j.set("max", stat.max());
+  j.set("p50", hist.quantile(0.50));
+  j.set("p99", hist.quantile(0.99));
+  return j;
+}
+
+}  // namespace
+
+SimService::SimService(const ServiceConfig& cfg)
+    : cache_(cfg.cache_capacity, cfg.cache_dir),
+      pool_(std::make_unique<runner::ThreadPool>(cfg.threads)),
+      service_hist_(kLatencyBucketMs, kLatencyBuckets),
+      hit_hist_(kLatencyBucketMs, kLatencyBuckets),
+      computed_hist_(kLatencyBucketMs, kLatencyBuckets) {}
+
+SimService::~SimService() { drain(); }
+
+void SimService::drain() { pool_->wait_idle(); }
+
+unsigned SimService::threads() const { return pool_->num_threads(); }
+
+void SimService::submit(const SimRequest& req, Callback done) {
+  const Waiter arrival{std::move(done), std::chrono::steady_clock::now(),
+                       /*coalesced=*/false};
+  const std::string canonical = req.canonical();
+
+  if (auto cached = cache_.lookup(req)) {
+    ServiceResponse resp;
+    resp.ok = true;
+    resp.result = *std::move(cached);
+    resp.key = resp.result.request_key;
+    resp.cache_hit = true;
+    record_and_deliver(resp, req.config.cluster.topology.name, arrival);
+    return;
+  }
+
+  std::shared_ptr<Inflight> entry;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    const auto it = inflight_.find(canonical);
+    if (it != inflight_.end()) {
+      Waiter w = arrival;
+      w.coalesced = true;
+      it->second->waiters.push_back(std::move(w));
+      return;  // answered by the in-flight computation
+    }
+    entry = std::make_shared<Inflight>();
+    entry->request = req;
+    entry->waiters.push_back(arrival);
+    inflight_.emplace(canonical, entry);
+  }
+  pool_->submit([this, entry, canonical] { compute(entry, canonical); });
+}
+
+void SimService::compute(const std::shared_ptr<Inflight>& entry,
+                         const std::string& canonical) {
+  ServiceResponse base;
+  base.key = entry->request.key();
+  try {
+    base.result = run_point(entry->request);
+    base.ok = true;
+  } catch (const std::exception& e) {
+    // Bad topology/memory params etc.: a structured error response, never a
+    // daemon death. Errors are not cached — the CheckError text is cheap to
+    // recompute and a cache entry would outlive plugin registration fixes.
+    base.ok = false;
+    base.error = e.what();
+  }
+  if (base.ok) cache_.insert(entry->request, base.result);
+
+  std::vector<Waiter> waiters;
+  {
+    // cache_.insert happened before the erase, so a concurrent submit either
+    // hits the cache or still finds (and joins) this entry — there is no
+    // window where an identical point would recompute.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    waiters = std::move(entry->waiters);
+    inflight_.erase(canonical);
+  }
+  const std::string& topology =
+      entry->request.config.cluster.topology.name;
+  for (const Waiter& w : waiters) record_and_deliver(base, topology, w);
+}
+
+void SimService::record_and_deliver(const ServiceResponse& base,
+                                    const std::string& topology,
+                                    const Waiter& waiter) {
+  ServiceResponse resp = base;
+  resp.coalesced = waiter.coalesced;
+  resp.service_ms = ms_since(waiter.arrival);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++requests_;
+    if (!resp.ok) ++errors_;
+    if (resp.coalesced) ++coalesced_;
+    service_ms_.add(resp.service_ms);
+    service_hist_.add(resp.service_ms);
+    (resp.cache_hit ? hit_hist_ : computed_hist_).add(resp.service_ms);
+    ++topology_load_[topology];  // lissandra-style per-node load counter
+  }
+  waiter.done(resp);
+}
+
+Json SimService::metrics_json() const {
+  Json j = Json::object();
+  std::size_t inflight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight = inflight_.size();
+  }
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  j.set("requests", requests_);
+  j.set("errors", errors_);
+  j.set("coalesced", coalesced_);
+  j.set("inflight", static_cast<uint64_t>(inflight));
+  j.set("threads", pool_->num_threads());
+  j.set("cache", cache_.stats().to_json());
+  j.set("cache_size", static_cast<uint64_t>(cache_.size()));
+  j.set("cache_capacity", static_cast<uint64_t>(cache_.capacity()));
+  Json lat = Json::object();
+  lat.set("overall", latency_json(service_ms_, service_hist_));
+  // Split distributions share the RunningStat's count with their histogram
+  // counts; mean/max per class are derivable but the quantiles are what the
+  // dashboards want.
+  lat.set("cache_hit_p50", hit_hist_.quantile(0.50));
+  lat.set("cache_hit_p99", hit_hist_.quantile(0.99));
+  lat.set("computed_p50", computed_hist_.quantile(0.50));
+  lat.set("computed_p99", computed_hist_.quantile(0.99));
+  j.set("service_ms", std::move(lat));
+  Json load = Json::object();
+  for (const auto& [name, count] : topology_load_) load.set(name, count);
+  j.set("topology_load", std::move(load));
+  return j;
+}
+
+ServiceResponse SimService::run(const SimRequest& req) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  ServiceResponse out;
+  submit(req, [&](const ServiceResponse& resp) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = resp;
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+}  // namespace mempool::serve

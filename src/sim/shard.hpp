@@ -59,6 +59,12 @@ enum class EngineMode : uint8_t { kActive, kDense, kSharded };
 const char* engine_mode_name(EngineMode m);
 /// Inverse of engine_mode_name; returns false on an unknown name.
 bool engine_mode_from_name(const std::string& name, EngineMode* out);
+/// The valid --engine names as one comma-separated string ("active, dense,
+/// sharded") — the single source every unknown-engine error quotes, mirroring
+/// FabricRegistry::available() / MemoryRegistry::available().
+const char* engine_mode_available();
+/// One-line description of @p m for --list-engines.
+const char* engine_mode_description(EngineMode m);
 
 /// Per-shard working set of the sharded engine. Everything a shard's thread
 /// touches while evaluating lives here (or in the components themselves), so

@@ -1,0 +1,154 @@
+// ResultCache: LRU semantics of the memory tier, write-through + revival of
+// the disk tier, version invalidation, and corrupt-file tolerance. No
+// simulations run here — results are fabricated.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "runner/results.hpp"
+#include "serve/cache.hpp"
+
+using namespace mempool;
+using namespace mempool::serve;
+
+namespace {
+
+SimRequest req(double lambda, uint64_t seed) {
+  TrafficExperimentConfig cfg;
+  cfg.cluster = ClusterConfig::mini(Topology::kTopH, true);
+  cfg.lambda = lambda;
+  cfg.seed = seed;
+  return SimRequest::from_config(cfg);
+}
+
+SimResult fake_result(const SimRequest& r, double accepted) {
+  SimResult res;
+  res.request_key = r.key();
+  res.point.offered = r.config.lambda;
+  res.point.accepted = accepted;
+  res.point.completed = 99;
+  return res;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = std::filesystem::temp_directory_path() /
+                          ("mempool_cache_" + tag + "_" +
+                           std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+}  // namespace
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(8);
+  const SimRequest a = req(0.1, 1);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  cache.insert(a, fake_result(a, 0.5));
+  const auto hit = cache.lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->request_key, a.key());
+  EXPECT_DOUBLE_EQ(hit->point.accepted, 0.5);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, LruEvictsTheLeastRecentlyUsedEntry) {
+  ResultCache cache(2);
+  const SimRequest a = req(0.1, 1), b = req(0.2, 1), c = req(0.3, 1);
+  cache.insert(a, fake_result(a, 1));
+  cache.insert(b, fake_result(b, 2));
+  ASSERT_TRUE(cache.lookup(a).has_value());  // touch a → b is now LRU
+  cache.insert(c, fake_result(c, 3));        // evicts b
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_TRUE(cache.lookup(c).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, ReinsertRefreshesInsteadOfGrowing) {
+  ResultCache cache(4);
+  const SimRequest a = req(0.1, 1);
+  cache.insert(a, fake_result(a, 1));
+  cache.insert(a, fake_result(a, 2));  // refresh, not duplicate
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.lookup(a)->point.accepted, 2);
+}
+
+TEST(ResultCache, DiskTierSurvivesARestart) {
+  const std::string dir = fresh_dir("roundtrip");
+  const SimRequest a = req(0.1, 1);
+  {
+    ResultCache cache(4, dir);
+    cache.insert(a, fake_result(a, 0.75));
+  }
+  // "Restart": a fresh cache over the same directory; memory is cold, the
+  // disk tier revives the entry (and promotes it back into memory).
+  ResultCache cache(4, dir);
+  const auto hit = cache.lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->point.accepted, 0.75);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  // Second lookup is a pure memory hit.
+  ASSERT_TRUE(cache.lookup(a).has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, StaleVersionOnDiskIsIgnored) {
+  const std::string dir = fresh_dir("version");
+  const SimRequest a = req(0.1, 1);
+  {
+    ResultCache cache(4, dir);
+    cache.insert(a, fake_result(a, 0.75));
+  }
+  // Rewrite the stored file as if an older engine version had produced it.
+  const std::string path = dir + "/" + a.key() + ".json";
+  Json doc = runner::read_json_file(path);
+  doc.set("version", "mempool-sim-v0");
+  runner::write_json_file(path, doc);
+
+  ResultCache cache(4, dir);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, CorruptDiskFileDegradesToAMiss) {
+  const std::string dir = fresh_dir("corrupt");
+  const SimRequest a = req(0.1, 1);
+  {
+    ResultCache cache(4, dir);
+    cache.insert(a, fake_result(a, 0.75));
+  }
+  {
+    std::ofstream out(dir + "/" + a.key() + ".json", std::ios::trunc);
+    out << "{ this is not json";
+  }
+  ResultCache cache(4, dir);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  EXPECT_GE(cache.stats().disk_errors, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, EvictedEntriesReviveFromDisk) {
+  const std::string dir = fresh_dir("revive");
+  ResultCache cache(1, dir);  // capacity 1: every insert evicts
+  const SimRequest a = req(0.1, 1), b = req(0.2, 1);
+  cache.insert(a, fake_result(a, 1));
+  cache.insert(b, fake_result(b, 2));  // evicts a from memory, not from disk
+  const auto hit = cache.lookup(a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->point.accepted, 1);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,178 @@
+// SimService: cache-hit path, in-flight coalescing (identical concurrent
+// requests cost one simulation), structured error responses, batching of
+// distinct points, and the metrics snapshot.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "serve/service.hpp"
+
+using namespace mempool;
+using namespace mempool::serve;
+
+namespace {
+
+SimRequest mini_request(double lambda, uint64_t seed,
+                        const char* topology = "TopH") {
+  TrafficExperimentConfig cfg;
+  cfg.cluster = ClusterConfig::mini(topology, true);
+  cfg.lambda = lambda;
+  cfg.warmup_cycles = 50;
+  cfg.measure_cycles = 200;
+  cfg.drain_cycles = 100;
+  cfg.seed = seed;
+  return SimRequest::from_config(cfg);
+}
+
+ServiceConfig two_threads() {
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  return cfg;
+}
+
+/// Collects callback responses and lets the test wait for a count.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ServiceResponse> responses;
+
+  SimService::Callback callback() {
+    return [this](const ServiceResponse& resp) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(resp);
+      cv.notify_all();
+    };
+  }
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return responses.size() >= n; });
+  }
+};
+
+}  // namespace
+
+TEST(SimService, ColdMissThenCacheHitBitIdentical) {
+  SimService service(two_threads());
+  const SimRequest req = mini_request(0.1, 1);
+
+  const ServiceResponse cold = service.run(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.key, req.key());
+  EXPECT_EQ(cold.result, run_point(req));
+
+  const ServiceResponse warm = service.run(req);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.result, cold.result);
+
+  const Json m = service.metrics_json();
+  EXPECT_EQ(m.at("requests").as_uint(), 2u);
+  EXPECT_EQ(m.at("cache").at("hits").as_uint(), 1u);
+  EXPECT_EQ(m.at("errors").as_uint(), 0u);
+}
+
+TEST(SimService, IdenticalConcurrentRequestsComputeOnce) {
+  SimService service(two_threads());
+  const SimRequest req = mini_request(0.1, 2);
+  constexpr std::size_t kClients = 8;
+
+  Collector collector;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    service.submit(req, collector.callback());
+  }
+  collector.wait_for(kClients);
+
+  // Exactly one response is the owning computation; everything else either
+  // coalesced onto it or (if submitted after completion) hit the cache.
+  std::size_t computed = 0, answered_for_free = 0;
+  for (const ServiceResponse& resp : collector.responses) {
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.result, collector.responses.front().result);
+    if (!resp.cache_hit && !resp.coalesced) {
+      ++computed;
+    } else {
+      ++answered_for_free;
+    }
+  }
+  EXPECT_EQ(computed, 1u);
+  EXPECT_EQ(answered_for_free, kClients - 1);
+  EXPECT_EQ(service.cache().stats().insertions, 1u);
+}
+
+TEST(SimService, ErrorsAreStructuredAndDoNotStopTheService) {
+  SimService service(two_threads());
+  SimRequest bad = mini_request(0.1, 3);
+  bad.config.lambda = -1.0;  // run_point will refuse
+
+  const ServiceResponse err = service.run(bad);
+  EXPECT_FALSE(err.ok);
+  EXPECT_NE(err.error.find("lambda"), std::string::npos) << err.error;
+
+  // Errors are not cached, and the service keeps serving.
+  EXPECT_EQ(service.cache().stats().insertions, 0u);
+  const ServiceResponse good = service.run(mini_request(0.1, 3));
+  EXPECT_TRUE(good.ok) << good.error;
+
+  const Json m = service.metrics_json();
+  EXPECT_EQ(m.at("errors").as_uint(), 1u);
+  EXPECT_EQ(m.at("requests").as_uint(), 2u);
+}
+
+TEST(SimService, BatchesDistinctPointsAcrossThePool) {
+  SimService service(two_threads());
+  constexpr std::size_t kPoints = 6;
+  Collector collector;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    service.submit(mini_request(0.05 + 0.01 * static_cast<double>(i), 4),
+                   collector.callback());
+  }
+  collector.wait_for(kPoints);
+  for (const ServiceResponse& resp : collector.responses) {
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_FALSE(resp.cache_hit);
+  }
+  // All distinct → all computed, nothing coalesced.
+  EXPECT_EQ(service.cache().stats().insertions, kPoints);
+  EXPECT_EQ(service.metrics_json().at("coalesced").as_uint(), 0u);
+}
+
+TEST(SimService, MetricsReportLatencyQuantilesAndTopologyLoad) {
+  SimService service(two_threads());
+  service.run(mini_request(0.1, 5, "TopH"));
+  service.run(mini_request(0.1, 5, "TopH"));  // hit
+  service.run(mini_request(0.1, 5, "Top1"));
+
+  const Json m = service.metrics_json();
+  const Json& lat = m.at("service_ms");
+  EXPECT_EQ(lat.at("overall").at("count").as_uint(), 3u);
+  EXPECT_GE(lat.at("overall").at("p99").as_double(),
+            lat.at("overall").at("p50").as_double());
+  EXPECT_TRUE(lat.contains("cache_hit_p50"));
+  EXPECT_TRUE(lat.contains("computed_p99"));
+
+  const Json& load = m.at("topology_load");
+  EXPECT_EQ(load.at("TopH").as_uint(), 2u);
+  EXPECT_EQ(load.at("Top1").as_uint(), 1u);
+
+  EXPECT_EQ(m.at("threads").as_uint(), 2u);
+  EXPECT_EQ(m.at("cache_capacity").as_uint(), 1024u);
+}
+
+TEST(SimService, DrainWaitsForEverySubmittedRequest) {
+  std::atomic<std::size_t> answered{0};
+  {
+    SimService service(two_threads());
+    for (int i = 0; i < 4; ++i) {
+      service.submit(mini_request(0.1, 10 + static_cast<uint64_t>(i)),
+                     [&](const ServiceResponse&) { ++answered; });
+    }
+    service.drain();
+    EXPECT_EQ(answered.load(), 4u);
+  }  // destructor drains too — nothing left to answer
+  EXPECT_EQ(answered.load(), 4u);
+}

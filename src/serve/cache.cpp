@@ -1,6 +1,10 @@
 #include "serve/cache.hpp"
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <sstream>
+#include <thread>
 
 #include "common/check.hpp"
 #include "runner/results.hpp"
@@ -40,61 +44,87 @@ std::string ResultCache::disk_path(const SimRequest& req) const {
 std::optional<SimResult> ResultCache::lookup(const SimRequest& req) {
   const uint64_t hash = req.content_hash();
   const std::string canonical = req.canonical();
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(hash);
-  if (it != index_.end() && it->second->canonical == canonical) {
-    lru_.splice(lru_.begin(), lru_, it->second);  // touch
-    ++stats_.hits;
-    return it->second->result;
-  }
-  if (!disk_dir_.empty()) {
-    if (auto revived = disk_lookup_locked(req, hash, canonical)) {
-      ++stats_.disk_hits;
-      return revived;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(hash);
+    if (it != index_.end() && it->second->canonical == canonical) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++stats_.hits;
+      return it->second->result;
     }
-  }
-  ++stats_.misses;
-  return std::nullopt;
-}
-
-std::optional<SimResult> ResultCache::disk_lookup_locked(
-    const SimRequest& req, uint64_t hash, const std::string& canonical) {
-  const std::string path = disk_path(req);
-  std::error_code ec;
-  if (!std::filesystem::exists(path, ec) || ec) return std::nullopt;
-  try {
-    const Json doc = runner::read_json_file(path);
-    if (doc.get("schema", Json("")).as_string() != "mempool.simcache.v1" ||
-        doc.get("version", Json("")).as_string() != kResultVersion ||
-        doc.at("request").dump(0) != canonical) {
-      // Stale version, foreign schema, or hash collision: not this result.
+    if (disk_dir_.empty()) {
+      ++stats_.misses;
       return std::nullopt;
     }
-    SimResult result = SimResult::from_json(doc.at("result"));
-    insert_locked(hash, canonical, result);
-    return result;
-  } catch (const std::exception&) {
-    // A corrupt or half-written file is a miss, never a crash.
-    ++stats_.disk_errors;
+  }
+  return disk_lookup(req, hash, canonical);
+}
+
+std::optional<SimResult> ResultCache::disk_lookup(
+    const SimRequest& req, uint64_t hash, const std::string& canonical) {
+  // mu_ is NOT held here: reading and parsing the file can take milliseconds
+  // and must not stall the memory tier. Two threads racing the same file
+  // both revive it; insert_locked refreshes in place, so that is benign.
+  const std::string path = disk_path(req);
+  std::optional<SimResult> result;
+  bool io_error = false;
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec) && !ec) {
+    try {
+      const Json doc = runner::read_json_file(path);
+      if (doc.get("schema", Json("")).as_string() == "mempool.simcache.v1" &&
+          doc.get("version", Json("")).as_string() == kResultVersion &&
+          doc.at("request").dump(0) == canonical) {
+        result = SimResult::from_json(doc.at("result"));
+      }
+      // else: stale version, foreign schema, or hash collision — a miss.
+    } catch (const std::exception&) {
+      // A corrupt or half-written file is a miss, never a crash.
+      io_error = true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (io_error) ++stats_.disk_errors;
+  if (!result) {
+    ++stats_.misses;
     return std::nullopt;
   }
+  insert_locked(hash, canonical, *result);
+  ++stats_.disk_hits;
+  return result;
 }
 
 void ResultCache::insert(const SimRequest& req, const SimResult& result) {
   const uint64_t hash = req.content_hash();
   const std::string canonical = req.canonical();
-  std::lock_guard<std::mutex> lock(mu_);
-  insert_locked(hash, canonical, result);
-  ++stats_.insertions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    insert_locked(hash, canonical, result);
+    ++stats_.insertions;
+  }
   if (disk_dir_.empty()) return;
+  // Persist outside mu_: the write-through file I/O sits on the request hot
+  // path only for stats accounting, never for the duration of the write.
   Json doc = Json::object();
   doc.set("schema", "mempool.simcache.v1");
   doc.set("version", kResultVersion);
   doc.set("request", req.to_json());
   doc.set("result", result.to_json());
+  // Write-temp-then-rename: with the write un-serialized, a concurrent
+  // lookup (or a same-key writer — identical bytes, results being
+  // deterministic) must only ever observe complete files.
+  const std::string path = disk_path(req);
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << "."
+           << std::this_thread::get_id();
+  const std::string tmp = tmp_name.str();
   try {
-    runner::write_json_file(disk_path(req), doc);
+    runner::write_json_file(tmp, doc);
+    std::filesystem::rename(tmp, path);
   } catch (const std::exception&) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.disk_errors;  // cannot persist — still serve from memory
   }
 }

@@ -16,8 +16,10 @@
 //           directory. Files whose version is not serve::kResultVersion —
 //           or that fail to parse, or whose stored request does not match —
 //           are ignored, so bumping the version invalidates every stale
-//           result without any migration step. Disk I/O errors never fail a
-//           request: a cache that cannot persist still serves (counted in
+//           result without any migration step. File reads and writes happen
+//           outside the memory-tier mutex, so disk latency never blocks
+//           concurrent lookups. Disk I/O errors never fail a request: a
+//           cache that cannot persist still serves (counted in
 //           Stats::disk_errors).
 
 #include <cstdint>
@@ -70,9 +72,11 @@ class ResultCache {
     SimResult result;
   };
 
-  std::optional<SimResult> disk_lookup_locked(const SimRequest& req,
-                                              uint64_t hash,
-                                              const std::string& canonical);
+  /// Disk tier for a memory miss. Reads and parses the file WITHOUT holding
+  /// mu_ (file I/O must not block concurrent memory-tier lookups), then
+  /// reacquires it to revive the entry and count the outcome.
+  std::optional<SimResult> disk_lookup(const SimRequest& req, uint64_t hash,
+                                       const std::string& canonical);
   void insert_locked(uint64_t hash, const std::string& canonical,
                      const SimResult& result);
   std::string disk_path(const SimRequest& req) const;

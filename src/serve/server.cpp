@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -124,6 +125,12 @@ void SimServer::accept_loop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (cfg_.write_timeout_ms > 0) {
+      timeval tv{cfg_.write_timeout_ms / 1000,
+                 static_cast<suseconds_t>(cfg_.write_timeout_ms % 1000) *
+                     1000};
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
 
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
@@ -175,8 +182,17 @@ void SimServer::handle_line(const std::shared_ptr<Conn>& conn,
     return;
   }
 
-  std::string op = msg.contains("op") ? msg.at("op").as_string() : "";
-  if (op.empty()) op = msg.contains("request") ? "run" : "";
+  std::string op;
+  if (msg.contains("op")) {
+    // as_string() throws on type mismatch; a {"op": 5} line must answer
+    // ok=false like every other malformed line, never unwind the reader.
+    if (!msg.at("op").is_string()) {
+      respond(conn, error_response(id, "'op' must be a string"));
+      return;
+    }
+    op = msg.at("op").as_string();
+  }
+  if (op.empty() && msg.contains("request")) op = "run";
 
   if (op == "ping") {
     Json j = Json::object();
@@ -246,7 +262,12 @@ void SimServer::respond(const std::shared_ptr<Conn>& conn, const Json& j) {
   const std::string line = j.dump(0) + "\n";
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (!conn->open) return;  // peer vanished while we were simulating
-  write_all(conn->fd, line);
+  if (!write_all(conn->fd, line)) {
+    // Disconnected peer, or one that stopped reading past the send timeout:
+    // shut the socket down so the reader exits and later writes fail fast.
+    // The fd itself is closed by try_close once reader and callbacks drain.
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
 }
 
 void SimServer::try_close(Conn& conn) {

@@ -43,6 +43,11 @@ struct ServerConfig {
   std::string socket_path;  ///< AF_UNIX path (required).
   ServiceConfig service;    ///< Pool size and cache tiers.
   bool log = false;         ///< One stderr line per served request.
+  /// SO_SNDTIMEO per accepted connection: a client that stops reading (full
+  /// socket buffer) fails its next response write after this long and is
+  /// treated as vanished, instead of wedging pool callbacks — and, through
+  /// them, shutdown — on a blocking send. 0 disables the timeout.
+  int write_timeout_ms = 10'000;
 };
 
 class SimServer {

@@ -95,9 +95,11 @@ void SimService::compute(const std::shared_ptr<Inflight>& entry,
 
   std::vector<Waiter> waiters;
   {
-    // cache_.insert happened before the erase, so a concurrent submit either
-    // hits the cache or still finds (and joins) this entry — there is no
-    // window where an identical point would recompute.
+    // cache_.insert happened before the erase, which narrows (but does not
+    // close) the race with a concurrent submit: one that missed the cache
+    // before our insert and takes inflight_mu_ after this erase starts a
+    // fresh computation. Determinism keeps that correct — the window only
+    // costs a redundant recompute of an identical point.
     std::lock_guard<std::mutex> lock(inflight_mu_);
     waiters = std::move(entry->waiters);
     inflight_.erase(canonical);

@@ -104,6 +104,19 @@ TEST(SimServer, MalformedLinesGetErrorResponsesAndTheConnectionSurvives) {
     ASSERT_TRUE(reader.read_line(&line));
     EXPECT_FALSE(Json::parse(line).at("ok").as_bool());
 
+    // Non-string op values (as_string would throw): still a per-line error,
+    // never an unwound reader thread.
+    for (const char* bad_op : {"{\"op\": 5, \"id\": 1}\n",
+                               "{\"op\": null, \"id\": 2}\n",
+                               "{\"op\": {\"x\": 1}, \"id\": 3}\n"}) {
+      ASSERT_TRUE(write_all(fd, bad_op));
+      ASSERT_TRUE(reader.read_line(&line));
+      resp = Json::parse(line);
+      EXPECT_FALSE(resp.at("ok").as_bool());
+      EXPECT_NE(resp.at("error").as_string().find("'op' must be a string"),
+                std::string::npos);
+    }
+
     // Unknown op, id echoed.
     ASSERT_TRUE(write_all(fd, "{\"op\": \"dance\", \"id\": 42}\n"));
     ASSERT_TRUE(reader.read_line(&line));

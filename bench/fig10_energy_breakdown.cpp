@@ -69,11 +69,11 @@ int main(int argc, char** argv) {
   for (const std::string& name : FabricRegistry::names()) {
     const FabricTopology& topo = FabricRegistry::get(name);
     const ClusterConfig tcfg = ClusterConfig::paper(TopologySpec{name}, true);
-    for (const auto& row : topo.energy_rows(tcfg, model.params())) {
-      reg.add_row({name, row.label, Table::num(row.energy.core, 1),
-                   Table::num(row.energy.interconnect, 1),
-                   Table::num(row.energy.memory, 1),
-                   Table::num(row.energy.total(), 1)});
+    for (const auto& er : topo.energy_rows(tcfg, model.params())) {
+      reg.add_row({name, er.label, Table::num(er.energy.core, 1),
+                   Table::num(er.energy.interconnect, 1),
+                   Table::num(er.energy.memory, 1),
+                   Table::num(er.energy.total(), 1)});
     }
   }
   reg.print(std::cout);

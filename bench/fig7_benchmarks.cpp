@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
   for (const auto& k : kernels) {
     auto& c = cycles[k];
     auto r = [&](const std::string& name, const std::string& base) {
-      return Table::num(static_cast<double>(c[base]) / c[name], 2);
+      return Table::num(static_cast<double>(c[base]) / static_cast<double>(c[name]), 2);
     };
     rel.add_row({k, r("Top1", "TopX"), r("Top4", "TopX"), r("TopH", "TopX"),
                  "1.00", r("Top1S", "TopXS"), r("Top4S", "TopXS"),
@@ -127,7 +127,8 @@ int main(int argc, char** argv) {
   for (const auto& k : kernels) {
     worst_toph = std::min(
         worst_toph,
-        static_cast<double>(cycles[k]["TopXS"]) / cycles[k]["TopHS"]);
+        static_cast<double>(cycles[k]["TopXS"]) /
+        static_cast<double>(cycles[k]["TopHS"]));
   }
   s.add_row({"TopHS vs ideal baseline (worst kernel = matmul)", ">= ~0.80",
              Table::num(worst_toph, 2)});
@@ -143,21 +144,25 @@ int main(int argc, char** argv) {
   for (const auto& k : kernels) {
     top1_factor = std::max(
         top1_factor,
-        static_cast<double>(cycles[k]["Top1S"]) / cycles[k]["TopHS"]);
+        static_cast<double>(cycles[k]["Top1S"]) /
+            static_cast<double>(cycles[k]["TopHS"]));
     top1_factor = std::max(
         top1_factor,
-        static_cast<double>(cycles[k]["Top1"]) / cycles[k]["TopH"]);
+        static_cast<double>(cycles[k]["Top1"]) /
+            static_cast<double>(cycles[k]["TopH"]));
   }
   s.add_row({"Top1 vs TopH/Top4, extreme case", "~3x slower",
              Table::num(top1_factor, 2) + "x"});
   const double dct_match =
-      static_cast<double>(cycles["dct"]["TopXS"]) / cycles["dct"]["TopHS"];
+      static_cast<double>(cycles["dct"]["TopXS"]) /
+      static_cast<double>(cycles["dct"]["TopHS"]);
   s.add_row({"dct+S matches baseline on every topology", "~1.00",
              Table::num(dct_match, 2)});
   // "Without the scrambling logic ... significant performance penalty,
   // especially for Top1" (dct).
   const double dct_noscramble_penalty =
-      static_cast<double>(cycles["dct"]["Top1"]) / cycles["dct"]["Top1S"];
+      static_cast<double>(cycles["dct"]["Top1"]) /
+      static_cast<double>(cycles["dct"]["Top1S"]);
   s.add_row({"dct penalty without scrambling on Top1", "large",
              Table::num(dct_noscramble_penalty, 1) + "x"});
   s.print(std::cout);

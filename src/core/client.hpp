@@ -19,6 +19,11 @@ class RequestPort {
  public:
   virtual ~RequestPort() = default;
   virtual bool try_issue(const Packet& req) = 0;
+
+  /// DRC hook: declare, on the issuing client's behalf, the sinks try_issue
+  /// pushes into (the port is cluster plumbing, not a component of its own —
+  /// its edges belong to the client). Conservative default: opaque.
+  virtual void describe(GraphVisitor& /*v*/) const {}
 };
 
 class Client : public Component {
@@ -32,6 +37,13 @@ class Client : public Component {
 
   /// Called once by the cluster after construction.
   void bind_port(RequestPort* port) { port_ = port; }
+
+  /// DRC self-description: a client's outgoing edges are whatever its
+  /// request port pushes into; subclasses extend this with their own edges
+  /// (Client::describe(v) first, then their additions).
+  void describe(GraphVisitor& v) const override {
+    if (port_ != nullptr) port_->describe(v);
+  }
 
   uint16_t id() const { return id_; }
   uint16_t tile() const { return tile_; }

@@ -1,7 +1,10 @@
 #include "core/cluster.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
 #include "noc/fabric.hpp"
+#include "verify/drc.hpp"
 
 namespace mempool {
 
@@ -24,6 +27,20 @@ bool CorePort::try_issue(const Packet& p) {
   return true;
 }
 
+void CorePort::describe(GraphVisitor& v) const {
+  if (ideal_) {
+    // TopX: the core reaches every bank's request queue directly.
+    for (const auto& t : cluster_->tiles_) {
+      for (uint32_t b = 0; b < t->num_banks(); ++b) {
+        v.writes(t->bank(b).request_input(), "bank");
+      }
+    }
+    return;
+  }
+  if (local_ != nullptr) v.writes(local_, "req.local");
+  if (remote_ != nullptr) v.writes(remote_, "req.remote");
+}
+
 // --- IdealRespBridge ----------------------------------------------------------
 
 IdealRespBridge::IdealRespBridge(std::string name, uint32_t num_banks,
@@ -34,7 +51,8 @@ IdealRespBridge::IdealRespBridge(std::string name, uint32_t num_banks,
     bufs_.emplace_back(BufferMode::kRegistered, 2);
   }
   for (auto& b : bufs_) {
-    b.set_consumer(this);  // a committed response re-arms the bridge
+    // a committed response re-arms the bridge
+    b.set_consumer(this, this->name().c_str());
     sinks_.emplace_back(b);
   }
 }
@@ -59,6 +77,15 @@ bool IdealRespBridge::idle() const {
     if (!b.empty()) return false;
   }
   return true;
+}
+
+void IdealRespBridge::describe(GraphVisitor& v) const {
+  std::size_t b = 0;
+  for (const auto& buf : bufs_) {
+    v.reads(&buf, "bank" + std::to_string(b));
+    ++b;
+  }
+  for (const Client* c : *clients_) v.writes_terminal(c, "deliver");
 }
 
 // --- FabricBuilder ------------------------------------------------------------
@@ -109,7 +136,22 @@ PacketSink* FabricBuilder::shard_boundary(uint32_t producer_shard,
                                       << consumer_shard << ") with "
                                       << shards << " shards");
   if (producer_shard != consumer_shard) {
+    // Pre-check so a mis-wired boundary fails with the full wiring context
+    // (which edge, which shards, what was declared so far) instead of the
+    // sink's generic "cannot sit on a shard boundary" CHECK.
+    MEMPOOL_CHECK_MSG(sink->shard_boundary_capable(),
+                      "shard_boundary(" << producer_shard << " -> "
+                                        << consumer_shard
+                                        << "): sink is not backed by a "
+                                           "registered elastic buffer — only "
+                                           "registered buffers may cross "
+                                           "shards (combinational cross-shard "
+                                           "paths break the sharded engine's "
+                                           "bit-identity); boundaries "
+                                           "declared so far: "
+                                        << c_->boundary_registry());
     sink->mark_shard_boundary(consumer_shard);
+    ++c_->boundary_counts_[{producer_shard, consumer_shard}];
   }
   return sink;
 }
@@ -181,6 +223,18 @@ uint32_t MemoryBuilder::group_shard(uint32_t g) const {
 ClusterConfig Cluster::validated(ClusterConfig cfg) {
   cfg.validate();
   return cfg;
+}
+
+std::string Cluster::boundary_registry() const {
+  if (boundary_counts_.empty()) return "none";
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [edge, count] : boundary_counts_) {
+    if (!first) os << ", ";
+    first = false;
+    os << edge.first << "->" << edge.second << " x" << count;
+  }
+  return os.str();
 }
 
 Cluster::Cluster(const ClusterConfig& cfg, const InstrMem* imem)
@@ -306,6 +360,19 @@ void Cluster::build(Engine& engine) {
     req_bflys_[i]->register_clocked(engine);
   }
   for (auto& t : tiles_) t->add_req_late(engine, tshard[t->index()]);
+
+  // Elaboration-time design-rule check (verify/drc.hpp): automatic in Debug
+  // builds and whenever the runtime shard-race checker is compiled in (which
+  // this pass also arms). Release builds lint through `--drc` / the tests.
+#if !defined(NDEBUG) || defined(MEMPOOL_DRC)
+  {
+    const verify::DrcReport report = verify::run_drc(engine, shards);
+    MEMPOOL_CHECK_MSG(report.clean(), report.summary());
+#if defined(MEMPOOL_DRC)
+    verify::arm_runtime_checker(engine);
+#endif
+  }
+#endif
 }
 
 DmaPortal* Cluster::dma_portal(uint32_t tile) {

@@ -36,7 +36,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/client.hpp"
@@ -62,6 +65,9 @@ class CorePort final : public RequestPort {
   CorePort(Cluster* cluster, uint32_t core);
   bool try_issue(const Packet& p) override;
 
+  /// DRC: the sinks try_issue pushes into, declared on the client's behalf.
+  void describe(GraphVisitor& v) const override;
+
  private:
   friend class Cluster;
   friend class FabricBuilder;
@@ -83,6 +89,10 @@ class IdealRespBridge final : public Component {
   void register_clocked(Engine& engine);
   void evaluate(uint64_t cycle) override;
   bool idle() const override;
+
+  /// DRC self-description: reads the per-bank buffers, delivers into every
+  /// client (terminal edges).
+  void describe(GraphVisitor& v) const override;
 
  private:
   std::deque<PacketBuffer> bufs_;  // deque: ElasticBuffer is pinned
@@ -182,6 +192,10 @@ class Cluster {
   /// unexplained CHECK deep inside layout/bank construction.
   static ClusterConfig validated(ClusterConfig cfg);
 
+  /// "0->1 x16, 1->0 x16" — the shard boundaries declared so far, for
+  /// FabricBuilder::shard_boundary diagnostics.
+  std::string boundary_registry() const;
+
   ClusterConfig cfg_;
   std::unique_ptr<MemoryInstance> memsys_;  // before layout_: supplies it
   MemoryLayout layout_;
@@ -200,6 +214,9 @@ class Cluster {
   std::vector<std::unique_ptr<IdealRespBridge>> bridges_;
   std::vector<Client*> clients_;
   std::vector<std::unique_ptr<CorePort>> ports_;
+  /// (producer shard, consumer shard) -> boundaries declared through
+  /// FabricBuilder::shard_boundary, for wiring diagnostics.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> boundary_counts_;
   bool built_ = false;
 };
 

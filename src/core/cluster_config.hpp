@@ -127,7 +127,9 @@ struct ClusterConfig {
   uint32_t spm_bytes() const { return num_banks() * bank_bytes; }
   uint32_t tiles_per_group() const { return num_tiles / num_groups; }
   uint32_t group_of_tile(uint32_t tile) const { return tile / tiles_per_group(); }
-  uint32_t tile_of_core(uint32_t core) const { return core / cores_per_tile; }
+  uint32_t tile_of_core(uint32_t core_id) const {
+    return core_id / cores_per_tile;
+  }
 
   /// Display name including the scrambling suffix used in Figure 7
   /// ("TopHS" = TopH with scrambling logic).

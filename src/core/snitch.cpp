@@ -480,4 +480,13 @@ void SnitchCore::evaluate(uint64_t cycle) {
   }
 }
 
+void SnitchCore::describe(GraphVisitor& v) const {
+  Client::describe(v);  // request-port edges
+  v.self_ticking();     // a running core issues/stalls every cycle
+  if (icache_ != nullptr) v.wakes(icache_, "fetch");
+  if (dma_ != nullptr && dma_->drc_component() != nullptr) {
+    v.writes_terminal(dma_->drc_component(), "dma.submit");
+  }
+}
+
 }  // namespace mempool

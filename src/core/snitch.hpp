@@ -50,6 +50,11 @@ class SnitchCore final : public Client {
   /// re-evaluating it, exactly as under the dense engine.
   bool idle() const override { return halted_; }
 
+  /// DRC self-description: request-port edges (via Client), self-generated
+  /// work, the fetch-path wake into the tile I$, and the DMA portal's
+  /// submit() as a terminal edge when one is attached.
+  void describe(GraphVisitor& v) const override;
+
   bool halted() const { return halted_; }
   uint32_t exit_code() const { return exit_code_; }
   const std::string& console() const { return console_; }

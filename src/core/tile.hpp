@@ -34,6 +34,8 @@ class ClientSink final : public PacketSink {
     c_->deliver(p);
     c_->wake();
   }
+  /// DRC: terminal delivery into the client (same-cycle direct call).
+  const Wakeable* drc_terminal() const override { return c_; }
 
  private:
   Client* c_;

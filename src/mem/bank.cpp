@@ -13,7 +13,7 @@ SpmBank::SpmBank(std::string name, uint32_t bank_bytes,
       req_in_(BufferMode::kCombinational, input_capacity),
       req_sink_(req_in_) {
   MEMPOOL_CHECK(bank_bytes >= 4 && bank_bytes % 4 == 0);
-  req_in_.set_consumer(this);
+  req_in_.set_consumer(this, this->name().c_str());
 }
 
 void SpmBank::register_clocked(Engine& /*engine*/) {

@@ -42,6 +42,12 @@ class SpmBank final : public Component {
   /// queue's combinational push re-arms the bank within the same cycle.
   bool idle() const override { return req_in_.empty(); }
 
+  /// DRC self-description: reads the request queue, writes the response sink.
+  void describe(GraphVisitor& v) const override {
+    v.reads(&req_in_, "req");
+    if (resp_sink_ != nullptr) v.writes(resp_sink_, "resp");
+  }
+
   /// Backdoor access used by program loaders and result checkers (does not
   /// consume simulated cycles).
   uint32_t backdoor_read(uint32_t row) const;

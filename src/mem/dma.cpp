@@ -31,7 +31,7 @@ DmaFrontend::DmaFrontend(std::string name, uint32_t group,
       cmd_out_(cfg.num_groups, nullptr) {
   for (uint32_t g = 0; g < cfg.num_groups; ++g) {
     comp_in_.emplace_back(BufferMode::kRegistered, /*capacity=*/0);
-    comp_in_.back().set_consumer(this);
+    comp_in_.back().set_consumer(this, this->name().c_str());
   }
 }
 
@@ -194,7 +194,7 @@ DmaBackend::DmaBackend(std::string name, uint32_t group,
       bank_free_(l2->params().banks, 0) {
   for (uint32_t g = 0; g < cfg.num_groups; ++g) {
     cmd_in_.emplace_back(BufferMode::kRegistered, /*capacity=*/0);
-    cmd_in_.back().set_consumer(this);
+    cmd_in_.back().set_consumer(this, this->name().c_str());
   }
 }
 
@@ -347,6 +347,36 @@ bool DmaBackend::idle() const {
     if (!buf.empty()) return false;
   }
   return true;
+}
+
+void DmaFrontend::describe(GraphVisitor& v) const {
+  // submit() is a direct call from the cores (through the DMA CSRs) that
+  // wakes this component — the DRC cannot see those edges from here.
+  v.wake_on_demand();
+  for (std::size_t g = 0; g < comp_in_.size(); ++g) {
+    v.reads(&comp_in_[g], "comp" + std::to_string(g));
+  }
+  for (std::size_t g = 0; g < cmd_out_.size(); ++g) {
+    if (cmd_out_[g] != nullptr) {
+      v.writes_buffer(cmd_out_[g], "cmd" + std::to_string(g));
+    }
+  }
+}
+
+void DmaBackend::describe(GraphVisitor& v) const {
+  v.self_ticking();  // paces its own bursts on the timer wheel
+  for (std::size_t g = 0; g < cmd_in_.size(); ++g) {
+    v.reads(&cmd_in_[g], "cmd" + std::to_string(g));
+  }
+  for (std::size_t g = 0; g < comp_out_.size(); ++g) {
+    if (comp_out_[g] != nullptr) {
+      v.writes_buffer(comp_out_[g], "comp" + std::to_string(g));
+    }
+  }
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    // Dedicated wide bank port: word moves by direct call during evaluate.
+    v.writes_terminal(banks_[b], "bank" + std::to_string(b));
+  }
 }
 
 }  // namespace mempool

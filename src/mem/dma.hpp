@@ -72,6 +72,10 @@ class DmaPortal {
   virtual void submit(uint16_t core, const DmaDescriptor& d) = 0;
   /// Transfers submitted by @p core still in flight (dma_wait spins on 0).
   virtual uint32_t pending(uint16_t core) const = 0;
+
+  /// DRC hook: the component behind this portal (the frontend), so a core
+  /// can declare its submit() call as a terminal edge. Null = opaque portal.
+  virtual const Component* drc_component() const { return nullptr; }
 };
 
 /// CPU base address of the L2 window (between the SPM at 0 and the control
@@ -157,10 +161,15 @@ class DmaFrontend final : public Component, public DmaPortal {
   // --- DmaPortal ------------------------------------------------------------
   void submit(uint16_t core, const DmaDescriptor& d) override;
   uint32_t pending(uint16_t core) const override;
+  const Component* drc_component() const override { return this; }
 
   // --- Component ------------------------------------------------------------
   void evaluate(uint64_t cycle) override;
   bool idle() const override;
+
+  /// DRC self-description: woken by submit()/completions, reads the
+  /// completion inputs, pushes slice commands to the connected backends.
+  void describe(GraphVisitor& v) const override;
 
   // --- statistics -----------------------------------------------------------
   uint64_t descriptors() const { return descriptors_; }
@@ -222,6 +231,11 @@ class DmaBackend final : public Component {
   // --- Component ------------------------------------------------------------
   void evaluate(uint64_t cycle) override;
   bool idle() const override;
+
+  /// DRC self-description: self-ticking (timer-paced bursts), reads the
+  /// command inputs, pushes completions to the connected frontends, moves
+  /// words through its dedicated bank ports.
+  void describe(GraphVisitor& v) const override;
 
   // --- statistics -----------------------------------------------------------
   uint64_t bursts() const { return bursts_; }

@@ -47,6 +47,10 @@ class ICache final : public Component {
   /// engine modes).
   bool idle() const override { return !refill_.active && pending_.empty(); }
 
+  /// DRC self-description: woken by the cores' fetch() calls, not by a
+  /// declared edge.
+  void describe(GraphVisitor& v) const override { v.wake_on_demand(); }
+
   /// Invalidate all lines (used between benchmark phases in tests).
   void flush();
 

@@ -43,7 +43,8 @@ ButterflyNet::ButterflyNet(std::string name, std::size_t num_endpoints,
   for (unsigned l = 0; l < layers_; ++l) {
     for (std::size_t p = 0; p < n_; ++p) {
       buf_[l].emplace_back(layer_modes[l], buffer_capacity);
-      buf_[l].back().set_consumer(this);  // any visible packet re-arms the net
+      // any visible packet re-arms the net
+      buf_[l].back().set_consumer(this, this->name().c_str());
       buf_[l].back().bind_occupancy_bit(&occ_[l * occ_words_ + p / 64],
                                         static_cast<unsigned>(p % 64));
     }
@@ -191,6 +192,24 @@ void ButterflyNet::evaluate(uint64_t /*cycle*/) {
         blocked_ += group;
       }
     }
+  }
+}
+
+void ButterflyNet::describe(GraphVisitor& v) const {
+  for (unsigned l = 0; l < layers_; ++l) {
+    for (std::size_t p = 0; p < n_; ++p) {
+      v.reads(&buf_[l][p], "l" + std::to_string(l) + "p" + std::to_string(p));
+      // Hops into layer l >= 1 are pushes from this component into its own
+      // buffers: declared so the buffers count as written (rules D1/D2), and
+      // exempt from the order rules as self-edges.
+      if (l >= 1) {
+        v.writes_buffer(&buf_[l][p],
+                        "l" + std::to_string(l) + "p" + std::to_string(p));
+      }
+    }
+  }
+  for (std::size_t p = 0; p < n_; ++p) {
+    if (out_[p] != nullptr) v.writes(out_[p], "out" + std::to_string(p));
   }
 }
 

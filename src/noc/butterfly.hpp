@@ -57,6 +57,11 @@ class ButterflyNet final : public Component {
 
   bool idle() const override;
 
+  /// DRC self-description: reads every line buffer of every layer, stages
+  /// into the internal layer buffers (self-edges, exempt from the order
+  /// rules), writes every connected endpoint output.
+  void describe(GraphVisitor& v) const override;
+
   /// Pure routing arithmetic, exposed for tests: the line position after
   /// stage @p l for a packet currently at position @p pos heading to @p dst.
   static unsigned stage_hop(unsigned pos, unsigned dst, unsigned l,

@@ -26,7 +26,8 @@ XbarSwitch::XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
   }
   unsigned bit = 0;
   for (auto& buf : in_) {
-    buf.set_consumer(this);  // any visible packet re-arms this switch
+    // any visible packet re-arms this switch
+    buf.set_consumer(this, this->name().c_str());
     buf.bind_occupancy_bit(&occ_[bit / 64], bit % 64);
     ++bit;
     in_sinks_.emplace_back(buf);
@@ -125,10 +126,10 @@ void XbarSwitch::evaluate(uint64_t /*cycle*/) {
       }
       // Winner: first candidate at or after the round-robin pointer.
       uint16_t winner = cands[0];
-      uint32_t best = static_cast<uint32_t>(in_.size());
+      const uint32_t num_in = static_cast<uint32_t>(in_.size());
+      uint32_t best = num_in;
       for (uint16_t c : cands) {
-        const uint32_t dist =
-            (c + in_.size() - rr_[o]) % static_cast<uint32_t>(in_.size());
+        const uint32_t dist = (c + num_in - rr_[o]) % num_in;
         if (dist < best) {
           best = dist;
           winner = c;
@@ -137,9 +138,22 @@ void XbarSwitch::evaluate(uint64_t /*cycle*/) {
       blocked_ += cands.size() - 1;
       out_[o]->push(in_[winner].pop());
       ++traversals_;
-      rr_[o] = (winner + 1u) % static_cast<uint32_t>(in_.size());
+      rr_[o] = (winner + 1u) % num_in;
       cands.clear();
     }
+  }
+}
+
+void XbarSwitch::describe(GraphVisitor& v) const {
+  std::size_t i = 0;
+  for (const auto& buf : in_) {
+    v.reads(&buf, "in" + std::to_string(i));
+    ++i;
+  }
+  for (std::size_t o = 0; o < out_.size(); ++o) {
+    // Outputs may legitimately be connected lazily (evaluate CHECKs on first
+    // use); an unconnected output simply declares nothing.
+    if (out_[o] != nullptr) v.writes(out_[o], "out" + std::to_string(o));
   }
 }
 

@@ -62,6 +62,10 @@ class XbarSwitch final : public Component {
   /// True if no input holds a visible packet (activity contract + tests).
   bool idle() const override;
 
+  /// DRC self-description: reads every input buffer, writes every connected
+  /// output sink.
+  void describe(GraphVisitor& v) const override;
+
  private:
   // deque, not vector: ElasticBuffer is pinned (non-movable) because the
   // engine's commit list and the wake plumbing hold raw pointers into it.

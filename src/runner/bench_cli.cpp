@@ -7,6 +7,7 @@
 #include "mem/memsys.hpp"
 #include "noc/fabric.hpp"
 #include "runner/results.hpp"
+#include "verify/drc_matrix.hpp"
 
 namespace mempool::runner {
 
@@ -39,10 +40,17 @@ namespace {
                "  --memory NAME      memory system (available: %s)\n"
                "  --list-memories    list the registered memory systems and "
                "exit\n"
-               "  --list-engines     list the engine modes and exit\n",
+               "  --list-engines     list the engine modes and exit\n"
+               "  --drc              run the design-rule checker over every "
+               "registered\n"
+               "                     topology x memory x engine combination "
+               "(paper-scale\n"
+               "                     configs, no cycles simulated), write "
+               "%s.drc.json,\n"
+               "                     and exit 0 iff every case is clean\n",
                bench.c_str(), bench.c_str(),
                FabricRegistry::available().c_str(),
-               MemoryRegistry::available().c_str());
+               MemoryRegistry::available().c_str(), bench.c_str());
   std::exit(code);
 }
 
@@ -72,6 +80,40 @@ namespace {
                  MemoryRegistry::get(name).description().c_str());
   }
   std::exit(0);
+}
+
+/// --drc: elaborate every registered topology x memory x engine combination
+/// at paper scale, lint each with the design-rule checker, emit the
+/// mempool.drc.v1 document, and exit 0 iff every case is clean. No cycles
+/// are simulated — this is the CI design-rule gate, runnable from any bench.
+[[noreturn]] void run_drc_matrix(const std::string& bench) {
+  bool clean = false;
+  const Json doc = verify::drc_matrix_report(/*mini=*/false, &clean);
+  for (const Json& c : doc.at("cases").items()) {
+    const std::size_t violations = c.at("violations").size();
+    std::fprintf(stderr, "  %-6s x %-8s x %-8s  %s",
+                 c.at("topology").as_string().c_str(),
+                 c.at("memory").as_string().c_str(),
+                 c.at("engine").as_string().c_str(),
+                 violations == 0 ? "clean" : "VIOLATIONS");
+    if (violations != 0) {
+      std::fprintf(stderr, " (%zu)", violations);
+      for (const Json& v : c.at("violations").items()) {
+        std::fprintf(stderr, "\n    [%s] %s (%s): %s",
+                     v.at("rule").as_string().c_str(),
+                     v.at("component").as_string().c_str(),
+                     v.at("edge").as_string().c_str(),
+                     v.at("detail").as_string().c_str());
+      }
+    }
+    std::fprintf(stderr, "\n");
+  }
+  const std::string path = bench + ".drc.json";
+  write_json_file(path, doc);
+  std::fprintf(stderr, "%s: DRC %s over %zu cases; report written to %s\n",
+               bench.c_str(), clean ? "clean" : "FAILED",
+               doc.at("cases").size(), path.c_str());
+  std::exit(clean ? 0 : 1);
 }
 
 }  // namespace
@@ -188,6 +230,8 @@ BenchOptions parse_bench_options(int* argc, char** argv,
       list_memories();
     } else if (std::strcmp(a, "--list-engines") == 0) {
       list_engines();
+    } else if (std::strcmp(a, "--drc") == 0) {
+      run_drc_matrix(bench_name);
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(bench_name, 0);
     } else {

@@ -23,6 +23,10 @@
 //   --list-engines      print the engine modes with one-line descriptions
 //                       and exit; unknown --engine values fail with the same
 //                       list
+//   --drc               run the design-rule checker (verify/drc.hpp) over
+//                       every registered topology x memory x engine
+//                       combination at paper scale, write <bench>.drc.json
+//                       (schema mempool.drc.v1), and exit 0 iff clean
 //   --help              usage
 //
 // The two thread axes are deliberately distinct flags: --threads always

@@ -16,9 +16,15 @@
 // would be a no-op, and only a wake event can change that.
 
 #include <cstddef>
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace mempool {
+
+class GraphVisitor;
+class PacketSink;
+class Wakeable;
 
 /// Activity flag mixin. Components start awake so the first cycle after
 /// build() evaluates everything once and lets the idle ones drop out.
@@ -77,6 +83,20 @@ class Clocked {
   /// for every element the consumer drained this cycle — see
   /// ElasticBuffer::shard_sync for the one meaningful implementation.
   virtual void shard_sync() {}
+
+  /// Static-analysis hook (verify/drc.hpp): report this element's structural
+  /// facts — mode, consumer, shard-boundary status — via
+  /// GraphVisitor::buffer_info. The conservative default declares nothing,
+  /// which exempts the element from the design-rule checks (the DRC can only
+  /// lint what is described); ElasticBuffer provides the one meaningful
+  /// implementation.
+  virtual void describe(GraphVisitor& /*v*/) const {}
+
+  /// MEMPOOL_DRC hook: the runtime shard-race detector binds the shard the
+  /// DRC resolved for this element's consumer, so eval-phase accesses can be
+  /// checked against it. Default ignores the tag (non-buffer elements carry
+  /// no per-access shard contract).
+  virtual void drc_bind_shard(int32_t /*home_shard*/) {}
 };
 
 /// Per-cycle list of clocked elements with staged state. An element enqueues
@@ -100,6 +120,66 @@ class CommitQueue {
 
  private:
   std::vector<Clocked*> pending_;
+};
+
+/// What an elastic buffer reports about itself to the design-rule checker
+/// (Clocked::describe -> GraphVisitor::buffer_info).
+struct BufferDecl {
+  bool registered = false;      ///< kRegistered: commit-edge visibility.
+  bool shard_boundary = false;  ///< mark_shard_boundary() was called.
+  uint32_t consumer_shard = 0;  ///< Meaningful only when shard_boundary.
+  const Wakeable* consumer = nullptr;  ///< set_consumer() target, if any.
+  std::size_t capacity = 0;            ///< 0 = unbounded.
+};
+
+/// Callback interface of the elaboration-time design-rule checker
+/// (verify/drc.hpp). Components and clocked elements *describe* the graph
+/// structure the engine cannot see on its own: which buffers a component
+/// reads (it is their consumer), which sinks/buffers it pushes into during
+/// evaluate(), which components it delivers into or wakes directly, and
+/// whether its work is self-generated. The DRC walks every registered
+/// component, calls describe(), and checks the declared graph against the
+/// engine's registration state and shard map (rules D1-D6, see
+/// verify/drc.hpp for the canonical invariant statement).
+///
+/// All declarations are attributed to the component whose describe() call is
+/// currently on the stack; label strings are copied immediately, so
+/// temporaries are fine.
+class GraphVisitor {
+ public:
+  virtual ~GraphVisitor() = default;
+
+  // --- called from Component::describe ---------------------------------------
+  /// The component pops/fronts @p buf during evaluate() (it is the buffer's
+  /// consumer). @p label names the port ("in3", "req", ...).
+  virtual void reads(const Clocked* buf, std::string_view label) = 0;
+  /// The component pushes into @p sink during evaluate(). The DRC resolves
+  /// the sink to the elastic buffer behind it (PacketSink::drc_buffer) or to
+  /// a terminal delivery target (PacketSink::drc_terminal).
+  virtual void writes(const PacketSink* sink, std::string_view label) = 0;
+  /// The component pushes into @p buf directly (typed buffers that bypass
+  /// the PacketSink interface, e.g. the DMA command/completion links).
+  virtual void writes_buffer(const Clocked* buf, std::string_view label) = 0;
+  /// The component delivers data into @p target by direct call during
+  /// evaluate() (same-cycle, no buffer in between) — e.g. a response bridge
+  /// delivering into a client, the DMA backend's dedicated bank port.
+  virtual void writes_terminal(const Wakeable* target,
+                               std::string_view label) = 0;
+  /// The component calls target->wake() (or arms a timer for @p target)
+  /// during evaluate() — e.g. a core waking the tile I$ on a miss.
+  virtual void wakes(const Wakeable* target, std::string_view label) = 0;
+  /// The component's work is self-generated (it stays awake or arms timed
+  /// wakes for itself): cores, traffic generators, the DMA backends. Exempts
+  /// it from the orphan rule D6.
+  virtual void self_ticking() = 0;
+  /// The component is woken by direct method calls from other components
+  /// (I$ fetch, DMA portal submit) rather than through a declared edge.
+  /// Exempts it from the orphan rule D6.
+  virtual void wake_on_demand() = 0;
+
+  // --- called from Clocked::describe -----------------------------------------
+  /// Structural facts of the buffer the DRC is currently walking.
+  virtual void buffer_info(const BufferDecl& decl) = 0;
 };
 
 }  // namespace mempool

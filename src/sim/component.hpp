@@ -36,6 +36,16 @@ class Component : public Wakeable {
   /// probes) are always evaluated, exactly as under the dense engine.
   virtual bool idle() const { return false; }
 
+  /// Static-analysis hook (verify/drc.hpp): declare this component's edges —
+  /// which buffers it reads (it is their consumer), which sinks it pushes
+  /// into, which components it delivers into or wakes directly — via the
+  /// visitor. The conservative default declares nothing, which makes the
+  /// component *opaque* to the checker: it is exempt from the orphan rule and
+  /// contributes no edges. Plugins therefore gain nothing mandatory; built-in
+  /// fabric/memory components all describe themselves so the full paper
+  /// configurations lint clean.
+  virtual void describe(GraphVisitor& /*v*/) const {}
+
   const std::string& name() const { return name_; }
 
  private:
@@ -63,6 +73,21 @@ class PacketSink {
                       "this sink cannot sit on a shard boundary (only "
                       "registered elastic buffers can)");
   }
+
+  /// Whether mark_shard_boundary() would succeed on this sink, i.e. it is
+  /// backed by a *registered* elastic buffer. FabricBuilder::shard_boundary
+  /// pre-checks this to report wiring mistakes with full context instead of
+  /// the generic CHECK above.
+  virtual bool shard_boundary_capable() const { return false; }
+
+  // --- DRC resolution (verify/drc.hpp) ---------------------------------------
+  /// The elastic buffer behind this sink, if any: lets the checker resolve a
+  /// declared `writes(sink)` edge to the buffer's consumer and mode.
+  virtual const Clocked* drc_buffer() const { return nullptr; }
+  /// The component this sink delivers into by direct call, if this is a
+  /// terminal sink (ClientSink and friends): a same-cycle combinational edge
+  /// from the checker's point of view.
+  virtual const Wakeable* drc_terminal() const { return nullptr; }
 };
 
 /// PacketSink adapter over an ElasticBuffer<Packet>.
@@ -75,6 +100,10 @@ class BufferSink final : public PacketSink {
   void mark_shard_boundary(uint32_t consumer_shard) override {
     buf_->mark_shard_boundary(consumer_shard);
   }
+  bool shard_boundary_capable() const override {
+    return buf_->registered_mode();
+  }
+  const Clocked* drc_buffer() const override { return buf_; }
 
  private:
   Buffer* buf_;

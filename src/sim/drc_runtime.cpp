@@ -1,0 +1,35 @@
+#include "sim/drc_runtime.hpp"
+
+#include <mutex>
+
+namespace mempool::drc {
+
+namespace {
+std::mutex g_mutex;
+std::vector<std::string>& log() {
+  static std::vector<std::string> entries;
+  return entries;
+}
+}  // namespace
+
+void report_race(const std::string& what) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  log().push_back(what);
+}
+
+std::size_t race_count() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return log().size();
+}
+
+std::vector<std::string> races() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return log();
+}
+
+void clear_races() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  log().clear();
+}
+
+}  // namespace mempool::drc

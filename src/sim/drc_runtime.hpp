@@ -1,0 +1,73 @@
+#pragma once
+// Runtime half of the design-rule checker (verify/drc.hpp): a deterministic,
+// model-level shard-race detector, enabled by building with -DMEMPOOL_DRC=ON.
+//
+// The static DRC lints the *declared* graph — it cannot see an undeclared
+// edge (an opaque component reaching into another shard's buffer, or a
+// describe() that lies). This layer closes that gap at the model level: the
+// engine tags every evaluate() call with the evaluated component's shard id
+// (a thread-local, set even under the sequential schedulers), and every
+// elastic-buffer access during an evaluate phase checks the evaluating shard
+// against the buffer's *home* shard — the shard of its consumer, resolved by
+// the static DRC walk and bound via Clocked::drc_bind_shard. The contract:
+//
+//   * pop()/front() only ever happen in the consumer's shard,
+//   * a combinational push must come from the consumer's shard (an
+//     intra-cycle cross-shard effect would break the sharded engine's
+//     bit-identity), and
+//   * a registered push from another shard is legal only through a marked
+//     shard boundary whose consumer shard matches the buffer's home.
+//
+// Because the check keys on *model* shard tags, not on host threads, it
+// catches an unmarked cross-shard edge deterministically on a single host
+// CPU — where TSan is structurally blind (one thread means no happens-before
+// violation to observe) and a lucky interleaving hides the race even with
+// many. Violations are recorded in a global log (they do not abort the
+// simulation, so one run reports every mis-wired edge); fixtures assert on
+// drc_race_log(). Without MEMPOOL_DRC every hook compiles away.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mempool::drc {
+
+namespace detail {
+/// Shard tag of the component the engine is currently evaluating on this
+/// thread; -1 outside an evaluate call (commit phase, testbench pokes, and
+/// backdoor access are exempt). Inline thread-local so the elastic-buffer
+/// hot paths read it without a cross-TU call.
+inline thread_local int32_t t_eval_shard = -1;
+}  // namespace detail
+
+/// The shard the current thread's evaluate() call belongs to, or -1.
+inline int32_t current_eval_shard() { return detail::t_eval_shard; }
+
+/// Scoped tag used by the engine around each component evaluation.
+class EvalShardScope {
+ public:
+  explicit EvalShardScope(int32_t shard) : prev_(detail::t_eval_shard) {
+    detail::t_eval_shard = shard;
+  }
+  ~EvalShardScope() { detail::t_eval_shard = prev_; }
+  EvalShardScope(const EvalShardScope&) = delete;
+  EvalShardScope& operator=(const EvalShardScope&) = delete;
+
+ private:
+  int32_t prev_;
+};
+
+/// Record one shard-race violation (thread-safe; the sharded engine may
+/// detect races from several shard threads at once).
+void report_race(const std::string& what);
+
+/// Number of violations recorded since the last clear_races().
+std::size_t race_count();
+
+/// Snapshot the recorded violations.
+std::vector<std::string> races();
+
+/// Reset the log (fixtures isolate themselves with this).
+void clear_races();
+
+}  // namespace mempool::drc

@@ -40,6 +40,12 @@
 #include "sim/activity.hpp"
 #include "sim/shard.hpp"
 
+#if defined(MEMPOOL_DRC)
+#include <sstream>
+
+#include "sim/drc_runtime.hpp"
+#endif
+
 namespace mempool {
 
 enum class BufferMode : uint8_t { kCombinational, kRegistered };
@@ -74,8 +80,27 @@ class ElasticBuffer final : public Clocked {
   ElasticBuffer& operator=(ElasticBuffer&&) = delete;
 
   /// Activity hookup: @p consumer is woken whenever an item becomes visible
-  /// (push for combinational buffers, commit for registered ones).
-  void set_consumer(Wakeable* consumer) { consumer_ = consumer; }
+  /// (push for combinational buffers, commit for registered ones). @p name
+  /// identifies the consumer in diagnostics (pass name().c_str(); components
+  /// are non-movable, so the pointer stays valid). Rebinding to a *different*
+  /// consumer fails loudly: a second set_consumer is always a wiring bug —
+  /// the first consumer would silently stop being woken (rebinding the same
+  /// consumer is idempotent and allowed).
+  void set_consumer(Wakeable* consumer, const char* name = nullptr) {
+    MEMPOOL_CHECK_MSG(
+        consumer_ == nullptr || consumer_ == consumer,
+        "elastic buffer already has consumer '"
+            << consumer_name() << "'; rebinding it to '"
+            << (name != nullptr ? name : "?")
+            << "' would silently orphan the first consumer's wake plumbing");
+    consumer_ = consumer;
+    if (name != nullptr) consumer_name_ = name;
+  }
+
+  /// Diagnostic name of the bound consumer ("?" when never named).
+  const char* consumer_name() const {
+    return consumer_name_ != nullptr ? consumer_name_ : "?";
+  }
 
   /// Occupancy hookup: mirror "the FIFO holds a visible item" into bit
   /// @p bit of @p word. Switches keep one occupancy word over their input
@@ -109,7 +134,11 @@ class ElasticBuffer final : public Clocked {
   /// since it always evaluates before the consuming network's phase.
   void mark_shard_boundary(uint32_t consumer_shard) {
     MEMPOOL_CHECK_MSG(mode_ == BufferMode::kRegistered,
-                      "combinational paths must not cross a shard boundary");
+                      "combinational paths must not cross a shard boundary "
+                      "(buffer consumed by '"
+                          << consumer_name() << "' cannot become a boundary "
+                          << "into shard " << consumer_shard
+                          << "; insert a registered stage)");
     boundary_ = true;
     consumer_shard_ = consumer_shard;
     snap_count_ = count_;
@@ -125,6 +154,7 @@ class ElasticBuffer final : public Clocked {
 
   /// Push one item; caller must have checked can_accept().
   void push(const T& v) {
+    drc_check_push();
     MEMPOOL_CHECK(can_accept());
     if (mode_ == BufferMode::kRegistered) {
       // At most one push per cycle per buffer: a buffer is fed by exactly one
@@ -155,11 +185,13 @@ class ElasticBuffer final : public Clocked {
   std::size_t size() const { return count_ + (staged_valid_ ? 1u : 0u); }
 
   const T& front() const {
+    drc_check_read("front");
     MEMPOOL_CHECK(count_ > 0);
     return overflow_ ? overflow_->front() : ring_[head_];
   }
 
   T pop() {
+    drc_check_read("pop");
     MEMPOOL_CHECK(count_ > 0);
     --count_;
     if (count_ == 0) *occ_word_ &= ~occ_mask_;
@@ -203,9 +235,65 @@ class ElasticBuffer final : public Clocked {
   }
 
   BufferMode mode() const { return mode_; }
+  bool registered_mode() const { return mode_ == BufferMode::kRegistered; }
   std::size_t capacity() const { return capacity_; }
 
+  /// DRC self-description (the one meaningful Clocked::describe).
+  void describe(GraphVisitor& v) const override {
+    BufferDecl decl;
+    decl.registered = mode_ == BufferMode::kRegistered;
+    decl.shard_boundary = boundary_;
+    decl.consumer_shard = consumer_shard_;
+    decl.consumer = consumer_;
+    decl.capacity = capacity_;
+    v.buffer_info(decl);
+  }
+
+  /// MEMPOOL_DRC: bind the home shard (the consumer's shard as resolved by
+  /// the static DRC walk) that every eval-phase access is checked against.
+  void drc_bind_shard(int32_t home_shard) override {
+#if defined(MEMPOOL_DRC)
+    drc_home_ = home_shard;
+#else
+    (void)home_shard;
+#endif
+  }
+
  private:
+#if defined(MEMPOOL_DRC)
+  // Runtime shard-race checks (see sim/drc_runtime.hpp for the contract).
+  // Accesses outside an evaluate phase (current_eval_shard() < 0) and buffers
+  // the checker never armed (drc_home_ < 0) are exempt.
+  void drc_check_read(const char* op) const {
+    const int32_t cur = drc::current_eval_shard();
+    if (cur < 0 || drc_home_ < 0 || cur == drc_home_) return;
+    std::ostringstream os;
+    os << "shard-race: " << op << " on buffer (consumer '" << consumer_name()
+       << "', home shard " << drc_home_ << ") from eval shard " << cur;
+    drc::report_race(os.str());
+  }
+  void drc_check_push() const {
+    const int32_t cur = drc::current_eval_shard();
+    if (cur < 0 || drc_home_ < 0 || cur == drc_home_) return;
+    // A cross-shard push is legal only through a registered buffer marked as
+    // a shard boundary whose declared consumer shard matches the home shard.
+    if (mode_ == BufferMode::kRegistered && boundary_ &&
+        static_cast<int32_t>(consumer_shard_) == drc_home_) {
+      return;
+    }
+    std::ostringstream os;
+    os << "shard-race: push into "
+       << (mode_ == BufferMode::kRegistered ? "registered" : "combinational")
+       << (boundary_ ? " boundary" : " non-boundary") << " buffer (consumer '"
+       << consumer_name() << "', home shard " << drc_home_
+       << ") from eval shard " << cur;
+    drc::report_race(os.str());
+  }
+#else
+  void drc_check_read(const char* /*op*/) const {}
+  void drc_check_push() const {}
+#endif
+
   void enqueue(const T& v) {
     if (overflow_) {
       overflow_->push_back(v);
@@ -233,6 +321,10 @@ class ElasticBuffer final : public Clocked {
   uint32_t snap_count_ = 0;  ///< Producer-visible count (== count_ unless a
                              ///< sharded cycle is between pop and barrier).
   Wakeable* consumer_ = nullptr;
+  const char* consumer_name_ = nullptr;
+#if defined(MEMPOOL_DRC)
+  int32_t drc_home_ = -1;  ///< Armed home shard; -1 = unchecked.
+#endif
   CommitQueue* commit_queue_ = nullptr;
   uint64_t own_occ_ = 0;          ///< Fallback occupancy word (unbound).
   uint64_t* occ_word_ = &own_occ_;

@@ -143,8 +143,10 @@ void Engine::shard_evaluate(std::size_t s) {
     due_now.clear();
   }
 
-  lane.worked = scan_words(flags_.data(), lane.word_begin, lane.word_end,
-                           lane.slots.data(), &lane.evaluations);
+  lane.worked =
+      scan_words(flags_.data(), lane.word_begin, lane.word_end,
+                 lane.slots.data(), &lane.evaluations, nullptr,
+                 static_cast<int32_t>(lane.id));
 }
 
 void Engine::shard_commit(std::size_t d) {

@@ -47,6 +47,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,10 @@
 #include "sim/component.hpp"
 #include "sim/elastic_buffer.hpp"
 #include "sim/shard.hpp"
+
+#if defined(MEMPOOL_DRC)
+#include "sim/drc_runtime.hpp"
+#endif
 
 namespace mempool {
 
@@ -76,6 +81,10 @@ class Engine {
   /// guarantees exactly that). Must happen before the first step().
   void add_component(Component* c, uint32_t shard = 0) {
     MEMPOOL_CHECK_MSG(!finalized_, "add_component after the first step");
+    MEMPOOL_CHECK_MSG(component_set_.insert(c).second,
+                      "component '" << c->name()
+                                    << "' registered twice (it would be "
+                                       "evaluated twice per cycle)");
     components_.push_back(c);
     component_shard_.push_back(shard);
   }
@@ -83,6 +92,9 @@ class Engine {
   /// Register a clocked element for the commit phase. The element is bound to
   /// the engine's commit queue so it can self-report staged state.
   void add_clocked(Clocked* c) {
+    MEMPOOL_CHECK_MSG(clocked_set_.insert(c).second,
+                      "clocked element registered twice (it would commit "
+                      "twice per cycle under the dense engine)");
     clocked_.push_back(c);
     c->bind_commit_queue(&commit_queue_);
   }
@@ -203,6 +215,20 @@ class Engine {
   std::size_t num_components() const { return components_.size(); }
   std::size_t num_clocked() const { return clocked_.size(); }
 
+  // --- registration state (read by verify/drc.cpp) ---------------------------
+  /// Registered components in evaluation (= registration) order.
+  const std::vector<Component*>& components() const { return components_; }
+  /// Shard id per component, parallel to components().
+  const std::vector<uint32_t>& component_shards() const {
+    return component_shard_;
+  }
+  /// Registered clocked elements (commit-phase participants).
+  const std::vector<Clocked*>& clocked_elements() const { return clocked_; }
+  /// Whether @p c was registered via add_clocked (rule D1).
+  bool is_registered_clocked(const Clocked* c) const {
+    return clocked_set_.count(c) != 0;
+  }
+
   // --- scheduler statistics (perf reporting and tests) -----------------------
   /// Total component evaluate() calls across all cycles.
   uint64_t evaluations() const;
@@ -257,7 +283,13 @@ class Engine {
     fire_timers();
     bool worked = false;
     if (dense_) {
-      for (Component* c : components_) c->evaluate(cycle_);
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+#if defined(MEMPOOL_DRC)
+        const drc::EvalShardScope drc_scope(
+            static_cast<int32_t>(component_shard_[i]));
+#endif
+        components_[i]->evaluate(cycle_);
+      }
       evaluations_ += components_.size();
       for (Clocked* c : clocked_) c->commit();
       commits_ += clocked_.size();
@@ -267,7 +299,7 @@ class Engine {
       worked = true;
     } else {
       worked = scan_words(flags_.data(), 0, flags_.size(), components_.data(),
-                          &evaluations_);
+                          &evaluations_, component_shard_.data(), 0);
       if (!commit_queue_.empty()) {
         worked = true;
         commits_ += commit_queue_.size();
@@ -281,8 +313,14 @@ class Engine {
   /// Evaluate the awake components behind flag words [@p begin, @p end) of
   /// @p words; slot tables are indexed relative to @p begin. Shared between
   /// the sequential scan (whole array) and the per-shard scans.
+  /// MEMPOOL_DRC only: each evaluation is tagged with its component's shard —
+  /// @p slot_shards (indexed like @p slots) when non-null, else
+  /// @p fixed_shard (the per-lane scans, where every slot shares the lane
+  /// id). Plain builds ignore both.
   bool scan_words(uint64_t* words, std::size_t begin, std::size_t end,
-                  Component* const* slots, uint64_t* evaluations) {
+                  Component* const* slots, uint64_t* evaluations,
+                  [[maybe_unused]] const uint32_t* slot_shards,
+                  [[maybe_unused]] int32_t fixed_shard) {
     bool worked = false;
     for (std::size_t w = begin; w < end; ++w) {
       // Process set bits in ascending component order, re-reading the word
@@ -299,7 +337,15 @@ class Engine {
         visited |= bit | (bit - 1);
         worked = true;
         Component* c = slots[(w - begin) * 64 + b];
-        c->evaluate(cycle_);
+        {
+#if defined(MEMPOOL_DRC)
+          const drc::EvalShardScope drc_scope(
+              slot_shards != nullptr
+                  ? static_cast<int32_t>(slot_shards[(w - begin) * 64 + b])
+                  : fixed_shard);
+#endif
+          c->evaluate(cycle_);
+        }
         ++*evaluations;
         if (c->idle()) c->sleep();
       }
@@ -315,6 +361,8 @@ class Engine {
   std::vector<Component*> components_;
   std::vector<uint32_t> component_shard_;  ///< Parallel to components_.
   std::vector<Clocked*> clocked_;
+  std::unordered_set<const Component*> component_set_;  ///< Dup detection.
+  std::unordered_set<const Clocked*> clocked_set_;      ///< Dup detection.
   std::vector<uint64_t> flags_;  ///< Packed wake bits, one per component.
   CommitQueue commit_queue_;
   static constexpr uint64_t kTimerWindow = 512;  ///< Wheel span (power of 2).

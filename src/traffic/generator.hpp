@@ -70,6 +70,13 @@ class TrafficGenerator final : public Client {
     return arrivals_init_ && next_arrival_ != cycle;
   }
 
+  /// DRC self-description: request-port edges (via Client) plus
+  /// self-generated work (Poisson arrivals on the timer wheel).
+  void describe(GraphVisitor& v) const override {
+    Client::describe(v);
+    v.self_ticking();
+  }
+
   std::size_t queue_depth() const { return queue_.size(); }
   uint64_t generated() const { return generated_; }
   uint64_t completed() const { return completed_; }

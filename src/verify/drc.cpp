@@ -1,0 +1,426 @@
+#include "verify/drc.hpp"
+
+#include <cstddef>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/component.hpp"
+#include "sim/engine.hpp"
+
+namespace mempool::verify {
+
+namespace {
+
+/// Everything the walk learns about one buffer (a Clocked element reached by
+/// declared data edges, or registered with the engine directly).
+struct BufferNode {
+  const Clocked* buf = nullptr;
+  bool described = false;  ///< buffer_info was emitted (ElasticBuffer).
+  BufferDecl decl;
+  std::vector<std::pair<std::size_t, std::string>> writers;  ///< (comp, label)
+  std::vector<std::pair<std::size_t, std::string>> readers;  ///< (comp, label)
+};
+
+/// Everything the walk learns about one component.
+struct CompNode {
+  bool opaque = true;  ///< describe() declared nothing at all.
+  bool self_ticking = false;
+  bool wake_on_demand = false;
+  bool wake_target = false;      ///< Some component wakes() it.
+  bool terminal_target = false;  ///< Some component delivers into it.
+};
+
+/// Same-cycle direct edge (terminal delivery or wake call).
+struct DirectEdge {
+  std::size_t src = 0;
+  const Wakeable* target = nullptr;
+  std::string label;
+};
+
+/// The declared graph, assembled by one GraphVisitor walk over the engine's
+/// component list.
+struct GraphModel : GraphVisitor {
+  const Engine* engine = nullptr;
+  std::size_t current = 0;  ///< Component whose describe() is on the stack.
+
+  std::vector<CompNode> comps;
+  std::unordered_map<const Wakeable*, std::size_t> comp_of;  ///< As Wakeable.
+  std::vector<BufferNode> buffers;
+  std::unordered_map<const Clocked*, std::size_t> buffer_of;
+  std::vector<DirectEdge> terminals;
+  std::vector<DirectEdge> wake_edges;
+  std::size_t edge_count = 0;
+
+  /// Buffer whose describe() is currently on the stack (phase B), or npos.
+  std::size_t current_buffer = static_cast<std::size_t>(-1);
+
+  std::size_t buffer_index(const Clocked* buf) {
+    auto [it, inserted] = buffer_of.try_emplace(buf, buffers.size());
+    if (inserted) {
+      buffers.emplace_back();
+      buffers.back().buf = buf;
+    }
+    return it->second;
+  }
+
+  // --- GraphVisitor ----------------------------------------------------------
+  void reads(const Clocked* buf, std::string_view label) override {
+    if (buf == nullptr) return;
+    comps[current].opaque = false;
+    buffers[buffer_index(buf)].readers.emplace_back(current,
+                                                    std::string(label));
+    ++edge_count;
+  }
+  void writes(const PacketSink* sink, std::string_view label) override {
+    if (sink == nullptr) return;
+    comps[current].opaque = false;
+    if (const Clocked* buf = sink->drc_buffer()) {
+      writes_buffer(buf, label);
+      return;
+    }
+    if (const Wakeable* target = sink->drc_terminal()) {
+      writes_terminal(target, label);
+      return;
+    }
+    // Sink resolves to neither a buffer nor a terminal: opaque endpoint
+    // (custom plugin sink); nothing to check.
+  }
+  void writes_buffer(const Clocked* buf, std::string_view label) override {
+    if (buf == nullptr) return;
+    comps[current].opaque = false;
+    buffers[buffer_index(buf)].writers.emplace_back(current,
+                                                    std::string(label));
+    ++edge_count;
+  }
+  void writes_terminal(const Wakeable* target,
+                       std::string_view label) override {
+    if (target == nullptr) return;
+    comps[current].opaque = false;
+    terminals.push_back({current, target, std::string(label)});
+    ++edge_count;
+  }
+  void wakes(const Wakeable* target, std::string_view label) override {
+    if (target == nullptr) return;
+    comps[current].opaque = false;
+    wake_edges.push_back({current, target, std::string(label)});
+    ++edge_count;
+  }
+  void self_ticking() override {
+    comps[current].opaque = false;
+    comps[current].self_ticking = true;
+  }
+  void wake_on_demand() override {
+    comps[current].opaque = false;
+    comps[current].wake_on_demand = true;
+  }
+  void buffer_info(const BufferDecl& decl) override {
+    if (current_buffer == static_cast<std::size_t>(-1)) return;
+    buffers[current_buffer].described = true;
+    buffers[current_buffer].decl = decl;
+  }
+
+  // --- walk ------------------------------------------------------------------
+  void build(const Engine& e) {
+    engine = &e;
+    const std::vector<Component*>& list = e.components();
+    comps.resize(list.size());
+    comp_of.reserve(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      comp_of.emplace(static_cast<const Wakeable*>(list[i]), i);
+    }
+    // Phase A: every component declares its edges.
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      current = i;
+      list[i]->describe(*this);
+    }
+    // Phase B: every buffer reached by an edge — plus every engine-registered
+    // clocked element — reports its structural facts (mode, consumer,
+    // boundary). Non-buffer clocked elements keep the no-op default and stay
+    // opaque.
+    for (const Clocked* c : e.clocked_elements()) buffer_index(c);
+    for (std::size_t b = 0; b < buffers.size(); ++b) {
+      current_buffer = b;
+      buffers[b].buf->describe(*this);
+    }
+    current_buffer = static_cast<std::size_t>(-1);
+  }
+
+  // --- lookups ---------------------------------------------------------------
+  const std::string& comp_name(std::size_t i) const {
+    return engine->components()[i]->name();
+  }
+  uint32_t comp_shard(std::size_t i) const {
+    return engine->component_shards()[i];
+  }
+  /// Resolve a wake target back to a registered component, npos otherwise.
+  std::size_t resolve(const Wakeable* w) const {
+    const auto it = comp_of.find(w);
+    return it == comp_of.end() ? static_cast<std::size_t>(-1) : it->second;
+  }
+  /// Diagnostic name for a buffer: its consumer's perspective.
+  std::string buffer_name(const BufferNode& node) const {
+    const std::size_t c = resolve(node.decl.consumer);
+    std::string label = "?";
+    if (c != static_cast<std::size_t>(-1)) {
+      label = comp_name(c);
+    }
+    for (const auto& [reader, port] : node.readers) {
+      return comp_name(reader) + "." + port;
+    }
+    return label + ".<in>";
+  }
+};
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+void add_violation(DrcReport* report, const char* rule, std::string component,
+                   std::string edge, std::string detail) {
+  report->violations.push_back(
+      {rule, std::move(component), std::move(edge), std::move(detail)});
+}
+
+void check_buffer_rules(const GraphModel& g, uint32_t num_shards,
+                        DrcReport* report) {
+  for (const BufferNode& node : g.buffers) {
+    if (!node.described) continue;  // Opaque clocked element: nothing to lint.
+    const bool reachable = !node.writers.empty() || !node.readers.empty();
+    const std::string bname = g.buffer_name(node);
+
+    // D1: reachable registered buffer must participate in the commit phase.
+    if (reachable && node.decl.registered &&
+        !g.engine->is_registered_clocked(node.buf)) {
+      add_violation(report, "D1", bname, "",
+                    "registered elastic buffer is reachable but was never "
+                    "add_clocked: staged pushes would never commit (silent "
+                    "hang)");
+    }
+
+    const std::size_t consumer = g.resolve(node.decl.consumer);
+
+    // D2: written buffers need a wake target that the engine evaluates.
+    if (!node.writers.empty()) {
+      if (node.decl.consumer == nullptr) {
+        add_violation(report, "D2", bname,
+                      g.comp_name(node.writers.front().first) + " -> ?",
+                      "buffer is written but has no consumer bound "
+                      "(set_consumer missing): pushes wake nobody");
+      } else if (consumer == kNone) {
+        add_violation(report, "D2", bname, "",
+                      "buffer's consumer is not a registered component: its "
+                      "wake flag is outside every scheduler's scan");
+      }
+    }
+    if (consumer == kNone) continue;  // Edge rules need a resolved consumer.
+
+    const uint32_t cshard = g.comp_shard(consumer);
+    for (const auto& [writer, label] : node.writers) {
+      if (writer == consumer) continue;  // Self-edge (internal staging).
+      const std::string edge =
+          g.comp_name(writer) + "[" + label + "] -> " + g.comp_name(consumer);
+
+      // D3: combinational pushes are visible this cycle, so the consumer
+      // must evaluate later than the producer (forward-only wake).
+      if (!node.decl.registered && writer >= consumer) {
+        std::ostringstream os;
+        os << "combinational edge points backward in evaluation order ("
+           << writer << " -> " << consumer
+           << "): the consumer already evaluated this cycle, so the push "
+              "would only be seen next cycle under the active scheduler but "
+              "this cycle under dense — scheduler divergence";
+        add_violation(report, "D3", g.comp_name(consumer), edge, os.str());
+      }
+
+      // D4: shard discipline along data edges.
+      const uint32_t wshard = g.comp_shard(writer);
+      if (wshard != cshard) {
+        if (!node.decl.registered) {
+          std::ostringstream os;
+          os << "combinational path crosses shards (" << wshard << " -> "
+             << cshard << "): an intra-cycle cross-shard effect breaks the "
+             << "sharded engine's bit-identity";
+          add_violation(report, "D4", g.comp_name(consumer), edge, os.str());
+        } else if (!node.decl.shard_boundary) {
+          std::ostringstream os;
+          os << "cross-shard registered edge (" << wshard << " -> " << cshard
+             << ") is not a marked shard boundary: the push would race the "
+             << "consumer lane instead of going through its mailbox";
+          add_violation(report, "D4", g.comp_name(consumer), edge, os.str());
+        }
+      }
+      if (node.decl.shard_boundary && node.decl.consumer_shard != cshard &&
+          num_shards > 1) {
+        std::ostringstream os;
+        os << "shard boundary declares consumer shard "
+           << node.decl.consumer_shard << " but the consumer evaluates in "
+           << "shard " << cshard << ": boundary pushes would land in the "
+           << "wrong lane's mailbox";
+        add_violation(report, "D4", g.comp_name(consumer), edge, os.str());
+      }
+    }
+  }
+}
+
+void check_direct_edges(const GraphModel& g, DrcReport* report) {
+  for (const DirectEdge& e : g.terminals) {
+    const std::size_t dst = g.resolve(e.target);
+    if (dst == kNone) continue;  // Non-component target: opaque endpoint.
+    const std::string edge =
+        g.comp_name(e.src) + "[" + e.label + "] -> " + g.comp_name(dst);
+    if (e.src >= dst && e.src != dst) {
+      std::ostringstream os;
+      os << "terminal delivery points backward in evaluation order (" << e.src
+         << " -> " << dst << "): same-cycle effects must be forward-only";
+      add_violation(report, "D3", g.comp_name(dst), edge, os.str());
+    }
+    if (g.comp_shard(e.src) != g.comp_shard(dst)) {
+      std::ostringstream os;
+      os << "terminal delivery crosses shards (" << g.comp_shard(e.src)
+         << " -> " << g.comp_shard(dst)
+         << "): direct same-cycle calls must stay inside one shard";
+      add_violation(report, "D4", g.comp_name(dst), edge, os.str());
+    }
+  }
+  for (const DirectEdge& e : g.wake_edges) {
+    const std::size_t dst = g.resolve(e.target);
+    if (dst == kNone) continue;
+    if (g.comp_shard(e.src) != g.comp_shard(dst)) {
+      std::ostringstream os;
+      os << "wake edge crosses shards (" << g.comp_shard(e.src) << " -> "
+         << g.comp_shard(dst)
+         << "): waking another lane's component mid-evaluation races its "
+         << "wake-word scan";
+      add_violation(report, "D4", g.comp_name(dst),
+                    g.comp_name(e.src) + "[" + e.label + "] -> " +
+                        g.comp_name(dst),
+                    os.str());
+    }
+  }
+}
+
+void check_partition(const GraphModel& g, uint32_t num_shards,
+                     DrcReport* report) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<std::size_t> population(num_shards, 0);
+  for (std::size_t i = 0; i < g.comps.size(); ++i) {
+    const uint32_t s = g.comp_shard(i);
+    if (s >= num_shards) {
+      std::ostringstream os;
+      os << "component is tagged shard " << s << " but the cluster has only "
+         << num_shards << " shard(s): not a partition";
+      add_violation(report, "D5", g.comp_name(i), "", os.str());
+    } else {
+      ++population[s];
+    }
+  }
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (population[s] == 0) {
+      std::ostringstream os;
+      os << "shard " << s << " has no components: the shard tagging and the "
+         << "lane layout disagree about the partition";
+      add_violation(report, "D5", "<cluster>", "", os.str());
+    }
+  }
+}
+
+void check_orphans(const GraphModel& g, DrcReport* report) {
+  // Mark every component that some declared edge can feed or wake.
+  std::vector<bool> fed(g.comps.size(), false);
+  for (const BufferNode& node : g.buffers) {
+    if (node.writers.empty()) continue;  // Nothing ever arrives.
+    const std::size_t consumer = g.resolve(node.decl.consumer);
+    if (consumer != kNone) fed[consumer] = true;
+    for (const auto& [reader, label] : node.readers) {
+      (void)label;
+      fed[reader] = true;
+    }
+  }
+  for (const DirectEdge& e : g.terminals) {
+    const std::size_t dst = g.resolve(e.target);
+    if (dst != kNone) fed[dst] = true;
+  }
+  for (const DirectEdge& e : g.wake_edges) {
+    const std::size_t dst = g.resolve(e.target);
+    if (dst != kNone) fed[dst] = true;
+  }
+  for (std::size_t i = 0; i < g.comps.size(); ++i) {
+    const CompNode& c = g.comps[i];
+    if (c.opaque || c.self_ticking || c.wake_on_demand || fed[i]) continue;
+    add_violation(report, "D6", g.comp_name(i), "",
+                  "described component has no wake source: no written buffer "
+                  "feeds it, nothing delivers into it or wakes it, and it is "
+                  "not self-ticking — dead logic or a forgotten wire");
+  }
+}
+
+}  // namespace
+
+Json DrcReport::to_json() const {
+  Json j = Json::object();
+  j.set("clean", clean());
+  j.set("num_shards", num_shards);
+  j.set("components", static_cast<uint64_t>(components));
+  j.set("buffers", static_cast<uint64_t>(buffers));
+  j.set("edges", static_cast<uint64_t>(edges));
+  Json vs = Json::array();
+  for (const DrcViolation& v : violations) {
+    Json e = Json::object();
+    e.set("rule", v.rule);
+    e.set("component", v.component);
+    e.set("edge", v.edge);
+    e.set("detail", v.detail);
+    vs.push_back(std::move(e));
+  }
+  j.set("violations", std::move(vs));
+  return j;
+}
+
+std::string DrcReport::summary() const {
+  std::ostringstream os;
+  if (clean()) {
+    os << "DRC clean: " << components << " components, " << buffers
+       << " buffers, " << edges << " edges checked";
+    return os.str();
+  }
+  os << "DRC: " << violations.size() << " violation(s)";
+  for (const DrcViolation& v : violations) {
+    os << "\n  [" << v.rule << "] " << v.component;
+    if (!v.edge.empty()) os << " (" << v.edge << ")";
+    os << ": " << v.detail;
+  }
+  return os.str();
+}
+
+DrcReport run_drc(const Engine& engine, uint32_t num_shards) {
+  GraphModel g;
+  g.build(engine);
+
+  DrcReport report;
+  report.num_shards = num_shards;
+  report.components = g.comps.size();
+  report.buffers = g.buffers.size();
+  report.edges = g.edge_count;
+
+  check_buffer_rules(g, num_shards, &report);
+  check_direct_edges(g, &report);
+  check_partition(g, num_shards, &report);
+  check_orphans(g, &report);
+  return report;
+}
+
+void arm_runtime_checker(const Engine& engine) {
+  GraphModel g;
+  g.build(engine);
+  for (const BufferNode& node : g.buffers) {
+    if (!node.described) continue;
+    const std::size_t consumer = g.resolve(node.decl.consumer);
+    if (consumer == kNone) continue;
+    // describe() hands out const pointers (it must not mutate the graph), but
+    // arming is an elaboration-time write to the same objects the engine owns
+    // mutably — the const_cast is confined to this one hook.
+    const_cast<Clocked*>(node.buf)->drc_bind_shard(
+        static_cast<int32_t>(g.comp_shard(consumer)));
+  }
+}
+
+}  // namespace mempool::verify

@@ -1,0 +1,112 @@
+#pragma once
+// Fabric DRC: an elaboration-time design-rule checker for the component
+// graph. Runs between Cluster::build and cycle 0 — it walks the *declared*
+// graph (Component::describe / Clocked::describe, sim/activity.hpp) and
+// checks it against the engine's registration state and shard map. This
+// header is the canonical statement of the structural invariants the
+// scheduler equivalence proofs rest on; the engine/buffer comments reference
+// it instead of restating them.
+//
+// Invariants (each is a rule the checker enforces):
+//
+//   D1 — every reachable *registered* elastic buffer is engine-registered.
+//        A registered buffer latches staged pushes at the commit edge; if it
+//        never reached add_clocked it has no commit-queue binding and a
+//        staged packet would sit invisible forever (the bug only shows as a
+//        hang). Combinational buffers are exempt — they have no staged state.
+//
+//   D2 — every written buffer has a consumer bound, and the consumer is a
+//        registered component. The consumer is the wake target: a bufferful
+//        of packets with nobody to wake is a silent stall under the
+//        activity-driven scheduler (dense mode would happily poll it, which
+//        is exactly the kind of divergence the DRC exists to rule out).
+//
+//   D3 — forward-only wake: every same-cycle edge points *forward* in
+//        evaluation order. A combinational push and a terminal delivery are
+//        visible within the cycle, so their consumer must evaluate after the
+//        producer — this is what lets one sequential sweep per cycle be
+//        exact. Backward edges are legal only through *registered* buffers,
+//        whose effect is deferred to the commit edge (next cycle), so they
+//        are exempt. Self-edges (a butterfly staging into its own next
+//        layer) are exempt for the same reason the engine re-reads the wake
+//        word: the component is still on the stack.
+//
+//   D4 — shard discipline: no same-cycle edge (combinational push, terminal
+//        delivery, direct wake) crosses shards, and every cross-shard
+//        registered edge is a *marked* shard boundary whose declared
+//        consumer shard matches the consumer's actual shard. Boundaries are
+//        what the sharded engine's mailbox/snapshot machinery keys on; an
+//        unmarked cross-shard push would race the consumer lane and break
+//        bit-identity (see also sim/drc_runtime.hpp, which catches the same
+//        class at runtime when the static walk cannot see the edge).
+//
+//   D5 — the shard tagging is a true partition: every component's shard id
+//        is in [0, num_shards) and no shard is empty (an empty shard means
+//        the tagging and the lane layout disagree about the partition).
+//
+//   D6 — no dead logic: every described component either has self-generated
+//        work (self_ticking), is woken by direct calls (wake_on_demand), is
+//        the consumer of some written buffer, or is the target of a wake or
+//        terminal edge. Anything else can never be woken: it is dead logic
+//        or a forgotten wire. Components that declare nothing are *opaque*
+//        and exempt — plugins gain nothing mandatory.
+//
+// Violations come back as a structured report (mempool.drc.v1 JSON via
+// DrcReport::to_json) and are surfaced three ways: `--drc` on every bench
+// (runner/bench_cli.hpp), automatically at Cluster construction in Debug
+// builds, and as the arming pass of the MEMPOOL_DRC runtime checker.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace mempool {
+class Engine;
+}
+
+namespace mempool::verify {
+
+/// One design-rule violation: which rule, which component (path/name), which
+/// edge (producer -> consumer, when the rule concerns an edge), and a
+/// human-readable explanation.
+struct DrcViolation {
+  std::string rule;       ///< "D1".."D6".
+  std::string component;  ///< Offending component (or buffer consumer) name.
+  std::string edge;       ///< "producer -> consumer" when edge-shaped, else "".
+  std::string detail;     ///< What is wrong and why it matters.
+};
+
+struct DrcReport {
+  std::vector<DrcViolation> violations;
+  std::size_t components = 0;  ///< Described (non-opaque) + opaque components.
+  std::size_t buffers = 0;     ///< Distinct buffers reached by declared edges.
+  std::size_t edges = 0;       ///< Declared edges (data + terminal + wake).
+  uint32_t num_shards = 0;     ///< Partition size the shard rules ran with.
+
+  bool clean() const { return violations.empty(); }
+
+  /// Per-case fragment of the mempool.drc.v1 schema:
+  /// {clean, components, buffers, edges, violations:[{rule, component, edge,
+  /// detail}]}.
+  Json to_json() const;
+
+  /// Multi-line human-readable summary ("DRC clean ..." or one line per
+  /// violation), used by CHECK messages and the --drc CLI.
+  std::string summary() const;
+};
+
+/// Walk the declared component graph of @p engine and check rules D1-D6.
+/// @p num_shards is the cluster's shard partition size (Cluster::num_shards);
+/// pass 1 for unsharded graphs — D4/D5 then only check tag sanity.
+/// Components must already be registered; the engine is not stepped.
+DrcReport run_drc(const Engine& engine, uint32_t num_shards);
+
+/// MEMPOOL_DRC arming pass: resolve every described buffer's consumer to its
+/// component shard and bind it via Clocked::drc_bind_shard, so the runtime
+/// shard-race detector (sim/drc_runtime.hpp) can check eval-phase accesses.
+/// Harmless (and useless) in builds without MEMPOOL_DRC.
+void arm_runtime_checker(const Engine& engine);
+
+}  // namespace mempool::verify

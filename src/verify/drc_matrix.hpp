@@ -1,0 +1,30 @@
+#pragma once
+// DRC sweep over the plugin registries: elaborate every registered fabric
+// topology × memory system × engine mode (no cycles are stepped — the DRC is
+// purely an elaboration-time lint) and run the design-rule checker
+// (verify/drc.hpp) on each. Backs the `--drc` flag every bench exposes
+// through runner/bench_cli.hpp and the CI design-rule gate.
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "sim/shard.hpp"
+#include "verify/drc.hpp"
+
+namespace mempool::verify {
+
+/// Elaborate one (topology, memory, engine-mode) combination and lint it.
+/// @p mini selects the plugin's smallest valid configuration (fast unit
+/// tests) instead of the full-scale paper configuration (CLI / CI).
+DrcReport check_topology(const std::string& topology, const std::string& memory,
+                         EngineMode mode, bool mini);
+
+/// Run the DRC across the full registry cross-product. Returns the
+/// mempool.drc.v1 document:
+///   {schema: "mempool.drc.v1", clean, cases: [{topology, memory, engine,
+///    num_shards, components, buffers, edges, violations: [...]}]}
+/// @p clean_out (optional) receives whether every case was violation-free.
+Json drc_matrix_report(bool mini, bool* clean_out = nullptr);
+
+}  // namespace mempool::verify

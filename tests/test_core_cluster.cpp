@@ -65,8 +65,8 @@ TEST_P(ClusterTopo, AllToAllStoresLand) {
 INSTANTIATE_TEST_SUITE_P(Topologies, ClusterTopo,
                          ::testing::Values(Topology::kTopX, Topology::kTopH,
                                            Topology::kTop4, Topology::kTop1),
-                         [](const auto& info) {
-                           return topology_name(info.param);
+                         [](const auto& tpinfo) {
+                           return topology_name(tpinfo.param);
                          });
 
 TEST(ClusterIntegration, BarrierRepeatedRounds) {

@@ -109,8 +109,8 @@ TEST_P(MemOpsAllTopologies, PostedStoreThenLoadSameAddressOrdered) {
 INSTANTIATE_TEST_SUITE_P(Topologies, MemOpsAllTopologies,
                          ::testing::Values(Topology::kTopX, Topology::kTopH,
                                            Topology::kTop4, Topology::kTop1),
-                         [](const auto& info) {
-                           return topology_name(info.param);
+                         [](const auto& tpinfo) {
+                           return topology_name(tpinfo.param);
                          });
 
 TEST(MemOps, AtomicCounterAcrossAllCores) {

@@ -127,7 +127,7 @@ TEST_P(FabricContract, CanonicalConfigsValidateAndDescribeThemselves) {
 
 INSTANTIATE_TEST_SUITE_P(AllTopologies, FabricContract,
                          ::testing::ValuesIn(FabricRegistry::names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpinfo) { return tpinfo.param; });
 
 // --- TopH2 specifics ----------------------------------------------------------
 

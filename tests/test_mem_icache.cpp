@@ -125,7 +125,7 @@ TEST_F(ICacheFixture, HitRateAccounting) {
   const uint64_t h = ic.hits(), m = ic.misses();
   EXPECT_EQ(h, 1u);
   EXPECT_GE(m, 1u);
-  EXPECT_NEAR(ic.hit_rate(), static_cast<double>(h) / (h + m), 1e-12);
+  EXPECT_NEAR(ic.hit_rate(), static_cast<double>(h) / static_cast<double>(h + m), 1e-12);
 }
 
 TEST_F(ICacheFixture, BadGeometryThrows) {

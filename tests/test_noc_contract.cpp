@@ -83,8 +83,8 @@ TEST_P(FabricConservation, EveryRequestGetsExactlyOneResponse) {
 INSTANTIATE_TEST_SUITE_P(Topologies, FabricConservation,
                          ::testing::Values(Topology::kTop1, Topology::kTop4,
                                            Topology::kTopH, Topology::kTopX),
-                         [](const auto& info) {
-                           return topology_name(info.param);
+                         [](const auto& tpinfo) {
+                           return topology_name(tpinfo.param);
                          });
 
 // Point-to-point ordering: a probe that issues N loads to the SAME bank must
@@ -155,8 +155,8 @@ TEST_P(FabricOrdering, SameBankResponsesArriveInIssueOrder) {
 INSTANTIATE_TEST_SUITE_P(Topologies, FabricOrdering,
                          ::testing::Values(Topology::kTop1, Topology::kTop4,
                                            Topology::kTopH, Topology::kTopX),
-                         [](const auto& info) {
-                           return topology_name(info.param);
+                         [](const auto& tpinfo) {
+                           return topology_name(tpinfo.param);
                          });
 
 TEST(FabricFairness, SaturatedButterflyNeverStarvesAnInput) {

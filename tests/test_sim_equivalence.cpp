@@ -80,7 +80,7 @@ TEST_P(EngineEquivalence, Fig5PointsBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Topologies, EngineEquivalence,
                          ::testing::ValuesIn(FabricRegistry::names()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& tpinfo) { return tpinfo.param; });
 
 // Sharded-vs-active bit-identity over every registered topology × sim-thread
 // count × load. Thread count 1 exercises the inline (leader-only) lanes path,
@@ -104,9 +104,9 @@ INSTANTIATE_TEST_SUITE_P(
     TopologiesTimesThreads, ShardedEquivalence,
     ::testing::Combine(::testing::ValuesIn(FabricRegistry::names()),
                        ::testing::Values(1u, 2u, 8u)),
-    [](const auto& info) {
-      return std::get<0>(info.param) + "_t" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& tpinfo) {
+      return std::get<0>(tpinfo.param) + "_t" +
+             std::to_string(std::get<1>(tpinfo.param));
     });
 
 TEST(ShardedEquivalenceScrambled, HybridAddressingBitIdentical) {
@@ -149,9 +149,9 @@ INSTANTIATE_TEST_SUITE_P(
     FabricsTimesMemories, MemoryEquivalence,
     ::testing::Combine(::testing::ValuesIn(FabricRegistry::names()),
                        ::testing::ValuesIn(MemoryRegistry::names())),
-    [](const auto& info) {
+    [](const auto& tpinfo) {
       std::string n =
-          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+          std::get<0>(tpinfo.param) + "_" + std::get<1>(tpinfo.param);
       for (char& c : n) {
         if (c == '+') c = '_';
       }

@@ -1,0 +1,464 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "helpers.hpp"
+#include "mem/memsys.hpp"
+#include "noc/fabric.hpp"
+#include "sim/component.hpp"
+#include "sim/elastic_buffer.hpp"
+#include "sim/engine.hpp"
+#include "verify/drc.hpp"
+#include "verify/drc_matrix.hpp"
+
+#if defined(MEMPOOL_DRC)
+#include "sim/drc_runtime.hpp"
+#endif
+
+namespace mempool {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture component: declares exactly the edges a test wires into it, so each
+// malformed mini-fabric below violates one design rule and nothing else.
+// ---------------------------------------------------------------------------
+class Probe final : public Component {
+ public:
+  explicit Probe(const std::string& name) : Component(name) {}
+  void evaluate(uint64_t /*cycle*/) override {}
+  bool idle() const override { return true; }
+
+  void describe(GraphVisitor& v) const override {
+    if (self_ticking_) v.self_ticking();
+    if (wake_on_demand_) v.wake_on_demand();
+    for (const Clocked* b : reads_) v.reads(b, "in");
+    for (const Clocked* b : writes_) v.writes_buffer(b, "out");
+    for (const Wakeable* t : terminals_) v.writes_terminal(t, "deliver");
+    for (const Wakeable* t : wakes_) v.wakes(t, "wake");
+  }
+
+  bool self_ticking_ = false;
+  bool wake_on_demand_ = false;
+  std::vector<const Clocked*> reads_;
+  std::vector<const Clocked*> writes_;
+  std::vector<const Wakeable*> terminals_;
+  std::vector<const Wakeable*> wakes_;
+};
+
+std::vector<std::string> rules(const verify::DrcReport& report) {
+  std::vector<std::string> out;
+  out.reserve(report.violations.size());
+  for (const verify::DrcViolation& v : report.violations) out.push_back(v.rule);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// One malformed mini-fabric per rule, asserting the exact rule id.
+// ---------------------------------------------------------------------------
+
+TEST(DrcRules, D1RegisteredBufferNeverAddClocked) {
+  Engine e;
+  Probe writer("writer");
+  Probe reader("reader");
+  ElasticBuffer<int> buf(BufferMode::kRegistered, 2);
+  buf.set_consumer(&reader, "reader");
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  reader.reads_.push_back(&buf);
+  e.add_component(&writer);
+  e.add_component(&reader);
+  // The bug: the registered buffer never reached add_clocked, so a staged
+  // push would sit invisible forever.
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  EXPECT_EQ(rules(report), std::vector<std::string>{"D1"}) << report.summary();
+}
+
+TEST(DrcRules, D2WrittenBufferWithoutConsumer) {
+  Engine e;
+  Probe writer("writer");
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  e.add_component(&writer);
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  ASSERT_EQ(rules(report), std::vector<std::string>{"D2"}) << report.summary();
+  EXPECT_NE(report.violations[0].detail.find("set_consumer"), std::string::npos);
+}
+
+TEST(DrcRules, D2ConsumerNotARegisteredComponent) {
+  Engine e;
+  Probe writer("writer");
+  Wakeable stray;  // Never registered: its wake flag is outside every scan.
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  buf.set_consumer(&stray, "stray");
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  e.add_component(&writer);
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  EXPECT_EQ(rules(report), std::vector<std::string>{"D2"}) << report.summary();
+}
+
+TEST(DrcRules, D3CombinationalEdgePointsBackward) {
+  Engine e;
+  Probe reader("reader");
+  Probe writer("writer");
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  buf.set_consumer(&reader, "reader");
+  reader.reads_.push_back(&buf);
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  e.add_component(&reader);  // Consumer evaluates BEFORE the producer:
+  e.add_component(&writer);  // same-cycle push arrives after its reader ran.
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  ASSERT_EQ(rules(report), std::vector<std::string>{"D3"}) << report.summary();
+  EXPECT_NE(report.violations[0].detail.find("backward"), std::string::npos);
+}
+
+TEST(DrcRules, D3BackwardTerminalDelivery) {
+  Engine e;
+  Probe target("target");
+  Probe src("src");
+  target.wake_on_demand_ = true;
+  src.self_ticking_ = true;
+  src.terminals_.push_back(&target);
+  e.add_component(&target);  // Delivery target evaluates before the deliverer.
+  e.add_component(&src);
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  EXPECT_EQ(rules(report), std::vector<std::string>{"D3"}) << report.summary();
+}
+
+TEST(DrcRules, D4CombinationalPathCrossesShards) {
+  Engine e;
+  Probe writer("writer");
+  Probe reader("reader");
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  buf.set_consumer(&reader, "reader");
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  reader.reads_.push_back(&buf);
+  e.add_component(&writer, /*shard=*/0);
+  e.add_component(&reader, /*shard=*/1);
+  const verify::DrcReport report = verify::run_drc(e, 2);
+  ASSERT_EQ(rules(report), std::vector<std::string>{"D4"}) << report.summary();
+  EXPECT_NE(report.violations[0].detail.find("crosses shards"),
+            std::string::npos);
+}
+
+TEST(DrcRules, D4CrossShardRegisteredEdgeNotMarkedBoundary) {
+  Engine e;
+  Probe writer("writer");
+  Probe reader("reader");
+  ElasticBuffer<int> buf(BufferMode::kRegistered, 2);
+  buf.set_consumer(&reader, "reader");
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  reader.reads_.push_back(&buf);
+  e.add_component(&writer, /*shard=*/0);
+  e.add_component(&reader, /*shard=*/1);
+  e.add_clocked(&buf);
+  const verify::DrcReport report = verify::run_drc(e, 2);
+  ASSERT_EQ(rules(report), std::vector<std::string>{"D4"}) << report.summary();
+  EXPECT_NE(report.violations[0].detail.find("not a marked shard boundary"),
+            std::string::npos);
+}
+
+TEST(DrcRules, D4BoundaryDeclaresWrongConsumerShard) {
+  Engine e;
+  Probe writer("writer");
+  Probe reader("reader");
+  ElasticBuffer<int> buf(BufferMode::kRegistered, 2);
+  buf.set_consumer(&reader, "reader");
+  buf.mark_shard_boundary(/*consumer_shard=*/0);  // Reader lives in shard 1.
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  reader.reads_.push_back(&buf);
+  e.add_component(&writer, /*shard=*/0);
+  e.add_component(&reader, /*shard=*/1);
+  e.add_clocked(&buf);
+  const verify::DrcReport report = verify::run_drc(e, 2);
+  ASSERT_EQ(rules(report), std::vector<std::string>{"D4"}) << report.summary();
+  EXPECT_NE(report.violations[0].detail.find("wrong lane"), std::string::npos);
+}
+
+TEST(DrcRules, D4WakeEdgeCrossesShards) {
+  Engine e;
+  Probe waker("waker");
+  Probe target("target");
+  waker.self_ticking_ = true;
+  target.wake_on_demand_ = true;
+  waker.wakes_.push_back(&target);
+  e.add_component(&waker, /*shard=*/0);
+  e.add_component(&target, /*shard=*/1);
+  const verify::DrcReport report = verify::run_drc(e, 2);
+  EXPECT_EQ(rules(report), std::vector<std::string>{"D4"}) << report.summary();
+}
+
+TEST(DrcRules, D5ShardTagOutOfRange) {
+  Engine e;
+  Probe a("a");
+  Probe b("b");
+  e.add_component(&a, /*shard=*/0);
+  e.add_component(&b, /*shard=*/5);  // Cluster claims only 1 shard.
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  EXPECT_EQ(rules(report), std::vector<std::string>{"D5"}) << report.summary();
+}
+
+TEST(DrcRules, D5EmptyShard) {
+  Engine e;
+  Probe a("a");
+  Probe b("b");
+  e.add_component(&a, /*shard=*/0);
+  e.add_component(&b, /*shard=*/0);  // Shard 1 exists but holds nothing.
+  const verify::DrcReport report = verify::run_drc(e, 2);
+  ASSERT_EQ(rules(report), std::vector<std::string>{"D5"}) << report.summary();
+  EXPECT_EQ(report.violations[0].component, "<cluster>");
+}
+
+TEST(DrcRules, D6DescribedComponentHasNoWakeSource) {
+  Engine e;
+  Probe orphan("orphan");
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  buf.set_consumer(&orphan, "orphan");
+  orphan.reads_.push_back(&buf);  // Reads a buffer nothing ever writes.
+  e.add_component(&orphan);
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  ASSERT_EQ(rules(report), std::vector<std::string>{"D6"}) << report.summary();
+  EXPECT_EQ(report.violations[0].component, "orphan");
+}
+
+TEST(DrcRules, OpaqueComponentsAreExempt) {
+  Engine e;
+  Probe opaque("opaque");  // Declares nothing: plugins gain nothing mandatory.
+  e.add_component(&opaque);
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+// A well-formed graph — forward comb edge, forward terminal edge, backward
+// wake (legal: wakes are observed next cycle) — lints clean.
+TEST(DrcRules, WellFormedGraphIsClean) {
+  Engine e;
+  Probe writer("writer");
+  Probe reader("reader");
+  Probe sink("sink");
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  buf.set_consumer(&reader, "reader");
+  writer.self_ticking_ = true;
+  writer.writes_.push_back(&buf);
+  reader.reads_.push_back(&buf);
+  reader.terminals_.push_back(&sink);
+  sink.wakes_.push_back(&writer);  // Backward wake: seen next cycle, legal.
+  e.add_component(&writer);
+  e.add_component(&reader);
+  e.add_component(&sink);
+  const verify::DrcReport report = verify::run_drc(e, 1);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(report.components, 3u);
+  EXPECT_GE(report.edges, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Positive sweep: every registered fabric topology x memory system x engine
+// mode elaborates to a graph with zero violations.
+// ---------------------------------------------------------------------------
+
+TEST(DrcMatrix, EveryRegisteredCombinationIsClean) {
+  for (const std::string& topo : FabricRegistry::names()) {
+    for (const std::string& mem : MemoryRegistry::names()) {
+      for (const EngineMode mode :
+           {EngineMode::kActive, EngineMode::kDense, EngineMode::kSharded}) {
+        const verify::DrcReport report =
+            verify::check_topology(topo, mem, mode, /*mini=*/true);
+        EXPECT_TRUE(report.clean())
+            << topo << " x " << mem << " x " << engine_mode_name(mode) << ": "
+            << report.summary();
+        EXPECT_GT(report.components, 0u);
+        EXPECT_GT(report.edges, 0u);
+      }
+    }
+  }
+}
+
+TEST(DrcMatrix, ReportMatchesSchema) {
+  bool clean = false;
+  const Json doc = verify::drc_matrix_report(/*mini=*/true, &clean);
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(doc.at("schema").as_string(), "mempool.drc.v1");
+  EXPECT_TRUE(doc.at("clean").as_bool());
+  const std::size_t expected = FabricRegistry::names().size() *
+                               MemoryRegistry::names().size() * 3;
+  ASSERT_EQ(doc.at("cases").size(), expected);
+  for (const Json& c : doc.at("cases").items()) {
+    EXPECT_TRUE(c.at("clean").as_bool());
+    EXPECT_EQ(c.at("violations").size(), 0u);
+    EXPECT_FALSE(c.at("topology").as_string().empty());
+    EXPECT_FALSE(c.at("memory").as_string().empty());
+    EXPECT_FALSE(c.at("engine").as_string().empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loud-failure satellites: wiring mistakes fail at elaboration with context,
+// not as silent misbehavior cycles later.
+// ---------------------------------------------------------------------------
+
+TEST(DrcChecks, DoubleAddComponentFailsWithName) {
+  Engine e;
+  Probe p("twice-wired");
+  e.add_component(&p);
+  try {
+    e.add_component(&p);
+    FAIL() << "duplicate add_component must throw";
+  } catch (const CheckError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("twice-wired"), std::string::npos) << what;
+    EXPECT_NE(what.find("registered twice"), std::string::npos) << what;
+  }
+}
+
+TEST(DrcChecks, DoubleAddClockedFails) {
+  Engine e;
+  ElasticBuffer<int> buf(BufferMode::kRegistered, 2);
+  e.add_clocked(&buf);
+  EXPECT_THROW(e.add_clocked(&buf), CheckError);
+}
+
+TEST(DrcChecks, SetConsumerRebindFailsWithBothNames) {
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  Probe first("first-consumer");
+  Probe second("second-consumer");
+  buf.set_consumer(&first, "first-consumer");
+  buf.set_consumer(&first, "first-consumer");  // Idempotent rebind: fine.
+  try {
+    buf.set_consumer(&second, "second-consumer");
+    FAIL() << "rebinding to a different consumer must throw";
+  } catch (const CheckError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("first-consumer"), std::string::npos) << what;
+    EXPECT_NE(what.find("second-consumer"), std::string::npos) << what;
+  }
+}
+
+TEST(DrcChecks, MarkShardBoundaryOnCombinationalFailsWithConsumer) {
+  ElasticBuffer<int> buf(BufferMode::kCombinational, 2);
+  Probe consumer("xbar7");
+  buf.set_consumer(&consumer, "xbar7");
+  try {
+    buf.mark_shard_boundary(3);
+    FAIL() << "combinational buffers cannot sit on a shard boundary";
+  } catch (const CheckError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("xbar7"), std::string::npos) << what;
+    EXPECT_NE(what.find("shard 3"), std::string::npos) << what;
+  }
+}
+
+#if defined(MEMPOOL_DRC)
+// ---------------------------------------------------------------------------
+// Runtime shard-race detector (MEMPOOL_DRC builds only). The components below
+// are *opaque* — they declare no edges, so the static DRC passes — and the
+// cross-shard access only exists at runtime: exactly the class of bug the
+// model-level checker catches on one host CPU where TSan (which needs two
+// racing host threads) is structurally blind.
+// ---------------------------------------------------------------------------
+
+class OpaquePusher final : public Component {
+ public:
+  OpaquePusher(const std::string& name, ElasticBuffer<int>* buf)
+      : Component(name), buf_(buf) {}
+  void evaluate(uint64_t /*cycle*/) override {
+    if (buf_->can_accept()) buf_->push(1);
+  }
+  bool idle() const override { return true; }
+
+ private:
+  ElasticBuffer<int>* buf_;
+};
+
+class OpaquePopper final : public Component {
+ public:
+  OpaquePopper(const std::string& name, ElasticBuffer<int>* buf)
+      : Component(name), buf_(buf) {}
+  void evaluate(uint64_t /*cycle*/) override {
+    while (!buf_->empty()) buf_->pop();
+  }
+  bool idle() const override { return true; }
+
+ private:
+  ElasticBuffer<int>* buf_;
+};
+
+TEST(DrcRuntime, CatchesUnmarkedCrossShardPush) {
+  drc::clear_races();
+  Engine e;
+  ElasticBuffer<int> buf(BufferMode::kRegistered, 2);
+  OpaquePusher pusher("pusher", &buf);
+  OpaquePopper popper("popper", &buf);
+  buf.set_consumer(&popper, "popper");
+  e.add_component(&pusher, /*shard=*/0);
+  e.add_component(&popper, /*shard=*/1);
+  e.add_clocked(&buf);
+  // Static DRC is blind here (the components are opaque, so no edge is
+  // declared)...
+  EXPECT_TRUE(verify::run_drc(e, 2).clean());
+  // ...but arming still resolves the buffer's home shard from its consumer.
+  verify::arm_runtime_checker(e);
+  e.step();
+  e.step();
+  ASSERT_GT(drc::race_count(), 0u)
+      << "unmarked cross-shard push must be reported";
+  const std::vector<std::string> log = drc::races();
+  EXPECT_NE(log[0].find("shard-race"), std::string::npos) << log[0];
+  EXPECT_NE(log[0].find("non-boundary"), std::string::npos) << log[0];
+  drc::clear_races();
+}
+
+TEST(DrcRuntime, MarkedBoundaryIsRaceFree) {
+  drc::clear_races();
+  Engine e;
+  ElasticBuffer<int> buf(BufferMode::kRegistered, 2);
+  OpaquePusher pusher("pusher", &buf);
+  OpaquePopper popper("popper", &buf);
+  buf.set_consumer(&popper, "popper");
+  buf.mark_shard_boundary(/*consumer_shard=*/1);  // The correct wiring.
+  e.add_component(&pusher, /*shard=*/0);
+  e.add_component(&popper, /*shard=*/1);
+  e.add_clocked(&buf);
+  verify::arm_runtime_checker(e);
+  for (int i = 0; i < 4; ++i) e.step();
+  EXPECT_EQ(drc::race_count(), 0u);
+}
+
+TEST(DrcRuntime, RealClusterProgramIsRaceFree) {
+  drc::clear_races();
+  // Cluster::build arms the checker automatically under MEMPOOL_DRC; a real
+  // program whose loads/stores spread across tiles (interleaved addressing)
+  // drives traffic through the marked boundaries without tripping it.
+  test::run_text(ClusterConfig::mini(TopologySpec{"TopH"}), test::only_core0(R"(
+      li t0, 0
+      li t1, 256
+      li t5, 0x20000
+    loop:
+      slli t2, t0, 2
+      add t2, t2, t5
+      sw t0, 0(t2)
+      addi t0, t0, 1
+      blt t0, t1, loop
+      li t0, 0
+    check:
+      slli t2, t0, 2
+      add t2, t2, t5
+      lw t3, 0(t2)
+      addi t0, t0, 1
+      blt t0, t1, check
+      li t1, 0xC0000000
+      sw zero, 0(t1)
+    done: j done
+  )"));
+  EXPECT_EQ(drc::race_count(), 0u);
+}
+#endif  // MEMPOOL_DRC
+
+}  // namespace
+}  // namespace mempool

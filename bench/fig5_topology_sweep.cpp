@@ -35,7 +35,7 @@ double saturation(const std::vector<double>& loads,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   const BenchOptions opts =
       parse_bench_options(&argc, argv, "fig5_topology_sweep",
                           /*accepts_topology=*/false, /*accepts_memory=*/true);
@@ -102,4 +102,11 @@ int main(int argc, char** argv) {
   results.set("summary", s.to_json());
   write_bench_results(opts, res.threads, res.wall_seconds, std::move(results));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // A watchdog abort (--stall-horizon) exits 3 with the stall report on
+  // stderr instead of std::terminate.
+  return guarded_bench_main("fig5_topology_sweep",
+                            [&] { return bench_main(argc, argv); });
 }

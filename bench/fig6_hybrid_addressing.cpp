@@ -16,7 +16,7 @@
 using namespace mempool;
 using namespace mempool::runner;
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   const BenchOptions opts =
       parse_bench_options(&argc, argv, "fig6_hybrid_addressing");
 
@@ -86,4 +86,11 @@ int main(int argc, char** argv) {
   results.set("summary", s.to_json());
   write_bench_results(opts, res.threads, res.wall_seconds, std::move(results));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // A watchdog abort (--stall-horizon) exits 3 with the stall report on
+  // stderr instead of std::terminate.
+  return guarded_bench_main("fig6_hybrid_addressing",
+                            [&] { return bench_main(argc, argv); });
 }

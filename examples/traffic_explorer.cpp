@@ -39,7 +39,7 @@ double parse_number_or_exit(const char* arg, const char* what) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int bench_main(int argc, char** argv) {
   BenchOptions opts = parse_bench_options(&argc, argv, "traffic_explorer",
                                           /*accepts_topology=*/true,
                                           /*accepts_memory=*/true);
@@ -104,4 +104,11 @@ int main(int argc, char** argv) {
   results.set("sweep", sweep_to_json(res));
   write_bench_results(opts, res.threads, res.wall_seconds, std::move(results));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  // A watchdog abort (--stall-horizon) exits 3 with the stall report on
+  // stderr instead of std::terminate.
+  return guarded_bench_main("traffic_explorer",
+                            [&] { return bench_main(argc, argv); });
 }

@@ -83,6 +83,10 @@ void IdealRespBridge::describe(GraphVisitor& v) const {
   std::size_t b = 0;
   for (const auto& buf : bufs_) {
     v.reads(&buf, "bank" + std::to_string(b));
+    // evaluate() drains each buffer to empty every cycle and delivery into
+    // the clients is a terminal (never-backpressured) call: the declared
+    // always-accepting port that breaks response-side dependency cycles.
+    v.sinks_unconditionally(&buf, "bank" + std::to_string(b));
     ++b;
   }
   for (const Client* c : *clients_) v.writes_terminal(c, "deliver");

@@ -42,10 +42,15 @@ class SpmBank final : public Component {
   /// queue's combinational push re-arms the bank within the same cycle.
   bool idle() const override { return req_in_.empty(); }
 
-  /// DRC self-description: reads the request queue, writes the response sink.
+  /// DRC self-description: reads the request queue, writes the response
+  /// sink. Retiring a load/AMO from the queue requires response capacity, so
+  /// the pair is a request/response coupling for the liveness rule D9.
   void describe(GraphVisitor& v) const override {
     v.reads(&req_in_, "req");
-    if (resp_sink_ != nullptr) v.writes(resp_sink_, "resp");
+    if (resp_sink_ != nullptr) {
+      v.writes(resp_sink_, "resp");
+      v.couples(&req_in_, resp_sink_, "mem");
+    }
   }
 
   /// Backdoor access used by program loaders and result checkers (does not

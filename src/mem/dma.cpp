@@ -355,6 +355,10 @@ void DmaFrontend::describe(GraphVisitor& v) const {
   v.wake_on_demand();
   for (std::size_t g = 0; g < comp_in_.size(); ++g) {
     v.reads(&comp_in_[g], "comp" + std::to_string(g));
+    // evaluate() retires every pending completion before doing anything
+    // else, with no downstream condition — this is what breaks the
+    // command/completion dependency loop for the liveness rules.
+    v.sinks_unconditionally(&comp_in_[g], "comp" + std::to_string(g));
   }
   for (std::size_t g = 0; g < cmd_out_.size(); ++g) {
     if (cmd_out_[g] != nullptr) {
@@ -371,6 +375,9 @@ void DmaBackend::describe(GraphVisitor& v) const {
   for (std::size_t g = 0; g < comp_out_.size(); ++g) {
     if (comp_out_[g] != nullptr) {
       v.writes_buffer(comp_out_[g], "comp" + std::to_string(g));
+      // Finishing a burst command requires pushing its completion: the
+      // command/completion pair is a request/response coupling (D9).
+      v.couples_buffer(&cmd_in_[g], comp_out_[g], "dma" + std::to_string(g));
     }
   }
   for (std::size_t b = 0; b < banks_.size(); ++b) {

@@ -196,6 +196,7 @@ void ButterflyNet::evaluate(uint64_t /*cycle*/) {
 }
 
 void ButterflyNet::describe(GraphVisitor& v) const {
+  v.arbitration(ArbiterFairness::kRoundRobin);  // per-switch rr_ pointers
   for (unsigned l = 0; l < layers_; ++l) {
     for (std::size_t p = 0; p < n_; ++p) {
       v.reads(&buf_[l][p], "l" + std::to_string(l) + "p" + std::to_string(p));

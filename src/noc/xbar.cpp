@@ -145,6 +145,7 @@ void XbarSwitch::evaluate(uint64_t /*cycle*/) {
 }
 
 void XbarSwitch::describe(GraphVisitor& v) const {
+  v.arbitration(ArbiterFairness::kRoundRobin);  // per-output rr_ pointers
   std::size_t i = 0;
   for (const auto& buf : in_) {
     v.reads(&buf, "in" + std::to_string(i));

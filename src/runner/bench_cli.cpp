@@ -7,6 +7,7 @@
 #include "mem/memsys.hpp"
 #include "noc/fabric.hpp"
 #include "runner/results.hpp"
+#include "sim/engine.hpp"
 #include "verify/drc_matrix.hpp"
 
 namespace mempool::runner {
@@ -47,10 +48,18 @@ namespace {
                "(paper-scale\n"
                "                     configs, no cycles simulated), write "
                "%s.drc.json,\n"
-               "                     and exit 0 iff every case is clean\n",
+               "                     and exit 0 iff every case is clean\n"
+               "  --drc-out PATH     where --drc writes its report (default: "
+               "%s.drc.json)\n"
+               "  --stall-horizon N  abort with a mempool.liveness.v1 stall "
+               "report if any\n"
+               "                     non-empty buffer drains nothing for N "
+               "consecutive\n"
+               "                     cycles (0 = watchdog disabled)\n",
                bench.c_str(), bench.c_str(),
                FabricRegistry::available().c_str(),
-               MemoryRegistry::available().c_str(), bench.c_str());
+               MemoryRegistry::available().c_str(), bench.c_str(),
+               bench.c_str());
   std::exit(code);
 }
 
@@ -83,10 +92,12 @@ namespace {
 }
 
 /// --drc: elaborate every registered topology x memory x engine combination
-/// at paper scale, lint each with the design-rule checker, emit the
-/// mempool.drc.v1 document, and exit 0 iff every case is clean. No cycles
-/// are simulated — this is the CI design-rule gate, runnable from any bench.
-[[noreturn]] void run_drc_matrix(const std::string& bench) {
+/// at paper scale, lint each with the design-rule checker (D1..D9, sorted
+/// violations), emit the mempool.drc.v1 document to @p path, and exit 0 iff
+/// every case is clean. No cycles are simulated — this is the CI design-rule
+/// gate, runnable from any bench.
+[[noreturn]] void run_drc_matrix(const std::string& bench,
+                                 const std::string& path) {
   bool clean = false;
   const Json doc = verify::drc_matrix_report(/*mini=*/false, &clean);
   for (const Json& c : doc.at("cases").items()) {
@@ -108,7 +119,6 @@ namespace {
     }
     std::fprintf(stderr, "\n");
   }
-  const std::string path = bench + ".drc.json";
   write_json_file(path, doc);
   std::fprintf(stderr, "%s: DRC %s over %zu cases; report written to %s\n",
                bench.c_str(), clean ? "clean" : "FAILED",
@@ -142,6 +152,11 @@ BenchOptions parse_bench_options(int* argc, char** argv,
   BenchOptions opts;
   opts.bench_name = bench_name;
   opts.json_path = bench_name + ".results.json";
+
+  // --drc is collected, not executed, during the loop so --drc-out is
+  // honored regardless of flag order on the command line.
+  bool want_drc = false;
+  std::string drc_out;
 
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -231,7 +246,21 @@ BenchOptions parse_bench_options(int* argc, char** argv,
     } else if (std::strcmp(a, "--list-engines") == 0) {
       list_engines();
     } else if (std::strcmp(a, "--drc") == 0) {
-      run_drc_matrix(bench_name);
+      want_drc = true;
+    } else if (std::strcmp(a, "--drc-out") == 0) {
+      drc_out = value();
+    } else if (std::strcmp(a, "--stall-horizon") == 0) {
+      const char* v_str = value();
+      char* end = nullptr;
+      const long long v = std::strtoll(v_str, &end, 10);
+      if (v < 0 || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr,
+                     "%s: --stall-horizon wants a non-negative cycle count "
+                     "(0 disables the progress watchdog)\n",
+                     bench_name.c_str());
+        usage(bench_name, 2);
+      }
+      opts.stall_horizon = static_cast<uint64_t>(v);
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(bench_name, 0);
     } else {
@@ -239,6 +268,15 @@ BenchOptions parse_bench_options(int* argc, char** argv,
     }
   }
   *argc = out;
+  if (want_drc) {
+    run_drc_matrix(bench_name,
+                   drc_out.empty() ? bench_name + ".drc.json" : drc_out);
+  }
+  if (!drc_out.empty()) {
+    std::fprintf(stderr, "%s: --drc-out only applies with --drc\n",
+                 bench_name.c_str());
+    std::exit(2);
+  }
   if (opts.sim_threads > 1 && opts.engine != EngineMode::kSharded) {
     std::fprintf(stderr,
                  "%s: --sim-threads only applies to --engine sharded (the "
@@ -248,6 +286,19 @@ BenchOptions parse_bench_options(int* argc, char** argv,
     std::exit(2);
   }
   return opts;
+}
+
+int guarded_bench_main(const std::string& bench_name,
+                       const std::function<int()>& body) {
+  try {
+    return body();
+  } catch (const LivenessError& e) {
+    // The progress watchdog aborted a wedged point: surface the structured
+    // stall attribution instead of an uncaught-exception terminate.
+    std::fprintf(stderr, "%s: %s\n%s\n", bench_name.c_str(), e.what(),
+                 e.report().dump(2).c_str());
+    return 3;
+  }
 }
 
 void write_bench_results(const BenchOptions& opts, unsigned threads,

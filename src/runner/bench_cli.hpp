@@ -27,6 +27,12 @@
 //                       every registered topology x memory x engine
 //                       combination at paper scale, write <bench>.drc.json
 //                       (schema mempool.drc.v1), and exit 0 iff clean
+//   --drc-out PATH      where --drc writes its report (default:
+//                       <bench>.drc.json); order-independent with --drc
+//   --stall-horizon N   arm the engine progress watchdog: if any non-empty
+//                       buffer drains nothing for N consecutive cycles the
+//                       run aborts with a mempool.liveness.v1 stall report
+//                       instead of hanging (0 = disabled, the default)
 //   --help              usage
 //
 // The two thread axes are deliberately distinct flags: --threads always
@@ -39,6 +45,8 @@
 // Recognized flags are removed from argv so benches with positional
 // arguments (traffic_explorer) can parse the remainder untouched.
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/json.hpp"
@@ -63,13 +71,17 @@ struct BenchOptions {
   /// --memory NAME, validated against the MemoryRegistry; empty = bench
   /// default (tcdm unless the bench is memory-specific).
   std::string memory;
+  /// --stall-horizon N: progress-watchdog horizon in cycles; 0 = disabled.
+  uint64_t stall_horizon = 0;
 
   RunnerOptions runner() const { return {threads, progress}; }
 
-  /// Apply the engine selection to an experiment config.
+  /// Apply the engine selection (and watchdog horizon) to an experiment
+  /// config.
   void apply_engine(TrafficExperimentConfig* cfg) const {
     cfg->engine = engine;
     cfg->sim_threads = sim_threads;
+    cfg->stall_horizon = stall_horizon;
   }
 };
 
@@ -95,5 +107,13 @@ BenchOptions parse_bench_options(int* argc, char** argv,
 /// results file is disabled); prints the path to stderr.
 void write_bench_results(const BenchOptions& opts, unsigned threads,
                          double wall_seconds, Json results);
+
+/// Run a bench's main body, presenting an Engine::set_stall_horizon abort
+/// (LivenessError) as a structured CLI failure instead of std::terminate:
+/// the watchdog message and the full mempool.liveness.v1 stall report go to
+/// stderr and the process exits 3. Benches that honor --stall-horizon wrap
+/// their main in this.
+int guarded_bench_main(const std::string& bench_name,
+                       const std::function<int()>& body);
 
 }  // namespace mempool::runner

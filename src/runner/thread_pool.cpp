@@ -20,6 +20,9 @@ constexpr int kIdleSpinBudget = 2048;
 }  // namespace
 
 unsigned ThreadPool::default_threads() {
+  // getenv races with setenv, but nothing in this process ever calls setenv:
+  // the env is read-only configuration established before main().
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("MEMPOOL_THREADS")) {
     const long v = std::strtol(env, nullptr, 10);
     if (v > 0) return static_cast<unsigned>(v);

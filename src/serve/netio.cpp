@@ -15,6 +15,23 @@ namespace mempool::serve {
 
 namespace {
 
+/// Thread-safe strerror: the plain strerror() may format into a shared
+/// static buffer (concurrency-mt-unsafe), and these messages are built on
+/// server accept/reader threads. The two strerror_r flavors (XSI returns
+/// int and fills buf, GNU returns the message pointer) are disambiguated by
+/// overload so the same call compiles against either libc.
+const char* strerror_result(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+const char* strerror_result(const char* msg, const char* /*buf*/) {
+  return msg;
+}
+
+std::string errno_text(int err) {
+  char buf[128];
+  return strerror_result(strerror_r(err, buf, sizeof buf), buf);
+}
+
 sockaddr_un make_addr(const std::string& path) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -31,18 +48,18 @@ int listen_unix(const std::string& path) {
   const sockaddr_un addr = make_addr(path);
   ::unlink(path.c_str());  // a stale socket file from a dead server
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  MEMPOOL_CHECK_MSG(fd >= 0, "socket(): " << std::strerror(errno));
+  MEMPOOL_CHECK_MSG(fd >= 0, "socket(): " << errno_text(errno));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd);
     MEMPOOL_CHECK_MSG(false, "bind('" << path
-                                      << "'): " << std::strerror(err));
+                                      << "'): " << errno_text(err));
   }
   if (::listen(fd, 64) != 0) {
     const int err = errno;
     ::close(fd);
     MEMPOOL_CHECK_MSG(false, "listen('" << path
-                                        << "'): " << std::strerror(err));
+                                        << "'): " << errno_text(err));
   }
   return fd;
 }
@@ -53,7 +70,7 @@ int connect_unix(const std::string& path, int timeout_ms) {
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    MEMPOOL_CHECK_MSG(fd >= 0, "socket(): " << std::strerror(errno));
+    MEMPOOL_CHECK_MSG(fd >= 0, "socket(): " << errno_text(errno));
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) == 0) {
       return fd;
@@ -62,7 +79,7 @@ int connect_unix(const std::string& path, int timeout_ms) {
     ::close(fd);
     if (std::chrono::steady_clock::now() >= deadline) {
       MEMPOOL_CHECK_MSG(false, "connect('" << path << "'): "
-                                           << std::strerror(err)
+                                           << errno_text(err)
                                            << (timeout_ms > 0
                                                    ? " (retries exhausted)"
                                                    : ""));

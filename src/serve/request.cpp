@@ -67,7 +67,7 @@ constexpr const char* kRequestFields[] = {
     "cores_per_tile", "banks_per_tile", "bank_bytes",       "seq_region_bytes",
     "num_groups",    "lambda",          "p_local",          "seed",
     "engine",        "sim_threads",     "warmup_cycles",    "measure_cycles",
-    "drain_cycles"};
+    "drain_cycles",  "stall_horizon"};
 
 uint32_t override_u32(const Json& j, const char* key, uint32_t fallback) {
   if (!j.contains(key)) return fallback;
@@ -146,6 +146,8 @@ SimRequest SimRequest::from_json(const Json& j) {
   cfg.measure_cycles =
       j.get("measure_cycles", Json(cfg.measure_cycles)).as_uint();
   cfg.drain_cycles = j.get("drain_cycles", Json(cfg.drain_cycles)).as_uint();
+  cfg.stall_horizon =
+      j.get("stall_horizon", Json(cfg.stall_horizon)).as_uint();
   return SimRequest{cfg};
 }
 
@@ -175,6 +177,11 @@ Json SimRequest::to_json() const {
   j.set("warmup_cycles", config.warmup_cycles);
   j.set("measure_cycles", config.measure_cycles);
   j.set("drain_cycles", config.drain_cycles);
+  // The watchdog never changes simulation results (it can only abort a
+  // wedged point), but it is part of the canonical form: a point that would
+  // abort must not be answered from a cache entry computed with a different
+  // horizon, and vice versa.
+  j.set("stall_horizon", config.stall_horizon);
   return j;
 }
 

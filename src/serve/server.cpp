@@ -35,6 +35,9 @@ Json response_json(const Json& id, const ServiceResponse& resp) {
   j.set("ok", resp.ok);
   if (!resp.ok) {
     j.set("error", resp.error);
+    // Watchdog aborts attach their mempool.liveness.v1 stall attribution so
+    // the client learns *where* the point wedged, not just that it did.
+    if (!resp.liveness.is_null()) j.set("liveness", resp.liveness);
     return j;
   }
   j.set("key", resp.key);

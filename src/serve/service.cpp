@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include "runner/thread_pool.hpp"
+#include "sim/engine.hpp"
 
 namespace mempool::serve {
 
@@ -84,6 +85,13 @@ void SimService::compute(const std::shared_ptr<Inflight>& entry,
   try {
     base.result = run_point(entry->request);
     base.ok = true;
+  } catch (const LivenessError& e) {
+    // The point's progress watchdog fired: the simulation is wedged, and
+    // the structured stall attribution rides back to the client instead of
+    // the connection hanging until a timeout. Not cached, like all errors.
+    base.ok = false;
+    base.error = e.what();
+    base.liveness = e.report();
   } catch (const std::exception& e) {
     // Bad topology/memory params etc.: a structured error response, never a
     // daemon death. Errors are not cached — the CheckError text is cheap to

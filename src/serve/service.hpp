@@ -66,6 +66,10 @@ struct ServiceResponse {
   bool ok = false;
   SimResult result;       ///< Valid when ok.
   std::string error;      ///< CheckError text when !ok.
+  /// mempool.liveness.v1 report when !ok because the point's progress
+  /// watchdog fired (LivenessError): the wedged point answers with the
+  /// stall attribution instead of hanging the connection. Null otherwise.
+  Json liveness;
   std::string key;        ///< SimRequest::key() (content hash).
   bool cache_hit = false; ///< Served from the result cache.
   bool coalesced = false; ///< Piggybacked on an in-flight identical point.

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -25,6 +26,27 @@ namespace mempool {
 class GraphVisitor;
 class PacketSink;
 class Wakeable;
+
+/// Arbitration policy a multi-input component declares for the liveness DRC
+/// (GraphVisitor::arbitration). Round-robin grants every input eventually;
+/// fixed-priority can starve a low-priority input forever when the traffic
+/// that fills it loops back through the arbiter's own output (rule D8).
+enum class ArbiterFairness : uint8_t { kRoundRobin, kFixedPriority };
+
+/// Progress snapshot a clocked element reports to the engine's stall
+/// watchdog (Clocked::liveness). `drains` is a monotonic pop counter: a
+/// buffer that stays non-empty across a full stall horizon with `drains`
+/// unchanged has a wedged consumer, and the watchdog attributes the stall
+/// to it by name. Non-buffer elements keep the default (is_buffer = false)
+/// and are never watched.
+struct LivenessState {
+  bool is_buffer = false;
+  std::size_t occupancy = 0;  ///< Visible + staged items.
+  std::size_t capacity = 0;   ///< 0 = unbounded.
+  uint64_t drains = 0;        ///< Lifetime pop() count (monotonic).
+  const char* consumer = "?"; ///< Diagnostic name of the waiting consumer.
+  std::string head;           ///< One-line summary of the head item, if any.
+};
 
 /// Activity flag mixin. Components start awake so the first cycle after
 /// build() evaluates everything once and lets the idle ones drop out.
@@ -97,6 +119,12 @@ class Clocked {
   /// checked against it. Default ignores the tag (non-buffer elements carry
   /// no per-access shard contract).
   virtual void drc_bind_shard(int32_t /*home_shard*/) {}
+
+  /// Progress snapshot for the engine's stall watchdog
+  /// (Engine::set_stall_horizon). The default reports "not a buffer", which
+  /// exempts the element from watching; ElasticBuffer provides the one
+  /// meaningful implementation.
+  virtual LivenessState liveness() const { return {}; }
 };
 
 /// Per-cycle list of clocked elements with staged state. An element enqueues
@@ -176,6 +204,33 @@ class GraphVisitor {
   /// (I$ fetch, DMA portal submit) rather than through a declared edge.
   /// Exempts it from the orphan rule D6.
   virtual void wake_on_demand() = 0;
+
+  // --- liveness annotations (rules D7-D9, verify/liveness.hpp) ---------------
+  // Default no-ops: the structural rules D1-D6 need none of these, and a
+  // component without request/response coupling or arbitration has nothing
+  // to declare. Plugin authors: see the "Liveness" part of the README's
+  // design-rule section for when each annotation is required.
+
+  /// Draining request buffer @p req eventually requires pushing a response
+  /// into @p resp (a memory bank answering a load, an AXI port, ...). The
+  /// liveness DRC resolves @p resp like writes(); terminal responses cannot
+  /// deadlock and are ignored. Feeds the protocol-deadlock lint D9.
+  virtual void couples(const Clocked* /*req*/, const PacketSink* /*resp*/,
+                       std::string_view /*label*/) {}
+  /// couples() for typed buffers that bypass PacketSink (the DMA
+  /// command/completion links).
+  virtual void couples_buffer(const Clocked* /*req*/, const Clocked* /*resp*/,
+                              std::string_view /*label*/) {}
+  /// The component guarantees to drain @p buf unconditionally — popping it
+  /// never waits on downstream backpressure (an ideal response bridge, the
+  /// DMA frontend retiring completions). Such an edge breaks dependency
+  /// cycles for D7/D8/D9.
+  virtual void sinks_unconditionally(const Clocked* /*buf*/,
+                                     std::string_view /*label*/) {}
+  /// Arbitration policy over the component's declared read ports. Undeclared
+  /// components are treated as fair (round-robin); a kFixedPriority
+  /// declaration arms the starvation rule D8 for its inputs.
+  virtual void arbitration(ArbiterFairness /*fairness*/) {}
 
   // --- called from Clocked::describe -----------------------------------------
   /// Structural facts of the buffer the DRC is currently walking.

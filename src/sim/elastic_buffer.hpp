@@ -50,6 +50,14 @@ namespace mempool {
 
 enum class BufferMode : uint8_t { kCombinational, kRegistered };
 
+/// Head-item stringification for the stall watchdog's liveness report.
+/// Payload types opt in by providing an overload findable by ADL (see the
+/// Packet overload in sim/packet.hpp); everything else reports no detail.
+template <typename T>
+inline std::string liveness_summary(const T& /*item*/) {
+  return {};
+}
+
 template <typename T>
 class ElasticBuffer final : public Clocked {
  public:
@@ -193,6 +201,7 @@ class ElasticBuffer final : public Clocked {
   T pop() {
     drc_check_read("pop");
     MEMPOOL_CHECK(count_ > 0);
+    ++drains_;
     --count_;
     if (count_ == 0) *occ_word_ &= ~occ_mask_;
     if (boundary_) {
@@ -247,6 +256,23 @@ class ElasticBuffer final : public Clocked {
     decl.consumer = consumer_;
     decl.capacity = capacity_;
     v.buffer_info(decl);
+  }
+
+  /// Progress snapshot for the engine's stall watchdog. Read single-threaded
+  /// between cycles (the probe runs on the leader before any shard phase),
+  /// so plain member reads are safe; the head summary only looks at visible
+  /// items (staged ones have no committed position yet).
+  LivenessState liveness() const override {
+    LivenessState s;
+    s.is_buffer = true;
+    s.occupancy = size();
+    s.capacity = capacity_;
+    s.drains = drains_;
+    s.consumer = consumer_name();
+    if (count_ > 0) {
+      s.head = liveness_summary(overflow_ ? overflow_->front() : ring_[head_]);
+    }
+    return s;
   }
 
   /// MEMPOOL_DRC: bind the home shard (the consumer's shard as resolved by
@@ -312,6 +338,7 @@ class ElasticBuffer final : public Clocked {
   std::array<T, kInlineCapacity> ring_{};
   uint32_t head_ = 0;
   uint32_t count_ = 0;  ///< Visible items (FIFO only, staged excluded).
+  uint64_t drains_ = 0;  ///< Lifetime pop() count (watchdog progress metric).
   std::unique_ptr<std::deque<T>> overflow_;
   T staged_{};
   bool staged_valid_ = false;

@@ -4,6 +4,8 @@
 #include "sim/engine.hpp"
 
 #include <cstring>
+#include <sstream>
+#include <unordered_map>
 
 namespace mempool {
 
@@ -226,6 +228,175 @@ uint64_t Engine::commits() const {
   uint64_t n = commits_;
   for (const ShardLane& lane : lanes_) n += lane.commits;
   return n;
+}
+
+// --- progress watchdog -------------------------------------------------------
+
+namespace {
+/// Buffer discovery for the watchdog: walk every component's describe() to
+/// find the buffers on declared data edges and name each one after its first
+/// reader ("component.port", the same convention the DRC uses), falling back
+/// to the buffer's own consumer name for elements that are registered with
+/// the engine but never described.
+struct WatchWalk final : GraphVisitor {
+  struct Found {
+    Clocked* buf = nullptr;
+    std::string name;
+    uint32_t shard = 0;
+    bool named = false;
+  };
+  std::vector<Found> found;  ///< Discovery order (deterministic).
+  std::unordered_map<const Clocked*, std::size_t> index;
+  std::string comp_name;
+  uint32_t comp_shard = 0;
+
+  std::size_t slot(const Clocked* buf) {
+    const auto [it, fresh] = index.emplace(buf, found.size());
+    if (fresh) {
+      Found f;
+      // describe() is const-only inspection, but the watchdog keeps probing
+      // the buffer's liveness() for the rest of the run, so store mutable.
+      f.buf = const_cast<Clocked*>(buf);  // NOLINT(cppcoreguidelines-pro-type-const-cast)
+      found.push_back(std::move(f));
+    }
+    return it->second;
+  }
+
+  void reads(const Clocked* buf, std::string_view label) override {
+    Found& f = found[slot(buf)];
+    if (!f.named) {
+      f.name = comp_name + "." + std::string(label);
+      f.shard = comp_shard;
+      f.named = true;
+    }
+  }
+  void writes(const PacketSink* sink, std::string_view /*label*/) override {
+    if (const Clocked* buf = sink->drc_buffer()) slot(buf);
+  }
+  void writes_buffer(const Clocked* buf, std::string_view /*label*/) override {
+    slot(buf);
+  }
+  void writes_terminal(const Wakeable*, std::string_view) override {}
+  void wakes(const Wakeable*, std::string_view) override {}
+  void self_ticking() override {}
+  void wake_on_demand() override {}
+  void buffer_info(const BufferDecl&) override {}
+};
+}  // namespace
+
+void Engine::watchdog_collect() {
+  WatchWalk walk;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    walk.comp_name = components_[i]->name();
+    walk.comp_shard = component_shard_[i];
+    components_[i]->describe(walk);
+  }
+  for (Clocked* c : clocked_) walk.slot(c);
+
+  watched_.clear();
+  for (WatchWalk::Found& f : walk.found) {
+    const LivenessState s = f.buf->liveness();
+    if (!s.is_buffer) continue;
+    WatchedBuffer w;
+    w.buf = f.buf;
+    w.name = f.named ? std::move(f.name) : std::string(s.consumer) + ".<in>";
+    w.shard = f.shard;
+    w.drains = s.drains;
+    w.pending = s.occupancy > 0;
+    w.pending_since = cycle_;
+    watched_.push_back(std::move(w));
+  }
+}
+
+void Engine::watchdog_probe() {
+  if (!watch_baselined_) {
+    watchdog_collect();
+    watch_baselined_ = true;
+    watch_probe_at_ = cycle_ + stall_horizon_;
+    return;
+  }
+  std::vector<const WatchedBuffer*> stalled;
+  for (WatchedBuffer& w : watched_) {
+    const LivenessState s = w.buf->liveness();
+    const bool pending_now = s.occupancy > 0;
+    // A no-progress run continues only while the buffer stays non-empty
+    // with an unchanged drain count; any pop, or going empty, resets it.
+    if (!pending_now || s.drains != w.drains || !w.pending) {
+      w.pending_since = cycle_;
+    }
+    w.drains = s.drains;
+    w.pending = pending_now;
+    if (pending_now && cycle_ - w.pending_since >= stall_horizon_) {
+      stalled.push_back(&w);
+    }
+  }
+  if (!stalled.empty()) watchdog_fire(stalled);
+  watch_probe_at_ = cycle_ + stall_horizon_;
+}
+
+void Engine::watchdog_fire(const std::vector<const WatchedBuffer*>& stalled) {
+  // Oldest stall first; name breaks ties so the report is deterministic.
+  std::vector<const WatchedBuffer*> order = stalled;
+  std::sort(order.begin(), order.end(),
+            [](const WatchedBuffer* a, const WatchedBuffer* b) {
+              if (a->pending_since != b->pending_since) {
+                return a->pending_since < b->pending_since;
+              }
+              return a->name < b->name;
+            });
+
+  std::size_t pending_total = 0;
+  for (const WatchedBuffer& w : watched_) {
+    if (w.pending) ++pending_total;
+  }
+  std::unordered_map<uint32_t, uint64_t> per_shard;
+  for (const WatchedBuffer* w : order) ++per_shard[w->shard];
+
+  Json report = Json::object();
+  report.set("schema", "mempool.liveness.v1");
+  report.set("cycle", cycle_);
+  report.set("horizon", stall_horizon_);
+  report.set("engine",
+             num_shards_ != 0 ? "sharded" : (dense_ ? "dense" : "active"));
+  report.set("num_shards", num_shards_ == 0 ? uint64_t{1} : num_shards_);
+  report.set("pending_buffers", static_cast<uint64_t>(pending_total));
+  Json arr = Json::array();
+  for (const WatchedBuffer* w : order) {
+    const LivenessState s = w->buf->liveness();
+    Json e = Json::object();
+    e.set("buffer", w->name);
+    e.set("consumer", s.consumer);
+    e.set("shard", static_cast<uint64_t>(w->shard));
+    e.set("occupancy", static_cast<uint64_t>(s.occupancy));
+    e.set("capacity", static_cast<uint64_t>(s.capacity));
+    e.set("stalled_for", cycle_ - w->pending_since);
+    e.set("head", s.head);
+    arr.push_back(std::move(e));
+  }
+  report.set("stalled", std::move(arr));
+  Json shards = Json::array();
+  {
+    std::vector<std::pair<uint32_t, uint64_t>> rows(per_shard.begin(),
+                                                    per_shard.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& [shard, n] : rows) {
+      Json row = Json::object();
+      row.set("shard", static_cast<uint64_t>(shard));
+      row.set("stalled", n);
+      shards.push_back(std::move(row));
+    }
+  }
+  report.set("stalled_shards", std::move(shards));
+
+  const WatchedBuffer* oldest = order.front();
+  std::ostringstream msg;
+  msg << "liveness watchdog: " << order.size() << " buffer"
+      << (order.size() == 1 ? "" : "s") << " made no progress for "
+      << stall_horizon_ << " cycles (cycle " << cycle_ << "); oldest: '"
+      << oldest->name << "' (consumer '" << oldest->buf->liveness().consumer
+      << "', occupancy " << oldest->buf->liveness().occupancy << ", shard "
+      << oldest->shard << ")";
+  throw LivenessError(msg.str(), std::move(report));
 }
 
 uint64_t Engine::next_timer_at_most(uint64_t limit) const {

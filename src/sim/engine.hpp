@@ -41,17 +41,21 @@
 //     are bit-identical to the active engine for any shard count and any
 //     thread schedule.
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/json.hpp"
 #include "sim/activity.hpp"
 #include "sim/component.hpp"
 #include "sim/elastic_buffer.hpp"
@@ -62,6 +66,21 @@
 #endif
 
 namespace mempool {
+
+/// Thrown by the progress watchdog (Engine::set_stall_horizon) when pending
+/// work has made no progress for a full stall horizon: the model is
+/// deadlocked (or a consumer is starved), and aborting with an attributed
+/// report beats hanging a million-cycle sweep. Carries the machine-readable
+/// `mempool.liveness.v1` document naming the oldest-stalled buffers.
+class LivenessError : public std::runtime_error {
+ public:
+  LivenessError(const std::string& what, Json report)
+      : std::runtime_error(what), report_(std::move(report)) {}
+  const Json& report() const { return report_; }
+
+ private:
+  Json report_;
+};
 
 class Engine {
  public:
@@ -151,6 +170,22 @@ class Engine {
   bool sharded() const { return num_shards_ != 0; }
   uint32_t num_shards() const { return num_shards_; }
 
+  /// Arm the deterministic progress watchdog: every @p horizon cycles the
+  /// engine probes all registered buffers, and a buffer that stays non-empty
+  /// for a full horizon without a single pop() trips a LivenessError carrying
+  /// a `mempool.liveness.v1` report (see watchdog_probe in engine.cpp). The
+  /// probe reads only simulation state on the leader thread between cycles,
+  /// so it is bit-identical across active/dense/sharded modes and never
+  /// perturbs results. 0 (default) disarms. May be re-armed between steps;
+  /// the horizon then counts from the current cycle.
+  void set_stall_horizon(uint64_t horizon) {
+    stall_horizon_ = horizon;
+    watched_.clear();
+    watch_baselined_ = false;
+    watch_probe_at_ = horizon == 0 ? UINT64_MAX : cycle_;
+  }
+  uint64_t stall_horizon() const { return stall_horizon_; }
+
   /// Advance one cycle.
   void step() { step_work(); }
 
@@ -161,7 +196,11 @@ class Engine {
     const uint64_t target = cycle_ + n;
     while (cycle_ < target) {
       if (!step_work() && !dense_) {
-        const uint64_t next = next_timer_at_most(target);
+        // Never fast-forward past a watchdog probe: an all-asleep wedge
+        // (e.g. everything waiting on a commit that never comes) must still
+        // be probed at the exact horizon boundary.
+        const uint64_t next =
+            std::min(next_timer_at_most(target), watch_probe_at_);
         if (next > cycle_) {
           idle_cycles_skipped_ += next - cycle_;
           cycle_ = next;
@@ -181,9 +220,11 @@ class Engine {
       const uint64_t before = cycle_;
       if (!step_work() && !dense_) {
         // Nothing awake and nothing staged, yet not quiescent: a timed wake
-        // is armed — skip straight to it (bounded by the cycle budget).
-        const uint64_t next =
-            next_timer_at_most(before + (max_cycles - advanced));
+        // is armed — skip straight to it (bounded by the cycle budget and by
+        // the next watchdog probe, which must not be jumped over).
+        const uint64_t next = std::min(
+            next_timer_at_most(before + (max_cycles - advanced)),
+            watch_probe_at_);
         if (next > cycle_) {
           idle_cycles_skipped_ += next - cycle_;
           cycle_ = next;
@@ -279,6 +320,9 @@ class Engine {
   /// committed (always true in dense mode).
   bool step_work() {
     if (!finalized_) finalize();
+    // Watchdog probe: leader thread, between cycles, before any shard phase
+    // is released — identical observation point under all three modes.
+    if (cycle_ >= watch_probe_at_) watchdog_probe();
     if (num_shards_ != 0) return step_sharded();
     fire_timers();
     bool worked = false;
@@ -358,6 +402,23 @@ class Engine {
   void shard_evaluate(std::size_t s);
   void shard_commit(std::size_t s);
 
+  // --- progress watchdog (engine.cpp) ----------------------------------------
+  /// One buffer under watch. `pending_since` is the probe cycle at which the
+  /// current "non-empty with no drain progress" run began; a run that
+  /// reaches the stall horizon trips the watchdog.
+  struct WatchedBuffer {
+    Clocked* buf = nullptr;
+    std::string name;    ///< First reader's "component.port" (DRC naming).
+    uint32_t shard = 0;  ///< Consumer's shard (0 under sequential modes).
+    uint64_t drains = 0;
+    bool pending = false;
+    uint64_t pending_since = 0;
+  };
+  void watchdog_collect();
+  void watchdog_probe();
+  [[noreturn]] void watchdog_fire(
+      const std::vector<const WatchedBuffer*>& stalled);
+
   std::vector<Component*> components_;
   std::vector<uint32_t> component_shard_;  ///< Parallel to components_.
   std::vector<Clocked*> clocked_;
@@ -378,6 +439,12 @@ class Engine {
   uint64_t evaluations_ = 0;
   uint64_t commits_ = 0;
   uint64_t idle_cycles_skipped_ = 0;
+
+  // --- watchdog state --------------------------------------------------------
+  uint64_t stall_horizon_ = 0;            ///< 0 = watchdog disarmed.
+  uint64_t watch_probe_at_ = UINT64_MAX;  ///< Next probe cycle.
+  bool watch_baselined_ = false;          ///< Buffer list collected yet?
+  std::vector<WatchedBuffer> watched_;
 
   // --- sharded state ---------------------------------------------------------
   uint32_t num_shards_ = 0;  ///< 0 = sequential scheduling.

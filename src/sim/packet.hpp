@@ -5,6 +5,7 @@
 // core and ensure their proper ordering by the Reorder Buffer").
 
 #include <cstdint>
+#include <string>
 
 namespace mempool {
 
@@ -51,5 +52,34 @@ struct Packet {
   uint16_t tag = 0;       ///< Requester-local tag (ROB slot / sequence nr).
   uint64_t birth = 0;     ///< Cycle the request was generated (for latency).
 };
+
+/// Names for diagnostics (liveness reports, traces).
+constexpr const char* mem_op_name(MemOp op) {
+  switch (op) {
+    case MemOp::kLoad: return "load";
+    case MemOp::kStore: return "store";
+    case MemOp::kAmoSwap: return "amoswap";
+    case MemOp::kAmoAdd: return "amoadd";
+    case MemOp::kAmoXor: return "amoxor";
+    case MemOp::kAmoAnd: return "amoand";
+    case MemOp::kAmoOr: return "amoor";
+    case MemOp::kAmoMin: return "amomin";
+    case MemOp::kAmoMax: return "amomax";
+    case MemOp::kAmoMinu: return "amominu";
+    case MemOp::kAmoMaxu: return "amomaxu";
+    case MemOp::kLoadReserved: return "lr";
+    case MemOp::kStoreConditional: return "sc";
+  }
+  return "?";
+}
+
+/// Head-packet summary for the stall watchdog's liveness report (the ADL
+/// overload of the generic template in sim/elastic_buffer.hpp).
+inline std::string liveness_summary(const Packet& p) {
+  return std::string(mem_op_name(p.op)) + " src=" + std::to_string(p.src) +
+         " dst=" + std::to_string(p.dst_tile) + ":" +
+         std::to_string(p.dst_bank) + " tag=" + std::to_string(p.tag) +
+         " birth=" + std::to_string(p.birth);
+}
 
 }  // namespace mempool

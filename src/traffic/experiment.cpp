@@ -64,6 +64,7 @@ TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg,
   cluster.attach_clients(clients);
   cluster.build(engine);
 
+  engine.set_stall_horizon(ecfg.stall_horizon);
   engine.run(ecfg.warmup_cycles + ecfg.measure_cycles + ecfg.drain_cycles);
 
   LatencyMonitor& monitor = monitors.front();

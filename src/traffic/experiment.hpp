@@ -29,6 +29,12 @@ struct TrafficExperimentConfig {
   /// Orthogonal to the sweep runner's --threads, which parallelizes across
   /// points.
   unsigned sim_threads = 1;
+  /// Progress watchdog (Engine::set_stall_horizon): a buffer that stays
+  /// non-empty for this many cycles without a single pop aborts the point
+  /// with a LivenessError carrying a mempool.liveness.v1 report instead of
+  /// hanging. 0 (default) disarms. Deterministic: identical across engine
+  /// modes and thread counts.
+  uint64_t stall_horizon = 0;
 };
 
 struct TrafficPoint {

@@ -1,178 +1,17 @@
 #include "verify/drc.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <sstream>
-#include <unordered_map>
+#include <tuple>
 #include <utility>
 
-#include "sim/component.hpp"
-#include "sim/engine.hpp"
+#include "verify/graph_model.hpp"
+#include "verify/liveness.hpp"
 
 namespace mempool::verify {
 
 namespace {
-
-/// Everything the walk learns about one buffer (a Clocked element reached by
-/// declared data edges, or registered with the engine directly).
-struct BufferNode {
-  const Clocked* buf = nullptr;
-  bool described = false;  ///< buffer_info was emitted (ElasticBuffer).
-  BufferDecl decl;
-  std::vector<std::pair<std::size_t, std::string>> writers;  ///< (comp, label)
-  std::vector<std::pair<std::size_t, std::string>> readers;  ///< (comp, label)
-};
-
-/// Everything the walk learns about one component.
-struct CompNode {
-  bool opaque = true;  ///< describe() declared nothing at all.
-  bool self_ticking = false;
-  bool wake_on_demand = false;
-  bool wake_target = false;      ///< Some component wakes() it.
-  bool terminal_target = false;  ///< Some component delivers into it.
-};
-
-/// Same-cycle direct edge (terminal delivery or wake call).
-struct DirectEdge {
-  std::size_t src = 0;
-  const Wakeable* target = nullptr;
-  std::string label;
-};
-
-/// The declared graph, assembled by one GraphVisitor walk over the engine's
-/// component list.
-struct GraphModel : GraphVisitor {
-  const Engine* engine = nullptr;
-  std::size_t current = 0;  ///< Component whose describe() is on the stack.
-
-  std::vector<CompNode> comps;
-  std::unordered_map<const Wakeable*, std::size_t> comp_of;  ///< As Wakeable.
-  std::vector<BufferNode> buffers;
-  std::unordered_map<const Clocked*, std::size_t> buffer_of;
-  std::vector<DirectEdge> terminals;
-  std::vector<DirectEdge> wake_edges;
-  std::size_t edge_count = 0;
-
-  /// Buffer whose describe() is currently on the stack (phase B), or npos.
-  std::size_t current_buffer = static_cast<std::size_t>(-1);
-
-  std::size_t buffer_index(const Clocked* buf) {
-    auto [it, inserted] = buffer_of.try_emplace(buf, buffers.size());
-    if (inserted) {
-      buffers.emplace_back();
-      buffers.back().buf = buf;
-    }
-    return it->second;
-  }
-
-  // --- GraphVisitor ----------------------------------------------------------
-  void reads(const Clocked* buf, std::string_view label) override {
-    if (buf == nullptr) return;
-    comps[current].opaque = false;
-    buffers[buffer_index(buf)].readers.emplace_back(current,
-                                                    std::string(label));
-    ++edge_count;
-  }
-  void writes(const PacketSink* sink, std::string_view label) override {
-    if (sink == nullptr) return;
-    comps[current].opaque = false;
-    if (const Clocked* buf = sink->drc_buffer()) {
-      writes_buffer(buf, label);
-      return;
-    }
-    if (const Wakeable* target = sink->drc_terminal()) {
-      writes_terminal(target, label);
-      return;
-    }
-    // Sink resolves to neither a buffer nor a terminal: opaque endpoint
-    // (custom plugin sink); nothing to check.
-  }
-  void writes_buffer(const Clocked* buf, std::string_view label) override {
-    if (buf == nullptr) return;
-    comps[current].opaque = false;
-    buffers[buffer_index(buf)].writers.emplace_back(current,
-                                                    std::string(label));
-    ++edge_count;
-  }
-  void writes_terminal(const Wakeable* target,
-                       std::string_view label) override {
-    if (target == nullptr) return;
-    comps[current].opaque = false;
-    terminals.push_back({current, target, std::string(label)});
-    ++edge_count;
-  }
-  void wakes(const Wakeable* target, std::string_view label) override {
-    if (target == nullptr) return;
-    comps[current].opaque = false;
-    wake_edges.push_back({current, target, std::string(label)});
-    ++edge_count;
-  }
-  void self_ticking() override {
-    comps[current].opaque = false;
-    comps[current].self_ticking = true;
-  }
-  void wake_on_demand() override {
-    comps[current].opaque = false;
-    comps[current].wake_on_demand = true;
-  }
-  void buffer_info(const BufferDecl& decl) override {
-    if (current_buffer == static_cast<std::size_t>(-1)) return;
-    buffers[current_buffer].described = true;
-    buffers[current_buffer].decl = decl;
-  }
-
-  // --- walk ------------------------------------------------------------------
-  void build(const Engine& e) {
-    engine = &e;
-    const std::vector<Component*>& list = e.components();
-    comps.resize(list.size());
-    comp_of.reserve(list.size());
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      comp_of.emplace(static_cast<const Wakeable*>(list[i]), i);
-    }
-    // Phase A: every component declares its edges.
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      current = i;
-      list[i]->describe(*this);
-    }
-    // Phase B: every buffer reached by an edge — plus every engine-registered
-    // clocked element — reports its structural facts (mode, consumer,
-    // boundary). Non-buffer clocked elements keep the no-op default and stay
-    // opaque.
-    for (const Clocked* c : e.clocked_elements()) buffer_index(c);
-    for (std::size_t b = 0; b < buffers.size(); ++b) {
-      current_buffer = b;
-      buffers[b].buf->describe(*this);
-    }
-    current_buffer = static_cast<std::size_t>(-1);
-  }
-
-  // --- lookups ---------------------------------------------------------------
-  const std::string& comp_name(std::size_t i) const {
-    return engine->components()[i]->name();
-  }
-  uint32_t comp_shard(std::size_t i) const {
-    return engine->component_shards()[i];
-  }
-  /// Resolve a wake target back to a registered component, npos otherwise.
-  std::size_t resolve(const Wakeable* w) const {
-    const auto it = comp_of.find(w);
-    return it == comp_of.end() ? static_cast<std::size_t>(-1) : it->second;
-  }
-  /// Diagnostic name for a buffer: its consumer's perspective.
-  std::string buffer_name(const BufferNode& node) const {
-    const std::size_t c = resolve(node.decl.consumer);
-    std::string label = "?";
-    if (c != static_cast<std::size_t>(-1)) {
-      label = comp_name(c);
-    }
-    for (const auto& [reader, port] : node.readers) {
-      return comp_name(reader) + "." + port;
-    }
-    return label + ".<in>";
-  }
-};
-
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
 void add_violation(DrcReport* report, const char* rule, std::string component,
                    std::string edge, std::string detail) {
@@ -405,6 +244,16 @@ DrcReport run_drc(const Engine& engine, uint32_t num_shards) {
   check_direct_edges(g, &report);
   check_partition(g, num_shards, &report);
   check_orphans(g, &report);
+  check_liveness_rules(g, &report);
+
+  // Deterministic, diffable output: the walk discovers violations in
+  // registration order, which shifts whenever a component is added — sort by
+  // content instead so DRC artifacts can be compared across runs.
+  std::stable_sort(report.violations.begin(), report.violations.end(),
+                   [](const DrcViolation& a, const DrcViolation& b) {
+                     return std::tie(a.rule, a.component, a.edge, a.detail) <
+                            std::tie(b.rule, b.component, b.edge, b.detail);
+                   });
   return report;
 }
 

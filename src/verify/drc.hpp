@@ -51,10 +51,43 @@
 //        or a forgotten wire. Components that declare nothing are *opaque*
 //        and exempt — plugins gain nothing mandatory.
 //
+// Liveness rules (verify/liveness.hpp) run over the channel dependency
+// graph (CDG) derived from the same walk: one node per buffer, one edge
+// u -> v per component that externally reads u and externally writes v
+// (draining u eventually needs capacity in v). Edges into unbounded buffers
+// are non-blocking; a GraphVisitor::sinks_unconditionally(u) declaration
+// deletes u's dependencies through that component.
+//
+//   D7 — no capacity-unbroken cycle in the CDG: a cycle of blocking edges
+//        can reach a state where every buffer on it is full and every drain
+//        waits on the next buffer's free space — classic channel deadlock,
+//        which D1-D6 cannot see. Every dependency cycle must contain an
+//        edge the hardware guarantees to sink (an unbounded stage or a
+//        declared unconditional sink, e.g. the ideal response bridge).
+//        Violations report the full cycle with buffer names and capacities.
+//
+//   D8 — no fixed-priority arbiter input on a dependency cycle: when the
+//        traffic that drains a low-priority input loops through the
+//        arbiter's own output, a steady preferred stream can starve it
+//        forever (livelock). Components declare their policy via
+//        GraphVisitor::arbitration; undeclared arbiters are assumed fair.
+//
+//   D9 — response paths must not share a buffer with the request paths
+//        they depend on (protocol-deadlock lint): a component that must
+//        emit a response to retire a request declares the pair via
+//        GraphVisitor::couples / couples_buffer, and the checker verifies
+//        the response's downstream buffers are disjoint from the request
+//        side — otherwise requests can occupy exactly the space the
+//        responses that would retire them need.
+//
 // Violations come back as a structured report (mempool.drc.v1 JSON via
-// DrcReport::to_json) and are surfaced three ways: `--drc` on every bench
+// DrcReport::to_json, sorted by rule/component/edge/detail so artifacts are
+// diffable) and are surfaced three ways: `--drc` on every bench
 // (runner/bench_cli.hpp), automatically at Cluster construction in Debug
-// builds, and as the arming pass of the MEMPOOL_DRC runtime checker.
+// builds, and as the arming pass of the MEMPOOL_DRC runtime checker. The
+// dynamic complement of D7-D9 is the engine's deterministic progress
+// watchdog (Engine::set_stall_horizon), which catches at runtime what the
+// static walk cannot prove and reports `mempool.liveness.v1`.
 
 #include <cstdint>
 #include <string>
@@ -72,7 +105,7 @@ namespace mempool::verify {
 /// edge (producer -> consumer, when the rule concerns an edge), and a
 /// human-readable explanation.
 struct DrcViolation {
-  std::string rule;       ///< "D1".."D6".
+  std::string rule;       ///< "D1".."D9".
   std::string component;  ///< Offending component (or buffer consumer) name.
   std::string edge;       ///< "producer -> consumer" when edge-shaped, else "".
   std::string detail;     ///< What is wrong and why it matters.
@@ -97,10 +130,12 @@ struct DrcReport {
   std::string summary() const;
 };
 
-/// Walk the declared component graph of @p engine and check rules D1-D6.
+/// Walk the declared component graph of @p engine and check rules D1-D9
+/// (structural rules plus the liveness rules of verify/liveness.hpp).
 /// @p num_shards is the cluster's shard partition size (Cluster::num_shards);
 /// pass 1 for unsharded graphs — D4/D5 then only check tag sanity.
 /// Components must already be registered; the engine is not stepped.
+/// Violations come back sorted by (rule, component, edge, detail).
 DrcReport run_drc(const Engine& engine, uint32_t num_shards);
 
 /// MEMPOOL_DRC arming pass: resolve every described buffer's consumer to its

@@ -1,0 +1,229 @@
+#pragma once
+// Internal to verify/: the declared-graph model shared by the structural DRC
+// (drc.cpp, rules D1-D6), the liveness DRC (liveness.cpp, rules D7-D9), and
+// the MEMPOOL_DRC arming pass. One GraphVisitor walk over the engine's
+// component list assembles components, buffers (with their BufferDecl facts),
+// direct edges, and the liveness annotations (request/response couplings,
+// unconditional sinks, arbitration fairness). Not part of the public verify
+// API — include verify/drc.hpp or verify/liveness.hpp instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/engine.hpp"
+
+namespace mempool::verify {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Everything the walk learns about one buffer (a Clocked element reached by
+/// declared data edges, or registered with the engine directly).
+struct BufferNode {
+  const Clocked* buf = nullptr;
+  bool described = false;  ///< buffer_info was emitted (ElasticBuffer).
+  BufferDecl decl;
+  std::vector<std::pair<std::size_t, std::string>> writers;  ///< (comp, label)
+  std::vector<std::pair<std::size_t, std::string>> readers;  ///< (comp, label)
+};
+
+/// Everything the walk learns about one component.
+struct CompNode {
+  bool opaque = true;  ///< describe() declared nothing at all.
+  bool self_ticking = false;
+  bool wake_on_demand = false;
+  bool wake_target = false;      ///< Some component wakes() it.
+  bool terminal_target = false;  ///< Some component delivers into it.
+  bool fixed_priority = false;   ///< Declared arbitration(kFixedPriority).
+};
+
+/// Same-cycle direct edge (terminal delivery or wake call).
+struct DirectEdge {
+  std::size_t src = 0;
+  const Wakeable* target = nullptr;
+  std::string label;
+};
+
+/// Request/response coupling: draining `req` (via component `comp`)
+/// eventually requires pushing into `resp`. Terminal responses are dropped
+/// at declaration time — they cannot be backpressured, so they cannot
+/// deadlock.
+struct Coupling {
+  std::size_t comp = 0;
+  const Clocked* req = nullptr;
+  const Clocked* resp = nullptr;
+  std::string label;
+};
+
+/// The declared graph, assembled by one GraphVisitor walk over the engine's
+/// component list.
+struct GraphModel : GraphVisitor {
+  const Engine* engine = nullptr;
+  std::size_t current = 0;  ///< Component whose describe() is on the stack.
+
+  std::vector<CompNode> comps;
+  std::unordered_map<const Wakeable*, std::size_t> comp_of;  ///< As Wakeable.
+  std::vector<BufferNode> buffers;
+  std::unordered_map<const Clocked*, std::size_t> buffer_of;
+  std::vector<DirectEdge> terminals;
+  std::vector<DirectEdge> wake_edges;
+  std::vector<Coupling> couplings;
+  /// (component, buffer) pairs the component drains unconditionally.
+  std::vector<std::pair<std::size_t, const Clocked*>> unconditional_sinks;
+  std::size_t edge_count = 0;
+
+  /// Buffer whose describe() is currently on the stack (phase B), or kNone.
+  std::size_t current_buffer = kNone;
+
+  std::size_t buffer_index(const Clocked* buf) {
+    auto [it, inserted] = buffer_of.try_emplace(buf, buffers.size());
+    if (inserted) {
+      buffers.emplace_back();
+      buffers.back().buf = buf;
+    }
+    return it->second;
+  }
+
+  // --- GraphVisitor ----------------------------------------------------------
+  void reads(const Clocked* buf, std::string_view label) override {
+    if (buf == nullptr) return;
+    comps[current].opaque = false;
+    buffers[buffer_index(buf)].readers.emplace_back(current,
+                                                    std::string(label));
+    ++edge_count;
+  }
+  void writes(const PacketSink* sink, std::string_view label) override {
+    if (sink == nullptr) return;
+    comps[current].opaque = false;
+    if (const Clocked* buf = sink->drc_buffer()) {
+      writes_buffer(buf, label);
+      return;
+    }
+    if (const Wakeable* target = sink->drc_terminal()) {
+      writes_terminal(target, label);
+      return;
+    }
+    // Sink resolves to neither a buffer nor a terminal: opaque endpoint
+    // (custom plugin sink); nothing to check.
+  }
+  void writes_buffer(const Clocked* buf, std::string_view label) override {
+    if (buf == nullptr) return;
+    comps[current].opaque = false;
+    buffers[buffer_index(buf)].writers.emplace_back(current,
+                                                    std::string(label));
+    ++edge_count;
+  }
+  void writes_terminal(const Wakeable* target,
+                       std::string_view label) override {
+    if (target == nullptr) return;
+    comps[current].opaque = false;
+    terminals.push_back({current, target, std::string(label)});
+    ++edge_count;
+  }
+  void wakes(const Wakeable* target, std::string_view label) override {
+    if (target == nullptr) return;
+    comps[current].opaque = false;
+    wake_edges.push_back({current, target, std::string(label)});
+    ++edge_count;
+  }
+  void self_ticking() override {
+    comps[current].opaque = false;
+    comps[current].self_ticking = true;
+  }
+  void wake_on_demand() override {
+    comps[current].opaque = false;
+    comps[current].wake_on_demand = true;
+  }
+
+  // --- liveness annotations --------------------------------------------------
+  void couples(const Clocked* req, const PacketSink* resp,
+               std::string_view label) override {
+    if (req == nullptr || resp == nullptr) return;
+    // Terminal responses (drc_terminal) are always accepted, so the coupling
+    // cannot participate in a deadlock — drop it here.
+    if (const Clocked* buf = resp->drc_buffer()) {
+      couples_buffer(req, buf, label);
+    }
+  }
+  void couples_buffer(const Clocked* req, const Clocked* resp,
+                      std::string_view label) override {
+    if (req == nullptr || resp == nullptr) return;
+    buffer_index(req);
+    buffer_index(resp);
+    couplings.push_back({current, req, resp, std::string(label)});
+  }
+  void sinks_unconditionally(const Clocked* buf,
+                             std::string_view /*label*/) override {
+    if (buf == nullptr) return;
+    buffer_index(buf);
+    unconditional_sinks.emplace_back(current, buf);
+  }
+  void arbitration(ArbiterFairness fairness) override {
+    comps[current].fixed_priority =
+        fairness == ArbiterFairness::kFixedPriority;
+  }
+
+  void buffer_info(const BufferDecl& decl) override {
+    if (current_buffer == kNone) return;
+    buffers[current_buffer].described = true;
+    buffers[current_buffer].decl = decl;
+  }
+
+  // --- walk ------------------------------------------------------------------
+  void build(const Engine& e) {
+    engine = &e;
+    const std::vector<Component*>& list = e.components();
+    comps.resize(list.size());
+    comp_of.reserve(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      comp_of.emplace(static_cast<const Wakeable*>(list[i]), i);
+    }
+    // Phase A: every component declares its edges.
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      current = i;
+      list[i]->describe(*this);
+    }
+    // Phase B: every buffer reached by an edge — plus every engine-registered
+    // clocked element — reports its structural facts (mode, consumer,
+    // boundary). Non-buffer clocked elements keep the no-op default and stay
+    // opaque.
+    for (const Clocked* c : e.clocked_elements()) buffer_index(c);
+    for (std::size_t b = 0; b < buffers.size(); ++b) {
+      current_buffer = b;
+      buffers[b].buf->describe(*this);
+    }
+    current_buffer = kNone;
+  }
+
+  // --- lookups ---------------------------------------------------------------
+  const std::string& comp_name(std::size_t i) const {
+    return engine->components()[i]->name();
+  }
+  uint32_t comp_shard(std::size_t i) const {
+    return engine->component_shards()[i];
+  }
+  /// Resolve a wake target back to a registered component, kNone otherwise.
+  std::size_t resolve(const Wakeable* w) const {
+    const auto it = comp_of.find(w);
+    return it == comp_of.end() ? kNone : it->second;
+  }
+  /// Diagnostic name for a buffer: its consumer's perspective.
+  std::string buffer_name(const BufferNode& node) const {
+    const std::size_t c = resolve(node.decl.consumer);
+    std::string label = "?";
+    if (c != kNone) {
+      label = comp_name(c);
+    }
+    for (const auto& [reader, port] : node.readers) {
+      return comp_name(reader) + "." + port;
+    }
+    return label + ".<in>";
+  }
+};
+
+}  // namespace mempool::verify

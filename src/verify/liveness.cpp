@@ -1,0 +1,346 @@
+#include "verify/liveness.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "verify/drc.hpp"
+#include "verify/graph_model.hpp"
+
+namespace mempool::verify {
+
+namespace {
+
+void add_liveness_violation(DrcReport* report, const char* rule,
+                            std::string component, std::string edge,
+                            std::string detail) {
+  report->violations.push_back(
+      {rule, std::move(component), std::move(edge), std::move(detail)});
+}
+
+/// CDG plus the adjacency views the rule checks walk.
+struct DepGraph {
+  Cdg cdg;
+  std::vector<std::vector<std::size_t>> out;  ///< Dep adjacency (all edges).
+  std::vector<std::vector<std::size_t>> in;   ///< Reverse dep adjacency.
+  std::vector<std::vector<std::size_t>> blocking_out;  ///< D7 subgraph.
+};
+
+DepGraph build_dep_graph(const GraphModel& g) {
+  DepGraph dep;
+  const std::size_t nbuf = g.buffers.size();
+  dep.cdg.buffers.resize(nbuf);
+  dep.cdg.capacity.resize(nbuf);
+  for (std::size_t b = 0; b < nbuf; ++b) {
+    dep.cdg.buffers[b] = g.buffer_name(g.buffers[b]);
+    // Undescribed clocked elements keep decl's default capacity 0
+    // (unbounded): conservative — they can never anchor a D7 cycle.
+    dep.cdg.capacity[b] = g.buffers[b].decl.capacity;
+  }
+
+  // Collapse every component to its boundary ports. External in: a buffer
+  // the component reads that some *other* component writes (internal
+  // staging, where the only writer is the reader itself, drops out).
+  // External out: a buffer the component writes whose consumer is not the
+  // component itself.
+  const std::size_t ncomp = g.comps.size();
+  std::vector<std::vector<std::size_t>> ext_in(ncomp);
+  std::vector<std::vector<std::size_t>> ext_out(ncomp);
+  for (std::size_t b = 0; b < nbuf; ++b) {
+    const BufferNode& node = g.buffers[b];
+    for (const auto& [reader, port] : node.readers) {
+      (void)port;
+      for (const auto& [writer, wport] : node.writers) {
+        (void)wport;
+        if (writer != reader) {
+          ext_in[reader].push_back(b);
+          break;
+        }
+      }
+    }
+    for (const auto& [writer, wport] : node.writers) {
+      (void)wport;
+      if (g.resolve(node.decl.consumer) != writer) {
+        ext_out[writer].push_back(b);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < ncomp; ++c) {
+    auto dedupe = [](std::vector<std::size_t>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    dedupe(&ext_in[c]);
+    dedupe(&ext_out[c]);
+  }
+
+  std::set<std::pair<std::size_t, const Clocked*>> sink_set(
+      g.unconditional_sinks.begin(), g.unconditional_sinks.end());
+
+  dep.out.resize(nbuf);
+  dep.in.resize(nbuf);
+  dep.blocking_out.resize(nbuf);
+  for (std::size_t c = 0; c < ncomp; ++c) {
+    for (const std::size_t u : ext_in[c]) {
+      // A declared unconditional sink never backpressures its drain: the
+      // component contributes no dependency out of u at all.
+      if (sink_set.count({c, g.buffers[u].buf}) != 0) continue;
+      for (const std::size_t v : ext_out[c]) {
+        if (u == v) continue;
+        dep.cdg.edges.push_back(
+            {u, v, c, /*blocking=*/dep.cdg.capacity[v] != 0});
+        dep.out[u].push_back(v);
+        dep.in[v].push_back(u);
+        if (dep.cdg.capacity[v] != 0) dep.blocking_out[u].push_back(v);
+      }
+    }
+  }
+  return dep;
+}
+
+/// Tarjan SCC (iterative), deterministic: nodes visited in index order.
+std::vector<std::size_t> strongly_connected(
+    const std::vector<std::vector<std::size_t>>& adj) {
+  const std::size_t n = adj.size();
+  std::vector<uint32_t> order(n, UINT32_MAX);
+  std::vector<uint32_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> scc(n, kNone);
+  uint32_t next_order = 0;
+  std::size_t num_scc = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (order[s] != UINT32_MAX) continue;
+    frames.push_back({s, 0});
+    order[s] = low[s] = next_order++;
+    stack.push_back(s);
+    on_stack[s] = true;
+    while (!frames.empty()) {
+      const std::size_t v = frames.back().v;
+      if (frames.back().edge < adj[v].size()) {
+        const std::size_t w = adj[v][frames.back().edge++];
+        if (order[w] == UINT32_MAX) {
+          order[w] = low[w] = next_order++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], order[w]);
+        }
+      } else {
+        if (low[v] == order[v]) {
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = num_scc;
+            if (w == v) break;
+          }
+          ++num_scc;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+  }
+  return scc;
+}
+
+/// Per-SCC member counts (an SCC is cyclic iff it has >= 2 members; the
+/// edge builder drops self-edges, so single-node cycles cannot occur).
+std::vector<std::size_t> scc_sizes(const std::vector<std::size_t>& scc) {
+  std::vector<std::size_t> sizes;
+  for (const std::size_t id : scc) {
+    if (id == kNone) continue;
+    if (id >= sizes.size()) sizes.resize(id + 1, 0);
+    ++sizes[id];
+  }
+  return sizes;
+}
+
+/// Shortest cycle through @p start inside its SCC of @p adj (BFS back to
+/// start). @p start must be in a cyclic SCC reachable over @p adj.
+std::vector<std::size_t> cycle_through(
+    const std::vector<std::vector<std::size_t>>& adj,
+    const std::vector<std::size_t>& scc, std::size_t start) {
+  std::vector<std::size_t> parent(adj.size(), kNone);
+  std::deque<std::size_t> queue;
+  for (const std::size_t w : adj[start]) {
+    if (scc[w] != scc[start] || parent[w] != kNone) continue;
+    parent[w] = start;
+    queue.push_back(w);
+  }
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop_front();
+    if (v == start) break;
+    for (const std::size_t w : adj[v]) {
+      if (scc[w] != scc[start]) continue;
+      if (w == start) {
+        // Reconstruct start -> ... -> v -> start.
+        std::vector<std::size_t> path{start};
+        std::vector<std::size_t> rev;
+        for (std::size_t p = v; p != start; p = parent[p]) rev.push_back(p);
+        path.insert(path.end(), rev.rbegin(), rev.rend());
+        path.push_back(start);
+        return path;
+      }
+      if (parent[w] == kNone) {
+        parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  return {start, start};  // Unreachable for a well-formed cyclic SCC.
+}
+
+std::string render_cycle(const Cdg& cdg, const std::vector<std::size_t>& path) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i != 0) os << " -> ";
+    os << cdg.buffers[path[i]];
+    if (i + 1 != path.size()) {
+      if (cdg.capacity[path[i]] == 0) {
+        os << "(unbounded)";
+      } else {
+        os << "(cap " << cdg.capacity[path[i]] << ")";
+      }
+    }
+  }
+  return os.str();
+}
+
+/// D7: every dependency cycle must contain a non-blocking edge (unbounded
+/// target or declared unconditional sink). A cycle of blocking edges can
+/// reach a state where every buffer is full and every drain waits on the
+/// next buffer's capacity: classic channel deadlock.
+void check_capacity_cycles(const DepGraph& dep, DrcReport* report) {
+  const std::vector<std::size_t> scc = strongly_connected(dep.blocking_out);
+  const std::vector<std::size_t> sizes = scc_sizes(scc);
+  std::set<std::size_t> reported;
+  for (std::size_t b = 0; b < dep.cdg.buffers.size(); ++b) {
+    const std::size_t id = scc[b];
+    if (id == kNone || sizes[id] < 2 || reported.count(id) != 0) continue;
+    reported.insert(id);
+    const std::vector<std::size_t> path =
+        cycle_through(dep.blocking_out, scc, b);
+    std::ostringstream os;
+    os << "capacity-unbroken dependency cycle over " << sizes[id]
+       << " buffers: every drain on the cycle waits on the next buffer's "
+          "free space, so one full lap of in-flight packets wedges the "
+          "fabric; break it with an unbounded stage, an unconditional sink "
+          "(GraphVisitor::sinks_unconditionally), or a topology change";
+    add_liveness_violation(report, "D7", dep.cdg.buffers[b],
+                           render_cycle(dep.cdg, path), os.str());
+  }
+}
+
+/// D8: a fixed-priority arbiter input on a dependency cycle is a starvation
+/// risk — the traffic that refills it loops through the arbiter's own
+/// output, so a steady high-priority stream can defer it forever.
+void check_starvation(const GraphModel& g, const DepGraph& dep,
+                      DrcReport* report) {
+  const std::vector<std::size_t> scc = strongly_connected(dep.out);
+  const std::vector<std::size_t> sizes = scc_sizes(scc);
+  std::set<std::pair<std::size_t, std::size_t>> reported;  // (comp, buffer)
+  for (const CdgEdge& e : dep.cdg.edges) {
+    if (!g.comps[e.via].fixed_priority) continue;
+    if (scc[e.from] == kNone || sizes[scc[e.from]] < 2) continue;
+    if (!reported.insert({e.via, e.from}).second) continue;
+    std::ostringstream os;
+    os << "fixed-priority arbiter input '" << dep.cdg.buffers[e.from]
+       << "' sits on a dependency cycle: the traffic that drains it competes "
+          "with traffic the arbiter prefers, and the preferred stream is fed "
+          "from the arbiter's own output — a steady stream starves this "
+          "input forever; use round-robin arbitration or break the cycle";
+    add_liveness_violation(report, "D8", g.comp_name(e.via),
+                           dep.cdg.buffers[e.from], os.str());
+  }
+}
+
+/// D9: the response path a request coupling depends on must not share a
+/// buffer with the request path — a shared buffer lets requests occupy the
+/// space responses need to retire those very requests (protocol deadlock).
+void check_protocol_sharing(const GraphModel& g, const DepGraph& dep,
+                            DrcReport* report) {
+  // Nodes reachable from @p start over @p adj; start itself is included
+  // only when a cycle leads back to it.
+  auto closure = [&](std::size_t start,
+                     const std::vector<std::vector<std::size_t>>& adj) {
+    std::vector<bool> reached(adj.size(), false);
+    std::deque<std::size_t> queue{start};
+    while (!queue.empty()) {
+      const std::size_t v = queue.front();
+      queue.pop_front();
+      for (const std::size_t w : adj[v]) {
+        if (reached[w]) continue;
+        reached[w] = true;
+        queue.push_back(w);
+      }
+    }
+    return reached;
+  };
+
+  for (const Coupling& c : g.couplings) {
+    const auto req_it = g.buffer_of.find(c.req);
+    const auto resp_it = g.buffer_of.find(c.resp);
+    if (req_it == g.buffer_of.end() || resp_it == g.buffer_of.end()) continue;
+    const std::size_t req = req_it->second;
+    const std::size_t resp = resp_it->second;
+    // Downstream of the response vs. the request path (everything that
+    // feeds the request buffer, plus the buffer itself).
+    const std::vector<bool> resp_fwd = closure(resp, dep.out);
+    std::vector<bool> req_side = closure(req, dep.in);
+    req_side[req] = true;
+    std::vector<std::size_t> shared;
+    for (std::size_t b = 0; b < resp_fwd.size(); ++b) {
+      if (b != resp && resp_fwd[b] && req_side[b]) shared.push_back(b);
+    }
+    if (shared.empty()) continue;
+    std::vector<std::string> names;
+    names.reserve(shared.size());
+    for (const std::size_t b : shared) names.push_back(dep.cdg.buffers[b]);
+    std::sort(names.begin(), names.end());
+    std::ostringstream os;
+    os << "response path of coupling '" << c.label
+       << "' shares buffer(s) with the request path it depends on [";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << names[i];
+    }
+    os << "]: requests can fill the shared space and block the responses "
+          "that would retire them — give responses a dedicated network or "
+          "declare an unconditional sink on the shared stage";
+    add_liveness_violation(
+        report, "D9", g.comp_name(c.comp),
+        dep.cdg.buffers[req] + " -> " + dep.cdg.buffers[resp], os.str());
+  }
+}
+
+}  // namespace
+
+Cdg extract_cdg(const Engine& engine) {
+  GraphModel g;
+  g.build(engine);
+  return build_dep_graph(g).cdg;
+}
+
+void check_liveness_rules(const GraphModel& g, DrcReport* report) {
+  const DepGraph dep = build_dep_graph(g);
+  check_capacity_cycles(dep, report);
+  check_starvation(g, dep, report);
+  check_protocol_sharing(g, dep, report);
+}
+
+}  // namespace mempool::verify

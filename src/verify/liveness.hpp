@@ -1,0 +1,58 @@
+#pragma once
+// Liveness DRC: channel-dependency-graph (CDG) deadlock analysis over the
+// declared component graph, the static half of the liveness layer (the
+// dynamic half is the engine's progress watchdog, Engine::set_stall_horizon).
+//
+// The CDG has one node per buffer and one edge u -> v per component c that
+// externally reads u and externally writes v: draining u through c
+// eventually requires free capacity in v. "External" collapses each
+// component to its boundary ports — buffers a component both writes and
+// consumes itself (a butterfly's internal layer staging) contribute no
+// edges, so pipelines do not read as cycles. Two annotations refine the
+// graph: GraphVisitor::sinks_unconditionally(u) deletes u's outgoing
+// dependencies through that component (draining is never backpressured),
+// and an edge into an unbounded buffer (capacity 0) is recorded as
+// non-blocking. Rules D7-D9 run over this graph; verify/drc.hpp is the
+// canonical rule statement and run_drc() includes them in every report.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mempool {
+class Engine;
+}
+
+namespace mempool::verify {
+
+struct DrcReport;
+struct GraphModel;
+
+/// One channel dependency: draining `from` via component `via` requires
+/// capacity in `to`. Non-blocking edges (unbounded target) participate in
+/// the starvation rule D8 and the sharing lint D9 but cannot deadlock (D7).
+struct CdgEdge {
+  std::size_t from = 0;  ///< Index into Cdg::buffers.
+  std::size_t to = 0;    ///< Index into Cdg::buffers.
+  std::size_t via = 0;   ///< Component index (engine registration order).
+  bool blocking = true;  ///< False when `to` is unbounded.
+};
+
+/// The extracted channel dependency graph (exposed for tests and tooling;
+/// the checks themselves run through check_liveness_rules).
+struct Cdg {
+  std::vector<std::string> buffers;   ///< Diagnostic names (DRC convention).
+  std::vector<std::size_t> capacity;  ///< Parallel to buffers; 0 = unbounded.
+  std::vector<CdgEdge> edges;
+};
+
+/// Derive the CDG from @p engine's declared graph (components must be
+/// registered; the engine is not stepped).
+Cdg extract_cdg(const Engine& engine);
+
+/// Append D7/D8/D9 violations found in @p g's dependency graph to
+/// @p report. Called by run_drc(); standalone use only needs a built
+/// GraphModel.
+void check_liveness_rules(const GraphModel& g, DrcReport* report);
+
+}  // namespace mempool::verify

@@ -42,7 +42,8 @@ double parse_number_or_exit(const char* arg, const char* what) {
 static int bench_main(int argc, char** argv) {
   BenchOptions opts = parse_bench_options(&argc, argv, "traffic_explorer",
                                           /*accepts_topology=*/true,
-                                          /*accepts_memory=*/true);
+                                          /*accepts_memory=*/true,
+                                          /*accepts_checkpoint=*/true);
 
   TopologySpec topo = Topology::kTopH;
   int pos = 1;  // next positional argument
@@ -63,8 +64,25 @@ static int bench_main(int argc, char** argv) {
   opts.apply_engine(&e);
   e.p_local_seq = p_local;
 
+  if (opts.wants_checkpointing() && lambda < 0) {
+    std::fprintf(stderr,
+                 "traffic_explorer: --checkpoint-every/--restore run a single "
+                 "point — give an explicit lambda\n");
+    return 2;
+  }
+
   if (lambda >= 0) {
     e.lambda = lambda;
+    if (opts.wants_checkpointing()) {
+      // Crash-safe single point: periodic mempool.ckpt.v1 images, optional
+      // resume; the finished point is bit-identical to an uninterrupted run.
+      const TrafficPoint p = run_checkpointed_point(opts, e);
+      std::printf("%s  offered=%.3f p_local=%.2f -> accepted=%.3f "
+                  "avg_lat=%.2f p95=%.1f max=%.0f cycles\n",
+                  topo.name.c_str(), p.offered, p_local, p.accepted,
+                  p.avg_latency, p.p95_latency, p.max_latency);
+      return 0;
+    }
     // One point, still through the runner so --json works here too; a single
     // worker, so no idle threads spin up for one task.
     opts.progress = false;

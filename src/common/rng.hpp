@@ -66,6 +66,16 @@ class Rng {
   /// True with probability @p p.
   bool next_bool(double p) { return next_double() < p; }
 
+  /// Checkpoint access to the raw xoshiro state: save/restore the four state
+  /// words so a restored stream continues with the exact draw sequence the
+  /// uninterrupted one would have produced.
+  void save_state(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void load_state(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
   /// Poisson-distributed sample with mean @p lambda (Knuth's method; the
   /// injected loads used in the paper are <= 1 request/core/cycle, so the
   /// simple algorithm is both exact and fast).

@@ -59,6 +59,17 @@ void Histogram::absorb(const Histogram& other) {
   overflow_ += other.overflow_;
 }
 
+void Histogram::restore(const std::vector<uint64_t>& buckets, uint64_t count,
+                        uint64_t overflow) {
+  MEMPOOL_CHECK_MSG(buckets.size() == buckets_.size(),
+                    "restoring a histogram with a different shape ("
+                        << buckets.size() << " buckets into "
+                        << buckets_.size() << ")");
+  buckets_ = buckets;
+  count_ = count;
+  overflow_ = overflow;
+}
+
 Json RunningStat::to_json() const {
   Json j = Json::object();
   j.set("count", n_);

@@ -59,6 +59,12 @@ class Histogram {
   /// bucket; overflow samples count at the top edge.
   double quantile(double q) const;
 
+  /// Checkpoint restore: overwrite the counts wholesale (geometry must
+  /// match). Counts are integers, so a restored histogram is exactly the
+  /// saved one.
+  void restore(const std::vector<uint64_t>& buckets, uint64_t count,
+               uint64_t overflow);
+
   /// {"bucket_width":w,"counts":[...],"overflow":N}; trailing zero buckets
   /// are trimmed to keep results files small.
   Json to_json() const;

@@ -79,6 +79,14 @@ bool IdealRespBridge::idle() const {
   return true;
 }
 
+void IdealRespBridge::save_state(StateSink& s) const {
+  for (const PacketBuffer& buf : bufs_) buf.save_state(s);
+}
+
+void IdealRespBridge::load_state(StateSource& s) {
+  for (PacketBuffer& buf : bufs_) buf.load_state(s);
+}
+
 void IdealRespBridge::describe(GraphVisitor& v) const {
   std::size_t b = 0;
   for (const auto& buf : bufs_) {

@@ -94,6 +94,10 @@ class IdealRespBridge final : public Component {
   /// client (terminal edges).
   void describe(GraphVisitor& v) const override;
 
+  /// Checkpoint: the per-bank registered response buffers.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
+
  private:
   std::deque<PacketBuffer> bufs_;  // deque: ElasticBuffer is pinned
   std::vector<BufferSink<PacketBuffer>> sinks_;

@@ -489,4 +489,84 @@ void SnitchCore::describe(GraphVisitor& v) const {
   }
 }
 
+void SnitchCore::save_state(StateSink& s) const {
+  for (const uint32_t r : regs_) s.u32(r);
+  s.u32(pc_);
+  s.b(halted_);
+  s.u32(exit_code_);
+  s.str(console_);
+  rob_.save_state(s);
+  for (const bool p : mem_pending_) s.b(p);
+  for (const uint64_t c : alu_ready_) s.u64(c);
+  s.u64(next_issue_cycle_);
+  s.b(ir_valid_);
+  s.u32(ir_pc_);
+  s.u64(last_cycle_);
+  s.u32(mscratch_);
+  s.u32(dma_src_);
+  s.u32(dma_dst_);
+  s.u32(dma_rows_);
+  s.u32(dma_src_stride_);
+  s.u32(dma_dst_stride_);
+  s.u64(stats_.instret);
+  s.u64(stats_.cycles);
+  s.u64(stats_.stall_fetch);
+  s.u64(stats_.stall_raw);
+  s.u64(stats_.stall_rob);
+  s.u64(stats_.stall_port);
+  s.u64(stats_.stall_ctrl);
+  s.u64(stats_.alu);
+  s.u64(stats_.mul);
+  s.u64(stats_.div);
+  s.u64(stats_.branches);
+  s.u64(stats_.loads_local);
+  s.u64(stats_.loads_remote);
+  s.u64(stats_.stores_local);
+  s.u64(stats_.stores_remote);
+  s.u64(stats_.amos);
+  s.u64(stats_.dma_submits);
+  s.u64(stats_.resp_latency_sum);
+  s.u64(stats_.resp_count);
+}
+
+void SnitchCore::load_state(StateSource& s) {
+  for (uint32_t& r : regs_) r = s.u32();
+  pc_ = s.u32();
+  halted_ = s.b();
+  exit_code_ = s.u32();
+  console_ = s.str();
+  rob_.load_state(s);
+  for (bool& p : mem_pending_) p = s.b();
+  for (uint64_t& c : alu_ready_) c = s.u64();
+  next_issue_cycle_ = s.u64();
+  ir_valid_ = s.b();
+  ir_pc_ = s.u32();
+  last_cycle_ = s.u64();
+  mscratch_ = s.u32();
+  dma_src_ = s.u32();
+  dma_dst_ = s.u32();
+  dma_rows_ = s.u32();
+  dma_src_stride_ = s.u32();
+  dma_dst_stride_ = s.u32();
+  stats_.instret = s.u64();
+  stats_.cycles = s.u64();
+  stats_.stall_fetch = s.u64();
+  stats_.stall_raw = s.u64();
+  stats_.stall_rob = s.u64();
+  stats_.stall_port = s.u64();
+  stats_.stall_ctrl = s.u64();
+  stats_.alu = s.u64();
+  stats_.mul = s.u64();
+  stats_.div = s.u64();
+  stats_.branches = s.u64();
+  stats_.loads_local = s.u64();
+  stats_.loads_remote = s.u64();
+  stats_.stores_local = s.u64();
+  stats_.stores_remote = s.u64();
+  stats_.amos = s.u64();
+  stats_.dma_submits = s.u64();
+  stats_.resp_latency_sum = s.u64();
+  stats_.resp_count = s.u64();
+}
+
 }  // namespace mempool

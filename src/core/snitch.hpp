@@ -94,6 +94,12 @@ class SnitchCore final : public Client {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Checkpoint: architectural state (regfile, pc, CSRs, console, DMA config
+  /// registers) plus microarchitectural state (ROB, scoreboard, instruction
+  /// register, stall bookkeeping) and statistics.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
+
  private:
   bool reg_ready(uint8_t r, uint64_t cycle) const {
     return !mem_pending_[r] && alu_ready_[r] <= cycle;

@@ -159,4 +159,44 @@ void SpmBank::evaluate(uint64_t /*cycle*/) {
   }
 }
 
+void SpmBank::save_state(StateSink& s) const {
+  s.u32(static_cast<uint32_t>(words_.size()));
+  for (const uint32_t w : words_) s.u32(w);
+  req_in_.save_state(s);
+  s.u32(static_cast<uint32_t>(reservations_.size()));
+  for (const Reservation& r : reservations_) {
+    s.u16(r.src);
+    s.u32(r.row);
+  }
+  s.u64(reads_);
+  s.u64(writes_);
+  s.u64(atomics_);
+  s.u64(stalls_);
+  s.u64(dma_reads_);
+  s.u64(dma_writes_);
+}
+
+void SpmBank::load_state(StateSource& s) {
+  const uint32_t rows = s.u32();
+  MEMPOOL_CHECK_MSG(rows == words_.size(),
+                    name() << ": snapshot has " << rows << " rows, bank has "
+                           << words_.size());
+  for (uint32_t& w : words_) w = s.u32();
+  req_in_.load_state(s);
+  reservations_.clear();
+  const uint32_t nres = s.u32();
+  for (uint32_t i = 0; i < nres; ++i) {
+    Reservation r{};
+    r.src = s.u16();
+    r.row = s.u32();
+    reservations_.push_back(r);
+  }
+  reads_ = s.u64();
+  writes_ = s.u64();
+  atomics_ = s.u64();
+  stalls_ = s.u64();
+  dma_reads_ = s.u64();
+  dma_writes_ = s.u64();
+}
+
 }  // namespace mempool

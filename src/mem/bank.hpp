@@ -58,6 +58,10 @@ class SpmBank final : public Component {
   uint32_t backdoor_read(uint32_t row) const;
   void backdoor_write(uint32_t row, uint32_t value);
 
+  /// Checkpoint: memory image, request queue, LR/SC reservations, counters.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
+
   /// Dedicated DMA port (tcdm+l2's per-group engines): word access that is
   /// paced by the DMA backend's burst schedule, not by the tile crossbars,
   /// and counted separately from the core-side accesses.

@@ -386,4 +386,107 @@ void DmaBackend::describe(GraphVisitor& v) const {
   }
 }
 
+void DmaFrontend::save_state(StateSink& s) const {
+  s.u32(static_cast<uint32_t>(subs_.size()));
+  for (const auto& [core, desc] : subs_) {
+    s.u16(core);
+    save_item(s, desc);
+  }
+  s.u32(static_cast<uint32_t>(table_.size()));
+  for (const DescState& d : table_) {
+    s.u16(d.core);
+    s.u32(d.remaining);
+  }
+  s.u32(in_use_);
+  s.u16(next_id_);
+  s.u32(static_cast<uint32_t>(pending_.size()));
+  for (const uint32_t p : pending_) s.u32(p);
+  s.u32(outstanding_);
+  for (const ElasticBuffer<DmaCompletion>& buf : comp_in_) buf.save_state(s);
+  s.u64(descriptors_);
+  s.u64(slices_);
+}
+
+void DmaFrontend::load_state(StateSource& s) {
+  subs_.clear();
+  const uint32_t nsubs = s.u32();
+  for (uint32_t i = 0; i < nsubs; ++i) {
+    const uint16_t core = s.u16();
+    DmaDescriptor d;
+    load_item(s, &d);
+    subs_.emplace_back(core, d);
+  }
+  const uint32_t ntable = s.u32();
+  MEMPOOL_CHECK_MSG(ntable == table_.size(),
+                    name() << ": DMA descriptor table size mismatch");
+  for (DescState& d : table_) {
+    d.core = s.u16();
+    d.remaining = s.u32();
+  }
+  in_use_ = s.u32();
+  next_id_ = s.u16();
+  const uint32_t npending = s.u32();
+  MEMPOOL_CHECK_MSG(npending == pending_.size(),
+                    name() << ": DMA pending table size mismatch");
+  for (uint32_t& p : pending_) p = s.u32();
+  outstanding_ = s.u32();
+  for (ElasticBuffer<DmaCompletion>& buf : comp_in_) buf.load_state(s);
+  descriptors_ = s.u64();
+  slices_ = s.u64();
+}
+
+void DmaBackend::save_state(StateSink& s) const {
+  for (const ElasticBuffer<DmaSliceCmd>& buf : cmd_in_) buf.save_state(s);
+  s.b(active_);
+  save_item(s, slice_);
+  s.u64(slice_words_);
+  s.u64(words_done_);
+  s.u32(cursor_row_);
+  s.u32(cursor_col_);
+  s.u64(slice_start_);
+  s.u64(burst_done_);
+  s.u64(port_free_);
+  s.u32(burst_count_);
+  s.u32(static_cast<uint32_t>(bank_free_.size()));
+  for (const uint64_t f : bank_free_) s.u64(f);
+  s.u64(bursts_);
+  s.u64(words_in_);
+  s.u64(words_out_);
+  s.u64(l2_reads_);
+  s.u64(l2_writes_);
+  s.u64(busy_);
+  // Exactly one backend per memory system has group 0; it carries the shared
+  // L2 image so the section layout stays one-section-per-component.
+  if (group_ == 0) l2_->save_state(s);
+}
+
+void DmaBackend::load_state(StateSource& s) {
+  for (ElasticBuffer<DmaSliceCmd>& buf : cmd_in_) buf.load_state(s);
+  active_ = s.b();
+  load_item(s, &slice_);
+  slice_words_ = s.u64();
+  words_done_ = s.u64();
+  cursor_row_ = s.u32();
+  cursor_col_ = s.u32();
+  slice_start_ = s.u64();
+  burst_done_ = s.u64();
+  port_free_ = s.u64();
+  burst_count_ = s.u32();
+  const uint32_t nbanks = s.u32();
+  MEMPOOL_CHECK_MSG(nbanks == bank_free_.size(),
+                    name() << ": L2 bank count mismatch");
+  for (uint64_t& f : bank_free_) f = s.u64();
+  bursts_ = s.u64();
+  words_in_ = s.u64();
+  words_out_ = s.u64();
+  l2_reads_ = s.u64();
+  l2_writes_ = s.u64();
+  busy_ = s.u64();
+  if (group_ == 0) l2_->load_state(s);
+  // Re-arm the burst-completion wake. A burst_done_ at or before the
+  // restored cycle wakes immediately — the uninterrupted run's timer for
+  // that cycle had not fired at the save point either.
+  if (active_) engine_->wake_at(burst_done_, this);
+}
+
 }  // namespace mempool

@@ -111,6 +111,19 @@ class L2Memory {
   uint32_t read(uint32_t cpu_addr) const { return words_[index(cpu_addr)]; }
   void write(uint32_t cpu_addr, uint32_t v) { words_[index(cpu_addr)] = v; }
 
+  /// Checkpoint of the word array. The L2 is shared by all backends; the
+  /// group-0 backend owns its snapshot section (exactly one exists per
+  /// tcdm+l2 memory system).
+  void save_state(StateSink& s) const {
+    s.u32(static_cast<uint32_t>(words_.size()));
+    for (const uint32_t w : words_) s.u32(w);
+  }
+  void load_state(StateSource& s) {
+    const uint32_t n = s.u32();
+    MEMPOOL_CHECK_MSG(n == words_.size(), "L2 snapshot size mismatch");
+    for (uint32_t& w : words_) w = s.u32();
+  }
+
  private:
   uint32_t index(uint32_t cpu_addr) const {
     MEMPOOL_CHECK_MSG(contains(cpu_addr) && cpu_addr % 4 == 0,
@@ -136,6 +149,40 @@ struct DmaSliceCmd {
 struct DmaCompletion {
   uint16_t desc_id = 0;
 };
+
+/// Checkpoint serialization for descriptors and the frontend<->backend
+/// buffer payloads (ADL pairs looked up by ElasticBuffer::save_state, like
+/// the Packet overloads in sim/packet.hpp).
+inline void save_item(StateSink& s, const DmaDescriptor& d) {
+  s.u32(d.src);
+  s.u32(d.dst);
+  s.u32(d.words_per_row);
+  s.u32(d.rows);
+  s.u32(d.src_stride);
+  s.u32(d.dst_stride);
+}
+inline void load_item(StateSource& s, DmaDescriptor* d) {
+  d->src = s.u32();
+  d->dst = s.u32();
+  d->words_per_row = s.u32();
+  d->rows = s.u32();
+  d->src_stride = s.u32();
+  d->dst_stride = s.u32();
+}
+inline void save_item(StateSink& s, const DmaSliceCmd& c) {
+  save_item(s, c.desc);
+  s.u32(c.src_group);
+  s.u16(c.desc_id);
+  s.u64(c.words);
+}
+inline void load_item(StateSource& s, DmaSliceCmd* c) {
+  load_item(s, &c->desc);
+  c->src_group = s.u32();
+  c->desc_id = s.u16();
+  c->words = s.u64();
+}
+inline void save_item(StateSink& s, const DmaCompletion& c) { s.u16(c.desc_id); }
+inline void load_item(StateSource& s, DmaCompletion* c) { c->desc_id = s.u16(); }
 
 class DmaBackend;
 
@@ -176,6 +223,11 @@ class DmaFrontend final : public Component, public DmaPortal {
   uint64_t slices_issued() const { return slices_; }
   /// Descriptors currently in flight anywhere (0 = hierarchy quiescent).
   uint32_t outstanding() const { return outstanding_; }
+
+  /// Checkpoint: unsplit submissions, descriptor table, per-core pending
+  /// counts, completion inputs, counters.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
 
  private:
   /// Slots available for concurrently in-flight descriptors per group.
@@ -246,6 +298,12 @@ class DmaBackend final : public Component {
   /// Cycles this engine spent with a slice in flight (busy windows are
   /// disjoint: slices execute back to back).
   uint64_t busy_cycles() const { return busy_; }
+
+  /// Checkpoint: command inputs, the active slice (cursor, burst schedule,
+  /// AXI/bank availability), counters — and the shared L2 image when this is
+  /// the group-0 backend. load_state re-arms the burst-completion wake.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
 
  private:
   bool next_cmd();

@@ -89,4 +89,43 @@ void ICache::evaluate(uint64_t cycle) {
   }
 }
 
+void ICache::save_state(StateSink& s) const {
+  s.u32(static_cast<uint32_t>(lines_.size()));
+  for (const Line& l : lines_) {
+    s.b(l.valid);
+    s.u32(l.tag);
+    s.u64(l.lru);
+  }
+  s.b(refill_.active);
+  s.u32(refill_.line_addr);
+  s.u64(refill_.done_cycle);
+  s.u32(static_cast<uint32_t>(pending_.size()));
+  for (const uint32_t p : pending_) s.u32(p);
+  s.u64(hits_);
+  s.u64(misses_);
+  s.u64(refills_);
+  s.u64(lru_clock_);
+}
+
+void ICache::load_state(StateSource& s) {
+  const uint32_t n = s.u32();
+  MEMPOOL_CHECK_MSG(n == lines_.size(),
+                    name() << ": snapshot cache geometry mismatch");
+  for (Line& l : lines_) {
+    l.valid = s.b();
+    l.tag = s.u32();
+    l.lru = s.u64();
+  }
+  refill_.active = s.b();
+  refill_.line_addr = s.u32();
+  refill_.done_cycle = s.u64();
+  pending_.clear();
+  const uint32_t np = s.u32();
+  for (uint32_t i = 0; i < np; ++i) pending_.push_back(s.u32());
+  hits_ = s.u64();
+  misses_ = s.u64();
+  refills_ = s.u64();
+  lru_clock_ = s.u64();
+}
+
 }  // namespace mempool

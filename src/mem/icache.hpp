@@ -54,6 +54,12 @@ class ICache final : public Component {
   /// Invalidate all lines (used between benchmark phases in tests).
   void flush();
 
+  /// Checkpoint: tag/LRU state, the in-flight refill (done_cycle is
+  /// absolute; the cache stays awake while a refill is active, so no timer
+  /// needs re-arming), pending misses, counters.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t refills() const { return refills_; }

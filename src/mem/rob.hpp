@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mempool {
 
@@ -78,6 +79,39 @@ class ReorderBuffer {
     head_ = static_cast<uint16_t>((head_ + 1) % ring_.size());
     --count_;
     return e;
+  }
+
+  /// Checkpoint (called from the owning core's save_state/load_state): the
+  /// full ring including not-yet-filled entries, since tags index the ring
+  /// absolutely.
+  void save_state(StateSink& s) const {
+    s.u32(static_cast<uint32_t>(ring_.size()));
+    for (const RobEntry& e : ring_) {
+      s.u8(e.rd);
+      s.u8(e.width);
+      s.b(e.sign_extend);
+      s.u8(e.byte_offset);
+      s.b(e.done);
+      s.u32(e.data);
+    }
+    s.u16(head_);
+    s.u16(tail_);
+    s.u32(static_cast<uint32_t>(count_));
+  }
+  void load_state(StateSource& s) {
+    const uint32_t n = s.u32();
+    MEMPOOL_CHECK_MSG(n == ring_.size(), "ROB snapshot capacity mismatch");
+    for (RobEntry& e : ring_) {
+      e.rd = s.u8();
+      e.width = s.u8();
+      e.sign_extend = s.b();
+      e.byte_offset = s.u8();
+      e.done = s.b();
+      e.data = s.u32();
+    }
+    head_ = s.u16();
+    tail_ = s.u16();
+    count_ = s.u32();
   }
 
  private:

@@ -214,4 +214,28 @@ void ButterflyNet::describe(GraphVisitor& v) const {
   }
 }
 
+void ButterflyNet::save_state(StateSink& s) const {
+  for (const auto& layer : buf_) {
+    for (const PacketBuffer& buf : layer) buf.save_state(s);
+  }
+  for (const auto& layer_rr : rr_) {
+    for (const uint32_t r : layer_rr) s.u32(r);
+  }
+  for (const uint64_t t : traversals_) s.u64(t);
+  s.u64(blocked_);
+}
+
+void ButterflyNet::load_state(StateSource& s) {
+  // occ_ words refresh through the per-buffer occupancy bits bound at
+  // construction.
+  for (auto& layer : buf_) {
+    for (PacketBuffer& buf : layer) buf.load_state(s);
+  }
+  for (auto& layer_rr : rr_) {
+    for (uint32_t& r : layer_rr) r = s.u32();
+  }
+  for (uint64_t& t : traversals_) t = s.u64();
+  blocked_ = s.u64();
+}
+
 }  // namespace mempool

@@ -62,6 +62,10 @@ class ButterflyNet final : public Component {
   /// rules), writes every connected endpoint output.
   void describe(GraphVisitor& v) const override;
 
+  /// Checkpoint: every layer's line buffers, arbiter pointers, counters.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
+
   /// Pure routing arithmetic, exposed for tests: the line position after
   /// stage @p l for a packet currently at position @p pos heading to @p dst.
   static unsigned stage_hop(unsigned pos, unsigned dst, unsigned l,

@@ -28,6 +28,34 @@ void LatencyMonitor::on_response(uint64_t now, uint64_t birth) {
   hist_.add(lat);
 }
 
+void LatencyMonitor::save_state(StateSink& s) const {
+  s.u64(generated_);
+  s.u64(injected_);
+  s.u64(completed_in_window_);
+  s.u64(lat_count_);
+  s.f64(lat_sum_);
+  s.f64(lat_max_);
+  s.u64(hist_.count());
+  s.u64(hist_.overflow());
+  s.u32(static_cast<uint32_t>(hist_.buckets().size()));
+  for (const uint64_t b : hist_.buckets()) s.u64(b);
+}
+
+void LatencyMonitor::load_state(StateSource& s) {
+  generated_ = s.u64();
+  injected_ = s.u64();
+  completed_in_window_ = s.u64();
+  lat_count_ = s.u64();
+  lat_sum_ = s.f64();
+  lat_max_ = s.f64();
+  const uint64_t count = s.u64();
+  const uint64_t overflow = s.u64();
+  const uint32_t n = s.u32();
+  std::vector<uint64_t> buckets(n, 0);
+  for (uint64_t& b : buckets) b = s.u64();
+  hist_.restore(buckets, count, overflow);
+}
+
 void LatencyMonitor::absorb(const LatencyMonitor& other) {
   MEMPOOL_CHECK_MSG(warmup_ == other.warmup_ &&
                         window_end_ == other.window_end_,

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "common/stats.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mempool {
 
@@ -63,6 +64,14 @@ class LatencyMonitor {
   double max_latency() const { return lat_count_ != 0 ? lat_max_ : 0.0; }
   double latency_sum() const { return lat_sum_; }
   const Histogram& latency_hist() const { return hist_; }
+
+  /// Checkpoint: counters plus the latency accumulators by bit pattern, so a
+  /// restored monitor continues the exact double-addition sequence the
+  /// uninterrupted run would have performed. Configuration (warmup/window/
+  /// bucket geometry) is NOT serialized — it is rebuilt from the experiment
+  /// config and checked.
+  void save_state(StateSink& s) const;
+  void load_state(StateSource& s);
 
  private:
   uint64_t warmup_;

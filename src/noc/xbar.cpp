@@ -158,4 +158,20 @@ void XbarSwitch::describe(GraphVisitor& v) const {
   }
 }
 
+void XbarSwitch::save_state(StateSink& s) const {
+  for (const PacketBuffer& buf : in_) buf.save_state(s);
+  for (const uint32_t r : rr_) s.u32(r);
+  s.u64(traversals_);
+  s.u64(blocked_);
+}
+
+void XbarSwitch::load_state(StateSource& s) {
+  // Buffer loads refresh occ_ through the occupancy bits bound at
+  // construction, so the sparse input scan sees the restored packets.
+  for (PacketBuffer& buf : in_) buf.load_state(s);
+  for (uint32_t& r : rr_) r = s.u32();
+  traversals_ = s.u64();
+  blocked_ = s.u64();
+}
+
 }  // namespace mempool

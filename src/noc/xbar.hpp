@@ -66,6 +66,10 @@ class XbarSwitch final : public Component {
   /// output sink.
   void describe(GraphVisitor& v) const override;
 
+  /// Checkpoint: input buffers, arbiter pointers, traversal counters.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
+
  private:
   // deque, not vector: ElasticBuffer is pinned (non-movable) because the
   // engine's commit list and the wake plumbing hold raw pointers into it.

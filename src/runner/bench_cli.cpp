@@ -1,13 +1,19 @@
 #include "runner/bench_cli.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
+#include "common/check.hpp"
 #include "mem/memsys.hpp"
 #include "noc/fabric.hpp"
 #include "runner/results.hpp"
 #include "sim/engine.hpp"
+#include "sim/snapshot.hpp"
 #include "verify/drc_matrix.hpp"
 
 namespace mempool::runner {
@@ -55,11 +61,21 @@ namespace {
                "report if any\n"
                "                     non-empty buffer drains nothing for N "
                "consecutive\n"
-               "                     cycles (0 = watchdog disabled)\n",
+               "                     cycles (0 = watchdog disabled)\n"
+               "  --checkpoint-every N  (single-point benches) snapshot the "
+               "engine every N\n"
+               "                     cycles into a mempool.ckpt.v1 file "
+               "(atomic write)\n"
+               "  --checkpoint-out PATH  checkpoint file (default: "
+               "%s.ckpt)\n"
+               "  --restore PATH     resume a single point from a "
+               "mempool.ckpt.v1 image;\n"
+               "                     the result is bit-identical to an "
+               "uninterrupted run\n",
                bench.c_str(), bench.c_str(),
                FabricRegistry::available().c_str(),
                MemoryRegistry::available().c_str(), bench.c_str(),
-               bench.c_str());
+               bench.c_str(), bench.c_str());
   std::exit(code);
 }
 
@@ -148,7 +164,8 @@ MemorySpec parse_memory_or_exit(const std::string& name) {
 
 BenchOptions parse_bench_options(int* argc, char** argv,
                                  const std::string& bench_name,
-                                 bool accepts_topology, bool accepts_memory) {
+                                 bool accepts_topology, bool accepts_memory,
+                                 bool accepts_checkpoint) {
   BenchOptions opts;
   opts.bench_name = bench_name;
   opts.json_path = bench_name + ".results.json";
@@ -261,6 +278,33 @@ BenchOptions parse_bench_options(int* argc, char** argv,
         usage(bench_name, 2);
       }
       opts.stall_horizon = static_cast<uint64_t>(v);
+    } else if (std::strcmp(a, "--checkpoint-every") == 0 ||
+               std::strcmp(a, "--checkpoint-out") == 0 ||
+               std::strcmp(a, "--restore") == 0) {
+      if (!accepts_checkpoint) {
+        std::fprintf(stderr,
+                     "%s: %s is not supported by this bench (checkpointing "
+                     "applies to single-point harnesses only)\n",
+                     bench_name.c_str(), a);
+        std::exit(2);
+      }
+      if (std::strcmp(a, "--checkpoint-every") == 0) {
+        const char* v_str = value();
+        char* end = nullptr;
+        const long long v = std::strtoll(v_str, &end, 10);
+        if (v < 0 || (end != nullptr && *end != '\0')) {
+          std::fprintf(stderr,
+                       "%s: --checkpoint-every wants a non-negative cycle "
+                       "count (0 disables checkpointing)\n",
+                       bench_name.c_str());
+          usage(bench_name, 2);
+        }
+        opts.checkpoint_every = static_cast<uint64_t>(v);
+      } else if (std::strcmp(a, "--checkpoint-out") == 0) {
+        opts.checkpoint_out = value();
+      } else {
+        opts.restore_path = value();
+      }
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(bench_name, 0);
     } else {
@@ -277,6 +321,12 @@ BenchOptions parse_bench_options(int* argc, char** argv,
                  bench_name.c_str());
     std::exit(2);
   }
+  if (!opts.checkpoint_out.empty() && opts.checkpoint_every == 0) {
+    std::fprintf(stderr, "%s: --checkpoint-out only applies with "
+                 "--checkpoint-every\n",
+                 bench_name.c_str());
+    std::exit(2);
+  }
   if (opts.sim_threads > 1 && opts.engine != EngineMode::kSharded) {
     std::fprintf(stderr,
                  "%s: --sim-threads only applies to --engine sharded (the "
@@ -286,6 +336,65 @@ BenchOptions parse_bench_options(int* argc, char** argv,
     std::exit(2);
   }
   return opts;
+}
+
+TrafficPoint run_checkpointed_point(const BenchOptions& opts,
+                                    const TrafficExperimentConfig& cfg,
+                                    TrafficCounters* counters_out) {
+  CheckpointOptions ckpt;
+  ckpt.checkpoint_every = opts.checkpoint_every;
+  ckpt.key = opts.bench_name;
+
+  // Resume image: read the whole file up front; deserialize inside
+  // run_traffic_point validates the CRC/trailer, so a torn or bit-flipped
+  // file is rejected before any state is loaded.
+  std::string image;
+  if (!opts.restore_path.empty()) {
+    std::ifstream in(opts.restore_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read --restore image '%s'\n",
+                   opts.bench_name.c_str(), opts.restore_path.c_str());
+      std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    image = buf.str();
+    ckpt.restore_from = &image;
+  }
+
+  const std::string out_path = opts.checkpoint_out.empty()
+                                   ? opts.bench_name + ".ckpt"
+                                   : opts.checkpoint_out;
+  if (opts.checkpoint_every != 0) {
+    ckpt.on_checkpoint = [&out_path, &opts](uint64_t cycle,
+                                            const std::string& img) {
+      // Write-then-rename: a kill at any instant leaves either the previous
+      // complete image or this one on disk, never a torn file.
+      const std::string tmp =
+          out_path + ".tmp." + std::to_string(::getpid());
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) out.write(img.data(), static_cast<std::streamsize>(img.size()));
+      if (!out || std::rename(tmp.c_str(), out_path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        std::fprintf(stderr, "%s: failed to write checkpoint %s\n",
+                     opts.bench_name.c_str(), out_path.c_str());
+        std::exit(1);
+      }
+      if (opts.progress) {
+        std::fprintf(stderr, "%s: checkpoint at cycle %llu -> %s\n",
+                     opts.bench_name.c_str(),
+                     static_cast<unsigned long long>(cycle), out_path.c_str());
+      }
+    };
+  }
+
+  try {
+    return run_traffic_point(cfg, ckpt, counters_out);
+  } catch (const CheckError& e) {
+    // A corrupt or mismatched restore image is a CLI error, not a crash.
+    std::fprintf(stderr, "%s: %s\n", opts.bench_name.c_str(), e.what());
+    std::exit(2);
+  }
 }
 
 int guarded_bench_main(const std::string& bench_name,

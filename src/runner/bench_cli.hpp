@@ -33,6 +33,15 @@
 //                       buffer drains nothing for N consecutive cycles the
 //                       run aborts with a mempool.liveness.v1 stall report
 //                       instead of hanging (0 = disabled, the default)
+//   --checkpoint-every N  (single-point benches) snapshot the engine every N
+//                       simulated cycles into a mempool.ckpt.v1 file,
+//                       written atomically so a kill mid-run leaves the last
+//                       complete image behind (default: off)
+//   --checkpoint-out PATH where --checkpoint-every writes its image
+//                       (default: <bench>.ckpt)
+//   --restore PATH      resume a single point from a mempool.ckpt.v1 image;
+//                       the completed run is bit-identical to one that was
+//                       never interrupted
 //   --help              usage
 //
 // The two thread axes are deliberately distinct flags: --threads always
@@ -53,6 +62,7 @@
 #include "core/cluster_config.hpp"
 #include "runner/runner.hpp"
 #include "sim/shard.hpp"
+#include "traffic/experiment.hpp"
 
 namespace mempool::runner {
 
@@ -73,6 +83,20 @@ struct BenchOptions {
   std::string memory;
   /// --stall-horizon N: progress-watchdog horizon in cycles; 0 = disabled.
   uint64_t stall_horizon = 0;
+  /// --checkpoint-every N: snapshot period in cycles (single-point benches
+  /// only); 0 = no periodic checkpointing.
+  uint64_t checkpoint_every = 0;
+  /// --checkpoint-out PATH: where the periodic image lands; empty =
+  /// <bench>.ckpt.
+  std::string checkpoint_out;
+  /// --restore PATH: mempool.ckpt.v1 image to resume from; empty = cold.
+  std::string restore_path;
+
+  /// True when --checkpoint-every or --restore asked for the crash-safe
+  /// single-point path (run_checkpointed_point) instead of the sweep runner.
+  bool wants_checkpointing() const {
+    return checkpoint_every != 0 || !restore_path.empty();
+  }
 
   RunnerOptions runner() const { return {threads, progress}; }
 
@@ -97,11 +121,25 @@ MemorySpec parse_memory_or_exit(const std::string& name);
 /// exits(0) on --help, exits(2) on a malformed flag. Benches whose topology
 /// (memory system) set is selectable pass @p accepts_topology
 /// (@p accepts_memory) = true; everywhere else the flag is rejected loudly
-/// instead of being silently ignored.
+/// instead of being silently ignored. Likewise @p accepts_checkpoint gates
+/// --checkpoint-every/--checkpoint-out/--restore: only benches that route a
+/// single point through run_checkpointed_point accept them.
 BenchOptions parse_bench_options(int* argc, char** argv,
                                  const std::string& bench_name,
                                  bool accepts_topology = false,
-                                 bool accepts_memory = false);
+                                 bool accepts_memory = false,
+                                 bool accepts_checkpoint = false);
+
+/// Run one point honoring --checkpoint-every / --checkpoint-out / --restore:
+/// periodic mempool.ckpt.v1 images are written atomically (tmp + rename) so
+/// a crash at any moment leaves either the previous complete image or the
+/// new one, never a torn file; --restore resumes from such an image and the
+/// finished point is bit-identical to an uninterrupted run. Snapshots are
+/// keyed by the bench name, so a fig5 image cannot resume a fig7 run. Exits
+/// (2) with a message when the restore image is unreadable or corrupt.
+TrafficPoint run_checkpointed_point(const BenchOptions& opts,
+                                    const TrafficExperimentConfig& cfg,
+                                    TrafficCounters* counters_out = nullptr);
 
 /// Write the mempool.bench.v1 envelope to opts.json_path (no-op when the
 /// results file is disabled); prints the path to stderr.

@@ -76,6 +76,13 @@ std::optional<SimResult> ResultCache::disk_lookup(
           doc.get("version", Json("")).as_string() == kResultVersion &&
           doc.at("request").dump(0) == canonical) {
         result = SimResult::from_json(doc.at("result"));
+        // The stored result must answer *this* request: a corrupted (or
+        // hand-edited) request_key inside the result payload is treated as
+        // the file-level corruption it is, not served.
+        if (result->request_key != req.key()) {
+          result.reset();
+          io_error = true;
+        }
       }
       // else: stale version, foreign schema, or hash collision — a miss.
     } catch (const std::exception&) {

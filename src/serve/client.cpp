@@ -1,6 +1,12 @@
 #include "serve/client.hpp"
 
+#include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/check.hpp"
 
@@ -14,6 +20,10 @@ ServiceResponse response_from_json(const Json& j) {
   if (!resp.ok) {
     resp.error = j.contains("error") ? j.at("error").as_string()
                                      : "unknown server error";
+    resp.kind = j.get("kind", Json("invalid")).as_string();
+    resp.retry_after_ms =
+        static_cast<int>(j.get("retry_after_ms", Json(uint64_t{0})).as_uint());
+    if (j.contains("liveness")) resp.liveness = j.at("liveness");
     return resp;
   }
   resp.result = SimResult::from_json(j.at("result"));
@@ -24,8 +34,15 @@ ServiceResponse response_from_json(const Json& j) {
   return resp;
 }
 
-SimClient::SimClient(const std::string& socket_path, int timeout_ms)
-    : fd_(connect_unix(socket_path, timeout_ms)), reader_(fd_) {}
+SimClient::SimClient(const std::string& socket_path, int timeout_ms,
+                     int read_timeout_ms)
+    : fd_(connect_unix(socket_path, timeout_ms)), reader_(fd_) {
+  if (read_timeout_ms > 0) {
+    timeval tv{read_timeout_ms / 1000,
+               static_cast<suseconds_t>(read_timeout_ms % 1000) * 1000};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+}
 
 SimClient::~SimClient() {
   if (fd_ >= 0) ::close(fd_);
@@ -54,7 +71,11 @@ Json SimClient::make_run_line(const SimRequest& req, uint64_t* id_out) {
   Json j = Json::object();
   j.set("op", "run");
   j.set("id", id);
-  j.set("request", req.to_json());
+  Json r = req.to_json();
+  // deadline_ms is delivery metadata, deliberately absent from the
+  // canonical form — append it to the wire object separately.
+  if (req.deadline_ms != 0) r.set("deadline_ms", req.deadline_ms);
+  j.set("request", std::move(r));
   return j;
 }
 
@@ -92,6 +113,71 @@ void SimClient::shutdown_server() {
   const Json resp = op_call("shutdown");
   MEMPOOL_CHECK_MSG(resp.at("ok").as_bool(),
                     "shutdown op failed: " << resp.dump(0));
+}
+
+// --- RetryingClient ---------------------------------------------------------
+
+RetryingClient::RetryingClient(std::string socket_path, RetryPolicy policy)
+    : socket_path_(std::move(socket_path)),
+      policy_(policy),
+      jitter_(policy.jitter_seed) {
+  MEMPOOL_CHECK_MSG(policy_.max_attempts >= 1,
+                    "RetryPolicy.max_attempts must be >= 1");
+}
+
+SimClient& RetryingClient::connected() {
+  if (client_ == nullptr) {
+    client_ = std::make_unique<SimClient>(
+        socket_path_, policy_.connect_timeout_ms, policy_.read_timeout_ms);
+  }
+  return *client_;
+}
+
+void RetryingClient::disconnect() { client_.reset(); }
+
+void RetryingClient::backoff(int attempt, int floor_ms) {
+  // Capped exponential: base << attempt, clamped, plus jitter in [0, half)
+  // so a fleet of clients hammered off a dead daemon does not reconnect in
+  // lockstep. Deterministic per jitter_seed — tests replay exact schedules.
+  int64_t ms = policy_.base_backoff_ms;
+  for (int i = 0; i < attempt && ms < policy_.max_backoff_ms; ++i) ms *= 2;
+  ms = std::min<int64_t>(ms, policy_.max_backoff_ms);
+  if (ms > 1) ms += static_cast<int64_t>(jitter_.next_below(
+      static_cast<uint64_t>(ms / 2 + 1)));
+  ms = std::max<int64_t>(ms, floor_ms);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+ServiceResponse RetryingClient::run(const SimRequest& req) {
+  std::string last_error;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    try {
+      ServiceResponse resp = connected().run(req);
+      if (!resp.ok && resp.kind == "overloaded" &&
+          attempt + 1 < policy_.max_attempts) {
+        // The daemon is up but shedding: wait at least its hint, then
+        // re-issue on the same connection.
+        backoff(attempt, resp.retry_after_ms);
+        continue;
+      }
+      // Definitive: success, or a non-retryable structured error
+      // (invalid / liveness / deadline_exceeded — retrying cannot help).
+      return resp;
+    } catch (const CheckError& e) {
+      // Connection-level failure: refused connect, mid-response EOF, read
+      // timeout. The daemon may be restarting — drop the socket, back off,
+      // reconnect, re-issue. Idempotence makes the re-issue safe: a
+      // response lost in flight is re-served from the result cache.
+      last_error = e.what();
+      disconnect();
+      ++reconnects_;
+      if (attempt + 1 < policy_.max_attempts) backoff(attempt, 0);
+    }
+  }
+  MEMPOOL_CHECK_MSG(false, "sim server unreachable after "
+                               << policy_.max_attempts
+                               << " attempts; last error: " << last_error);
 }
 
 }  // namespace mempool::serve

@@ -8,8 +8,10 @@
 //     send a line and wait for its matching response (single in-flight use).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "common/rng.hpp"
 #include "serve/netio.hpp"
 #include "serve/request.hpp"
 #include "serve/service.hpp"
@@ -25,7 +27,11 @@ class SimClient {
  public:
   /// Connect, retrying for @p timeout_ms (0 = single attempt) so the client
   /// can start before the daemon finishes binding. Throws CheckError.
-  explicit SimClient(const std::string& socket_path, int timeout_ms = 0);
+  /// @p read_timeout_ms > 0 arms SO_RCVTIMEO: a recv_line that sees no bytes
+  /// for that long fails (CheckError) instead of blocking forever on a hung
+  /// server — the raw material RetryingClient builds reconnection from.
+  explicit SimClient(const std::string& socket_path, int timeout_ms = 0,
+                     int read_timeout_ms = 0);
   ~SimClient();
 
   SimClient(const SimClient&) = delete;
@@ -62,6 +68,52 @@ class SimClient {
   int fd_ = -1;
   LineReader reader_;
   uint64_t last_id_ = 0;
+};
+
+/// Retry behavior of RetryingClient: capped exponential backoff with
+/// deterministic jitter. Attempt k (0-based) sleeps
+/// min(base_backoff_ms << k, max_backoff_ms) plus jitter in [0, half that),
+/// except that an "overloaded" response's retry_after_ms hint, when larger,
+/// wins.
+struct RetryPolicy {
+  int max_attempts = 6;         ///< Total tries per request (>= 1).
+  int base_backoff_ms = 50;
+  int max_backoff_ms = 2000;
+  int connect_timeout_ms = 2000;  ///< Per-attempt connect budget.
+  int read_timeout_ms = 30'000;   ///< Per-response read budget (0 = none).
+  uint64_t jitter_seed = 1;       ///< Jitter RNG seed (deterministic tests).
+};
+
+/// A SimClient wrapper that survives daemon restarts: every run() reconnects
+/// on connection loss (including mid-response) and re-issues the request,
+/// backs off per RetryPolicy, and honors "overloaded" retry_after_ms hints.
+/// Safe precisely because the service is: requests are idempotent (results
+/// are pure functions of the canonical request, cached by content hash), so
+/// re-issuing after an ambiguous failure can only hit the cache, never
+/// double-apply. Non-retryable errors (invalid, liveness,
+/// deadline_exceeded) return immediately.
+class RetryingClient {
+ public:
+  explicit RetryingClient(std::string socket_path, RetryPolicy policy = {});
+
+  /// Run @p req to completion or exhaustion: returns the first definitive
+  /// response; throws CheckError after max_attempts connection failures.
+  ServiceResponse run(const SimRequest& req);
+
+  uint64_t reconnects() const { return reconnects_; }
+  uint64_t retries() const { return retries_; }
+
+ private:
+  SimClient& connected();  ///< Lazily (re)connect.
+  void disconnect();
+  void backoff(int attempt, int floor_ms);
+
+  std::string socket_path_;
+  RetryPolicy policy_;
+  std::unique_ptr<SimClient> client_;
+  Rng jitter_;
+  uint64_t reconnects_ = 0;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace mempool::serve

@@ -4,9 +4,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "common/check.hpp"
@@ -15,15 +18,68 @@ namespace mempool::serve {
 
 namespace {
 
+// --- deterministic fault injection ------------------------------------------
+// Process-wide counters; every write/read increments its counter and faults
+// when the configured period divides it. Relaxed atomics: the exact
+// interleaving across threads does not matter for the tests (they drive a
+// single connection), only that the schedule is periodic and cannot race to
+// a torn value.
+
+NetioFaults g_faults;  // written by set_netio_faults before I/O starts
+std::atomic<uint64_t> g_write_ops{0};
+std::atomic<uint64_t> g_read_ops{0};
+
+/// One-time env seeding: MEMPOOL_NETIO_FAULTS="drop=N,short=N,delay=N:MS".
+/// Unknown keys and malformed numbers are ignored (a typo disables the
+/// fault, it never crashes the daemon).
+void seed_faults_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("MEMPOOL_NETIO_FAULTS");
+    if (env == nullptr || *env == '\0') return;
+    NetioFaults f = g_faults;
+    std::string spec(env);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string item = spec.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = item.substr(0, eq);
+      const std::string val = item.substr(eq + 1);
+      const auto num = [](const std::string& s) -> uint32_t {
+        return static_cast<uint32_t>(std::strtoul(s.c_str(), nullptr, 10));
+      };
+      if (key == "drop") {
+        f.drop_every = num(val);
+      } else if (key == "short") {
+        f.short_write_every = num(val);
+      } else if (key == "delay") {
+        const std::size_t colon = val.find(':');
+        f.delay_every = num(val.substr(0, colon));
+        if (colon != std::string::npos) f.delay_ms = num(val.substr(colon + 1));
+      }
+    }
+    g_faults = f;
+  });
+}
+
+bool period_hit(uint32_t every, uint64_t op) {
+  return every != 0 && op % every == 0;
+}
+
 /// Thread-safe strerror: the plain strerror() may format into a shared
 /// static buffer (concurrency-mt-unsafe), and these messages are built on
 /// server accept/reader threads. The two strerror_r flavors (XSI returns
 /// int and fills buf, GNU returns the message pointer) are disambiguated by
 /// overload so the same call compiles against either libc.
-const char* strerror_result(int rc, const char* buf) {
+[[maybe_unused]] const char* strerror_result(int rc, const char* buf) {
   return rc == 0 ? buf : "unknown error";
 }
-const char* strerror_result(const char* msg, const char* /*buf*/) {
+[[maybe_unused]] const char* strerror_result(const char* msg,
+                                             const char* /*buf*/) {
   return msg;
 }
 
@@ -44,9 +100,29 @@ sockaddr_un make_addr(const std::string& path) {
 
 }  // namespace
 
+void set_netio_faults(const NetioFaults& f) {
+  g_faults = f;
+  g_write_ops.store(0, std::memory_order_relaxed);
+  g_read_ops.store(0, std::memory_order_relaxed);
+}
+
 int listen_unix(const std::string& path) {
   const sockaddr_un addr = make_addr(path);
-  ::unlink(path.c_str());  // a stale socket file from a dead server
+  // A leftover socket file is either a live daemon's or a corpse from a
+  // crashed one (SIGKILL never unlinks). Probe it: a successful connect
+  // means a server answers there — refuse to steal its path; anything else
+  // (refused, no such file) means stale — unlink and rebind.
+  const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  MEMPOOL_CHECK_MSG(probe >= 0, "socket(): " << errno_text(errno));
+  const bool live =
+      ::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0;
+  ::close(probe);
+  MEMPOOL_CHECK_MSG(!live, "socket path '"
+                               << path
+                               << "' already has a live server listening; "
+                                  "refusing to unlink it");
+  ::unlink(path.c_str());
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   MEMPOOL_CHECK_MSG(fd >= 0, "socket(): " << errno_text(errno));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
@@ -89,6 +165,23 @@ int connect_unix(const std::string& path, int timeout_ms) {
 }
 
 bool write_all(int fd, const std::string& data) {
+  seed_faults_from_env();
+  const uint64_t op = g_write_ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (period_hit(g_faults.drop_every, op)) {
+    // Injected connection drop: the peer sees EOF mid-stream, exactly like
+    // a daemon dying between responses.
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
+  if (period_hit(g_faults.short_write_every, op)) {
+    // Injected short write: a prefix of the frame escapes, then the
+    // connection dies — the peer's LineReader must discard the partial
+    // line, the writer must report failure.
+    const std::size_t half = data.size() / 2;
+    if (half > 0) ::send(fd, data.data(), half, MSG_NOSIGNAL);
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
@@ -111,6 +204,13 @@ bool LineReader::read_line(std::string* line) {
       return true;
     }
     if (eof_) return false;
+    seed_faults_from_env();
+    const uint64_t op = g_read_ops.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (period_hit(g_faults.delay_every, op) && g_faults.delay_ms > 0) {
+      // Injected latency: exercises client read timeouts without a real
+      // slow network.
+      std::this_thread::sleep_for(std::chrono::milliseconds(g_faults.delay_ms));
+    }
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
     if (n < 0) {

@@ -3,13 +3,38 @@
 // client. Deliberately minimal: blocking I/O, one helper per failure mode,
 // CheckError (with errno text) on anything unexpected.
 
+#include <cstdint>
 #include <string>
 
 namespace mempool::serve {
 
-/// Create, bind, and listen on a stream socket at @p path (an existing stale
-/// socket file is unlinked first). Throws CheckError on failure — including
-/// paths that exceed sockaddr_un's ~107-byte limit.
+/// Deterministic fault injection for resilience tests: counter-based (the
+/// Nth matching operation faults, process-wide), so a test run with fixed
+/// request counts sees the exact same fault schedule every time. All zeros
+/// (the default) is fault-free production behavior.
+///
+/// Seeded programmatically (set_netio_faults) or from the environment:
+///   MEMPOOL_NETIO_FAULTS="drop=17,short=31,delay=7:5"
+/// meaning every 17th write_all drops the connection, every 31st sends a
+/// short prefix then drops, every 7th read stalls 5 ms first.
+struct NetioFaults {
+  uint32_t drop_every = 0;         ///< Every Nth write_all: shutdown + fail.
+  uint32_t short_write_every = 0;  ///< Every Nth write_all: partial + fail.
+  uint32_t delay_every = 0;        ///< Every Nth read: sleep delay_ms first.
+  uint32_t delay_ms = 0;
+};
+
+/// Install @p f process-wide (tests call this; production never does).
+/// Resets the operation counters so schedules are reproducible.
+void set_netio_faults(const NetioFaults& f);
+
+/// Create, bind, and listen on a stream socket at @p path. A leftover
+/// socket file is probed first: if a server still answers on it, this
+/// throws (refusing to steal a live daemon's path); if the connect is
+/// refused or the file is stale, it is unlinked and rebound — so a daemon
+/// killed with SIGKILL can always be restarted on the same path. Throws
+/// CheckError on failure — including paths that exceed sockaddr_un's
+/// ~107-byte limit.
 int listen_unix(const std::string& path);
 
 /// Connect to the server at @p path. Retries once per 50 ms until

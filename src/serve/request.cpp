@@ -67,7 +67,10 @@ constexpr const char* kRequestFields[] = {
     "cores_per_tile", "banks_per_tile", "bank_bytes",       "seq_region_bytes",
     "num_groups",    "lambda",          "p_local",          "seed",
     "engine",        "sim_threads",     "warmup_cycles",    "measure_cycles",
-    "drain_cycles",  "stall_horizon"};
+    "drain_cycles",  "stall_horizon",
+    // Delivery metadata, accepted on the wire but excluded from the
+    // canonical serialization (it must not split the cache key space).
+    "deadline_ms"};
 
 uint32_t override_u32(const Json& j, const char* key, uint32_t fallback) {
   if (!j.contains(key)) return fallback;
@@ -148,7 +151,9 @@ SimRequest SimRequest::from_json(const Json& j) {
   cfg.drain_cycles = j.get("drain_cycles", Json(cfg.drain_cycles)).as_uint();
   cfg.stall_horizon =
       j.get("stall_horizon", Json(cfg.stall_horizon)).as_uint();
-  return SimRequest{cfg};
+  SimRequest req{cfg};
+  req.deadline_ms = j.get("deadline_ms", Json(uint64_t{0})).as_uint();
+  return req;
 }
 
 Json SimRequest::to_json() const {
@@ -251,6 +256,15 @@ SimResult run_point(const SimRequest& req) {
   SimResult r;
   r.request_key = req.key();
   r.point = run_traffic_point(req.config);
+  return r;
+}
+
+SimResult run_point(const SimRequest& req, CheckpointOptions ckpt) {
+  req.validate();
+  SimResult r;
+  r.request_key = req.key();
+  ckpt.key = r.request_key;
+  r.point = run_traffic_point(req.config, ckpt);
   return r;
 }
 

@@ -48,6 +48,13 @@ struct SimRequest {
   /// replace the cores with generators (see runner/results.hpp).
   TrafficExperimentConfig config;
 
+  /// Wall-clock budget in milliseconds, measured from arrival at the
+  /// service; 0 = none. An expired request answers a structured
+  /// kind="deadline_exceeded" error instead of occupying a worker. NOT part
+  /// of the canonical serialization: the deadline is delivery metadata, the
+  /// same point with a different budget must hit the same cache entry.
+  uint64_t deadline_ms = 0;
+
   /// Wrap an existing experiment config verbatim (the sweep-expansion path).
   static SimRequest from_config(const TrafficExperimentConfig& cfg);
 
@@ -105,5 +112,12 @@ struct SimResult {
 /// server: validate @p req, run it, and return the measured point. Pure and
 /// thread-safe like run_traffic_point; throws CheckError on invalid requests.
 SimResult run_point(const SimRequest& req);
+
+/// Checkpoint-aware variant (same result bit for bit): the point can be
+/// periodically snapshotted, resumed from an image, and aborted between
+/// chunks — see CheckpointOptions. The service uses this to survive daemon
+/// restarts and to enforce deadlines mid-run. @p ckpt.key is overridden
+/// with req.key() so images are always stamped with the content hash.
+SimResult run_point(const SimRequest& req, CheckpointOptions ckpt);
 
 }  // namespace mempool::serve

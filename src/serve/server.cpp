@@ -25,6 +25,7 @@ Json error_response(const Json& id, const std::string& message) {
   Json j = Json::object();
   j.set("id", id);
   j.set("ok", false);
+  j.set("kind", "invalid");
   j.set("error", message);
   return j;
 }
@@ -35,6 +36,10 @@ Json response_json(const Json& id, const ServiceResponse& resp) {
   j.set("ok", resp.ok);
   if (!resp.ok) {
     j.set("error", resp.error);
+    // Machine-readable failure class plus the overload backoff hint, so
+    // clients can decide retryability without parsing error text.
+    j.set("kind", resp.kind.empty() ? "invalid" : resp.kind);
+    if (resp.retry_after_ms > 0) j.set("retry_after_ms", resp.retry_after_ms);
     // Watchdog aborts attach their mempool.liveness.v1 stall attribution so
     // the client learns *where* the point wedged, not just that it did.
     if (!resp.liveness.is_null()) j.set("liveness", resp.liveness);
@@ -122,12 +127,14 @@ void SimServer::accept_loop() {
   while (!stopping_.load()) {
     // Poll with a timeout instead of blocking in accept(): closing a
     // listening fd is not guaranteed to wake a blocked accept, a 100 ms
-    // stop-flag check is.
+    // stop-flag check is. EINTR (any signal delivered to this thread) and
+    // ECONNABORTED (peer gone between poll and accept) just re-enter the
+    // loop — a signal must never kill the accept path of a daemon.
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0) continue;
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) continue;  // EINTR, ECONNABORTED, EMFILE: keep accepting
     if (cfg_.write_timeout_ms > 0) {
       timeval tv{cfg_.write_timeout_ms / 1000,
                  static_cast<suseconds_t>(cfg_.write_timeout_ms % 1000) *

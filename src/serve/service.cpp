@@ -1,7 +1,17 @@
 #include "serve/service.hpp"
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/engine.hpp"
+#include "sim/snapshot.hpp"
 
 namespace mempool::serve {
 
@@ -12,6 +22,12 @@ namespace {
 /// quantiles of anything slower saturate at the top edge.
 constexpr double kLatencyBucketMs = 0.01;
 constexpr std::size_t kLatencyBuckets = 1'000'000;
+
+/// Chunk size for deadline polling when no checkpoint interval is
+/// configured: small enough that an expired budget aborts the point within
+/// a chunk of simulation, large enough that the poll (a mutex and a waiter
+/// scan) is noise.
+constexpr uint64_t kDeadlinePollCycles = 1024;
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -30,10 +46,51 @@ Json latency_json(const RunningStat& stat, const Histogram& hist) {
   return j;
 }
 
+/// Entire file as raw bytes; nullopt when it does not exist or cannot be
+/// read. Checkpoint images are binary — no JSON layer.
+std::optional<std::string> read_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+/// Write-temp-then-rename so a daemon killed mid-write leaves either the
+/// previous complete image or none — never a torn file that a restart would
+/// have to reject.
+bool write_binary_file_atomic(const std::string& path,
+                              const std::string& data) {
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << "."
+           << std::this_thread::get_id();
+  const std::string tmp = tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 SimService::SimService(const ServiceConfig& cfg)
-    : cache_(cfg.cache_capacity, cfg.cache_dir),
+    : cfg_(cfg),
+      cache_(cfg.cache_capacity, cfg.cache_dir),
       pool_(std::make_unique<runner::ThreadPool>(cfg.threads)),
       service_hist_(kLatencyBucketMs, kLatencyBuckets),
       hit_hist_(kLatencyBucketMs, kLatencyBuckets),
@@ -45,9 +102,17 @@ void SimService::drain() { pool_->wait_idle(); }
 
 unsigned SimService::threads() const { return pool_->num_threads(); }
 
+std::string SimService::checkpoint_path(const std::string& key) const {
+  if (cfg_.checkpoint_every == 0 || cfg_.cache_dir.empty()) return "";
+  return cfg_.cache_dir + "/" + key + ".ckpt";
+}
+
 void SimService::submit(const SimRequest& req, Callback done) {
-  const Waiter arrival{std::move(done), std::chrono::steady_clock::now(),
-                       /*coalesced=*/false};
+  const auto now = std::chrono::steady_clock::now();
+  const Waiter arrival{std::move(done), now, /*coalesced=*/false,
+                       req.deadline_ms == 0
+                           ? std::chrono::steady_clock::time_point::max()
+                           : now + std::chrono::milliseconds(req.deadline_ms)};
   const std::string canonical = req.canonical();
 
   if (auto cached = cache_.lookup(req)) {
@@ -61,35 +126,117 @@ void SimService::submit(const SimRequest& req, Callback done) {
   }
 
   std::shared_ptr<Inflight> entry;
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     const auto it = inflight_.find(canonical);
     if (it != inflight_.end()) {
+      // Coalescing is exempt from admission control: a piggybacked waiter
+      // consumes no worker and no queue slot.
       Waiter w = arrival;
       w.coalesced = true;
       it->second->waiters.push_back(std::move(w));
       return;  // answered by the in-flight computation
     }
-    entry = std::make_shared<Inflight>();
-    entry->request = req;
-    entry->waiters.push_back(arrival);
-    inflight_.emplace(canonical, entry);
+    if (cfg_.max_queue != 0 && inflight_.size() >= cfg_.max_queue) {
+      shed = true;
+    } else {
+      entry = std::make_shared<Inflight>();
+      entry->request = req;
+      entry->waiters.push_back(arrival);
+      inflight_.emplace(canonical, entry);
+    }
+  }
+  if (shed) {
+    // Bounded admission: answer immediately with a structured backoff hint
+    // instead of queuing without bound. The client retries after
+    // retry_after_ms; an unbounded queue would instead convert overload
+    // into unbounded latency and memory.
+    ServiceResponse resp;
+    resp.ok = false;
+    resp.kind = "overloaded";
+    resp.retry_after_ms = cfg_.retry_after_ms;
+    resp.key = req.key();
+    std::ostringstream os;
+    os << "service overloaded: " << cfg_.max_queue
+       << " points already in flight; retry after " << cfg_.retry_after_ms
+       << " ms";
+    resp.error = os.str();
+    record_and_deliver(resp, req.config.cluster.topology.name, arrival);
+    return;
   }
   pool_->submit([this, entry, canonical] { compute(entry, canonical); });
+}
+
+bool SimService::all_deadlines_expired(
+    const std::shared_ptr<Inflight>& entry) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  for (const Waiter& w : entry->waiters) {
+    if (w.deadline > now) return false;
+  }
+  return !entry->waiters.empty();
 }
 
 void SimService::compute(const std::shared_ptr<Inflight>& entry,
                          const std::string& canonical) {
   ServiceResponse base;
   base.key = entry->request.key();
+  const std::string ckpt_file = checkpoint_path(base.key);
+  bool resumed = false;
   try {
-    base.result = run_point(entry->request);
+    CheckpointOptions ckpt;
+    ckpt.checkpoint_every = cfg_.checkpoint_every;
+    if (ckpt.checkpoint_every == 0 && entry->request.deadline_ms != 0) {
+      // No checkpointing configured, but the point still needs chunk
+      // boundaries to poll its deadline at (snapshots stay off —
+      // on_checkpoint is unset).
+      ckpt.checkpoint_every = kDeadlinePollCycles;
+    }
+    ckpt.should_abort = [this, entry] { return all_deadlines_expired(entry); };
+
+    std::string image;  // must outlive run_point (restore_from borrows it)
+    if (!ckpt_file.empty()) {
+      if (auto on_disk = read_binary_file(ckpt_file)) {
+        // A previous daemon died mid-point. Validate the image fully
+        // (magic, CRC, length, key) before trusting it; a torn or foreign
+        // file is deleted and the point starts cold.
+        try {
+          const Snapshot snap = Snapshot::deserialize(*on_disk);
+          MEMPOOL_CHECK_MSG(snap.key == base.key,
+                            "checkpoint '" << ckpt_file
+                                           << "' is for a different point");
+          image = *std::move(on_disk);
+          ckpt.restore_from = &image;
+          resumed = true;
+        } catch (const std::exception&) {
+          std::error_code ec;
+          std::filesystem::remove(ckpt_file, ec);
+        }
+      }
+      ckpt.on_checkpoint = [this, &ckpt_file](uint64_t /*cycle*/,
+                                              const std::string& img) {
+        if (write_binary_file_atomic(ckpt_file, img)) {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          ++checkpoints_;
+        }
+      };
+    }
+    base.result = run_point(entry->request, ckpt);
     base.ok = true;
+  } catch (const PointAborted& e) {
+    base.ok = false;
+    base.kind = "deadline_exceeded";
+    std::ostringstream os;
+    os << "deadline exceeded (" << entry->request.deadline_ms
+       << " ms) at simulated cycle " << e.cycle();
+    base.error = os.str();
   } catch (const LivenessError& e) {
     // The point's progress watchdog fired: the simulation is wedged, and
     // the structured stall attribution rides back to the client instead of
     // the connection hanging until a timeout. Not cached, like all errors.
     base.ok = false;
+    base.kind = "liveness";
     base.error = e.what();
     base.liveness = e.report();
   } catch (const std::exception& e) {
@@ -97,9 +244,21 @@ void SimService::compute(const std::shared_ptr<Inflight>& entry,
     // daemon death. Errors are not cached — the CheckError text is cheap to
     // recompute and a cache entry would outlive plugin registration fixes.
     base.ok = false;
+    base.kind = "invalid";
     base.error = e.what();
   }
-  if (base.ok) cache_.insert(entry->request, base.result);
+  if (base.ok) {
+    cache_.insert(entry->request, base.result);
+    if (!ckpt_file.empty()) {
+      // The result is durable in the cache; the in-flight image is obsolete.
+      std::error_code ec;
+      std::filesystem::remove(ckpt_file, ec);
+    }
+    if (resumed) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++resumed_;
+    }
+  }
 
   std::vector<Waiter> waiters;
   {
@@ -123,10 +282,22 @@ void SimService::record_and_deliver(const ServiceResponse& base,
   ServiceResponse resp = base;
   resp.coalesced = waiter.coalesced;
   resp.service_ms = ms_since(waiter.arrival);
+  if (resp.ok && std::chrono::steady_clock::now() > waiter.deadline) {
+    // The point completed, but past this waiter's budget: the result is
+    // cached for the future, the waiter still gets the honest answer that
+    // its deadline was missed (a coalesced waiter with a tight budget can
+    // expire while the patient owner runs on).
+    resp.ok = false;
+    resp.kind = "deadline_exceeded";
+    resp.error = "deadline exceeded: point completed after the budget";
+    resp.result = SimResult{};
+  }
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     ++requests_;
     if (!resp.ok) ++errors_;
+    if (resp.kind == "overloaded") ++shed_;
+    if (resp.kind == "deadline_exceeded") ++deadline_exceeded_;
     if (resp.coalesced) ++coalesced_;
     service_ms_.add(resp.service_ms);
     service_hist_.add(resp.service_ms);
@@ -147,7 +318,12 @@ Json SimService::metrics_json() const {
   j.set("requests", requests_);
   j.set("errors", errors_);
   j.set("coalesced", coalesced_);
+  j.set("shed", shed_);
+  j.set("deadline_exceeded", deadline_exceeded_);
+  j.set("checkpoints", checkpoints_);
+  j.set("resumed", resumed_);
   j.set("inflight", static_cast<uint64_t>(inflight));
+  j.set("max_queue", static_cast<uint64_t>(cfg_.max_queue));
   j.set("threads", pool_->num_threads());
   j.set("cache", cache_.stats().to_json());
   j.set("cache_size", static_cast<uint64_t>(cache_.size()));

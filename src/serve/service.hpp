@@ -59,6 +59,21 @@ struct ServiceConfig {
   std::size_t cache_capacity = 1024;
   /// On-disk cache directory; empty = memory tier only.
   std::string cache_dir;
+  /// Admission bound: maximum distinct points in flight (queued or
+  /// computing). Beyond it new points are shed with kind="overloaded" and a
+  /// retry_after_ms hint instead of growing the queue without bound. Cache
+  /// hits and coalesced requests are exempt — they consume no worker.
+  /// 0 = unbounded (the pre-resilience behavior).
+  std::size_t max_queue = 0;
+  /// The retry hint attached to shed responses.
+  int retry_after_ms = 250;
+  /// Periodic engine-checkpoint interval in simulated cycles for long
+  /// running points; 0 disables. With a cache_dir, each in-flight point
+  /// write-through persists its latest mempool.ckpt.v1 image to
+  /// <cache_dir>/<key>.ckpt (write-then-rename), a restarted daemon resumes
+  /// the point from the image, and the file is removed once the result is
+  /// cached. Without a cache_dir the interval only paces deadline polling.
+  uint64_t checkpoint_every = 0;
 };
 
 /// Everything the server reports back per request.
@@ -66,6 +81,13 @@ struct ServiceResponse {
   bool ok = false;
   SimResult result;       ///< Valid when ok.
   std::string error;      ///< CheckError text when !ok.
+  /// Machine-readable failure class when !ok: "invalid" (bad request /
+  /// CheckError), "liveness" (progress watchdog fired), "deadline_exceeded"
+  /// (the request's wall-clock budget ran out), "overloaded" (admission
+  /// queue full, retry_after_ms says when to come back). Empty when ok.
+  std::string kind;
+  /// Backoff hint in ms, nonzero only with kind="overloaded".
+  int retry_after_ms = 0;
   /// mempool.liveness.v1 report when !ok because the point's progress
   /// watchdog fired (LivenessError): the wedged point answers with the
   /// stall attribution instead of hanging the connection. Null otherwise.
@@ -108,6 +130,9 @@ class SimService {
     Callback done;
     std::chrono::steady_clock::time_point arrival;
     bool coalesced = false;
+    /// Absolute expiry (arrival + the request's deadline_ms); time_point::max
+    /// when the request carries no deadline.
+    std::chrono::steady_clock::time_point deadline;
   };
   struct Inflight {
     SimRequest request;
@@ -118,7 +143,14 @@ class SimService {
                const std::string& canonical);
   void record_and_deliver(const ServiceResponse& base,
                           const std::string& topology, const Waiter& waiter);
+  /// True when every waiter's deadline has expired — the abort predicate a
+  /// running point polls between chunks. A single no-deadline waiter keeps
+  /// the point alive (a coalesced patient request must still be answered).
+  bool all_deadlines_expired(const std::shared_ptr<Inflight>& entry);
+  /// <cache_dir>/<key>.ckpt, or "" when checkpoint persistence is off.
+  std::string checkpoint_path(const std::string& key) const;
 
+  ServiceConfig cfg_;
   ResultCache cache_;
   std::unique_ptr<runner::ThreadPool> pool_;
 
@@ -130,6 +162,10 @@ class SimService {
   uint64_t requests_ = 0;
   uint64_t errors_ = 0;
   uint64_t coalesced_ = 0;
+  uint64_t shed_ = 0;               ///< Overload-shed requests.
+  uint64_t deadline_exceeded_ = 0;  ///< Deadline-expired requests.
+  uint64_t checkpoints_ = 0;        ///< Point snapshots persisted to disk.
+  uint64_t resumed_ = 0;            ///< Points resumed from a disk image.
   RunningStat service_ms_;
   Histogram service_hist_;
   Histogram hit_hist_;

@@ -10,6 +10,9 @@
 
 namespace mempool {
 
+class StateSink;
+class StateSource;
+
 /// A synchronously evaluated hardware block. The engine calls evaluate() on
 /// every *active* component once per cycle, in the topological order
 /// established by the cluster builder (response fabric -> clients -> request
@@ -45,6 +48,17 @@ class Component : public Wakeable {
   /// fabric/memory components all describe themselves so the full paper
   /// configurations lint clean.
   virtual void describe(GraphVisitor& /*v*/) const {}
+
+  /// Checkpoint hooks (sim/snapshot.hpp), the state-capture siblings of
+  /// describe(): serialize every bit of simulation-visible state into the
+  /// sink / restore it from the source, such that a freshly built component
+  /// that load_state()s a save_state() payload continues bit-identically.
+  /// load_state() must also re-arm any timed wakes the state implies (the
+  /// engine does not serialize its timer wheels). The default is stateless —
+  /// correct for pure-combinational components; anything with registers,
+  /// queues, RNG streams, or counters overrides both.
+  virtual void save_state(StateSink& /*s*/) const {}
+  virtual void load_state(StateSource& /*s*/) {}
 
   const std::string& name() const { return name_; }
 

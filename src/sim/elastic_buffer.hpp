@@ -39,6 +39,7 @@
 #include "common/check.hpp"
 #include "sim/activity.hpp"
 #include "sim/shard.hpp"
+#include "sim/snapshot.hpp"
 
 #if defined(MEMPOOL_DRC)
 #include <sstream>
@@ -246,6 +247,49 @@ class ElasticBuffer final : public Clocked {
   BufferMode mode() const { return mode_; }
   bool registered_mode() const { return mode_ == BufferMode::kRegistered; }
   std::size_t capacity() const { return capacity_; }
+
+  /// Checkpoint: serialize the visible FIFO contents and the drain counter.
+  /// Item payloads opt in via ADL overloads `save_item(StateSink&, const T&)`
+  /// / `load_item(StateSource&, T*)`, mirroring liveness_summary (the Packet
+  /// overloads live in sim/packet.hpp). Only callable at a quiesced cycle —
+  /// a staged item means the owner saved mid-cycle, which is a bug.
+  void save_state(StateSink& s) const {
+    MEMPOOL_CHECK_MSG(!staged_valid_,
+                      "buffer checkpoint requires a quiesced cycle (item "
+                      "still staged; consumer '"
+                          << consumer_name() << "')");
+    s.u32(count_);
+    s.u64(drains_);
+    if (overflow_) {
+      for (const T& v : *overflow_) save_item(s, v);
+    } else {
+      for (uint32_t i = 0; i < count_; ++i) {
+        save_item(s, ring_[(head_ + i) % kInlineCapacity]);
+      }
+    }
+  }
+
+  /// Restore into a freshly built (empty) buffer. Re-derives the occupancy
+  /// bit and the producer-visible snapshot; the consumer is not woken here —
+  /// every component starts awake after a rebuild, so visibility is already
+  /// guaranteed for the first post-restore cycle.
+  void load_state(StateSource& s) {
+    MEMPOOL_CHECK_MSG(count_ == 0 && !staged_valid_,
+                      "buffer restore requires a freshly built buffer");
+    const uint32_t n = s.u32();
+    drains_ = s.u64();
+    for (uint32_t i = 0; i < n; ++i) {
+      T v{};
+      load_item(s, &v);
+      enqueue(v);
+    }
+    if (count_ > 0) {
+      *occ_word_ |= occ_mask_;
+    } else {
+      *occ_word_ &= ~occ_mask_;
+    }
+    snap_count_ = count_;
+  }
 
   /// DRC self-description (the one meaningful Clocked::describe).
   void describe(GraphVisitor& v) const override {

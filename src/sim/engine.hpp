@@ -67,6 +67,8 @@
 
 namespace mempool {
 
+class Snapshot;
+
 /// Thrown by the progress watchdog (Engine::set_stall_horizon) when pending
 /// work has made no progress for a full stall horizon: the model is
 /// deadlocked (or a consumer is starved), and aborting with an attributed
@@ -251,6 +253,18 @@ class Engine {
     }
     return true;
   }
+
+  // --- checkpoint/restore (sim/snapshot.cpp) ---------------------------------
+  /// Capture the full simulation state at the current (quiesced) cycle
+  /// boundary into @p snap: engine counters plus one section per registered
+  /// component, in registration order. Must be called between steps — a
+  /// non-empty commit queue fails the quiescence check.
+  void save_state(Snapshot* snap) const;
+  /// Restore a save_state() capture into a freshly built engine/cluster of
+  /// the same configuration. Sets the cycle counter and hands every
+  /// component its section; continuing the run is bit-identical to the
+  /// uninterrupted one under all scheduling modes.
+  void load_state(const Snapshot& snap);
 
   uint64_t cycle() const { return cycle_; }
   std::size_t num_components() const { return components_.size(); }

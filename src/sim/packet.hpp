@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/snapshot.hpp"
+
 namespace mempool {
 
 /// Memory operation carried by a request packet. Stores are posted (the
@@ -71,6 +73,37 @@ constexpr const char* mem_op_name(MemOp op) {
     case MemOp::kStoreConditional: return "sc";
   }
   return "?";
+}
+
+/// Checkpoint serialization for packets in flight inside elastic buffers
+/// (the ADL pair ElasticBuffer::save_state/load_state look up, mirroring
+/// liveness_summary below).
+inline void save_item(StateSink& s, const Packet& p) {
+  s.u32(p.addr);
+  s.u32(p.data);
+  s.u8(p.be);
+  s.u8(static_cast<uint8_t>(p.op));
+  s.u16(p.src);
+  s.u16(p.src_tile);
+  s.u16(p.dst_tile);
+  s.u16(p.dst_bank);
+  s.u32(p.dst_row);
+  s.u16(p.tag);
+  s.u64(p.birth);
+}
+
+inline void load_item(StateSource& s, Packet* p) {
+  p->addr = s.u32();
+  p->data = s.u32();
+  p->be = s.u8();
+  p->op = static_cast<MemOp>(s.u8());
+  p->src = s.u16();
+  p->src_tile = s.u16();
+  p->dst_tile = s.u16();
+  p->dst_bank = s.u16();
+  p->dst_row = s.u32();
+  p->tag = s.u16();
+  p->birth = s.u64();
 }
 
 /// Head-packet summary for the stall watchdog's liveness report (the ADL

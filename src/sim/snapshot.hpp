@@ -1,0 +1,205 @@
+#pragma once
+// Engine checkpoint/restore: the `mempool.ckpt.v1` snapshot artifact.
+//
+// A snapshot captures the complete architectural + microarchitectural state
+// of a simulation at a *quiesced* cycle boundary (between steps: all staged
+// buffer writes committed, no pending commit queue entries). Components
+// serialize themselves through save_state(StateSink&)/load_state(StateSource&)
+// hooks, mirroring the describe() pattern used by the DRC: the engine walks
+// its registration order (which is deterministic for a given configuration)
+// and gives every component one named section.
+//
+// Restore contract: rebuild the *same* cluster from the *same* configuration,
+// call Engine::load_state(snapshot), and continue stepping. The continued run
+// is bit-identical — same per-cycle event order, same final counters, same
+// memory images — to the uninterrupted run, under the active, dense, and
+// sharded engines. That is what makes mid-run checkpoints safe to use for
+// crash recovery in the sweep service: a resumed point produces the exact
+// result bytes the original computation would have.
+//
+// Artifact layout (all integers little-endian):
+//
+//   magic            16 B   "mempool.ckpt.v1\n"
+//   cycle            u64    quiesced cycle the state was captured at
+//   key_len, key     u32+   SimRequest content hash (may be empty for ad-hoc
+//                           engine snapshots; checked on restore when both
+//                           sides carry one)
+//   section_count    u32
+//   per section:
+//     name_len, name u32+
+//     payload_len    u64
+//     payload        bytes
+//   total_length     u64    byte length of everything before this field
+//   crc32            u32    CRC-32 (IEEE) of everything before this field
+//
+// The trailer makes torn writes detectable: a truncated, zero-byte, or
+// bit-flipped file fails deserialize() with a CheckError instead of feeding
+// garbage state into a simulation.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+/// Byte-oriented serialization sink. Components append fixed-width
+/// little-endian primitives; the resulting string becomes their snapshot
+/// section payload.
+class StateSink {
+ public:
+  void u8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(uint16_t v) { le(v, 2); }
+  void u32(uint32_t v) { le(v, 4); }
+  void u64(uint64_t v) { le(v, 8); }
+  void b(bool v) { u8(v ? 1 : 0); }
+
+  /// Doubles round-trip by bit pattern — restored accumulators (latency
+  /// sums) continue with the exact value, preserving bit-identical stats.
+  void f64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  void str(const std::string& s) {
+    u32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  /// Appends raw bytes with no length prefix (artifact framing writes the
+  /// length itself).
+  void raw(const std::string& s) { buf_.append(s); }
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void le(uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a snapshot section. Every read validates the
+/// remaining length; load_state() implementations never see partial values
+/// from a corrupt or mismatched payload — they get a CheckError.
+class StateSource {
+ public:
+  explicit StateSource(std::string_view data)
+      : p_(reinterpret_cast<const unsigned char*>(data.data())),
+        end_(reinterpret_cast<const unsigned char*>(data.data()) +
+             data.size()) {}
+
+  uint8_t u8() { return static_cast<uint8_t>(le(1)); }
+  uint16_t u16() { return static_cast<uint16_t>(le(2)); }
+  uint32_t u32() { return static_cast<uint32_t>(le(4)); }
+  uint64_t u64() { return le(8); }
+  bool b() { return u8() != 0; }
+
+  double f64() {
+    const uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string str() {
+    const uint32_t n = u32();
+    return bytes(n);
+  }
+
+  /// Reads @p n raw bytes (caller knows the length from framing).
+  std::string bytes(std::size_t n) {
+    need(n);
+    std::string s(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    return s;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  /// Restores must consume their payload exactly: trailing bytes mean the
+  /// snapshot was produced by a different component layout.
+  void finish() const {
+    MEMPOOL_CHECK_MSG(p_ == end_,
+                      "snapshot section has " << remaining()
+                                              << " unconsumed bytes (state "
+                                                 "layout mismatch)");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    MEMPOOL_CHECK_MSG(remaining() >= n,
+                      "snapshot section truncated: need "
+                          << n << " bytes, " << remaining() << " left");
+  }
+
+  uint64_t le(int bytes) {
+    need(static_cast<std::size_t>(bytes));
+    uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<uint64_t>(p_[i]) << (8 * i);
+    }
+    p_ += bytes;
+    return v;
+  }
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected). Guards the artifact trailer.
+uint32_t snapshot_crc32(const void* data, std::size_t size);
+
+/// The versioned checkpoint artifact: a cycle, an optional request key, and
+/// named per-component sections. serialize()/deserialize() implement the
+/// `mempool.ckpt.v1` byte layout documented at the top of this header.
+class Snapshot {
+ public:
+  static constexpr std::string_view kMagic = "mempool.ckpt.v1\n";
+
+  uint64_t cycle = 0;
+  std::string key;
+
+  void add(std::string name, std::string payload) {
+    sections_.emplace_back(std::move(name), std::move(payload));
+  }
+
+  /// nullptr when no section of that name exists.
+  const std::string* find(const std::string& name) const {
+    for (const auto& [n, payload] : sections_) {
+      if (n == name) return &payload;
+    }
+    return nullptr;
+  }
+
+  const std::string& payload(const std::string& name) const {
+    const std::string* p = find(name);
+    MEMPOOL_CHECK_MSG(p != nullptr,
+                      "snapshot is missing section '"
+                          << name << "' (built for a different cluster?)");
+    return *p;
+  }
+
+  std::size_t section_count() const { return sections_.size(); }
+
+  std::string serialize() const;
+
+  /// Parses and fully validates an artifact: magic, CRC, declared length,
+  /// and per-section bounds. Throws CheckError on any corruption — a torn
+  /// or bit-flipped checkpoint never yields a Snapshot object.
+  static Snapshot deserialize(std::string_view bytes);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+}  // namespace mempool

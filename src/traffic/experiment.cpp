@@ -1,18 +1,28 @@
 #include "traffic/experiment.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
+
+#include "common/check.hpp"
 
 #include "core/cluster.hpp"
 #include "mem/imem.hpp"
 #include "noc/monitor.hpp"
 #include "runner/shard_gang.hpp"
 #include "sim/engine.hpp"
+#include "sim/snapshot.hpp"
 #include "traffic/generator.hpp"
 
 namespace mempool {
 
 TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg,
+                               TrafficCounters* counters_out) {
+  return run_traffic_point(ecfg, CheckpointOptions{}, counters_out);
+}
+
+TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg,
+                               const CheckpointOptions& ckpt,
                                TrafficCounters* counters_out) {
   const ClusterConfig& ccfg = ecfg.cluster;
   ccfg.validate();
@@ -65,7 +75,64 @@ TrafficPoint run_traffic_point(const TrafficExperimentConfig& ecfg,
   cluster.build(engine);
 
   engine.set_stall_horizon(ecfg.stall_horizon);
-  engine.run(ecfg.warmup_cycles + ecfg.measure_cycles + ecfg.drain_cycles);
+
+  // Resume: the engine and monitors restore from the image before the first
+  // step, as if the original run had simply been paused here. Component
+  // count, monitor count, and the point key are all validated, so an image
+  // from a different config (or a different engine mode's monitor layout)
+  // is rejected instead of silently producing a diverged result.
+  if (ckpt.restore_from != nullptr) {
+    const Snapshot snap = Snapshot::deserialize(*ckpt.restore_from);
+    MEMPOOL_CHECK_MSG(ckpt.key.empty() || snap.key == ckpt.key,
+                      "checkpoint key mismatch: image is for '"
+                          << snap.key << "', this point is '" << ckpt.key
+                          << "'");
+    engine.load_state(snap);
+    for (uint32_t s = 0; s < num_monitors; ++s) {
+      StateSource src(snap.payload("monitor" + std::to_string(s)));
+      monitors[s].load_state(src);
+      src.finish();
+    }
+    MEMPOOL_CHECK_MSG(
+        snap.find("monitor" + std::to_string(num_monitors)) == nullptr,
+        "checkpoint monitor count mismatch (saved under a different engine "
+        "mode?)");
+  }
+
+  const uint64_t total =
+      ecfg.warmup_cycles + ecfg.measure_cycles + ecfg.drain_cycles;
+  MEMPOOL_CHECK_MSG(engine.cycle() <= total,
+                    "checkpoint is past the end of the run ("
+                        << engine.cycle() << " > " << total << " cycles)");
+
+  // Stepping the run in checkpoint_every-sized chunks is invisible to the
+  // simulation: run() leaves no partial cycle, so every chunk boundary is a
+  // quiesced point between two steps and the state evolution is identical
+  // to one uninterrupted run().
+  while (engine.cycle() < total) {
+    if (ckpt.should_abort && ckpt.should_abort()) {
+      throw PointAborted(engine.cycle());
+    }
+    uint64_t target = total;
+    if (ckpt.checkpoint_every != 0) {
+      const uint64_t boundary =
+          (engine.cycle() / ckpt.checkpoint_every + 1) * ckpt.checkpoint_every;
+      target = std::min(total, boundary);
+    }
+    engine.run(target - engine.cycle());
+    if (ckpt.on_checkpoint && ckpt.checkpoint_every != 0 &&
+        engine.cycle() < total) {
+      Snapshot snap;
+      snap.key = ckpt.key;
+      engine.save_state(&snap);
+      for (uint32_t s = 0; s < num_monitors; ++s) {
+        StateSink sink;
+        monitors[s].save_state(sink);
+        snap.add("monitor" + std::to_string(s), sink.take());
+      }
+      ckpt.on_checkpoint(engine.cycle(), snap.serialize());
+    }
+  }
 
   LatencyMonitor& monitor = monitors.front();
   for (uint32_t s = 1; s < num_monitors; ++s) monitor.absorb(monitors[s]);

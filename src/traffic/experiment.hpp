@@ -4,6 +4,9 @@
 // collecting latency samples through a drain phase.
 
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/cluster_config.hpp"
@@ -71,6 +74,47 @@ struct TrafficCounters {
   bool operator==(const TrafficCounters&) const = default;
 };
 
+/// Thrown by run_traffic_point when CheckpointOptions::should_abort asks the
+/// point to stop between chunks (e.g. a service deadline expired mid-run).
+/// The point produced no result; any checkpoints already handed to
+/// on_checkpoint remain valid resume images.
+class PointAborted : public std::runtime_error {
+ public:
+  explicit PointAborted(uint64_t cycle)
+      : std::runtime_error("traffic point aborted at cycle " +
+                           std::to_string(cycle)),
+        cycle_(cycle) {}
+  uint64_t cycle() const { return cycle_; }
+
+ private:
+  uint64_t cycle_;
+};
+
+/// Crash-safety hooks for run_traffic_point: periodic engine snapshots, a
+/// resume image, and a cooperative abort poll. All fields default to "off",
+/// so CheckpointOptions{} reproduces the plain uninterrupted run.
+struct CheckpointOptions {
+  /// Snapshot period in cycles; 0 disables periodic checkpointing. The run
+  /// is stepped in chunks of this size and a mempool.ckpt.v1 image is taken
+  /// at each chunk boundary (a quiesced point between two cycles).
+  uint64_t checkpoint_every = 0;
+  /// Identity stamped into every snapshot (e.g. the SimRequest content
+  /// hash). Restore refuses an image whose key differs, so a checkpoint can
+  /// never resume a different point's run.
+  std::string key;
+  /// Serialized mempool.ckpt.v1 image to resume from; nullptr = cold start.
+  /// The image must come from a run with the identical config (same
+  /// component list, monitor count, and key).
+  const std::string* restore_from = nullptr;
+  /// Receives each periodic snapshot, already serialized. The image is
+  /// complete and self-validating (CRC-sealed); persist it with
+  /// write-then-rename for crash atomicity.
+  std::function<void(uint64_t cycle, const std::string& image)> on_checkpoint;
+  /// Polled at every chunk boundary; return true to abort the point with
+  /// PointAborted instead of running to completion.
+  std::function<bool()> should_abort;
+};
+
 /// Run one (topology, λ, p_local) point.
 ///
 /// Thread-safe and re-entrant: every invocation owns its Engine, Cluster,
@@ -85,6 +129,14 @@ struct TrafficCounters {
 /// counter set (the cycle-equivalence tests assert these match between the
 /// activity-driven and dense engines).
 TrafficPoint run_traffic_point(const TrafficExperimentConfig& cfg,
+                               TrafficCounters* counters_out = nullptr);
+
+/// Checkpoint-aware variant: identical result to the plain overload (bit
+/// for bit, including under restore — the monitors' double-accumulation
+/// order is preserved by snapshotting them alongside the engine), but the
+/// run can be snapshotted, resumed, and aborted via @p ckpt.
+TrafficPoint run_traffic_point(const TrafficExperimentConfig& cfg,
+                               const CheckpointOptions& ckpt,
                                TrafficCounters* counters_out = nullptr);
 
 /// Sweep λ over @p loads with otherwise fixed parameters, one point after

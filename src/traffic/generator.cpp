@@ -78,6 +78,42 @@ void TrafficGenerator::deliver(const Packet& resp) {
   if (monitor_) monitor_->on_response(engine_->cycle(), resp.birth);
 }
 
+void TrafficGenerator::save_state(StateSink& s) const {
+  uint64_t rng[4];
+  rng_.save_state(rng);
+  for (const uint64_t w : rng) s.u64(w);
+  s.u64(next_arrival_);
+  s.b(arrivals_init_);
+  s.u64(generated_);
+  s.u64(completed_);
+  s.u16(seq_);
+  s.u32(static_cast<uint32_t>(queue_.size()));
+  for (const Packet& p : queue_) save_item(s, p);
+}
+
+void TrafficGenerator::load_state(StateSource& s) {
+  uint64_t rng[4];
+  for (uint64_t& w : rng) w = s.u64();
+  rng_.load_state(rng);
+  next_arrival_ = s.u64();
+  arrivals_init_ = s.b();
+  generated_ = s.u64();
+  completed_ = s.u64();
+  seq_ = s.u16();
+  queue_.clear();
+  const uint32_t n = s.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    Packet p;
+    load_item(s, &p);
+    queue_.push_back(p);
+  }
+  // Re-arm the pending arrival event. A next_arrival_ at or before the
+  // restored cycle wakes immediately, which matches the uninterrupted run:
+  // the timer for cycle C fires at the start of step C, i.e. after the
+  // save point.
+  if (next_arrival_ != UINT64_MAX) engine_->wake_at(next_arrival_, this);
+}
+
 void TrafficGenerator::evaluate(uint64_t cycle) {
   // Open-loop Poisson arrivals, sampled per arrival event (see header).
   if (cycle < tcfg_.stop_generation_at) {

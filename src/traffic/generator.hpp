@@ -77,6 +77,11 @@ class TrafficGenerator final : public Client {
     v.self_ticking();
   }
 
+  /// Checkpoint: RNG stream, arrival schedule, source queue, counters.
+  /// load_state re-arms the pending arrival wake.
+  void save_state(StateSink& s) const override;
+  void load_state(StateSource& s) override;
+
   std::size_t queue_depth() const { return queue_.size(); }
   uint64_t generated() const { return generated_; }
   uint64_t completed() const { return completed_; }

@@ -7,6 +7,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "runner/results.hpp"
 #include "serve/cache.hpp"
@@ -137,6 +138,104 @@ TEST(ResultCache, CorruptDiskFileDegradesToAMiss) {
   ResultCache cache(4, dir);
   EXPECT_FALSE(cache.lookup(a).has_value());
   EXPECT_GE(cache.stats().disk_errors, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, ZeroByteFileDegradesToAMiss) {
+  const std::string dir = fresh_dir("zerobyte");
+  const SimRequest a = req(0.1, 1);
+  {
+    ResultCache cache(4, dir);
+    cache.insert(a, fake_result(a, 0.75));
+  }
+  {
+    std::ofstream out(dir + "/" + a.key() + ".json",
+                      std::ios::trunc | std::ios::binary);
+  }  // 0 bytes: the classic artifact of a crash between create and write
+  ResultCache cache(4, dir);
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, TruncatedFilesAtEveryLengthDegradeToMisses) {
+  const std::string dir = fresh_dir("truncfuzz");
+  const SimRequest a = req(0.1, 1);
+  {
+    ResultCache cache(4, dir);
+    cache.insert(a, fake_result(a, 0.75));
+  }
+  const std::string path = dir + "/" + a.key() + ".json";
+  std::string intact;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    intact = buf.str();
+  }
+  ASSERT_GT(intact.size(), 16u);
+  // A torn write can stop at any byte. Every strict prefix (up to the
+  // closing brace) must read as a miss — never a crash, never a partial
+  // result.
+  for (std::size_t len = 0; len + 2 < intact.size(); ++len) {
+    {
+      std::ofstream out(path, std::ios::trunc | std::ios::binary);
+      out.write(intact.data(), static_cast<std::streamsize>(len));
+    }
+    ResultCache cache(4, dir);
+    EXPECT_FALSE(cache.lookup(a).has_value())
+        << "truncation at byte " << len << " served a result";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, BitFlippedFilesNeverCrashAndMostlyMiss) {
+  const std::string dir = fresh_dir("flipfuzz");
+  const SimRequest a = req(0.1, 1);
+  const SimResult good = fake_result(a, 0.75);
+  {
+    ResultCache cache(4, dir);
+    cache.insert(a, good);
+  }
+  const std::string path = dir + "/" + a.key() + ".json";
+  std::string intact;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    intact = buf.str();
+  }
+  // Flip one bit at every offset. The file guards itself with the schema
+  // tag, the result version, and an exact echo of the canonical request:
+  // corruption anywhere in those (or anywhere that breaks the JSON) is a
+  // miss. A flip confined to the result payload digits can survive parsing
+  // — the contract under corruption is "miss or a well-formed result,
+  // never a crash or a torn read".
+  std::size_t misses = 0;
+  for (std::size_t off = 0; off < intact.size(); ++off) {
+    std::string mutated = intact;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x08);
+    {
+      std::ofstream out(path, std::ios::trunc | std::ios::binary);
+      out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    }
+    ResultCache cache(4, dir);
+    std::optional<SimResult> got;
+    EXPECT_NO_THROW(got = cache.lookup(a)) << "flip at byte " << off;
+    if (!got.has_value()) {
+      ++misses;
+    } else {
+      EXPECT_EQ(got->request_key, good.request_key)
+          << "flip at byte " << off << " forged a foreign result";
+    }
+    // Whatever the flip did, the cache object must stay fully usable.
+    cache.insert(a, good);
+    EXPECT_TRUE(cache.lookup(a).has_value());
+  }
+  // The guarded regions dominate the file, so the vast majority of flips
+  // must be detected.
+  EXPECT_GT(misses, intact.size() / 2)
+      << "corruption detection has regressed";
   std::filesystem::remove_all(dir);
 }
 

@@ -345,6 +345,125 @@ TEST(ShardedEquivalenceExec, SnitchMatmul256CoresBitIdentical) {
   EXPECT_GT(sharded->engine().parallel_cycles(), 0u);
 }
 
+// Checkpoint/restore equivalence: for each engine mode, a run that is
+// chunked by periodic checkpoints and a run resumed from a mid-flight
+// mempool.ckpt.v1 image must both be bit-identical to the plain
+// uninterrupted run — the tentpole contract that makes crash recovery in
+// the sweep service safe.
+class CheckpointEquivalence : public ::testing::TestWithParam<EngineMode> {};
+
+TEST_P(CheckpointEquivalence, RestoredRunBitIdentical) {
+  TrafficExperimentConfig cfg =
+      traffic_cfg(Topology::kTopH, true, 0.25, 0.5);
+  cfg.engine = GetParam();
+  if (cfg.engine == EngineMode::kSharded) cfg.sim_threads = 4;
+
+  TrafficCounters c_plain;
+  const TrafficPoint p_plain = run_traffic_point(cfg, &c_plain);
+
+  // Chunked: checkpoint every 300 cycles, keep the image nearest mid-run.
+  std::string image;
+  CheckpointOptions save;
+  save.checkpoint_every = 300;
+  save.key = "equiv";
+  save.on_checkpoint = [&](uint64_t cycle, const std::string& img) {
+    if (cycle == 600) image = img;
+  };
+  TrafficCounters c_chunked;
+  const TrafficPoint p_chunked = run_traffic_point(cfg, save, &c_chunked);
+  EXPECT_EQ(p_plain, p_chunked) << "chunked run diverged";
+  EXPECT_EQ(c_plain, c_chunked) << "chunked counters diverged";
+  ASSERT_FALSE(image.empty()) << "no checkpoint captured at cycle 600";
+
+  // Restored: resume from the cycle-600 image, finish the point.
+  CheckpointOptions resume;
+  resume.key = "equiv";
+  resume.restore_from = &image;
+  TrafficCounters c_res;
+  const TrafficPoint p_res = run_traffic_point(cfg, resume, &c_res);
+  EXPECT_EQ(p_plain, p_res) << "restored run diverged";
+  EXPECT_EQ(c_plain, c_res) << "restored counters diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CheckpointEquivalence,
+                         ::testing::Values(EngineMode::kActive,
+                                           EngineMode::kDense,
+                                           EngineMode::kSharded),
+                         [](const auto& tpinfo) {
+                           return std::string(engine_mode_name(tpinfo.param));
+                         });
+
+TEST(CheckpointEquivalence2, ActiveImageResumesUnderDenseNotSharded) {
+  // The snapshot captures architectural state, not scheduler bookkeeping:
+  // an image saved under the active engine resumes bit-identically under
+  // the dense engine (same monitor layout). The sharded engine keeps one
+  // monitor *per shard* — its partial sums cannot be reconstructed from a
+  // sequential image, so that resume must be *refused* by the
+  // monitor-count guard, never silently diverged.
+  TrafficExperimentConfig cfg =
+      traffic_cfg(Topology::kTopH, false, 0.15, 0.0);
+  TrafficCounters c_plain;
+  const TrafficPoint p_plain = run_traffic_point(cfg, &c_plain);
+
+  std::string image;
+  CheckpointOptions save;
+  save.checkpoint_every = 500;
+  save.key = "xengine";
+  save.on_checkpoint = [&](uint64_t cycle, const std::string& img) {
+    if (cycle == 500) image = img;
+  };
+  run_traffic_point(cfg, save);
+  ASSERT_FALSE(image.empty());
+
+  TrafficExperimentConfig dense = cfg;
+  dense.engine = EngineMode::kDense;
+  CheckpointOptions resume;
+  resume.key = "xengine";
+  resume.restore_from = &image;
+  TrafficCounters c_res;
+  const TrafficPoint p_res = run_traffic_point(dense, resume, &c_res);
+  EXPECT_EQ(p_plain, p_res) << "dense resume from active image diverged";
+  EXPECT_EQ(c_plain, c_res) << "dense resume counters diverged";
+
+  TrafficExperimentConfig sharded = cfg;
+  sharded.engine = EngineMode::kSharded;
+  sharded.sim_threads = 4;
+  EXPECT_THROW(run_traffic_point(sharded, resume), CheckError);
+}
+
+TEST(CheckpointEquivalence2, MismatchedKeyAndConfigAreRejected) {
+  TrafficExperimentConfig cfg =
+      traffic_cfg(Topology::kTopH, false, 0.1, 0.0);
+  std::string image;
+  CheckpointOptions save;
+  save.checkpoint_every = 400;
+  save.key = "point-A";
+  save.on_checkpoint = [&](uint64_t, const std::string& img) { image = img; };
+  run_traffic_point(cfg, save);
+  ASSERT_FALSE(image.empty());
+
+  // Wrong key: refused before any state is loaded.
+  CheckpointOptions wrong_key;
+  wrong_key.key = "point-B";
+  wrong_key.restore_from = &image;
+  EXPECT_THROW(run_traffic_point(cfg, wrong_key), CheckError);
+
+  // Wrong topology: component list differs, refused.
+  TrafficExperimentConfig other =
+      traffic_cfg(Topology::kTop1, false, 0.1, 0.0);
+  CheckpointOptions same_key;
+  same_key.key = "point-A";
+  same_key.restore_from = &image;
+  EXPECT_THROW(run_traffic_point(other, same_key), CheckError);
+
+  // Torn image: rejected by the artifact CRC/length validation.
+  const std::string torn = image.substr(0, image.size() / 2);
+  CheckpointOptions torn_opts;
+  torn_opts.key = "point-A";
+  torn_opts.restore_from = &torn;
+  EXPECT_THROW(run_traffic_point(cfg, torn_opts), CheckError);
+}
+
 TEST(ShardedEquivalenceWork, ShardedEvaluatesExactlyLikeActive) {
   // The scheduler-work counters themselves must match: the sharded engine
   // evaluates exactly the components the active engine would, no more.

@@ -18,11 +18,28 @@
 // Exits nonzero when any response errs, any result mismatches, or the final
 // cache-hit rate is below --min-hit-rate. Prints a summary (or --json) with
 // client-observed counts and the server's p50/p99 service latency.
+//
+// Chaos mode (--chaos --server-bin PATH): the loadgen owns the daemon's
+// lifecycle — it spawns the real sim_server binary, streams requests through
+// a RetryingClient, SIGKILLs the daemon at scheduled points (between
+// requests and mid-computation of a deliberately slow point), restarts it,
+// and requires every request to still complete with results bit-identical
+// to a local run_point(). With --cache-dir the restarted daemon re-serves
+// primed points from the disk cache and resumes the slow point from its
+// persisted checkpoint (--checkpoint-every).
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -36,6 +53,8 @@ using mempool::ClusterConfig;
 using mempool::Json;
 using mempool::Rng;
 using mempool::TrafficExperimentConfig;
+using mempool::serve::RetryingClient;
+using mempool::serve::RetryPolicy;
 using mempool::serve::ServiceResponse;
 using mempool::serve::SimClient;
 using mempool::serve::SimRequest;
@@ -55,6 +74,13 @@ struct Options {
   bool verify = false;
   bool shutdown = false;
   bool json = false;
+  // Chaos mode.
+  bool chaos = false;
+  std::string server_bin;        ///< sim_server binary to spawn/kill.
+  std::string cache_dir;         ///< Forwarded to the spawned daemon.
+  uint64_t kills = 3;            ///< SIGKILLs between requests.
+  uint64_t checkpoint_every = 10'000;  ///< Forwarded to the spawned daemon.
+  uint64_t slow_cycles = 120'000;      ///< Measure window of the slow point.
 };
 
 void usage(const char* argv0) {
@@ -78,6 +104,17 @@ void usage(const char* argv0) {
       "  --wait MS           retry connecting for MS milliseconds\n"
       "  --shutdown          send the shutdown op when done\n"
       "  --json              machine-readable report on stdout\n"
+      "\n"
+      "Chaos mode (crash-recovery acceptance):\n"
+      "  --chaos             spawn, SIGKILL, and restart the daemon while\n"
+      "                      streaming; every request must still complete\n"
+      "                      bit-identical to a local run (implies --verify)\n"
+      "  --server-bin PATH   sim_server binary to spawn (required w/ --chaos)\n"
+      "  --cache-dir DIR     forwarded to the daemon (disk cache + resume)\n"
+      "  --kills N           scheduled SIGKILLs between requests (default 3)\n"
+      "  --checkpoint-every N  forwarded to the daemon (default 10000)\n"
+      "  --slow-cycles N     measure window of the mid-flight-kill point\n"
+      "                      (default 120000)\n"
       "  --help              this text\n",
       argv0);
 }
@@ -130,6 +167,176 @@ struct Tally {
   }
 };
 
+// --- chaos mode --------------------------------------------------------------
+
+/// Fork+exec the real sim_server binary; the returned pid is what the kill
+/// schedule targets (kill(pid) is pid-scoped, the loadgen is never hit).
+pid_t spawn_server(const Options& opt) {
+  const pid_t pid = ::fork();
+  MEMPOOL_CHECK_MSG(pid >= 0, "fork() failed");
+  if (pid == 0) {
+    std::vector<std::string> args = {opt.server_bin, "--socket",
+                                     opt.socket_path, "--quiet"};
+    if (!opt.cache_dir.empty()) {
+      args.insert(args.end(), {"--cache-dir", opt.cache_dir});
+    }
+    if (opt.checkpoint_every > 0) {
+      args.insert(args.end(), {"--checkpoint-every",
+                               std::to_string(opt.checkpoint_every)});
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv sim_server");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+void kill_server(pid_t pid) {
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+/// A point long enough that a SIGKILL can land mid-computation, sized so the
+/// daemon checkpoints it several times before dying.
+SimRequest make_slow_request(const Options& opt) {
+  TrafficExperimentConfig cfg;
+  cfg.cluster = ClusterConfig::mini(opt.topology, /*scrambling=*/true);
+  cfg.lambda = 0.05;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = opt.slow_cycles;
+  cfg.drain_cycles = 100;
+  cfg.seed = opt.seed + 777;
+  MEMPOOL_CHECK_MSG(mempool::engine_mode_from_name(opt.engine, &cfg.engine),
+                    "unknown engine '" << opt.engine << "'");
+  return SimRequest::from_config(cfg);
+}
+
+int run_chaos(const Options& opt) {
+  MEMPOOL_CHECK_MSG(!opt.server_bin.empty(), "--chaos requires --server-bin");
+  pid_t server = spawn_server(opt);
+
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff_ms = 50;
+  policy.max_backoff_ms = 1000;
+  policy.connect_timeout_ms = 10'000;
+  policy.read_timeout_ms = 120'000;
+  policy.jitter_seed = opt.seed;
+  RetryingClient client(opt.socket_path, policy);
+
+  uint64_t sent = 0, mismatches = 0, errors = 0, kills = 0;
+
+  // Ground truth: every point computed locally, once.
+  std::vector<SimRequest> points;
+  std::vector<SimResult> expected;
+  for (uint64_t i = 0; i < opt.unique; ++i) {
+    points.push_back(make_request(opt, i));
+    expected.push_back(mempool::serve::run_point(points.back()));
+  }
+  const SimRequest slow = make_slow_request(opt);
+  const SimResult slow_expected = mempool::serve::run_point(slow);
+
+  const auto check = [&](const ServiceResponse& resp, const SimResult& want,
+                         const char* phase) {
+    ++sent;
+    if (!resp.ok) {
+      ++errors;
+      std::fprintf(stderr, "chaos: %s error: %s\n", phase, resp.error.c_str());
+      return;
+    }
+    if (!(resp.result == want)) {
+      ++mismatches;
+      std::fprintf(stderr, "chaos: %s result mismatch for key %s\n", phase,
+                   resp.key.c_str());
+    }
+  };
+
+  // Phase 1: prime every point, SIGKILLing + restarting the daemon at evenly
+  // spaced points of the stream. The RetryingClient must absorb every death:
+  // reconnect to the respawned daemon and re-issue.
+  const uint64_t kill_period =
+      opt.kills > 0 ? std::max<uint64_t>(1, opt.unique / (opt.kills + 1)) : 0;
+  for (uint64_t i = 0; i < opt.unique; ++i) {
+    check(client.run(points[i]), expected[i], "prime");
+    if (kill_period > 0 && (i + 1) % kill_period == 0 && kills < opt.kills) {
+      kill_server(server);
+      ++kills;
+      server = spawn_server(opt);
+    }
+  }
+
+  // Phase 2: kill the daemon mid-computation of the slow point. A helper
+  // thread SIGKILLs it shortly after the request goes out and respawns it;
+  // the client retries, and with --cache-dir the respawned daemon resumes
+  // the point from its persisted checkpoint instead of starting over.
+  {
+    std::atomic<pid_t> respawned{-1};
+    std::thread killer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      kill_server(server);
+      respawned.store(spawn_server(opt));
+    });
+    check(client.run(slow), slow_expected, "slow");
+    killer.join();
+    server = respawned.load();
+    ++kills;
+  }
+
+  // Phase 3: replay everything after the restarts. With a disk cache these
+  // are hits; without one the respawned daemon recomputes — either way the
+  // results must match the local ground truth bit for bit.
+  for (uint64_t i = 0; i < opt.unique; ++i) {
+    check(client.run(points[i]), expected[i], "replay");
+  }
+  check(client.run(slow), slow_expected, "replay-slow");
+
+  Json metrics;
+  try {
+    SimClient plain(opt.socket_path, opt.wait_ms > 0 ? opt.wait_ms : 2000);
+    metrics = plain.metrics();
+    plain.shutdown_server();
+  } catch (const mempool::CheckError&) {
+    // Metrics are best-effort; the daemon is killed below regardless.
+  }
+  kill_server(server);
+
+  Json report = Json::object();
+  report.set("requests", sent);
+  report.set("errors", errors);
+  report.set("mismatches", mismatches);
+  report.set("kills", kills);
+  report.set("reconnects", client.reconnects());
+  report.set("retries", client.retries());
+  if (!metrics.is_null()) report.set("server_metrics", metrics);
+  if (opt.json) {
+    std::printf("%s\n", report.dump(2).c_str());
+  } else {
+    std::printf(
+        "chaos: %llu requests across %llu daemon kills → %llu errors, "
+        "%llu mismatches (%llu reconnects, %llu retries)\n",
+        static_cast<unsigned long long>(sent),
+        static_cast<unsigned long long>(kills),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(mismatches),
+        static_cast<unsigned long long>(client.reconnects()),
+        static_cast<unsigned long long>(client.retries()));
+  }
+  if (errors > 0 || mismatches > 0) return 1;
+  if (kills > 0 && client.reconnects() == 0) {
+    std::fprintf(stderr,
+                 "chaos: daemon was killed %llu times but the client never "
+                 "reconnected — the schedule exercised nothing\n",
+                 static_cast<unsigned long long>(kills));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +376,18 @@ int main(int argc, char** argv) {
       opt.shutdown = true;
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--server-bin") {
+      opt.server_bin = value();
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = value();
+    } else if (arg == "--kills") {
+      opt.kills = std::stoull(value());
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = std::stoull(value());
+    } else if (arg == "--slow-cycles") {
+      opt.slow_cycles = std::stoull(value());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -176,6 +395,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: unknown option '%s' (try --help)\n",
                    arg.c_str());
       return 2;
+    }
+  }
+  if (opt.chaos) {
+    try {
+      return run_chaos(opt);
+    } catch (const mempool::CheckError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
   }
   if (opt.unique == 0 || opt.requests < opt.unique || opt.window == 0) {

@@ -43,6 +43,14 @@ void usage(const char* argv0) {
       "                       env or hardware concurrency)\n"
       "  --cache-capacity N   in-memory result-cache entries (default 1024)\n"
       "  --cache-dir DIR      on-disk result cache (default: memory only)\n"
+      "  --max-queue N        shed new points beyond N in flight with a\n"
+      "                       structured 'overloaded' response (default:\n"
+      "                       unbounded)\n"
+      "  --retry-after-ms N   backoff hint on shed responses (default 250)\n"
+      "  --checkpoint-every N checkpoint long-running points every N\n"
+      "                       simulated cycles; with --cache-dir the images\n"
+      "                       persist to <dir>/<key>.ckpt and a restarted\n"
+      "                       daemon resumes them (default: off)\n"
       "  --quiet              no per-request stderr log\n"
       "  --help               this text\n",
       argv0);
@@ -75,6 +83,12 @@ int main(int argc, char** argv) {
       cfg.service.cache_capacity = std::stoull(value());
     } else if (arg == "--cache-dir") {
       cfg.service.cache_dir = value();
+    } else if (arg == "--max-queue") {
+      cfg.service.max_queue = std::stoull(value());
+    } else if (arg == "--retry-after-ms") {
+      cfg.service.retry_after_ms = static_cast<int>(std::stoul(value()));
+    } else if (arg == "--checkpoint-every") {
+      cfg.service.checkpoint_every = std::stoull(value());
     } else if (arg == "--quiet") {
       cfg.log = false;
     } else if (arg == "--help" || arg == "-h") {

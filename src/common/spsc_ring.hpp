@@ -1,0 +1,106 @@
+#pragma once
+// Cache-line-padded single-producer/single-consumer ring.
+//
+// Carries cross-shard commit hand-offs in the sharded engine: during the
+// commit phase, producer shard s pushes boundary buffers destined for
+// consumer shard d into ring (s,d); shard d drains rings in ascending
+// producer order, which preserves the deterministic drain order the sharded
+// bit-identity proof depends on (see README "Engine internals").
+//
+// Lock-free with acquire/release only — no CAS, no fences on the fast path.
+// The producer owns tail_, the consumer owns head_; each side keeps a
+// relaxed-loaded cache of the other side's index and only re-reads it (with
+// acquire) when the cached value says full/empty. Indices are monotonically
+// increasing and masked on access, so full/empty never alias.
+//
+// Capacity is fixed at init() — rings are sized at elaboration from the DRC
+// D4 shard-boundary registry, so a push can only fail on a model bug.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/check.hpp"
+
+namespace mempool {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing hands off raw values between threads");
+
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+  SpscRing(SpscRing&&) = delete;
+  SpscRing& operator=(SpscRing&&) = delete;
+
+  /// Allocate storage for at least @p min_capacity elements (rounded up to a
+  /// power of two, minimum 2). Not thread-safe; call during elaboration.
+  void init(std::size_t min_capacity) {
+    MEMPOOL_CHECK_MSG(buf_ == nullptr, "SpscRing::init called twice");
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    buf_ = std::make_unique<T[]>(cap);
+    mask_ = cap - 1;
+  }
+
+  bool initialized() const { return buf_ != nullptr; }
+  std::size_t capacity() const { return buf_ ? mask_ + 1 : 0; }
+
+  /// Producer side. Returns false when full.
+  bool try_push(const T& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;
+    }
+    buf_[t & mask_] = v;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T* out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    *out = buf_[h & mask_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot of the element count. Exact only when both sides are quiesced
+  /// (e.g. at the cycle barrier); used for asserts and stats.
+  std::size_t size_unsync() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Shared, read-mostly after init.
+  std::unique_ptr<T[]> buf_;
+  std::size_t mask_ = 0;
+
+  // Producer line: tail_ plus the producer's private cache of head_.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+
+  // Consumer line: head_ plus the consumer's private cache of tail_.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+};
+
+// The producer-owned and consumer-owned control words must sit on distinct
+// cache lines or the two sides false-share every push/pop.
+static_assert(alignof(SpscRing<void*>) == kCacheLineBytes);
+static_assert(sizeof(SpscRing<void*>) >= 3 * kCacheLineBytes);
+
+}  // namespace mempool

@@ -7,16 +7,16 @@
 namespace mempool {
 
 SpmBank::SpmBank(std::string name, uint32_t bank_bytes,
-                 std::size_t input_capacity)
+                 std::size_t input_capacity, Arena* arena)
     : Component(std::move(name)),
       words_(bank_bytes / 4, 0),
-      req_in_(BufferMode::kCombinational, input_capacity),
+      req_in_(BufferMode::kCombinational, input_capacity, arena),
       req_sink_(req_in_) {
   MEMPOOL_CHECK(bank_bytes >= 4 && bank_bytes % 4 == 0);
   req_in_.set_consumer(this, this->name().c_str());
 }
 
-void SpmBank::register_clocked(Engine& /*engine*/) {
+void SpmBank::register_clocked(Engine& /*engine*/, uint32_t /*shard*/) {
   // The request input is combinational and the response register is owned by
   // the downstream crossbar/bridge; nothing to commit here.
 }

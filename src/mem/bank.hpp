@@ -23,7 +23,11 @@ class SpmBank final : public Component {
   /// @param bank_bytes    storage bytes (multiple of 4).
   /// @param input_capacity request queue depth; 0 = unbounded (ideal TopX
   ///                      output-queued fabric).
-  SpmBank(std::string name, uint32_t bank_bytes, std::size_t input_capacity = 2);
+  /// @param arena         when given, the request queue's deep/unbounded
+  ///                      ring storage comes from this arena (the shard
+  ///                      arena of the owning cluster).
+  SpmBank(std::string name, uint32_t bank_bytes, std::size_t input_capacity = 2,
+          Arena* arena = nullptr);
 
   /// Sink the request fabric pushes into.
   PacketSink* request_input() { return &req_sink_; }
@@ -34,7 +38,7 @@ class SpmBank final : public Component {
   /// the ideal response bridge.
   void connect_response(PacketSink* sink) { resp_sink_ = sink; }
 
-  void register_clocked(Engine& engine);
+  void register_clocked(Engine& engine, uint32_t shard = 0);
 
   void evaluate(uint64_t cycle) override;
 

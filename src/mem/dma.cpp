@@ -20,7 +20,7 @@ bool l2_is_dst(const L2Memory& l2, const DmaDescriptor& d) {
 
 DmaFrontend::DmaFrontend(std::string name, uint32_t group,
                          const ClusterConfig& cfg, const MemoryLayout* layout,
-                         const L2Memory* l2)
+                         const L2Memory* l2, Arena* arena)
     : Component(std::move(name)),
       group_(group),
       cfg_(&cfg),
@@ -29,8 +29,9 @@ DmaFrontend::DmaFrontend(std::string name, uint32_t group,
       table_(kMaxInFlight),
       pending_(cfg.num_cores(), 0),
       cmd_out_(cfg.num_groups, nullptr) {
+  comp_in_.reserve_exact(cfg.num_groups, arena);
   for (uint32_t g = 0; g < cfg.num_groups; ++g) {
-    comp_in_.emplace_back(BufferMode::kRegistered, /*capacity=*/0);
+    comp_in_.emplace_back(BufferMode::kRegistered, /*capacity=*/0, arena);
     comp_in_.back().set_consumer(this, this->name().c_str());
   }
 }
@@ -46,8 +47,10 @@ ElasticBuffer<DmaCompletion>* DmaFrontend::completion_input(uint32_t g) {
   return &comp_in_[g];
 }
 
-void DmaFrontend::register_clocked(Engine& engine) {
-  for (auto& b : comp_in_) engine.add_clocked(&b);
+void DmaFrontend::register_clocked(Engine& engine, uint32_t shard) {
+  // Completion buffers are consumed by this frontend, so they commit in its
+  // shard even when the producing backend lives across a boundary.
+  for (auto& b : comp_in_) engine.add_clocked(&b, shard);
 }
 
 void DmaFrontend::submit(uint16_t core, const DmaDescriptor& d) {
@@ -184,7 +187,7 @@ bool DmaFrontend::idle() const {
 
 DmaBackend::DmaBackend(std::string name, uint32_t group,
                        const ClusterConfig& cfg, const MemoryLayout* layout,
-                       L2Memory* l2)
+                       L2Memory* l2, Arena* arena)
     : Component(std::move(name)),
       group_(group),
       cfg_(&cfg),
@@ -192,8 +195,9 @@ DmaBackend::DmaBackend(std::string name, uint32_t group,
       l2_(l2),
       comp_out_(cfg.num_groups, nullptr),
       bank_free_(l2->params().banks, 0) {
+  cmd_in_.reserve_exact(cfg.num_groups, arena);
   for (uint32_t g = 0; g < cfg.num_groups; ++g) {
-    cmd_in_.emplace_back(BufferMode::kRegistered, /*capacity=*/0);
+    cmd_in_.emplace_back(BufferMode::kRegistered, /*capacity=*/0, arena);
     cmd_in_.back().set_consumer(this, this->name().c_str());
   }
 }
@@ -215,8 +219,10 @@ void DmaBackend::bind_banks(std::vector<SpmBank*> banks) {
   banks_ = std::move(banks);
 }
 
-void DmaBackend::register_clocked(Engine& engine) {
-  for (auto& b : cmd_in_) engine.add_clocked(&b);
+void DmaBackend::register_clocked(Engine& engine, uint32_t shard) {
+  // Command buffers are consumed by this backend; same reasoning as the
+  // frontend's completion inputs.
+  for (auto& b : cmd_in_) engine.add_clocked(&b, shard);
 }
 
 SpmBank* DmaBackend::locate_word(const DmaDescriptor& d, uint32_t row,

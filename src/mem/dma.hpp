@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/cluster_config.hpp"
 #include "core/layout.hpp"
 #include "mem/bank.hpp"
@@ -194,8 +195,12 @@ class DmaBackend;
 /// most one push per cycle (the registered-buffer contract).
 class DmaFrontend final : public Component, public DmaPortal {
  public:
+  /// @p arena, when given, is the shard arena of the group this frontend
+  /// serves: the per-source-group completion buffers carve their initial
+  /// ring storage out of it.
   DmaFrontend(std::string name, uint32_t group, const ClusterConfig& cfg,
-              const MemoryLayout* layout, const L2Memory* l2);
+              const MemoryLayout* layout, const L2Memory* l2,
+              Arena* arena = nullptr);
 
   // --- wiring (memsys build time) -------------------------------------------
   /// Command buffer of group @p g's backend that this frontend pushes into.
@@ -203,7 +208,7 @@ class DmaFrontend final : public Component, public DmaPortal {
   /// This frontend's completion input from group @p g's backend (owned
   /// here; the backend pushes, this component consumes).
   ElasticBuffer<DmaCompletion>* completion_input(uint32_t g);
-  void register_clocked(Engine& engine);
+  void register_clocked(Engine& engine, uint32_t shard = 0);
 
   // --- DmaPortal ------------------------------------------------------------
   void submit(uint16_t core, const DmaDescriptor& d) override;
@@ -250,8 +255,8 @@ class DmaFrontend final : public Component, public DmaPortal {
   std::vector<uint32_t> pending_;  ///< Per global core id.
   uint32_t outstanding_ = 0;
 
-  std::vector<ElasticBuffer<DmaSliceCmd>*> cmd_out_;    ///< Per dest group.
-  std::deque<ElasticBuffer<DmaCompletion>> comp_in_;    ///< Per src group.
+  std::vector<ElasticBuffer<DmaSliceCmd>*> cmd_out_;      ///< Per dest group.
+  PinnedVector<ElasticBuffer<DmaCompletion>> comp_in_;    ///< Per src group.
 
   uint64_t descriptors_ = 0;
   uint64_t slices_ = 0;
@@ -266,8 +271,10 @@ class DmaFrontend final : public Component, public DmaPortal {
 /// engine's timer wheel and applies each burst's words when it fires.
 class DmaBackend final : public Component {
  public:
+  /// @p arena — see DmaFrontend: shard arena for the command buffers' rings.
   DmaBackend(std::string name, uint32_t group, const ClusterConfig& cfg,
-             const MemoryLayout* layout, L2Memory* l2);
+             const MemoryLayout* layout, L2Memory* l2,
+             Arena* arena = nullptr);
 
   // --- wiring (memsys build time) -------------------------------------------
   /// This backend's command input from group @p g's frontend (owned here).
@@ -278,7 +285,7 @@ class DmaBackend final : public Component {
   /// + bank) — the backend's dedicated wide bank port.
   void bind_banks(std::vector<SpmBank*> banks);
   void bind_engine(Engine* engine) { engine_ = engine; }
-  void register_clocked(Engine& engine);
+  void register_clocked(Engine& engine, uint32_t shard = 0);
 
   // --- Component ------------------------------------------------------------
   void evaluate(uint64_t cycle) override;
@@ -324,7 +331,7 @@ class DmaBackend final : public Component {
   Engine* engine_ = nullptr;
   std::vector<SpmBank*> banks_;
 
-  std::deque<ElasticBuffer<DmaSliceCmd>> cmd_in_;       ///< Per src group.
+  PinnedVector<ElasticBuffer<DmaSliceCmd>> cmd_in_;     ///< Per src group.
   std::vector<ElasticBuffer<DmaCompletion>*> comp_out_; ///< Per dest group.
 
   // Active slice state.

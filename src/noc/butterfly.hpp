@@ -11,11 +11,11 @@
 // registered as the tile's master-port boundary).
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "sim/component.hpp"
 #include "sim/elastic_buffer.hpp"
 #include "sim/engine.hpp"
@@ -32,9 +32,12 @@ class ButterflyNet final : public Component {
  public:
   /// @param num_endpoints N = radix^L for some integer L >= 1.
   /// @param layer_modes   input buffer mode per layer (size L).
+  /// @param arena         when given, every layer's line buffers are carved
+  ///                      contiguously out of this arena — the shard arena
+  ///                      of the cluster that owns the network.
   ButterflyNet(std::string name, std::size_t num_endpoints, unsigned radix,
                std::vector<BufferMode> layer_modes, EndpointFn dst_of,
-               std::size_t buffer_capacity = 2);
+               std::size_t buffer_capacity = 2, Arena* arena = nullptr);
 
   /// Sink for producers to push into endpoint @p i.
   PacketSink* input(std::size_t i);
@@ -42,7 +45,7 @@ class ButterflyNet final : public Component {
   /// Attach endpoint output @p i to a downstream sink.
   void connect_output(std::size_t i, PacketSink* sink);
 
-  void register_clocked(Engine& engine);
+  void register_clocked(Engine& engine, uint32_t shard = 0);
 
   void evaluate(uint64_t cycle) override;
 
@@ -78,8 +81,10 @@ class ButterflyNet final : public Component {
   unsigned layers_;
   EndpointFn dst_of_;
   // buf_[l][p]: input buffer of layer l at line position p (pre-shuffle).
-  // Inner deque, not vector: ElasticBuffer is pinned (non-movable).
-  std::vector<std::deque<PacketBuffer>> buf_;
+  // Inner PinnedVector, not vector: ElasticBuffer is pinned (non-movable);
+  // each layer's line buffers sit in one contiguous (optionally
+  // arena-backed) block.
+  std::vector<PinnedVector<PacketBuffer>> buf_;
   // occ_[l * occ_words_ + p/64] bit p%64 set iff buf_[l][p] holds a visible
   // packet — evaluate iterates set bits instead of scanning all N lines per
   // layer. One word per 64 lines (N > 64 spans several words).

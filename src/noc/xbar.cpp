@@ -9,7 +9,7 @@ namespace mempool {
 
 XbarSwitch::XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
                        std::size_t num_outputs, RouteFn route,
-                       std::size_t in_capacity)
+                       std::size_t in_capacity, Arena* arena)
     : Component(std::move(name)),
       out_(num_outputs, nullptr),
       rr_(num_outputs, 0),
@@ -21,8 +21,9 @@ XbarSwitch::XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
   occ_.assign((in_modes.size() + 63) / 64, 0);
   out_req_.assign((num_outputs + 63) / 64, 0);
   in_sinks_.reserve(in_modes.size());
+  in_.reserve_exact(in_modes.size(), arena);
   for (BufferMode m : in_modes) {
-    in_.emplace_back(m, in_capacity);
+    in_.emplace_back(m, in_capacity, arena);
   }
   unsigned bit = 0;
   for (auto& buf : in_) {
@@ -37,10 +38,10 @@ XbarSwitch::XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
 
 XbarSwitch::XbarSwitch(std::string name, std::size_t num_inputs,
                        BufferMode in_mode, std::size_t num_outputs,
-                       RouteFn route, std::size_t in_capacity)
+                       RouteFn route, std::size_t in_capacity, Arena* arena)
     : XbarSwitch(std::move(name),
                  std::vector<BufferMode>(num_inputs, in_mode), num_outputs,
-                 std::move(route), in_capacity) {}
+                 std::move(route), in_capacity, arena) {}
 
 PacketSink* XbarSwitch::input(std::size_t i) {
   MEMPOOL_CHECK(i < in_sinks_.size());
@@ -53,8 +54,9 @@ void XbarSwitch::connect_output(std::size_t o, PacketSink* sink) {
   out_[o] = sink;
 }
 
-void XbarSwitch::register_clocked(Engine& engine) {
-  for (auto& buf : in_) engine.add_clocked(&buf);
+void XbarSwitch::register_clocked(Engine& engine, uint32_t shard) {
+  // The xbar consumes its own input buffers, so they commit in its shard.
+  for (auto& buf : in_) engine.add_clocked(&buf, shard);
 }
 
 bool XbarSwitch::idle() const {

@@ -7,11 +7,11 @@
 // pipeline registers of Figures 2 and 3.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "sim/component.hpp"
 #include "sim/elastic_buffer.hpp"
 #include "sim/engine.hpp"
@@ -29,14 +29,17 @@ class XbarSwitch final : public Component {
   ///                  register boundary (adds one cycle).
   /// @param in_capacity elastic buffer depth per input (>= 1; 2 sustains
   ///                  full throughput across registered boundaries).
+  /// @param arena     when given, the input buffers (and any deep ring
+  ///                  storage) are carved contiguously out of this arena —
+  ///                  the shard arena of the cluster that owns the switch.
   XbarSwitch(std::string name, std::vector<BufferMode> in_modes,
              std::size_t num_outputs, RouteFn route,
-             std::size_t in_capacity = 2);
+             std::size_t in_capacity = 2, Arena* arena = nullptr);
 
   /// Convenience: all inputs share one mode.
   XbarSwitch(std::string name, std::size_t num_inputs, BufferMode in_mode,
              std::size_t num_outputs, RouteFn route,
-             std::size_t in_capacity = 2);
+             std::size_t in_capacity = 2, Arena* arena = nullptr);
 
   /// Sink for upstream producers to push into input @p i.
   PacketSink* input(std::size_t i);
@@ -46,7 +49,7 @@ class XbarSwitch final : public Component {
   void connect_output(std::size_t o, PacketSink* sink);
 
   /// Register all clocked state with the engine's commit phase.
-  void register_clocked(Engine& engine);
+  void register_clocked(Engine& engine, uint32_t shard = 0);
 
   void evaluate(uint64_t cycle) override;
 
@@ -71,9 +74,11 @@ class XbarSwitch final : public Component {
   void load_state(StateSource& s) override;
 
  private:
-  // deque, not vector: ElasticBuffer is pinned (non-movable) because the
-  // engine's commit list and the wake plumbing hold raw pointers into it.
-  std::deque<PacketBuffer> in_;
+  // PinnedVector, not vector: ElasticBuffer is pinned (non-movable) because
+  // the engine's commit slots and the wake plumbing hold raw pointers into
+  // it. The one-shot reservation keeps all input buffers in one contiguous
+  // block (arena-backed when the cluster supplies a shard arena).
+  PinnedVector<PacketBuffer> in_;
   std::vector<BufferSink<PacketBuffer>> in_sinks_;
   std::vector<PacketSink*> out_;
   std::vector<uint32_t> rr_;            // round-robin pointer per output

@@ -162,13 +162,23 @@ SweepResult sweep_from_json(const Json& j) {
 SpeedupSummary speedup_from_json(const Json& j) {
   SpeedupSummary s;
   s.schema = j.get("schema", Json("")).as_string();
-  MEMPOOL_CHECK_MSG(
-      s.schema == "mempool.speedup.v1" || s.schema == "mempool.speedup.v2",
-      "not a mempool.speedup.v1/v2 document (schema '" << s.schema << "')");
+  MEMPOOL_CHECK_MSG(s.schema == "mempool.speedup.v1" ||
+                        s.schema == "mempool.speedup.v2" ||
+                        s.schema == "mempool.speedup.v3",
+                    "not a mempool.speedup.v1/v2/v3 document (schema '"
+                        << s.schema << "')");
   s.aggregate_speedup = j.at("aggregate_speedup").as_double();
   s.min_speedup = j.at("min_speedup").as_double();
-  if (s.schema == "mempool.speedup.v2") {
+  if (s.schema != "mempool.speedup.v1") {
     s.aggregate_sharded_speedup = j.at("aggregate_sharded_speedup").as_double();
+  }
+  if (s.schema == "mempool.speedup.v3") {
+    const Json& paper = j.at("paper_point");
+    s.paper_cycles_per_second = paper.at("cycles_per_second").as_double();
+    s.paper_cycles_per_second_per_shard =
+        paper.at("cycles_per_second_per_shard").as_double();
+    s.paper_sharded_1t_cycles_per_second =
+        paper.at("sharded_1t_cycles_per_second").as_double();
   }
   s.num_points = j.at("points").items().size();
   return s;

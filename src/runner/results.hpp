@@ -59,22 +59,29 @@ Json sweep_to_json(const SweepResult& result);
 SweepResult sweep_from_json(const Json& j);
 
 /// Parsed scheduler-speedup artifact (micro_sim_speed --speedup_json).
-/// mempool.speedup.v2 adds the sharded-engine axis; v1 documents (dense vs
-/// active only) are still read — their sharded fields stay 0 — so the CI
-/// perf gate can compare any PR against any committed baseline.
+/// mempool.speedup.v2 adds the sharded-engine axis; v3 adds the paper-point
+/// absolute rate block (256-core TopH λ=0.05: simulated cycles per wall-clock
+/// second). Older documents are still read — fields their schema lacks stay
+/// 0 — so the CI perf gate can compare any PR against any committed baseline.
 struct SpeedupSummary {
   std::string schema;
   /// Wall-clock of the dense oracle over the activity-driven engine, summed
-  /// across the workload set (both schema versions).
+  /// across the workload set (all schema versions).
   double aggregate_speedup = 0;
   double min_speedup = 0;
-  /// v2: single-thread active over the best sharded configuration.
+  /// v2+: single-thread active over the best sharded configuration.
   double aggregate_sharded_speedup = 0;
+  /// v3: absolute active-engine rate at the paper point, plus the same rate
+  /// normalized per fabric shard and the sharded engine's single-thread rate.
+  /// Host-dependent (wall-clock), unlike the ratios above.
+  double paper_cycles_per_second = 0;
+  double paper_cycles_per_second_per_shard = 0;
+  double paper_sharded_1t_cycles_per_second = 0;
   std::size_t num_points = 0;
 };
 
-/// Read a mempool.speedup.v1 or .v2 document; throws CheckError on anything
-/// else.
+/// Read a mempool.speedup.v1, .v2, or .v3 document; throws CheckError on
+/// anything else.
 SpeedupSummary speedup_from_json(const Json& j);
 
 /// Wrap bench-specific results in the mempool.bench.v1 envelope.

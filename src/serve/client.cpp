@@ -178,6 +178,7 @@ ServiceResponse RetryingClient::run(const SimRequest& req) {
   MEMPOOL_CHECK_MSG(false, "sim server unreachable after "
                                << policy_.max_attempts
                                << " attempts; last error: " << last_error);
+  __builtin_unreachable();  // check_fail above is [[noreturn]]
 }
 
 }  // namespace mempool::serve

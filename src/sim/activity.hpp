@@ -86,19 +86,49 @@ class Wakeable {
   uint64_t mask_ = 1;
 };
 
-class CommitQueue;
-
 /// Interface for anything clocked by the engine's commit phase.
+///
+/// Commit scheduling is structure-of-arrays, mirroring Wakeable: each
+/// registered element owns one bit of an engine-owned packed dirty bitset
+/// (bind_commit_slot moves the bit out of the private fallback word at
+/// finalize). An element that stages state marks itself dirty; the commit
+/// phase word-scans the bitset and commits set bits in slot order — commits
+/// of distinct elements are independent (the only shared words, wake flags
+/// and occupancy masks, combine with idempotent ORs), so slot order is
+/// bit-identical to the historical push-order queue, as the dense oracle
+/// (which always committed in registration order) has asserted all along.
 class Clocked {
  public:
   virtual ~Clocked() = default;
   virtual void commit() = 0;
 
-  /// Activity plumbing: the engine hands every registered element its commit
-  /// queue; elements that stage state lazily enqueue themselves when they
-  /// actually have something to commit, so the commit phase only touches
-  /// dirty elements instead of sweeping every buffer in the cluster.
-  virtual void bind_commit_queue(CommitQueue* /*queue*/) {}
+  /// Stage notification: set this element's commit-dirty bit (idempotent per
+  /// cycle) and bump the bound pending counter on the first set.
+  void mark_commit_dirty() {
+    if ((*dirty_word_ & dirty_mask_) == 0) {
+      *dirty_word_ |= dirty_mask_;
+      ++*dirty_pending_;
+    }
+  }
+  bool commit_dirty() const { return (*dirty_word_ & dirty_mask_) != 0; }
+
+  /// Move the dirty bit into engine-owned storage (and the pending counter
+  /// onto the engine's/lane's tally), preserving the current value. @p word
+  /// and @p pending must outlive this element's last mark_commit_dirty().
+  void bind_commit_slot(uint64_t* word, unsigned bit, uint64_t* pending) {
+    const bool was_dirty = commit_dirty();
+    dirty_word_ = word;
+    dirty_mask_ = 1ull << bit;
+    dirty_pending_ = pending;
+    if (was_dirty) {
+      // Pre-finalize staging (an external poke before the first step)
+      // migrates into the engine's accounting.
+      *dirty_word_ |= dirty_mask_;
+      ++*dirty_pending_;
+    } else {
+      *dirty_word_ &= ~dirty_mask_;
+    }
+  }
 
   /// Sharded engine: refresh producer-visible state at the commit barrier.
   /// Called (on the consumer shard's thread, between the cycle's barriers)
@@ -125,29 +155,13 @@ class Clocked {
   /// exempts the element from watching; ElasticBuffer provides the one
   /// meaningful implementation.
   virtual LivenessState liveness() const { return {}; }
-};
-
-/// Per-cycle list of clocked elements with staged state. An element enqueues
-/// itself at most once per cycle (an elastic buffer accepts a single staged
-/// push per cycle by construction), so no deduplication is needed.
-class CommitQueue {
- public:
-  void enqueue(Clocked* c) { pending_.push_back(c); }
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
-
-  /// Commit every enqueued element and reset for the next cycle.
-  void commit_all() {
-    for (Clocked* c : pending_) c->commit();
-    pending_.clear();
-  }
-
-  /// Drop the queue without committing (dense mode already committed the
-  /// full element list).
-  void clear() { pending_.clear(); }
 
  private:
-  std::vector<Clocked*> pending_;
+  uint64_t own_dirty_ = 0;  ///< Fallback dirty word before bind_commit_slot.
+  uint64_t own_pending_ = 0;
+  uint64_t* dirty_word_ = &own_dirty_;
+  uint64_t dirty_mask_ = 1;
+  uint64_t* dirty_pending_ = &own_pending_;
 };
 
 /// What an elastic buffer reports about itself to the design-rule checker

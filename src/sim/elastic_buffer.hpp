@@ -21,21 +21,26 @@
 // Storage: bounded buffers up to kInlineCapacity keep their items in an
 // inline ring (the whole buffer is a few contiguous cache lines — the fabric
 // hot path never chases deque nodes); unbounded buffers (capacity 0, the
-// ideal TopX bank queues) and deeper ones fall back to std::deque.
+// ideal TopX bank queues) and deeper ones use a contiguous heap- or
+// arena-backed ring. Bounded deep rings are sized once at construction;
+// unbounded rings grow by amortized doubling (never per push), so the hot
+// path stays allocation-free — storage_reallocs() counts the growth events
+// and is pinned by a test.
 //
 // Activity plumbing: the component that owns this buffer as an input sets
 // itself as the consumer; pushes (combinational) and commits (registered)
 // wake it so the activity-driven engine evaluates it exactly when a packet
-// is visible. Registered buffers also enqueue themselves into the engine's
-// commit queue when staged, so the commit phase only touches dirty buffers.
-// An optional occupancy bit mirrors "holds a visible item" into a
-// switch-owned mask for sparse input scans.
+// is visible. Registered buffers mark their engine-owned commit-dirty bit
+// when staged (Clocked::mark_commit_dirty), so the commit phase word-scans
+// a packed bitset and only touches dirty buffers. An optional occupancy bit
+// mirrors "holds a visible item" into a switch-owned mask for sparse input
+// scans.
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <memory>
+#include <new>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "sim/activity.hpp"
 #include "sim/shard.hpp"
@@ -66,16 +71,33 @@ class ElasticBuffer final : public Clocked {
   /// buffers use a heap-backed deque.
   static constexpr std::size_t kInlineCapacity = 4;
 
+  /// Unbounded rings start here and double on demand.
+  static constexpr uint32_t kOverflowInitial = 8;
+
   /// @param mode     registered (1-cycle) or combinational (0-cycle) input.
   /// @param capacity max occupancy including the staged item; 0 = unbounded
   ///                 (used only by the ideal TopX fabric's bank queues).
+  /// @param arena    when given, the overflow ring's *initial* storage comes
+  ///                 from this arena (growth of unbounded rings falls back to
+  ///                 the heap; the abandoned arena block is reclaimed when
+  ///                 the arena dies). Elaboration-time only.
   explicit ElasticBuffer(BufferMode mode = BufferMode::kCombinational,
-                         std::size_t capacity = 2)
+                         std::size_t capacity = 2, Arena* arena = nullptr)
       : mode_(mode), capacity_(capacity) {
     if (capacity_ == 0 || capacity_ > kInlineCapacity) {
-      overflow_ = std::make_unique<std::deque<T>>();
+      // Bounded deep buffers get their exact power-of-two once and never
+      // grow; unbounded ones start small and double.
+      uint32_t cap = kOverflowInitial;
+      if (capacity_ != 0) {
+        cap = 2;
+        while (cap < capacity_) cap <<= 1;
+      }
+      overflow_ = alloc_ring(cap, arena, &overflow_heap_);
+      overflow_cap_ = cap;
     }
   }
+
+  ~ElasticBuffer() override { release_ring(overflow_, overflow_cap_, overflow_heap_); }
 
   // Non-copyable and non-movable: the engine's commit list, the switches'
   // BufferSink adapters, and the wake plumbing all hold raw pointers to a
@@ -126,10 +148,6 @@ class ElasticBuffer final : public Clocked {
     }
   }
 
-  /// Engine hookup (via add_clocked): staged pushes enqueue this buffer for
-  /// the commit phase.
-  void bind_commit_queue(CommitQueue* queue) override { commit_queue_ = queue; }
-
   /// Shard hookup: this buffer sits on a shard boundary — its producer
   /// evaluates in another shard than @p consumer_shard, the shard of its
   /// consumer. Only registered buffers qualify (a combinational push would be
@@ -171,17 +189,18 @@ class ElasticBuffer final : public Clocked {
       MEMPOOL_CHECK(!staged_valid_);
       staged_ = v;
       staged_valid_ = true;
-      if (ShardLane* lane = current_shard_lane()) {
-        // Sharded evaluate phase: stage into the evaluating shard's queue, or
-        // into its mailbox toward the consumer's shard when the push crosses
-        // the boundary (the consumer's commit phase drains it).
-        if (boundary_ && consumer_shard_ != lane->id) {
-          lane->outbox[consumer_shard_].push_back(this);
-        } else {
-          lane->queue.enqueue(this);
-        }
-      } else if (commit_queue_ != nullptr) {
-        commit_queue_->enqueue(this);
+      ShardLane* lane = current_shard_lane();
+      if (lane != nullptr && boundary_ && consumer_shard_ != lane->id) {
+        // Sharded evaluate phase, push crossing the boundary: hand the buffer
+        // to the consumer shard through the producer's SPSC ring (the
+        // consumer's commit phase drains it). Marking the dirty bit instead
+        // would write the consumer shard's bitset segment mid-evaluate — a
+        // data race with that shard's own staging.
+        lane->push_cross(consumer_shard_, this);
+      } else {
+        // Same-shard (or sequential) staging: this buffer's dirty bit lives
+        // in the evaluating shard's (or the global) segment.
+        mark_commit_dirty();
       }
     } else {
       enqueue(v);
@@ -196,7 +215,8 @@ class ElasticBuffer final : public Clocked {
   const T& front() const {
     drc_check_read("front");
     MEMPOOL_CHECK(count_ > 0);
-    return overflow_ ? overflow_->front() : ring_[head_];
+    return overflow_ != nullptr ? overflow_[head_ & (overflow_cap_ - 1)]
+                                : ring_[head_];
   }
 
   T pop() {
@@ -217,9 +237,9 @@ class ElasticBuffer final : public Clocked {
         snap_count_ = count_;  // sequential engines: snapshot tracks exactly
       }
     }
-    if (overflow_) {
-      T v = overflow_->front();
-      overflow_->pop_front();
+    if (overflow_ != nullptr) {
+      T v = overflow_[head_ & (overflow_cap_ - 1)];
+      ++head_;  // masked on access; cap is pow2, so uint32 wrap is harmless
       return v;
     }
     T v = ring_[head_];
@@ -260,8 +280,10 @@ class ElasticBuffer final : public Clocked {
                           << consumer_name() << "')");
     s.u32(count_);
     s.u64(drains_);
-    if (overflow_) {
-      for (const T& v : *overflow_) save_item(s, v);
+    if (overflow_ != nullptr) {
+      for (uint32_t i = 0; i < count_; ++i) {
+        save_item(s, overflow_[(head_ + i) & (overflow_cap_ - 1)]);
+      }
     } else {
       for (uint32_t i = 0; i < count_; ++i) {
         save_item(s, ring_[(head_ + i) % kInlineCapacity]);
@@ -313,11 +335,13 @@ class ElasticBuffer final : public Clocked {
     s.capacity = capacity_;
     s.drains = drains_;
     s.consumer = consumer_name();
-    if (count_ > 0) {
-      s.head = liveness_summary(overflow_ ? overflow_->front() : ring_[head_]);
-    }
+    if (count_ > 0) s.head = liveness_summary(front_nocheck());
     return s;
   }
+
+  /// Growth events of the overflow ring (0 for inline/bounded-deep buffers);
+  /// pinned by a test so unbounded pushes stay off the allocator.
+  uint64_t storage_reallocs() const { return ring_reallocs_; }
 
   /// MEMPOOL_DRC: bind the home shard (the consumer's shard as resolved by
   /// the static DRC walk) that every eval-phase access is checked against.
@@ -364,9 +388,56 @@ class ElasticBuffer final : public Clocked {
   void drc_check_push() const {}
 #endif
 
+  const T& front_nocheck() const {
+    return overflow_ != nullptr ? overflow_[head_ & (overflow_cap_ - 1)]
+                                : ring_[head_];
+  }
+
+  static T* alloc_ring(uint32_t cap, Arena* arena, bool* heap_owned) {
+    void* storage =
+        arena != nullptr
+            ? arena->allocate(sizeof(T) * cap, alignof(T))
+            : ::operator new(sizeof(T) * cap, std::align_val_t(alignof(T)));
+    *heap_owned = arena == nullptr;
+    T* ring = static_cast<T*>(storage);
+    for (uint32_t i = 0; i < cap; ++i) new (ring + i) T{};
+    return ring;
+  }
+
+  static void release_ring(T* ring, uint32_t cap, bool heap_owned) {
+    if (ring == nullptr) return;
+    for (uint32_t i = cap; i > 0; --i) ring[i - 1].~T();
+    if (heap_owned) ::operator delete(ring, std::align_val_t(alignof(T)));
+    // Arena-backed storage is reclaimed when the arena dies.
+  }
+
+  /// Double the overflow ring (unbounded buffers only). Growth always goes
+  /// to the heap — it can happen mid-simulation, where the single-threaded
+  /// elaboration arena must not be touched.
+  void grow_overflow() {
+    const uint32_t new_cap = overflow_cap_ * 2;
+    bool new_heap = false;
+    T* fresh = alloc_ring(new_cap, nullptr, &new_heap);
+    for (uint32_t i = 0; i < count_; ++i) {
+      fresh[i] = overflow_[(head_ + i) & (overflow_cap_ - 1)];
+    }
+    release_ring(overflow_, overflow_cap_, overflow_heap_);
+    overflow_ = fresh;
+    overflow_cap_ = new_cap;
+    overflow_heap_ = new_heap;
+    head_ = 0;
+    ++ring_reallocs_;
+  }
+
   void enqueue(const T& v) {
-    if (overflow_) {
-      overflow_->push_back(v);
+    if (overflow_ != nullptr) {
+      if (count_ == overflow_cap_) {
+        // Only unbounded buffers can outgrow their ring: bounded deep ones
+        // are sized to capacity_ at construction and gated by can_accept().
+        MEMPOOL_CHECK(capacity_ == 0);
+        grow_overflow();
+      }
+      overflow_[(head_ + count_) & (overflow_cap_ - 1)] = v;
     } else {
       // can_accept() (asserted at push, counted at stage time for commits)
       // bounds count_ by capacity_ <= kInlineCapacity; re-check so a contract
@@ -383,7 +454,10 @@ class ElasticBuffer final : public Clocked {
   uint32_t head_ = 0;
   uint32_t count_ = 0;  ///< Visible items (FIFO only, staged excluded).
   uint64_t drains_ = 0;  ///< Lifetime pop() count (watchdog progress metric).
-  std::unique_ptr<std::deque<T>> overflow_;
+  T* overflow_ = nullptr;       ///< Contiguous pow2 ring when deep/unbounded.
+  uint32_t overflow_cap_ = 0;   ///< Power of two; 0 in inline mode.
+  bool overflow_heap_ = false;  ///< Heap-backed (vs arena-backed) storage.
+  uint64_t ring_reallocs_ = 0;  ///< Growth events (see storage_reallocs()).
   T staged_{};
   bool staged_valid_ = false;
   bool boundary_ = false;      ///< Shard-boundary register (snapshot mode).
@@ -396,7 +470,6 @@ class ElasticBuffer final : public Clocked {
 #if defined(MEMPOOL_DRC)
   int32_t drc_home_ = -1;  ///< Armed home shard; -1 = unchecked.
 #endif
-  CommitQueue* commit_queue_ = nullptr;
   uint64_t own_occ_ = 0;          ///< Fallback occupancy word (unbound).
   uint64_t* occ_word_ = &own_occ_;
   uint64_t occ_mask_ = 1;

@@ -72,6 +72,26 @@ void Engine::set_sharded(uint32_t num_shards, ShardExecutor* exec) {
   exec_ = exec;
 }
 
+namespace {
+/// describe() sink used by finalize() to read one clocked element's BufferDecl
+/// (shard-boundary status + consumer shard) for ring sizing and validation.
+struct BoundaryScan final : GraphVisitor {
+  BufferDecl decl;
+  bool seen = false;
+  void reads(const Clocked*, std::string_view) override {}
+  void writes(const PacketSink*, std::string_view) override {}
+  void writes_buffer(const Clocked*, std::string_view) override {}
+  void writes_terminal(const Wakeable*, std::string_view) override {}
+  void wakes(const Wakeable*, std::string_view) override {}
+  void self_ticking() override {}
+  void wake_on_demand() override {}
+  void buffer_info(const BufferDecl& d) override {
+    decl = d;
+    seen = true;
+  }
+};
+}  // namespace
+
 void Engine::finalize() {
   finalized_ = true;
   if (num_shards_ == 0) {
@@ -79,6 +99,15 @@ void Engine::finalize() {
     for (std::size_t i = 0; i < components_.size(); ++i) {
       components_[i]->bind_activity_slot(&flags_[i / 64],
                                          static_cast<unsigned>(i % 64));
+    }
+    dirty_.assign((clocked_.size() + 63u) / 64u, 0);
+    commit_slots_.assign(dirty_.size() * 64u, nullptr);
+    dirty_pending_ = 0;  // bind_commit_slot re-adds pre-finalize staging
+    for (std::size_t i = 0; i < clocked_.size(); ++i) {
+      commit_slots_[i] = clocked_[i];
+      clocked_[i]->bind_commit_slot(&dirty_[i / 64],
+                                    static_cast<unsigned>(i % 64),
+                                    &dirty_pending_);
     }
     return;
   }
@@ -109,7 +138,6 @@ void Engine::finalize() {
     word += (words + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
     lane.word_end = static_cast<uint32_t>(word);
     lane.slots.assign((lane.word_end - lane.word_begin) * 64u, nullptr);
-    lane.outbox.resize(S);
   }
   flags_.assign(word, 0);
   std::vector<std::size_t> next(S, 0);
@@ -120,10 +148,74 @@ void Engine::finalize() {
     components_[i]->bind_activity_slot(&flags_[lane.word_begin + k / 64],
                                        static_cast<unsigned>(k % 64));
   }
+
+  // Commit-dirty segmentation, mirroring the wake segments: each shard gets a
+  // cache-line aligned word range of one packed dirty bitset plus a slot
+  // table over its clocked elements in registration order, and every
+  // element's dirty bit is rebound into its segment (with the lane's pending
+  // counter as the tally).
+  std::vector<std::size_t> ccount(S, 0);
+  for (std::size_t i = 0; i < clocked_.size(); ++i) {
+    MEMPOOL_CHECK_MSG(clocked_shard_[i] < S,
+                      "clocked element " << i << " assigned to shard "
+                                         << clocked_shard_[i] << " of " << S);
+    ++ccount[clocked_shard_[i]];
+  }
+  std::size_t dword = 0;
+  for (uint32_t s = 0; s < S; ++s) {
+    ShardLane& lane = lanes_[s];
+    lane.dirty_begin = static_cast<uint32_t>(dword);
+    const std::size_t words = (ccount[s] + 63u) / 64u;
+    dword += (words + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
+    lane.dirty_end = static_cast<uint32_t>(dword);
+    lane.cslots.assign((lane.dirty_end - lane.dirty_begin) * 64u, nullptr);
+    lane.dirty_pending = 0;
+  }
+  dirty_.assign(dword, 0);
+  std::vector<std::size_t> cnext(S, 0);
+  for (std::size_t i = 0; i < clocked_.size(); ++i) {
+    ShardLane& lane = lanes_[clocked_shard_[i]];
+    const std::size_t k = cnext[clocked_shard_[i]]++;
+    lane.cslots[k] = clocked_[i];
+    clocked_[i]->bind_commit_slot(&dirty_[lane.dirty_begin + k / 64],
+                                  static_cast<unsigned>(k % 64),
+                                  &lane.dirty_pending);
+  }
+
+  // Cross-shard ring sizing. A registered buffer stages at most one item per
+  // cycle (a second same-cycle push is a model error), so the number of
+  // declared shard-boundary buffers consumed by shard d bounds how many
+  // handoffs ANY producer shard can stage toward d in one cycle — the D4
+  // boundary registry doubles as an exact worst-case ring depth. While
+  // walking, validate that each boundary buffer was registered to the shard
+  // its declaration names as consumer: the commit phase latches into
+  // consumer-shard state, so a mismatch would be a data race.
+  std::vector<std::size_t> boundary_count(S, 0);
+  for (std::size_t i = 0; i < clocked_.size(); ++i) {
+    BoundaryScan scan;
+    clocked_[i]->describe(scan);
+    if (!scan.seen || !scan.decl.shard_boundary) continue;
+    MEMPOOL_CHECK_MSG(
+        scan.decl.consumer_shard == clocked_shard_[i],
+        "shard-boundary buffer declares consumer shard "
+            << scan.decl.consumer_shard << " but was registered to shard "
+            << clocked_shard_[i]
+            << " (add_clocked must pass the consumer's shard)");
+    ++boundary_count[scan.decl.consumer_shard];
+  }
+  rings_ = std::make_unique<SpscRing<Clocked*>[]>(std::size_t{S} * S);
+  for (uint32_t s = 0; s < S; ++s) {
+    for (uint32_t d = 0; d < S; ++d) {
+      rings_[std::size_t{s} * S + d].init(
+          boundary_count[d] == 0 ? 1 : boundary_count[d]);
+    }
+    lanes_[s].outbox_row = &rings_[std::size_t{s} * S];
+  }
 }
 
 void Engine::shard_evaluate(std::size_t s) {
   ShardLane& lane = lanes_[s];
+  const uint64_t t0 = profile_ ? prof_now_ns() : 0;
   ShardLaneScope scope(&lane);
 
   // Fire this shard's due timers; their wakes are observed by the scan below,
@@ -135,38 +227,42 @@ void Engine::shard_evaluate(std::size_t s) {
       w->wake();
       --lane.armed;
     } else {
-      lane.wheel[due & (kTimerWindow - 1)].push_back(w);
+      lane.wheel.arm(due, w);
     }
   }
-  auto& due_now = lane.wheel[cycle_ & (kTimerWindow - 1)];
-  if (!due_now.empty()) {
-    for (Wakeable* w : due_now) w->wake();
-    lane.armed -= due_now.size();
-    due_now.clear();
-  }
+  lane.armed -= lane.wheel.fire(cycle_);
 
   lane.worked =
       scan_words(flags_.data(), lane.word_begin, lane.word_end,
                  lane.slots.data(), &lane.evaluations, nullptr,
                  static_cast<int32_t>(lane.id));
+  if (profile_) lane.prof_eval_ns = prof_now_ns() - t0;
 }
 
 void Engine::shard_commit(std::size_t d) {
   ShardLane& lane = lanes_[d];
-  // Latch this shard's own dirty buffers first, then the mailboxes addressed
-  // to it in ascending source-shard order. All commits touch only consumer-
-  // shard state (ring/occupancy/wake of shard d), so the commit phase is
-  // itself parallel across shards; the fixed order is for determinism only
-  // (and even that is belt-and-braces: distinct buffers commute).
-  uint64_t n = lane.queue.size();
-  lane.queue.commit_all();
+  const uint64_t t0 = profile_ ? prof_now_ns() : 0;
+  // Latch this shard's own dirty segment first (slot order), then drain the
+  // rings addressed to it in ascending source-shard order. All commits touch
+  // only consumer-shard state (ring/occupancy/wake of shard d), so the
+  // commit phase is itself parallel across shards; the fixed order is for
+  // determinism only (and even that is belt-and-braces: distinct buffers
+  // commute).
+  uint64_t n = 0;
+  if (lane.dirty_pending != 0) {
+    n += commit_scan(dirty_.data(), lane.dirty_begin, lane.dirty_end,
+                     lane.cslots.data());
+    lane.dirty_pending = 0;
+  }
+  const uint64_t t1 = profile_ ? prof_now_ns() : 0;
   for (uint32_t s = 0; s < num_shards_; ++s) {
     if (s == d) continue;
-    auto& box = lanes_[s].outbox[d];
-    if (box.empty()) continue;
-    n += box.size();
-    for (Clocked* c : box) c->commit();
-    box.clear();
+    SpscRing<Clocked*>& ring = lanes_[s].outbox_row[d];
+    Clocked* c = nullptr;
+    while (ring.try_pop(&c)) {
+      c->commit();
+      ++n;
+    }
   }
   // Refresh the producer-visible snapshots of every boundary buffer this
   // shard drained: producers judge next cycle's backpressure against the
@@ -177,40 +273,67 @@ void Engine::shard_commit(std::size_t d) {
     lane.commits += n;
     lane.worked = true;
   }
+  if (profile_) {
+    const uint64_t t2 = prof_now_ns();
+    lane.prof_commit_ns = t1 - t0;
+    lane.prof_drain_ns = t2 - t1;
+  }
 }
 
 bool Engine::step_sharded() {
   // External timers (armed outside any shard phase, e.g. by tests) fire on
   // the leader before the shards are released; their wakes may target any
-  // shard, which is only safe single-threaded.
+  // shard, which is only safe single-threaded. External pushes between steps
+  // land directly in the consumer lane's dirty segment (the leader is the
+  // only thread running), so there is no separate engine-global drain.
+  const uint64_t t0 = profile_ ? prof_now_ns() : 0;
   fire_timers();
 
   const bool dispatch = exec_ != nullptr && exec_->threads() > 1 &&
                         last_cycle_evals_ >= kDispatchThreshold;
+  if (dispatch) ++parallel_cycles_;
+  const uint64_t te = profile_ ? prof_now_ns() : 0;
   if (dispatch) {
-    ++parallel_cycles_;
     exec_->run(num_shards_, [this](std::size_t s) { shard_evaluate(s); });
-    exec_->run(num_shards_, [this](std::size_t s) { shard_commit(s); });
   } else {
     for (uint32_t s = 0; s < num_shards_; ++s) shard_evaluate(s);
+  }
+  const uint64_t tc = profile_ ? prof_now_ns() : 0;
+  if (dispatch) {
+    exec_->run(num_shards_, [this](std::size_t s) { shard_commit(s); });
+  } else {
     for (uint32_t s = 0; s < num_shards_; ++s) shard_commit(s);
   }
 
-  // Anything staged outside the shard phases (external pokes between steps
-  // bind to the engine-global queue) latches last, on the leader. This
-  // counts as work — the sequential engine would not fast-forward past a
-  // cycle whose commit just woke someone.
   bool worked = false;
-  if (!commit_queue_.empty()) {
-    commits_ += commit_queue_.size();
-    commit_queue_.commit_all();
-    worked = true;
-  }
-
   uint64_t evals = 0;
   for (const ShardLane& lane : lanes_) {
     worked |= lane.worked;
     evals += lane.evaluations;
+  }
+  if (profile_) {
+    const uint64_t tend = prof_now_ns();
+    uint64_t max_eval = 0, max_cc = 0, commit_sum = 0, drain_sum = 0;
+    for (ShardLane& lane : lanes_) {
+      max_eval = std::max(max_eval, lane.prof_eval_ns);
+      max_cc = std::max(max_cc, lane.prof_commit_ns + lane.prof_drain_ns);
+      commit_sum += lane.prof_commit_ns;
+      drain_sum += lane.prof_drain_ns;
+      lane.prof_eval_ns = lane.prof_commit_ns = lane.prof_drain_ns = 0;
+    }
+    // Attribute the critical-path lane's busy time to the work phases and
+    // the rest of each phase's wall time to the barrier; the commit-phase
+    // critical path is split commit/drain pro rata of the lane totals.
+    const uint64_t eval_wall = tc - te;
+    const uint64_t commit_wall = tend - tc;
+    const uint64_t busy = commit_sum + drain_sum;
+    const uint64_t cc_commit = busy == 0 ? 0 : max_cc * commit_sum / busy;
+    profile_data_.evaluate_ns += (te - t0) + max_eval;
+    profile_data_.commit_ns += cc_commit;
+    profile_data_.drain_ns += max_cc - cc_commit;
+    profile_data_.barrier_ns += (eval_wall > max_eval ? eval_wall - max_eval : 0) +
+                                (commit_wall > max_cc ? commit_wall - max_cc : 0);
+    ++profile_data_.cycles;
   }
   last_cycle_evals_ = evals - prev_total_evals_;
   prev_total_evals_ = evals;
@@ -410,12 +533,12 @@ uint64_t Engine::next_timer_at_most(uint64_t limit) const {
     }
   }
   for (uint64_t c = cycle_; c < cycle_ + kTimerWindow && c < best; ++c) {
-    if (!wheel_[c & (kTimerWindow - 1)].empty()) {
+    if (!wheel_.slot_empty(c)) {
       best = c;
       break;
     }
     for (const ShardLane& lane : lanes_) {
-      if (!lane.wheel[c & (kTimerWindow - 1)].empty()) {
+      if (!lane.wheel.slot_empty(c)) {
         best = c;
         break;
       }

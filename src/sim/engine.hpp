@@ -44,6 +44,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -89,8 +90,8 @@ class Engine {
   Engine();
   ~Engine();
 
-  // Buffers and components keep raw pointers to the engine's commit queue and
-  // flag array, so the engine must stay put once wired.
+  // Buffers and components keep raw pointers to the engine's dirty/flag
+  // bitsets, so the engine must stay put once wired.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -110,14 +111,20 @@ class Engine {
     component_shard_.push_back(shard);
   }
 
-  /// Register a clocked element for the commit phase. The element is bound to
-  /// the engine's commit queue so it can self-report staged state.
-  void add_clocked(Clocked* c) {
+  /// Register a clocked element for the commit phase. @p shard is the shard
+  /// whose commit phase latches the element under set_sharded() — for an
+  /// elastic buffer, the shard of its *consumer* (commits publish into
+  /// consumer-side state). finalize() packs all registered elements into a
+  /// commit-dirty bitset (segmented per shard, like the wake flags) and binds
+  /// each element's dirty bit into it; until then staged pushes fall back to
+  /// the element's private word, which bind_commit_slot migrates.
+  void add_clocked(Clocked* c, uint32_t shard = 0) {
+    MEMPOOL_CHECK_MSG(!finalized_, "add_clocked after the first step");
     MEMPOOL_CHECK_MSG(clocked_set_.insert(c).second,
                       "clocked element registered twice (it would commit "
                       "twice per cycle under the dense engine)");
     clocked_.push_back(c);
-    c->bind_commit_queue(&commit_queue_);
+    clocked_shard_.push_back(shard);
   }
 
   /// Arm a timed wake: @p w is woken at the start of cycle @p cycle (or
@@ -135,7 +142,7 @@ class Engine {
     }
     if (ShardLane* lane = current_shard_lane()) {
       if (cycle - cycle_ < kTimerWindow) {
-        lane->wheel[cycle & (kTimerWindow - 1)].push_back(w);
+        lane->wheel.arm(cycle, w);
       } else {
         lane->far.emplace(cycle, w);
       }
@@ -143,7 +150,7 @@ class Engine {
       return;
     }
     if (cycle - cycle_ < kTimerWindow) {
-      wheel_[cycle & (kTimerWindow - 1)].push_back(w);
+      wheel_.arm(cycle, w);
     } else {
       far_timers_.emplace(cycle, w);
     }
@@ -241,9 +248,9 @@ class Engine {
   /// timer is armed — i.e. no future cycle can differ from this one (absent
   /// external pokes).
   bool quiescent() const {
-    if (!commit_queue_.empty() || armed_timers_ != 0) return false;
+    if (dirty_pending_ != 0 || armed_timers_ != 0) return false;
     for (const ShardLane& lane : lanes_) {
-      if (lane.armed != 0 || !lane.queue.empty()) return false;
+      if (lane.armed != 0 || lane.dirty_pending != 0) return false;
     }
     for (const Component* c : components_) {
       // Activity invariant: a sleeping component is idle by construction, so
@@ -258,7 +265,7 @@ class Engine {
   /// Capture the full simulation state at the current (quiesced) cycle
   /// boundary into @p snap: engine counters plus one section per registered
   /// component, in registration order. Must be called between steps — a
-  /// non-empty commit queue fails the quiescence check.
+  /// non-empty commit-dirty set fails the quiescence check.
   void save_state(Snapshot* snap) const;
   /// Restore a save_state() capture into a freshly built engine/cluster of
   /// the same configuration. Sets the cycle counter and hands every
@@ -296,6 +303,23 @@ class Engine {
   /// barrier for). Deterministic: depends only on simulation state.
   uint64_t parallel_cycles() const { return parallel_cycles_; }
 
+  // --- per-phase profiling (micro_sim_speed --profile) -----------------------
+  /// Wall-clock nanoseconds attributed to each phase of the cycle loop while
+  /// set_profile(true): evaluate = timer firing + active-set scans, commit =
+  /// commit-dirty bitset scans, drain = cross-shard ring drains + boundary
+  /// snapshot refreshes (sharded only), barrier = dispatch/join overhead of
+  /// the sharded phases (phase wall time minus the busiest lane's work).
+  /// Profiling never changes simulation results — it only reads clocks.
+  struct PhaseProfile {
+    uint64_t evaluate_ns = 0;
+    uint64_t commit_ns = 0;
+    uint64_t drain_ns = 0;
+    uint64_t barrier_ns = 0;
+    uint64_t cycles = 0;  ///< Cycles measured (fast-forwarded ones excluded).
+  };
+  void set_profile(bool on) { profile_ = on; }
+  const PhaseProfile& phase_profile() const { return profile_data_; }
+
  private:
   /// Gather every component's wake flag into one packed bitset so the
   /// active-set scan iterates set bits of a few contiguous words. Under
@@ -315,15 +339,10 @@ class Engine {
         w->wake();
         --armed_timers_;
       } else {
-        wheel_[due & (kTimerWindow - 1)].push_back(w);
+        wheel_.arm(due, w);
       }
     }
-    auto& due_now = wheel_[cycle_ & (kTimerWindow - 1)];
-    if (!due_now.empty()) {
-      for (Wakeable* w : due_now) w->wake();
-      armed_timers_ -= due_now.size();
-      due_now.clear();
-    }
+    armed_timers_ -= wheel_.fire(cycle_);
   }
 
   /// Earliest armed timer cycle, clamped to @p limit. Only called when the
@@ -338,6 +357,7 @@ class Engine {
     // is released — identical observation point under all three modes.
     if (cycle_ >= watch_probe_at_) watchdog_probe();
     if (num_shards_ != 0) return step_sharded();
+    const uint64_t t0 = profile_ ? prof_now_ns() : 0;
     fire_timers();
     bool worked = false;
     if (dense_) {
@@ -349,19 +369,35 @@ class Engine {
         components_[i]->evaluate(cycle_);
       }
       evaluations_ += components_.size();
+      const uint64_t t1 = profile_ ? prof_now_ns() : 0;
       for (Clocked* c : clocked_) c->commit();
       commits_ += clocked_.size();
-      // Buffers still self-reported; the full sweep above already committed
-      // them, so just reset the queue for the next cycle.
-      commit_queue_.clear();
+      // Buffers still self-marked their dirty bits; the full sweep above
+      // already committed them, so just wipe the bitset for the next cycle.
+      if (dirty_pending_ != 0) {
+        std::fill(dirty_.begin(), dirty_.end(), 0);
+        dirty_pending_ = 0;
+      }
       worked = true;
+      if (profile_) {
+        profile_data_.evaluate_ns += t1 - t0;
+        profile_data_.commit_ns += prof_now_ns() - t1;
+        ++profile_data_.cycles;
+      }
     } else {
       worked = scan_words(flags_.data(), 0, flags_.size(), components_.data(),
                           &evaluations_, component_shard_.data(), 0);
-      if (!commit_queue_.empty()) {
+      const uint64_t t1 = profile_ ? prof_now_ns() : 0;
+      if (dirty_pending_ != 0) {
         worked = true;
-        commits_ += commit_queue_.size();
-        commit_queue_.commit_all();
+        commits_ +=
+            commit_scan(dirty_.data(), 0, dirty_.size(), commit_slots_.data());
+        dirty_pending_ = 0;
+      }
+      if (profile_) {
+        profile_data_.evaluate_ns += t1 - t0;
+        profile_data_.commit_ns += prof_now_ns() - t1;
+        ++profile_data_.cycles;
       }
     }
     ++cycle_;
@@ -411,6 +447,35 @@ class Engine {
     return worked;
   }
 
+  /// Commit the clocked elements behind set dirty bits of words
+  /// [@p begin, @p end), in ascending slot order (bit-identical to the
+  /// historical push-order queue — see Clocked's class comment). Each word is
+  /// cleared before its bits are walked; commit() never re-marks, so the
+  /// bitset is clean afterwards. Returns the number of commits.
+  static uint64_t commit_scan(uint64_t* words, std::size_t begin,
+                              std::size_t end, Clocked* const* slots) {
+    uint64_t n = 0;
+    for (std::size_t w = begin; w < end; ++w) {
+      uint64_t m = words[w];
+      if (m == 0) continue;
+      words[w] = 0;
+      do {
+        const unsigned b = std::countr_zero(m);
+        m &= m - 1;
+        slots[(w - begin) * 64 + b]->commit();
+        ++n;
+      } while (m != 0);
+    }
+    return n;
+  }
+
+  static uint64_t prof_now_ns() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
   // --- sharded stepping (engine.cpp) -----------------------------------------
   bool step_sharded();
   void shard_evaluate(std::size_t s);
@@ -436,13 +501,20 @@ class Engine {
   std::vector<Component*> components_;
   std::vector<uint32_t> component_shard_;  ///< Parallel to components_.
   std::vector<Clocked*> clocked_;
+  std::vector<uint32_t> clocked_shard_;  ///< Parallel to clocked_.
   std::unordered_set<const Component*> component_set_;  ///< Dup detection.
   std::unordered_set<const Clocked*> clocked_set_;      ///< Dup detection.
   std::vector<uint64_t> flags_;  ///< Packed wake bits, one per component.
-  CommitQueue commit_queue_;
-  static constexpr uint64_t kTimerWindow = 512;  ///< Wheel span (power of 2).
+  std::vector<uint64_t> dirty_;  ///< Packed commit-dirty bits, one per clocked.
+  std::vector<Clocked*> commit_slots_;  ///< Bit -> element (sequential modes).
+  uint64_t dirty_pending_ = 0;  ///< Dirty count (sequential/external staging).
+  /// S×S matrix of cross-shard handoff rings, row-major by producer shard
+  /// (lanes_[s].outbox_row = &rings_[s * S]); sized at finalize from the
+  /// boundary-buffer registry, empty under the sequential modes.
+  std::unique_ptr<SpscRing<Clocked*>[]> rings_;
+  static constexpr uint64_t kTimerWindow = TimerWheel::kWindow;
   static_assert(kTimerWindow == ShardLane::kTimerWindow);
-  std::array<std::vector<Wakeable*>, kTimerWindow> wheel_;
+  TimerWheel wheel_;
   using Timer = std::pair<uint64_t, Wakeable*>;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
       far_timers_;
@@ -453,6 +525,8 @@ class Engine {
   uint64_t evaluations_ = 0;
   uint64_t commits_ = 0;
   uint64_t idle_cycles_skipped_ = 0;
+  bool profile_ = false;
+  PhaseProfile profile_data_;
 
   // --- watchdog state --------------------------------------------------------
   uint64_t stall_horizon_ = 0;            ///< 0 = watchdog disarmed.

@@ -12,16 +12,17 @@
 //             the wake bitset, evaluating components exactly like the
 //             sequential active engine does within that subsequence.
 //             Registered pushes whose target buffer lives in another shard
-//             are staged into a per-(src,dst) mailbox instead of the commit
-//             queue; pops from a shard-boundary buffer defer the producer-
-//             visible occupancy refresh (see ElasticBuffer) to the commit
-//             phase.
-//   commit    each shard latches its own dirty buffers, then drains the
-//             mailboxes addressed to it in ascending source-shard order.
-//             Commits of distinct buffers are independent and the only
-//             shared words (wake flags, occupancy masks) are combined with
-//             idempotent ORs, so any fixed order is bit-identical to the
-//             sequential engine's push-order commits.
+//             are handed off through a lock-free SPSC ring (one per directed
+//             shard pair, acquire/release only) instead of marking the
+//             consumer shard's commit-dirty segment; pops from a
+//             shard-boundary buffer defer the producer-visible occupancy
+//             refresh (see ElasticBuffer) to the commit phase.
+//   commit    each shard scans its own segment of the commit-dirty bitset
+//             (slot order), then drains the rings addressed to it in
+//             ascending source-shard order. Commits of distinct buffers are
+//             independent and the only shared words (wake flags, occupancy
+//             masks) are combined with idempotent ORs, so any fixed order is
+//             bit-identical to the sequential engine's commits.
 //
 // Determinism is structural, not best-effort: the per-shard evaluation order
 // is the sequential engine's order restricted to the shard, cross-shard
@@ -44,11 +45,73 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/spsc_ring.hpp"
 #include "sim/activity.hpp"
 
 namespace mempool {
 
 class Component;
+
+/// Bucketed timer wheel with structure-of-arrays storage: entries live in
+/// one contiguous pool chained per slot through indices, instead of one
+/// heap-allocated vector per slot. Order within a slot is irrelevant —
+/// firing is an idempotent wake() OR — so entries are chained LIFO and
+/// recycled through a free list; the steady state allocates nothing.
+class TimerWheel {
+ public:
+  static constexpr uint64_t kWindow = 512;  ///< Slot span (power of two).
+
+  void arm(uint64_t cycle, Wakeable* w) {
+    const auto slot = static_cast<uint32_t>(cycle & (kWindow - 1));
+    int32_t e;
+    if (free_head_ >= 0) {
+      e = free_head_;
+      free_head_ = pool_[static_cast<uint32_t>(e)].next;
+    } else {
+      e = static_cast<int32_t>(pool_.size());
+      pool_.push_back({});
+    }
+    pool_[static_cast<uint32_t>(e)] = {w, head_[slot]};
+    head_[slot] = e;
+  }
+
+  /// Wake every entry parked in @p cycle's slot; returns how many fired.
+  uint64_t fire(uint64_t cycle) {
+    const auto slot = static_cast<uint32_t>(cycle & (kWindow - 1));
+    int32_t e = head_[slot];
+    if (e < 0) return 0;
+    uint64_t n = 0;
+    head_[slot] = -1;
+    while (e >= 0) {
+      Entry& entry = pool_[static_cast<uint32_t>(e)];
+      entry.w->wake();
+      const int32_t next = entry.next;
+      entry.next = free_head_;
+      free_head_ = e;
+      e = next;
+      ++n;
+    }
+    return n;
+  }
+
+  bool slot_empty(uint64_t cycle) const {
+    return head_[cycle & (kWindow - 1)] < 0;
+  }
+
+ private:
+  struct Entry {
+    Wakeable* w = nullptr;
+    int32_t next = -1;
+  };
+  std::vector<Entry> pool_;
+  int32_t free_head_ = -1;
+  std::array<int32_t, kWindow> head_ = [] {
+    std::array<int32_t, kWindow> h{};
+    h.fill(-1);
+    return h;
+  }();
+};
 
 /// Which scheduler steps the engine (and, downstream, a bench's --engine
 /// flag): dense = evaluate everything (the equivalence oracle), active = the
@@ -84,22 +147,41 @@ struct ShardLane {
   std::vector<Component*> slots;
 
   // --- commit staging --------------------------------------------------------
-  /// Intra-shard registered buffers staged this cycle (producer == consumer
-  /// shard), committed by this shard's own commit phase.
-  CommitQueue queue;
-  /// outbox[d]: shard-boundary buffers staged by this shard whose consumer
-  /// lives in shard d; drained by shard d's commit phase in ascending source
-  /// order. This is the per-(src,dst) mailbox — writes happen on the
-  /// producer's thread during evaluate, reads on the consumer's thread during
-  /// commit, with the cycle barrier in between.
-  std::vector<std::vector<Clocked*>> outbox;
+  /// Word range [dirty_begin, dirty_end) of the engine's packed commit-dirty
+  /// bitset assigned to this shard (cache-line aligned like the wake
+  /// segments); cslots maps its bits back to clocked elements in
+  /// registration order.
+  uint32_t dirty_begin = 0;
+  uint32_t dirty_end = 0;
+  std::vector<Clocked*> cslots;
+  /// Elements marked dirty since the last commit scan (bound as the dirty
+  /// counter of every clocked element registered to this shard). Written by
+  /// this shard's evaluate thread (or the leader between cycles), read by
+  /// this shard's commit phase — never concurrently.
+  uint64_t dirty_pending = 0;
+
+  /// outbox_row[d]: the lock-free SPSC ring carrying shard-boundary buffers
+  /// staged by this shard toward consumer shard d (this shard's row of the
+  /// engine-owned S×S ring matrix). The producer side runs on this shard's
+  /// evaluate thread, the consumer side on shard d's commit thread; rings
+  /// are sized at elaboration from the boundary registry, so a full ring is
+  /// a model bug, not backpressure.
+  SpscRing<Clocked*>* outbox_row = nullptr;
+
+  void push_cross(uint32_t consumer_shard, Clocked* c) {
+    const bool ok = outbox_row[consumer_shard].try_push(c);
+    MEMPOOL_CHECK_MSG(ok, "cross-shard ring " << id << "->" << consumer_shard
+                                              << " overflowed its "
+                                                 "elaboration-time capacity");
+  }
+
   /// Shard-boundary buffers this shard popped from this cycle; their
   /// producer-visible occupancy snapshot is refreshed in the commit phase.
   std::vector<Clocked*> drained;
 
   // --- timers ----------------------------------------------------------------
-  static constexpr uint64_t kTimerWindow = 512;  ///< Must match Engine's.
-  std::array<std::vector<Wakeable*>, kTimerWindow> wheel;
+  static constexpr uint64_t kTimerWindow = TimerWheel::kWindow;
+  TimerWheel wheel;
   using Timer = std::pair<uint64_t, Wakeable*>;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> far;
   uint64_t armed = 0;
@@ -108,6 +190,14 @@ struct ShardLane {
   bool worked = false;
   uint64_t evaluations = 0;
   uint64_t commits = 0;
+
+  // --- per-cycle profiling busy times (Engine::set_profile only) -------------
+  /// This cycle's wall-clock ns spent in the lane's evaluate phase, commit
+  /// scan, and ring-drain/snapshot-sync work. Written by the lane's thread,
+  /// read by the leader after the barrier; untouched when profiling is off.
+  uint64_t prof_eval_ns = 0;
+  uint64_t prof_commit_ns = 0;
+  uint64_t prof_drain_ns = 0;
 };
 
 namespace detail {

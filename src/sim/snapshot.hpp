@@ -191,6 +191,14 @@ class Snapshot {
 
   std::size_t section_count() const { return sections_.size(); }
 
+  /// The (name, payload) sections in registration order, for callers that
+  /// diff checkpoints section-by-section (e.g. tests that must ignore the
+  /// engine's scheduler-effort counters, which legitimately differ between
+  /// a restored run and an uninterrupted one).
+  const std::vector<std::pair<std::string, std::string>>& sections() const {
+    return sections_;
+  }
+
   std::string serialize() const;
 
   /// Parses and fully validates an artifact: magic, CRC, declared length,

@@ -354,6 +354,51 @@ TEST(SweepJson, ReadMissingFileThrows) {
 
 namespace {
 
+TEST(SpeedupJson, ReadsV3WithPaperPointBlock) {
+  // mempool.speedup.v3: absolute cycles/sec per point plus the paper_point
+  // block (256-core TopH λ=0.05) the CI perf gate keys its cycles/sec floor
+  // on. The v1/v2 ratio fields keep their meaning.
+  const runner::SpeedupSummary v3 = runner::speedup_from_json(Json::parse(R"({
+    "schema": "mempool.speedup.v3",
+    "aggregate_speedup": 3.6,
+    "min_speedup": 2.1,
+    "aggregate_sharded_speedup": 1.0,
+    "host_cpus": 1,
+    "paper_point": {
+      "topology": "TopH", "lambda": 0.05, "num_shards": 4,
+      "cycles_per_second": 150000.0,
+      "cycles_per_second_per_shard": 37500.0,
+      "sharded_1t_cycles_per_second": 145000.0
+    },
+    "points": [
+      {"workload": "fig5", "topology": "TopH", "lambda": 0.05,
+       "dense_seconds": 0.2, "active_seconds": 0.05, "speedup": 4.0,
+       "sim_cycles": 7000,
+       "dense_cycles_per_second": 35000.0,
+       "active_cycles_per_second": 140000.0,
+       "sharded_seconds": {"1": 0.055},
+       "sharded_cycles_per_second": {"1": 127272.7},
+       "sharded_speedup": 0.9}
+    ]
+  })"));
+  EXPECT_EQ(v3.schema, "mempool.speedup.v3");
+  EXPECT_DOUBLE_EQ(v3.aggregate_speedup, 3.6);
+  EXPECT_DOUBLE_EQ(v3.aggregate_sharded_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(v3.paper_cycles_per_second, 150000.0);
+  EXPECT_DOUBLE_EQ(v3.paper_cycles_per_second_per_shard, 37500.0);
+  EXPECT_DOUBLE_EQ(v3.paper_sharded_1t_cycles_per_second, 145000.0);
+  EXPECT_EQ(v3.num_points, 1u);
+
+  // A v3 document must carry its paper_point block — a truncated artifact
+  // fails loudly instead of gating against a silent zero.
+  EXPECT_THROW(runner::speedup_from_json(Json::parse(R"({
+    "schema": "mempool.speedup.v3",
+    "aggregate_speedup": 3.6, "min_speedup": 2.1,
+    "aggregate_sharded_speedup": 1.0, "points": []
+  })")),
+               CheckError);
+}
+
 TEST(SpeedupJson, ReadsV2AndLegacyV1Documents) {
   // mempool.speedup.v2: the sharded sim-threads axis rides along; the
   // dense-to-active aggregate keeps its v1 meaning so any baseline compares.
@@ -374,6 +419,7 @@ TEST(SpeedupJson, ReadsV2AndLegacyV1Documents) {
   EXPECT_DOUBLE_EQ(v2.aggregate_speedup, 3.4);
   EXPECT_DOUBLE_EQ(v2.min_speedup, 2.0);
   EXPECT_DOUBLE_EQ(v2.aggregate_sharded_speedup, 3.1);
+  EXPECT_DOUBLE_EQ(v2.paper_cycles_per_second, 0.0);  // v3-only field
   EXPECT_EQ(v2.num_points, 1u);
 
   // Legacy v1 (committed baselines from before the sharded engine): sharded

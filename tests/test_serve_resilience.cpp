@@ -253,7 +253,8 @@ TEST(RetryingClient, SurvivesInjectedConnectionDrops) {
   RetryingClient client(path, policy);
 
   for (uint64_t i = 0; i < 8; ++i) {
-    const SimRequest req = mini_request(0.05 + 0.01 * (i % 4), 70 + i / 4);
+    const SimRequest req =
+        mini_request(0.05 + 0.01 * static_cast<double>(i % 4), 70 + i / 4);
     const ServiceResponse resp = client.run(req);
     ASSERT_TRUE(resp.ok) << resp.error;
     // Retried-through results are still bit-identical: idempotence via the

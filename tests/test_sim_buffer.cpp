@@ -88,6 +88,47 @@ TEST(ElasticBuffer, UnboundedCapacityZero) {
   EXPECT_EQ(b.size(), 10000u);
 }
 
+TEST(ElasticBuffer, UnboundedGrowthIsAmortizedDoubling) {
+  // The unbounded fallback must not touch the allocator per push burst: the
+  // contiguous ring doubles, so N pushes cost O(log N) growth events — and a
+  // drain-and-refill burst of the same depth costs zero.
+  ElasticBuffer<int> b(BufferMode::kCombinational, 0);
+  EXPECT_EQ(b.storage_reallocs(), 0u);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) b.push(i);
+  uint64_t expected = 0;
+  for (uint32_t cap = ElasticBuffer<int>::kOverflowInitial; cap < kN; cap <<= 1)
+    ++expected;
+  EXPECT_EQ(b.storage_reallocs(), expected);  // exactly log2(N/initial) grows
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(b.pop(), i);
+  // Capacity is retained across a full drain: the next burst is free.
+  for (int i = 0; i < kN; ++i) b.push(i);
+  EXPECT_EQ(b.storage_reallocs(), expected);
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(b.pop(), i);
+}
+
+TEST(ElasticBuffer, BoundedDeepBufferNeverReallocates) {
+  // Deeper-than-inline but bounded: the ring is sized once at construction.
+  ElasticBuffer<int> b(BufferMode::kCombinational, 37);
+  for (int round = 0; round < 50; ++round) {
+    int pushed = 0;
+    while (b.can_accept()) b.push(pushed++);
+    EXPECT_EQ(pushed, 37);
+    for (int i = 0; i < pushed; ++i) ASSERT_EQ(b.pop(), i);
+  }
+  EXPECT_EQ(b.storage_reallocs(), 0u);
+}
+
+TEST(ElasticBuffer, ArenaBackedOverflowStorage) {
+  Arena arena;
+  const std::size_t before = arena.bytes_used();
+  ElasticBuffer<int> b(BufferMode::kCombinational, 64, &arena);
+  EXPECT_GT(arena.bytes_used(), before) << "deep ring storage from the arena";
+  for (int i = 0; i < 63; ++i) b.push(i);
+  for (int i = 0; i < 63; ++i) ASSERT_EQ(b.pop(), i);
+  EXPECT_EQ(b.storage_reallocs(), 0u);
+}
+
 TEST(ElasticBuffer, CombinationalPushWakesConsumer) {
   ElasticBuffer<int> b(BufferMode::kCombinational, 2);
   Wakeable consumer;
@@ -102,12 +143,14 @@ TEST(ElasticBuffer, RegisteredPushWakesConsumerOnlyAtCommit) {
   Wakeable consumer;
   consumer.sleep();
   b.set_consumer(&consumer);
-  CommitQueue queue;
-  b.bind_commit_queue(&queue);
+  uint64_t word = 0;
+  uint64_t pending = 0;
+  b.bind_commit_slot(&word, 0, &pending);
   b.push(7);
   EXPECT_FALSE(consumer.awake()) << "staged item is not visible yet";
-  EXPECT_EQ(queue.size(), 1u) << "staged push self-reports for commit";
-  queue.commit_all();
+  EXPECT_TRUE(b.commit_dirty()) << "staged push marks its dirty bit";
+  EXPECT_EQ(pending, 1u) << "and bumps the bound pending counter once";
+  b.commit();
   EXPECT_TRUE(consumer.awake()) << "commit makes the item visible";
   EXPECT_EQ(b.pop(), 7);
 }

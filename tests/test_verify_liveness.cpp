@@ -372,8 +372,8 @@ TEST_P(WatchdogFires, AtExactlyTheConfiguredHorizon) {
 INSTANTIATE_TEST_SUITE_P(AllEngines, WatchdogFires,
                          ::testing::Values(Mode::kActive, Mode::kDense,
                                            Mode::kSharded),
-                         [](const ::testing::TestParamInfo<Mode>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Mode>& pinfo) {
+                           switch (pinfo.param) {
                              case Mode::kActive: return "Active";
                              case Mode::kDense: return "Dense";
                              default: return "Sharded";
